@@ -1,0 +1,36 @@
+//! Shared fixtures for the Criterion benchmarks.
+
+use cloudsim::Team;
+use incident::{Workload, WorkloadConfig};
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
+
+/// A small benchmark world (~300 incidents).
+pub fn bench_world() -> Workload {
+    let mut config = WorkloadConfig { seed: 7, ..WorkloadConfig::default() };
+    config.faults.faults_per_day = 1.0;
+    Workload::generate(config)
+}
+
+/// Monitoring plane over a world.
+pub fn bench_monitoring(world: &Workload) -> MonitoringSystem<'_> {
+    MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default())
+}
+
+/// PhyNet-labeled examples.
+pub fn bench_examples(world: &Workload) -> Vec<Example> {
+    world
+        .incidents
+        .iter()
+        .map(|i| Example::new(i.text(), i.created_at, i.owner == Team::PhyNet))
+        .collect()
+}
+
+/// A trained Scout plus its corpus.
+pub fn bench_scout<'a>(
+    world: &Workload,
+    mon: &MonitoringSystem<'a>,
+) -> (Scout, scout::scout::PreparedCorpus) {
+    let exs = bench_examples(world);
+    Scout::train(ScoutConfig::phynet(), ScoutBuildConfig::default(), &exs, mon)
+}

@@ -1,0 +1,180 @@
+//! Simulation time.
+//!
+//! The study window in the paper is nine months of incidents. We model time
+//! as whole minutes since the start of the simulation; minute granularity is
+//! what the paper's feature windows use (a two-hour look-back, monitoring
+//! samples every few minutes).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time, in minutes since the simulation epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (minute zero).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Construct from whole days since the epoch.
+    pub fn from_days(days: u64) -> SimTime {
+        SimTime(days * MINUTES_PER_DAY)
+    }
+
+    /// Construct from whole hours since the epoch.
+    pub fn from_hours(hours: u64) -> SimTime {
+        SimTime(hours * 60)
+    }
+
+    /// Whole days elapsed since the epoch.
+    pub fn days(self) -> u64 {
+        self.0 / MINUTES_PER_DAY
+    }
+
+    /// Minutes since the epoch.
+    pub fn minutes(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction of a duration (clamps at the epoch).
+    pub fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+
+    /// Duration elapsed since `earlier`; zero if `earlier` is in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from minutes.
+    pub fn minutes(m: u64) -> SimDuration {
+        SimDuration(m)
+    }
+
+    /// Construct from hours.
+    pub fn hours(h: u64) -> SimDuration {
+        SimDuration(h * 60)
+    }
+
+    /// Construct from days.
+    pub fn days(d: u64) -> SimDuration {
+        SimDuration(d * MINUTES_PER_DAY)
+    }
+
+    /// Length in minutes.
+    pub fn as_minutes(self) -> u64 {
+        self.0
+    }
+
+    /// Length in fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// Length in fractional days.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / MINUTES_PER_DAY as f64
+    }
+}
+
+const MINUTES_PER_DAY: u64 = 24 * 60;
+
+/// Nine months, the paper's study window (§3, §7).
+pub const STUDY_WINDOW: SimDuration = SimDuration(9 * 30 * MINUTES_PER_DAY);
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.0 / MINUTES_PER_DAY;
+        let h = (self.0 % MINUTES_PER_DAY) / 60;
+        let m = self.0 % 60;
+        write!(f, "d{d:03}+{h:02}:{m:02}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= MINUTES_PER_DAY {
+            write!(f, "{:.1}d", self.as_days_f64())
+        } else if self.0 >= 60 {
+            write!(f, "{:.1}h", self.as_hours_f64())
+        } else {
+            write!(f, "{}m", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = SimTime::from_days(3) + SimDuration::hours(5);
+        assert_eq!(t.minutes(), 3 * 1440 + 300);
+        assert_eq!(t.days(), 3);
+        assert_eq!(t - SimTime::from_days(3), SimDuration::hours(5));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        assert_eq!(SimTime(5).saturating_sub(SimDuration(10)), SimTime(0));
+        assert_eq!(SimTime(5) - SimTime(10), SimDuration::ZERO);
+        assert_eq!(SimDuration(5) - SimDuration(10), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn study_window_is_nine_months() {
+        assert_eq!(STUDY_WINDOW.as_days_f64(), 270.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_days(12).to_string(), "d012+00:00");
+        assert_eq!(SimDuration::minutes(45).to_string(), "45m");
+        assert_eq!(SimDuration::hours(3).to_string(), "3.0h");
+        assert_eq!(SimDuration::days(2).to_string(), "2.0d");
+    }
+}

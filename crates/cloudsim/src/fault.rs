@@ -1,0 +1,646 @@
+//! Root-cause catalog and fault schedule generation.
+//!
+//! Every incident in the synthetic study traces back to a [`Fault`]: a root
+//! cause with a ground-truth owning team, a component scope, and a duration.
+//! The `monitoring` crate turns faults into telemetry perturbations; the
+//! `incident` crate turns them into incident reports and baseline routing
+//! traces. Scouts never see the fault itself.
+//!
+//! The kind mix is calibrated to the paper's 200-incident case study (§3.2):
+//! dependency-suspect mis-routes dominate, 52/200 incidents were caused by
+//! upgrades, 28/200 by customer misconfiguration or overload, 20/200 were
+//! duplicate incidents of one underlying cause.
+
+use crate::clock::{SimDuration, SimTime};
+use crate::team::Team;
+use crate::topology::{ComponentId, ComponentKind, Topology};
+
+/// The component scope a fault implicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultScope {
+    /// A handful of specific devices (plus their cluster for context).
+    Devices { devices: Vec<ComponentId>, cluster: ComponentId },
+    /// A whole cluster (no individual device identified) — the harder case
+    /// for CPD+ (§5.2.2).
+    Cluster(ComponentId),
+    /// Outside the provider: no internal component is at fault, though some
+    /// are implicated by symptoms (§3.2 "when no teams are responsible,
+    /// more teams get involved").
+    External { symptomatic_cluster: ComponentId },
+}
+
+impl FaultScope {
+    /// The cluster the fault manifests in.
+    pub fn cluster(&self) -> ComponentId {
+        match *self {
+            FaultScope::Devices { cluster, .. } => cluster,
+            FaultScope::Cluster(c) => c,
+            FaultScope::External { symptomatic_cluster } => symptomatic_cluster,
+        }
+    }
+
+    /// Specific devices named by the fault (empty for cluster-wide or
+    /// external faults).
+    pub fn devices(&self) -> &[ComponentId] {
+        match self {
+            FaultScope::Devices { devices, .. } => devices,
+            _ => &[],
+        }
+    }
+}
+
+/// Catalog of root causes. Each kind has one ground-truth owning team.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    // --- PhyNet ---
+    /// A ToR switch reboots after a configuration change (the paper's §7.2
+    /// and §7.5 case studies).
+    TorReboot,
+    /// A ToR switch fails outright, cutting off its rack.
+    TorFailure,
+    /// A link corrupts frames (FCS errors above threshold).
+    LinkCorruption,
+    /// A switch silently drops packets.
+    SwitchPacketDrops,
+    /// An aggregation switch fails; cluster-wide symptoms.
+    AggFailure,
+    /// A PFC storm on RDMA-enabled switches.
+    PfcStorm,
+    /// A switch ASIC overheats and throttles.
+    SwitchOverheat,
+    // --- Storage ---
+    /// Storage latency regression in a cluster.
+    StorageLatency,
+    /// Storage stamp outage.
+    StorageOutage,
+    // --- SLB ---
+    /// Bad VIP→DIP mapping pushed by the software load balancer.
+    SlbConfigError,
+    // --- HostNet ---
+    /// Host networking agent crash-loops on some servers.
+    HostAgentCrash,
+    // --- Compute ---
+    /// Servers overloaded (CPU saturation).
+    ServerOverload,
+    /// Host OS reboots take down resident VMs.
+    HostReboot,
+    // --- Database ---
+    /// Query-plan regression in the database service.
+    DbQueryRegression,
+    // --- DNS ---
+    /// Bad DNS zone push.
+    DnsMisconfig,
+    // --- Firewall ---
+    /// Edge firewall policy error drops legitimate traffic.
+    FirewallPolicyError,
+    // --- External ---
+    /// Customer-side misconfiguration (e.g. their on-prem firewall, §3.2).
+    CustomerMisconfig,
+    /// Route leak / hijack in a neighboring ISP.
+    IspRouteLeak,
+    /// A host NIC firmware panic: the server loses connectivity in a way
+    /// that looks exactly like a physical-network fault until the model
+    /// learns its syslog discriminator. Only appears after day 150 under
+    /// concept drift — the Fig. 10 "new type of incident" that the paper's
+    /// Scout "initially consistently mis-classified".
+    NicFirmwarePanic,
+    // --- Not a real failure ---
+    /// A transient metric spike that self-resolves; the alerting team
+    /// monitors and closes it (§7.2 "the incident is transient" — the
+    /// dominant false-negative source).
+    TransientSpike,
+}
+
+impl FaultKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [FaultKind; 20] = [
+        FaultKind::TorReboot,
+        FaultKind::TorFailure,
+        FaultKind::LinkCorruption,
+        FaultKind::SwitchPacketDrops,
+        FaultKind::AggFailure,
+        FaultKind::PfcStorm,
+        FaultKind::SwitchOverheat,
+        FaultKind::StorageLatency,
+        FaultKind::StorageOutage,
+        FaultKind::SlbConfigError,
+        FaultKind::HostAgentCrash,
+        FaultKind::ServerOverload,
+        FaultKind::HostReboot,
+        FaultKind::DbQueryRegression,
+        FaultKind::DnsMisconfig,
+        FaultKind::FirewallPolicyError,
+        FaultKind::CustomerMisconfig,
+        FaultKind::IspRouteLeak,
+        FaultKind::NicFirmwarePanic,
+        FaultKind::TransientSpike,
+    ];
+
+    /// The ground-truth team responsible for resolving this fault.
+    ///
+    /// For [`FaultKind::TransientSpike`] there is no failure; by the paper's
+    /// labelling convention the team whose monitor fired owns (and closes)
+    /// the incident — we attribute it to the team of the symptomatic
+    /// subsystem, chosen at generation time, defaulting here to Compute.
+    pub fn owner(self) -> Team {
+        match self {
+            FaultKind::TorReboot
+            | FaultKind::TorFailure
+            | FaultKind::LinkCorruption
+            | FaultKind::SwitchPacketDrops
+            | FaultKind::AggFailure
+            | FaultKind::PfcStorm
+            | FaultKind::SwitchOverheat => Team::PhyNet,
+            FaultKind::StorageLatency | FaultKind::StorageOutage => Team::Storage,
+            FaultKind::SlbConfigError => Team::Slb,
+            FaultKind::HostAgentCrash | FaultKind::NicFirmwarePanic => Team::HostNet,
+            FaultKind::ServerOverload | FaultKind::HostReboot => Team::Compute,
+            FaultKind::DbQueryRegression => Team::Database,
+            FaultKind::DnsMisconfig => Team::Dns,
+            FaultKind::FirewallPolicyError => Team::Firewall,
+            FaultKind::CustomerMisconfig => Team::Customer,
+            FaultKind::IspRouteLeak => Team::Isp,
+            FaultKind::TransientSpike => Team::Compute,
+        }
+    }
+
+    /// Is this a PhyNet-owned root cause?
+    pub fn is_phynet(self) -> bool {
+        self.owner() == Team::PhyNet
+    }
+
+    /// Whether the fault was triggered by a planned upgrade rolling through
+    /// the fleet (52/200 incidents in §3.2).
+    pub fn upgrade_driven(self) -> bool {
+        matches!(
+            self,
+            FaultKind::TorReboot
+                | FaultKind::SlbConfigError
+                | FaultKind::DnsMisconfig
+                | FaultKind::NicFirmwarePanic
+        )
+    }
+
+    /// A short machine-readable slug used in incident text synthesis.
+    pub fn slug(self) -> &'static str {
+        match self {
+            FaultKind::TorReboot => "tor-reboot",
+            FaultKind::TorFailure => "tor-failure",
+            FaultKind::LinkCorruption => "link-corruption",
+            FaultKind::SwitchPacketDrops => "switch-drops",
+            FaultKind::AggFailure => "agg-failure",
+            FaultKind::PfcStorm => "pfc-storm",
+            FaultKind::SwitchOverheat => "switch-overheat",
+            FaultKind::StorageLatency => "storage-latency",
+            FaultKind::StorageOutage => "storage-outage",
+            FaultKind::SlbConfigError => "slb-config",
+            FaultKind::HostAgentCrash => "hostagent-crash",
+            FaultKind::ServerOverload => "server-overload",
+            FaultKind::HostReboot => "host-reboot",
+            FaultKind::DbQueryRegression => "db-regression",
+            FaultKind::DnsMisconfig => "dns-misconfig",
+            FaultKind::FirewallPolicyError => "firewall-policy",
+            FaultKind::NicFirmwarePanic => "nic-firmware-panic",
+            FaultKind::CustomerMisconfig => "customer-misconfig",
+            FaultKind::IspRouteLeak => "isp-routeleak",
+            FaultKind::TransientSpike => "transient-spike",
+        }
+    }
+
+    /// The kind of device this fault pins itself to, when device-scoped.
+    pub fn device_kind(self) -> Option<ComponentKind> {
+        match self {
+            FaultKind::TorReboot | FaultKind::TorFailure => Some(ComponentKind::TorSwitch),
+            FaultKind::LinkCorruption
+            | FaultKind::SwitchPacketDrops
+            | FaultKind::PfcStorm
+            | FaultKind::SwitchOverheat => Some(ComponentKind::TorSwitch),
+            FaultKind::AggFailure => Some(ComponentKind::AggSwitch),
+            FaultKind::HostAgentCrash
+            | FaultKind::ServerOverload
+            | FaultKind::HostReboot
+            | FaultKind::NicFirmwarePanic => Some(ComponentKind::Server),
+            FaultKind::SlbConfigError => Some(ComponentKind::Slb),
+            _ => None,
+        }
+    }
+}
+
+/// Severity of the resulting incident, mirroring cloud Sev levels.
+/// Sev0/1 are customer-impacting ("all teams are involved in resolving the
+/// highest severity incidents", §3.1); Sev3 is low.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Highest severity — every plausible team engages immediately.
+    Sev1,
+    /// Medium severity.
+    Sev2,
+    /// Low severity.
+    Sev3,
+}
+
+/// A concrete root cause instance on the fault timeline.
+#[derive(Debug, Clone)]
+pub struct Fault {
+    /// Stable identifier (index in the schedule).
+    pub id: u32,
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// Ground-truth owning team. Usually `kind.owner()`, except transients
+    /// whose owner is the team whose monitor fired.
+    pub owner: Team,
+    /// Component scope.
+    pub scope: FaultScope,
+    /// When the fault begins.
+    pub start: SimTime,
+    /// How long its effects last in telemetry.
+    pub duration: SimDuration,
+    /// Severity of the triggered incident(s).
+    pub severity: Severity,
+    /// Whether a fleet upgrade triggered it.
+    pub upgrade_related: bool,
+}
+
+impl Fault {
+    /// The time window during which telemetry is perturbed.
+    pub fn window(&self) -> (SimTime, SimTime) {
+        (self.start, self.start + self.duration)
+    }
+
+    /// Is `t` inside the fault's active window?
+    pub fn active_at(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.start + self.duration
+    }
+}
+
+/// Knobs for fault-schedule generation.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultScheduleConfig {
+    /// Average number of faults per simulated day, fleet-wide.
+    pub faults_per_day: f64,
+    /// Length of the generated schedule.
+    pub horizon: SimDuration,
+    /// Fraction of faults that are PhyNet-owned. The paper's PhyNet is the
+    /// most incident-heavy infrastructure team; ~0.35 reproduces Fig. 4's
+    /// "PhyNet responsible in ~65% of incidents it sees" once dependency
+    /// mis-routing is layered on.
+    pub phynet_share: f64,
+    /// Fraction of faults that are external (ISP/customer), §3.2: 28/200.
+    pub external_share: f64,
+    /// Fraction of faults that are transient spikes (no real failure).
+    pub transient_share: f64,
+    /// Concept drift (§1 "a constantly changing set of incidents"): when
+    /// enabled, PFC storms only start occurring after day 150 (new root
+    /// cause introduced by an RDMA rollout) and switch-overheat faults stop
+    /// after day 120 (root cause fixed). Drives the Fig. 8/10 adaptation
+    /// experiments.
+    pub drift: bool,
+}
+
+impl Default for FaultScheduleConfig {
+    fn default() -> Self {
+        FaultScheduleConfig {
+            faults_per_day: 12.0,
+            horizon: crate::clock::STUDY_WINDOW,
+            phynet_share: 0.35,
+            external_share: 0.14,
+            transient_share: 0.05,
+            drift: true,
+        }
+    }
+}
+
+/// Generates fault schedules over a [`Topology`].
+#[derive(Debug)]
+pub struct FaultCatalog<'a> {
+    topo: &'a Topology,
+}
+
+impl<'a> FaultCatalog<'a> {
+    /// Create a catalog bound to a fleet.
+    pub fn new(topo: &'a Topology) -> FaultCatalog<'a> {
+        FaultCatalog { topo }
+    }
+
+    /// Generate a fault schedule. `rng_next` must return uniform `f64` in
+    /// `[0, 1)`; passing the closure keeps this crate free of a direct RNG
+    /// dependency and makes schedules reproducible from any source.
+    pub fn generate(
+        &self,
+        config: &FaultScheduleConfig,
+        mut rng_next: impl FnMut() -> f64,
+    ) -> Vec<Fault> {
+        let days = config.horizon.as_days_f64();
+        let total = (days * config.faults_per_day).round() as usize;
+        let mut out = Vec::with_capacity(total);
+        let clusters: Vec<ComponentId> =
+            self.topo.of_kind(ComponentKind::Cluster).map(|c| c.id).collect();
+        assert!(!clusters.is_empty(), "topology must contain at least one cluster");
+
+        for i in 0..total {
+            let mut kind = self.pick_kind(config, &mut rng_next);
+            let cluster = clusters[(rng_next() * clusters.len() as f64) as usize % clusters.len()];
+            let start =
+                SimTime((rng_next() * config.horizon.as_minutes() as f64) as u64);
+            if config.drift {
+                // An RDMA rollout after day 150 makes PFC storms the
+                // dominant new PhyNet failure mode (and the config-reboot
+                // bug they replace is fixed); overheat faults stop after
+                // day 120 (hardware recall).
+                if kind == FaultKind::PfcStorm && start.days() < 150 {
+                    kind = FaultKind::TorReboot;
+                } else if kind == FaultKind::TorReboot && start.days() >= 150 {
+                    kind = FaultKind::PfcStorm;
+                } else if kind == FaultKind::SwitchOverheat && start.days() > 120 {
+                    kind = FaultKind::SwitchPacketDrops;
+                } else if matches!(
+                    kind,
+                    FaultKind::HostAgentCrash | FaultKind::ServerOverload
+                ) && start.days() >= 150
+                {
+                    // The NIC firmware regression ships fleet-wide.
+                    kind = FaultKind::NicFirmwarePanic;
+                }
+            }
+            let scope = self.make_scope(kind, cluster, &mut rng_next);
+            let duration = self.pick_duration(kind, &mut rng_next);
+            let severity = self.pick_severity(&mut rng_next);
+            let owner = match kind {
+                // Attribute a transient to the team whose watchdog fired.
+                FaultKind::TransientSpike => {
+                    let internal: Vec<Team> = [
+                        Team::Compute,
+                        Team::Storage,
+                        Team::Database,
+                        Team::HostNet,
+                        Team::PhyNet,
+                    ]
+                    .to_vec();
+                    internal[(rng_next() * internal.len() as f64) as usize % internal.len()]
+                }
+                k => k.owner(),
+            };
+            out.push(Fault {
+                id: i as u32,
+                kind,
+                owner,
+                scope,
+                start,
+                duration,
+                severity,
+                upgrade_related: kind.upgrade_driven() && rng_next() < 0.8,
+            });
+        }
+        out.sort_by_key(|f| f.start);
+        for (i, f) in out.iter_mut().enumerate() {
+            f.id = i as u32;
+        }
+        out
+    }
+
+    fn pick_kind(
+        &self,
+        config: &FaultScheduleConfig,
+        rng_next: &mut impl FnMut() -> f64,
+    ) -> FaultKind {
+        let r = rng_next();
+        if r < config.transient_share {
+            return FaultKind::TransientSpike;
+        }
+        if r < config.transient_share + config.external_share {
+            return if rng_next() < 0.6 {
+                FaultKind::CustomerMisconfig
+            } else {
+                FaultKind::IspRouteLeak
+            };
+        }
+        if r < config.transient_share + config.external_share + config.phynet_share {
+            const PHYNET: [(FaultKind, f64); 7] = [
+                (FaultKind::TorReboot, 0.25),
+                (FaultKind::TorFailure, 0.15),
+                (FaultKind::LinkCorruption, 0.15),
+                (FaultKind::SwitchPacketDrops, 0.18),
+                (FaultKind::AggFailure, 0.07),
+                (FaultKind::PfcStorm, 0.10),
+                (FaultKind::SwitchOverheat, 0.10),
+            ];
+            return weighted(&PHYNET, rng_next());
+        }
+        const OTHERS: [(FaultKind, f64); 9] = [
+            (FaultKind::StorageLatency, 0.17),
+            (FaultKind::StorageOutage, 0.06),
+            (FaultKind::SlbConfigError, 0.15),
+            (FaultKind::HostAgentCrash, 0.13),
+            (FaultKind::ServerOverload, 0.16),
+            (FaultKind::HostReboot, 0.12),
+            (FaultKind::DbQueryRegression, 0.11),
+            (FaultKind::DnsMisconfig, 0.05),
+            (FaultKind::FirewallPolicyError, 0.05),
+        ];
+        weighted(&OTHERS, rng_next())
+    }
+
+    fn make_scope(
+        &self,
+        kind: FaultKind,
+        cluster: ComponentId,
+        rng_next: &mut impl FnMut() -> f64,
+    ) -> FaultScope {
+        match kind {
+            FaultKind::CustomerMisconfig | FaultKind::IspRouteLeak => {
+                FaultScope::External { symptomatic_cluster: cluster }
+            }
+            FaultKind::StorageLatency
+            | FaultKind::StorageOutage
+            | FaultKind::DbQueryRegression
+            | FaultKind::DnsMisconfig
+            | FaultKind::FirewallPolicyError
+            | FaultKind::TransientSpike => FaultScope::Cluster(cluster),
+            k => {
+                let device_kind = k.device_kind().expect("device-scoped kind");
+                let candidates = self.topo.descendants_of_kind(cluster, device_kind);
+                if candidates.is_empty() {
+                    return FaultScope::Cluster(cluster);
+                }
+                // Most faults pin one device; some implicate 2-3.
+                let n = if rng_next() < 0.8 { 1 } else { 2 + (rng_next() * 2.0) as usize };
+                let mut devices = Vec::new();
+                for _ in 0..n.min(candidates.len()) {
+                    let d = candidates
+                        [(rng_next() * candidates.len() as f64) as usize % candidates.len()];
+                    if !devices.contains(&d) {
+                        devices.push(d);
+                    }
+                }
+                FaultScope::Devices { devices, cluster }
+            }
+        }
+    }
+
+    fn pick_duration(
+        &self,
+        kind: FaultKind,
+        rng_next: &mut impl FnMut() -> f64,
+    ) -> SimDuration {
+        // Log-uniform between kind-specific bounds.
+        let (lo, hi) = match kind {
+            FaultKind::TransientSpike => (10.0, 40.0),
+            FaultKind::TorReboot | FaultKind::HostReboot => (20.0, 120.0),
+            FaultKind::CustomerMisconfig | FaultKind::IspRouteLeak => (120.0, 2880.0),
+            _ => (60.0, 1440.0),
+        };
+        let (lo, hi): (f64, f64) = (lo, hi);
+        let x = lo * (hi / lo).powf(rng_next());
+        SimDuration::minutes(x as u64)
+    }
+
+    fn pick_severity(&self, rng_next: &mut impl FnMut() -> f64) -> Severity {
+        let r = rng_next();
+        if r < 0.06 {
+            Severity::Sev1
+        } else if r < 0.40 {
+            Severity::Sev2
+        } else {
+            Severity::Sev3
+        }
+    }
+}
+
+fn weighted<T: Copy>(table: &[(T, f64)], r: f64) -> T {
+    let total: f64 = table.iter().map(|&(_, w)| w).sum();
+    let mut acc = 0.0;
+    for &(v, w) in table {
+        acc += w / total;
+        if r < acc {
+            return v;
+        }
+    }
+    table.last().unwrap().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    /// Deterministic pseudo-RNG good enough for tests (xorshift → [0,1)).
+    fn test_rng(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed.max(1);
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn schedule() -> Vec<Fault> {
+        let topo = Topology::build(TopologyConfig::default());
+        let cat = FaultCatalog::new(&topo);
+        cat.generate(&FaultScheduleConfig::default(), test_rng(42))
+    }
+
+    #[test]
+    fn schedule_size_matches_rate() {
+        let faults = schedule();
+        let expected = (270.0 * 12.0) as usize;
+        assert_eq!(faults.len(), expected);
+    }
+
+    #[test]
+    fn schedule_is_sorted_with_stable_ids() {
+        let faults = schedule();
+        for w in faults.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        for (i, f) in faults.iter().enumerate() {
+            assert_eq!(f.id, i as u32);
+        }
+    }
+
+    #[test]
+    fn kind_mix_respects_shares() {
+        let faults = schedule();
+        let n = faults.len() as f64;
+        let cfg = FaultScheduleConfig::default();
+        let phynet = faults.iter().filter(|f| f.kind.is_phynet()).count() as f64 / n;
+        let external =
+            faults.iter().filter(|f| f.kind.owner().is_external()).count() as f64 / n;
+        let transient =
+            faults.iter().filter(|f| f.kind == FaultKind::TransientSpike).count() as f64 / n;
+        assert!((phynet - cfg.phynet_share).abs() < 0.05, "phynet share {phynet}");
+        assert!((external - cfg.external_share).abs() < 0.04, "external share {external}");
+        assert!(
+            (transient - cfg.transient_share).abs() < 0.03,
+            "transient share {transient}"
+        );
+    }
+
+    #[test]
+    fn scopes_are_consistent_with_kind() {
+        let topo = Topology::build(TopologyConfig::default());
+        let cat = FaultCatalog::new(&topo);
+        let faults = cat.generate(&FaultScheduleConfig::default(), test_rng(7));
+        for f in &faults {
+            match f.kind {
+                FaultKind::CustomerMisconfig | FaultKind::IspRouteLeak => {
+                    assert!(matches!(f.scope, FaultScope::External { .. }));
+                }
+                FaultKind::TorReboot | FaultKind::TorFailure => {
+                    if let FaultScope::Devices { ref devices, .. } = f.scope {
+                        for &d in devices {
+                            assert_eq!(topo.component(d).kind, ComponentKind::TorSwitch);
+                        }
+                        assert!(!devices.is_empty());
+                    } else {
+                        panic!("ToR fault must be device-scoped");
+                    }
+                }
+                _ => {}
+            }
+            // Scope cluster must actually be a cluster.
+            assert_eq!(topo.component(f.scope.cluster()).kind, ComponentKind::Cluster);
+        }
+    }
+
+    #[test]
+    fn owners_match_kind_except_transients() {
+        let faults = schedule();
+        for f in &faults {
+            if f.kind != FaultKind::TransientSpike {
+                assert_eq!(f.owner, f.kind.owner());
+            } else {
+                assert!(!f.owner.is_external());
+            }
+        }
+    }
+
+    #[test]
+    fn windows_and_activity() {
+        let f = Fault {
+            id: 0,
+            kind: FaultKind::TorReboot,
+            owner: Team::PhyNet,
+            scope: FaultScope::Cluster(ComponentId(0)),
+            start: SimTime(100),
+            duration: SimDuration(50),
+            severity: Severity::Sev2,
+            upgrade_related: true,
+        };
+        assert!(f.active_at(SimTime(100)));
+        assert!(f.active_at(SimTime(149)));
+        assert!(!f.active_at(SimTime(150)));
+        assert!(!f.active_at(SimTime(99)));
+        assert_eq!(f.window(), (SimTime(100), SimTime(150)));
+    }
+
+    #[test]
+    fn severities_cover_all_levels() {
+        let faults = schedule();
+        assert!(faults.iter().any(|f| f.severity == Severity::Sev1));
+        assert!(faults.iter().any(|f| f.severity == Severity::Sev2));
+        assert!(faults.iter().any(|f| f.severity == Severity::Sev3));
+        let sev1 = faults.iter().filter(|f| f.severity == Severity::Sev1).count();
+        assert!(sev1 < faults.len() / 8, "Sev1 must be rare");
+    }
+}

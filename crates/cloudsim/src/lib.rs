@@ -1,0 +1,31 @@
+//! `cloudsim` — the datacenter substrate underneath the Scout reproduction.
+//!
+//! The Scouts paper (SIGCOMM 2020) evaluates on nine months of production
+//! incidents from a large cloud. That data is proprietary, so this crate
+//! builds the world those incidents come from:
+//!
+//! * [`topology`] — a hierarchical datacenter fleet (DCs → clusters → racks →
+//!   servers → VMs, plus ToR/Agg/Core switches and inter-switch links), with
+//!   machine-generated component names exactly like the ones the paper's
+//!   config DSL extracts (`vm-3.c10.dc3`, `c4.dc1`, …).
+//! * [`team`] — the engineering teams that own components (PhyNet, Storage,
+//!   SLB, Host networking, Compute, …) and the dependency graph between them
+//!   that drives humans' routing guesses in the baseline.
+//! * [`fault`] — a catalog of root causes. Every fault knows its ground-truth
+//!   owning team, the components it implicates, and the telemetry signature
+//!   it induces (consumed by the `monitoring` crate).
+//! * [`clock`] — simulation time in minutes, spanning the paper's nine-month
+//!   study window.
+//!
+//! Ground truth lives *only* here. Scouts never see it: they observe incident
+//! text and monitoring data, exactly the paper's information boundary.
+
+pub mod clock;
+pub mod fault;
+pub mod team;
+pub mod topology;
+
+pub use clock::{SimDuration, SimTime};
+pub use fault::{Fault, FaultCatalog, FaultKind, FaultScheduleConfig, FaultScope, Severity};
+pub use team::{Team, TeamId, TeamRegistry};
+pub use topology::{Component, ComponentId, ComponentKind, Topology, TopologyConfig};

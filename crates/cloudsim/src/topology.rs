@@ -1,0 +1,464 @@
+//! Datacenter fleet topology.
+//!
+//! A classic folded-Clos hierarchy, scaled down but structurally faithful:
+//!
+//! ```text
+//! DC ─┬─ core switches
+//!     └─ cluster ─┬─ agg switches
+//!                 └─ rack ─┬─ ToR switch
+//!                          └─ server ── VMs
+//! ```
+//!
+//! Component names follow the machine-generated convention the paper's
+//! config DSL extracts with regexes (§5.1): `dc3`, `c10.dc3`, `tor-2.c10.dc3`,
+//! `srv-17.c10.dc3`, `vm-4.c10.dc3`, `agg-1.c10.dc3`, `core-0.dc3`,
+//! `slb-1.c10.dc3` (software load balancer instances).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a component in the [`Topology`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub u32);
+
+/// The kind of a datacenter component.
+///
+/// These are the "component types" of the paper's feature construction: each
+/// kind present in a Scout's config contributes one fixed block of features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComponentKind {
+    /// A datacenter, e.g. `dc3`.
+    Dc,
+    /// A cluster within a DC, e.g. `c10.dc3`.
+    Cluster,
+    /// A top-of-rack switch, e.g. `tor-2.c10.dc3`.
+    TorSwitch,
+    /// An aggregation switch, e.g. `agg-1.c10.dc3`.
+    AggSwitch,
+    /// A core/spine switch, e.g. `core-0.dc3`.
+    CoreSwitch,
+    /// A physical server, e.g. `srv-17.c10.dc3`.
+    Server,
+    /// A virtual machine, e.g. `vm-4.c10.dc3`.
+    Vm,
+    /// A software load-balancer instance, e.g. `slb-1.c10.dc3`.
+    Slb,
+}
+
+impl ComponentKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [ComponentKind; 8] = [
+        ComponentKind::Dc,
+        ComponentKind::Cluster,
+        ComponentKind::TorSwitch,
+        ComponentKind::AggSwitch,
+        ComponentKind::CoreSwitch,
+        ComponentKind::Server,
+        ComponentKind::Vm,
+        ComponentKind::Slb,
+    ];
+
+    /// Is this kind a switch (any tier)?
+    pub fn is_switch(self) -> bool {
+        matches!(
+            self,
+            ComponentKind::TorSwitch | ComponentKind::AggSwitch | ComponentKind::CoreSwitch
+        )
+    }
+
+    /// Short label used in names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ComponentKind::Dc => "dc",
+            ComponentKind::Cluster => "cluster",
+            ComponentKind::TorSwitch => "tor",
+            ComponentKind::AggSwitch => "agg",
+            ComponentKind::CoreSwitch => "core",
+            ComponentKind::Server => "server",
+            ComponentKind::Vm => "vm",
+            ComponentKind::Slb => "slb",
+        }
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One component in the fleet.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Arena index.
+    pub id: ComponentId,
+    /// Kind of the component.
+    pub kind: ComponentKind,
+    /// Machine-generated name, e.g. `srv-17.c10.dc3`.
+    pub name: String,
+    /// Containing component (None for DCs).
+    pub parent: Option<ComponentId>,
+    /// The cluster this component belongs to, if any (DC/core have none).
+    pub cluster: Option<ComponentId>,
+    /// The DC this component belongs to.
+    pub dc: ComponentId,
+}
+
+/// Size knobs for [`Topology::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct TopologyConfig {
+    /// Number of datacenters.
+    pub dcs: usize,
+    /// Clusters per DC.
+    pub clusters_per_dc: usize,
+    /// Racks per cluster (one ToR each).
+    pub racks_per_cluster: usize,
+    /// Servers per rack.
+    pub servers_per_rack: usize,
+    /// VMs per server.
+    pub vms_per_server: usize,
+    /// Aggregation switches per cluster.
+    pub aggs_per_cluster: usize,
+    /// Core switches per DC.
+    pub cores_per_dc: usize,
+    /// SLB instances per cluster.
+    pub slbs_per_cluster: usize,
+}
+
+impl Default for TopologyConfig {
+    /// A fleet that keeps per-incident featurization cheap (few devices per
+    /// cluster) while spreading faults across enough clusters that
+    /// concurrent same-cluster incidents stay rare, as they are at cloud
+    /// scale: 6 DCs × 10 clusters × 6 racks × 4 servers × 2 VMs.
+    fn default() -> Self {
+        TopologyConfig {
+            dcs: 6,
+            clusters_per_dc: 10,
+            racks_per_cluster: 6,
+            servers_per_rack: 4,
+            vms_per_server: 2,
+            aggs_per_cluster: 2,
+            cores_per_dc: 2,
+            slbs_per_cluster: 2,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// A larger fleet for benchmark runs.
+    pub fn large() -> Self {
+        TopologyConfig {
+            dcs: 4,
+            clusters_per_dc: 8,
+            racks_per_cluster: 12,
+            servers_per_rack: 8,
+            vms_per_server: 4,
+            aggs_per_cluster: 4,
+            cores_per_dc: 4,
+            slbs_per_cluster: 4,
+        }
+    }
+}
+
+/// The immutable fleet: a component arena plus name and containment indices.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    components: Vec<Component>,
+    by_name: HashMap<String, ComponentId>,
+    children: Vec<Vec<ComponentId>>,
+    config: TopologyConfig,
+}
+
+impl Topology {
+    /// Build a fleet per `config`.
+    pub fn build(config: TopologyConfig) -> Topology {
+        let mut t = Topology {
+            components: Vec::new(),
+            by_name: HashMap::new(),
+            children: Vec::new(),
+            config,
+        };
+        for d in 0..config.dcs {
+            let dc_name = format!("dc{d}");
+            let dc = t.push(ComponentKind::Dc, dc_name.clone(), None, None, None);
+            for k in 0..config.cores_per_dc {
+                t.push(
+                    ComponentKind::CoreSwitch,
+                    format!("core-{k}.{dc_name}"),
+                    Some(dc),
+                    None,
+                    Some(dc),
+                );
+            }
+            for c in 0..config.clusters_per_dc {
+                let cl_name = format!("c{c}.{dc_name}");
+                let cl = t.push(ComponentKind::Cluster, cl_name.clone(), Some(dc), None, Some(dc));
+                for a in 0..config.aggs_per_cluster {
+                    t.push(
+                        ComponentKind::AggSwitch,
+                        format!("agg-{a}.{cl_name}"),
+                        Some(cl),
+                        Some(cl),
+                        Some(dc),
+                    );
+                }
+                for s in 0..config.slbs_per_cluster {
+                    t.push(
+                        ComponentKind::Slb,
+                        format!("slb-{s}.{cl_name}"),
+                        Some(cl),
+                        Some(cl),
+                        Some(dc),
+                    );
+                }
+                for r in 0..config.racks_per_cluster {
+                    let tor = t.push(
+                        ComponentKind::TorSwitch,
+                        format!("tor-{r}.{cl_name}"),
+                        Some(cl),
+                        Some(cl),
+                        Some(dc),
+                    );
+                    for s in 0..config.servers_per_rack {
+                        let srv_idx = r * config.servers_per_rack + s;
+                        let srv = t.push(
+                            ComponentKind::Server,
+                            format!("srv-{srv_idx}.{cl_name}"),
+                            Some(tor),
+                            Some(cl),
+                            Some(dc),
+                        );
+                        for v in 0..config.vms_per_server {
+                            let vm_idx = srv_idx * config.vms_per_server + v;
+                            t.push(
+                                ComponentKind::Vm,
+                                format!("vm-{vm_idx}.{cl_name}"),
+                                Some(srv),
+                                Some(cl),
+                                Some(dc),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    fn push(
+        &mut self,
+        kind: ComponentKind,
+        name: String,
+        parent: Option<ComponentId>,
+        cluster: Option<ComponentId>,
+        dc: Option<ComponentId>,
+    ) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        let dc = dc.unwrap_or(id); // DCs are their own dc
+        self.components.push(Component { id, kind, name: name.clone(), parent, cluster, dc });
+        self.children.push(Vec::new());
+        if let Some(p) = parent {
+            self.children[p.0 as usize].push(id);
+        }
+        let prev = self.by_name.insert(name, id);
+        debug_assert!(prev.is_none(), "duplicate component name");
+        id
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &TopologyConfig {
+        &self.config
+    }
+
+    /// Total number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the fleet has no components (never after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Look up a component by arena id.
+    pub fn component(&self, id: ComponentId) -> &Component {
+        &self.components[id.0 as usize]
+    }
+
+    /// Look up a component by its machine-generated name.
+    pub fn by_name(&self, name: &str) -> Option<&Component> {
+        self.by_name.get(name).map(|&id| self.component(id))
+    }
+
+    /// All components, in arena order.
+    pub fn components(&self) -> impl Iterator<Item = &Component> {
+        self.components.iter()
+    }
+
+    /// All components of `kind`.
+    pub fn of_kind(&self, kind: ComponentKind) -> impl Iterator<Item = &Component> {
+        self.components.iter().filter(move |c| c.kind == kind)
+    }
+
+    /// Direct children of `id` in the containment tree.
+    pub fn children(&self, id: ComponentId) -> &[ComponentId] {
+        &self.children[id.0 as usize]
+    }
+
+    /// All descendants of `id` (excluding `id` itself), depth-first.
+    pub fn descendants(&self, id: ComponentId) -> Vec<ComponentId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<ComponentId> = self.children(id).to_vec();
+        while let Some(c) = stack.pop() {
+            out.push(c);
+            stack.extend_from_slice(self.children(c));
+        }
+        out
+    }
+
+    /// Descendants of `id` having `kind` (e.g. all ToRs in a cluster).
+    pub fn descendants_of_kind(&self, id: ComponentId, kind: ComponentKind) -> Vec<ComponentId> {
+        self.descendants(id)
+            .into_iter()
+            .filter(|&c| self.component(c).kind == kind)
+            .collect()
+    }
+
+    /// Walk up the containment tree from `id` (exclusive) to the DC root.
+    pub fn ancestors(&self, id: ComponentId) -> Vec<ComponentId> {
+        let mut out = Vec::new();
+        let mut cur = self.component(id).parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.component(p).parent;
+        }
+        out
+    }
+
+    /// The infrastructure a leaf component depends on: its ancestor chain
+    /// plus the network devices on its path (ToR → Agg → Core). This is the
+    /// "local dependency" set a Scout may consult (§5.1).
+    pub fn dependencies(&self, id: ComponentId) -> Vec<ComponentId> {
+        let mut out = self.ancestors(id);
+        let comp = self.component(id);
+        if let Some(cl) = comp.cluster {
+            out.extend(self.descendants_of_kind(cl, ComponentKind::AggSwitch));
+        }
+        out.extend(self.descendants_of_kind(comp.dc, ComponentKind::CoreSwitch));
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&c| c != id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_counts_match_config() {
+        let cfg = TopologyConfig::default();
+        let t = Topology::build(cfg);
+        let n = |k| t.of_kind(k).count();
+        assert_eq!(n(ComponentKind::Dc), cfg.dcs);
+        assert_eq!(n(ComponentKind::Cluster), cfg.dcs * cfg.clusters_per_dc);
+        assert_eq!(n(ComponentKind::TorSwitch), cfg.dcs * cfg.clusters_per_dc * cfg.racks_per_cluster);
+        assert_eq!(
+            n(ComponentKind::Server),
+            cfg.dcs * cfg.clusters_per_dc * cfg.racks_per_cluster * cfg.servers_per_rack
+        );
+        assert_eq!(
+            n(ComponentKind::Vm),
+            cfg.dcs
+                * cfg.clusters_per_dc
+                * cfg.racks_per_cluster
+                * cfg.servers_per_rack
+                * cfg.vms_per_server
+        );
+        assert_eq!(n(ComponentKind::CoreSwitch), cfg.dcs * cfg.cores_per_dc);
+        assert_eq!(n(ComponentKind::AggSwitch), cfg.dcs * cfg.clusters_per_dc * cfg.aggs_per_cluster);
+        assert_eq!(n(ComponentKind::Slb), cfg.dcs * cfg.clusters_per_dc * cfg.slbs_per_cluster);
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let t = Topology::build(TopologyConfig::default());
+        for c in t.components() {
+            assert_eq!(t.by_name(&c.name).unwrap().id, c.id, "name {} resolves", c.name);
+        }
+    }
+
+    #[test]
+    fn naming_convention() {
+        let t = Topology::build(TopologyConfig::default());
+        assert!(t.by_name("dc0").is_some());
+        assert!(t.by_name("c2.dc1").is_some());
+        assert!(t.by_name("tor-0.c0.dc0").is_some());
+        assert!(t.by_name("srv-0.c0.dc0").is_some());
+        assert!(t.by_name("vm-0.c0.dc0").is_some());
+        assert!(t.by_name("agg-1.c3.dc1").is_some());
+        assert!(t.by_name("core-0.dc1").is_some());
+        assert!(t.by_name("slb-0.c1.dc0").is_some());
+        assert!(t.by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn containment_is_consistent() {
+        let t = Topology::build(TopologyConfig::default());
+        let vm = t.by_name("vm-3.c1.dc0").unwrap();
+        let srv = t.component(vm.parent.unwrap());
+        assert_eq!(srv.kind, ComponentKind::Server);
+        let tor = t.component(srv.parent.unwrap());
+        assert_eq!(tor.kind, ComponentKind::TorSwitch);
+        let cl = t.component(tor.parent.unwrap());
+        assert_eq!(cl.kind, ComponentKind::Cluster);
+        assert_eq!(cl.name, "c1.dc0");
+        assert_eq!(vm.cluster, Some(cl.id));
+        assert_eq!(t.component(vm.dc).name, "dc0");
+    }
+
+    #[test]
+    fn ancestors_and_descendants_are_inverse() {
+        let t = Topology::build(TopologyConfig::default());
+        let cl = t.by_name("c0.dc0").unwrap().id;
+        for d in t.descendants(cl) {
+            assert!(t.ancestors(d).contains(&cl));
+        }
+    }
+
+    #[test]
+    fn descendants_of_kind_filters() {
+        let cfg = TopologyConfig::default();
+        let t = Topology::build(cfg);
+        let cl = t.by_name("c0.dc0").unwrap().id;
+        let tors = t.descendants_of_kind(cl, ComponentKind::TorSwitch);
+        assert_eq!(tors.len(), cfg.racks_per_cluster);
+        let servers = t.descendants_of_kind(cl, ComponentKind::Server);
+        assert_eq!(servers.len(), cfg.racks_per_cluster * cfg.servers_per_rack);
+    }
+
+    #[test]
+    fn vm_dependencies_cover_network_path() {
+        let t = Topology::build(TopologyConfig::default());
+        let vm = t.by_name("vm-0.c0.dc0").unwrap().id;
+        let deps = t.dependencies(vm);
+        let kinds: Vec<ComponentKind> =
+            deps.iter().map(|&d| t.component(d).kind).collect();
+        assert!(kinds.contains(&ComponentKind::Server));
+        assert!(kinds.contains(&ComponentKind::TorSwitch));
+        assert!(kinds.contains(&ComponentKind::AggSwitch));
+        assert!(kinds.contains(&ComponentKind::CoreSwitch));
+        assert!(kinds.contains(&ComponentKind::Cluster));
+        assert!(kinds.contains(&ComponentKind::Dc));
+        assert!(!deps.contains(&vm), "dependencies exclude the component itself");
+    }
+
+    #[test]
+    fn kind_helpers() {
+        assert!(ComponentKind::TorSwitch.is_switch());
+        assert!(!ComponentKind::Server.is_switch());
+        assert_eq!(ComponentKind::Vm.to_string(), "vm");
+        assert_eq!(ComponentKind::ALL.len(), 8);
+    }
+}

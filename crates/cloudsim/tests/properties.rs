@@ -1,0 +1,88 @@
+//! Property-based tests for the datacenter substrate.
+
+use cloudsim::{ComponentKind, FaultCatalog, FaultScheduleConfig, Team, Topology, TopologyConfig};
+use proptest::prelude::*;
+
+fn any_config() -> impl Strategy<Value = TopologyConfig> {
+    (1usize..3, 1usize..4, 1usize..4, 1usize..4, 1usize..3, 1usize..3, 1usize..3, 1usize..3)
+        .prop_map(|(dcs, cl, racks, srv, vms, aggs, cores, slbs)| TopologyConfig {
+            dcs,
+            clusters_per_dc: cl,
+            racks_per_cluster: racks,
+            servers_per_rack: srv,
+            vms_per_server: vms,
+            aggs_per_cluster: aggs,
+            cores_per_dc: cores,
+            slbs_per_cluster: slbs,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any fleet shape: names unique and resolvable, containment
+    /// consistent, children/ancestors inverse.
+    #[test]
+    fn topology_invariants(config in any_config()) {
+        let t = Topology::build(config);
+        prop_assert!(!t.is_empty());
+        for c in t.components() {
+            // Names resolve back to the same component.
+            prop_assert_eq!(t.by_name(&c.name).unwrap().id, c.id);
+            // Parent links are consistent with the children index.
+            if let Some(p) = c.parent {
+                prop_assert!(t.children(p).contains(&c.id));
+            } else {
+                prop_assert_eq!(c.kind, ComponentKind::Dc);
+            }
+            // Every component's dc is really a DC.
+            prop_assert_eq!(t.component(c.dc).kind, ComponentKind::Dc);
+            // cluster field is really a cluster.
+            if let Some(cl) = c.cluster {
+                prop_assert_eq!(t.component(cl).kind, ComponentKind::Cluster);
+            }
+        }
+        // Descendant counts from each DC sum to everything but the DCs.
+        let total: usize = t
+            .of_kind(ComponentKind::Dc)
+            .map(|d| t.descendants(d.id).len())
+            .sum();
+        prop_assert_eq!(total + config.dcs, t.len());
+    }
+
+    /// Fault schedules respect the topology for any shape and rate.
+    #[test]
+    fn fault_schedules_are_consistent(
+        config in any_config(),
+        rate in 0.5f64..6.0,
+        seed in 1u64..1_000_000,
+    ) {
+        let t = Topology::build(config);
+        let cat = FaultCatalog::new(&t);
+        let mut s = seed;
+        let faults = cat.generate(
+            &FaultScheduleConfig { faults_per_day: rate, ..Default::default() },
+            move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            },
+        );
+        for f in &faults {
+            prop_assert_eq!(t.component(f.scope.cluster()).kind, ComponentKind::Cluster);
+            for &d in f.scope.devices() {
+                // Every named device lives in the scope's cluster.
+                prop_assert_eq!(t.component(d).cluster, Some(f.scope.cluster()));
+            }
+            prop_assert!(f.duration.as_minutes() > 0);
+            if !f.owner.is_external() {
+                prop_assert!(Team::ALL.contains(&f.owner));
+            }
+        }
+        // Sorted by start time.
+        for w in faults.windows(2) {
+            prop_assert!(w[0].start <= w[1].start);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Ablation (DESIGN.md §5): the look-back window T. The paper uses T = 2h
+//! (§7) — too short misses slow-burn evidence, too long dilutes the
+//! change with healthy history.
+
+use cloudsim::SimDuration;
+use experiments::{banner, paper_split, Lab};
+use scout::{Scout, ScoutBuildConfig, ScoutConfig};
+
+fn main() {
+    banner("ablation_lookback", "look-back window T sweep");
+    let lab = Lab::standard();
+    let mon = lab.monitoring();
+    println!("{:<12} {:>10} {:>8} {:>6}", "T", "precision", "recall", "F1");
+    for minutes in [30u64, 60, 120, 240, 480] {
+        let build = ScoutBuildConfig {
+            lookback: SimDuration::minutes(minutes),
+            ..Default::default()
+        };
+        let corpus = lab.prepare(&build, &mon);
+        let (train, test) = paper_split(&corpus, lab.seed);
+        let scout =
+            Scout::train_prepared(ScoutConfig::phynet(), build, &corpus, &train, &mon);
+        let m = scout.evaluate(&corpus, &test, &mon).metrics();
+        println!(
+            "{:<12} {:>9.1}% {:>7.1}% {:>6.2}",
+            format!("{minutes} min"),
+            m.precision * 100.0,
+            m.recall * 100.0,
+            m.f1
+        );
+    }
+}

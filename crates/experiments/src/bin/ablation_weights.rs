@@ -1,0 +1,41 @@
+//! Ablation (DESIGN.md §5): the §8 training-weight tricks — age-based
+//! down-weighting of old incidents and up-weighting of past mistakes —
+//! evaluated on the drifting workload with 30-day retraining.
+
+use cloudsim::SimDuration;
+use experiments::{banner, default_build, Lab};
+use scout::{RetrainConfig, RetrainSchedule, ScoutConfig, WindowPolicy};
+
+fn main() {
+    banner("ablation_weights", "age decay and mistake boosting (§8)");
+    let lab = Lab::standard();
+    let mon = lab.monitoring();
+    let build = default_build();
+    let corpus = lab.prepare(&build, &mon);
+    let rows: [(&str, Option<SimDuration>, f64); 4] = [
+        ("uniform weights", None, 1.0),
+        ("age half-life 60d", Some(SimDuration::days(60)), 1.0),
+        ("mistake boost 3x", None, 3.0),
+        ("both", Some(SimDuration::days(60)), 3.0),
+    ];
+    println!("{:<22} {:>9} {:>8}", "weighting", "mean F1", "min F1");
+    for (name, half_life, boost) in rows {
+        let schedule = RetrainSchedule::new(RetrainConfig {
+            interval: SimDuration::days(30),
+            window: WindowPolicy::Growing,
+            age_half_life: half_life,
+            mistake_boost: boost,
+            ..Default::default()
+        });
+        let results = schedule.run(&ScoutConfig::phynet(), &build, &corpus, &mon);
+        let mean =
+            results.iter().map(|r| r.f1()).sum::<f64>() / results.len().max(1) as f64;
+        let min = results.iter().map(|r| r.f1()).fold(1.0f64, f64::min);
+        println!("{name:<22} {mean:>9.3} {min:>8.3}");
+    }
+    println!();
+    println!(
+        "paper: both tricks are deployed (§8); on a drifting workload they \
+         should help the post-drift periods most."
+    );
+}

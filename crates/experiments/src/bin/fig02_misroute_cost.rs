@@ -1,0 +1,16 @@
+//! Figure 2 — time to diagnosis of incidents investigated by a single
+//! team vs several teams (normalized); the paper reports a ~10× median gap.
+
+use experiments::{banner, print_cdf, Lab};
+use incident::study::{quantile, StudyReport};
+
+fn main() {
+    banner("fig02", "time-to-diagnosis: single vs multiple investigating teams");
+    let lab = Lab::standard();
+    let r = StudyReport::compute(&lab.workload);
+    print_cdf("single team (normalized time)", &r.fig2_single);
+    print_cdf("multiple teams (normalized time)", &r.fig2_multi);
+    let ratio = quantile(&r.fig2_multi, 0.5) / quantile(&r.fig2_single, 0.5).max(1e-12);
+    println!();
+    println!("median slowdown of mis-routed incidents: {ratio:.1}x (paper: ~10x)");
+}

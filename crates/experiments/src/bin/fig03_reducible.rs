@@ -1,0 +1,18 @@
+//! Figure 3 — the fraction of investigation time mis-routed PhyNet
+//! incidents spend in other teams: the share perfect routing would remove.
+
+use experiments::{banner, print_cdf, Lab};
+use incident::study::{quantile, StudyReport};
+
+fn main() {
+    banner("fig03", "reducible investigation time of mis-routed PhyNet incidents (%)");
+    let lab = Lab::standard();
+    let r = StudyReport::compute(&lab.workload);
+    print_cdf("time in other teams (%)", &r.fig3_reducible_pct);
+    println!();
+    println!(
+        "for 20% of mis-routed incidents, at least {:.0}% of the time is \
+         reducible (paper: >50% for the top 20%)",
+        quantile(&r.fig3_reducible_pct, 0.8)
+    );
+}

@@ -1,0 +1,18 @@
+//! Figure 4 — per-day fraction of PhyNet-engaged incidents that were
+//! caused elsewhere (PhyNet as an innocent waypoint).
+
+use experiments::{banner, print_cdf, Lab};
+use incident::study::{quantile, StudyReport};
+
+fn main() {
+    banner("fig04", "PhyNet engaged but not responsible, per day (%)");
+    let lab = Lab::standard();
+    let r = StudyReport::compute(&lab.workload);
+    print_cdf("innocent-waypoint fraction (%)", &r.fig4_waypoint_per_day);
+    println!();
+    println!(
+        "median day: {:.0}% of PhyNet engagements were someone else's fault \
+         (paper: 35%)",
+        quantile(&r.fig4_waypoint_per_day, 0.5)
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 6 — the baseline distribution of overhead-in to PhyNet: what
+//! fraction of their investigation time mis-routed incidents spend inside
+//! PhyNet before moving on.
+
+use cloudsim::Team;
+use experiments::{banner, print_cdf, Lab};
+use scoutmaster::GainAccountant;
+
+fn main() {
+    banner("fig06", "overhead of baseline mis-routings into PhyNet");
+    let lab = Lab::standard();
+    let acc = GainAccountant::new(Team::PhyNet, lab.workload.iter());
+    print_cdf(
+        "fraction of investigation time spent in PhyNet",
+        acc.overhead_distribution(),
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 7 — the Scout's gain and overhead on mis-routed incidents:
+//! (a) gain-in vs best possible, with overhead-in; (b) gain-out vs best
+//! possible, with error-out.
+
+use cloudsim::Team;
+use experiments::{banner, print_cdf, Lab, ScoutLab};
+use scoutmaster::GainAccountant;
+
+fn main() {
+    banner("fig07", "Scout gain/overhead on mis-routed incidents");
+    let lab = Lab::standard();
+    let sl = ScoutLab::build(&lab);
+    let answers = sl.test_answers();
+
+    let mut acc = GainAccountant::new(Team::PhyNet, lab.workload.iter());
+    // Restrict to mis-routed test incidents (the paper's Fig. 7 population).
+    let mut pairs = Vec::new();
+    let mut ans = Vec::new();
+    for (k, &i) in sl.test.iter().enumerate() {
+        let inc = &lab.workload.incidents[i];
+        let tr = &lab.workload.traces[i];
+        if tr.misrouted() {
+            pairs.push((inc, tr));
+            ans.push(answers[k]);
+        }
+    }
+    let r = acc.report(pairs.into_iter(), ans.into_iter());
+
+    println!("(a) gain-in and overhead-in (fractions of investigation time)");
+    print_cdf("gain-in (Scout)", &r.gain_in);
+    print_cdf("best possible gain-in", &r.best_gain_in);
+    print_cdf("overhead-in (false positives)", &r.overhead_in);
+    println!();
+    println!("(b) gain-out and error-out");
+    print_cdf("gain-out (Scout)", &r.gain_out);
+    print_cdf("best possible gain-out", &r.best_gain_out);
+    println!(
+        "error-out: {:.1}% of PhyNet incidents sent away by mistake (paper: 1.7%)",
+        100.0 * r.error_out_fraction()
+    );
+    println!();
+    println!(
+        "correctly-routed incidents confirmed: the Scout classifies {:.1}% of \
+         already-correct incidents correctly (paper: 98.9%)",
+        100.0 * correct_confirmation_rate(&lab, &sl)
+    );
+}
+
+fn correct_confirmation_rate(lab: &Lab, sl: &ScoutLab) -> f64 {
+    let mut total = 0;
+    let mut confirmed = 0;
+    let answers = sl.test_answers();
+    for (k, &i) in sl.test.iter().enumerate() {
+        let tr = &lab.workload.traces[i];
+        if tr.misrouted() {
+            continue;
+        }
+        let label = sl.corpus.items[i].example.label;
+        if let Some(a) = answers[k] {
+            total += 1;
+            if a == label {
+                confirmed += 1;
+            }
+        }
+    }
+    if total == 0 { 1.0 } else { confirmed as f64 / total as f64 }
+}

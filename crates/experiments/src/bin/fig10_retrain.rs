@@ -1,0 +1,47 @@
+//! Figure 10 — adapting to changes in incidents over time: F1 per period
+//! under 10/20/30/60-day retraining, with (a) a growing training window
+//! and (b) a fixed 60-day sliding window. The workload contains concept
+//! drift (PFC storms only appear after day 150; overheat faults stop after
+//! day 120).
+
+use cloudsim::SimDuration;
+use experiments::{banner, default_build, Lab};
+use scout::{RetrainConfig, RetrainSchedule, ScoutConfig, WindowPolicy};
+
+fn main() {
+    banner("fig10", "retraining cadence vs accuracy over time");
+    let lab = Lab::standard();
+    let mon = lab.monitoring();
+    let build = default_build();
+    let corpus = lab.prepare(&build, &mon);
+
+    for (label, window) in [
+        ("(a) growing training set", WindowPolicy::Growing),
+        ("(b) sliding 60-day training set", WindowPolicy::Sliding(SimDuration::days(60))),
+    ] {
+        println!("{label}");
+        for days in [10u64, 20, 30, 60] {
+            let schedule = RetrainSchedule::new(RetrainConfig {
+                interval: SimDuration::days(days),
+                window,
+                ..Default::default()
+            });
+            let results = schedule.run(&ScoutConfig::phynet(), &build, &corpus, &mon);
+            let series: Vec<String> =
+                results.iter().map(|r| format!("{:.2}", r.f1())).collect();
+            let min = results.iter().map(|r| r.f1()).fold(1.0f64, f64::min);
+            let mean = results.iter().map(|r| r.f1()).sum::<f64>()
+                / results.len().max(1) as f64;
+            println!(
+                "  every {days:>2} days: F1/period = [{}]  mean {mean:.2} min {min:.2}",
+                series.join(" ")
+            );
+        }
+        println!();
+    }
+    println!(
+        "paper shape: 10-day retraining keeps F1 above ~0.9 and recovers \
+         quickly when a new incident type appears; infrequent retraining \
+         dips and stays low."
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 11 — gain and overhead restricted to incidents created by other
+//! teams' watchdogs (the population the Scout helps most).
+
+use cloudsim::Team;
+use experiments::{banner, print_cdf, Lab, ScoutLab};
+use incident::IncidentSource;
+use scoutmaster::GainAccountant;
+
+fn main() {
+    banner("fig11", "gain/overhead for incidents from other teams' watchdogs");
+    let lab = Lab::standard();
+    let sl = ScoutLab::build(&lab);
+    let answers = sl.test_answers();
+    let mut acc = GainAccountant::new(Team::PhyNet, lab.workload.iter());
+    let mut pairs = Vec::new();
+    let mut ans = Vec::new();
+    for (k, &i) in sl.test.iter().enumerate() {
+        let inc = &lab.workload.incidents[i];
+        let cross =
+            matches!(inc.source, IncidentSource::Monitor(t) if t != inc.owner);
+        if cross && lab.workload.traces[i].misrouted() {
+            pairs.push((inc, &lab.workload.traces[i]));
+            ans.push(answers[k]);
+        }
+    }
+    let r = acc.report(pairs.into_iter(), ans.into_iter());
+    println!("(a) gain-in / overhead-in");
+    print_cdf("gain-in (Scout)", &r.gain_in);
+    print_cdf("best possible gain-in", &r.best_gain_in);
+    print_cdf("overhead-in", &r.overhead_in);
+    println!();
+    println!("(b) gain-out / error-out");
+    print_cdf("gain-out (Scout)", &r.gain_out);
+    print_cdf("best possible gain-out", &r.best_gain_out);
+    println!(
+        "error-out: {:.2}% (paper: 3.06%)",
+        100.0 * r.error_out_fraction()
+    );
+}

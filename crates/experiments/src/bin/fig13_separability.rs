@@ -1,0 +1,66 @@
+//! Figure 13 (Appendix B) — Euclidean distances between incidents'
+//! feature vectors: within the PhyNet class, within the non-PhyNet class,
+//! and across classes. Cross distances separate even though neither class
+//! is internally compact.
+
+use experiments::{banner, print_cdf, Lab, ScoutLab};
+
+fn main() {
+    banner("fig13", "feature-space separability of the two classes");
+    let lab = Lab::standard();
+    let sl = ScoutLab::build(&lab);
+    let (x, y) = sl.matrix(&sl.train);
+    let (xs, _, _) = ml::data::standardize(&x, &[]);
+    let (within_pos, within_neg, cross) = pairwise(&xs, &y, 400);
+    print_cdf("within PhyNet-responsible", &within_pos);
+    print_cdf("within not-responsible", &within_neg);
+    print_cdf("cross-class", &cross);
+    println!();
+    println!(
+        "cross-class median {:.1} vs within-class medians {:.1} / {:.1}",
+        median(&cross),
+        median(&within_pos),
+        median(&within_neg)
+    );
+}
+
+/// Sampled pairwise distances (caps at `cap` vectors per class).
+pub fn pairwise(
+    x: &[Vec<f64>],
+    y: &[usize],
+    cap: usize,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let pos: Vec<&Vec<f64>> =
+        x.iter().zip(y).filter(|(_, &l)| l == 1).map(|(v, _)| v).take(cap).collect();
+    let neg: Vec<&Vec<f64>> =
+        x.iter().zip(y).filter(|(_, &l)| l == 0).map(|(v, _)| v).take(cap).collect();
+    let d = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt()
+    };
+    let mut wp = Vec::new();
+    let mut wn = Vec::new();
+    let mut cr = Vec::new();
+    for i in 0..pos.len() {
+        for j in (i + 1)..pos.len().min(i + 40) {
+            wp.push(d(pos[i], pos[j]));
+        }
+    }
+    for i in 0..neg.len() {
+        for j in (i + 1)..neg.len().min(i + 40) {
+            wn.push(d(neg[i], neg[j]));
+        }
+    }
+    for (i, p) in pos.iter().enumerate() {
+        for q in neg.iter().skip(i % 7).step_by(7) {
+            cr.push(d(p, q));
+        }
+    }
+    (wp, wn, cr)
+}
+
+fn median(v: &[f64]) -> f64 {
+    let mut s = v.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s[s.len() / 2]
+}
+

@@ -1,0 +1,56 @@
+//! Figure 14 (Appendix B) — the Fig. 13 distances recomputed using only
+//! one component type's features at a time: server features alone look
+//! uninformative, switch and cluster features separate.
+
+use experiments::{banner, print_cdf, Lab, ScoutLab};
+use scout::ComponentType;
+
+fn main() {
+    banner("fig14", "separability per component type");
+    let lab = Lab::standard();
+    let sl = ScoutLab::build(&lab);
+    let (x, y) = sl.matrix(&sl.train);
+    let (xs, _, _) = ml::data::standardize(&x, &[]);
+    for ctype in ComponentType::ALL {
+        let cols = sl.corpus.layout.indices_for_type(ctype);
+        let sub: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|row| cols.iter().map(|&c| row[c]).collect())
+            .collect();
+        let (wp, wn, cr) = pairwise(&sub, &y, 300);
+        println!("--- {ctype} features only ---");
+        print_cdf("within PhyNet-responsible", &wp);
+        print_cdf("within not-responsible", &wn);
+        print_cdf("cross-class", &cr);
+    }
+}
+
+/// Sampled pairwise distances (duplicated small helper; see fig13).
+fn pairwise(x: &[Vec<f64>], y: &[usize], cap: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let pos: Vec<&Vec<f64>> =
+        x.iter().zip(y).filter(|(_, &l)| l == 1).map(|(v, _)| v).take(cap).collect();
+    let neg: Vec<&Vec<f64>> =
+        x.iter().zip(y).filter(|(_, &l)| l == 0).map(|(v, _)| v).take(cap).collect();
+    let d = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt()
+    };
+    let mut wp = Vec::new();
+    let mut wn = Vec::new();
+    let mut cr = Vec::new();
+    for i in 0..pos.len() {
+        for j in (i + 1)..pos.len().min(i + 30) {
+            wp.push(d(pos[i], pos[j]));
+        }
+    }
+    for i in 0..neg.len() {
+        for j in (i + 1)..neg.len().min(i + 30) {
+            wn.push(d(neg[i], neg[j]));
+        }
+    }
+    for (i, p) in pos.iter().enumerate() {
+        for q in neg.iter().skip(i % 7).step_by(7) {
+            cr.push(d(p, q));
+        }
+    }
+    (wp, wn, cr)
+}

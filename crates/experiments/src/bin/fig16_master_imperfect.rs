@@ -1,0 +1,41 @@
+//! Figure 16 (Appendix D) — lower bounds on gain with imperfect Scouts:
+//! accuracy α sweep × confidence-noise β sweep for 1–3 deployed Scouts.
+
+use experiments::{banner, Lab};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use scoutmaster::{ImperfectParams, PerfectScoutSim};
+
+fn main() {
+    banner("fig16", "imperfect Scouts: mean reduction over (α, β)");
+    let lab = Lab::standard();
+    let alphas = [0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.0];
+    let betas = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    for n_scouts in 1..=3usize {
+        println!("--- {n_scouts} scout(s): mean fraction of time reduced ---");
+        print!("{:>6}", "α\\β");
+        for b in betas {
+            print!(" {b:>6.1}");
+        }
+        println!();
+        for a in alphas {
+            print!("{a:>6.2}");
+            for b in betas {
+                let mut rng = SmallRng::seed_from_u64(lab.seed ^ (n_scouts as u64));
+                let r = PerfectScoutSim::imperfect(
+                    lab.workload.iter(),
+                    ImperfectParams { alpha: a, beta: b, n_scouts },
+                    &mut rng,
+                );
+                print!(" {:>6.3}", r.mean);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!(
+        "paper shape: gain grows with α and the number of Scouts and decays \
+         with confidence noise β; even 3 imperfect Scouts reach a large \
+         fraction of the perfect gain at high α."
+    );
+}

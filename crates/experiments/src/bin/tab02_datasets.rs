@@ -1,0 +1,54 @@
+//! Table 2 — the twelve PhyNet monitoring data sets, enumerated and
+//! exercised against the live monitoring plane.
+
+use cloudsim::{ComponentKind, SimDuration, SimTime};
+use experiments::{banner, Lab};
+use monitoring::{DataType, Dataset};
+
+fn main() {
+    banner("tab02", "the twelve Table-2 monitoring data sets");
+    let lab = Lab::standard();
+    let mon = lab.monitoring();
+    let topo = &lab.workload.topology;
+    let srv = topo.of_kind(ComponentKind::Server).next().unwrap().id;
+    let tor = topo.of_kind(ComponentKind::TorSwitch).next().unwrap().id;
+    let t = SimTime::from_hours(100);
+    let w = (t.saturating_sub(SimDuration::hours(2)), t);
+    println!(
+        "{:<22} {:<12} {:<10} {:<9} sample",
+        "data set", "type", "class-tag", "covers"
+    );
+    for d in Dataset::ALL {
+        let covers: Vec<&str> = ComponentKind::ALL
+            .iter()
+            .filter(|&&k| d.covers(k))
+            .map(|k| k.label())
+            .collect();
+        let sample = match d.data_type() {
+            DataType::TimeSeries => {
+                let dev = if d.covers(ComponentKind::Server) { srv } else { tor };
+                let s = mon.series(d, dev, w).unwrap();
+                format!("{} samples, mean {:.4}", s.len(), s.iter().sum::<f64>() / s.len() as f64)
+            }
+            DataType::Event => {
+                let dev = if d.covers(ComponentKind::TorSwitch) { tor } else { srv };
+                format!(
+                    "{} events/2h window, {} kinds",
+                    mon.events(d, dev, w).len(),
+                    d.event_kinds().len()
+                )
+            }
+        };
+        println!(
+            "{:<22} {:<12} {:<10} {:<9} {}",
+            d.name(),
+            match d.data_type() {
+                DataType::TimeSeries => "TIME_SERIES",
+                DataType::Event => "EVENT",
+            },
+            d.class_tag().unwrap_or("-"),
+            covers.join("+"),
+            sample
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Shared harness for the per-figure experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper: it builds the
+//! standard nine-month synthetic workload, trains the PhyNet Scout with the
+//! paper's §7 protocol, and prints the same rows/series the paper reports.
+//!
+//! Environment knobs:
+//!
+//! * `SCOUTS_SEED` — workload seed (default 42),
+//! * `SCOUTS_FAULTS_PER_DAY` — workload density (default 12; lower it for
+//!   quick runs).
+
+use cloudsim::Team;
+use incident::{Workload, WorkloadConfig};
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scout::scout::PreparedCorpus;
+use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
+
+/// The standard experiment environment.
+pub struct Lab {
+    /// The generated world.
+    pub workload: Workload,
+    /// Seed used everywhere downstream.
+    pub seed: u64,
+}
+
+impl Lab {
+    /// Build the standard lab from the environment knobs.
+    pub fn standard() -> Lab {
+        let seed = env_u64("SCOUTS_SEED", 42);
+        let mut config = WorkloadConfig { seed, ..WorkloadConfig::default() };
+        config.faults.faults_per_day = env_f64("SCOUTS_FAULTS_PER_DAY", 12.0);
+        eprintln!(
+            "[lab] generating workload: seed={seed}, {} faults/day over {} days …",
+            config.faults.faults_per_day,
+            config.faults.horizon.as_days_f64()
+        );
+        let workload = Workload::generate(config);
+        eprintln!(
+            "[lab] {} incidents from {} faults",
+            workload.len(),
+            workload.faults.len()
+        );
+        Lab { workload, seed }
+    }
+
+    /// The monitoring plane over this lab's world.
+    pub fn monitoring(&self) -> MonitoringSystem<'_> {
+        self.monitoring_with(MonitoringConfig { seed: self.seed, disabled: Vec::new() })
+    }
+
+    /// Monitoring with custom config (deprecation experiments).
+    pub fn monitoring_with(&self, config: MonitoringConfig) -> MonitoringSystem<'_> {
+        MonitoringSystem::new(&self.workload.topology, &self.workload.faults, config)
+    }
+
+    /// Scout training examples for every incident, labeled "PhyNet
+    /// responsible?" — the §7 data set.
+    pub fn examples(&self) -> Vec<Example> {
+        self.workload
+            .incidents
+            .iter()
+            .map(|inc| Example::new(inc.text(), inc.created_at, inc.owner == Team::PhyNet))
+            .collect()
+    }
+
+    /// Prepare the corpus for the PhyNet Scout (the expensive, cacheable
+    /// stage).
+    pub fn prepare(
+        &self,
+        build: &ScoutBuildConfig,
+        mon: &MonitoringSystem<'_>,
+    ) -> PreparedCorpus {
+        let t0 = std::time::Instant::now();
+        let corpus = Scout::prepare(&ScoutConfig::phynet(), build, &self.examples(), mon);
+        eprintln!(
+            "[lab] prepared {} examples ({} trainable) in {:.1}s",
+            corpus.items.len(),
+            corpus.trainable_indices().len(),
+            t0.elapsed().as_secs_f64()
+        );
+        corpus
+    }
+}
+
+/// The §7 split: random; half the PhyNet incidents train; only 35% of
+/// non-PhyNet incidents train (the rest spill into the test set). Operates
+/// over the corpus's trainable items only (component-free incidents use
+/// the legacy router, as in the paper).
+pub fn paper_split(corpus: &PreparedCorpus, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5917);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for i in corpus.trainable_indices() {
+        let label = corpus.items[i].example.label;
+        let p_train = if label { 0.5 } else { 0.35 };
+        if rng.gen::<f64>() < p_train {
+            train.push(i);
+        } else {
+            test.push(i);
+        }
+    }
+    (train, test)
+}
+
+/// Default Scout build for experiments.
+pub fn default_build() -> ScoutBuildConfig {
+    ScoutBuildConfig::default()
+}
+
+/// Print a CDF as quantile rows (the figures' series).
+pub fn print_cdf(name: &str, values: &[f64]) {
+    if values.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = |p: f64| v[((v.len() - 1) as f64 * p).round() as usize];
+    println!(
+        "{name:<44} n={:<6} p10={:>7.3} p25={:>7.3} p50={:>7.3} p75={:>7.3} p90={:>7.3} p99={:>7.3}",
+        v.len(),
+        q(0.10),
+        q(0.25),
+        q(0.50),
+        q(0.75),
+        q(0.90),
+        q(0.99)
+    );
+}
+
+/// Mean of a sample.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// A section header for experiment output.
+pub fn banner(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("==============================================================");
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// A fully trained PhyNet Scout environment: prepared corpus, §7 split,
+/// trained scout — the shared starting point of the §7 experiments.
+pub struct ScoutLab<'a> {
+    /// The underlying world.
+    pub lab: &'a Lab,
+    /// Monitoring plane.
+    pub mon: MonitoringSystem<'a>,
+    /// Featurized corpus (index-parallel with `lab.workload.incidents`).
+    pub corpus: PreparedCorpus,
+    /// §7 training indices.
+    pub train: Vec<usize>,
+    /// §7 test indices.
+    pub test: Vec<usize>,
+    /// The trained PhyNet Scout.
+    pub scout: Scout,
+}
+
+impl<'a> ScoutLab<'a> {
+    /// Prepare, split and train with the default build.
+    pub fn build(lab: &'a Lab) -> ScoutLab<'a> {
+        ScoutLab::build_with(lab, default_build())
+    }
+
+    /// Prepare, split and train with a custom build config.
+    pub fn build_with(lab: &'a Lab, build: ScoutBuildConfig) -> ScoutLab<'a> {
+        let mon = lab.monitoring();
+        let corpus = lab.prepare(&build, &mon);
+        let (train, test) = paper_split(&corpus, lab.seed);
+        let t0 = std::time::Instant::now();
+        let scout =
+            Scout::train_prepared(ScoutConfig::phynet(), build, &corpus, &train, &mon);
+        eprintln!(
+            "[lab] trained scout on {} examples in {:.1}s (test {})",
+            train.len(),
+            t0.elapsed().as_secs_f64(),
+            test.len()
+        );
+        ScoutLab { lab, mon, corpus, train, test, scout }
+    }
+
+    /// Scout answers over the test set: `Some(says_responsible)` or `None`
+    /// for fallback verdicts, index-parallel with `self.test`.
+    pub fn test_answers(&self) -> Vec<Option<bool>> {
+        self.test
+            .iter()
+            .map(|&i| {
+                let p = self.scout.predict_prepared(&self.corpus.items[i], &self.mon);
+                match p.verdict {
+                    scout::Verdict::Responsible => Some(true),
+                    scout::Verdict::NotResponsible => Some(false),
+                    scout::Verdict::Fallback => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Test metrics under a forced pipeline path.
+    pub fn metrics_for_path(&self, path: scout::PathChoice) -> ml::metrics::BinaryMetrics {
+        let mut c = ml::metrics::Confusion::default();
+        for &i in &self.test {
+            let item = &self.corpus.items[i];
+            let p = self.scout.predict_path(item, &self.mon, path);
+            c.record(item.example.label, p.says_responsible());
+        }
+        c.metrics()
+    }
+
+    /// The §7 feature matrix/labels for an index set (standardization left
+    /// to the caller).
+    pub fn matrix(&self, idx: &[usize]) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let x =
+            idx.iter().map(|&i| self.corpus.items[i].features.clone().unwrap()).collect();
+        let y = idx
+            .iter()
+            .map(|&i| usize::from(self.corpus.items[i].example.label))
+            .collect();
+        (x, y)
+    }
+}

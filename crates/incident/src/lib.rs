@@ -1,0 +1,35 @@
+//! `incident` — the incident stream and the baseline routing process.
+//!
+//! The paper studies nine months of production incidents (§3) and evaluates
+//! the Scout against the provider's existing routing process (§7). Neither
+//! is public, so this crate builds both:
+//!
+//! * [`model`] — the incident record: source (customer-reported, own
+//!   monitor, other team's monitor), severity, title/body text, creation
+//!   time, and the ground-truth resolving team used for labels.
+//! * [`text`] — incident text synthesis. Monitor incidents embed the
+//!   component names their watchdogs see; customer-reported incidents are
+//!   vague and noisy ("customers often do not include necessary
+//!   information"); conversation logs pollute the body, the documented
+//!   failure mode of the NLP baseline.
+//! * [`workload`] — turns a `cloudsim` fault schedule into an incident
+//!   stream, including duplicate incident storms (20/200 in §3.2) and
+//!   detection delays.
+//! * [`routing`] — the baseline *human* routing model: first hop where the
+//!   symptom was detected, dependency-guided transfers, innocence-proving
+//!   investigations, queueing delays. Calibrated so the §3 statistics
+//!   (10× mis-routing slowdown, PhyNet waypoint rates, 1.6 teams per
+//!   incident) reproduce.
+//! * [`study`] — the §3 measurement study computed over the synthetic
+//!   stream (Figures 1-4 and the headline §3.1 numbers).
+
+pub mod model;
+pub mod routing;
+pub mod study;
+pub mod text;
+pub mod workload;
+
+pub use model::{Incident, IncidentId, IncidentSource};
+pub use routing::{RoutingHop, RoutingTrace, Router, RouterConfig};
+pub use study::{ecdf, StudyReport};
+pub use workload::{Workload, WorkloadConfig};

@@ -1,0 +1,92 @@
+//! The incident record.
+
+use cloudsim::{ComponentId, Severity, SimTime, Team};
+
+/// Identifier of an incident within a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IncidentId(pub u32);
+
+/// How the incident entered the system (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncidentSource {
+    /// A customer opened a support ticket; it lands at the 24×7 support
+    /// team first.
+    Cri,
+    /// An automated watchdog belonging to `Team` fired.
+    Monitor(Team),
+}
+
+impl IncidentSource {
+    /// Is this a customer-reported incident?
+    pub fn is_cri(self) -> bool {
+        matches!(self, IncidentSource::Cri)
+    }
+
+    /// The watchdog's team, if monitor-created.
+    pub fn monitor_team(self) -> Option<Team> {
+        match self {
+            IncidentSource::Monitor(t) => Some(t),
+            IncidentSource::Cri => None,
+        }
+    }
+}
+
+/// One incident.
+///
+/// A Scout is only allowed to look at `title`, `body`, `created_at`,
+/// `severity` and `source` — plus the monitoring plane. The remaining
+/// fields are ground truth (training labels, evaluation) or generator
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Workload-unique id.
+    pub id: IncidentId,
+    /// How it was reported.
+    pub source: IncidentSource,
+    /// Severity at creation.
+    pub severity: Severity,
+    /// Creation time.
+    pub created_at: SimTime,
+    /// Short headline.
+    pub title: String,
+    /// Free-form description, including any appended investigation notes.
+    pub body: String,
+    // ---- ground truth below this line ----
+    /// The fault that caused it (generator bookkeeping).
+    pub fault_id: u32,
+    /// The team that actually resolved it — the label (§7: "0 if PhyNet
+    /// resolved the incident and 1 otherwise", we store the team itself).
+    pub owner: Team,
+    /// Components the fault actually implicated (used by the study and by
+    /// oracle baselines; Scouts must re-extract mentions from the text).
+    pub true_components: Vec<ComponentId>,
+}
+
+impl Incident {
+    /// The full text a Scout may read.
+    pub fn text(&self) -> String {
+        format!("{}\n{}", self.title, self.body)
+    }
+
+    /// Is PhyNet the ground-truth owner? Convenience for the binary label
+    /// the PhyNet Scout trains on.
+    pub fn phynet_owned(&self) -> bool {
+        self.owner == Team::PhyNet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_helpers() {
+        assert!(IncidentSource::Cri.is_cri());
+        assert!(!IncidentSource::Monitor(Team::Storage).is_cri());
+        assert_eq!(
+            IncidentSource::Monitor(Team::PhyNet).monitor_team(),
+            Some(Team::PhyNet)
+        );
+        assert_eq!(IncidentSource::Cri.monitor_team(), None);
+    }
+}

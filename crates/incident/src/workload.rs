@@ -1,0 +1,343 @@
+//! Workload generation: a fault schedule becomes an incident stream with
+//! baseline routing traces — the reproduction's stand-in for the paper's
+//! nine months of production incident logs.
+
+use crate::model::{Incident, IncidentId, IncidentSource};
+use crate::routing::{Router, RouterConfig, RoutingTrace};
+use crate::text;
+use cloudsim::{
+    Fault, FaultCatalog, FaultScheduleConfig, Team, TeamRegistry, Topology,
+    TopologyConfig,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Master seed: workloads are fully reproducible.
+    pub seed: u64,
+    /// Fleet size.
+    pub topology: TopologyConfig,
+    /// Fault schedule shape.
+    pub faults: FaultScheduleConfig,
+    /// Baseline router timing.
+    pub router: RouterConfig,
+    /// P(incident detected by the owning team's own monitor). Fig. 1a:
+    /// most PhyNet incidents come from PhyNet's own monitors.
+    pub own_monitor_share: f64,
+    /// P(detected by a dependent team's monitor) — the mis-routing fuel.
+    pub cross_monitor_share: f64,
+    /// P(a fault spawns a duplicate incident from a second watchdog)
+    /// (§3.2: 20/200 incidents were duplicate-per-dependent-service).
+    pub duplicate_prob: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 42,
+            topology: TopologyConfig::default(),
+            faults: FaultScheduleConfig::default(),
+            router: RouterConfig::default(),
+            own_monitor_share: 0.62,
+            cross_monitor_share: 0.24,
+            duplicate_prob: 0.10,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A small, fast workload for unit tests (≈ 300 incidents).
+    pub fn small(seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            seed,
+            faults: FaultScheduleConfig {
+                faults_per_day: 1.0,
+                ..FaultScheduleConfig::default()
+            },
+            ..WorkloadConfig::default()
+        }
+    }
+}
+
+/// The generated world: fleet, faults, incidents and their baseline traces.
+///
+/// Owns everything so downstream crates can borrow the pieces they need
+/// (e.g. `MonitoringSystem::new(&w.topology, &w.faults, …)`).
+#[derive(Debug)]
+pub struct Workload {
+    /// The fleet the incidents happened in.
+    pub topology: Topology,
+    /// Ground-truth root causes, sorted by start time.
+    pub faults: Vec<Fault>,
+    /// Incidents, sorted by creation time.
+    pub incidents: Vec<Incident>,
+    /// Baseline routing trace, parallel to `incidents`.
+    pub traces: Vec<RoutingTrace>,
+    /// The config that produced this workload.
+    pub config: WorkloadConfig,
+}
+
+impl Workload {
+    /// Generate a full workload from `config`.
+    pub fn generate(config: WorkloadConfig) -> Workload {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let topology = Topology::build(config.topology);
+        let catalog = FaultCatalog::new(&topology);
+        let faults = {
+            let mut frng = SmallRng::seed_from_u64(config.seed ^ 0xFA17);
+            catalog.generate(&config.faults, move || frng.gen::<f64>())
+        };
+
+        let mut incidents = Vec::new();
+        for fault in &faults {
+            let primary = pick_source(fault, &config, &mut rng);
+            incidents.push(make_incident(
+                incidents.len() as u32,
+                fault,
+                primary,
+                &topology,
+                &mut rng,
+            ));
+            // Duplicate incident storms: a second watchdog files its own.
+            if rng.gen_bool(config.duplicate_prob) {
+                if let Some(dup_source) = duplicate_source(fault, primary, &mut rng) {
+                    incidents.push(make_incident(
+                        incidents.len() as u32,
+                        fault,
+                        dup_source,
+                        &topology,
+                        &mut rng,
+                    ));
+                }
+            }
+        }
+        incidents.sort_by_key(|i| i.created_at);
+        for (n, inc) in incidents.iter_mut().enumerate() {
+            inc.id = IncidentId(n as u32);
+        }
+
+        let router = Router::new(&topology, config.router);
+        let traces: Vec<RoutingTrace> = incidents
+            .iter()
+            .map(|inc| {
+                let fault = &faults[inc.fault_id as usize];
+                router.route(inc, fault, &mut rng)
+            })
+            .collect();
+
+        Workload { topology, faults, incidents, traces, config }
+    }
+
+    /// Number of incidents.
+    pub fn len(&self) -> usize {
+        self.incidents.len()
+    }
+
+    /// True when no incidents were generated.
+    pub fn is_empty(&self) -> bool {
+        self.incidents.is_empty()
+    }
+
+    /// The fault behind an incident.
+    pub fn fault_of(&self, incident: &Incident) -> &Fault {
+        &self.faults[incident.fault_id as usize]
+    }
+
+    /// Incident/trace pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Incident, &RoutingTrace)> {
+        self.incidents.iter().zip(self.traces.iter())
+    }
+}
+
+fn pick_source<R: Rng>(fault: &Fault, config: &WorkloadConfig, rng: &mut R) -> IncidentSource {
+    // External causes surface as customer reports or a dependent team's
+    // watchdog — never the (nonexistent) external team's monitor.
+    if fault.owner.is_external() {
+        return if rng.gen_bool(0.7) {
+            IncidentSource::Cri
+        } else {
+            IncidentSource::Monitor(random_internal_observer(fault, rng))
+        };
+    }
+    let r: f64 = rng.gen();
+    if r < config.own_monitor_share {
+        IncidentSource::Monitor(fault.owner)
+    } else if r < config.own_monitor_share + config.cross_monitor_share {
+        IncidentSource::Monitor(random_internal_observer(fault, rng))
+    } else {
+        IncidentSource::Cri
+    }
+}
+
+/// A dependent internal team whose watchdog plausibly sees the symptom.
+fn random_internal_observer<R: Rng>(fault: &Fault, rng: &mut R) -> Team {
+    let registry = TeamRegistry::new();
+    let mut candidates: Vec<Team> = if fault.owner.is_external() {
+        // Anyone serving the symptomatic cluster may notice.
+        vec![Team::Storage, Team::Database, Team::Compute, Team::Slb, Team::HostNet]
+    } else {
+        registry
+            .dependents_of(fault.owner)
+            .into_iter()
+            .filter(|t| !t.is_external() && *t != Team::Support)
+            .collect()
+    };
+    if candidates.is_empty() {
+        candidates = vec![Team::Compute];
+    }
+    candidates[rng.gen_range(0..candidates.len())]
+}
+
+fn duplicate_source<R: Rng>(
+    fault: &Fault,
+    primary: IncidentSource,
+    rng: &mut R,
+) -> Option<IncidentSource> {
+    for _ in 0..4 {
+        let candidate = IncidentSource::Monitor(random_internal_observer(fault, rng));
+        if candidate != primary {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+fn make_incident<R: Rng>(
+    id: u32,
+    fault: &Fault,
+    source: IncidentSource,
+    topo: &Topology,
+    rng: &mut R,
+) -> Incident {
+    let synth = text::synthesize(fault, source, topo, rng);
+    // Detection delay: watchdogs damp alerts over several samples before
+    // paging (canary-style systems need consecutive failures); customers
+    // complain later still.
+    let delay_min = match source {
+        IncidentSource::Monitor(_) => rng.gen_range(20..60),
+        IncidentSource::Cri => rng.gen_range(30..120),
+    };
+    let mut true_components: Vec<_> = fault.scope.devices().to_vec();
+    true_components.push(fault.scope.cluster());
+    Incident {
+        id: IncidentId(id),
+        source,
+        severity: fault.severity,
+        created_at: fault.start + cloudsim::SimDuration::minutes(delay_min),
+        title: synth.title,
+        body: synth.body,
+        fault_id: fault.id,
+        owner: fault.owner,
+        true_components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::FaultScope;
+
+    fn workload() -> Workload {
+        Workload::generate(WorkloadConfig::default())
+    }
+
+    #[test]
+    fn incident_count_tracks_fault_count() {
+        let w = workload();
+        assert!(w.len() >= w.faults.len(), "every fault spawns at least one incident");
+        let dup_rate = w.len() as f64 / w.faults.len() as f64 - 1.0;
+        assert!((dup_rate - 0.10).abs() < 0.04, "duplicate rate {dup_rate}");
+    }
+
+    #[test]
+    fn incidents_are_sorted_with_dense_ids() {
+        let w = workload();
+        for pair in w.incidents.windows(2) {
+            assert!(pair[0].created_at <= pair[1].created_at);
+        }
+        for (n, inc) in w.incidents.iter().enumerate() {
+            assert_eq!(inc.id.0 as usize, n);
+        }
+        assert_eq!(w.traces.len(), w.len());
+    }
+
+    #[test]
+    fn phynet_incidents_mostly_from_own_monitors() {
+        let w = workload();
+        let phynet: Vec<&Incident> =
+            w.incidents.iter().filter(|i| i.owner == Team::PhyNet).collect();
+        assert!(phynet.len() > 100);
+        let own = phynet
+            .iter()
+            .filter(|i| i.source == IncidentSource::Monitor(Team::PhyNet))
+            .count() as f64
+            / phynet.len() as f64;
+        assert!((0.5..0.75).contains(&own), "own-monitor share {own}");
+    }
+
+    #[test]
+    fn external_faults_never_have_external_monitors() {
+        let w = workload();
+        for inc in &w.incidents {
+            if let IncidentSource::Monitor(t) = inc.source {
+                assert!(!t.is_external(), "no ISP/customer watchdogs in our system");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_faults() {
+        let w = workload();
+        for inc in &w.incidents {
+            let f = w.fault_of(inc);
+            assert_eq!(inc.owner, f.owner);
+            assert_eq!(inc.severity, f.severity);
+            assert!(inc.created_at >= f.start);
+            match &f.scope {
+                FaultScope::Devices { devices, .. } => {
+                    for d in devices {
+                        assert!(inc.true_components.contains(d));
+                    }
+                }
+                _ => assert_eq!(inc.true_components.len(), 1),
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Workload::generate(WorkloadConfig::small(7));
+        let b = Workload::generate(WorkloadConfig::small(7));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.incidents.iter().zip(&b.incidents) {
+            assert_eq!(x.title, y.title);
+            assert_eq!(x.created_at, y.created_at);
+        }
+        let c = Workload::generate(WorkloadConfig::small(8));
+        assert!(
+            a.incidents.iter().zip(&c.incidents).any(|(x, y)| x.title != y.title)
+                || a.len() != c.len(),
+            "different seeds differ"
+        );
+    }
+
+    #[test]
+    fn traces_resolve_at_the_owner_mostly() {
+        let w = workload();
+        let mut correct = 0;
+        let mut internal_total = 0;
+        for (inc, trace) in w.iter() {
+            if inc.owner.is_external() {
+                continue;
+            }
+            internal_total += 1;
+            if trace.resolver() == inc.owner {
+                correct += 1;
+            }
+        }
+        let frac = correct as f64 / internal_total as f64;
+        assert!(frac > 0.95, "owner-resolution fraction {frac}");
+    }
+}

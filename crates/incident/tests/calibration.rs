@@ -1,0 +1,110 @@
+//! Calibration tests: the synthetic workload must keep reproducing the §3
+//! study shapes across seeds, not just on the tuned default.
+
+use cloudsim::{Severity, Team};
+use incident::study::{quantile, StudyReport};
+use incident::{Workload, WorkloadConfig};
+
+fn study(seed: u64) -> StudyReport {
+    let mut config = WorkloadConfig { seed, ..WorkloadConfig::default() };
+    config.faults.faults_per_day = 6.0;
+    StudyReport::compute(&Workload::generate(config))
+}
+
+#[test]
+fn misrouting_shapes_hold_across_seeds() {
+    for seed in [1u64, 99, 4242] {
+        let r = study(seed);
+        assert!(
+            r.misrouted_slowdown > 3.0,
+            "seed {seed}: slowdown {} (paper ~10x)",
+            r.misrouted_slowdown
+        );
+        assert!(
+            (0.3..0.9).contains(&r.phynet_passthrough_fraction),
+            "seed {seed}: passthrough {}",
+            r.phynet_passthrough_fraction
+        );
+        assert!(
+            (1.2..2.6).contains(&r.phynet_teams_mean),
+            "seed {seed}: teams mean {}",
+            r.phynet_teams_mean
+        );
+    }
+}
+
+#[test]
+fn severity_ordering_holds_across_seeds() {
+    // Paper §3.1: perfect routing helps medium severity most, high least.
+    for seed in [7u64, 1234] {
+        let r = study(seed);
+        let hi = r.perfect_routing_savings[&Severity::Sev1];
+        let med = r.perfect_routing_savings[&Severity::Sev2];
+        let lo = r.perfect_routing_savings[&Severity::Sev3];
+        assert!(hi < lo, "seed {seed}: Sev1 {hi} !< Sev3 {lo}");
+        assert!(lo < med, "seed {seed}: Sev3 {lo} !< Sev2 {med}");
+    }
+}
+
+#[test]
+fn waypoint_rate_stays_in_band() {
+    for seed in [11u64, 77] {
+        let r = study(seed);
+        let median = quantile(&r.fig4_waypoint_per_day, 0.5);
+        assert!(
+            (10.0..75.0).contains(&median),
+            "seed {seed}: waypoint median {median}% (paper: 35%)"
+        );
+    }
+}
+
+#[test]
+fn phynet_receives_disproportionate_misroutes() {
+    // §1: PhyNet is "a recipient in 1 in every 10 mis-routed incidents" —
+    // far above a uniform share.
+    let mut config = WorkloadConfig { seed: 5, ..WorkloadConfig::default() };
+    config.faults.faults_per_day = 6.0;
+    let w = Workload::generate(config);
+    let mut phynet_innocent_visits = 0usize;
+    let mut misrouted = 0usize;
+    for (inc, tr) in w.iter() {
+        if tr.misrouted() {
+            misrouted += 1;
+            if inc.owner != Team::PhyNet && tr.visited(Team::PhyNet) {
+                phynet_innocent_visits += 1;
+            }
+        }
+    }
+    let share = phynet_innocent_visits as f64 / misrouted as f64;
+    assert!(
+        share > 0.10,
+        "PhyNet innocent-visit share of mis-routed incidents: {share}"
+    );
+}
+
+#[test]
+fn drift_changes_the_late_incident_mix() {
+    let config = WorkloadConfig { seed: 3, ..WorkloadConfig::default() };
+    let w = Workload::generate(config);
+    let day = |i: &incident::Incident| i.created_at.days();
+    let pfc_early = w
+        .incidents
+        .iter()
+        .filter(|i| day(i) < 150 && w.fault_of(i).kind == cloudsim::FaultKind::PfcStorm)
+        .count();
+    let pfc_late = w
+        .incidents
+        .iter()
+        .filter(|i| day(i) >= 150 && w.fault_of(i).kind == cloudsim::FaultKind::PfcStorm)
+        .count();
+    assert_eq!(pfc_early, 0, "PFC storms must not exist before day 150");
+    assert!(pfc_late > 10, "PFC storms appear after day 150: {pfc_late}");
+    let nic_early = w
+        .incidents
+        .iter()
+        .filter(|i| {
+            day(i) < 150 && w.fault_of(i).kind == cloudsim::FaultKind::NicFirmwarePanic
+        })
+        .count();
+    assert_eq!(nic_early, 0, "the NIC firmware family is drift-only");
+}

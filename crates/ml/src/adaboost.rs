@@ -1,0 +1,172 @@
+//! AdaBoost (SAMME) over depth-1 decision stumps — a Table-4 baseline
+//! (F1 = 0.96) and a candidate model-selector algorithm in Fig. 8.
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+use rand::Rng;
+
+/// A fitted AdaBoost ensemble.
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    stumps: Vec<(DecisionTree, f64)>,
+    n_classes: usize,
+}
+
+impl AdaBoost {
+    /// Fit `n_rounds` weighted stumps with the SAMME update.
+    pub fn fit<R: Rng>(
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        n_rounds: usize,
+        rng: &mut R,
+    ) -> AdaBoost {
+        assert!(!x.is_empty());
+        assert_eq!(x.len(), y.len());
+        assert!(n_classes >= 2);
+        let n = x.len();
+        let mut w = vec![1.0 / n as f64; n];
+        let mut stumps = Vec::new();
+        let stump_cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        for _ in 0..n_rounds {
+            let stump = DecisionTree::fit(x, y, &w, n_classes, stump_cfg, rng);
+            let preds: Vec<usize> = x.iter().map(|xi| stump.predict(xi)).collect();
+            let err: f64 = w
+                .iter()
+                .zip(preds.iter().zip(y))
+                .filter(|(_, (p, y))| p != y)
+                .map(|(&wi, _)| wi)
+                .sum();
+            let k = n_classes as f64;
+            // SAMME: a weak learner must beat random guessing (1 - 1/K).
+            if err >= 1.0 - 1.0 / k {
+                break;
+            }
+            let alpha = if err <= 1e-12 {
+                // Perfect stump: cap the weight and stop boosting.
+                stumps.push((stump, 10.0));
+                break;
+            } else {
+                ((1.0 - err) / err).ln() + (k - 1.0).ln()
+            };
+            for (wi, (p, yi)) in w.iter_mut().zip(preds.iter().zip(y)) {
+                if p != yi {
+                    *wi *= alpha.exp();
+                }
+            }
+            let total: f64 = w.iter().sum();
+            for wi in &mut w {
+                *wi /= total;
+            }
+            stumps.push((stump, alpha));
+        }
+        if stumps.is_empty() {
+            // Degenerate input (e.g. one class): keep a single stump so
+            // predictions remain defined.
+            let stump = DecisionTree::fit(x, y, &w, n_classes, stump_cfg, rng);
+            stumps.push((stump, 1.0));
+        }
+        AdaBoost { stumps, n_classes }
+    }
+
+    /// Number of boosting rounds retained.
+    pub fn n_rounds(&self) -> usize {
+        self.stumps.len()
+    }
+
+    /// The weighted stumps (persistence).
+    pub fn stumps(&self) -> &[(DecisionTree, f64)] {
+        &self.stumps
+    }
+
+    /// Reassemble from weighted stumps (persistence).
+    pub fn from_stumps(stumps: Vec<(DecisionTree, f64)>) -> Result<AdaBoost, String> {
+        let first = stumps.first().ok_or("adaboost needs at least one stump")?;
+        let n_classes = first.0.n_classes();
+        if stumps.iter().any(|(t, _)| t.n_classes() != n_classes) {
+            return Err("stumps disagree on class count".into());
+        }
+        Ok(AdaBoost { stumps, n_classes })
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut score = vec![0.0; self.n_classes];
+        let mut total = 0.0;
+        for (stump, alpha) in &self.stumps {
+            score[stump.predict(x)] += alpha;
+            total += alpha;
+        }
+        if total > 0.0 {
+            for s in &mut score {
+                *s /= total;
+            }
+        }
+        score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn boosting_solves_what_one_stump_cannot() {
+        // Interval structure: class 1 in the middle band. A single
+        // threshold cannot express it; boosting can.
+        let x: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64 / 120.0]).collect();
+        let y: Vec<usize> =
+            x.iter().map(|v| usize::from(v[0] > 0.3 && v[0] < 0.7)).collect();
+        let model = AdaBoost::fit(&x, &y, 2, 50, &mut rng());
+        let acc = model
+            .predict_batch(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, y)| p == y)
+            .count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+        assert!(model.n_rounds() > 1, "needed more than one stump");
+    }
+
+    #[test]
+    fn perfect_stump_short_circuits() {
+        let x = vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1]];
+        let y = vec![0, 0, 1, 1];
+        let model = AdaBoost::fit(&x, &y, 2, 50, &mut rng());
+        assert_eq!(model.n_rounds(), 1);
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(model.predict(xi), yi);
+        }
+    }
+
+    #[test]
+    fn probabilities_form_distribution() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let y: Vec<usize> = (0..60).map(|i| usize::from(i >= 30)).collect();
+        let model = AdaBoost::fit(&x, &y, 2, 20, &mut rng());
+        for xi in &x {
+            let p = model.predict_proba(xi);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_class_input_stays_defined() {
+        let x = vec![vec![1.0], vec![2.0]];
+        let y = vec![0, 0];
+        let model = AdaBoost::fit(&x, &y, 2, 10, &mut rng());
+        assert_eq!(model.predict(&[1.5]), 0);
+    }
+}

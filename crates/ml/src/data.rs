@@ -1,0 +1,203 @@
+//! Data-set plumbing: splits, standardization, class re-balancing.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for [`train_test_split`].
+#[derive(Debug, Clone, Copy)]
+pub struct SplitConfig {
+    /// Fraction of samples placed in the training set.
+    pub train_fraction: f64,
+    /// Shuffle before splitting (`false` = time-ordered split, the paper's
+    /// §7.3 "time-based splits").
+    pub shuffle: bool,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig { train_fraction: 0.5, shuffle: true }
+    }
+}
+
+/// A `(features, labels)` pair.
+pub type LabeledSet = (Vec<Vec<f64>>, Vec<usize>);
+
+/// Split `(X, y)` into `((X_train, y_train), (X_test, y_test))`.
+pub fn train_test_split<R: Rng>(
+    x: &[Vec<f64>],
+    y: &[usize],
+    config: SplitConfig,
+    rng: &mut R,
+) -> (LabeledSet, LabeledSet) {
+    assert_eq!(x.len(), y.len(), "X/y length mismatch");
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    if config.shuffle {
+        idx.shuffle(rng);
+    }
+    let n_train = (x.len() as f64 * config.train_fraction).round() as usize;
+    let (tr, te) = idx.split_at(n_train.min(x.len()));
+    let take = |ids: &[usize]| -> (Vec<Vec<f64>>, Vec<usize>) {
+        (ids.iter().map(|&i| x[i].clone()).collect(), ids.iter().map(|&i| y[i]).collect())
+    };
+    (take(tr), take(te))
+}
+
+/// The paper's class-imbalance treatment (§7): keep every positive
+/// (PhyNet) sample eligible, but only `keep_fraction` of the negatives for
+/// training; the rest are returned as extra test samples.
+///
+/// Returns `(train_indices, spilled_negative_indices)`.
+pub fn rebalance_negatives<R: Rng>(
+    y: &[usize],
+    keep_fraction: f64,
+    rng: &mut R,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut negatives: Vec<usize> = (0..y.len()).filter(|&i| y[i] == 0).collect();
+    negatives.shuffle(rng);
+    let keep = (negatives.len() as f64 * keep_fraction).round() as usize;
+    let (kept, spilled) = negatives.split_at(keep.min(negatives.len()));
+    let mut train: Vec<usize> = (0..y.len()).filter(|&i| y[i] == 1).collect();
+    train.extend_from_slice(kept);
+    train.sort_unstable();
+    (train, spilled.to_vec())
+}
+
+/// Per-feature z-score scaler fitted on a training set.
+#[derive(Debug, Clone)]
+pub struct Scaler {
+    /// Per-feature means.
+    pub mean: Vec<f64>,
+    /// Per-feature standard deviations (zeros replaced by 1).
+    pub sd: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fit on a feature matrix.
+    pub fn fit(x: &[Vec<f64>]) -> Scaler {
+        assert!(!x.is_empty(), "cannot fit a scaler on an empty matrix");
+        let d = x[0].len();
+        let n = x.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in x {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut sd = vec![0.0; d];
+        for row in x {
+            for ((s, &v), &m) in sd.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut sd {
+            *s = (*s / n).sqrt();
+            if *s == 0.0 {
+                *s = 1.0;
+            }
+        }
+        Scaler { mean, sd }
+    }
+
+    /// Transform one sample in place.
+    pub fn transform_mut(&self, x: &mut [f64]) {
+        for ((v, &m), &s) in x.iter_mut().zip(&self.mean).zip(&self.sd) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Transform a matrix, returning a new one.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter()
+            .map(|row| {
+                let mut r = row.clone();
+                self.transform_mut(&mut r);
+                r
+            })
+            .collect()
+    }
+}
+
+/// Fit-and-transform shorthand used across the experiments.
+pub fn standardize(train: &[Vec<f64>], test: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Scaler) {
+    let scaler = Scaler::fit(train);
+    (scaler.transform(train), scaler.transform(test), scaler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (i * 2) as f64]).collect();
+        let y: Vec<usize> = (0..100).map(|i| usize::from(i % 4 == 0)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let (x, y) = toy();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ((xtr, ytr), (xte, yte)) =
+            train_test_split(&x, &y, SplitConfig { train_fraction: 0.7, shuffle: true }, &mut rng);
+        assert_eq!(xtr.len(), 70);
+        assert_eq!(xte.len(), 30);
+        assert_eq!(ytr.len(), 70);
+        assert_eq!(yte.len(), 30);
+    }
+
+    #[test]
+    fn unshuffled_split_is_time_ordered() {
+        let (x, y) = toy();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ((xtr, _), (xte, _)) =
+            train_test_split(&x, &y, SplitConfig { train_fraction: 0.5, shuffle: false }, &mut rng);
+        assert_eq!(xtr[0][0], 0.0);
+        assert_eq!(xtr[49][0], 49.0);
+        assert_eq!(xte[0][0], 50.0);
+    }
+
+    #[test]
+    fn rebalance_keeps_all_positives() {
+        let (_, y) = toy();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (train, spilled) = rebalance_negatives(&y, 0.35, &mut rng);
+        let positives = y.iter().filter(|&&v| v == 1).count();
+        let negatives = y.len() - positives;
+        assert_eq!(train.iter().filter(|&&i| y[i] == 1).count(), positives);
+        let kept_neg = train.len() - positives;
+        assert_eq!(kept_neg, (negatives as f64 * 0.35).round() as usize);
+        assert_eq!(kept_neg + spilled.len(), negatives);
+        for &i in &spilled {
+            assert_eq!(y[i], 0);
+        }
+    }
+
+    #[test]
+    fn scaler_zero_means_unit_variance() {
+        let (x, _) = toy();
+        let scaler = Scaler::fit(&x);
+        let xs = scaler.transform(&x);
+        for j in 0..2 {
+            let mean: f64 = xs.iter().map(|r| r[j]).sum::<f64>() / xs.len() as f64;
+            let var: f64 = xs.iter().map(|r| r[j] * r[j]).sum::<f64>() / xs.len() as f64;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scaler_handles_constant_features() {
+        let x = vec![vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let scaler = Scaler::fit(&x);
+        let xs = scaler.transform(&x);
+        for r in &xs {
+            assert_eq!(r[0], 0.0, "constant feature maps to 0, not NaN");
+            assert!(r[1].is_finite());
+        }
+    }
+}

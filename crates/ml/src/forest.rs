@@ -1,0 +1,320 @@
+//! Random forests (§5.2.1): bagged CART trees with feature subsampling,
+//! class weights, and the explanation machinery the paper's operators
+//! required (§8 "Explanations are crucial").
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Forest configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growing parameters. `max_features = None` here means √d
+    /// (the usual forest default), chosen at fit time.
+    pub tree: TreeConfig,
+    /// Optional per-class weight multipliers (class-imbalance handling).
+    pub class_weight: Option<[f64; 8]>,
+    /// Bootstrap sample size as a fraction of the training set.
+    pub bootstrap_fraction: f64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            tree: TreeConfig { max_depth: 16, min_samples_leaf: 2, ..Default::default() },
+            class_weight: None,
+            bootstrap_fraction: 1.0,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fit with uniform sample weights.
+    pub fn fit<R: Rng>(
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        config: ForestConfig,
+        rng: &mut R,
+    ) -> RandomForest {
+        let w = vec![1.0; x.len()];
+        RandomForest::fit_weighted(x, y, &w, n_classes, config, rng)
+    }
+
+    /// Fit with per-sample weights (the §8 down-weighting/up-weighting
+    /// hook). Class weights from the config are multiplied on top.
+    pub fn fit_weighted<R: Rng>(
+        x: &[Vec<f64>],
+        y: &[usize],
+        weights: &[f64],
+        n_classes: usize,
+        config: ForestConfig,
+        rng: &mut R,
+    ) -> RandomForest {
+        assert!(!x.is_empty(), "cannot fit on an empty data set");
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), weights.len());
+        let n_features = x[0].len();
+        let mut tree_cfg = config.tree;
+        if tree_cfg.max_features.is_none() {
+            tree_cfg.max_features = Some((n_features as f64).sqrt().ceil() as usize);
+        }
+        let w: Vec<f64> = match config.class_weight {
+            None => weights.to_vec(),
+            Some(cw) => weights
+                .iter()
+                .zip(y)
+                .map(|(&wi, &yi)| wi * cw.get(yi).copied().unwrap_or(1.0))
+                .collect(),
+        };
+
+        let n_boot = ((x.len() as f64) * config.bootstrap_fraction).round().max(1.0) as usize;
+        // Seed per-tree RNGs up front so training is deterministic given
+        // the caller's RNG, then train trees independently in parallel.
+        let seeds: Vec<u64> = (0..config.n_trees).map(|_| rng.gen()).collect();
+        let trees: Vec<DecisionTree> = std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .map(|&seed| {
+                    let (x, y, w) = (&x, &y, &w);
+                    scope.spawn(move || {
+                        let mut trng = SmallRng::seed_from_u64(seed);
+                        // Weighted bootstrap: sample indices uniformly and
+                        // keep their weights.
+                        let idx: Vec<usize> =
+                            (0..n_boot).map(|_| trng.gen_range(0..x.len())).collect();
+                        let bx: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+                        let by: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+                        let bw: Vec<f64> = idx.iter().map(|&i| w[i]).collect();
+                        DecisionTree::fit(&bx, &by, &bw, n_classes, tree_cfg, &mut trng)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("tree training panicked")).collect()
+        });
+
+        RandomForest { trees, n_classes, n_features }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The trees (persistence).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Reassemble a forest from trees (persistence).
+    pub fn from_trees(trees: Vec<DecisionTree>) -> Result<RandomForest, String> {
+        let first = trees.first().ok_or("a forest needs at least one tree")?;
+        let (n_classes, n_features) = (first.n_classes(), first.n_features());
+        if trees
+            .iter()
+            .any(|t| t.n_classes() != n_classes || t.n_features() != n_features)
+        {
+            return Err("trees disagree on shape".into());
+        }
+        Ok(RandomForest { trees, n_classes, n_features })
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Probability estimate: average of the trees' leaf distributions.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut p = vec![0.0; self.n_classes];
+        for t in &self.trees {
+            for (acc, &v) in p.iter_mut().zip(t.predict_proba(x)) {
+                *acc += v;
+            }
+        }
+        for v in &mut p {
+            *v /= self.trees.len() as f64;
+        }
+        p
+    }
+
+    /// Prediction confidence: the probability of the predicted class. The
+    /// paper reports this alongside every routing decision (§4).
+    pub fn confidence(&self, x: &[f64]) -> f64 {
+        let p = self.predict_proba(x);
+        p[crate::argmax(&p)]
+    }
+
+    /// Per-prediction feature contributions for `class`, averaged over
+    /// trees (Palczewska et al. \[57\]). `bias + Σ contributions =
+    /// P(class|x)`.
+    pub fn feature_contributions(&self, x: &[f64], class: usize) -> (f64, Vec<f64>) {
+        let mut bias = 0.0;
+        let mut contrib = vec![0.0; self.n_features];
+        for t in &self.trees {
+            let (b, c) = t.feature_contributions(x, class);
+            bias += b;
+            for (acc, v) in contrib.iter_mut().zip(c) {
+                *acc += v;
+            }
+        }
+        let n = self.trees.len() as f64;
+        bias /= n;
+        for v in &mut contrib {
+            *v /= n;
+        }
+        (bias, contrib)
+    }
+
+    /// Mean-decrease-impurity importances averaged over trees, normalized.
+    pub fn feature_importances(&self, x: &[Vec<f64>], y: &[usize]) -> Vec<f64> {
+        let mut imp = vec![0.0; self.n_features];
+        for t in &self.trees {
+            for (acc, v) in imp.iter_mut().zip(t.feature_importances(x, y)) {
+                *acc += v;
+            }
+        }
+        let s: f64 = imp.iter().sum();
+        if s > 0.0 {
+            for v in &mut imp {
+                *v /= s;
+            }
+        }
+        imp
+    }
+}
+
+impl Classifier for RandomForest {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        RandomForest::predict_proba(self, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(11)
+    }
+
+    /// Noisy two-moon-ish data: label depends on a nonlinear combination.
+    fn nonlinear(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i as f64 * 0.7919).fract() * 4.0 - 2.0;
+            let b = (i as f64 * 0.3571).fract() * 4.0 - 2.0;
+            let label = usize::from(a * a + b * b < 2.0);
+            x.push(vec![a, b, (i as f64 * 0.11).fract()]);
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_nonlinear_boundary() {
+        let (x, y) = nonlinear(400);
+        let forest = RandomForest::fit(&x, &y, 2, ForestConfig::default(), &mut rng());
+        let preds = forest.predict_batch(&x);
+        let acc = preds.iter().zip(&y).filter(|(p, y)| p == y).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_distributions() {
+        let (x, y) = nonlinear(200);
+        let forest = RandomForest::fit(&x, &y, 2, ForestConfig::default(), &mut rng());
+        for xi in x.iter().take(30) {
+            let p = RandomForest::predict_proba(&forest, xi);
+            assert_eq!(p.len(), 2);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let conf = forest.confidence(xi);
+            assert!(conf >= 0.5, "binary confidence is at least 0.5, got {conf}");
+        }
+    }
+
+    #[test]
+    fn contributions_reconstruct_forest_probability() {
+        let (x, y) = nonlinear(200);
+        let forest = RandomForest::fit(&x, &y, 2, ForestConfig::default(), &mut rng());
+        for xi in x.iter().take(10) {
+            let (bias, contrib) = forest.feature_contributions(xi, 1);
+            let total = bias + contrib.iter().sum::<f64>();
+            assert!((total - RandomForest::predict_proba(&forest, xi)[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noise_feature_gets_little_importance() {
+        let (x, y) = nonlinear(400);
+        let forest = RandomForest::fit(&x, &y, 2, ForestConfig::default(), &mut rng());
+        let imp = forest.feature_importances(&x, &y);
+        assert!(imp[2] < imp[0] && imp[2] < imp[1], "noise importance {imp:?}");
+    }
+
+    #[test]
+    fn class_weights_bias_toward_minority() {
+        // 95:5 imbalance; identical features except a weak signal.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let minority = i % 20 == 0;
+            let v = if minority { 0.6 } else { 0.4 };
+            x.push(vec![v + ((i * 13) % 10) as f64 * 0.03]);
+            y.push(usize::from(minority));
+        }
+        let mut cw = [1.0; 8];
+        cw[1] = 20.0;
+        let cfg = ForestConfig { class_weight: Some(cw), ..Default::default() };
+        let weighted = RandomForest::fit(&x, &y, 2, cfg, &mut rng());
+        let recall = |f: &RandomForest| {
+            let preds = f.predict_batch(&x);
+            let tp = preds.iter().zip(&y).filter(|&(&p, &l)| p == 1 && l == 1).count();
+            tp as f64 / y.iter().filter(|&&l| l == 1).count() as f64
+        };
+        assert!(recall(&weighted) > 0.9, "weighted recall {}", recall(&weighted));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = nonlinear(100);
+        let f1 = RandomForest::fit(&x, &y, 2, ForestConfig::default(), &mut rng());
+        let f2 = RandomForest::fit(&x, &y, 2, ForestConfig::default(), &mut rng());
+        for xi in x.iter().take(20) {
+            assert_eq!(
+                RandomForest::predict_proba(&f1, xi),
+                RandomForest::predict_proba(&f2, xi)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_weights_flow_through() {
+        let x = vec![vec![0.0], vec![0.0]];
+        let y = vec![0, 1];
+        let w = vec![0.05, 5.0];
+        let cfg = ForestConfig { n_trees: 21, ..Default::default() };
+        let forest = RandomForest::fit_weighted(&x, &y, &w, 2, cfg, &mut rng());
+        assert_eq!(forest.predict(&[0.0]), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! k-nearest-neighbours classification (Table 4's strongest non-forest
+//! baseline in the paper, F1 = 0.95).
+
+use crate::Classifier;
+
+/// A fitted (memorized) k-NN classifier with Euclidean distance.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    k: usize,
+    n_classes: usize,
+}
+
+impl KnnClassifier {
+    /// Memorize the training set.
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, k: usize) -> KnnClassifier {
+        assert!(!x.is_empty(), "k-NN needs at least one training sample");
+        assert_eq!(x.len(), y.len());
+        assert!(k >= 1);
+        KnnClassifier { x: x.to_vec(), y: y.to_vec(), k, n_classes }
+    }
+
+    /// The `k` in use (clamped to the training-set size at query time).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn neighbor_votes(&self, q: &[f64]) -> Vec<f64> {
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(xi, &yi)| (squared_distance(xi, q), yi))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut votes = vec![0.0; self.n_classes];
+        for &(_, yi) in &dists[..k] {
+            votes[yi] += 1.0 / k as f64;
+        }
+        votes
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Classifier for KnnClassifier {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        self.neighbor_votes(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_nn_memorizes() {
+        let x = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0]];
+        let y = vec![0, 0, 1];
+        let knn = KnnClassifier::fit(&x, &y, 2, 1);
+        assert_eq!(knn.predict(&[0.1, 0.1]), 0);
+        assert_eq!(knn.predict(&[4.9, 5.2]), 1);
+    }
+
+    #[test]
+    fn k_votes_smooth_noise() {
+        // One mislabeled point surrounded by correct ones.
+        let x = vec![
+            vec![0.0],
+            vec![0.1],
+            vec![0.2],
+            vec![0.15],
+            vec![5.0],
+        ];
+        let y = vec![0, 0, 0, 1, 1];
+        let knn = KnnClassifier::fit(&x, &y, 2, 3);
+        assert_eq!(knn.predict(&[0.12]), 0, "majority of 3 neighbours wins");
+    }
+
+    #[test]
+    fn probabilities_are_vote_fractions() {
+        let x = vec![vec![0.0], vec![0.1], vec![0.2]];
+        let y = vec![0, 1, 0];
+        let knn = KnnClassifier::fit(&x, &y, 2, 3);
+        let p = knn.predict_proba(&[0.05]);
+        assert!((p[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_train_set_is_clamped() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 1];
+        let knn = KnnClassifier::fit(&x, &y, 2, 10);
+        let p = knn.predict_proba(&[0.4]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Minimal dense linear algebra for QDA: LU decomposition with partial
+//! pivoting, solving, inversion and log-determinants.
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Dimension.
+    pub n: usize,
+    /// Row-major storage, `n * n` entries.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(n: usize) -> Matrix {
+        Matrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Construct from rows (must be square).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        let n = rows.len();
+        assert!(rows.iter().all(|r| r.len() == n), "matrix must be square");
+        Matrix { n, data: rows.iter().flatten().copied().collect() }
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n);
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self[(i, j)] * v[j]).sum())
+            .collect()
+    }
+
+    /// LU decomposition with partial pivoting. Returns `None` for singular
+    /// matrices.
+    pub fn lu(&self) -> Option<Lu> {
+        let n = self.n;
+        let mut a = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0f64;
+        for k in 0..n {
+            // Pivot: largest |a[i][k]| for i >= k.
+            let mut p = k;
+            for i in (k + 1)..n {
+                if a[i * n + k].abs() > a[p * n + k].abs() {
+                    p = i;
+                }
+            }
+            if a[p * n + k].abs() < 1e-300 {
+                return None;
+            }
+            if p != k {
+                for j in 0..n {
+                    a.swap(k * n + j, p * n + j);
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = a[k * n + k];
+            for i in (k + 1)..n {
+                let factor = a[i * n + k] / pivot;
+                a[i * n + k] = factor;
+                for j in (k + 1)..n {
+                    a[i * n + j] -= factor * a[k * n + j];
+                }
+            }
+        }
+        Some(Lu { n, lu: a, perm, sign })
+    }
+
+    /// Inverse via LU. `None` for singular matrices.
+    pub fn inverse(&self) -> Option<Matrix> {
+        let lu = self.lu()?;
+        let n = self.n;
+        let mut inv = Matrix::zeros(n);
+        let mut e = vec![0.0; n];
+        for col in 0..n {
+            e.iter_mut().for_each(|v| *v = 0.0);
+            e[col] = 1.0;
+            let x = lu.solve(&e);
+            for row in 0..n {
+                inv[(row, col)] = x[row];
+            }
+        }
+        Some(inv)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// An LU factorization (PA = LU).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Solve `Ax = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        // Forward substitution with permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            for j in 0..i {
+                x[i] -= self.lu[i * n + j] * x[j];
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                x[i] -= self.lu[i * n + j] * x[j];
+            }
+            x[i] /= self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// log|det A| and its sign.
+    pub fn log_abs_det(&self) -> (f64, f64) {
+        let n = self.n;
+        let mut log = 0.0;
+        let mut sign = self.sign;
+        for i in 0..n {
+            let d = self.lu[i * n + i];
+            log += d.abs().ln();
+            if d < 0.0 {
+                sign = -sign;
+            }
+        }
+        (log, sign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.mul_vec(&x_true);
+        let x = a.lu().unwrap().solve(&b);
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![1.0, 3.0, 2.0],
+            vec![1.0, 0.0, 0.5],
+        ]);
+        let inv = a.inverse().unwrap();
+        for i in 0..3 {
+            let col: Vec<f64> = (0..3).map(|j| inv[(j, i)]).collect();
+            let e = a.mul_vec(&col);
+            for (j, &v) in e.iter().enumerate() {
+                let expect = f64::from(i == j);
+                assert!((v - expect).abs() < 1e-10, "entry ({j},{i}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(a.lu().is_none());
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn log_det_matches_hand_computed() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 5.0]]);
+        let (log, sign) = a.lu().unwrap().log_abs_det();
+        assert!((log - 15.0f64.ln()).abs() < 1e-12);
+        assert_eq!(sign, 1.0);
+        let b = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let (_, sign) = b.lu().unwrap().log_abs_det();
+        assert_eq!(sign, -1.0, "swap has negative determinant");
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.lu().unwrap().solve(&[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,170 @@
+//! Accuracy metrics: the paper reports precision, recall and F1 (§7).
+
+/// A binary confusion matrix. The "positive" class is label 1 by
+/// convention — for Scouts, "this team is responsible".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Positive predicted positive.
+    pub tp: usize,
+    /// Negative predicted positive.
+    pub fp: usize,
+    /// Positive predicted negative.
+    pub fn_: usize,
+    /// Negative predicted negative.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against labels (both 0/1).
+    pub fn from_predictions(labels: &[usize], preds: &[usize]) -> Confusion {
+        assert_eq!(labels.len(), preds.len(), "label/prediction length mismatch");
+        let mut c = Confusion::default();
+        for (&y, &p) in labels.iter().zip(preds) {
+            match (y, p) {
+                (1, 1) => c.tp += 1,
+                (0, 1) => c.fp += 1,
+                (1, 0) => c.fn_ += 1,
+                (0, 0) => c.tn += 1,
+                _ => panic!("binary confusion needs 0/1 labels, got ({y}, {p})"),
+            }
+        }
+        c
+    }
+
+    /// Record one (label, prediction) outcome.
+    pub fn record(&mut self, label: bool, predicted: bool) {
+        match (label, predicted) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total number of samples tallied.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// TP / (TP + FP). 1.0 when nothing was predicted positive (vacuous
+    /// trustworthiness, matching common tooling).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// TP / (TP + FN). 1.0 when there were no positives to find.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// The three headline numbers as a struct.
+    pub fn metrics(&self) -> BinaryMetrics {
+        BinaryMetrics { precision: self.precision(), recall: self.recall(), f1: self.f1() }
+    }
+}
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryMetrics {
+    /// TP / (TP + FP).
+    pub precision: f64,
+    /// TP / (TP + FN).
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+}
+
+impl std::fmt::Display for BinaryMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "precision {:.1}%, recall {:.1}%, F1 {:.2}",
+            self.precision * 100.0,
+            self.recall * 100.0,
+            self.f1
+        )
+    }
+}
+
+/// Convenience: confusion from labels and predictions.
+pub fn confusion(labels: &[usize], preds: &[usize]) -> Confusion {
+    Confusion::from_predictions(labels, preds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_correct() {
+        let c = confusion(&[1, 1, 0, 0, 1, 0], &[1, 0, 1, 0, 1, 0]);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, fn_: 1, tn: 2 });
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn metrics_match_hand_computation() {
+        let c = Confusion { tp: 90, fp: 10, fn_: 5, tn: 95 };
+        assert!((c.precision() - 0.9).abs() < 1e-12);
+        assert!((c.recall() - 90.0 / 95.0).abs() < 1e-12);
+        let p = 0.9;
+        let r = 90.0 / 95.0;
+        assert!((c.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+        assert!((c.accuracy() - 185.0 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let none_predicted = Confusion { tp: 0, fp: 0, fn_: 3, tn: 7 };
+        assert_eq!(none_predicted.precision(), 1.0);
+        assert_eq!(none_predicted.recall(), 0.0);
+        assert_eq!(none_predicted.f1(), 0.0);
+        let no_positives = Confusion { tp: 0, fp: 0, fn_: 0, tn: 10 };
+        assert_eq!(no_positives.recall(), 1.0);
+        assert_eq!(Confusion::default().accuracy(), 1.0);
+    }
+
+    #[test]
+    fn record_matches_batch() {
+        let mut c = Confusion::default();
+        c.record(true, true);
+        c.record(false, true);
+        c.record(true, false);
+        c.record(false, false);
+        assert_eq!(c, confusion(&[1, 0, 1, 0], &[1, 1, 0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "binary confusion")]
+    fn rejects_non_binary() {
+        confusion(&[2], &[0]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Gaussian Naive Bayes (the weakest Table-4 baseline, F1 = 0.73 — its
+//! independence assumption is a poor fit for correlated telemetry
+//! statistics, which this reproduction should show too).
+
+use crate::Classifier;
+
+/// Fitted Gaussian NB model.
+#[derive(Debug, Clone)]
+pub struct GaussianNb {
+    /// Per class: log prior.
+    log_prior: Vec<f64>,
+    /// Per class, per feature: mean.
+    mean: Vec<Vec<f64>>,
+    /// Per class, per feature: variance (floored).
+    var: Vec<Vec<f64>>,
+}
+
+/// Variance floor, mirroring scikit-learn's `var_smoothing` role.
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNb {
+    /// Fit per-class feature Gaussians.
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize) -> GaussianNb {
+        assert!(!x.is_empty());
+        assert_eq!(x.len(), y.len());
+        let d = x[0].len();
+        let mut count = vec![0usize; n_classes];
+        let mut mean = vec![vec![0.0; d]; n_classes];
+        for (xi, &yi) in x.iter().zip(y) {
+            count[yi] += 1;
+            for (m, &v) in mean[yi].iter_mut().zip(xi) {
+                *m += v;
+            }
+        }
+        for (c, m) in mean.iter_mut().enumerate() {
+            if count[c] > 0 {
+                for v in m.iter_mut() {
+                    *v /= count[c] as f64;
+                }
+            }
+        }
+        let mut var = vec![vec![0.0; d]; n_classes];
+        for (xi, &yi) in x.iter().zip(y) {
+            for ((s, &v), &m) in var[yi].iter_mut().zip(xi).zip(&mean[yi]) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        // Global variance scale keeps the floor meaningful across units.
+        let global_scale: f64 = {
+            let total: f64 = var.iter().map(|vr| vr.iter().sum::<f64>()).sum();
+            (total / (x.len() * d) as f64).max(1.0)
+        };
+        for (c, vr) in var.iter_mut().enumerate() {
+            for v in vr.iter_mut() {
+                *v = if count[c] > 0 { *v / count[c] as f64 } else { 0.0 };
+                *v = v.max(VAR_FLOOR * global_scale);
+            }
+        }
+        let n = x.len() as f64;
+        let log_prior = count
+            .iter()
+            .map(|&c| if c == 0 { f64::NEG_INFINITY } else { (c as f64 / n).ln() })
+            .collect();
+        GaussianNb { log_prior, mean, var }
+    }
+
+    fn log_likelihoods(&self, x: &[f64]) -> Vec<f64> {
+        self.log_prior
+            .iter()
+            .enumerate()
+            .map(|(c, &lp)| {
+                if lp == f64::NEG_INFINITY {
+                    return f64::NEG_INFINITY;
+                }
+                let mut ll = lp;
+                for ((&v, &m), &s2) in x.iter().zip(&self.mean[c]).zip(&self.var[c]) {
+                    ll += -0.5 * ((v - m) * (v - m) / s2 + s2.ln() + LN_2PI);
+                }
+                ll
+            })
+            .collect()
+    }
+}
+
+const LN_2PI: f64 = 1.837_877_066_409_345_6;
+
+impl Classifier for GaussianNb {
+    fn n_classes(&self) -> usize {
+        self.log_prior.len()
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        softmax_from_log(&self.log_likelihoods(x))
+    }
+}
+
+/// Stable softmax over log scores (−∞ entries become zero probability).
+pub(crate) fn softmax_from_log(log_scores: &[f64]) -> Vec<f64> {
+    let max = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return vec![1.0 / log_scores.len() as f64; log_scores.len()];
+    }
+    let exps: Vec<f64> = log_scores.iter().map(|&s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_gaussians_are_learned() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let jitter = ((i * 31) % 10) as f64 * 0.05;
+            if i % 2 == 0 {
+                x.push(vec![0.0 + jitter, 1.0 - jitter]);
+                y.push(0);
+            } else {
+                x.push(vec![5.0 + jitter, -3.0 + jitter]);
+                y.push(1);
+            }
+        }
+        let nb = GaussianNb::fit(&x, &y, 2);
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(nb.predict(xi), yi);
+        }
+    }
+
+    #[test]
+    fn probabilities_form_distribution() {
+        let x = vec![vec![0.0], vec![1.0], vec![5.0], vec![6.0]];
+        let y = vec![0, 0, 1, 1];
+        let nb = GaussianNb::fit(&x, &y, 2);
+        let p = nb.predict_proba(&[3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn priors_matter_for_ambiguous_points() {
+        // Class 0 is 9× more common; identical likelihoods at the midpoint.
+        let mut x = vec![vec![0.0]; 9];
+        x.push(vec![2.0]);
+        let mut y = vec![0; 9];
+        y.push(1);
+        let nb = GaussianNb::fit(&x, &y, 2);
+        let p = nb.predict_proba(&[1.0]);
+        assert!(p[0] > p[1], "prior should break the tie: {p:?}");
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let x = vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 5.0], vec![1.0, 6.0]];
+        let y = vec![0, 0, 1, 1];
+        let nb = GaussianNb::fit(&x, &y, 2);
+        let p = nb.predict_proba(&[1.0, 5.5]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert_eq!(nb.predict(&[1.0, 5.5]), 1);
+    }
+
+    #[test]
+    fn empty_class_gets_zero_probability() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 0];
+        let nb = GaussianNb::fit(&x, &y, 2);
+        let p = nb.predict_proba(&[0.5]);
+        assert_eq!(p[1], 0.0);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! Quadratic Discriminant Analysis (Table 4, F1 = 0.9): per-class Gaussian
+//! with full covariance, regularized toward the diagonal so it survives the
+//! high-dimensional, partially-constant Scout feature vectors.
+
+use crate::linalg::Matrix;
+use crate::naive_bayes::softmax_from_log;
+use crate::Classifier;
+
+/// A fitted QDA model.
+#[derive(Debug, Clone)]
+pub struct Qda {
+    log_prior: Vec<f64>,
+    mean: Vec<Vec<f64>>,
+    /// Per class: inverse covariance.
+    precision: Vec<Matrix>,
+    /// Per class: log|Σ|.
+    log_det: Vec<f64>,
+}
+
+impl Qda {
+    /// Fit with shrinkage `reg ∈ [0, 1]` toward the scaled identity
+    /// (Ledoit–Wolf-style regularization; `reg = 0` is plain QDA).
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, reg: f64) -> Qda {
+        assert!(!x.is_empty());
+        assert_eq!(x.len(), y.len());
+        let d = x[0].len();
+        let mut log_prior = Vec::with_capacity(n_classes);
+        let mut mean = Vec::with_capacity(n_classes);
+        let mut precision = Vec::with_capacity(n_classes);
+        let mut log_det = Vec::with_capacity(n_classes);
+        for c in 0..n_classes {
+            let rows: Vec<&Vec<f64>> =
+                x.iter().zip(y).filter(|(_, &yi)| yi == c).map(|(xi, _)| xi).collect();
+            if rows.is_empty() {
+                log_prior.push(f64::NEG_INFINITY);
+                mean.push(vec![0.0; d]);
+                precision.push(Matrix::identity(d));
+                log_det.push(0.0);
+                continue;
+            }
+            log_prior.push((rows.len() as f64 / x.len() as f64).ln());
+            let mut mu = vec![0.0; d];
+            for r in &rows {
+                for (m, &v) in mu.iter_mut().zip(r.iter()) {
+                    *m += v;
+                }
+            }
+            for m in &mut mu {
+                *m /= rows.len() as f64;
+            }
+            // Covariance with shrinkage toward avg-variance identity.
+            let mut cov = Matrix::zeros(d);
+            for r in &rows {
+                for i in 0..d {
+                    let di = r[i] - mu[i];
+                    for j in i..d {
+                        let v = di * (r[j] - mu[j]);
+                        cov[(i, j)] += v;
+                    }
+                }
+            }
+            let denom = rows.len().max(2) as f64 - 1.0;
+            for i in 0..d {
+                for j in i..d {
+                    let v = cov[(i, j)] / denom;
+                    cov[(i, j)] = v;
+                    cov[(j, i)] = v;
+                }
+            }
+            let avg_var =
+                ((0..d).map(|i| cov[(i, i)]).sum::<f64>() / d as f64).max(1e-9);
+            for i in 0..d {
+                for j in 0..d {
+                    let target = if i == j { avg_var } else { 0.0 };
+                    cov[(i, j)] = (1.0 - reg) * cov[(i, j)] + reg * target;
+                }
+                // Absolute floor to guarantee invertibility.
+                cov[(i, i)] += 1e-9 * avg_var.max(1.0);
+            }
+            let lu = cov.lu().expect("regularized covariance must be invertible");
+            let (ld, _) = lu.log_abs_det();
+            let inv = cov.inverse().expect("regularized covariance must be invertible");
+            mean.push(mu);
+            precision.push(inv);
+            log_det.push(ld);
+        }
+        Qda { log_prior, mean, precision, log_det }
+    }
+
+    fn discriminants(&self, x: &[f64]) -> Vec<f64> {
+        self.log_prior
+            .iter()
+            .enumerate()
+            .map(|(c, &lp)| {
+                if lp == f64::NEG_INFINITY {
+                    return f64::NEG_INFINITY;
+                }
+                let diff: Vec<f64> =
+                    x.iter().zip(&self.mean[c]).map(|(&v, &m)| v - m).collect();
+                let pd = self.precision[c].mul_vec(&diff);
+                let maha: f64 = diff.iter().zip(&pd).map(|(a, b)| a * b).sum();
+                lp - 0.5 * (maha + self.log_det[c])
+            })
+            .collect()
+    }
+}
+
+impl Classifier for Qda {
+    fn n_classes(&self) -> usize {
+        self.log_prior.len()
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        softmax_from_log(&self.discriminants(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two classes with different covariance *shapes*, same center region —
+    /// the case LDA cannot represent but QDA can.
+    fn covariance_shaped() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let t = (i as f64 * 0.7919).fract() * 2.0 - 1.0;
+            let u = (i as f64 * 0.3571).fract() * 2.0 - 1.0;
+            if i % 2 == 0 {
+                // Tight blob.
+                x.push(vec![0.2 * t, 0.2 * u]);
+                y.push(0);
+            } else {
+                // Wide ring-ish cloud.
+                x.push(vec![3.0 * t, 3.0 * u]);
+                y.push(1);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn captures_covariance_differences() {
+        let (x, y) = covariance_shaped();
+        let qda = Qda::fit(&x, &y, 2, 0.05);
+        // Points near the origin belong to the tight class...
+        assert_eq!(qda.predict(&[0.05, 0.02]), 0);
+        // ...far points to the wide class.
+        assert_eq!(qda.predict(&[2.5, -2.0]), 1);
+        let acc = qda.predict_batch(&x).iter().zip(&y).filter(|(p, y)| p == y).count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_form_distribution() {
+        let (x, y) = covariance_shaped();
+        let qda = Qda::fit(&x, &y, 2, 0.1);
+        for xi in x.iter().take(20) {
+            let p = qda.predict_proba(xi);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn survives_constant_features() {
+        let x = vec![
+            vec![1.0, 0.0, 7.0],
+            vec![1.0, 0.5, 7.0],
+            vec![1.0, 5.0, 7.0],
+            vec![1.0, 5.5, 7.0],
+        ];
+        let y = vec![0, 0, 1, 1];
+        let qda = Qda::fit(&x, &y, 2, 0.2);
+        assert_eq!(qda.predict(&[1.0, 0.2, 7.0]), 0);
+        assert_eq!(qda.predict(&[1.0, 5.2, 7.0]), 1);
+    }
+
+    #[test]
+    fn empty_class_gets_zero_probability() {
+        let x = vec![vec![0.0, 1.0], vec![0.2, 0.8]];
+        let y = vec![0, 0];
+        let qda = Qda::fit(&x, &y, 2, 0.5);
+        let p = qda.predict_proba(&[0.1, 0.9]);
+        assert_eq!(p[1], 0.0);
+    }
+}

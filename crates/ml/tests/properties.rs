@@ -1,0 +1,150 @@
+//! Property-based tests for the ML substrate: invariants that must hold
+//! for arbitrary data, not just the fixtures.
+
+use ml::cpd::{detect_change_points_fast, FAST_THRESHOLD};
+use ml::data::Scaler;
+use ml::forest::{ForestConfig, RandomForest};
+use ml::metrics::Confusion;
+use ml::tree::{DecisionTree, TreeConfig};
+use ml::{AdaBoost, Classifier, GaussianNb, KnnClassifier, Qda};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Arbitrary small labeled data set with both classes present.
+fn dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>)> {
+    (4usize..40, 1usize..6).prop_flat_map(|(n, d)| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(-100.0f64..100.0, d..=d),
+                n..=n,
+            ),
+            proptest::collection::vec(0usize..2, n..=n)
+                .prop_filter("both classes", |y| y.contains(&0) && y.contains(&1)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Trees always emit valid probability distributions and classify
+    /// their own training points better than chance on separable labels.
+    #[test]
+    fn tree_probabilities_are_distributions((x, y) in dataset()) {
+        let w = vec![1.0; x.len()];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = DecisionTree::fit(&x, &y, &w, 2, TreeConfig::default(), &mut rng);
+        for xi in &x {
+            let p = t.predict_proba(xi);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// Feature contributions always reconstruct the prediction exactly.
+    #[test]
+    fn contributions_always_reconstruct((x, y) in dataset()) {
+        let w = vec![1.0; x.len()];
+        let mut rng = SmallRng::seed_from_u64(2);
+        let t = DecisionTree::fit(&x, &y, &w, 2, TreeConfig::default(), &mut rng);
+        for xi in x.iter().take(10) {
+            let (bias, contrib) = t.feature_contributions(xi, 1);
+            let total = bias + contrib.iter().sum::<f64>();
+            prop_assert!((total - t.predict_proba(xi)[1]).abs() < 1e-9);
+        }
+    }
+
+    /// Forest probabilities are distributions; predictions are stable
+    /// under identical seeds.
+    #[test]
+    fn forest_is_deterministic_and_valid((x, y) in dataset()) {
+        let cfg = ForestConfig { n_trees: 7, ..Default::default() };
+        let f1 = RandomForest::fit(&x, &y, 2, cfg, &mut SmallRng::seed_from_u64(3));
+        let f2 = RandomForest::fit(&x, &y, 2, cfg, &mut SmallRng::seed_from_u64(3));
+        for xi in x.iter().take(10) {
+            let p1 = RandomForest::predict_proba(&f1, xi);
+            let p2 = RandomForest::predict_proba(&f2, xi);
+            prop_assert_eq!(p1.clone(), p2);
+            prop_assert!((p1.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// All zoo models produce finite distributions on arbitrary data.
+    #[test]
+    fn zoo_models_are_total((x, y) in dataset()) {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(KnnClassifier::fit(&x, &y, 2, 3)),
+            Box::new(GaussianNb::fit(&x, &y, 2)),
+            Box::new(AdaBoost::fit(&x, &y, 2, 10, &mut rng)),
+            Box::new(Qda::fit(&x, &y, 2, 0.5)),
+        ];
+        for m in &models {
+            for xi in x.iter().take(5) {
+                let p = m.predict_proba(xi);
+                prop_assert_eq!(p.len(), 2);
+                prop_assert!(p.iter().all(|v| v.is_finite() && *v >= 0.0));
+                prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+                prop_assert!(m.predict(xi) < 2);
+            }
+        }
+    }
+
+    /// Confusion counts always partition the sample.
+    #[test]
+    fn confusion_partitions(labels in proptest::collection::vec(0usize..2, 0..50),
+                            preds_seed in any::<u64>()) {
+        let mut s = preds_seed.max(1);
+        let preds: Vec<usize> = labels.iter().map(|_| {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 2) as usize
+        }).collect();
+        let c = Confusion::from_predictions(&labels, &preds);
+        prop_assert_eq!(c.total(), labels.len());
+        prop_assert!(c.precision() >= 0.0 && c.precision() <= 1.0);
+        prop_assert!(c.recall() >= 0.0 && c.recall() <= 1.0);
+        prop_assert!(c.f1() >= 0.0 && c.f1() <= 1.0);
+    }
+
+    /// The fast change-point detector is shift-invariant and
+    /// scale-invariant (it z-normalizes internally).
+    #[test]
+    fn fast_cpd_is_affine_invariant(
+        base in proptest::collection::vec(-5.0f64..5.0, 16..32),
+        shift in -100.0f64..100.0,
+        scale in 0.1f64..50.0,
+    ) {
+        let a = detect_change_points_fast(&base, 4, FAST_THRESHOLD);
+        let transformed: Vec<f64> = base.iter().map(|v| v * scale + shift).collect();
+        let b = detect_change_points_fast(&transformed, 4, FAST_THRESHOLD);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Scaler transform is invertible in distribution: transformed data
+    /// has ~zero mean / unit variance per feature.
+    #[test]
+    fn scaler_normalizes(x in proptest::collection::vec(
+        proptest::collection::vec(-1000.0f64..1000.0, 3..=3), 5..40)) {
+        let scaler = Scaler::fit(&x);
+        let xs = scaler.transform(&x);
+        for j in 0..3 {
+            let col: Vec<f64> = xs.iter().map(|r| r[j]).collect();
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-6, "mean {mean}");
+        }
+    }
+
+    /// kNN with k = n predicts the majority class everywhere.
+    #[test]
+    fn knn_full_k_is_majority_vote((x, y) in dataset()) {
+        let knn = KnnClassifier::fit(&x, &y, 2, x.len());
+        let majority = usize::from(y.iter().filter(|&&v| v == 1).count() * 2 > y.len());
+        let ones = y.iter().filter(|&&v| v == 1).count();
+        // Skip exact ties (argmax break order is unspecified semantics).
+        prop_assume!(ones * 2 != y.len());
+        for xi in x.iter().take(5) {
+            prop_assert_eq!(knn.predict(xi), majority);
+        }
+    }
+}

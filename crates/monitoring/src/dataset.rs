@@ -1,0 +1,252 @@
+//! The twelve monitoring data sets of the paper's Table 2.
+
+use cloudsim::ComponentKind;
+use std::fmt;
+
+/// Whether a data set is sampled regularly or fires irregularly (§5.1:
+/// "All monitoring data can be transformed into one of these two basic
+/// types").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Measured at a fixed interval (utilization, temperature, …).
+    TimeSeries,
+    /// Irregular occurrences (alerts, syslog messages, …).
+    Event,
+}
+
+/// One of the twelve PhyNet monitoring data sets (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dataset {
+    /// Pingmesh-style server-pair latency (ms), aggregated per server.
+    PingStats,
+    /// NetBouncer-style detections of links dropping packets.
+    LinkDrops,
+    /// NetBouncer-style detections of switches dropping packets.
+    SwitchDrops,
+    /// Canary VMs on every rack testing Internet reachability (success
+    /// fraction per server).
+    Canaries,
+    /// Records of VM / host / switch reboots.
+    DeviceReboots,
+    /// Packet-loss rate on switch ports.
+    LinkLossStatus,
+    /// Corruption (FCS) loss-rate alarms on links.
+    PacketCorruptionFcs,
+    /// Standard SNMP traps and syslog error messages.
+    SnmpSyslog,
+    /// Priority-flow-control message counts on RDMA-enabled switches.
+    PfcCounters,
+    /// Packets dropped on switch interfaces per interval.
+    InterfaceCounters,
+    /// Per-component (ASIC / server) temperature.
+    Temperature,
+    /// CPU usage on the device.
+    CpuUsage,
+}
+
+impl Dataset {
+    /// All twelve data sets, in Table-2 order.
+    pub const ALL: [Dataset; 12] = [
+        Dataset::PingStats,
+        Dataset::LinkDrops,
+        Dataset::SwitchDrops,
+        Dataset::Canaries,
+        Dataset::DeviceReboots,
+        Dataset::LinkLossStatus,
+        Dataset::PacketCorruptionFcs,
+        Dataset::SnmpSyslog,
+        Dataset::PfcCounters,
+        Dataset::InterfaceCounters,
+        Dataset::Temperature,
+        Dataset::CpuUsage,
+    ];
+
+    /// Stable index (0..12) used for noise seeding and feature layout.
+    pub fn index(self) -> usize {
+        Dataset::ALL.iter().position(|&d| d == self).unwrap()
+    }
+
+    /// Table-2 row name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::PingStats => "ping-statistics",
+            Dataset::LinkDrops => "link-level-drops",
+            Dataset::SwitchDrops => "switch-level-drops",
+            Dataset::Canaries => "canaries",
+            Dataset::DeviceReboots => "device-reboots",
+            Dataset::LinkLossStatus => "link-loss-status",
+            Dataset::PacketCorruptionFcs => "fcs-corruption",
+            Dataset::SnmpSyslog => "snmp-syslog",
+            Dataset::PfcCounters => "pfc-counters",
+            Dataset::InterfaceCounters => "interface-counters",
+            Dataset::Temperature => "temperature",
+            Dataset::CpuUsage => "cpu-usage",
+        }
+    }
+
+    /// Whether samples are regular or event-like.
+    pub fn data_type(self) -> DataType {
+        match self {
+            Dataset::PingStats
+            | Dataset::Canaries
+            | Dataset::LinkLossStatus
+            | Dataset::PfcCounters
+            | Dataset::InterfaceCounters
+            | Dataset::Temperature
+            | Dataset::CpuUsage => DataType::TimeSeries,
+            Dataset::LinkDrops
+            | Dataset::SwitchDrops
+            | Dataset::DeviceReboots
+            | Dataset::PacketCorruptionFcs
+            | Dataset::SnmpSyslog => DataType::Event,
+        }
+    }
+
+    /// The component kinds this data set instruments.
+    pub fn covers(self, kind: ComponentKind) -> bool {
+        use ComponentKind::*;
+        match self {
+            Dataset::PingStats => matches!(kind, Server),
+            Dataset::LinkDrops => kind.is_switch(),
+            Dataset::SwitchDrops => kind.is_switch(),
+            Dataset::Canaries => matches!(kind, Server),
+            Dataset::DeviceReboots => matches!(kind, Server) || kind.is_switch(),
+            Dataset::LinkLossStatus => kind.is_switch(),
+            Dataset::PacketCorruptionFcs => kind.is_switch(),
+            Dataset::SnmpSyslog => matches!(kind, Server) || kind.is_switch(),
+            Dataset::PfcCounters => kind.is_switch(),
+            Dataset::InterfaceCounters => kind.is_switch(),
+            Dataset::Temperature => matches!(kind, Server) || kind.is_switch(),
+            Dataset::CpuUsage => matches!(kind, Server) || kind.is_switch(),
+        }
+    }
+
+    /// Optional class tag (§5.1): data sets sharing a tag are normalized and
+    /// merged across hardware generations. The paper's PhyNet Scout has
+    /// exactly two tagged data sets.
+    pub fn class_tag(self) -> Option<&'static str> {
+        match self {
+            Dataset::CpuUsage => Some("CPU_UTIL"),
+            Dataset::Temperature => Some("TEMP"),
+            _ => None,
+        }
+    }
+
+    /// Event vocabularies: the per-type counting of §5.2.1 ("we count the
+    /// events per type of alert and per component, e.g. the number of
+    /// Syslogs (per type of Syslog)").
+    pub fn event_kinds(self) -> &'static [&'static str] {
+        match self {
+            Dataset::LinkDrops => &["link-drop-detected"],
+            Dataset::SwitchDrops => &["switch-drop-detected"],
+            Dataset::DeviceReboots => &["reboot"],
+            Dataset::PacketCorruptionFcs => &["fcs-threshold-exceeded"],
+            Dataset::SnmpSyslog => &[
+                "link-down",
+                "bgp-flap",
+                "parity-error",
+                "fan-fail",
+                "temp-alarm",
+                "agent-crash",
+                "config-commit",
+            ],
+            _ => &[],
+        }
+    }
+
+    /// Healthy time-series baseline (mean, standard deviation) in the data
+    /// set's natural unit. Event data sets have a background event rate per
+    /// device-hour instead (see [`Dataset::background_event_rate`]).
+    pub fn baseline(self) -> (f64, f64) {
+        match self {
+            Dataset::PingStats => (0.5, 0.05),           // ms RTT
+            Dataset::Canaries => (1.0, 0.005),           // success fraction
+            Dataset::LinkLossStatus => (0.0005, 0.0002), // loss rate
+            Dataset::PfcCounters => (20.0, 5.0),         // PFC msgs / interval
+            Dataset::InterfaceCounters => (10.0, 4.0),   // drops / interval
+            Dataset::Temperature => (45.0, 2.0),         // °C
+            Dataset::CpuUsage => (0.35, 0.08),           // fraction
+            _ => (0.0, 0.0),
+        }
+    }
+
+    /// Background (healthy) event rate per device-hour.
+    pub fn background_event_rate(self) -> f64 {
+        match self {
+            Dataset::LinkDrops => 0.002,
+            Dataset::SwitchDrops => 0.002,
+            Dataset::DeviceReboots => 0.0005,
+            Dataset::PacketCorruptionFcs => 0.004,
+            Dataset::SnmpSyslog => 0.05,
+            _ => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_datasets_like_table_2() {
+        assert_eq!(Dataset::ALL.len(), 12);
+        let mut names: Vec<_> = Dataset::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12, "names unique");
+    }
+
+    #[test]
+    fn indices_are_stable_and_dense() {
+        for (i, d) in Dataset::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+    }
+
+    #[test]
+    fn exactly_two_class_tags_like_the_paper() {
+        let tagged = Dataset::ALL
+            .iter()
+            .filter(|d| d.class_tag().is_some())
+            .count();
+        assert_eq!(tagged, 2);
+    }
+
+    #[test]
+    fn event_datasets_have_vocabularies_and_rates() {
+        for d in Dataset::ALL {
+            match d.data_type() {
+                DataType::Event => {
+                    assert!(!d.event_kinds().is_empty(), "{d} needs event kinds");
+                    assert!(d.background_event_rate() > 0.0);
+                    assert_eq!(d.baseline(), (0.0, 0.0));
+                }
+                DataType::TimeSeries => {
+                    assert!(d.event_kinds().is_empty());
+                    assert!(d.baseline().1 > 0.0, "{d} needs baseline spread");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_sane() {
+        use cloudsim::ComponentKind::*;
+        assert!(Dataset::PingStats.covers(Server));
+        assert!(!Dataset::PingStats.covers(TorSwitch));
+        assert!(Dataset::PfcCounters.covers(TorSwitch));
+        assert!(Dataset::PfcCounters.covers(CoreSwitch));
+        assert!(!Dataset::PfcCounters.covers(Server));
+        // PhyNet does not monitor VM health (§5.2.1: "PhyNet is not
+        // responsible for monitoring the health of VMs").
+        for d in Dataset::ALL {
+            assert!(!d.covers(Vm), "{d} must not cover VMs");
+        }
+    }
+}

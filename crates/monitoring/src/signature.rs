@@ -1,0 +1,260 @@
+//! Telemetry signatures: what each root cause does to each data set.
+//!
+//! This is where the paper's causal premise lives: "when a team's components
+//! are responsible for an incident there is often an accompanying shift in
+//! the data from those components, moving from one stationary distribution
+//! to another" (§5.2.2). PhyNet faults shift PhyNet data sets strongly;
+//! other teams' faults mostly do not (their signal lives in *their* data,
+//! which the PhyNet Scout does not consume); external faults shift nothing
+//! internal at all — which is precisely why operators waste time ruling
+//! teams out (§3.2).
+
+use crate::dataset::Dataset;
+use cloudsim::FaultKind;
+
+/// Which devices, relative to the fault's scope, an effect applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectTarget {
+    /// The devices named in the fault scope (or, for cluster-scoped faults,
+    /// every covered device in the cluster).
+    FaultDevices,
+    /// Servers topologically under the faulted devices (e.g. the rack fed
+    /// by a dead ToR).
+    ServersUnder,
+    /// Every covered device in the fault's cluster.
+    ClusterWide,
+}
+
+/// A single (data set, target, magnitude) perturbation.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryEffect {
+    /// The data set that moves.
+    pub dataset: Dataset,
+    /// Which devices it moves on.
+    pub target: EffectTarget,
+    /// For time series: shift in units of the data set's healthy standard
+    /// deviation (a distribution change CPD can detect). Negative values
+    /// model drops (canary success, …).
+    pub ts_shift_sigma: f64,
+    /// For event data sets: added events per device-hour.
+    pub event_rate: f64,
+    /// Index into the data set's event vocabulary for added events.
+    pub event_kind: u8,
+}
+
+impl TelemetryEffect {
+    const fn ts(dataset: Dataset, target: EffectTarget, shift: f64) -> TelemetryEffect {
+        TelemetryEffect {
+            dataset,
+            target,
+            ts_shift_sigma: shift,
+            event_rate: 0.0,
+            event_kind: 0,
+        }
+    }
+
+    const fn ev(dataset: Dataset, target: EffectTarget, rate: f64, kind: u8) -> TelemetryEffect {
+        TelemetryEffect {
+            dataset,
+            target,
+            ts_shift_sigma: 0.0,
+            event_rate: rate,
+            event_kind: kind,
+        }
+    }
+}
+
+use EffectTarget::{ClusterWide, FaultDevices, ServersUnder};
+
+/// The telemetry signature of a fault kind, over PhyNet's twelve data sets.
+///
+/// Magnitudes are in healthy-σ units (time series) or events per device-hour
+/// (events). Empty for external faults: they leave no internal trace.
+static TOR_REBOOT_SIG: [TelemetryEffect; 6] = [
+    TelemetryEffect::ev(Dataset::DeviceReboots, FaultDevices, 2.0, 0),
+    TelemetryEffect::ev(Dataset::SnmpSyslog, FaultDevices, 6.0, 0), // link-down
+    TelemetryEffect::ev(Dataset::SnmpSyslog, FaultDevices, 2.0, 6), // config-commit
+    TelemetryEffect::ts(Dataset::PingStats, ServersUnder, 8.0),
+    TelemetryEffect::ts(Dataset::Canaries, ServersUnder, -10.0),
+    TelemetryEffect::ts(Dataset::InterfaceCounters, FaultDevices, 5.0),
+];
+
+static TOR_FAILURE_SIG: [TelemetryEffect; 6] = [
+    TelemetryEffect::ev(Dataset::SwitchDrops, FaultDevices, 4.0, 0),
+    TelemetryEffect::ev(Dataset::SnmpSyslog, FaultDevices, 8.0, 0),
+    TelemetryEffect::ts(Dataset::LinkLossStatus, FaultDevices, 12.0),
+    TelemetryEffect::ts(Dataset::PingStats, ServersUnder, 12.0),
+    TelemetryEffect::ts(Dataset::Canaries, ServersUnder, -15.0),
+    TelemetryEffect::ts(Dataset::InterfaceCounters, FaultDevices, 10.0),
+];
+
+static LINK_CORRUPTION_SIG: [TelemetryEffect; 5] = [
+    TelemetryEffect::ev(Dataset::PacketCorruptionFcs, FaultDevices, 5.0, 0),
+    TelemetryEffect::ev(Dataset::LinkDrops, FaultDevices, 2.0, 0),
+    TelemetryEffect::ts(Dataset::LinkLossStatus, FaultDevices, 8.0),
+    TelemetryEffect::ts(Dataset::InterfaceCounters, FaultDevices, 4.0),
+    TelemetryEffect::ts(Dataset::PingStats, ServersUnder, 4.0),
+];
+
+static SWITCH_PACKET_DROPS_SIG: [TelemetryEffect; 5] = [
+    TelemetryEffect::ev(Dataset::SwitchDrops, FaultDevices, 4.0, 0),
+    TelemetryEffect::ev(Dataset::LinkDrops, FaultDevices, 3.0, 0),
+    TelemetryEffect::ts(Dataset::InterfaceCounters, FaultDevices, 8.0),
+    TelemetryEffect::ts(Dataset::PingStats, ServersUnder, 5.0),
+    TelemetryEffect::ts(Dataset::Canaries, ServersUnder, -4.0),
+];
+
+static AGG_FAILURE_SIG: [TelemetryEffect; 5] = [
+    TelemetryEffect::ev(Dataset::SwitchDrops, FaultDevices, 5.0, 0),
+    TelemetryEffect::ev(Dataset::SnmpSyslog, FaultDevices, 6.0, 0),
+    TelemetryEffect::ts(Dataset::LinkLossStatus, FaultDevices, 10.0),
+    TelemetryEffect::ts(Dataset::PingStats, ClusterWide, 6.0),
+    TelemetryEffect::ts(Dataset::Canaries, ClusterWide, -5.0),
+];
+
+static PFC_STORM_SIG: [TelemetryEffect; 4] = [
+    TelemetryEffect::ts(Dataset::PfcCounters, FaultDevices, 15.0),
+    TelemetryEffect::ts(Dataset::PfcCounters, ClusterWide, 4.0),
+    TelemetryEffect::ts(Dataset::PingStats, ClusterWide, 5.0),
+    TelemetryEffect::ev(Dataset::SnmpSyslog, FaultDevices, 3.0, 1), // bgp-flap
+];
+
+static SWITCH_OVERHEAT_SIG: [TelemetryEffect; 5] = [
+    TelemetryEffect::ts(Dataset::Temperature, FaultDevices, 10.0),
+    TelemetryEffect::ev(Dataset::SnmpSyslog, FaultDevices, 3.0, 4), // temp-alarm
+    TelemetryEffect::ev(Dataset::SnmpSyslog, FaultDevices, 2.0, 3), // fan-fail
+    TelemetryEffect::ts(Dataset::InterfaceCounters, FaultDevices, 3.0),
+    // Thermal throttling slows the forwarding path for the rack below.
+    TelemetryEffect::ts(Dataset::PingStats, ServersUnder, 2.5),
+];
+
+static STORAGE_LATENCY_SIG: [TelemetryEffect; 1] =
+    [TelemetryEffect::ts(Dataset::CpuUsage, ClusterWide, 1.2)];
+
+static STORAGE_OUTAGE_SIG: [TelemetryEffect; 1] =
+    [TelemetryEffect::ts(Dataset::CpuUsage, ClusterWide, 1.5)];
+
+static SLB_CONFIG_ERROR_SIG: [TelemetryEffect; 1] = [
+    // VIP unreachability shows up in canaries a little — the very
+    // overlap that generates the paper's false positives (§7.2).
+    TelemetryEffect::ts(Dataset::Canaries, ClusterWide, -1.0),
+];
+
+static HOST_AGENT_CRASH_SIG: [TelemetryEffect; 1] = [
+    TelemetryEffect::ev(Dataset::SnmpSyslog, FaultDevices, 4.0, 5), // agent-crash
+];
+
+static SERVER_OVERLOAD_SIG: [TelemetryEffect; 2] = [
+    TelemetryEffect::ts(Dataset::CpuUsage, FaultDevices, 6.0),
+    TelemetryEffect::ts(Dataset::Temperature, FaultDevices, 2.0),
+];
+
+static HOST_REBOOT_SIG: [TelemetryEffect; 1] = [TelemetryEffect::ev(
+    Dataset::DeviceReboots,
+    FaultDevices,
+    2.0,
+    0,
+)];
+
+static DB_QUERY_REGRESSION_SIG: [TelemetryEffect; 1] =
+    [TelemetryEffect::ts(Dataset::CpuUsage, ClusterWide, 1.0)];
+
+static NIC_FIRMWARE_PANIC_SIG: [TelemetryEffect; 3] = [
+    // Indistinguishable from a network fault at first glance …
+    TelemetryEffect::ts(Dataset::PingStats, FaultDevices, 6.0),
+    TelemetryEffect::ts(Dataset::Canaries, FaultDevices, -6.0),
+    // … except for the crash-looping host agent the firmware takes down —
+    // the discriminator retraining eventually learns.
+    TelemetryEffect::ev(Dataset::SnmpSyslog, FaultDevices, 4.0, 5),
+];
+
+pub fn signature(kind: FaultKind) -> &'static [TelemetryEffect] {
+    match kind {
+        FaultKind::TorReboot => &TOR_REBOOT_SIG,
+        FaultKind::TorFailure => &TOR_FAILURE_SIG,
+        FaultKind::LinkCorruption => &LINK_CORRUPTION_SIG,
+        FaultKind::SwitchPacketDrops => &SWITCH_PACKET_DROPS_SIG,
+        FaultKind::AggFailure => &AGG_FAILURE_SIG,
+        FaultKind::PfcStorm => &PFC_STORM_SIG,
+        FaultKind::SwitchOverheat => &SWITCH_OVERHEAT_SIG,
+        FaultKind::StorageLatency => &STORAGE_LATENCY_SIG,
+        FaultKind::StorageOutage => &STORAGE_OUTAGE_SIG,
+        FaultKind::SlbConfigError => &SLB_CONFIG_ERROR_SIG,
+        FaultKind::HostAgentCrash => &HOST_AGENT_CRASH_SIG,
+        FaultKind::ServerOverload => &SERVER_OVERLOAD_SIG,
+        FaultKind::HostReboot => &HOST_REBOOT_SIG,
+        FaultKind::DbQueryRegression => &DB_QUERY_REGRESSION_SIG,
+        FaultKind::DnsMisconfig => &[],
+        FaultKind::FirewallPolicyError => &[],
+        FaultKind::CustomerMisconfig | FaultKind::IspRouteLeak => &[],
+        FaultKind::NicFirmwarePanic => &NIC_FIRMWARE_PANIC_SIG,
+        // A transient: one brief, mild wobble.
+        FaultKind::TransientSpike => &TRANSIENT_SPIKE_SIG,
+    }
+}
+
+static TRANSIENT_SPIKE_SIG: [TelemetryEffect; 1] =
+    [TelemetryEffect::ts(Dataset::PingStats, ClusterWide, 1.5)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::Team;
+
+    #[test]
+    fn phynet_faults_move_network_data_hard_others_do_not() {
+        // Network-specific data sets are PhyNet's diagnostic core; generic
+        // device health (CPU, temperature) is shared with other teams.
+        let network_specific = |d: Dataset| {
+            !matches!(d, Dataset::CpuUsage | Dataset::Temperature | Dataset::DeviceReboots)
+        };
+        for kind in FaultKind::ALL {
+            let max_net_shift = signature(kind)
+                .iter()
+                .filter(|e| network_specific(e.dataset))
+                .map(|e| e.ts_shift_sigma.abs().max(e.event_rate))
+                .fold(0.0f64, f64::max);
+            if kind.owner() == Team::PhyNet {
+                assert!(max_net_shift >= 3.0, "{kind:?} must be clearly visible");
+            } else if !matches!(
+                kind,
+                FaultKind::TransientSpike | FaultKind::NicFirmwarePanic
+            ) {
+                // NicFirmwarePanic is exempt by design: it is the drift
+                // family that *deliberately* mimics a network fault.
+                assert!(max_net_shift <= 4.0, "{kind:?} must not mimic a PhyNet fault");
+            }
+        }
+    }
+
+    #[test]
+    fn external_faults_are_invisible() {
+        assert!(signature(FaultKind::CustomerMisconfig).is_empty());
+        assert!(signature(FaultKind::IspRouteLeak).is_empty());
+    }
+
+    #[test]
+    fn event_effects_reference_valid_vocabulary() {
+        for kind in FaultKind::ALL {
+            for e in signature(kind) {
+                if e.event_rate > 0.0 {
+                    let vocab = e.dataset.event_kinds();
+                    assert!(
+                        (e.event_kind as usize) < vocab.len(),
+                        "{kind:?}: event kind {} out of range for {}",
+                        e.event_kind,
+                        e.dataset
+                    );
+                }
+                if e.ts_shift_sigma != 0.0 {
+                    assert_eq!(
+                        e.dataset.data_type(),
+                        crate::DataType::TimeSeries,
+                        "{kind:?}: ts shift on event dataset {}",
+                        e.dataset
+                    );
+                }
+            }
+        }
+    }
+}

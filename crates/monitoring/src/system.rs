@@ -1,0 +1,491 @@
+//! The monitoring query engine: windowed, per-device telemetry views.
+//!
+//! `MonitoringSystem` answers the only two questions a Scout asks (§5.1):
+//! "give me the time series for data set D on device X over `[t-T, t]`" and
+//! "give me the events". Values are generated on demand from the healthy
+//! baseline + deterministic noise + active fault signatures.
+
+use crate::dataset::{DataType, Dataset};
+use crate::noise;
+use crate::signature::{signature, EffectTarget};
+use cloudsim::{ComponentId, ComponentKind, Fault, FaultScope, SimDuration, SimTime, Topology};
+use std::collections::HashMap;
+
+/// Telemetry sampling interval: one sample every five minutes, so the
+/// paper's two-hour look-back window yields 24 samples per series.
+pub const SAMPLE_INTERVAL: SimDuration = SimDuration(5);
+
+/// One event occurrence in an event-typed data set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fired.
+    pub time: SimTime,
+    /// Index into the data set's event vocabulary.
+    pub kind: u8,
+}
+
+/// Configuration for a [`MonitoringSystem`].
+#[derive(Debug, Clone, Default)]
+pub struct MonitoringConfig {
+    /// Noise seed: different seeds give statistically identical fleets.
+    pub seed: u64,
+    /// Deprecated data sets (Fig. 9's experiment): queries on them return
+    /// nothing, as if the system were turned off.
+    pub disabled: Vec<Dataset>,
+}
+
+/// The fleet's monitoring plane.
+///
+/// Borrows the topology and the ground-truth fault schedule; generates
+/// telemetry windows on demand.
+#[derive(Debug)]
+pub struct MonitoringSystem<'a> {
+    topo: &'a Topology,
+    faults: &'a [Fault],
+    /// Fault indices grouped by the cluster they manifest in.
+    by_cluster: HashMap<ComponentId, Vec<usize>>,
+    config: MonitoringConfig,
+}
+
+impl<'a> MonitoringSystem<'a> {
+    /// Build the monitoring plane over `topo` with the given fault schedule.
+    pub fn new(
+        topo: &'a Topology,
+        faults: &'a [Fault],
+        config: MonitoringConfig,
+    ) -> MonitoringSystem<'a> {
+        let mut by_cluster: HashMap<ComponentId, Vec<usize>> = HashMap::new();
+        for (i, f) in faults.iter().enumerate() {
+            by_cluster.entry(f.scope.cluster()).or_default().push(i);
+        }
+        MonitoringSystem {
+            topo,
+            faults,
+            by_cluster,
+            config,
+        }
+    }
+
+    /// The topology this plane instruments.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// Is `dataset` currently deployed (not deprecated)?
+    pub fn is_enabled(&self, dataset: Dataset) -> bool {
+        !self.config.disabled.contains(&dataset)
+    }
+
+    /// Data sets currently deployed.
+    pub fn enabled_datasets(&self) -> Vec<Dataset> {
+        Dataset::ALL
+            .into_iter()
+            .filter(|&d| self.is_enabled(d))
+            .collect()
+    }
+
+    /// The devices covered by `dataset` under `component` (inclusive).
+    /// Mirrors the paper's component-association tags: a cluster mention
+    /// resolves to "all data with the same cluster tag".
+    pub fn covered_devices(&self, dataset: Dataset, component: ComponentId) -> Vec<ComponentId> {
+        let c = self.topo.component(component);
+        if dataset.covers(c.kind) {
+            return vec![component];
+        }
+        self.topo
+            .descendants(component)
+            .into_iter()
+            .filter(|&d| dataset.covers(self.topo.component(d).kind))
+            .collect()
+    }
+
+    /// The time-series window for `dataset` on `device` over `[start, end)`.
+    ///
+    /// Returns `None` when the data set is deprecated, event-typed, or does
+    /// not cover the device's kind. Samples are ordered, one per
+    /// [`SAMPLE_INTERVAL`].
+    pub fn series(
+        &self,
+        dataset: Dataset,
+        device: ComponentId,
+        window: (SimTime, SimTime),
+    ) -> Option<Vec<f64>> {
+        if !self.is_enabled(dataset)
+            || dataset.data_type() != DataType::TimeSeries
+            || !dataset.covers(self.topo.component(device).kind)
+        {
+            return None;
+        }
+        let (mean, sd) = dataset.baseline();
+        let cluster_off = self.cluster_offset(dataset, device) * sd;
+        let active = self.relevant_faults(device, window);
+        let step_len = SAMPLE_INTERVAL.as_minutes();
+        let first = window.0.minutes().div_ceil(step_len);
+        let last = window.1.minutes().div_ceil(step_len);
+        let mut out = Vec::with_capacity((last.saturating_sub(first)) as usize);
+        for step in first..last {
+            let t = SimTime(step * step_len);
+            let h = noise::coord_hash(self.config.seed, dataset.index(), device.0, step);
+            let mut v = mean + cluster_off + sd * noise::std_normal(h);
+            // Mild diurnal swing on utilization-like series.
+            if matches!(dataset, Dataset::CpuUsage | Dataset::Temperature) {
+                let phase = (t.minutes() % 1440) as f64 / 1440.0 * std::f64::consts::TAU;
+                v += 0.6 * sd * phase.sin();
+            }
+            for &fi in &active {
+                let f = &self.faults[fi];
+                if !f.active_at(t) {
+                    continue;
+                }
+                for e in signature(f.kind) {
+                    if e.dataset == dataset
+                        && e.ts_shift_sigma != 0.0
+                        && self.effect_applies(f, e.target, device)
+                    {
+                        v += e.ts_shift_sigma * sd;
+                    }
+                }
+            }
+            out.push(clamp(dataset, v));
+        }
+        Some(out)
+    }
+
+    /// The events for `dataset` on `device` over `[start, end)`, ordered by
+    /// time. Empty when deprecated / not covering / series-typed.
+    pub fn events(
+        &self,
+        dataset: Dataset,
+        device: ComponentId,
+        window: (SimTime, SimTime),
+    ) -> Vec<Event> {
+        if !self.is_enabled(dataset)
+            || dataset.data_type() != DataType::Event
+            || !dataset.covers(self.topo.component(device).kind)
+        {
+            return Vec::new();
+        }
+        let active = self.relevant_faults(device, window);
+        let step_len = SAMPLE_INTERVAL.as_minutes();
+        let per_step = step_len as f64 / 60.0; // fraction of an hour
+        let first = window.0.minutes().div_ceil(step_len);
+        let last = window.1.minutes().div_ceil(step_len);
+        let n_kinds = dataset.event_kinds().len() as u64;
+        let mut out = Vec::new();
+        for step in first..last {
+            let t = SimTime(step * step_len);
+            // Background events: uniform over the vocabulary.
+            let h = noise::coord_hash(self.config.seed ^ 0xEE, dataset.index(), device.0, step);
+            let p_bg = dataset.background_event_rate() * per_step;
+            if noise::uniform(h) < p_bg {
+                let kind = (noise::splitmix64(h) % n_kinds) as u8;
+                out.push(Event { time: t, kind });
+            }
+            // Fault-driven events, per effect.
+            for &fi in &active {
+                let f = &self.faults[fi];
+                if !f.active_at(t) {
+                    continue;
+                }
+                for (ei, e) in signature(f.kind).iter().enumerate() {
+                    if e.dataset == dataset
+                        && e.event_rate > 0.0
+                        && self.effect_applies(f, e.target, device)
+                    {
+                        let h2 = noise::coord_hash(
+                            self.config.seed ^ (0xF0 + ei as u64),
+                            dataset.index(),
+                            device.0,
+                            step,
+                        );
+                        if noise::uniform(h2) < (e.event_rate * per_step).min(1.0) {
+                            out.push(Event {
+                                time: t,
+                                kind: e.event_kind,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-(data set, cluster) healthy baseline offset in σ units —
+    /// "different clusters have different baseline latencies" (§3.3).
+    fn cluster_offset(&self, dataset: Dataset, device: ComponentId) -> f64 {
+        let c = self.topo.component(device);
+        let anchor = c.cluster.unwrap_or(c.dc);
+        let h = noise::coord_hash(self.config.seed ^ 0xC1, dataset.index(), anchor.0, 0);
+        noise::uniform(h) - 0.5
+    }
+
+    /// Faults that could affect `device` and overlap `window`.
+    fn relevant_faults(&self, device: ComponentId, window: (SimTime, SimTime)) -> Vec<usize> {
+        let c = self.topo.component(device);
+        let cluster = c.cluster.unwrap_or(c.dc);
+        let Some(indices) = self.by_cluster.get(&cluster) else {
+            return Vec::new();
+        };
+        indices
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let (fs, fe) = self.faults[i].window();
+                fs < window.1 && fe > window.0
+            })
+            .collect()
+    }
+
+    /// Does an effect with `target` on fault `f` apply to `device`?
+    fn effect_applies(&self, f: &Fault, target: EffectTarget, device: ComponentId) -> bool {
+        let dev = self.topo.component(device);
+        match target {
+            EffectTarget::ClusterWide => dev.cluster == Some(f.scope.cluster()),
+            EffectTarget::FaultDevices => match &f.scope {
+                FaultScope::Devices { devices, .. } => devices.contains(&device),
+                // Cluster-scoped faults hit every covered device in the
+                // cluster; external faults hit nothing.
+                FaultScope::Cluster(cl) => dev.cluster == Some(*cl),
+                FaultScope::External { .. } => false,
+            },
+            EffectTarget::ServersUnder => {
+                if dev.kind != ComponentKind::Server {
+                    return false;
+                }
+                match &f.scope {
+                    FaultScope::Devices { devices, .. } => {
+                        // Under a faulted ToR: parent match. Under a faulted
+                        // agg/core/slb: same cluster.
+                        devices.iter().any(|&d| {
+                            let fd = self.topo.component(d);
+                            match fd.kind {
+                                ComponentKind::TorSwitch => dev.parent == Some(d),
+                                ComponentKind::AggSwitch
+                                | ComponentKind::CoreSwitch
+                                | ComponentKind::Slb => dev.cluster == fd.cluster,
+                                _ => false,
+                            }
+                        })
+                    }
+                    FaultScope::Cluster(cl) => dev.cluster == Some(*cl),
+                    FaultScope::External { .. } => false,
+                }
+            }
+        }
+    }
+}
+
+fn clamp(dataset: Dataset, v: f64) -> f64 {
+    match dataset {
+        Dataset::Canaries | Dataset::CpuUsage => v.clamp(0.0, 1.0),
+        Dataset::LinkLossStatus => v.max(0.0),
+        Dataset::PingStats | Dataset::PfcCounters | Dataset::InterfaceCounters => v.max(0.0),
+        _ => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::{FaultKind, Severity, Team, TopologyConfig};
+
+    fn topo() -> Topology {
+        Topology::build(TopologyConfig::default())
+    }
+
+    fn tor_fault(topo: &Topology) -> Fault {
+        let tor = topo.by_name("tor-0.c0.dc0").unwrap().id;
+        let cluster = topo.by_name("c0.dc0").unwrap().id;
+        Fault {
+            id: 0,
+            kind: FaultKind::TorFailure,
+            owner: Team::PhyNet,
+            scope: FaultScope::Devices {
+                devices: vec![tor],
+                cluster,
+            },
+            start: SimTime::from_hours(100),
+            duration: SimDuration::hours(6),
+            severity: Severity::Sev2,
+            upgrade_related: false,
+        }
+    }
+
+    #[test]
+    fn healthy_series_stays_near_baseline() {
+        let topo = topo();
+        let faults = Vec::new();
+        let mon = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        let srv = topo.by_name("srv-0.c0.dc0").unwrap().id;
+        let w = (SimTime::from_hours(10), SimTime::from_hours(12));
+        let s = mon.series(Dataset::PingStats, srv, w).unwrap();
+        assert_eq!(s.len(), 24, "2h window at 5-minute samples");
+        let (mean, sd) = Dataset::PingStats.baseline();
+        let avg = s.iter().sum::<f64>() / s.len() as f64;
+        assert!(
+            (avg - mean).abs() < 4.0 * sd,
+            "avg {avg} vs baseline {mean}"
+        );
+    }
+
+    #[test]
+    fn fault_shifts_series_on_affected_servers_only() {
+        let topo = topo();
+        let faults = vec![tor_fault(&topo)];
+        let mon = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        let w = (SimTime::from_hours(101), SimTime::from_hours(103));
+        let (mean, sd) = Dataset::PingStats.baseline();
+        // Server under the dead ToR: big latency shift.
+        let under = topo.by_name("srv-0.c0.dc0").unwrap().id;
+        let s = mon.series(Dataset::PingStats, under, w).unwrap();
+        let avg = s.iter().sum::<f64>() / s.len() as f64;
+        assert!(avg > mean + 6.0 * sd, "affected avg {avg}");
+        // Server in another rack of the same cluster: unaffected.
+        let other = topo.by_name("srv-23.c0.dc0").unwrap().id;
+        let s = mon.series(Dataset::PingStats, other, w).unwrap();
+        let avg = s.iter().sum::<f64>() / s.len() as f64;
+        assert!(avg < mean + 4.0 * sd, "unaffected avg {avg}");
+        // Server in a different cluster: certainly unaffected.
+        let far = topo.by_name("srv-0.c1.dc0").unwrap().id;
+        let s = mon.series(Dataset::PingStats, far, w).unwrap();
+        let avg = s.iter().sum::<f64>() / s.len() as f64;
+        assert!(avg < mean + 4.0 * sd, "far avg {avg}");
+    }
+
+    #[test]
+    fn fault_raises_event_rate_on_device() {
+        let topo = topo();
+        let faults = vec![tor_fault(&topo)];
+        let mon = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        let tor = topo.by_name("tor-0.c0.dc0").unwrap().id;
+        let during = (SimTime::from_hours(100), SimTime::from_hours(106));
+        let before = (SimTime::from_hours(90), SimTime::from_hours(96));
+        let n_during = mon.events(Dataset::SwitchDrops, tor, during).len();
+        let n_before = mon.events(Dataset::SwitchDrops, tor, before).len();
+        assert!(n_during >= 10, "drop detections during fault: {n_during}");
+        assert!(n_before <= 2, "background detections: {n_before}");
+    }
+
+    #[test]
+    fn events_are_ordered_and_in_window() {
+        let topo = topo();
+        let faults = vec![tor_fault(&topo)];
+        let mon = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        let tor = topo.by_name("tor-0.c0.dc0").unwrap().id;
+        let w = (SimTime::from_hours(99), SimTime::from_hours(107));
+        let evs = mon.events(Dataset::SnmpSyslog, tor, w);
+        for pair in evs.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+        for e in &evs {
+            assert!(e.time >= w.0 && e.time < w.1);
+            assert!((e.kind as usize) < Dataset::SnmpSyslog.event_kinds().len());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = topo();
+        let faults = vec![tor_fault(&topo)];
+        let mon1 = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        let mon2 = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        let srv = topo.by_name("srv-5.c2.dc1").unwrap().id;
+        let w = (SimTime::from_hours(50), SimTime::from_hours(52));
+        assert_eq!(
+            mon1.series(Dataset::CpuUsage, srv, w),
+            mon2.series(Dataset::CpuUsage, srv, w)
+        );
+        let mon3 = MonitoringSystem::new(
+            &topo,
+            &faults,
+            MonitoringConfig {
+                seed: 99,
+                ..Default::default()
+            },
+        );
+        assert_ne!(
+            mon1.series(Dataset::CpuUsage, srv, w),
+            mon3.series(Dataset::CpuUsage, srv, w)
+        );
+    }
+
+    #[test]
+    fn deprecated_dataset_returns_nothing() {
+        let topo = topo();
+        let faults = Vec::new();
+        let mon = MonitoringSystem::new(
+            &topo,
+            &faults,
+            MonitoringConfig {
+                seed: 0,
+                disabled: vec![Dataset::PingStats, Dataset::SnmpSyslog],
+            },
+        );
+        let srv = topo.by_name("srv-0.c0.dc0").unwrap().id;
+        let tor = topo.by_name("tor-0.c0.dc0").unwrap().id;
+        let w = (SimTime(0), SimTime::from_hours(2));
+        assert!(mon.series(Dataset::PingStats, srv, w).is_none());
+        assert!(mon.events(Dataset::SnmpSyslog, tor, w).is_empty());
+        assert!(mon.series(Dataset::CpuUsage, srv, w).is_some());
+        assert_eq!(mon.enabled_datasets().len(), 10);
+    }
+
+    #[test]
+    fn coverage_rules_enforced_in_queries() {
+        let topo = topo();
+        let faults = Vec::new();
+        let mon = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        let vm = topo.by_name("vm-0.c0.dc0").unwrap().id;
+        let srv = topo.by_name("srv-0.c0.dc0").unwrap().id;
+        let w = (SimTime(0), SimTime::from_hours(1));
+        assert!(
+            mon.series(Dataset::PingStats, vm, w).is_none(),
+            "no VM telemetry"
+        );
+        assert!(
+            mon.series(Dataset::PfcCounters, srv, w).is_none(),
+            "PFC is switch-only"
+        );
+        // Event query on a series dataset yields nothing.
+        assert!(mon.events(Dataset::PingStats, srv, w).is_empty());
+    }
+
+    #[test]
+    fn covered_devices_resolves_cluster_mentions() {
+        let topo = topo();
+        let faults = Vec::new();
+        let mon = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        let cl = topo.by_name("c0.dc0").unwrap().id;
+        let cfg = topo.config();
+        let servers = mon.covered_devices(Dataset::PingStats, cl);
+        assert_eq!(servers.len(), cfg.racks_per_cluster * cfg.servers_per_rack);
+        let switches = mon.covered_devices(Dataset::PfcCounters, cl);
+        assert_eq!(switches.len(), cfg.racks_per_cluster + cfg.aggs_per_cluster);
+        let tor = topo.by_name("tor-0.c0.dc0").unwrap().id;
+        assert_eq!(mon.covered_devices(Dataset::PfcCounters, tor), vec![tor]);
+    }
+
+    #[test]
+    fn cluster_scoped_fault_moves_whole_cluster() {
+        let topo = topo();
+        let cluster = topo.by_name("c1.dc0").unwrap().id;
+        let faults = vec![Fault {
+            id: 0,
+            kind: FaultKind::ServerOverload,
+            owner: Team::Compute,
+            scope: FaultScope::Cluster(cluster),
+            start: SimTime::from_hours(10),
+            duration: SimDuration::hours(4),
+            severity: Severity::Sev3,
+            upgrade_related: false,
+        }];
+        let mon = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        let srv = topo.by_name("srv-11.c1.dc0").unwrap().id;
+        let w = (SimTime::from_hours(11), SimTime::from_hours(13));
+        let s = mon.series(Dataset::CpuUsage, srv, w).unwrap();
+        let avg = s.iter().sum::<f64>() / s.len() as f64;
+        let (mean, sd) = Dataset::CpuUsage.baseline();
+        assert!(avg > mean + 2.0 * sd, "cluster-wide CPU shift, avg {avg}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the monitoring plane.
+
+use cloudsim::{
+    ComponentId, ComponentKind, Fault, FaultKind, FaultScope, Severity, SimDuration, SimTime,
+    Team, Topology, TopologyConfig,
+};
+use monitoring::{DataType, Dataset, MonitoringConfig, MonitoringSystem, SAMPLE_INTERVAL};
+use proptest::prelude::*;
+
+fn small_topo() -> Topology {
+    Topology::build(TopologyConfig {
+        dcs: 1,
+        clusters_per_dc: 2,
+        racks_per_cluster: 2,
+        servers_per_rack: 2,
+        vms_per_server: 1,
+        aggs_per_cluster: 1,
+        cores_per_dc: 1,
+        slbs_per_cluster: 1,
+    })
+}
+
+fn any_dataset() -> impl Strategy<Value = Dataset> {
+    (0usize..Dataset::ALL.len()).prop_map(|i| Dataset::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Window length determines sample count exactly; values are finite
+    /// and respect the data set's physical bounds.
+    #[test]
+    fn series_shape_and_bounds(
+        seed in any::<u64>(),
+        dataset in any_dataset(),
+        start_h in 0u64..2000,
+        len_steps in 1u64..50,
+    ) {
+        let topo = small_topo();
+        let faults: Vec<Fault> = Vec::new();
+        let mon = MonitoringSystem::new(
+            &topo,
+            &faults,
+            MonitoringConfig { seed, disabled: vec![] },
+        );
+        let start = SimTime::from_hours(start_h);
+        let window = (start, start + SimDuration(len_steps * SAMPLE_INTERVAL.0));
+        for c in topo.components() {
+            match mon.series(dataset, c.id, window) {
+                None => {
+                    prop_assert!(
+                        dataset.data_type() == DataType::Event
+                            || !dataset.covers(c.kind)
+                    );
+                }
+                Some(s) => {
+                    prop_assert_eq!(s.len() as u64, len_steps);
+                    for &v in &s {
+                        prop_assert!(v.is_finite());
+                        match dataset {
+                            Dataset::Canaries | Dataset::CpuUsage => {
+                                prop_assert!((0.0..=1.0).contains(&v))
+                            }
+                            Dataset::LinkLossStatus
+                            | Dataset::PingStats
+                            | Dataset::PfcCounters
+                            | Dataset::InterfaceCounters => prop_assert!(v >= 0.0),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adjacent windows concatenate: series(a..b) ++ series(b..c) equals
+    /// series(a..c) — telemetry is a pure function of time.
+    #[test]
+    fn windows_concatenate(seed in any::<u64>(), start_h in 0u64..500) {
+        let topo = small_topo();
+        let faults: Vec<Fault> = Vec::new();
+        let mon = MonitoringSystem::new(
+            &topo,
+            &faults,
+            MonitoringConfig { seed, disabled: vec![] },
+        );
+        let srv = topo.of_kind(ComponentKind::Server).next().unwrap().id;
+        let a = SimTime::from_hours(start_h);
+        let b = a + SimDuration::hours(1);
+        let c = b + SimDuration::hours(1);
+        for d in [Dataset::PingStats, Dataset::CpuUsage, Dataset::Temperature] {
+            let left = mon.series(d, srv, (a, b)).unwrap();
+            let right = mon.series(d, srv, (b, c)).unwrap();
+            let whole = mon.series(d, srv, (a, c)).unwrap();
+            let mut joined = left;
+            joined.extend(right);
+            prop_assert_eq!(joined, whole);
+        }
+    }
+
+    /// A fault only perturbs telemetry inside its window and cluster.
+    #[test]
+    fn faults_are_contained(seed in any::<u64>(), fault_start_h in 10u64..100) {
+        let topo = small_topo();
+        let cluster = topo.by_name("c0.dc0").unwrap().id;
+        let tor = topo.by_name("tor-0.c0.dc0").unwrap().id;
+        let fault = Fault {
+            id: 0,
+            kind: FaultKind::TorFailure,
+            owner: Team::PhyNet,
+            scope: FaultScope::Devices { devices: vec![tor], cluster },
+            start: SimTime::from_hours(fault_start_h),
+            duration: SimDuration::hours(3),
+            severity: Severity::Sev2,
+            upgrade_related: false,
+        };
+        let faults = vec![fault];
+        let mon = MonitoringSystem::new(
+            &topo,
+            &faults,
+            MonitoringConfig { seed, disabled: vec![] },
+        );
+        let clean = MonitoringSystem::new(
+            &topo,
+            &[],
+            MonitoringConfig { seed, disabled: vec![] },
+        );
+        // Before the fault: identical to the fault-free world.
+        let before = (
+            SimTime::from_hours(fault_start_h.saturating_sub(5)),
+            SimTime::from_hours(fault_start_h.saturating_sub(3)),
+        );
+        prop_assert_eq!(
+            mon.series(Dataset::LinkLossStatus, tor, before),
+            clean.series(Dataset::LinkLossStatus, tor, before)
+        );
+        // Other cluster, during the fault: identical too.
+        let other = topo.by_name("tor-0.c1.dc0").unwrap().id;
+        let during = (
+            SimTime::from_hours(fault_start_h),
+            SimTime::from_hours(fault_start_h + 2),
+        );
+        prop_assert_eq!(
+            mon.series(Dataset::LinkLossStatus, other, during),
+            clean.series(Dataset::LinkLossStatus, other, during)
+        );
+        let _ = ComponentId(0);
+    }
+
+    /// Event streams are ordered, in-window, in-vocabulary for any seed.
+    #[test]
+    fn events_are_well_formed(seed in any::<u64>(), dataset in any_dataset()) {
+        let topo = small_topo();
+        let faults: Vec<Fault> = Vec::new();
+        let mon = MonitoringSystem::new(
+            &topo,
+            &faults,
+            MonitoringConfig { seed, disabled: vec![] },
+        );
+        let w = (SimTime::from_hours(5), SimTime::from_hours(40));
+        for c in topo.components() {
+            let events = mon.events(dataset, c.id, w);
+            if dataset.data_type() != DataType::Event || !dataset.covers(c.kind) {
+                prop_assert!(events.is_empty());
+                continue;
+            }
+            for pair in events.windows(2) {
+                prop_assert!(pair[0].time <= pair[1].time);
+            }
+            for e in &events {
+                prop_assert!(e.time >= w.0 && e.time < w.1);
+                prop_assert!((e.kind as usize) < dataset.event_kinds().len());
+            }
+        }
+    }
+}

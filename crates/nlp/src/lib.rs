@@ -1,0 +1,24 @@
+//! `nlp` — text machinery for incident descriptions.
+//!
+//! Three consumers in the paper:
+//!
+//! 1. The provider's **existing NLP-based recommendation system** (§2, §7):
+//!    a multi-class classifier over the incident description that produces a
+//!    ranked team list with categorical high/medium/low confidence. It is
+//!    the baseline every Scout result is compared against, and its
+//!    documented weakness — high precision, low recall, because incident
+//!    text describes symptoms and is full of conversation noise — emerges
+//!    naturally from training on text alone. Implemented in [`router`] as
+//!    one-vs-rest multinomial naive Bayes over TF-IDF.
+//! 2. The **model selector's meta-features** (§5.3, method of \[58\]):
+//!    "important words in the incident and their frequency", implemented in
+//!    [`meta`] with chi-square word scoring.
+//! 3. General tokenization and vocabulary plumbing in [`text`].
+
+pub mod meta;
+pub mod router;
+pub mod text;
+
+pub use meta::MetaFeaturizer;
+pub use router::{ConfidenceBand, NlpRouter, RankedTeam};
+pub use text::{tokenize, TfIdf, Vocabulary};

@@ -1,0 +1,169 @@
+//! Meta-features for the model selector (§5.3).
+//!
+//! "Our meta-features are based on the method proposed in \[58\]: we
+//! identify important words in the incident and their frequency." Words are
+//! scored by a chi-square statistic against the binary label (team
+//! responsible or not) on the training corpus; the top-k become the feature
+//! positions, and an incident's meta-feature vector is their frequencies in
+//! its text — plus an out-of-vocabulary rate that lets the selector notice
+//! *new* incident language (the signal that routes an incident to CPD+).
+
+use crate::text::tokenize;
+use std::collections::HashMap;
+
+/// Fitted meta-feature extractor.
+#[derive(Debug, Clone)]
+pub struct MetaFeaturizer {
+    /// The selected important words, most important first.
+    words: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl MetaFeaturizer {
+    /// Select the `k` most label-associated words from `(descriptions,
+    /// labels)` by chi-square.
+    pub fn fit(descriptions: &[String], labels: &[usize], k: usize) -> MetaFeaturizer {
+        assert_eq!(descriptions.len(), labels.len());
+        let n = descriptions.len() as f64;
+        let positives = labels.iter().filter(|&&y| y == 1).count() as f64;
+        // Document frequency per word, per class.
+        let mut df_pos: HashMap<String, f64> = HashMap::new();
+        let mut df_all: HashMap<String, f64> = HashMap::new();
+        for (d, &y) in descriptions.iter().zip(labels) {
+            let mut toks = tokenize(d);
+            toks.sort_unstable();
+            toks.dedup();
+            for t in toks {
+                *df_all.entry(t.clone()).or_insert(0.0) += 1.0;
+                if y == 1 {
+                    *df_pos.entry(t).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        let mut scored: Vec<(String, f64)> = df_all
+            .into_iter()
+            .filter(|&(_, df)| df >= 3.0)
+            .map(|(w, df)| {
+                let a = df_pos.get(&w).copied().unwrap_or(0.0); // pos & present
+                let b = df - a; // neg & present
+                let c = positives - a; // pos & absent
+                let d = (n - positives) - b; // neg & absent
+                let num = n * (a * d - b * c) * (a * d - b * c);
+                let den = (a + b) * (c + d) * (a + c) * (b + d);
+                let chi2 = if den > 0.0 { num / den } else { 0.0 };
+                (w, chi2)
+            })
+            .collect();
+        scored.sort_by(|x, y| {
+            y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal).then(x.0.cmp(&y.0))
+        });
+        scored.truncate(k);
+        let words: Vec<String> = scored.into_iter().map(|(w, _)| w).collect();
+        let index = words.iter().cloned().enumerate().map(|(i, w)| (w, i)).collect();
+        MetaFeaturizer { words, index }
+    }
+
+    /// Rebuild from a saved word list (persistence).
+    pub fn from_words(words: Vec<String>) -> MetaFeaturizer {
+        let index = words.iter().cloned().enumerate().map(|(i, w)| (w, i)).collect();
+        MetaFeaturizer { words, index }
+    }
+
+    /// The selected vocabulary, most important first.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Feature dimension: one per important word, plus the OOV rate.
+    pub fn n_features(&self) -> usize {
+        self.words.len() + 1
+    }
+
+    /// Meta-feature vector: per-word relative frequency, then the fraction
+    /// of tokens not covered by the important-word vocabulary.
+    pub fn features(&self, description: &str) -> Vec<f64> {
+        let toks = tokenize(description);
+        let mut v = vec![0.0; self.n_features()];
+        if toks.is_empty() {
+            // No text at all: fully out-of-vocabulary.
+            *v.last_mut().unwrap() = 1.0;
+            return v;
+        }
+        let mut oov = 0.0;
+        for t in &toks {
+            match self.index.get(t) {
+                Some(&i) => v[i] += 1.0,
+                None => oov += 1.0,
+            }
+        }
+        let n = toks.len() as f64;
+        for x in v.iter_mut().take(self.words.len()) {
+            *x /= n;
+        }
+        *v.last_mut().unwrap() = oov / n;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> (Vec<String>, Vec<usize>) {
+        let mut texts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            texts.push(format!("switch packet drops detected tor rack {i}"));
+            labels.push(1);
+            texts.push(format!("storage latency stamp slow disk {i}"));
+            labels.push(0);
+        }
+        (texts, labels)
+    }
+
+    #[test]
+    fn discriminative_words_rank_first() {
+        let (texts, labels) = corpus();
+        let mf = MetaFeaturizer::fit(&texts, &labels, 6);
+        assert!(
+            mf.words().iter().any(|w| w == "switch" || w == "drops" || w == "tor"),
+            "positive-class words selected: {:?}",
+            mf.words()
+        );
+        assert!(
+            mf.words().iter().any(|w| w == "storage" || w == "latency" || w == "disk"),
+            "negative-class words are discriminative too: {:?}",
+            mf.words()
+        );
+    }
+
+    #[test]
+    fn features_are_frequencies_plus_oov() {
+        let (texts, labels) = corpus();
+        let mf = MetaFeaturizer::fit(&texts, &labels, 12);
+        let v = mf.features("switch switch novelword");
+        assert_eq!(v.len(), mf.n_features());
+        let sw = mf.words().iter().position(|w| w == "switch").unwrap();
+        assert!((v[sw] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((v.last().unwrap() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn novel_text_has_high_oov() {
+        let (texts, labels) = corpus();
+        let mf = MetaFeaturizer::fit(&texts, &labels, 8);
+        let v_old = mf.features("switch packet drops on tor");
+        let v_new = mf.features("bgp session flap wedged asic firmware");
+        assert!(v_new.last().unwrap() > v_old.last().unwrap());
+        assert_eq!(*v_new.last().unwrap(), 1.0, "entirely new language");
+    }
+
+    #[test]
+    fn empty_text_is_all_oov() {
+        let (texts, labels) = corpus();
+        let mf = MetaFeaturizer::fit(&texts, &labels, 4);
+        let v = mf.features("");
+        assert_eq!(*v.last().unwrap(), 1.0);
+        assert!(v[..v.len() - 1].iter().all(|&x| x == 0.0));
+    }
+}

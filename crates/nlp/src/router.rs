@@ -1,0 +1,225 @@
+//! The provider's incumbent NLP-based recommendation system (§2, §7).
+//!
+//! "A multi-class classifier that only takes the incident description as
+//! input … produces a ranked list (along with categorical — high, medium,
+//! and low — confidence scores) as a recommendation to the operator."
+//!
+//! Implemented as multinomial naive Bayes over the token counts, the
+//! classic text-classification baseline. Its characteristic weakness in the
+//! paper — decent precision, lower recall, led astray by conversation logs
+//! — comes from relying on symptom text rather than component state.
+
+use crate::text::{tokenize, Vocabulary};
+
+/// Categorical confidence bands the incumbent system reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ConfidenceBand {
+    /// Posterior below 0.5.
+    Low,
+    /// Posterior in [0.5, 0.8).
+    Medium,
+    /// Posterior of at least 0.8.
+    High,
+}
+
+impl ConfidenceBand {
+    fn from_posterior(p: f64) -> ConfidenceBand {
+        if p >= 0.8 {
+            ConfidenceBand::High
+        } else if p >= 0.5 {
+            ConfidenceBand::Medium
+        } else {
+            ConfidenceBand::Low
+        }
+    }
+}
+
+/// One entry of the ranked recommendation list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedTeam {
+    /// Dense team label as used at fit time.
+    pub team: usize,
+    /// Posterior probability.
+    pub score: f64,
+    /// The categorical band shown to operators.
+    pub band: ConfidenceBand,
+}
+
+/// The fitted router.
+#[derive(Debug, Clone)]
+pub struct NlpRouter {
+    vocab: Vocabulary,
+    /// Per team: log prior.
+    log_prior: Vec<f64>,
+    /// Per team, per token: log P(token | team), Laplace-smoothed.
+    log_likelihood: Vec<Vec<f64>>,
+}
+
+impl NlpRouter {
+    /// Fit on incident descriptions and their resolving-team labels
+    /// (`0..n_teams`).
+    pub fn fit(descriptions: &[String], teams: &[usize], n_teams: usize) -> NlpRouter {
+        assert_eq!(descriptions.len(), teams.len());
+        assert!(!descriptions.is_empty());
+        let docs: Vec<Vec<String>> = descriptions.iter().map(|d| tokenize(d)).collect();
+        let vocab = Vocabulary::build(&docs, 2, 4000);
+        let v = vocab.len();
+        let mut class_count = vec![0usize; n_teams];
+        let mut token_count = vec![vec![0.0f64; v]; n_teams];
+        for (doc, &t) in docs.iter().zip(teams) {
+            class_count[t] += 1;
+            for tok in doc {
+                if let Some(i) = vocab.get(tok) {
+                    token_count[t][i] += 1.0;
+                }
+            }
+        }
+        let n = descriptions.len() as f64;
+        let log_prior = class_count
+            .iter()
+            .map(|&c| if c == 0 { f64::NEG_INFINITY } else { (c as f64 / n).ln() })
+            .collect();
+        let log_likelihood = token_count
+            .into_iter()
+            .map(|counts| {
+                let total: f64 = counts.iter().sum::<f64>() + v as f64; // Laplace
+                counts.into_iter().map(|c| ((c + 1.0) / total).ln()).collect()
+            })
+            .collect();
+        NlpRouter { vocab, log_prior, log_likelihood }
+    }
+
+    /// Number of teams.
+    pub fn n_teams(&self) -> usize {
+        self.log_prior.len()
+    }
+
+    /// Posterior P(team | description).
+    pub fn posteriors(&self, description: &str) -> Vec<f64> {
+        let counts = self.vocab.counts(&tokenize(description));
+        let scores: Vec<f64> = self
+            .log_prior
+            .iter()
+            .enumerate()
+            .map(|(t, &lp)| {
+                if lp == f64::NEG_INFINITY {
+                    return f64::NEG_INFINITY;
+                }
+                let mut s = lp;
+                for (i, &c) in counts.iter().enumerate() {
+                    if c > 0.0 {
+                        s += c * self.log_likelihood[t][i];
+                    }
+                }
+                s
+            })
+            .collect();
+        softmax(&scores)
+    }
+
+    /// The full ranked recommendation list, best team first.
+    pub fn rank(&self, description: &str) -> Vec<RankedTeam> {
+        let post = self.posteriors(description);
+        let mut ranked: Vec<RankedTeam> = post
+            .into_iter()
+            .enumerate()
+            .map(|(team, score)| RankedTeam {
+                team,
+                score,
+                band: ConfidenceBand::from_posterior(score),
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        ranked
+    }
+
+    /// The single best recommendation.
+    pub fn recommend(&self, description: &str) -> RankedTeam {
+        self.rank(description)[0]
+    }
+}
+
+fn softmax(log_scores: &[f64]) -> Vec<f64> {
+    let max = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return vec![1.0 / log_scores.len() as f64; log_scores.len()];
+    }
+    let exps: Vec<f64> = log_scores.iter().map(|&s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> (Vec<String>, Vec<usize>, usize) {
+        let mut texts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            texts.push(format!("packet loss on switch tor-{i} link corruption detected"));
+            labels.push(0); // network
+            texts.push(format!("storage account timeout virtual disk latency stamp-{i}"));
+            labels.push(1); // storage
+            texts.push(format!("database query slow execution plan table lock id-{i}"));
+            labels.push(2); // database
+        }
+        (texts, labels, 3)
+    }
+
+    #[test]
+    fn routes_distinct_vocabularies() {
+        let (texts, labels, n) = corpus();
+        let router = NlpRouter::fit(&texts, &labels, n);
+        assert_eq!(router.recommend("tor switch reporting packet loss").team, 0);
+        assert_eq!(router.recommend("virtual disk slow storage timeout").team, 1);
+        assert_eq!(router.recommend("query execution blocked on table lock").team, 2);
+    }
+
+    #[test]
+    fn ranked_list_is_sorted_and_complete() {
+        let (texts, labels, n) = corpus();
+        let router = NlpRouter::fit(&texts, &labels, n);
+        let ranked = router.rank("switch loss plus some storage words");
+        assert_eq!(ranked.len(), n);
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        let total: f64 = ranked.iter().map(|r| r.score).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confidence_bands_follow_posterior() {
+        assert_eq!(ConfidenceBand::from_posterior(0.95), ConfidenceBand::High);
+        assert_eq!(ConfidenceBand::from_posterior(0.6), ConfidenceBand::Medium);
+        assert_eq!(ConfidenceBand::from_posterior(0.2), ConfidenceBand::Low);
+        assert!(ConfidenceBand::High > ConfidenceBand::Low);
+    }
+
+    #[test]
+    fn noise_words_dilute_confidence() {
+        let (texts, labels, n) = corpus();
+        let router = NlpRouter::fit(&texts, &labels, n);
+        let clean = router.recommend("switch link corruption packet loss");
+        // The paper's observation: conversation logs lead the model astray.
+        let noisy = router.recommend(
+            "switch link issue. chat: engineer says maybe storage? database \
+             team checked query table lock disk latency timeout storage",
+        );
+        assert!(clean.score > noisy.score, "noise must reduce confidence");
+    }
+
+    #[test]
+    fn unseen_vocabulary_falls_back_to_priors() {
+        let (mut texts, mut labels, n) = corpus();
+        // Skew priors toward team 0.
+        for i in 0..30 {
+            texts.push(format!("network thing {i}"));
+            labels.push(0);
+        }
+        let router = NlpRouter::fit(&texts, &labels, n);
+        let rec = router.recommend("completely novel words xyzzy plugh");
+        assert_eq!(rec.team, 0, "prior-dominant team wins with no evidence");
+    }
+}

@@ -1,0 +1,215 @@
+//! Tokenization, vocabularies and TF-IDF weighting.
+
+use std::collections::HashMap;
+
+/// Lowercase and split on non-alphanumerics, dropping stopwords and
+/// single-character fragments. Machine names like `vm-3.c10.dc3` decompose
+/// into their parts (`vm`, `c10`, `dc3`), which is what lets text models
+/// latch onto component vocabulary.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            push_token(&mut out, std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        push_token(&mut out, cur);
+    }
+    out
+}
+
+fn push_token(out: &mut Vec<String>, tok: String) {
+    // Character count, not byte length: a single multi-byte character is
+    // still a one-character fragment.
+    if tok.chars().count() >= 2 && !STOPWORDS.contains(&tok.as_str()) {
+        out.push(tok);
+    }
+}
+
+/// A minimal English stopword list tuned for incident prose.
+const STOPWORDS: [&str; 32] = [
+    "the", "a", "an", "is", "are", "was", "were", "be", "been", "to", "of", "in", "on", "at",
+    "and", "or", "for", "with", "by", "from", "this", "that", "it", "its", "we", "has", "have",
+    "had", "as", "but", "not", "no",
+];
+
+/// A fitted token vocabulary with document frequencies.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    index: HashMap<String, usize>,
+    df: Vec<usize>,
+    n_docs: usize,
+}
+
+impl Vocabulary {
+    /// Build from a corpus of token lists. Tokens appearing in fewer than
+    /// `min_df` documents are dropped; the `max_features` most frequent
+    /// kept.
+    pub fn build(docs: &[Vec<String>], min_df: usize, max_features: usize) -> Vocabulary {
+        let mut df_map: HashMap<&str, usize> = HashMap::new();
+        for doc in docs {
+            let mut seen: Vec<&str> = doc.iter().map(String::as_str).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for t in seen {
+                *df_map.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut terms: Vec<(&str, usize)> =
+            df_map.into_iter().filter(|&(_, df)| df >= min_df).collect();
+        // Most frequent first; lexicographic tie-break keeps builds stable.
+        terms.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        terms.truncate(max_features);
+        let mut index = HashMap::with_capacity(terms.len());
+        let mut df = Vec::with_capacity(terms.len());
+        for (i, (t, d)) in terms.into_iter().enumerate() {
+            index.insert(t.to_string(), i);
+            df.push(d);
+        }
+        Vocabulary { index, df, n_docs: docs.len() }
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.df.len()
+    }
+
+    /// Is the vocabulary empty?
+    pub fn is_empty(&self) -> bool {
+        self.df.is_empty()
+    }
+
+    /// Index of `token`, if retained.
+    pub fn get(&self, token: &str) -> Option<usize> {
+        self.index.get(token).copied()
+    }
+
+    /// Term counts for a tokenized document.
+    pub fn counts(&self, tokens: &[String]) -> Vec<f64> {
+        let mut v = vec![0.0; self.len()];
+        for t in tokens {
+            if let Some(i) = self.get(t) {
+                v[i] += 1.0;
+            }
+        }
+        v
+    }
+}
+
+/// TF-IDF transform bound to a [`Vocabulary`].
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    idf: Vec<f64>,
+    vocab: Vocabulary,
+}
+
+impl TfIdf {
+    /// Compute smoothed IDF weights from the vocabulary's document
+    /// frequencies.
+    pub fn fit(vocab: Vocabulary) -> TfIdf {
+        let n = vocab.n_docs as f64;
+        let idf = vocab
+            .df
+            .iter()
+            .map(|&df| ((1.0 + n) / (1.0 + df as f64)).ln() + 1.0)
+            .collect();
+        TfIdf { idf, vocab }
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// L2-normalized TF-IDF vector for a tokenized document.
+    pub fn transform(&self, tokens: &[String]) -> Vec<f64> {
+        let mut v = self.vocab.counts(tokens);
+        for (x, &idf) in v.iter_mut().zip(&self.idf) {
+            *x *= idf;
+        }
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_splits_machine_names() {
+        let toks = tokenize("VM vm-3.c10.dc3 cannot reach storage");
+        assert_eq!(toks, vec!["vm", "vm", "c10", "dc3", "cannot", "reach", "storage"]);
+    }
+
+    #[test]
+    fn tokenizer_drops_stopwords_and_fragments() {
+        let toks = tokenize("the switch at rack B is down");
+        assert_eq!(toks, vec!["switch", "rack", "down"]);
+    }
+
+    #[test]
+    fn vocabulary_min_df_and_cap() {
+        let docs: Vec<Vec<String>> = vec![
+            tokenize("ping loss high loss"),
+            tokenize("ping ok"),
+            tokenize("loss again"),
+        ];
+        let vocab = Vocabulary::build(&docs, 2, 100);
+        assert!(vocab.get("ping").is_some());
+        assert!(vocab.get("loss").is_some());
+        assert!(vocab.get("ok").is_none(), "df=1 dropped");
+        let capped = Vocabulary::build(&docs, 1, 1);
+        assert_eq!(capped.len(), 1);
+    }
+
+    #[test]
+    fn counts_vector() {
+        let docs = vec![tokenize("drop drop loss"), tokenize("drop")];
+        let vocab = Vocabulary::build(&docs, 1, 10);
+        let v = vocab.counts(&tokenize("drop loss drop unseen"));
+        let drop_idx = vocab.get("drop").unwrap();
+        let loss_idx = vocab.get("loss").unwrap();
+        assert_eq!(v[drop_idx], 2.0);
+        assert_eq!(v[loss_idx], 1.0);
+    }
+
+    #[test]
+    fn tfidf_downweights_ubiquitous_terms() {
+        let docs: Vec<Vec<String>> = (0..10)
+            .map(|i| {
+                if i == 0 {
+                    tokenize("incident rare-word")
+                } else {
+                    tokenize("incident common stuff")
+                }
+            })
+            .collect();
+        let tfidf = TfIdf::fit(Vocabulary::build(&docs, 1, 100));
+        let v = tfidf.transform(&tokenize("incident rare word"));
+        let common = tfidf.vocabulary().get("incident").unwrap();
+        let rare = tfidf.vocabulary().get("rare").unwrap();
+        assert!(v[rare] > v[common], "rare terms weigh more");
+    }
+
+    #[test]
+    fn tfidf_vectors_are_unit_norm() {
+        let docs = vec![tokenize("alpha beta gamma"), tokenize("beta gamma delta")];
+        let tfidf = TfIdf::fit(Vocabulary::build(&docs, 1, 100));
+        let v = tfidf.transform(&tokenize("alpha beta"));
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+        // All-unseen text: zero vector, no NaN.
+        let z = tfidf.transform(&tokenize("zeta eta"));
+        assert!(z.iter().all(|&x| x == 0.0));
+    }
+}

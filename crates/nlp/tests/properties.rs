@@ -1,0 +1,75 @@
+//! Property-based tests for the text machinery.
+
+use nlp::{tokenize, MetaFeaturizer, NlpRouter, TfIdf, Vocabulary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tokenizer never panics and only emits lowercase alphanumerics
+    /// of length ≥ 2.
+    #[test]
+    fn tokenizer_is_total(text in "\\PC{0,200}") {
+        for tok in tokenize(&text) {
+            prop_assert!(tok.chars().count() >= 2);
+            prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(tok.clone(), tok.to_lowercase());
+        }
+    }
+
+    /// TF-IDF vectors are unit-norm or zero for any document.
+    #[test]
+    fn tfidf_norm(doc in "[a-z ]{0,120}") {
+        let corpus = vec![
+            tokenize("packet loss on switch"),
+            tokenize("storage disk latency"),
+            tokenize("query timeout database"),
+        ];
+        let tfidf = TfIdf::fit(Vocabulary::build(&corpus, 1, 100));
+        let v = tfidf.transform(&tokenize(&doc));
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!(norm.abs() < 1e-9 || (norm - 1.0).abs() < 1e-9);
+    }
+
+    /// The router's posteriors always form a distribution and rank() is a
+    /// permutation of the teams.
+    #[test]
+    fn router_outputs_are_valid(query in "\\PC{0,120}") {
+        let texts = vec![
+            "switch packet drops tor".to_string(),
+            "disk latency storage stamp".to_string(),
+            "query lock database table".to_string(),
+            "switch link corruption loss".to_string(),
+        ];
+        let labels = vec![0usize, 1, 2, 0];
+        let router = NlpRouter::fit(&texts, &labels, 3);
+        let posts = router.posteriors(&query);
+        prop_assert!((posts.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let ranked = router.rank(&query);
+        let mut teams: Vec<usize> = ranked.iter().map(|r| r.team).collect();
+        teams.sort_unstable();
+        prop_assert_eq!(teams, vec![0, 1, 2]);
+    }
+
+    /// Meta-features are frequencies: they sum to at most 1 + OOV ≤ 2 and
+    /// each lies in [0, 1].
+    #[test]
+    fn meta_features_are_frequencies(text in "\\PC{0,150}") {
+        let corpus: Vec<String> = (0..20)
+            .map(|i| format!("switch drops rack {i} packet loss"))
+            .chain((0..20).map(|i| format!("storage disk slow stamp {i}")))
+            .collect();
+        let labels: Vec<usize> = (0..40).map(|i| usize::from(i < 20)).collect();
+        let mf = MetaFeaturizer::fit(&corpus, &labels, 10);
+        let v = mf.features(&text);
+        prop_assert_eq!(v.len(), mf.n_features());
+        for &x in &v {
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+        // Word frequencies + OOV rate account for every token exactly once.
+        let total: f64 = v.iter().sum();
+        if !tokenize(&text).is_empty() {
+            prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Abstract syntax for parsed patterns.
+
+/// One element of a character class: a single char or an inclusive range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single character, e.g. the `_` in `[a-z_]`.
+    Char(char),
+    /// An inclusive range, e.g. `a-z`.
+    Range(char, char),
+}
+
+impl ClassItem {
+    /// Does this item contain `c`?
+    pub fn contains(&self, c: char) -> bool {
+        match *self {
+            ClassItem::Char(x) => x == c,
+            ClassItem::Range(lo, hi) => lo <= c && c <= hi,
+        }
+    }
+}
+
+/// Parsed pattern tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A literal character.
+    Literal(char),
+    /// `.` — any character except `\n`.
+    AnyChar,
+    /// A (possibly negated) character class.
+    Class { negated: bool, items: Vec<ClassItem> },
+    /// `^` — start of haystack.
+    StartAnchor,
+    /// `$` — end of haystack.
+    EndAnchor,
+    /// `\b` (value `true`) or `\B` (value `false`).
+    WordBoundary(bool),
+    /// Concatenation of sub-patterns.
+    Concat(Vec<Ast>),
+    /// Alternation `a|b|c`.
+    Alternate(Vec<Ast>),
+    /// Repetition. `max == None` means unbounded.
+    Repeat { node: Box<Ast>, min: u32, max: Option<u32>, greedy: bool },
+    /// Capturing group; `index` is 1-based.
+    Group { index: u32, node: Box<Ast> },
+    /// Non-capturing group `(?: .. )`.
+    NonCapturing(Box<Ast>),
+}
+
+impl Ast {
+    /// Can this node match the empty string? Used by the compiler to guard
+    /// against infinite loops on `(a*)*`-style patterns.
+    pub fn matches_empty(&self) -> bool {
+        match self {
+            Ast::Empty | Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary(_) => true,
+            Ast::Literal(_) | Ast::AnyChar | Ast::Class { .. } => false,
+            Ast::Concat(parts) => parts.iter().all(Ast::matches_empty),
+            Ast::Alternate(parts) => parts.iter().any(Ast::matches_empty),
+            Ast::Repeat { node, min, .. } => *min == 0 || node.matches_empty(),
+            Ast::Group { node, .. } | Ast::NonCapturing(node) => node.matches_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_item_contains() {
+        assert!(ClassItem::Char('x').contains('x'));
+        assert!(!ClassItem::Char('x').contains('y'));
+        assert!(ClassItem::Range('a', 'f').contains('c'));
+        assert!(!ClassItem::Range('a', 'f').contains('g'));
+    }
+
+    #[test]
+    fn matches_empty() {
+        assert!(Ast::Empty.matches_empty());
+        assert!(!Ast::Literal('a').matches_empty());
+        assert!(Ast::Repeat {
+            node: Box::new(Ast::Literal('a')),
+            min: 0,
+            max: None,
+            greedy: true
+        }
+        .matches_empty());
+        assert!(!Ast::Concat(vec![Ast::Literal('a'), Ast::Empty]).matches_empty());
+        assert!(Ast::Alternate(vec![Ast::Literal('a'), Ast::Empty]).matches_empty());
+    }
+}

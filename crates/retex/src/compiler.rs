@@ -1,0 +1,243 @@
+//! Thompson construction: [`Ast`] → instruction [`Program`].
+
+use crate::ast::{Ast, ClassItem};
+
+/// A single VM instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// Match one character satisfying the predicate, advance input.
+    Char(CharPred),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Fork: try `primary` first (higher priority), then `secondary`.
+    Split { primary: usize, secondary: usize },
+    /// Record the current input position into capture slot `slot`.
+    Save(usize),
+    /// Zero-width assertion.
+    Assert(Assertion),
+    /// Accept.
+    Match,
+}
+
+/// Character predicate for [`Inst::Char`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CharPred {
+    /// A single literal character.
+    Literal(char),
+    /// Any character except `\n`.
+    AnyNoNewline,
+    /// A (possibly negated) set of items.
+    Class { negated: bool, items: Vec<ClassItem> },
+}
+
+impl CharPred {
+    /// Evaluate the predicate against `c`.
+    pub fn matches(&self, c: char) -> bool {
+        match self {
+            CharPred::Literal(l) => *l == c,
+            CharPred::AnyNoNewline => c != '\n',
+            CharPred::Class { negated, items } => {
+                let inside = items.iter().any(|it| it.contains(c));
+                inside != *negated
+            }
+        }
+    }
+}
+
+/// Zero-width assertions for [`Inst::Assert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assertion {
+    /// `^`
+    Start,
+    /// `$`
+    End,
+    /// `\b`
+    WordBoundary,
+    /// `\B`
+    NotWordBoundary,
+}
+
+/// A compiled instruction sequence.
+pub type Program = Vec<Inst>;
+
+/// Compile `ast`; returns the program and the number of capture groups
+/// (including the implicit group 0).
+pub fn compile(ast: &Ast) -> (Program, usize) {
+    let mut c = Compiler { prog: Vec::new(), max_group: 0 };
+    // Group 0 wraps the whole pattern.
+    c.prog.push(Inst::Save(0));
+    c.emit(ast);
+    c.prog.push(Inst::Save(1));
+    c.prog.push(Inst::Match);
+    let n_captures = c.max_group as usize + 1;
+    (c.prog, n_captures)
+}
+
+struct Compiler {
+    prog: Program,
+    max_group: u32,
+}
+
+impl Compiler {
+    fn emit(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Literal(ch) => self.prog.push(Inst::Char(CharPred::Literal(*ch))),
+            Ast::AnyChar => self.prog.push(Inst::Char(CharPred::AnyNoNewline)),
+            Ast::Class { negated, items } => self
+                .prog
+                .push(Inst::Char(CharPred::Class { negated: *negated, items: items.clone() })),
+            Ast::StartAnchor => self.prog.push(Inst::Assert(Assertion::Start)),
+            Ast::EndAnchor => self.prog.push(Inst::Assert(Assertion::End)),
+            Ast::WordBoundary(true) => self.prog.push(Inst::Assert(Assertion::WordBoundary)),
+            Ast::WordBoundary(false) => {
+                self.prog.push(Inst::Assert(Assertion::NotWordBoundary))
+            }
+            Ast::Concat(parts) => parts.iter().for_each(|p| self.emit(p)),
+            Ast::Alternate(parts) => self.emit_alternate(parts),
+            Ast::Repeat { node, min, max, greedy } => {
+                self.emit_repeat(node, *min, *max, *greedy)
+            }
+            Ast::Group { index, node } => {
+                self.max_group = self.max_group.max(*index);
+                self.prog.push(Inst::Save(2 * *index as usize));
+                self.emit(node);
+                self.prog.push(Inst::Save(2 * *index as usize + 1));
+            }
+            Ast::NonCapturing(node) => self.emit(node),
+        }
+    }
+
+    fn emit_alternate(&mut self, parts: &[Ast]) {
+        debug_assert!(parts.len() >= 2);
+        // split b1, (split b2, (... bn))  with jumps to a common end.
+        let mut jmp_fixups = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            let last = i == parts.len() - 1;
+            if !last {
+                let split_at = self.prog.len();
+                self.prog.push(Inst::Split { primary: 0, secondary: 0 });
+                let b_start = self.prog.len();
+                self.emit(part);
+                let jmp_at = self.prog.len();
+                self.prog.push(Inst::Jmp(0));
+                jmp_fixups.push(jmp_at);
+                let next = self.prog.len();
+                self.prog[split_at] = Inst::Split { primary: b_start, secondary: next };
+            } else {
+                self.emit(part);
+            }
+        }
+        let end = self.prog.len();
+        for at in jmp_fixups {
+            self.prog[at] = Inst::Jmp(end);
+        }
+    }
+
+    fn emit_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>, greedy: bool) {
+        // Mandatory copies.
+        for _ in 0..min {
+            self.emit(node);
+        }
+        match max {
+            Some(max) => {
+                // Optional copies: (node (node (...)?)?)?
+                let mut split_fixups = Vec::new();
+                for _ in min..max {
+                    let split_at = self.prog.len();
+                    self.prog.push(Inst::Split { primary: 0, secondary: 0 });
+                    split_fixups.push(split_at);
+                    let body = self.prog.len();
+                    self.emit(node);
+                    let take_first = greedy;
+                    // fix later; record body start in primary temporarily
+                    self.prog[split_at] = Inst::Split {
+                        primary: if take_first { body } else { usize::MAX },
+                        secondary: if take_first { usize::MAX } else { body },
+                    };
+                }
+                let end = self.prog.len();
+                for at in split_fixups {
+                    if let Inst::Split { primary, secondary } = &mut self.prog[at] {
+                        if *primary == usize::MAX {
+                            *primary = end;
+                        }
+                        if *secondary == usize::MAX {
+                            *secondary = end;
+                        }
+                    }
+                }
+            }
+            None => {
+                // Kleene star over the remaining copies:
+                //   L1: split L2, L3   (greedy: body first)
+                //   L2: node; jmp L1
+                //   L3:
+                let l1 = self.prog.len();
+                self.prog.push(Inst::Split { primary: 0, secondary: 0 });
+                let l2 = self.prog.len();
+                self.emit(node);
+                self.prog.push(Inst::Jmp(l1));
+                let l3 = self.prog.len();
+                self.prog[l1] = if greedy {
+                    Inst::Split { primary: l2, secondary: l3 }
+                } else {
+                    Inst::Split { primary: l3, secondary: l2 }
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn prog(pat: &str) -> Program {
+        compile(&parse(pat).unwrap()).0
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = prog("ab");
+        assert_eq!(
+            p,
+            vec![
+                Inst::Save(0),
+                Inst::Char(CharPred::Literal('a')),
+                Inst::Char(CharPred::Literal('b')),
+                Inst::Save(1),
+                Inst::Match,
+            ]
+        );
+    }
+
+    #[test]
+    fn star_loops_back() {
+        let p = prog("a*");
+        // Save0, Split, Char, Jmp, Save1, Match
+        assert!(matches!(p[1], Inst::Split { primary: 2, secondary: 4 }));
+        assert!(matches!(p[3], Inst::Jmp(1)));
+    }
+
+    #[test]
+    fn capture_count() {
+        let (_, n) = compile(&parse("(a)(b(c))").unwrap());
+        assert_eq!(n, 4);
+        let (_, n) = compile(&parse("abc").unwrap());
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn char_pred_semantics() {
+        assert!(CharPred::AnyNoNewline.matches('x'));
+        assert!(!CharPred::AnyNoNewline.matches('\n'));
+        let cls = CharPred::Class {
+            negated: true,
+            items: vec![ClassItem::Range('0', '9')],
+        };
+        assert!(cls.matches('a'));
+        assert!(!cls.matches('5'));
+    }
+}

@@ -1,0 +1,430 @@
+//! Recursive-descent pattern parser.
+//!
+//! Grammar (standard POSIX-ish precedence):
+//!
+//! ```text
+//! alternation = concat ('|' concat)*
+//! concat      = repeat*
+//! repeat      = atom (('*'|'+'|'?'|'{m,n}') '?'?)*
+//! atom        = literal | '.' | class | group | anchor | escape
+//! ```
+
+use crate::ast::{Ast, ClassItem};
+use std::fmt;
+
+/// An error produced while parsing a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the pattern where the error was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse `pattern` into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut p = Parser { chars: pattern.char_indices().collect(), pos: 0, next_group: 1 };
+    let ast = p.alternation()?;
+    if p.pos < p.chars.len() {
+        return Err(p.err("unexpected character (unbalanced ')'?)"));
+    }
+    Ok(ast)
+}
+
+struct Parser {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    next_group: u32,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> ParseError {
+        let position = self.chars.get(self.pos).map_or_else(
+            || self.chars.last().map_or(0, |&(i, c)| i + c.len_utf8()),
+            |&(i, _)| i,
+        );
+        ParseError { message: msg.to_string(), position }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Ast::Alternate(branches) })
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().unwrap(),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, ParseError> {
+        let mut node = self.atom()?;
+        loop {
+            let (min, max) = match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    (0, None)
+                }
+                Some('+') => {
+                    self.bump();
+                    (1, None)
+                }
+                Some('?') => {
+                    self.bump();
+                    (0, Some(1))
+                }
+                // try_bounded consumes through '}' on success.
+                Some('{') => match self.try_bounded()? {
+                    Some(mm) => mm,
+                    None => break, // literal '{'
+                },
+                _ => break,
+            };
+            if matches!(
+                node,
+                Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary(_) | Ast::Empty
+            ) {
+                return Err(self.err("repetition operator applied to empty-width atom"));
+            }
+            let greedy = !self.eat('?');
+            node = Ast::Repeat { node: Box::new(node), min, max, greedy };
+        }
+        Ok(node)
+    }
+
+    /// Parse `{m}`, `{m,}` or `{m,n}` starting at `{`. Returns `Ok(None)` and
+    /// restores the position when the braces are not a valid bound (the `{`
+    /// is then treated as a literal, matching common engine behaviour).
+    fn try_bounded(&mut self) -> Result<Option<(u32, Option<u32>)>, ParseError> {
+        let start = self.pos;
+        self.bump(); // '{'
+        let min = self.number();
+        let min = match min {
+            Some(n) => n,
+            None => {
+                self.pos = start;
+                return Ok(None);
+            }
+        };
+        let max = if self.eat(',') {
+            if self.peek() == Some('}') {
+                None
+            } else {
+                match self.number() {
+                    Some(n) => Some(n),
+                    None => {
+                        self.pos = start;
+                        return Ok(None);
+                    }
+                }
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat('}') {
+            self.pos = start;
+            return Ok(None);
+        }
+        if let Some(mx) = max {
+            if mx < min {
+                self.pos = start;
+                return Err(self.err("invalid repetition bound: max < min"));
+            }
+            if mx > 1000 {
+                self.pos = start;
+                return Err(self.err("repetition bound too large (limit 1000)"));
+            }
+        }
+        if min > 1000 {
+            self.pos = start;
+            return Err(self.err("repetition bound too large (limit 1000)"));
+        }
+        Ok(Some((min, max)))
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let mut saw = false;
+        let mut n: u32 = 0;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                saw = true;
+                n = n.saturating_mul(10).saturating_add(d);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        saw.then_some(n)
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        match self.peek() {
+            None => Err(self.err("expected an atom")),
+            Some('(') => self.group(),
+            Some('[') => self.class(),
+            Some('^') => {
+                self.bump();
+                Ok(Ast::StartAnchor)
+            }
+            Some('$') => {
+                self.bump();
+                Ok(Ast::EndAnchor)
+            }
+            Some('.') => {
+                self.bump();
+                Ok(Ast::AnyChar)
+            }
+            Some('\\') => self.escape(),
+            Some(c @ ('*' | '+' | '?')) => {
+                let _ = c;
+                Err(self.err("repetition operator with nothing to repeat"))
+            }
+            Some(')') => Err(self.err("unbalanced ')'")),
+            Some(c) => {
+                self.bump();
+                Ok(Ast::Literal(c))
+            }
+        }
+    }
+
+    fn group(&mut self) -> Result<Ast, ParseError> {
+        self.bump(); // '('
+        let non_capturing = if self.peek() == Some('?') {
+            let save = self.pos;
+            self.bump();
+            if self.eat(':') {
+                true
+            } else {
+                self.pos = save;
+                return Err(self.err("unsupported group flag (only (?: is supported)"));
+            }
+        } else {
+            false
+        };
+        let index = if non_capturing {
+            0
+        } else {
+            let i = self.next_group;
+            self.next_group += 1;
+            i
+        };
+        let inner = self.alternation()?;
+        if !self.eat(')') {
+            return Err(self.err("unclosed group"));
+        }
+        Ok(if non_capturing {
+            Ast::NonCapturing(Box::new(inner))
+        } else {
+            Ast::Group { index, node: Box::new(inner) }
+        })
+    }
+
+    fn class(&mut self) -> Result<Ast, ParseError> {
+        self.bump(); // '['
+        let negated = self.eat('^');
+        let mut items = Vec::new();
+        // A ']' immediately after '[' or '[^' is a literal.
+        if self.eat(']') {
+            items.push(ClassItem::Char(']'));
+        }
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unclosed character class")),
+                Some(']') => {
+                    self.bump();
+                    break;
+                }
+                Some('\\') => {
+                    self.bump();
+                    match self.bump() {
+                        None => return Err(self.err("dangling escape in class")),
+                        Some('d') => items.extend(DIGIT),
+                        Some('w') => items.extend(WORD),
+                        Some('s') => items.extend(SPACE),
+                        Some('n') => items.push(ClassItem::Char('\n')),
+                        Some('t') => items.push(ClassItem::Char('\t')),
+                        Some('r') => items.push(ClassItem::Char('\r')),
+                        Some(c) => items.push(ClassItem::Char(c)),
+                    }
+                }
+                Some(lo) => {
+                    self.bump();
+                    // Range? Look for '-' not followed by ']'.
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
+                    {
+                        self.bump(); // '-'
+                        let hi = match self.bump() {
+                            None => return Err(self.err("unterminated range in class")),
+                            Some('\\') => match self.bump() {
+                                Some('n') => '\n',
+                                Some('t') => '\t',
+                                Some('r') => '\r',
+                                Some(c) => c,
+                                None => return Err(self.err("dangling escape in class")),
+                            },
+                            Some(c) => c,
+                        };
+                        if hi < lo {
+                            return Err(self.err("invalid range in class (hi < lo)"));
+                        }
+                        items.push(ClassItem::Range(lo, hi));
+                    } else {
+                        items.push(ClassItem::Char(lo));
+                    }
+                }
+            }
+        }
+        if items.is_empty() && !negated {
+            return Err(self.err("empty character class"));
+        }
+        Ok(Ast::Class { negated, items })
+    }
+
+    fn escape(&mut self) -> Result<Ast, ParseError> {
+        self.bump(); // '\\'
+        match self.bump() {
+            None => Err(self.err("dangling escape at end of pattern")),
+            Some('d') => Ok(Ast::Class { negated: false, items: DIGIT.to_vec() }),
+            Some('D') => Ok(Ast::Class { negated: true, items: DIGIT.to_vec() }),
+            Some('w') => Ok(Ast::Class { negated: false, items: WORD.to_vec() }),
+            Some('W') => Ok(Ast::Class { negated: true, items: WORD.to_vec() }),
+            Some('s') => Ok(Ast::Class { negated: false, items: SPACE.to_vec() }),
+            Some('S') => Ok(Ast::Class { negated: true, items: SPACE.to_vec() }),
+            Some('b') => Ok(Ast::WordBoundary(true)),
+            Some('B') => Ok(Ast::WordBoundary(false)),
+            Some('n') => Ok(Ast::Literal('\n')),
+            Some('t') => Ok(Ast::Literal('\t')),
+            Some('r') => Ok(Ast::Literal('\r')),
+            Some('0') => Ok(Ast::Literal('\0')),
+            Some(c) if c.is_ascii_alphanumeric() => {
+                Err(self.err("unsupported escape sequence"))
+            }
+            Some(c) => Ok(Ast::Literal(c)),
+        }
+    }
+}
+
+const DIGIT: [ClassItem; 1] = [ClassItem::Range('0', '9')];
+const WORD: [ClassItem; 4] = [
+    ClassItem::Range('a', 'z'),
+    ClassItem::Range('A', 'Z'),
+    ClassItem::Range('0', '9'),
+    ClassItem::Char('_'),
+];
+const SPACE: [ClassItem; 5] = [
+    ClassItem::Char(' '),
+    ClassItem::Char('\t'),
+    ClassItem::Char('\n'),
+    ClassItem::Char('\r'),
+    ClassItem::Char('\u{000B}'),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_concat_and_alt() {
+        let ast = parse("ab|c").unwrap();
+        match ast {
+            Ast::Alternate(v) => assert_eq!(v.len(), 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_indices_are_in_order() {
+        let ast = parse("(a)(?:b)(c)").unwrap();
+        let mut indices = Vec::new();
+        fn walk(a: &Ast, out: &mut Vec<u32>) {
+            match a {
+                Ast::Group { index, node } => {
+                    out.push(*index);
+                    walk(node, out);
+                }
+                Ast::NonCapturing(n) => walk(n, out),
+                Ast::Concat(v) | Ast::Alternate(v) => v.iter().for_each(|n| walk(n, out)),
+                Ast::Repeat { node, .. } => walk(node, out),
+                _ => {}
+            }
+        }
+        walk(&ast, &mut indices);
+        assert_eq!(indices, vec![1, 2]);
+    }
+
+    #[test]
+    fn literal_brace_when_not_a_bound() {
+        assert!(parse("a{foo}").is_ok());
+        assert!(parse("{").is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(parse("a{3,1}").is_err());
+        assert!(parse("a{5000}").is_err());
+    }
+
+    #[test]
+    fn class_edge_cases() {
+        assert!(parse("[]]").is_ok()); // literal ']'
+        assert!(parse("[a-]").is_ok()); // trailing '-' is literal
+        assert!(parse("[z-a]").is_err());
+        assert!(parse("[]").is_err()); // empty positive class
+    }
+
+    #[test]
+    fn error_positions_point_into_pattern() {
+        let e = parse("ab(").unwrap_err();
+        assert_eq!(e.position, 3);
+        let e = parse("a{3,1}").unwrap_err();
+        assert_eq!(e.position, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_escapes() {
+        assert!(parse("(?P<x>a)").is_err());
+        assert!(parse(r"\q").is_err());
+    }
+}

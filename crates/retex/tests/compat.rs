@@ -1,0 +1,100 @@
+//! A compatibility table: (pattern, haystack, expected leftmost match)
+//! triples checked against the engine, mirroring how mainstream engines
+//! (RE2, rust-regex) behave on the same inputs.
+
+use retex::Regex;
+
+/// `None` = no match; `Some((start, text))` = leftmost match.
+#[allow(clippy::type_complexity)] // a literal test table, not an API
+const CASES: &[(&str, &str, Option<(usize, &str)>)] = &[
+    // Literals and escapes
+    ("abc", "xabcy", Some((1, "abc"))),
+    ("abc", "ab", None),
+    (r"a\.b", "a.b", Some((0, "a.b"))),
+    (r"a\.b", "axb", None),
+    (r"\d\d", "a42b", Some((1, "42"))),
+    (r"\D+", "12ab34", Some((2, "ab"))),
+    (r"\w+", "!!hello!!", Some((2, "hello"))),
+    (r"\W", "ab c", Some((2, " "))),
+    (r"\s\S", "a b", Some((1, " b"))),
+    // Dot
+    ("a.c", "abc", Some((0, "abc"))),
+    ("a.c", "a\nc", None),
+    ("...", "ab", None),
+    // Classes
+    ("[abc]+", "zzabccbazz", Some((2, "abccba"))),
+    ("[^abc]+", "abcxyzabc", Some((3, "xyz"))),
+    ("[a-z0-9]+", "A_ab01_Z", Some((2, "ab01"))),
+    ("[-a]", "b-c", Some((1, "-"))),
+    ("[]a]", "]x", Some((0, "]"))),
+    (r"[\d]+", "ab123", Some((2, "123"))),
+    // Anchors
+    ("^ab", "abab", Some((0, "ab"))),
+    ("ab$", "abab", Some((2, "ab"))),
+    ("^ab$", "ab", Some((0, "ab"))),
+    ("^ab$", "xab", None),
+    // Repetition
+    ("a*", "b", Some((0, ""))),
+    ("a+", "b", None),
+    ("ba*", "bbaaa", Some((0, "b"))),
+    ("ba+", "bbaaa", Some((1, "baaa"))),
+    ("a?b", "b", Some((0, "b"))),
+    ("a?b", "ab", Some((0, "ab"))),
+    ("a{2}", "aaa", Some((0, "aa"))),
+    ("a{2,}", "aaaa", Some((0, "aaaa"))),
+    ("a{1,2}", "aaa", Some((0, "aa"))),
+    ("(ab){2,3}", "ababab", Some((0, "ababab"))),
+    // Laziness
+    ("a+?", "aaa", Some((0, "a"))),
+    ("a{1,3}?", "aaa", Some((0, "a"))),
+    ("<.*?>", "<a><b>", Some((0, "<a>"))),
+    // Alternation
+    ("cat|dog", "hotdog", Some((3, "dog"))),
+    ("cat|dog", "catalog", Some((0, "cat"))),
+    ("a|ab", "ab", Some((0, "a"))), // leftmost-first
+    ("(a|b)*c", "ababc", Some((0, "ababc"))),
+    // Word boundaries
+    (r"\bcat\b", "a cat sat", Some((2, "cat"))),
+    (r"\bcat\b", "concatenate", None),
+    (r"\Bcat\B", "concatenate", Some((3, "cat"))),
+    // Groups
+    ("(a)(b)(c)", "abc", Some((0, "abc"))),
+    ("(?:ab)+", "ababx", Some((0, "abab"))),
+    // Realistic component patterns
+    (r"\bvm-\d+\.c\d+\.dc\d+\b", "see vm-12.c3.dc0 now", Some((4, "vm-12.c3.dc0"))),
+    (r"(tor|agg)-\d+", "agg-7 down", Some((0, "agg-7"))),
+    (r"c\d+\.dc\d+", "tor-1.c10.dc3", Some((6, "c10.dc3"))),
+];
+
+#[test]
+fn compatibility_table() {
+    for &(pattern, haystack, expected) in CASES {
+        let re = Regex::new(pattern)
+            .unwrap_or_else(|e| panic!("pattern '{pattern}' failed to parse: {e}"));
+        let found = re.find(haystack).map(|m| (m.start, m.text()));
+        assert_eq!(
+            found, expected,
+            "pattern '{pattern}' on '{haystack}': got {found:?}, want {expected:?}"
+        );
+    }
+}
+
+#[test]
+fn is_match_agrees_with_find() {
+    for &(pattern, haystack, expected) in CASES {
+        let re = Regex::new(pattern).unwrap();
+        assert_eq!(re.is_match(haystack), expected.is_some(), "pattern '{pattern}'");
+    }
+}
+
+#[test]
+fn captures_group_zero_agrees_with_find() {
+    for &(pattern, haystack, _) in CASES {
+        let re = Regex::new(pattern).unwrap();
+        let f = re.find(haystack).map(|m| (m.start, m.end));
+        let c = re
+            .captures(haystack)
+            .and_then(|c| c.get(0).map(|m| (m.start, m.end)));
+        assert_eq!(f, c, "pattern '{pattern}' on '{haystack}'");
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the regex engine.
+
+use proptest::prelude::*;
+use retex::Regex;
+
+proptest! {
+    /// Any literal string (escaped) must match itself.
+    #[test]
+    fn literal_matches_itself(s in "[a-zA-Z0-9 _.-]{0,40}") {
+        let escaped: String = s.chars().flat_map(|c| {
+            if c == '.' || c == '-' { vec!['\\', c] } else { vec![c] }
+        }).collect();
+        let re = Regex::new(&escaped).unwrap();
+        prop_assert!(re.is_match(&s));
+        let m = re.find(&s).unwrap();
+        prop_assert_eq!(m.text(), s.as_str());
+    }
+
+    /// find_iter yields non-overlapping, strictly ordered matches.
+    #[test]
+    fn find_iter_is_ordered(hay in "[ab0-9 ]{0,60}") {
+        let re = Regex::new(r"\d+").unwrap();
+        let mut last_end = 0usize;
+        for m in re.find_iter(&hay) {
+            prop_assert!(m.start >= last_end);
+            prop_assert!(m.end > m.start);
+            prop_assert!(m.text().chars().all(|c| c.is_ascii_digit()));
+            last_end = m.end;
+        }
+    }
+
+    /// The digit class agrees with char::is_ascii_digit on every char.
+    #[test]
+    fn digit_class_agrees(c in any::<char>()) {
+        let re = Regex::new(r"^\d$").unwrap();
+        prop_assert_eq!(re.is_match(&c.to_string()), c.is_ascii_digit() || c.is_numeric() && c.is_ascii());
+    }
+
+    /// A match of `find` is always a substring match under `is_match`.
+    #[test]
+    fn find_consistent_with_is_match(hay in "[a-c]{0,30}") {
+        let re = Regex::new("ab+c?").unwrap();
+        prop_assert_eq!(re.find(&hay).is_some(), re.is_match(&hay));
+    }
+
+    /// Star never fails: `x*` matches every haystack (possibly empty match).
+    #[test]
+    fn star_always_matches(hay in ".{0,50}") {
+        let re = Regex::new("x*").unwrap();
+        prop_assert!(re.is_match(&hay));
+    }
+
+    /// Capture group 0 always equals the whole match.
+    #[test]
+    fn group_zero_is_whole_match(hay in "[a-z0-9.]{0,50}") {
+        let re = Regex::new(r"([a-z]+)\.([0-9]+)").unwrap();
+        if let Some(caps) = re.captures(&hay) {
+            let whole = caps.get(0).unwrap();
+            let m = re.find(&hay).unwrap();
+            prop_assert_eq!(whole.start, m.start);
+            prop_assert_eq!(whole.end, m.end);
+        }
+    }
+
+    /// Matching never panics on arbitrary unicode haystacks.
+    #[test]
+    fn never_panics_on_unicode(hay in "\\PC{0,80}") {
+        for pat in [r"\w+", r"\d{2,4}", "a.b", "^x|y$", r"\bz\b"] {
+            let re = Regex::new(pat).unwrap();
+            let _ = re.find(&hay);
+            let _ = re.find_iter(&hay).count();
+        }
+    }
+
+    /// Parser never panics on arbitrary pattern strings (errors are fine).
+    #[test]
+    fn parser_never_panics(pat in ".{0,40}") {
+        let _ = Regex::new(&pat);
+    }
+}

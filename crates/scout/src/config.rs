@@ -1,0 +1,476 @@
+//! The Scout configuration language (§5.1).
+//!
+//! Operators describe their team's world in a small declarative file:
+//!
+//! ```text
+//! // how to find components in incident text
+//! let server  = <srv-\d+\.c\d+\.dc\d+>;
+//! let switch  = <(tor|agg|core)-\d+(\.c\d+)?\.dc\d+>;
+//! let cluster = <c\d+\.dc\d+>;
+//! let VM      = <vm-\d+\.c\d+\.dc\d+>;
+//!
+//! // the team's monitoring data, tagged with type and associations
+//! MONITORING ping_stats = CREATE_MONITORING(ping-statistics,
+//!     {server, cluster}, TIME_SERIES);
+//! MONITORING cpu = CREATE_MONITORING(cpu-usage,
+//!     {server, switch, cluster}, TIME_SERIES, CPU_UTIL);
+//!
+//! // what is explicitly out of scope
+//! EXCLUDE TITLE = <decommission>;
+//! EXCLUDE switch = <tor-9\.c3\.dc1>;
+//! ```
+//!
+//! `let` bindings give per-component-type extraction regexes (compiled with
+//! the in-repo `retex` engine); `MONITORING` declarations bind a data set by
+//! resource locator and tag it with its component associations, its data
+//! type and an optional class tag; `EXCLUDE` rules veto incidents or
+//! components (§5.3). Modifying the Scout = editing this file (§5.1).
+
+use monitoring::{DataType, Dataset};
+use retex::Regex;
+use std::fmt;
+
+/// The component types a Scout reasons about. The deployed PhyNet Scout
+/// uses exactly three (§6), with VM mentions resolved to their host server
+/// through the topology (§5.1: dependent components).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComponentType {
+    /// Physical servers.
+    Server,
+    /// Switches of any tier.
+    Switch,
+    /// Clusters.
+    Cluster,
+}
+
+impl ComponentType {
+    /// All types, in feature-layout order.
+    pub const ALL: [ComponentType; 3] =
+        [ComponentType::Server, ComponentType::Switch, ComponentType::Cluster];
+
+    /// Lowercase name used in the DSL and in feature names.
+    pub fn name(self) -> &'static str {
+        match self {
+            ComponentType::Server => "server",
+            ComponentType::Switch => "switch",
+            ComponentType::Cluster => "cluster",
+        }
+    }
+
+    /// Parse a DSL binding name. `vm` is accepted and handled by the
+    /// extractor (resolved to servers), so it is not a `ComponentType`.
+    fn parse(s: &str) -> Option<ComponentType> {
+        match s.to_ascii_lowercase().as_str() {
+            "server" => Some(ComponentType::Server),
+            "switch" => Some(ComponentType::Switch),
+            "cluster" => Some(ComponentType::Cluster),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ComponentType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One `MONITORING name = CREATE_MONITORING(locator, {tags}, TYPE[, CLASS])`
+/// declaration.
+#[derive(Debug, Clone)]
+pub struct MonitoringDecl {
+    /// The operator-chosen binding name.
+    pub name: String,
+    /// The data set it resolves to (by resource locator).
+    pub dataset: Dataset,
+    /// Component associations: which mention types pull this data.
+    pub associations: Vec<ComponentType>,
+    /// Declared data type; validated against the data set's real type.
+    pub data_type: DataType,
+    /// Optional class tag for cross-hardware merging.
+    pub class_tag: Option<String>,
+}
+
+/// An `EXCLUDE` rule (§5.3).
+#[derive(Debug, Clone)]
+pub enum ExcludeRule {
+    /// `EXCLUDE TITLE = <regex>`: veto incidents whose title matches.
+    Title(Regex),
+    /// `EXCLUDE BODY = <regex>`: veto incidents whose body matches.
+    Body(Regex),
+    /// `EXCLUDE <type> = <regex>`: drop matching component mentions.
+    Component(ComponentType, Regex),
+}
+
+/// A parsed Scout configuration.
+#[derive(Debug, Clone)]
+pub struct ScoutConfig {
+    /// Extraction regex per mention kind (`vm` included).
+    pub patterns: Vec<(String, Regex)>,
+    /// Monitoring declarations, in file order.
+    pub monitoring: Vec<MonitoringDecl>,
+    /// Exclusion rules, in file order.
+    pub excludes: Vec<ExcludeRule>,
+}
+
+/// A configuration parse error with its line number.
+#[derive(Debug, Clone)]
+pub struct ConfigError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ScoutConfig {
+    /// Parse a configuration file.
+    pub fn parse(source: &str) -> Result<ScoutConfig, ConfigError> {
+        let mut cfg =
+            ScoutConfig { patterns: Vec::new(), monitoring: Vec::new(), excludes: Vec::new() };
+        for (i, raw) in source.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with("//") || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| ConfigError { line: line_no, message };
+            if let Some(rest) = line.strip_prefix("let ") {
+                let (name, regex) = parse_let(rest).map_err(err)?;
+                cfg.patterns.push((name, regex));
+            } else if let Some(rest) = line.strip_prefix("MONITORING ") {
+                cfg.monitoring.push(parse_monitoring(rest).map_err(err)?);
+            } else if let Some(rest) = line.strip_prefix("EXCLUDE ") {
+                cfg.excludes.push(parse_exclude(rest).map_err(err)?);
+            } else {
+                return Err(err(format!("unrecognized statement: {line}")));
+            }
+        }
+        cfg.validate().map_err(|message| ConfigError { line: 0, message })?;
+        Ok(cfg)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.patterns.is_empty() {
+            return Err("a Scout needs at least one component extraction pattern".into());
+        }
+        if self.monitoring.is_empty() {
+            return Err("a Scout needs at least one MONITORING declaration".into());
+        }
+        for m in &self.monitoring {
+            if m.dataset.data_type() != m.data_type {
+                return Err(format!(
+                    "data set {} is {:?} but declared {:?}",
+                    m.dataset,
+                    m.dataset.data_type(),
+                    m.data_type
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The extraction regex bound to `name` (case-insensitive).
+    pub fn pattern(&self, name: &str) -> Option<&Regex> {
+        self.patterns
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, r)| r)
+    }
+
+    /// Data sets associated with `ctype`, in declaration order.
+    pub fn datasets_for(&self, ctype: ComponentType) -> Vec<Dataset> {
+        self.monitoring
+            .iter()
+            .filter(|m| m.associations.contains(&ctype))
+            .map(|m| m.dataset)
+            .collect()
+    }
+
+    /// Does any `EXCLUDE TITLE/BODY` rule veto this incident text?
+    /// `title` is the first line of the text by convention.
+    pub fn excludes_incident(&self, text: &str) -> bool {
+        let title = text.lines().next().unwrap_or("");
+        self.excludes.iter().any(|rule| match rule {
+            ExcludeRule::Title(re) => re.is_match(title),
+            ExcludeRule::Body(re) => re.is_match(text),
+            ExcludeRule::Component(..) => false,
+        })
+    }
+
+    /// Is this specific component name vetoed for `ctype`?
+    pub fn excludes_component(&self, ctype: ComponentType, name: &str) -> bool {
+        self.excludes.iter().any(|rule| match rule {
+            ExcludeRule::Component(t, re) => *t == ctype && re.is_match(name),
+            _ => false,
+        })
+    }
+
+    /// The deployed PhyNet Scout's configuration (§6): three component
+    /// types, twelve data sets, two class tags.
+    pub fn phynet() -> ScoutConfig {
+        ScoutConfig::parse(PHYNET_CONFIG).expect("built-in PhyNet config must parse")
+    }
+
+    /// Regenerate the configuration file this config parses from —
+    /// `parse(to_source(c))` round-trips (persistence, tooling).
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        for (name, regex) in &self.patterns {
+            out.push_str(&format!("let {name} = <{}>;
+", regex.as_str()));
+        }
+        for m in &self.monitoring {
+            let assoc: Vec<&str> =
+                m.associations.iter().map(|t| t.name()).collect();
+            let dtype = match m.data_type {
+                DataType::TimeSeries => "TIME_SERIES",
+                DataType::Event => "EVENT",
+            };
+            match &m.class_tag {
+                Some(tag) => out.push_str(&format!(
+                    "MONITORING {} = CREATE_MONITORING({}, {{{}}}, {dtype}, {tag});
+",
+                    m.name,
+                    m.dataset.name(),
+                    assoc.join(", ")
+                )),
+                None => out.push_str(&format!(
+                    "MONITORING {} = CREATE_MONITORING({}, {{{}}}, {dtype});
+",
+                    m.name,
+                    m.dataset.name(),
+                    assoc.join(", ")
+                )),
+            }
+        }
+        for e in &self.excludes {
+            match e {
+                ExcludeRule::Title(r) => {
+                    out.push_str(&format!("EXCLUDE TITLE = <{}>;
+", r.as_str()))
+                }
+                ExcludeRule::Body(r) => {
+                    out.push_str(&format!("EXCLUDE BODY = <{}>;
+", r.as_str()))
+                }
+                ExcludeRule::Component(t, r) => {
+                    out.push_str(&format!("EXCLUDE {} = <{}>;
+", t.name(), r.as_str()))
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The PhyNet Scout configuration file shipped with this reproduction.
+pub const PHYNET_CONFIG: &str = r#"
+// Component extraction (§5.1). VM mentions resolve to their host server.
+let VM      = <\bvm-\d+\.c\d+\.dc\d+\b>;
+let server  = <\bsrv-\d+\.c\d+\.dc\d+\b>;
+let switch  = <\b(tor|agg)-\d+\.c\d+\.dc\d+\b|\bcore-\d+\.dc\d+\b>;
+let cluster = <\bc\d+\.dc\d+\b>;
+
+// The twelve Table-2 data sets.
+MONITORING ping_stats   = CREATE_MONITORING(ping-statistics, {server, cluster}, TIME_SERIES);
+MONITORING link_drops   = CREATE_MONITORING(link-level-drops, {switch, cluster}, EVENT);
+MONITORING switch_drops = CREATE_MONITORING(switch-level-drops, {switch, cluster}, EVENT);
+MONITORING canaries     = CREATE_MONITORING(canaries, {server, cluster}, TIME_SERIES);
+MONITORING reboots      = CREATE_MONITORING(device-reboots, {server, switch, cluster}, EVENT);
+MONITORING link_loss    = CREATE_MONITORING(link-loss-status, {switch, cluster}, TIME_SERIES);
+MONITORING fcs          = CREATE_MONITORING(fcs-corruption, {switch, cluster}, EVENT);
+MONITORING syslog       = CREATE_MONITORING(snmp-syslog, {server, switch, cluster}, EVENT);
+MONITORING pfc          = CREATE_MONITORING(pfc-counters, {switch, cluster}, TIME_SERIES);
+MONITORING iface        = CREATE_MONITORING(interface-counters, {switch, cluster}, TIME_SERIES);
+MONITORING temperature  = CREATE_MONITORING(temperature, {server, switch, cluster}, TIME_SERIES, TEMP);
+MONITORING cpu          = CREATE_MONITORING(cpu-usage, {server, switch, cluster}, TIME_SERIES, CPU_UTIL);
+
+// Out of scope (§5.3): decommission chores are not PhyNet incidents.
+EXCLUDE TITLE = <decommission>;
+"#;
+
+fn parse_let(rest: &str) -> Result<(String, Regex), String> {
+    // name = <regex>;
+    let rest = rest.trim().strip_suffix(';').ok_or("missing trailing ';'")?;
+    let (name, value) = rest.split_once('=').ok_or("expected 'let name = <regex>;'")?;
+    let name = name.trim();
+    if name.is_empty() {
+        return Err("empty binding name".into());
+    }
+    let value = value.trim();
+    let pattern = value
+        .strip_prefix('<')
+        .and_then(|v| v.strip_suffix('>'))
+        .ok_or("regex must be wrapped in <...>")?;
+    let regex = Regex::new(pattern).map_err(|e| e.to_string())?;
+    Ok((name.to_string(), regex))
+}
+
+fn parse_monitoring(rest: &str) -> Result<MonitoringDecl, String> {
+    let rest = rest.trim().strip_suffix(';').ok_or("missing trailing ';'")?;
+    let (name, call) = rest.split_once('=').ok_or("expected 'MONITORING name = …'")?;
+    let name = name.trim().to_string();
+    let call = call.trim();
+    let args = call
+        .strip_prefix("CREATE_MONITORING(")
+        .and_then(|c| c.strip_suffix(')'))
+        .ok_or("expected CREATE_MONITORING(...)")?;
+    // locator, {a, b}, TYPE [, CLASS]  — split respecting the braces.
+    let (locator, rest) = args.split_once(',').ok_or("missing arguments")?;
+    let rest = rest.trim();
+    let brace_end = rest.find('}').ok_or("missing {associations}")?;
+    let assoc_src = rest[..brace_end].trim_start_matches('{');
+    let tail = rest[brace_end + 1..].trim_start_matches(',').trim();
+    let mut tail_parts = tail.split(',').map(str::trim).filter(|s| !s.is_empty());
+    let type_str = tail_parts.next().ok_or("missing data type")?;
+    let class_tag = tail_parts.next().map(str::to_string);
+
+    let locator = locator.trim();
+    let dataset = Dataset::ALL
+        .into_iter()
+        .find(|d| d.name() == locator)
+        .ok_or_else(|| format!("unknown resource locator '{locator}'"))?;
+    let mut associations = Vec::new();
+    for a in assoc_src.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let t = ComponentType::parse(a).ok_or_else(|| format!("unknown association '{a}'"))?;
+        if !associations.contains(&t) {
+            associations.push(t);
+        }
+    }
+    if associations.is_empty() {
+        return Err("at least one component association required".into());
+    }
+    let data_type = match type_str {
+        "TIME_SERIES" => DataType::TimeSeries,
+        "EVENT" => DataType::Event,
+        other => return Err(format!("unknown data type '{other}'")),
+    };
+    Ok(MonitoringDecl { name, dataset, associations, data_type, class_tag })
+}
+
+fn parse_exclude(rest: &str) -> Result<ExcludeRule, String> {
+    let rest = rest.trim().strip_suffix(';').ok_or("missing trailing ';'")?;
+    let (target, value) = rest.split_once('=').ok_or("expected 'EXCLUDE target = <regex>;'")?;
+    let target = target.trim();
+    let pattern = value
+        .trim()
+        .strip_prefix('<')
+        .and_then(|v| v.strip_suffix('>'))
+        .ok_or("regex must be wrapped in <...>")?;
+    let regex = Regex::new(pattern).map_err(|e| e.to_string())?;
+    match target {
+        "TITLE" => Ok(ExcludeRule::Title(regex)),
+        "BODY" => Ok(ExcludeRule::Body(regex)),
+        other => {
+            let t = ComponentType::parse(other)
+                .ok_or_else(|| format!("unknown EXCLUDE target '{other}'"))?;
+            Ok(ExcludeRule::Component(t, regex))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phynet_config_parses_with_twelve_datasets() {
+        let cfg = ScoutConfig::phynet();
+        assert_eq!(cfg.monitoring.len(), 12);
+        assert_eq!(cfg.patterns.len(), 4);
+        let tagged = cfg.monitoring.iter().filter(|m| m.class_tag.is_some()).count();
+        assert_eq!(tagged, 2, "two class tags like the paper");
+        assert!(!cfg.datasets_for(ComponentType::Server).is_empty());
+        assert!(!cfg.datasets_for(ComponentType::Switch).is_empty());
+        assert_eq!(cfg.datasets_for(ComponentType::Cluster).len(), 12);
+    }
+
+    #[test]
+    fn patterns_extract_the_expected_names() {
+        let cfg = ScoutConfig::phynet();
+        let switch = cfg.pattern("switch").unwrap();
+        assert!(switch.is_match("issue on tor-3.c1.dc0 now"));
+        assert!(switch.is_match("agg-1.c2.dc1 flapping"));
+        assert!(switch.is_match("core-0.dc1 reload"));
+        assert!(!switch.is_match("srv-1.c1.dc0"));
+        let vm = cfg.pattern("VM").unwrap();
+        assert!(vm.is_match("vm-12.c0.dc1 unreachable"));
+    }
+
+    #[test]
+    fn exclusion_rules_apply() {
+        let cfg = ScoutConfig::parse(
+            r#"
+            let cluster = <c\d+\.dc\d+>;
+            MONITORING cpu = CREATE_MONITORING(cpu-usage, {cluster}, TIME_SERIES);
+            EXCLUDE TITLE = <decommission>;
+            EXCLUDE BODY = <chaos-test>;
+            EXCLUDE cluster = <c9\.dc9>;
+            "#,
+        )
+        .unwrap();
+        assert!(cfg.excludes_incident("decommission tor-1\nbody"));
+        assert!(cfg.excludes_incident("title\nscheduled chaos-test run"));
+        assert!(!cfg.excludes_incident("ordinary incident\nbody"));
+        // TITLE rules only look at the first line.
+        assert!(!cfg.excludes_incident("ordinary\nmentions decommission later"));
+        assert!(cfg.excludes_component(ComponentType::Cluster, "c9.dc9"));
+        assert!(!cfg.excludes_component(ComponentType::Cluster, "c1.dc0"));
+        assert!(!cfg.excludes_component(ComponentType::Server, "c9.dc9"));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = ScoutConfig::parse("let x = <[>;").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = ScoutConfig::parse("\nnonsense statement\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let err = ScoutConfig::parse(
+            r#"
+            let cluster = <c\d+>;
+            MONITORING cpu = CREATE_MONITORING(cpu-usage, {cluster}, EVENT);
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("declared"), "{err}");
+    }
+
+    #[test]
+    fn unknown_locator_is_rejected() {
+        let err = ScoutConfig::parse(
+            r#"
+            let cluster = <c\d+>;
+            MONITORING x = CREATE_MONITORING(no-such-thing, {cluster}, EVENT);
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown resource locator"), "{err}");
+    }
+
+    #[test]
+    fn empty_config_is_rejected() {
+        assert!(ScoutConfig::parse("").is_err());
+        assert!(ScoutConfig::parse("// only comments\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let cfg = ScoutConfig::parse(
+            "// comment\n# hash comment\n\nlet cluster = <c\\d+>;\nMONITORING cpu = CREATE_MONITORING(cpu-usage, {cluster}, TIME_SERIES);\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.patterns.len(), 1);
+    }
+}

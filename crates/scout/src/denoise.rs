@@ -1,0 +1,156 @@
+//! Training-label de-noising (§8 "Not all incidents have the right label").
+//!
+//! The incident manager records the owning team at close time; when an
+//! incident is never officially transferred, that label is wrong, and §8
+//! reports this actively poisons retraining (mislabeled incidents get
+//! up-weighted as "mistakes"). The paper: "this problem can be mitigated
+//! by de-noising techniques".
+//!
+//! This module implements confident-learning-style de-noising: a
+//! cross-validated model scores each training example's label; examples
+//! whose recorded label receives very low out-of-fold probability are
+//! flagged as suspect and dropped (or down-weighted) before the real
+//! training run.
+
+use ml::forest::{ForestConfig, RandomForest};
+use rand::Rng;
+
+/// De-noising configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DenoiseConfig {
+    /// Number of cross-validation folds.
+    pub folds: usize,
+    /// Flag an example when the out-of-fold probability of its recorded
+    /// label falls below this.
+    pub label_probability_floor: f64,
+    /// Forest used for the out-of-fold scoring (cheaper than the main one).
+    pub forest: ForestConfig,
+}
+
+impl Default for DenoiseConfig {
+    fn default() -> Self {
+        DenoiseConfig {
+            folds: 3,
+            label_probability_floor: 0.2,
+            forest: ForestConfig { n_trees: 30, ..ForestConfig::default() },
+        }
+    }
+}
+
+/// The verdict for each training example.
+#[derive(Debug, Clone)]
+pub struct DenoiseReport {
+    /// Out-of-fold probability assigned to each example's recorded label.
+    pub label_probability: Vec<f64>,
+    /// Indices flagged as probably mislabeled.
+    pub suspects: Vec<usize>,
+}
+
+impl DenoiseReport {
+    /// Indices that survive de-noising.
+    pub fn kept(&self, n: usize) -> Vec<usize> {
+        (0..n).filter(|i| !self.suspects.contains(i)).collect()
+    }
+}
+
+/// Score every example's label by `folds`-fold cross-validation and flag
+/// the improbable ones.
+pub fn denoise<R: Rng>(
+    x: &[Vec<f64>],
+    y: &[usize],
+    config: &DenoiseConfig,
+    rng: &mut R,
+) -> DenoiseReport {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let mut label_probability = vec![0.5; n];
+    if n < config.folds * 4 {
+        return DenoiseReport { label_probability, suspects: Vec::new() };
+    }
+    for fold in 0..config.folds {
+        let (train, test): (Vec<usize>, Vec<usize>) =
+            (0..n).partition(|i| i % config.folds != fold);
+        let tx: Vec<Vec<f64>> = train.iter().map(|&i| x[i].clone()).collect();
+        let ty: Vec<usize> = train.iter().map(|&i| y[i]).collect();
+        if ty.iter().all(|&v| v == ty[0]) {
+            continue; // degenerate fold
+        }
+        let f = RandomForest::fit(&tx, &ty, 2, config.forest, rng);
+        for &i in &test {
+            label_probability[i] = f.predict_proba(&x[i])[y[i]];
+        }
+    }
+    let suspects = (0..n)
+        .filter(|&i| label_probability[i] < config.label_probability_floor)
+        .collect();
+    DenoiseReport { label_probability, suspects }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Clean, separable data with a known set of flipped labels.
+    fn noisy_blobs(n: usize, flip_every: usize) -> (Vec<Vec<f64>>, Vec<usize>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut flipped = Vec::new();
+        for i in 0..n {
+            let jitter = ((i * 37) % 100) as f64 / 500.0;
+            let true_label = i % 2;
+            if true_label == 0 {
+                x.push(vec![0.0 + jitter, 0.1 - jitter]);
+            } else {
+                x.push(vec![3.0 + jitter, 2.9 - jitter]);
+            }
+            let mut label = true_label;
+            if i % flip_every == 0 {
+                label = 1 - label;
+                flipped.push(i);
+            }
+            y.push(label);
+        }
+        (x, y, flipped)
+    }
+
+    #[test]
+    fn finds_flipped_labels() {
+        let (x, y, flipped) = noisy_blobs(300, 15);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let report = denoise(&x, &y, &DenoiseConfig::default(), &mut rng);
+        let found = flipped.iter().filter(|i| report.suspects.contains(i)).count();
+        assert!(
+            found as f64 / flipped.len() as f64 > 0.8,
+            "found {found}/{} flipped labels; suspects {:?}",
+            flipped.len(),
+            report.suspects.len()
+        );
+        // And few clean examples are flagged.
+        let false_flags = report.suspects.iter().filter(|i| !flipped.contains(i)).count();
+        assert!(false_flags <= 6, "false flags {false_flags}");
+    }
+
+    #[test]
+    fn clean_data_is_left_alone() {
+        let (x, y, _) = noisy_blobs(200, usize::MAX);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let report = denoise(&x, &y, &DenoiseConfig::default(), &mut rng);
+        assert!(
+            report.suspects.len() <= 4,
+            "clean data flagged: {:?}",
+            report.suspects
+        );
+        assert_eq!(report.kept(x.len()).len(), x.len() - report.suspects.len());
+    }
+
+    #[test]
+    fn tiny_inputs_are_passed_through() {
+        let x = vec![vec![0.0]; 5];
+        let y = vec![0, 1, 0, 1, 0];
+        let mut rng = SmallRng::seed_from_u64(3);
+        let report = denoise(&x, &y, &DenoiseConfig::default(), &mut rng);
+        assert!(report.suspects.is_empty());
+    }
+}

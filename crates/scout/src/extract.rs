@@ -1,0 +1,205 @@
+//! Component extraction (§5.1, §5.3).
+//!
+//! The model selector's first real step: pull component names out of the
+//! incident text with the operator's regexes, resolve them against the
+//! topology, apply component-level EXCLUDE rules, and resolve VM mentions
+//! to their host server (the paper's "dependent components can be extracted
+//! by using the operator's topology abstractions"). If nothing is found the
+//! incident is "too broad in scope" and falls back to the legacy router.
+
+use crate::config::{ComponentType, ScoutConfig};
+use cloudsim::{ComponentId, ComponentKind, Topology};
+
+/// The components found in one incident's text, bucketed by type.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractedComponents {
+    /// Servers (including hosts resolved from VM mentions).
+    pub servers: Vec<ComponentId>,
+    /// Switches of any tier.
+    pub switches: Vec<ComponentId>,
+    /// Clusters.
+    pub clusters: Vec<ComponentId>,
+}
+
+impl ExtractedComponents {
+    /// Nothing extractable: the incident must use the legacy process.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty() && self.switches.is_empty() && self.clusters.is_empty()
+    }
+
+    /// The components of one type.
+    pub fn of_type(&self, t: ComponentType) -> &[ComponentId] {
+        match t {
+            ComponentType::Server => &self.servers,
+            ComponentType::Switch => &self.switches,
+            ComponentType::Cluster => &self.clusters,
+        }
+    }
+
+    /// Devices named specifically (servers + switches), excluding clusters.
+    /// CPD+ keys its conservative path on this count (§5.2.2).
+    pub fn device_count(&self) -> usize {
+        self.servers.len() + self.switches.len()
+    }
+
+    /// All extracted component ids, in type order.
+    pub fn all(&self) -> Vec<ComponentId> {
+        let mut out = self.servers.clone();
+        out.extend_from_slice(&self.switches);
+        out.extend_from_slice(&self.clusters);
+        out
+    }
+}
+
+/// Component extractor bound to a config and a topology.
+#[derive(Debug)]
+pub struct Extractor<'a> {
+    config: &'a ScoutConfig,
+    topo: &'a Topology,
+}
+
+impl<'a> Extractor<'a> {
+    /// Bind config + topology.
+    pub fn new(config: &'a ScoutConfig, topo: &'a Topology) -> Extractor<'a> {
+        Extractor { config, topo }
+    }
+
+    /// Extract and resolve every component mentioned in `text`.
+    pub fn extract(&self, text: &str) -> ExtractedComponents {
+        let mut out = ExtractedComponents::default();
+        for (binding, regex) in &self.config.patterns {
+            for m in regex.find_iter(text) {
+                let name = m.text();
+                let Some(component) = self.topo.by_name(name) else {
+                    continue; // stale or fabricated name
+                };
+                let (ctype, id) = match component.kind {
+                    ComponentKind::Vm => {
+                        // Dependent-component resolution: VM → host server.
+                        let Some(server) = component.parent else { continue };
+                        (ComponentType::Server, server)
+                    }
+                    ComponentKind::Server => (ComponentType::Server, component.id),
+                    ComponentKind::TorSwitch
+                    | ComponentKind::AggSwitch
+                    | ComponentKind::CoreSwitch => (ComponentType::Switch, component.id),
+                    ComponentKind::Cluster => (ComponentType::Cluster, component.id),
+                    // DCs and SLB instances are outside the PhyNet Scout's
+                    // three component types.
+                    _ => continue,
+                };
+                // The binding name must agree with what the name resolved
+                // to, except the VM binding which resolves to servers.
+                let binding_ok = binding.eq_ignore_ascii_case(ctype.name())
+                    || (binding.eq_ignore_ascii_case("vm")
+                        && ctype == ComponentType::Server
+                        && component.kind == ComponentKind::Vm);
+                if !binding_ok {
+                    continue;
+                }
+                if self
+                    .config
+                    .excludes_component(ctype, &self.topo.component(id).name)
+                {
+                    continue;
+                }
+                let bucket = match ctype {
+                    ComponentType::Server => &mut out.servers,
+                    ComponentType::Switch => &mut out.switches,
+                    ComponentType::Cluster => &mut out.clusters,
+                };
+                if !bucket.contains(&id) {
+                    bucket.push(id);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::TopologyConfig;
+
+    fn setup() -> (ScoutConfig, Topology) {
+        (ScoutConfig::phynet(), Topology::build(TopologyConfig::default()))
+    }
+
+    #[test]
+    fn extracts_all_three_types() {
+        let (cfg, topo) = setup();
+        let ex = Extractor::new(&cfg, &topo);
+        let found = ex.extract(
+            "Drops on tor-2.c1.dc0 affecting srv-9.c1.dc0 and cluster c1.dc0; \
+             core-0.dc0 clean",
+        );
+        assert_eq!(found.switches.len(), 2, "tor + core");
+        assert_eq!(found.servers.len(), 1);
+        assert_eq!(found.clusters.len(), 1);
+        assert_eq!(found.device_count(), 3);
+    }
+
+    #[test]
+    fn vm_mentions_resolve_to_host_servers() {
+        let (cfg, topo) = setup();
+        let ex = Extractor::new(&cfg, &topo);
+        let vm = topo.by_name("vm-5.c2.dc1").unwrap();
+        let host = vm.parent.unwrap();
+        let found = ex.extract("customer VM vm-5.c2.dc1 unreachable");
+        assert_eq!(found.servers, vec![host]);
+    }
+
+    #[test]
+    fn duplicates_are_deduped() {
+        let (cfg, topo) = setup();
+        let ex = Extractor::new(&cfg, &topo);
+        let found = ex.extract("c1.dc0 c1.dc0 c1.dc0 and tor-0.c1.dc0 again tor-0.c1.dc0");
+        assert_eq!(found.clusters.len(), 1);
+        assert_eq!(found.switches.len(), 1);
+    }
+
+    #[test]
+    fn unknown_names_are_ignored() {
+        let (cfg, topo) = setup();
+        let ex = Extractor::new(&cfg, &topo);
+        let found = ex.extract("ghost device tor-99.c99.dc9 and vm-12345.c88.dc8");
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn component_excludes_drop_mentions() {
+        let topo = Topology::build(TopologyConfig::default());
+        let cfg = ScoutConfig::parse(
+            r#"
+            let switch = <\btor-\d+\.c\d+\.dc\d+\b>;
+            let cluster = <\bc\d+\.dc\d+\b>;
+            MONITORING cpu = CREATE_MONITORING(cpu-usage, {switch, cluster}, TIME_SERIES);
+            EXCLUDE switch = <tor-0\.c0\.dc0>;
+            "#,
+        )
+        .unwrap();
+        let ex = Extractor::new(&cfg, &topo);
+        let found = ex.extract("tor-0.c0.dc0 and tor-1.c0.dc0 flapping");
+        assert_eq!(found.switches.len(), 1);
+        assert_eq!(topo.component(found.switches[0]).name, "tor-1.c0.dc0");
+    }
+
+    #[test]
+    fn empty_text_extracts_nothing() {
+        let (cfg, topo) = setup();
+        let ex = Extractor::new(&cfg, &topo);
+        assert!(ex.extract("").is_empty());
+        assert!(ex.extract("no components here at all").is_empty());
+    }
+
+    #[test]
+    fn cluster_substring_of_device_names_still_found() {
+        // "tor-2.c1.dc0" contains "c1.dc0"; the cluster pattern finds it.
+        let (cfg, topo) = setup();
+        let ex = Extractor::new(&cfg, &topo);
+        let found = ex.extract("alert from tor-2.c1.dc0");
+        assert_eq!(found.switches.len(), 1);
+        assert_eq!(found.clusters.len(), 1, "embedded cluster name extracted");
+    }
+}

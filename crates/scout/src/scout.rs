@@ -1,0 +1,695 @@
+//! The Scout itself: the end-to-end pipeline of §5.3.
+//!
+//! "When a new incident is created, the PhyNet Scout first extracts the
+//! relevant components based on the configuration file. If it cannot
+//! identify any specific components, incident routing falls back to the
+//! legacy system. Otherwise, it constructs the model selector's feature
+//! vector from the incident text, and the model selector decides whether
+//! to use the RF or the CPD+ algorithm. Finally, the Scout will construct
+//! the feature vector for the chosen model, run the algorithm, and report
+//! the classification results to the user."
+//!
+//! Training is split in two stages so the expensive part (telemetry
+//! featurization) can be cached across retraining experiments:
+//! [`Scout::prepare`] turns raw [`Example`]s into a [`PreparedCorpus`];
+//! [`Scout::train_prepared`] fits models on any index subset of it.
+
+use crate::config::ScoutConfig;
+use crate::cpdplus::{CpdFeatureLayout, CpdPlus, CpdPlusConfig};
+use crate::explain::Explanation;
+use crate::extract::{ExtractedComponents, Extractor};
+use crate::features::{Aggregation, FeatureLayout, Featurizer};
+use crate::selector::{Selector, SelectorKind};
+use crate::Example;
+use cloudsim::{SimDuration, SimTime};
+use ml::forest::{ForestConfig, RandomForest};
+use ml::metrics::Confusion;
+use ml::Classifier as _;
+use monitoring::{Dataset, MonitoringSystem};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Everything configurable about building a Scout.
+#[derive(Debug, Clone)]
+pub struct ScoutBuildConfig {
+    /// Telemetry look-back window `T` (§7: two hours).
+    pub lookback: SimDuration,
+    /// Main supervised forest settings.
+    pub forest: ForestConfig,
+    /// Which model-selector algorithm to use (Fig. 8).
+    pub selector: SelectorKind,
+    /// CPD+ settings.
+    pub cpdplus: CpdPlusConfig,
+    /// Deprecated data sets (Fig. 9): their features are dropped.
+    pub disabled_datasets: Vec<Dataset>,
+    /// Device-merging strategy for time-series features (§9 ablation).
+    pub aggregation: Aggregation,
+    /// Number of important words in the selector's meta-features.
+    pub meta_words: usize,
+    /// Cap on incidents used to train the CPD+ cluster forest (its
+    /// features need change-point detection across whole clusters, the
+    /// most expensive computation in the pipeline).
+    pub cluster_train_cap: usize,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Default for ScoutBuildConfig {
+    fn default() -> Self {
+        ScoutBuildConfig {
+            lookback: SimDuration::hours(2),
+            forest: ForestConfig::default(),
+            selector: SelectorKind::BagOfWordsRf,
+            cpdplus: CpdPlusConfig::default(),
+            disabled_datasets: Vec::new(),
+            aggregation: Aggregation::default(),
+            meta_words: 40,
+            cluster_train_cap: 400,
+            seed: 0x0005_C007,
+        }
+    }
+}
+
+/// The Scout's answer for one incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The team is responsible: route the incident here.
+    Responsible,
+    /// Not this team: route it away.
+    NotResponsible,
+    /// The Scout abstains (no components / excluded): use the legacy
+    /// routing process.
+    Fallback,
+}
+
+/// Which stage of the pipeline produced the verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelUsed {
+    /// The supervised random forest.
+    RandomForest,
+    /// CPD+ conservative few-device rule.
+    CpdConservative,
+    /// CPD+ cluster-profile forest.
+    CpdCluster,
+    /// An EXCLUDE rule matched.
+    Exclusion,
+    /// No components found.
+    Fallback,
+}
+
+/// Which pipeline path [`Scout::predict_path`] should take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathChoice {
+    /// The normal model-selector pipeline.
+    Auto,
+    /// Force the supervised forest (Table 1 "RF" row).
+    ForestOnly,
+    /// Force CPD+ (Table 1 "CPD+" row).
+    CpdOnly,
+}
+
+/// A full prediction: verdict, confidence, provenance, explanation (§4).
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// The routing decision.
+    pub verdict: Verdict,
+    /// Confidence in `[0.5, 1]` for model verdicts; 1.0 for rule verdicts.
+    pub confidence: f64,
+    /// Which model decided.
+    pub model: ModelUsed,
+    /// Operator-facing explanation.
+    pub explanation: Explanation,
+}
+
+impl Prediction {
+    /// Convenience: did the Scout say "responsible"?
+    pub fn says_responsible(&self) -> bool {
+        self.verdict == Verdict::Responsible
+    }
+}
+
+/// One example after the (cacheable) featurization stage.
+#[derive(Debug, Clone)]
+pub struct PreparedExample {
+    /// The raw example.
+    pub example: Example,
+    /// Did an EXCLUDE rule veto it?
+    pub excluded: bool,
+    /// Extracted, resolved components.
+    pub extracted: ExtractedComponents,
+    /// Names of extracted components (explanations).
+    pub component_names: Vec<String>,
+    /// Main feature vector; `None` when excluded or component-free.
+    pub features: Option<Vec<f64>>,
+    /// Conservative-path evidence (only computed for few-device
+    /// incidents).
+    pub conservative_hits: Vec<String>,
+    /// CPD+ cluster-path features (only computed for cluster-only
+    /// incidents; cached because they are the pipeline's most expensive
+    /// computation).
+    pub cluster_features: Option<Vec<f64>>,
+}
+
+impl PreparedExample {
+    /// Is this example usable for supervised training?
+    pub fn trainable(&self) -> bool {
+        self.features.is_some()
+    }
+}
+
+/// A featurized corpus plus its layouts.
+#[derive(Debug, Clone)]
+pub struct PreparedCorpus {
+    /// Per-example prepared data, in input order.
+    pub items: Vec<PreparedExample>,
+    /// The main feature layout used.
+    pub layout: FeatureLayout,
+}
+
+impl PreparedCorpus {
+    /// Indices of trainable items.
+    pub fn trainable_indices(&self) -> Vec<usize> {
+        (0..self.items.len()).filter(|&i| self.items[i].trainable()).collect()
+    }
+}
+
+/// A trained Scout.
+#[derive(Debug)]
+pub struct Scout {
+    pub(crate) config: ScoutConfig,
+    pub(crate) build: ScoutBuildConfig,
+    pub(crate) layout: FeatureLayout,
+    pub(crate) forest: RandomForest,
+    pub(crate) cpd: CpdPlus,
+    pub(crate) selector: Selector,
+}
+
+impl Scout {
+    /// Stage 1: featurize a corpus (cache this across retraining sweeps).
+    pub fn prepare(
+        config: &ScoutConfig,
+        build: &ScoutBuildConfig,
+        examples: &[Example],
+        monitoring: &MonitoringSystem<'_>,
+    ) -> PreparedCorpus {
+        let topo = monitoring.topology();
+        let layout = FeatureLayout::build(config, &build.disabled_datasets);
+        let cpd_layout = CpdFeatureLayout::build(config, &build.disabled_datasets);
+        let cpd = CpdPlus::new(build.cpdplus.clone(), cpd_layout);
+        let extractor = Extractor::new(config, topo);
+        let featurizer = Featurizer::with_aggregation(
+            &layout,
+            monitoring,
+            build.lookback,
+            build.aggregation,
+        );
+        let items = examples
+            .iter()
+            .map(|ex| {
+                let excluded = config.excludes_incident(&ex.text);
+                let extracted =
+                    if excluded { ExtractedComponents::default() } else { extractor.extract(&ex.text) };
+                let component_names = extracted
+                    .all()
+                    .iter()
+                    .map(|&c| topo.component(c).name.clone())
+                    .collect();
+                let features = (!excluded && !extracted.is_empty())
+                    .then(|| featurizer.features(&extracted, ex.time));
+                let device_count = extracted.device_count();
+                let conservative_hits = if (1..=build.cpdplus.few_device_threshold)
+                    .contains(&device_count)
+                {
+                    cpd.conservative_hits(&extracted, ex.time, monitoring, build.lookback)
+                } else {
+                    Vec::new()
+                };
+                let cluster_features = (!excluded
+                    && device_count == 0
+                    && !extracted.clusters.is_empty())
+                .then(|| {
+                    cpd.cluster_features(&extracted, ex.time, monitoring, build.lookback)
+                });
+                PreparedExample {
+                    example: ex.clone(),
+                    excluded,
+                    extracted,
+                    component_names,
+                    features,
+                    conservative_hits,
+                    cluster_features,
+                }
+            })
+            .collect();
+        PreparedCorpus { items, layout }
+    }
+
+    /// Stage 2: train on an index subset of a prepared corpus.
+    pub fn train_prepared(
+        config: ScoutConfig,
+        build: ScoutBuildConfig,
+        corpus: &PreparedCorpus,
+        train_idx: &[usize],
+        // Kept for API symmetry with prepare/predict; cluster features are
+        // cached in the corpus so training itself never touches telemetry.
+        _monitoring: &MonitoringSystem<'_>,
+    ) -> Scout {
+        let mut rng = SmallRng::seed_from_u64(build.seed);
+        let usable: Vec<usize> = train_idx
+            .iter()
+            .copied()
+            .filter(|&i| corpus.items[i].trainable())
+            .collect();
+        assert!(
+            usable.len() >= 4,
+            "need at least a handful of trainable examples, got {}",
+            usable.len()
+        );
+        let x: Vec<Vec<f64>> = usable
+            .iter()
+            .map(|&i| corpus.items[i].features.clone().unwrap())
+            .collect();
+        let y: Vec<usize> =
+            usable.iter().map(|&i| usize::from(corpus.items[i].example.label)).collect();
+        let w: Vec<f64> = usable.iter().map(|&i| corpus.items[i].example.weight).collect();
+
+        let forest =
+            RandomForest::fit_weighted(&x, &y, &w, 2, build.forest, &mut rng);
+
+        // Meta-learning labels: 2-fold cross-validated mistakes of the
+        // main forest (§5.3: "find incidents where the RF is expected to
+        // make mistakes").
+        let rf_wrong = cross_val_mistakes(&x, &y, &w, build.forest, &mut rng);
+        let texts: Vec<String> =
+            usable.iter().map(|&i| corpus.items[i].example.text.clone()).collect();
+        let responsible: Vec<bool> =
+            usable.iter().map(|&i| corpus.items[i].example.label).collect();
+        let selector = Selector::fit(
+            build.selector,
+            &texts,
+            &responsible,
+            &rf_wrong,
+            build.meta_words,
+            &mut rng,
+        );
+
+        // CPD+ cluster forest: trained on cluster-implicating incidents
+        // (capped — cluster-wide change-point detection is costly).
+        let cpd_layout = CpdFeatureLayout::build(&config, &build.disabled_datasets);
+        let mut cpd = CpdPlus::new(build.cpdplus.clone(), cpd_layout);
+        let cluster_idx: Vec<usize> = usable
+            .iter()
+            .copied()
+            .filter(|&i| corpus.items[i].cluster_features.is_some())
+            .take(build.cluster_train_cap)
+            .collect();
+        if cluster_idx.len() >= 10 {
+            let cx: Vec<Vec<f64>> = cluster_idx
+                .iter()
+                .map(|&i| corpus.items[i].cluster_features.clone().unwrap())
+                .collect();
+            let cy: Vec<usize> = cluster_idx
+                .iter()
+                .map(|&i| usize::from(corpus.items[i].example.label))
+                .collect();
+            cpd.fit_cluster_rf(&cx, &cy, &mut rng);
+        }
+
+        Scout { config, build, layout: corpus.layout.clone(), forest, cpd, selector }
+    }
+
+    /// Convenience: prepare + train on everything.
+    pub fn train(
+        config: ScoutConfig,
+        build: ScoutBuildConfig,
+        examples: &[Example],
+        monitoring: &MonitoringSystem<'_>,
+    ) -> (Scout, PreparedCorpus) {
+        let corpus = Scout::prepare(&config, &build, examples, monitoring);
+        let all: Vec<usize> = (0..corpus.items.len()).collect();
+        let scout = Scout::train_prepared(config, build, &corpus, &all, monitoring);
+        (scout, corpus)
+    }
+
+    /// The feature layout in use.
+    pub fn layout(&self) -> &FeatureLayout {
+        &self.layout
+    }
+
+    /// The underlying forest (for importance analyses).
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+
+    /// Predict from a prepared example, forcing a specific pipeline path
+    /// (Table 1 evaluates the RF and CPD+ components in isolation).
+    pub fn predict_path(
+        &self,
+        item: &PreparedExample,
+        monitoring: &MonitoringSystem<'_>,
+        path: PathChoice,
+    ) -> Prediction {
+        if item.excluded || item.extracted.is_empty() {
+            return self.predict_prepared(item, monitoring);
+        }
+        match path {
+            PathChoice::Auto => self.predict_prepared(item, monitoring),
+            PathChoice::ForestOnly => self.predict_forest(item),
+            PathChoice::CpdOnly => self.predict_cpd(item, monitoring),
+        }
+    }
+
+    /// Predict from a prepared example.
+    pub fn predict_prepared(
+        &self,
+        item: &PreparedExample,
+        monitoring: &MonitoringSystem<'_>,
+    ) -> Prediction {
+        if item.excluded {
+            return Prediction {
+                verdict: Verdict::NotResponsible,
+                confidence: 1.0,
+                model: ModelUsed::Exclusion,
+                explanation: Explanation {
+                    evidence: vec!["An EXCLUDE rule matched this incident.".into()],
+                    ..Default::default()
+                },
+            };
+        }
+        if item.extracted.is_empty() {
+            return Prediction {
+                verdict: Verdict::Fallback,
+                confidence: 0.0,
+                model: ModelUsed::Fallback,
+                explanation: Explanation {
+                    evidence: vec![
+                        "No components could be extracted; the incident is too \
+                         broad in scope for the Scout (§5.3)."
+                            .into(),
+                    ],
+                    ..Default::default()
+                },
+            };
+        }
+        if self.selector.routes_to_cpd(&item.example.text) {
+            return self.predict_cpd(item, monitoring);
+        }
+        self.predict_forest(item)
+    }
+
+    /// Predict for raw incident text at time `t` (prepares on the fly).
+    pub fn predict(
+        &self,
+        text: &str,
+        t: SimTime,
+        monitoring: &MonitoringSystem<'_>,
+    ) -> Prediction {
+        let examples = [Example::new(text, t, false)];
+        let corpus = Scout::prepare(&self.config, &self.build, &examples, monitoring);
+        self.predict_prepared(&corpus.items[0], monitoring)
+    }
+
+    fn predict_forest(&self, item: &PreparedExample) -> Prediction {
+        let features = item.features.as_ref().expect("non-empty extraction has features");
+        let proba = self.forest.predict_proba(features);
+        let responsible = proba[1] >= 0.5;
+        let (_, contributions) = self.forest.feature_contributions(features, 1);
+        let top_features: Vec<(String, f64)> = contributions
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.layout.names()[i].clone(), c))
+            .collect();
+        let explanation = Explanation {
+            components: item.component_names.clone(),
+            datasets: self.dataset_names(),
+            top_features,
+            evidence: Vec::new(),
+        }
+        .truncated(5);
+        Prediction {
+            verdict: if responsible { Verdict::Responsible } else { Verdict::NotResponsible },
+            confidence: proba[1].max(proba[0]),
+            model: ModelUsed::RandomForest,
+            explanation,
+        }
+    }
+
+    fn predict_cpd(
+        &self,
+        item: &PreparedExample,
+        monitoring: &MonitoringSystem<'_>,
+    ) -> Prediction {
+        let device_count = item.extracted.device_count();
+        let few = (1..=self.build.cpdplus.few_device_threshold).contains(&device_count);
+        let cluster_features = if few {
+            Vec::new()
+        } else if let Some(cached) = &item.cluster_features {
+            cached.clone()
+        } else {
+            self.cpd.cluster_features(
+                &item.extracted,
+                item.example.time,
+                monitoring,
+                self.build.lookback,
+            )
+        };
+        let verdict =
+            self.cpd.decide(device_count, &item.conservative_hits, &cluster_features);
+        Prediction {
+            verdict: if verdict.responsible {
+                Verdict::Responsible
+            } else {
+                Verdict::NotResponsible
+            },
+            confidence: verdict.confidence,
+            model: if few { ModelUsed::CpdConservative } else { ModelUsed::CpdCluster },
+            explanation: Explanation {
+                components: item.component_names.clone(),
+                datasets: self.dataset_names(),
+                top_features: Vec::new(),
+                evidence: verdict.evidence,
+            },
+        }
+    }
+
+    /// Evaluate on an index subset; Fallback verdicts are scored as
+    /// "not responsible" (the legacy system handles them — §7 removes
+    /// them from the data set, our experiments do the same via
+    /// [`PreparedExample::trainable`]).
+    pub fn evaluate(
+        &self,
+        corpus: &PreparedCorpus,
+        idx: &[usize],
+        monitoring: &MonitoringSystem<'_>,
+    ) -> Confusion {
+        let mut c = Confusion::default();
+        for &i in idx {
+            let item = &corpus.items[i];
+            let pred = self.predict_prepared(item, monitoring);
+            c.record(item.example.label, pred.says_responsible());
+        }
+        c
+    }
+
+    fn dataset_names(&self) -> Vec<String> {
+        self.config
+            .monitoring
+            .iter()
+            .filter(|m| !self.build.disabled_datasets.contains(&m.dataset))
+            .map(|m| m.dataset.name().to_string())
+            .collect()
+    }
+}
+
+/// 2-fold cross-validated "the forest got this wrong" labels.
+fn cross_val_mistakes(
+    x: &[Vec<f64>],
+    y: &[usize],
+    w: &[f64],
+    forest_cfg: ForestConfig,
+    rng: &mut SmallRng,
+) -> Vec<bool> {
+    let n = x.len();
+    let mut wrong = vec![false; n];
+    if n < 8 {
+        return wrong;
+    }
+    // Cheaper forests are fine for the meta-labels.
+    let cv_cfg = ForestConfig { n_trees: 20, ..forest_cfg };
+    for fold in 0..2 {
+        let (train, test): (Vec<usize>, Vec<usize>) =
+            (0..n).partition(|i| i % 2 == fold);
+        let tx: Vec<Vec<f64>> = train.iter().map(|&i| x[i].clone()).collect();
+        let ty: Vec<usize> = train.iter().map(|&i| y[i]).collect();
+        let tw: Vec<f64> = train.iter().map(|&i| w[i]).collect();
+        if ty.iter().all(|&v| v == ty[0]) {
+            continue;
+        }
+        let f = RandomForest::fit_weighted(&tx, &ty, &tw, 2, cv_cfg, rng);
+        for &i in &test {
+            wrong[i] = f.predict(&x[i]) != y[i];
+        }
+    }
+    wrong
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::{
+        ComponentKind, Fault, FaultKind, FaultScope, Severity, Team, Topology, TopologyConfig,
+    };
+    use monitoring::MonitoringConfig;
+
+    /// A small labeled world: alternating PhyNet ToR faults and Compute
+    /// overloads, each producing one incident that names the device or the
+    /// cluster.
+    struct World {
+        topo: Topology,
+        faults: Vec<Fault>,
+    }
+
+    fn world() -> World {
+        let topo = Topology::build(TopologyConfig::default());
+        let mut faults = Vec::new();
+        let clusters: Vec<_> =
+            topo.of_kind(ComponentKind::Cluster).map(|c| c.id).collect();
+        for i in 0..60u64 {
+            let cluster = clusters[i as usize % clusters.len()];
+            let start = SimTime::from_hours(10 + i * 10);
+            if i % 2 == 0 {
+                let tors = topo.descendants_of_kind(cluster, ComponentKind::TorSwitch);
+                let tor = tors[i as usize % tors.len()];
+                faults.push(Fault {
+                    id: i as u32,
+                    kind: FaultKind::TorFailure,
+                    owner: Team::PhyNet,
+                    scope: FaultScope::Devices { devices: vec![tor], cluster },
+                    start,
+                    duration: SimDuration::hours(5),
+                    severity: Severity::Sev2,
+                    upgrade_related: false,
+                });
+            } else {
+                let servers = topo.descendants_of_kind(cluster, ComponentKind::Server);
+                let srv = servers[i as usize % servers.len()];
+                faults.push(Fault {
+                    id: i as u32,
+                    kind: FaultKind::ServerOverload,
+                    owner: Team::Compute,
+                    scope: FaultScope::Devices { devices: vec![srv], cluster },
+                    start,
+                    duration: SimDuration::hours(5),
+                    severity: Severity::Sev3,
+                    upgrade_related: false,
+                });
+            }
+        }
+        World { topo, faults }
+    }
+
+    fn examples(w: &World) -> Vec<Example> {
+        w.faults
+            .iter()
+            .map(|f| {
+                let dev = f.scope.devices()[0];
+                let name = &w.topo.component(dev).name;
+                let cluster = &w.topo.component(f.scope.cluster()).name;
+                let text = match f.kind {
+                    FaultKind::TorFailure => format!(
+                        "[PhyNet monitor] switch unreachable on {name}\nWatchdog: \
+                         device {name} in cluster {cluster} stopped responding."
+                    ),
+                    _ => format!(
+                        "[Compute watchdog] CPU saturation on {name}\nHost {name} in \
+                         cluster {cluster} above 95% for 30 minutes."
+                    ),
+                };
+                Example::new(text, f.start + SimDuration::minutes(30), f.owner == Team::PhyNet)
+            })
+            .collect()
+    }
+
+    fn build_cfg() -> ScoutBuildConfig {
+        ScoutBuildConfig {
+            forest: ForestConfig { n_trees: 20, ..ForestConfig::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn scout_learns_to_separate_teams() {
+        let w = world();
+        let mon = MonitoringSystem::new(&w.topo, &w.faults, MonitoringConfig::default());
+        let exs = examples(&w);
+        let (scout, corpus) = Scout::train(ScoutConfig::phynet(), build_cfg(), &exs, &mon);
+        let idx = corpus.trainable_indices();
+        let c = scout.evaluate(&corpus, &idx, &mon);
+        let m = c.metrics();
+        assert!(m.f1 > 0.9, "training-set F1 {} ({:?})", m.f1, c);
+    }
+
+    #[test]
+    fn predictions_carry_explanations() {
+        let w = world();
+        let mon = MonitoringSystem::new(&w.topo, &w.faults, MonitoringConfig::default());
+        let exs = examples(&w);
+        let (scout, corpus) = Scout::train(ScoutConfig::phynet(), build_cfg(), &exs, &mon);
+        let item = corpus.items.iter().find(|i| i.example.label).unwrap();
+        let pred = scout.predict_prepared(item, &mon);
+        assert!(!pred.explanation.components.is_empty());
+        assert!(!pred.explanation.datasets.is_empty());
+        if pred.model == ModelUsed::RandomForest {
+            assert!(!pred.explanation.top_features.is_empty());
+            assert!(pred.explanation.top_features.len() <= 5);
+        }
+        let rendered = pred.explanation.render("PhyNet", pred.says_responsible(), pred.confidence);
+        assert!(rendered.contains("PhyNet"));
+    }
+
+    #[test]
+    fn component_free_incident_falls_back() {
+        let w = world();
+        let mon = MonitoringSystem::new(&w.topo, &w.faults, MonitoringConfig::default());
+        let exs = examples(&w);
+        let (scout, _) = Scout::train(ScoutConfig::phynet(), build_cfg(), &exs, &mon);
+        let pred =
+            scout.predict("something vague happened somewhere", SimTime::from_hours(20), &mon);
+        assert_eq!(pred.verdict, Verdict::Fallback);
+        assert_eq!(pred.model, ModelUsed::Fallback);
+    }
+
+    #[test]
+    fn excluded_incident_is_routed_away() {
+        let w = world();
+        let mon = MonitoringSystem::new(&w.topo, &w.faults, MonitoringConfig::default());
+        let exs = examples(&w);
+        let (scout, _) = Scout::train(ScoutConfig::phynet(), build_cfg(), &exs, &mon);
+        let pred = scout.predict(
+            "decommission of tor-0.c0.dc0\nplanned work",
+            SimTime::from_hours(20),
+            &mon,
+        );
+        assert_eq!(pred.verdict, Verdict::NotResponsible);
+        assert_eq!(pred.model, ModelUsed::Exclusion);
+    }
+
+    #[test]
+    fn fresh_text_prediction_matches_pipeline() {
+        let w = world();
+        let mon = MonitoringSystem::new(&w.topo, &w.faults, MonitoringConfig::default());
+        let exs = examples(&w);
+        let (scout, _) = Scout::train(ScoutConfig::phynet(), build_cfg(), &exs, &mon);
+        // A held-out PhyNet-style incident during a real fault window.
+        let f = &w.faults[40]; // even → PhyNet
+        let dev = &w.topo.component(f.scope.devices()[0]).name;
+        let cl = &w.topo.component(f.scope.cluster()).name;
+        let pred = scout.predict(
+            &format!("[PhyNet monitor] switch unreachable on {dev}\nDevice {dev} in {cl} down."),
+            f.start + SimDuration::hours(1),
+            &mon,
+        );
+        assert_eq!(pred.verdict, Verdict::Responsible, "{:?}", pred.explanation);
+        assert!(pred.confidence >= 0.5);
+    }
+}

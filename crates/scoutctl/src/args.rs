@@ -1,0 +1,141 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Supports `--key value`, `--key=value`, boolean `--flag`, and positional
+//! arguments, with typed accessors and an error type that renders usage
+//! hints.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed arguments: positionals in order plus `--key` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// A CLI parsing/validation error.
+#[derive(Debug)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse raw arguments (without the program name). `known_flags` lists
+    /// option names that take no value.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        known_flags: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(rest) = arg.strip_prefix("--") {
+                if rest.is_empty() {
+                    // `--` terminates option parsing.
+                    out.positionals.extend(iter);
+                    break;
+                }
+                if let Some((k, v)) = rest.split_once('=') {
+                    out.options.insert(k.to_string(), v.to_string());
+                } else if known_flags.contains(&rest) {
+                    out.flags.push(rest.to_string());
+                } else {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{rest} needs a value")))?;
+                    out.options.insert(rest.to_string(), v);
+                }
+            } else {
+                out.positionals.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument `i`.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Number of positionals.
+    pub fn positional_count(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Typed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse '{v}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse(args.iter().map(|s| s.to_string()), &["verbose"]).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse(&["simulate", "--seed", "7", "--faults-per-day=3.5"]);
+        assert_eq!(a.positional(0), Some("simulate"));
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get_parsed::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.get_parsed::<f64>("faults-per-day", 0.0).unwrap(), 3.5);
+        assert_eq!(a.get_parsed::<u64>("missing", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn flags_take_no_value() {
+        let a = parse(&["run", "--verbose", "--seed", "1"]);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get("seed"), Some("1"));
+    }
+
+    #[test]
+    fn double_dash_stops_parsing() {
+        let a = parse(&["classify", "--", "--not-an-option"]);
+        assert_eq!(a.positional(1), Some("--not-an-option"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let e = Args::parse(["--seed".to_string()], &[]).unwrap_err();
+        assert!(e.0.contains("--seed"));
+    }
+
+    #[test]
+    fn bad_typed_value_is_an_error() {
+        let a = parse(&["--seed", "banana"]);
+        assert!(a.get_parsed::<u64>("seed", 0).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! `scoutctl` — command-line front end for the Scouts reproduction.
+//!
+//! ```text
+//! scoutctl check-config <file>        validate a Scout configuration file
+//! scoutctl simulate [opts]            generate a workload, print §3 stats
+//! scoutctl train-eval [opts]          train the PhyNet Scout, print metrics
+//! scoutctl classify [opts] <file|->   train, then classify incident text
+//!
+//! common options:
+//!   --seed N               workload seed            (default 42)
+//!   --faults-per-day F     fault density            (default 4)
+//!   --config FILE          Scout config             (default built-in PhyNet)
+//!   --team NAME            team the Scout answers for (default PhyNet)
+//!   --at MINUTES           incident timestamp for classify (default: last
+//!                          fault's window)
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use cloudsim::{SimTime, Team};
+use incident::study::StudyReport;
+use incident::{Workload, WorkloadConfig};
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig, Verdict};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scoutctl: {e}");
+            eprintln!("run `scoutctl help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(raw: Vec<String>) -> Result<(), ArgError> {
+    let args = Args::parse(raw, &["verbose"])?;
+    if args.flag("verbose") {
+        eprintln!("[scoutctl] {} positional argument(s)", args.positional_count());
+    }
+    match args.positional(0) {
+        None | Some("help") | Some("--help") => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some("check-config") => check_config(&args),
+        Some("simulate") => simulate(&args),
+        Some("train-eval") => train_eval(&args),
+        Some("classify") => classify(&args),
+        Some(other) => Err(ArgError(format!("unknown command '{other}'"))),
+    }
+}
+
+const USAGE: &str = "\
+scoutctl — domain-customized incident routing (Scouts, SIGCOMM 2020)
+
+commands:
+  check-config <file>      validate a Scout configuration file
+  simulate                 generate a synthetic workload, print §3 statistics
+  train-eval               train a Scout on the workload, print accuracy
+  classify <file|->        train a Scout, then classify incident text
+
+options:
+  --seed N                 workload seed (default 42)
+  --faults-per-day F       fault density (default 4)
+  --config FILE            Scout config file (default: built-in PhyNet)
+  --team NAME              label team: PhyNet|Storage|Compute|… (default PhyNet)
+  --at MINUTES             classify: incident time in minutes since epoch
+  --save FILE              train-eval: save the trained Scout model
+  --model FILE             classify: load a saved model instead of training
+";
+
+fn check_config(args: &Args) -> Result<(), ArgError> {
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgError("check-config needs a file path".into()))?;
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    match ScoutConfig::parse(&source) {
+        Ok(cfg) => {
+            println!(
+                "OK: {} extraction patterns, {} monitoring declarations, {} exclusion rules",
+                cfg.patterns.len(),
+                cfg.monitoring.len(),
+                cfg.excludes.len()
+            );
+            Ok(())
+        }
+        Err(e) => Err(ArgError(format!("{path}: {e}"))),
+    }
+}
+
+fn load_world(args: &Args) -> Result<Workload, ArgError> {
+    let seed = args.get_parsed("seed", 42u64)?;
+    let faults_per_day = args.get_parsed("faults-per-day", 4.0f64)?;
+    let mut config = WorkloadConfig { seed, ..WorkloadConfig::default() };
+    config.faults.faults_per_day = faults_per_day;
+    eprintln!("[scoutctl] generating workload (seed {seed}, {faults_per_day} faults/day)…");
+    Ok(Workload::generate(config))
+}
+
+fn load_config(args: &Args) -> Result<ScoutConfig, ArgError> {
+    match args.get("config") {
+        None => Ok(ScoutConfig::phynet()),
+        Some(path) => {
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+            ScoutConfig::parse(&source).map_err(|e| ArgError(e.to_string()))
+        }
+    }
+}
+
+fn load_team(args: &Args) -> Result<Team, ArgError> {
+    let name = args.get("team").unwrap_or("PhyNet");
+    Team::ALL
+        .into_iter()
+        .find(|t| t.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| ArgError(format!("unknown team '{name}'")))
+}
+
+fn simulate(args: &Args) -> Result<(), ArgError> {
+    let world = load_world(args)?;
+    let r = StudyReport::compute(&world);
+    println!("incidents: {} (from {} faults)", world.len(), world.faults.len());
+    println!(
+        "mis-routed median slowdown: {:.1}x; PhyNet pass-through mis-route rate: {:.0}%",
+        r.misrouted_slowdown,
+        100.0 * r.phynet_passthrough_fraction
+    );
+    println!(
+        "teams per PhyNet-resolved incident: mean {:.1}, max {}",
+        r.phynet_teams_mean, r.phynet_teams_max
+    );
+    println!("wasted investigation hours/day: {:.1}", r.wasted_hours_per_day);
+    Ok(())
+}
+
+/// Train a Scout for `team` on the first two-thirds of the workload.
+fn train_scout(
+    world: &Workload,
+    config: ScoutConfig,
+    team: Team,
+) -> (Scout, scout::scout::PreparedCorpus, Vec<usize>, MonitoringSystem<'_>) {
+    let mon =
+        MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let examples: Vec<Example> = world
+        .incidents
+        .iter()
+        .map(|i| Example::new(i.text(), i.created_at, i.owner == team))
+        .collect();
+    let build = ScoutBuildConfig::default();
+    let corpus = Scout::prepare(&config, &build, &examples, &mon);
+    let cutoff = SimTime::from_days(180);
+    let train: Vec<usize> = corpus
+        .trainable_indices()
+        .into_iter()
+        .filter(|&i| corpus.items[i].example.time < cutoff)
+        .collect();
+    let test: Vec<usize> = corpus
+        .trainable_indices()
+        .into_iter()
+        .filter(|&i| corpus.items[i].example.time >= cutoff)
+        .collect();
+    let scout = Scout::train_prepared(config, build, &corpus, &train, &mon);
+    (scout, corpus, test, mon)
+}
+
+fn train_eval(args: &Args) -> Result<(), ArgError> {
+    let world = load_world(args)?;
+    let config = load_config(args)?;
+    let team = load_team(args)?;
+    let (scout, corpus, test, mon) = train_scout(&world, config, team);
+    let confusion = scout.evaluate(&corpus, &test, &mon);
+    println!(
+        "{team} Scout on the last 90 days ({} incidents): {}",
+        test.len(),
+        confusion.metrics()
+    );
+    if let Some(path) = args.get("save") {
+        scout
+            .save(std::path::Path::new(path))
+            .map_err(|e| ArgError(format!("cannot save {path}: {e}")))?;
+        println!("model saved to {path}");
+    }
+    Ok(())
+}
+
+fn classify(args: &Args) -> Result<(), ArgError> {
+    let source = args
+        .positional(1)
+        .ok_or_else(|| ArgError("classify needs a file path or '-'".into()))?;
+    let text = if source == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| ArgError(format!("stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(source)
+            .map_err(|e| ArgError(format!("cannot read {source}: {e}")))?
+    };
+    let world = load_world(args)?;
+    let config = load_config(args)?;
+    let team = load_team(args)?;
+    let default_at = world
+        .incidents
+        .last()
+        .map(|i| i.created_at.minutes())
+        .unwrap_or(0);
+    let at = SimTime(args.get_parsed("at", default_at)?);
+    let (scout, mon) = match args.get("model") {
+        Some(path) => {
+            let scout = Scout::load(std::path::Path::new(path))
+                .map_err(|e| ArgError(e.to_string()))?;
+            let mon = MonitoringSystem::new(
+                &world.topology,
+                &world.faults,
+                MonitoringConfig::default(),
+            );
+            eprintln!("[scoutctl] loaded model from {path}");
+            (scout, mon)
+        }
+        None => {
+            let (scout, _, _, mon) = train_scout(&world, config, team);
+            (scout, mon)
+        }
+    };
+    let pred = scout.predict(&text, at, &mon);
+    match pred.verdict {
+        Verdict::Responsible => println!("verdict: ROUTE TO {team}"),
+        Verdict::NotResponsible => println!("verdict: route away from {team}"),
+        Verdict::Fallback => println!("verdict: no components found — use legacy routing"),
+    }
+    println!("model: {:?}, confidence {:.2}", pred.model, pred.confidence);
+    println!();
+    println!(
+        "{}",
+        pred.explanation.render(team.name(), pred.says_responsible(), pred.confidence)
+    );
+    Ok(())
+}

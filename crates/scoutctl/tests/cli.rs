@@ -1,0 +1,124 @@
+//! End-to-end tests of the `scoutctl` binary (spawned as a subprocess).
+
+use std::process::{Command, Output};
+
+fn scoutctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scoutctl"))
+        .args(args)
+        .output()
+        .expect("scoutctl runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn help_prints_usage() {
+    let o = scoutctl(&["help"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("check-config"));
+    assert!(stdout(&o).contains("classify"));
+}
+
+#[test]
+fn unknown_command_fails_with_hint() {
+    let o = scoutctl(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown command"));
+}
+
+#[test]
+fn check_config_accepts_valid_and_rejects_invalid() {
+    let dir = std::env::temp_dir().join("scoutctl-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let good = dir.join("good.scoutcfg");
+    std::fs::write(
+        &good,
+        "let cluster = <c\\d+\\.dc\\d+>;\n\
+         MONITORING cpu = CREATE_MONITORING(cpu-usage, {cluster}, TIME_SERIES);\n",
+    )
+    .unwrap();
+    let o = scoutctl(&["check-config", good.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("OK"));
+
+    let bad = dir.join("bad.scoutcfg");
+    std::fs::write(&bad, "MONITORING x = CREATE_MONITORING(nope, {cluster}, EVENT);\n")
+        .unwrap();
+    let o = scoutctl(&["check-config", bad.to_str().unwrap()]);
+    assert!(!o.status.success());
+}
+
+#[test]
+fn simulate_reports_study_statistics() {
+    let o = scoutctl(&["simulate", "--faults-per-day", "0.5", "--seed", "9"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("incidents:"));
+    assert!(out.contains("slowdown"));
+}
+
+#[test]
+fn train_save_then_classify_with_model() {
+    let dir = std::env::temp_dir().join("scoutctl-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("phynet-test.scout");
+
+    let o = scoutctl(&[
+        "train-eval",
+        "--faults-per-day",
+        "0.6",
+        "--seed",
+        "3",
+        "--save",
+        model.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("precision"));
+    assert!(model.exists());
+
+    let incident = dir.join("incident.txt");
+    std::fs::write(
+        &incident,
+        "Packet drops near tor-0.c0.dc0 in cluster c0.dc0; rack unreachable.",
+    )
+    .unwrap();
+    let o = scoutctl(&[
+        "classify",
+        incident.to_str().unwrap(),
+        "--faults-per-day",
+        "0.6",
+        "--seed",
+        "3",
+        "--model",
+        model.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("verdict:"), "{out}");
+    assert!(out.contains("confidence"), "{out}");
+}
+
+#[test]
+fn classify_without_components_falls_back() {
+    let dir = std::env::temp_dir().join("scoutctl-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let incident = dir.join("vague.txt");
+    std::fs::write(&incident, "something is broken somewhere, please help").unwrap();
+    let o = scoutctl(&[
+        "classify",
+        incident.to_str().unwrap(),
+        "--faults-per-day",
+        "0.6",
+        "--seed",
+        "3",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("legacy routing"), "{}", stdout(&o));
+}

@@ -1,0 +1,309 @@
+//! Gain and overhead accounting (§7 "Metrics comparing Scouts to the
+//! baseline").
+//!
+//! For a team T with a Scout, against the baseline trace of each incident:
+//!
+//! * **gain-in** — T is responsible and the Scout says yes: the time other
+//!   teams spent before T engaged is saved (fraction of total).
+//! * **gain-out** — T is not responsible, baseline dragged T in, and the
+//!   Scout says no: T's innocence-proving time is saved.
+//! * **overhead-in** — T is not responsible but the Scout says yes. Ground
+//!   truth for this counterfactual does not exist, so like the paper we
+//!   estimate it from the baseline distribution of mis-routings *into* T
+//!   (Fig. 6) — each false positive draws from that empirical
+//!   distribution.
+//! * **error-out** — T is responsible but the Scout says no: reported as a
+//!   fraction of incidents ("the multitude of teams … make any
+//!   approximation unrealistic").
+//! * **best possible** — the same quantities for a perfect gate-keeper.
+
+use cloudsim::Team;
+use incident::{Incident, RoutingTrace};
+
+/// What the Scout did for one incident, with its time consequences.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IncidentOutcome {
+    /// Correct "yes": saved `fraction` of the investigation time.
+    GainIn {
+        /// Fraction of total investigation time saved.
+        fraction: f64,
+    },
+    /// Correct "no": saved the team's own wasted time.
+    GainOut {
+        /// Fraction of total investigation time saved.
+        fraction: f64,
+    },
+    /// False positive: wasted the team's time.
+    OverheadIn {
+        /// Estimated fraction of investigation time wasted.
+        fraction: f64,
+    },
+    /// False negative: the incident was mistakenly sent away.
+    ErrorOut,
+    /// The Scout abstained or had nothing to change (e.g. correctly-routed
+    /// incident it confirmed).
+    Neutral,
+}
+
+/// Aggregated §7 report for one team's Scout over a test set.
+#[derive(Debug, Clone, Default)]
+pub struct GainReport {
+    /// Gain-in fractions (one per applicable incident), in `[0, 1]`.
+    pub gain_in: Vec<f64>,
+    /// Best-possible gain-in (perfect gate-keeper) on the same incidents.
+    pub best_gain_in: Vec<f64>,
+    /// Gain-out fractions.
+    pub gain_out: Vec<f64>,
+    /// Best-possible gain-out.
+    pub best_gain_out: Vec<f64>,
+    /// Overhead-in fractions (false positives).
+    pub overhead_in: Vec<f64>,
+    /// Number of false negatives (error-out events).
+    pub error_out: usize,
+    /// Number of incidents where the team was responsible (error-out
+    /// denominator).
+    pub responsible_total: usize,
+    /// Number of incidents accounted.
+    pub total: usize,
+}
+
+impl GainReport {
+    /// error-out as a fraction of the team's incidents.
+    pub fn error_out_fraction(&self) -> f64 {
+        if self.responsible_total == 0 {
+            0.0
+        } else {
+            self.error_out as f64 / self.responsible_total as f64
+        }
+    }
+}
+
+/// Computes the report for one team.
+#[derive(Debug)]
+pub struct GainAccountant {
+    team: Team,
+    /// The baseline distribution of overhead-in (Fig. 6): fraction of
+    /// investigation time incidents mis-routed into `team` spent there.
+    overhead_dist: Vec<f64>,
+    draw: usize,
+}
+
+impl GainAccountant {
+    /// Build the accountant; `baseline` supplies the Fig. 6 distribution.
+    pub fn new<'a>(
+        team: Team,
+        baseline: impl Iterator<Item = (&'a Incident, &'a RoutingTrace)>,
+    ) -> GainAccountant {
+        let mut overhead_dist: Vec<f64> = baseline
+            .filter(|(inc, tr)| inc.owner != team && tr.visited(team))
+            .map(|(_, tr)| fraction(tr.time_in(team), tr))
+            .collect();
+        overhead_dist.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if overhead_dist.is_empty() {
+            overhead_dist.push(0.05); // degenerate baseline: small default
+        }
+        GainAccountant { team, overhead_dist, draw: 0 }
+    }
+
+    /// The Fig. 6 distribution (sorted).
+    pub fn overhead_distribution(&self) -> &[f64] {
+        &self.overhead_dist
+    }
+
+    /// Account one incident. `says_responsible` is the Scout's answer
+    /// (`None` = abstained / fallback).
+    pub fn outcome(
+        &mut self,
+        incident: &Incident,
+        trace: &RoutingTrace,
+        says_responsible: Option<bool>,
+    ) -> IncidentOutcome {
+        let responsible = incident.owner == self.team;
+        match (responsible, says_responsible) {
+            (_, None) => IncidentOutcome::Neutral,
+            (true, Some(true)) => {
+                let saved = trace
+                    .time_before(self.team)
+                    .map(|d| fraction(d, trace))
+                    .unwrap_or(0.0);
+                IncidentOutcome::GainIn { fraction: saved }
+            }
+            (true, Some(false)) => IncidentOutcome::ErrorOut,
+            (false, Some(false)) => {
+                let saved = fraction(trace.time_in(self.team), trace);
+                IncidentOutcome::GainOut { fraction: saved }
+            }
+            (false, Some(true)) => {
+                // Counterfactual cost: draw from the baseline overhead-in
+                // distribution (deterministic round-robin keeps runs
+                // reproducible).
+                let f = self.overhead_dist[self.draw % self.overhead_dist.len()];
+                self.draw += 1;
+                IncidentOutcome::OverheadIn { fraction: f }
+            }
+        }
+    }
+
+    /// Account a whole test set and produce the report. `answers` runs
+    /// parallel to the incident iterator.
+    pub fn report<'a>(
+        &mut self,
+        incidents: impl Iterator<Item = (&'a Incident, &'a RoutingTrace)>,
+        answers: impl Iterator<Item = Option<bool>>,
+    ) -> GainReport {
+        let mut r = GainReport::default();
+        for ((inc, tr), ans) in incidents.zip(answers) {
+            r.total += 1;
+            let responsible = inc.owner == self.team;
+            if responsible {
+                r.responsible_total += 1;
+                r.best_gain_in.push(
+                    tr.time_before(self.team).map(|d| fraction(d, tr)).unwrap_or(0.0),
+                );
+            } else if tr.visited(self.team) {
+                r.best_gain_out.push(fraction(tr.time_in(self.team), tr));
+            }
+            match self.outcome(inc, tr, ans) {
+                IncidentOutcome::GainIn { fraction } => r.gain_in.push(fraction),
+                IncidentOutcome::GainOut { fraction } => {
+                    if fraction > 0.0 || tr.visited(self.team) {
+                        r.gain_out.push(fraction);
+                    }
+                }
+                IncidentOutcome::OverheadIn { fraction } => r.overhead_in.push(fraction),
+                IncidentOutcome::ErrorOut => r.error_out += 1,
+                IncidentOutcome::Neutral => {}
+            }
+        }
+        r
+    }
+}
+
+fn fraction(part: cloudsim::SimDuration, trace: &RoutingTrace) -> f64 {
+    let total = trace.total_time().as_minutes() as f64;
+    if total <= 0.0 {
+        return 0.0;
+    }
+    (part.as_minutes() as f64 / total).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::{SimDuration, SimTime, Severity};
+    use incident::model::{IncidentId, IncidentSource};
+    use incident::routing::RoutingHop;
+
+    fn incident(owner: Team) -> Incident {
+        Incident {
+            id: IncidentId(0),
+            source: IncidentSource::Monitor(Team::Storage),
+            severity: Severity::Sev2,
+            created_at: SimTime(0),
+            title: String::new(),
+            body: String::new(),
+            fault_id: 0,
+            owner,
+            true_components: Vec::new(),
+        }
+    }
+
+    fn hop(team: Team, minutes: u64) -> RoutingHop {
+        RoutingHop {
+            team,
+            queue_delay: SimDuration::ZERO,
+            investigation: SimDuration::minutes(minutes),
+            note: String::new(),
+        }
+    }
+
+    fn trace(hops: Vec<RoutingHop>) -> RoutingTrace {
+        RoutingTrace { hops, all_hands: false }
+    }
+
+    #[test]
+    fn gain_in_is_time_before_the_team() {
+        let inc = incident(Team::PhyNet);
+        let tr = trace(vec![hop(Team::Storage, 60), hop(Team::Database, 40), hop(Team::PhyNet, 100)]);
+        let mut acc = GainAccountant::new(Team::PhyNet, std::iter::empty());
+        match acc.outcome(&inc, &tr, Some(true)) {
+            IncidentOutcome::GainIn { fraction } => {
+                assert!((fraction - 0.5).abs() < 1e-9, "100 of 200 minutes saved");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gain_out_is_the_teams_wasted_time() {
+        let inc = incident(Team::Storage);
+        let tr = trace(vec![hop(Team::PhyNet, 50), hop(Team::Storage, 150)]);
+        let mut acc = GainAccountant::new(Team::PhyNet, std::iter::empty());
+        match acc.outcome(&inc, &tr, Some(false)) {
+            IncidentOutcome::GainOut { fraction } => {
+                assert!((fraction - 0.25).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn false_negative_is_error_out() {
+        let inc = incident(Team::PhyNet);
+        let tr = trace(vec![hop(Team::PhyNet, 100)]);
+        let mut acc = GainAccountant::new(Team::PhyNet, std::iter::empty());
+        assert_eq!(acc.outcome(&inc, &tr, Some(false)), IncidentOutcome::ErrorOut);
+    }
+
+    #[test]
+    fn false_positive_draws_from_baseline_distribution() {
+        // Baseline: one mis-routing into PhyNet wasting 30% of its time.
+        let b_inc = incident(Team::Storage);
+        let b_tr = trace(vec![hop(Team::PhyNet, 30), hop(Team::Storage, 70)]);
+        let baseline = [(b_inc.clone(), b_tr)];
+        let mut acc = GainAccountant::new(
+            Team::PhyNet,
+            baseline.iter().map(|(i, t)| (i, t)),
+        );
+        let inc = incident(Team::Storage);
+        let tr = trace(vec![hop(Team::Storage, 100)]);
+        match acc.outcome(&inc, &tr, Some(true)) {
+            IncidentOutcome::OverheadIn { fraction } => {
+                assert!((fraction - 0.3).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abstention_is_neutral() {
+        let inc = incident(Team::PhyNet);
+        let tr = trace(vec![hop(Team::PhyNet, 100)]);
+        let mut acc = GainAccountant::new(Team::PhyNet, std::iter::empty());
+        assert_eq!(acc.outcome(&inc, &tr, None), IncidentOutcome::Neutral);
+    }
+
+    #[test]
+    fn report_aggregates_and_tracks_best_possible() {
+        let incidents = [
+            // Mis-routed PhyNet incident, Scout catches it.
+            (incident(Team::PhyNet), trace(vec![hop(Team::Storage, 50), hop(Team::PhyNet, 50)])),
+            // Non-PhyNet incident dragged through PhyNet, Scout routes away.
+            (incident(Team::Storage), trace(vec![hop(Team::PhyNet, 25), hop(Team::Storage, 75)])),
+            // PhyNet incident the Scout misses.
+            (incident(Team::PhyNet), trace(vec![hop(Team::PhyNet, 10)])),
+        ];
+        let mut acc =
+            GainAccountant::new(Team::PhyNet, incidents.iter().map(|(i, t)| (i, t)));
+        let answers = vec![Some(true), Some(false), Some(false)];
+        let r = acc.report(incidents.iter().map(|(i, t)| (i, t)), answers.into_iter());
+        assert_eq!(r.total, 3);
+        assert_eq!(r.gain_in, vec![0.5]);
+        assert_eq!(r.gain_out, vec![0.25]);
+        assert_eq!(r.error_out, 1);
+        assert_eq!(r.responsible_total, 2);
+        assert!((r.error_out_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(r.best_gain_in.len(), 2);
+        assert_eq!(r.best_gain_out.len(), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! `scoutmaster` — what happens *around* a Scout: the §7 gain/overhead
+//! accounting that turns predictions into saved (or wasted) investigation
+//! time, and the Appendix C/D Scout Master that composes many Scouts over
+//! the baseline routing traces.
+//!
+//! * [`gain`] — per-incident gain-in / gain-out / overhead-in / error-out,
+//!   measured against a baseline [`incident::RoutingTrace`] exactly as §7
+//!   defines them, including the paper's estimation trick for overhead-in
+//!   (sampling from the baseline distribution of mis-routings into the
+//!   team, Fig. 6).
+//! * [`master`] — the strawman Scout Master of Appendix C: one "yes" →
+//!   send it there; several "yes" → prefer the deeper dependency, then
+//!   confidence; all "no" → fall back to the legacy process.
+//! * [`sim`] — the Appendix D trace-driven simulations: N perfect Scouts
+//!   (Fig. 15) and imperfect Scouts over an (α, β) accuracy/confidence
+//!   sweep (Fig. 16).
+
+pub mod gain;
+pub mod master;
+pub mod mle;
+pub mod sim;
+
+pub use gain::{GainAccountant, GainReport, IncidentOutcome};
+pub use master::{MasterDecision, ScoutAnswer, ScoutMaster};
+pub use mle::{MleMaster, ScoutStats};
+pub use sim::{ImperfectParams, ImperfectResult, PerfectScoutSim};

@@ -1,0 +1,143 @@
+//! The strawman Scout Master (Appendix C).
+//!
+//! "If only one Scout returns a 'yes' answer with high confidence, send
+//! the incident to the team that owns the Scout; when multiple Scouts
+//! return a positive answer, if one team's component depends on the other,
+//! send the incident to the latter, if not send it to the team whose Scout
+//! had the most confidence; and if none of the Scouts return a positive
+//! answer, fall back to the existing, non-Scout-based, incident routing
+//! system."
+
+use cloudsim::{Team, TeamRegistry};
+
+/// One Scout's answer as seen by the master.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoutAnswer {
+    /// The team whose Scout answered.
+    pub team: Team,
+    /// Did it claim responsibility?
+    pub responsible: bool,
+    /// Its confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// The master's routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MasterDecision {
+    /// Send the incident to this team.
+    SendTo(Team),
+    /// No Scout claimed it: use the legacy routing process.
+    Fallback,
+}
+
+/// The Scout Master.
+#[derive(Debug, Default)]
+pub struct ScoutMaster {
+    registry: TeamRegistry,
+    /// Minimum confidence for an answer to count as a "yes".
+    pub confidence_threshold: f64,
+}
+
+impl ScoutMaster {
+    /// A master with the paper's 0.8 confidence bar (§8's operator
+    /// recommendation).
+    pub fn new() -> ScoutMaster {
+        ScoutMaster { registry: TeamRegistry::new(), confidence_threshold: 0.8 }
+    }
+
+    /// Route one incident given the deployed Scouts' answers.
+    pub fn route(&self, answers: &[ScoutAnswer]) -> MasterDecision {
+        let mut yes: Vec<&ScoutAnswer> = answers
+            .iter()
+            .filter(|a| a.responsible && a.confidence >= self.confidence_threshold)
+            .collect();
+        match yes.len() {
+            0 => MasterDecision::Fallback,
+            1 => MasterDecision::SendTo(yes[0].team),
+            _ => {
+                // Dependency rule: if team A depends on team B and both say
+                // yes, B (the dependency) is the better destination.
+                for a in &yes {
+                    if yes.iter().all(|b| {
+                        b.team == a.team
+                            || self.registry.is_transitive_dependency(b.team, a.team)
+                    }) {
+                        return MasterDecision::SendTo(a.team);
+                    }
+                }
+                // Otherwise: most confident wins.
+                yes.sort_by(|a, b| {
+                    b.confidence
+                        .partial_cmp(&a.confidence)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                MasterDecision::SendTo(yes[0].team)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ans(team: Team, responsible: bool, confidence: f64) -> ScoutAnswer {
+        ScoutAnswer { team, responsible, confidence }
+    }
+
+    #[test]
+    fn single_confident_yes_wins() {
+        let m = ScoutMaster::new();
+        let d = m.route(&[
+            ans(Team::PhyNet, true, 0.95),
+            ans(Team::Storage, false, 0.9),
+        ]);
+        assert_eq!(d, MasterDecision::SendTo(Team::PhyNet));
+    }
+
+    #[test]
+    fn low_confidence_yes_is_ignored() {
+        let m = ScoutMaster::new();
+        let d = m.route(&[ans(Team::PhyNet, true, 0.6)]);
+        assert_eq!(d, MasterDecision::Fallback);
+    }
+
+    #[test]
+    fn all_no_falls_back() {
+        let m = ScoutMaster::new();
+        let d = m.route(&[
+            ans(Team::PhyNet, false, 0.99),
+            ans(Team::Storage, false, 0.99),
+        ]);
+        assert_eq!(d, MasterDecision::Fallback);
+    }
+
+    #[test]
+    fn dependency_breaks_ties() {
+        // Database depends on PhyNet: both say yes → PhyNet (the
+        // dependency) gets the incident even with lower confidence.
+        let m = ScoutMaster::new();
+        let d = m.route(&[
+            ans(Team::Database, true, 0.99),
+            ans(Team::PhyNet, true, 0.85),
+        ]);
+        assert_eq!(d, MasterDecision::SendTo(Team::PhyNet));
+    }
+
+    #[test]
+    fn unrelated_ties_go_to_confidence() {
+        // DNS and Firewall do not depend on each other.
+        let m = ScoutMaster::new();
+        let d = m.route(&[
+            ans(Team::Dns, true, 0.9),
+            ans(Team::Firewall, true, 0.95),
+        ]);
+        assert_eq!(d, MasterDecision::SendTo(Team::Firewall));
+    }
+
+    #[test]
+    fn empty_answers_fall_back() {
+        let m = ScoutMaster::new();
+        assert_eq!(m.route(&[]), MasterDecision::Fallback);
+    }
+}

@@ -1,0 +1,357 @@
+//! Trace-driven Scout Master simulations (Appendix D).
+//!
+//! Replays the baseline routing traces with some teams Scout-enabled and
+//! measures the fraction of each mis-routed incident's investigation time
+//! that disappears:
+//!
+//! * a Scout-enabled team that is *not* responsible is skipped in the hop
+//!   sequence (its Scout routes the incident away);
+//! * if the *responsible* team's Scout is deployed (and answers
+//!   correctly with believable confidence), the incident goes straight
+//!   there, erasing all earlier hops.
+//!
+//! Fig. 15 sweeps 1–6 perfect Scouts over every team assignment; Fig. 16
+//! makes the Scouts imperfect: accuracy `P ~ U(α, α+5%)`, confidence drawn
+//! from `U(0.8-β, 0.8)` when correct and `U(0.5, 0.5+β)` when wrong, with
+//! the master trusting answers at confidence ≥ 0.8.
+
+use cloudsim::{Team, TeamRegistry};
+use incident::{Incident, RoutingTrace};
+use rand::Rng;
+
+/// Shared machinery for the Appendix D simulations.
+#[derive(Debug, Default)]
+pub struct PerfectScoutSim;
+
+impl PerfectScoutSim {
+    /// The internal teams eligible to host a Scout.
+    pub fn candidate_teams() -> Vec<Team> {
+        TeamRegistry::new()
+            .internal_teams()
+            .filter(|t| *t != Team::Support)
+            .collect()
+    }
+
+    /// All size-`n` subsets of the candidate teams.
+    pub fn assignments(n: usize) -> Vec<Vec<Team>> {
+        let teams = Self::candidate_teams();
+        let mut out = Vec::new();
+        let mut current = Vec::new();
+        subsets(&teams, n, 0, &mut current, &mut out);
+        out
+    }
+
+    /// Fraction of investigation time removed for one mis-routed incident
+    /// when `scouts` are deployed and all-knowing.
+    pub fn reduction_perfect(
+        incident: &Incident,
+        trace: &RoutingTrace,
+        scouts: &[Team],
+    ) -> f64 {
+        if trace.all_hands || !trace.misrouted() {
+            return 0.0;
+        }
+        let total = trace.total_time().as_minutes() as f64;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        // Owner's Scout deployed: direct routing, only the last hop stays.
+        if scouts.contains(&incident.owner) {
+            let last = trace.hops.last().map(|h| h.total().as_minutes()).unwrap_or(0) as f64;
+            return ((total - last) / total).clamp(0.0, 1.0);
+        }
+        // Otherwise: Scout-enabled innocent teams are skipped.
+        let saved: u64 = trace
+            .hops
+            .iter()
+            .filter(|h| h.team != incident.owner && scouts.contains(&h.team))
+            .map(|h| h.total().as_minutes())
+            .sum();
+        (saved as f64 / total).clamp(0.0, 1.0)
+    }
+
+    /// Reductions for every mis-routed incident under every size-`n`
+    /// assignment, pooled (the Fig. 15 CDF population for one curve).
+    pub fn pooled_reductions<'a>(
+        incidents: impl Iterator<Item = (&'a Incident, &'a RoutingTrace)>,
+        n: usize,
+    ) -> Vec<f64> {
+        let assignments = Self::assignments(n);
+        let pairs: Vec<(&Incident, &RoutingTrace)> =
+            incidents.filter(|(_, t)| t.misrouted() && !t.all_hands).collect();
+        let mut out = Vec::with_capacity(assignments.len() * pairs.len());
+        for scouts in &assignments {
+            for (inc, tr) in &pairs {
+                out.push(Self::reduction_perfect(inc, tr, scouts));
+            }
+        }
+        out
+    }
+
+    /// Best-possible reductions (a Scout for every team).
+    pub fn best_possible<'a>(
+        incidents: impl Iterator<Item = (&'a Incident, &'a RoutingTrace)>,
+    ) -> Vec<f64> {
+        let all = Self::candidate_teams();
+        incidents
+            .filter(|(_, t)| t.misrouted() && !t.all_hands)
+            .map(|(inc, tr)| Self::reduction_perfect(inc, tr, &all))
+            .collect()
+    }
+}
+
+fn subsets(
+    teams: &[Team],
+    n: usize,
+    start: usize,
+    current: &mut Vec<Team>,
+    out: &mut Vec<Vec<Team>>,
+) {
+    if current.len() == n {
+        out.push(current.clone());
+        return;
+    }
+    for i in start..teams.len() {
+        current.push(teams[i]);
+        subsets(teams, n, i + 1, current, out);
+        current.pop();
+    }
+}
+
+/// Imperfect-Scout sweep parameters (Fig. 16).
+#[derive(Debug, Clone, Copy)]
+pub struct ImperfectParams {
+    /// Base accuracy α: each Scout's accuracy is drawn from `U(α, α+5%)`.
+    pub alpha: f64,
+    /// Confidence noise β.
+    pub beta: f64,
+    /// Number of deployed Scouts.
+    pub n_scouts: usize,
+}
+
+/// Aggregate result of one (α, β, n) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct ImperfectResult {
+    /// Mean fraction of investigation time reduced (mis-routed incidents).
+    pub mean: f64,
+    /// 95th percentile of the reduction.
+    pub p95: f64,
+}
+
+impl PerfectScoutSim {
+    /// Run the imperfect-Scout simulation over all size-`n` assignments.
+    pub fn imperfect<'a, R: Rng>(
+        incidents: impl Iterator<Item = (&'a Incident, &'a RoutingTrace)>,
+        params: ImperfectParams,
+        rng: &mut R,
+    ) -> ImperfectResult {
+        let pairs: Vec<(&Incident, &RoutingTrace)> =
+            incidents.filter(|(_, t)| t.misrouted() && !t.all_hands).collect();
+        let assignments = Self::assignments(params.n_scouts);
+        let mut reductions = Vec::with_capacity(assignments.len() * pairs.len());
+        for scouts in &assignments {
+            // Per-assignment per-team accuracy P ~ U(α, α+5%).
+            let accuracies: Vec<f64> = scouts
+                .iter()
+                .map(|_| params.alpha + rng.gen::<f64>() * 0.05)
+                .collect();
+            for (inc, tr) in &pairs {
+                reductions.push(Self::reduction_imperfect(
+                    inc, tr, scouts, &accuracies, params.beta, rng,
+                ));
+            }
+        }
+        if reductions.is_empty() {
+            return ImperfectResult { mean: 0.0, p95: 0.0 };
+        }
+        let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
+        reductions.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let p95 = reductions[((reductions.len() - 1) as f64 * 0.95) as usize];
+        ImperfectResult { mean, p95 }
+    }
+
+    /// One incident under imperfect Scouts. A trusted wrong "no" from the
+    /// owner's Scout forfeits the direct-routing gain; a trusted wrong
+    /// "yes" from an innocent Scout adds that team's time back.
+    fn reduction_imperfect<R: Rng>(
+        incident: &Incident,
+        trace: &RoutingTrace,
+        scouts: &[Team],
+        accuracies: &[f64],
+        beta: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let total = trace.total_time().as_minutes() as f64;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        // Evaluate each Scout's answer + confidence.
+        let mut trusted_yes_owner = false;
+        let mut trusted_no_teams: Vec<Team> = Vec::new();
+        for (&team, &acc) in scouts.iter().zip(accuracies) {
+            let truth = team == incident.owner;
+            let correct = rng.gen::<f64>() < acc;
+            let answer = if correct { truth } else { !truth };
+            let confidence = if correct {
+                0.8 - rng.gen::<f64>() * beta
+            } else {
+                0.5 + rng.gen::<f64>() * beta
+            };
+            let trusted = confidence >= 0.8 - 1e-9;
+            if !trusted {
+                continue;
+            }
+            if answer && team == incident.owner {
+                trusted_yes_owner = true;
+            } else if !answer {
+                trusted_no_teams.push(team);
+            }
+        }
+        if trusted_yes_owner {
+            let last = trace.hops.last().map(|h| h.total().as_minutes()).unwrap_or(0) as f64;
+            return ((total - last) / total).clamp(0.0, 1.0);
+        }
+        // Skip trusted-"no" teams' hops — including, wrongly, the owner's
+        // hop if its Scout erred (that pushes the reduction to 0: the
+        // incident still has to find its way back; we conservatively score
+        // no gain in that case, hence "lower bounds" in the paper).
+        if trusted_no_teams.contains(&incident.owner) {
+            return 0.0;
+        }
+        let saved: u64 = trace
+            .hops
+            .iter()
+            .filter(|h| h.team != incident.owner && trusted_no_teams.contains(&h.team))
+            .map(|h| h.total().as_minutes())
+            .sum();
+        (saved as f64 / total).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::{Severity, SimDuration, SimTime};
+    use incident::model::{IncidentId, IncidentSource};
+    use incident::routing::RoutingHop;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn incident(owner: Team) -> Incident {
+        Incident {
+            id: IncidentId(0),
+            source: IncidentSource::Monitor(Team::Storage),
+            severity: Severity::Sev2,
+            created_at: SimTime(0),
+            title: String::new(),
+            body: String::new(),
+            fault_id: 0,
+            owner,
+            true_components: Vec::new(),
+        }
+    }
+
+    fn hop(team: Team, minutes: u64) -> RoutingHop {
+        RoutingHop {
+            team,
+            queue_delay: SimDuration::ZERO,
+            investigation: SimDuration::minutes(minutes),
+            note: String::new(),
+        }
+    }
+
+    fn misrouted() -> (Incident, RoutingTrace) {
+        (
+            incident(Team::PhyNet),
+            RoutingTrace {
+                hops: vec![hop(Team::Storage, 60), hop(Team::Database, 40), hop(Team::PhyNet, 100)],
+                all_hands: false,
+            },
+        )
+    }
+
+    #[test]
+    fn owner_scout_erases_all_earlier_hops() {
+        let (inc, tr) = misrouted();
+        let r = PerfectScoutSim::reduction_perfect(&inc, &tr, &[Team::PhyNet]);
+        assert!((r - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn innocent_scout_removes_only_its_hop() {
+        let (inc, tr) = misrouted();
+        let r = PerfectScoutSim::reduction_perfect(&inc, &tr, &[Team::Storage]);
+        assert!((r - 0.3).abs() < 1e-9);
+        let r = PerfectScoutSim::reduction_perfect(&inc, &tr, &[Team::Dns]);
+        assert_eq!(r, 0.0, "uninvolved scout saves nothing");
+    }
+
+    #[test]
+    fn more_scouts_never_hurt() {
+        let (inc, tr) = misrouted();
+        let r1 = PerfectScoutSim::reduction_perfect(&inc, &tr, &[Team::Storage]);
+        let r2 =
+            PerfectScoutSim::reduction_perfect(&inc, &tr, &[Team::Storage, Team::Database]);
+        let r3 = PerfectScoutSim::reduction_perfect(
+            &inc,
+            &tr,
+            &[Team::Storage, Team::Database, Team::PhyNet],
+        );
+        assert!(r2 >= r1);
+        assert!(r3 >= r2);
+    }
+
+    #[test]
+    fn correctly_routed_incidents_have_no_reduction() {
+        let inc = incident(Team::PhyNet);
+        let tr = RoutingTrace { hops: vec![hop(Team::PhyNet, 100)], all_hands: false };
+        assert_eq!(PerfectScoutSim::reduction_perfect(&inc, &tr, &[Team::PhyNet]), 0.0);
+    }
+
+    #[test]
+    fn assignment_counts_are_binomial() {
+        let teams = PerfectScoutSim::candidate_teams().len();
+        assert_eq!(teams, 8); // 9 internal minus Support
+        assert_eq!(PerfectScoutSim::assignments(1).len(), 8);
+        assert_eq!(PerfectScoutSim::assignments(2).len(), 28);
+        assert_eq!(PerfectScoutSim::assignments(6).len(), 28);
+    }
+
+    #[test]
+    fn perfect_accuracy_imperfect_sim_matches_perfect_sim() {
+        let (inc, tr) = misrouted();
+        let pairs = [(inc, tr)];
+        let mut rng = SmallRng::seed_from_u64(1);
+        // α = 1.0, β = 0: always correct, always trusted.
+        let res = PerfectScoutSim::imperfect(
+            pairs.iter().map(|(i, t)| (i, t)),
+            ImperfectParams { alpha: 1.0, beta: 0.0, n_scouts: 3 },
+            &mut rng,
+        );
+        // The pooled perfect reductions for n=3 over the same pair:
+        let pooled = PerfectScoutSim::pooled_reductions(
+            pairs.iter().map(|(i, t)| (i, t)),
+            3,
+        );
+        let mean = pooled.iter().sum::<f64>() / pooled.len() as f64;
+        assert!((res.mean - mean).abs() < 1e-9, "{} vs {}", res.mean, mean);
+    }
+
+    #[test]
+    fn lower_accuracy_lowers_gain() {
+        let (inc, tr) = misrouted();
+        let pairs = [(inc, tr)];
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hi = PerfectScoutSim::imperfect(
+            pairs.iter().map(|(i, t)| (i, t)),
+            ImperfectParams { alpha: 0.95, beta: 0.0, n_scouts: 2 },
+            &mut rng,
+        );
+        let lo = PerfectScoutSim::imperfect(
+            pairs.iter().map(|(i, t)| (i, t)),
+            ImperfectParams { alpha: 0.70, beta: 0.4, n_scouts: 2 },
+            &mut rng,
+        );
+        assert!(hi.mean >= lo.mean, "hi {} vs lo {}", hi.mean, lo.mean);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for gain accounting and master routing.
+
+use cloudsim::{Severity, SimDuration, SimTime, Team};
+use incident::model::{Incident, IncidentId, IncidentSource};
+use incident::routing::{RoutingHop, RoutingTrace};
+use proptest::prelude::*;
+use scoutmaster::{GainAccountant, MasterDecision, ScoutAnswer, ScoutMaster};
+
+fn any_team() -> impl Strategy<Value = Team> {
+    (0usize..Team::ALL.len()).prop_map(|i| Team::ALL[i])
+}
+
+fn any_trace() -> impl Strategy<Value = RoutingTrace> {
+    proptest::collection::vec((any_team(), 1u64..500, 1u64..500), 1..6).prop_map(|hops| {
+        RoutingTrace {
+            hops: hops
+                .into_iter()
+                .map(|(team, q, inv)| RoutingHop {
+                    team,
+                    queue_delay: SimDuration::minutes(q),
+                    investigation: SimDuration::minutes(inv),
+                    note: String::new(),
+                })
+                .collect(),
+            all_hands: false,
+        }
+    })
+}
+
+fn incident_with(owner: Team) -> Incident {
+    Incident {
+        id: IncidentId(0),
+        source: IncidentSource::Monitor(Team::Storage),
+        severity: Severity::Sev2,
+        created_at: SimTime(0),
+        title: String::new(),
+        body: String::new(),
+        fault_id: 0,
+        owner,
+        true_components: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Gains and overheads are always fractions of the trace.
+    #[test]
+    fn outcomes_are_fractions(trace in any_trace(), owner in any_team(), answer in any::<bool>()) {
+        let inc = incident_with(owner);
+        let mut acc = GainAccountant::new(Team::PhyNet, std::iter::empty());
+        match acc.outcome(&inc, &trace, Some(answer)) {
+            scoutmaster::IncidentOutcome::GainIn { fraction }
+            | scoutmaster::IncidentOutcome::GainOut { fraction }
+            | scoutmaster::IncidentOutcome::OverheadIn { fraction } => {
+                prop_assert!((0.0..=1.0).contains(&fraction));
+            }
+            _ => {}
+        }
+    }
+
+    /// The outcome class is fully determined by (ownership, answer).
+    #[test]
+    fn outcome_classes_are_correct(trace in any_trace(), owner in any_team(), answer in any::<bool>()) {
+        let inc = incident_with(owner);
+        let mut acc = GainAccountant::new(Team::PhyNet, std::iter::empty());
+        let outcome = acc.outcome(&inc, &trace, Some(answer));
+        use scoutmaster::IncidentOutcome::*;
+        let ok = match (owner == Team::PhyNet, answer) {
+            (true, true) => matches!(outcome, GainIn { .. }),
+            (true, false) => matches!(outcome, ErrorOut),
+            (false, false) => matches!(outcome, GainOut { .. }),
+            (false, true) => matches!(outcome, OverheadIn { .. }),
+        };
+        prop_assert!(ok, "owner {owner:?} answer {answer} outcome {outcome:?}");
+    }
+
+    /// The strawman master never routes on all-no answer sets, and always
+    /// routes to a team that actually said yes confidently.
+    #[test]
+    fn master_routes_only_to_confident_yes(
+        answers in proptest::collection::vec(
+            (any_team(), any::<bool>(), 0.0f64..1.0), 0..6)
+    ) {
+        let answers: Vec<ScoutAnswer> = answers
+            .into_iter()
+            .map(|(team, responsible, confidence)| ScoutAnswer { team, responsible, confidence })
+            .collect();
+        let m = ScoutMaster::new();
+        match m.route(&answers) {
+            MasterDecision::Fallback => {
+                // Nothing qualified — fine.
+            }
+            MasterDecision::SendTo(team) => {
+                prop_assert!(answers
+                    .iter()
+                    .any(|a| a.team == team && a.responsible && a.confidence >= 0.8));
+            }
+        }
+    }
+}

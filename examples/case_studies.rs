@@ -1,0 +1,193 @@
+//! The paper's §7.5 case studies, replayed end to end.
+//!
+//! 1. **A virtual disk failure** — the database team's watchdogs fire when
+//!    VMs lose their virtual disks; the real cause is a failed ToR switch
+//!    cutting off the servers behind it. Baseline routing drags the
+//!    incident through the database team first; the Scout reads the
+//!    telemetry and claims it for PhyNet immediately.
+//! 2. **A virtual IP availability drop** — support suspects the software
+//!    load balancer because it just deployed; SLB and host networking
+//!    prove their innocence before PhyNet finds a reloaded ToR. The Scout
+//!    answers "PhyNet" on the first query.
+//!
+//! ```sh
+//! cargo run --release --example case_studies
+//! ```
+
+use cloudsim::{
+    ComponentKind, Fault, FaultKind, FaultScope, Severity, SimDuration, SimTime, Team,
+    Topology, TopologyConfig,
+};
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
+
+fn main() {
+    let topo = Topology::build(TopologyConfig::default());
+
+    // ---- Ground truth for both case studies + background for training ----
+    let mut faults = background_faults(&topo);
+
+    // Case 1: a ToR fails; the database team's servers sit behind it.
+    let cs1_tor = topo.by_name("tor-2.c3.dc1").unwrap().id;
+    let cs1_cluster = topo.by_name("c3.dc1").unwrap().id;
+    let cs1_start = SimTime::from_days(200);
+    faults.push(Fault {
+        id: faults.len() as u32,
+        kind: FaultKind::TorFailure,
+        owner: Team::PhyNet,
+        scope: FaultScope::Devices { devices: vec![cs1_tor], cluster: cs1_cluster },
+        start: cs1_start,
+        duration: SimDuration::hours(6),
+        severity: Severity::Sev2,
+        upgrade_related: false,
+    });
+
+    // Case 2: a ToR reload after a config push drops VIP availability.
+    let cs2_tor = topo.by_name("tor-4.c7.dc2").unwrap().id;
+    let cs2_cluster = topo.by_name("c7.dc2").unwrap().id;
+    let cs2_start = SimTime::from_days(210);
+    faults.push(Fault {
+        id: faults.len() as u32,
+        kind: FaultKind::TorReboot,
+        owner: Team::PhyNet,
+        scope: FaultScope::Devices { devices: vec![cs2_tor], cluster: cs2_cluster },
+        start: cs2_start,
+        duration: SimDuration::hours(3),
+        severity: Severity::Sev2,
+        upgrade_related: true,
+    });
+
+    let mon = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+
+    // ---- Train the PhyNet Scout on the background history ----
+    let examples = training_examples(&topo, &faults[..faults.len() - 2]);
+    let (scout, _) =
+        Scout::train(ScoutConfig::phynet(), ScoutBuildConfig::default(), &examples, &mon);
+    println!("PhyNet Scout trained on {} background incidents\n", examples.len());
+
+    // ---- Case study 1: the virtual disk failure ----
+    // The database watchdog fires first; its text names the suffering VMs
+    // and the cluster — not the dead switch it cannot see.
+    let victims = topo.descendants_of_kind(cs1_tor, ComponentKind::Server);
+    let vm = topo.children(victims[0])[0];
+    let cs1_text = format!(
+        "[Database watchdog] virtual disk failures in c3.dc1\n\
+         Database monitoring detected multiple simultaneous virtual disk \
+         failures impacting {} and {} in cluster c3.dc1. Automated recovery \
+         failed; an operator has been paged.",
+        topo.component(vm).name,
+        topo.component(victims[1]).name,
+    );
+    run_case(
+        "§7.5 case 1: the virtual disk failure",
+        &scout,
+        &cs1_text,
+        cs1_start + SimDuration::minutes(45),
+        &mon,
+    );
+
+    // ---- Case study 2: the VIP availability drop ----
+    let cs2_text = "[Support] connectivity problems to virtual IP in c7.dc2\n\
+         Customer reports connections to their VIP failing intermittently. \
+         The SLB team deployed an update in cluster c7.dc2 earlier today and \
+         was engaged first; SLB nodes are healthy. Host networking also \
+         reports healthy. Impact scoped to cluster c7.dc2."
+        .to_string();
+    run_case(
+        "§7.5 case 2: the VIP availability drop",
+        &scout,
+        &cs2_text,
+        cs2_start + SimDuration::minutes(90),
+        &mon,
+    );
+
+    println!(
+        "In the paper, both incidents bounced through one or more innocent \
+         teams before reaching PhyNet; querying the Scout at creation time \
+         removes those hops entirely."
+    );
+}
+
+fn run_case(
+    title: &str,
+    scout: &Scout,
+    text: &str,
+    at: SimTime,
+    mon: &MonitoringSystem<'_>,
+) {
+    println!("=== {title} ===");
+    println!("{}", text.lines().next().unwrap());
+    let pred = scout.predict(text, at, mon);
+    println!(
+        "scout verdict: {:?} via {:?} (confidence {:.2})",
+        pred.verdict, pred.model, pred.confidence
+    );
+    println!(
+        "{}\n",
+        pred.explanation.render("PhyNet", pred.says_responsible(), pred.confidence)
+    );
+}
+
+/// Alternating PhyNet / Compute / Storage background faults so the Scout
+/// has history to learn from.
+fn background_faults(topo: &Topology) -> Vec<Fault> {
+    let clusters: Vec<_> = topo.of_kind(ComponentKind::Cluster).map(|c| c.id).collect();
+    let mut faults = Vec::new();
+    for i in 0..120u64 {
+        let cluster = clusters[i as usize % clusters.len()];
+        let tors = topo.descendants_of_kind(cluster, ComponentKind::TorSwitch);
+        let servers = topo.descendants_of_kind(cluster, ComponentKind::Server);
+        let (kind, owner, dev) = match i % 3 {
+            0 => (FaultKind::TorFailure, Team::PhyNet, tors[i as usize % tors.len()]),
+            1 => (FaultKind::ServerOverload, Team::Compute, servers[i as usize % servers.len()]),
+            _ => (FaultKind::TorReboot, Team::PhyNet, tors[(i as usize + 1) % tors.len()]),
+        };
+        faults.push(Fault {
+            id: i as u32,
+            kind,
+            owner,
+            scope: FaultScope::Devices { devices: vec![dev], cluster },
+            start: SimTime::from_hours(10 + i * 30),
+            duration: SimDuration::hours(4),
+            severity: Severity::Sev2,
+            upgrade_related: false,
+        });
+    }
+    faults
+}
+
+fn training_examples(topo: &Topology, faults: &[Fault]) -> Vec<Example> {
+    let mut out = Vec::new();
+    for (i, f) in faults.iter().enumerate() {
+        let dev = f.scope.devices()[0];
+        let dev_name = &topo.component(dev).name;
+        let cl = &topo.component(f.scope.cluster()).name;
+        let time = f.start + SimDuration::minutes(40);
+        let label = f.owner == Team::PhyNet;
+        let text = match f.owner {
+            // Half the PhyNet history arrives through *other* teams'
+            // watchdogs, which name the suffering servers rather than the
+            // culprit switch — exactly the case-study shape.
+            Team::PhyNet if i % 2 == 0 => {
+                let victims = topo.descendants_of_kind(dev, ComponentKind::Server);
+                format!(
+                    "[Database watchdog] virtual disk failures in {cl}\n\
+                     Database monitoring detected failures impacting {} and {} \
+                     in cluster {cl}.",
+                    topo.component(victims[0]).name,
+                    topo.component(victims[1]).name,
+                )
+            }
+            Team::PhyNet => format!(
+                "[PhyNet monitor] switch problem on {dev_name}\n\
+                 Device {dev_name} in cluster {cl} unhealthy."
+            ),
+            _ => format!(
+                "[Compute watchdog] host problem on {dev_name}\n\
+                 Host {dev_name} in cluster {cl} saturated."
+            ),
+        };
+        out.push(Example::new(text, time, label));
+    }
+    out
+}

@@ -1,0 +1,69 @@
+//! The Scout configuration language (§5.1) and the from-scratch regex
+//! engine underneath it.
+//!
+//! ```sh
+//! cargo run --example config_dsl
+//! ```
+
+use retex::Regex;
+use scout::{ComponentType, ScoutConfig};
+
+fn main() {
+    // --- retex: the engine the DSL compiles its patterns with ---
+    let re = Regex::new(r"\b(vm|srv)-(\d+)\.(c\d+\.dc\d+)\b").unwrap();
+    let text = "VM vm-3.c10.dc3 in cluster c10.dc3 cannot reach storage cluster c4.dc1";
+    for m in re.find_iter(text) {
+        println!("match: {}", m.text());
+    }
+    let caps = re.captures(text).unwrap();
+    println!(
+        "groups: kind={}, index={}, cluster={}",
+        caps.get(1).unwrap().text(),
+        caps.get(2).unwrap().text(),
+        caps.get(3).unwrap().text()
+    );
+
+    // --- the DSL: the deployed PhyNet Scout configuration ---
+    println!();
+    let cfg = ScoutConfig::phynet();
+    println!("PhyNet Scout config:");
+    println!("  {} extraction patterns", cfg.patterns.len());
+    for (name, regex) in &cfg.patterns {
+        println!("    let {name} = <{}>;", regex.as_str());
+    }
+    println!("  {} monitoring declarations", cfg.monitoring.len());
+    for m in cfg.monitoring.iter().take(3) {
+        println!(
+            "    MONITORING {} -> {} ({:?}, tags {:?})",
+            m.name,
+            m.dataset,
+            m.data_type,
+            m.associations
+        );
+    }
+    println!("    …");
+    println!(
+        "  cluster-associated data sets: {}",
+        cfg.datasets_for(ComponentType::Cluster).len()
+    );
+
+    // --- exclusion rules in action ---
+    println!();
+    let custom = ScoutConfig::parse(
+        r#"
+        let switch = <\btor-\d+\.c\d+\.dc\d+\b>;
+        MONITORING pfc = CREATE_MONITORING(pfc-counters, {switch}, TIME_SERIES);
+        EXCLUDE TITLE = <decommission>;
+        EXCLUDE switch = <tor-9\.c3\.dc1>;
+        "#,
+    )
+    .unwrap();
+    println!(
+        "'decommission tor-1...' excluded: {}",
+        custom.excludes_incident("decommission tor-1.c0.dc0\nplanned work")
+    );
+    println!(
+        "switch tor-9.c3.dc1 excluded: {}",
+        custom.excludes_component(ComponentType::Switch, "tor-9.c3.dc1")
+    );
+}

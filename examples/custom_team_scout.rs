@@ -1,0 +1,88 @@
+//! Building a Scout for a *different* team from a configuration file —
+//! the paper's "starter Scout" story (§9): the framework turns a config +
+//! labeled history into a working gate-keeper without ML expertise.
+//!
+//! Here the Compute team builds a Scout that watches only the generic
+//! device-health data sets (CPU, temperature, reboots, syslog) and answers
+//! "is Compute responsible?".
+//!
+//! ```sh
+//! cargo run --release --example custom_team_scout
+//! ```
+
+use cloudsim::Team;
+use incident::{Workload, WorkloadConfig};
+use ml::metrics::Confusion;
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig, Verdict};
+
+/// The Compute team's configuration file: its own extraction patterns and
+/// only the data sets it understands.
+const COMPUTE_CONFIG: &str = r#"
+let VM      = <\bvm-\d+\.c\d+\.dc\d+\b>;
+let server  = <\bsrv-\d+\.c\d+\.dc\d+\b>;
+let cluster = <\bc\d+\.dc\d+\b>;
+
+MONITORING cpu     = CREATE_MONITORING(cpu-usage, {server, cluster}, TIME_SERIES, CPU_UTIL);
+MONITORING temp    = CREATE_MONITORING(temperature, {server, cluster}, TIME_SERIES, TEMP);
+MONITORING reboots = CREATE_MONITORING(device-reboots, {server, cluster}, EVENT);
+MONITORING syslog  = CREATE_MONITORING(snmp-syslog, {server, cluster}, EVENT);
+"#;
+
+fn main() {
+    let mut config = WorkloadConfig::default();
+    config.faults.faults_per_day = 6.0;
+    let world = Workload::generate(config);
+    let monitoring =
+        MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+
+    // Label for the Compute team this time.
+    let examples: Vec<Example> = world
+        .incidents
+        .iter()
+        .map(|inc| Example::new(inc.text(), inc.created_at, inc.owner == Team::Compute))
+        .collect();
+
+    let team_config = ScoutConfig::parse(COMPUTE_CONFIG).expect("config parses");
+    println!(
+        "Compute Scout config: {} patterns, {} data sets",
+        team_config.patterns.len(),
+        team_config.monitoring.len()
+    );
+
+    // Train on the first six months, evaluate on the rest (a time split).
+    let build = ScoutBuildConfig::default();
+    let corpus = Scout::prepare(&team_config, &build, &examples, &monitoring);
+    let cutoff = cloudsim::SimTime::from_days(180);
+    let train: Vec<usize> = corpus
+        .trainable_indices()
+        .into_iter()
+        .filter(|&i| corpus.items[i].example.time < cutoff)
+        .collect();
+    let test: Vec<usize> = corpus
+        .trainable_indices()
+        .into_iter()
+        .filter(|&i| corpus.items[i].example.time >= cutoff)
+        .collect();
+    let scout = Scout::train_prepared(team_config, build, &corpus, &train, &monitoring);
+
+    let mut confusion = Confusion::default();
+    let mut fallbacks = 0;
+    for &i in &test {
+        let pred = scout.predict_prepared(&corpus.items[i], &monitoring);
+        if pred.verdict == Verdict::Fallback {
+            fallbacks += 1;
+            continue;
+        }
+        confusion.record(corpus.items[i].example.label, pred.says_responsible());
+    }
+    println!(
+        "Compute Scout on the last three months: {} ({} fallbacks to legacy routing)",
+        confusion.metrics(),
+        fallbacks
+    );
+    println!(
+        "A starter Scout from four generic data sets — the framework did the \
+         feature engineering, model selection and explanations."
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: build a world, train the PhyNet Scout, classify an incident.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudsim::Team;
+use incident::{Workload, WorkloadConfig};
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
+
+fn main() {
+    // 1. A synthetic cloud: topology, faults, nine months of incidents with
+    //    baseline routing traces. Small and fast for the example.
+    let mut config = WorkloadConfig::default();
+    config.faults.faults_per_day = 4.0;
+    let world = Workload::generate(config);
+    println!(
+        "world: {} components, {} faults, {} incidents",
+        world.topology.len(),
+        world.faults.len(),
+        world.len()
+    );
+
+    // 2. The monitoring plane: the twelve Table-2 data sets, generated on
+    //    demand from the fault schedule.
+    let monitoring =
+        MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+
+    // 3. Label incidents for the PhyNet Scout and train it. The Scout sees
+    //    only text + timestamps + telemetry — never ground truth.
+    let examples: Vec<Example> = world
+        .incidents
+        .iter()
+        .map(|inc| Example::new(inc.text(), inc.created_at, inc.owner == Team::PhyNet))
+        .collect();
+    let (scout, corpus) = Scout::train(
+        ScoutConfig::phynet(),
+        ScoutBuildConfig::default(),
+        &examples,
+        &monitoring,
+    );
+    println!("trained on {} incidents", corpus.trainable_indices().len());
+
+    // 4. Classify a fresh incident.
+    let incident = world
+        .incidents
+        .iter()
+        .find(|i| i.owner == Team::PhyNet && !i.source.is_cri())
+        .expect("the workload contains PhyNet incidents");
+    let prediction = scout.predict(&incident.text(), incident.created_at, &monitoring);
+    println!();
+    println!("incident: {}", incident.title);
+    println!(
+        "scout verdict: {:?} (confidence {:.2}, via {:?})",
+        prediction.verdict, prediction.confidence, prediction.model
+    );
+    println!();
+    println!(
+        "{}",
+        prediction.explanation.render(
+            "PhyNet",
+            prediction.says_responsible(),
+            prediction.confidence
+        )
+    );
+}

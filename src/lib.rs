@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the whole `scouts-rs` workspace.
+//!
+//! See the README for an architecture overview, DESIGN.md for the system
+//! inventory, and `examples/` for runnable entry points.
+pub use cloudsim;
+pub use incident;
+pub use ml;
+pub use monitoring;
+pub use nlp;
+pub use retex;
+pub use scout;
+pub use scoutmaster;

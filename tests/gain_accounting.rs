@@ -1,0 +1,111 @@
+//! Integration: §7 gain/overhead accounting against real workload traces.
+
+use scouts::cloudsim::Team;
+use scouts::incident::{Workload, WorkloadConfig};
+use scouts::scoutmaster::{GainAccountant, PerfectScoutSim};
+
+fn world() -> Workload {
+    let mut config = WorkloadConfig { seed: 77, ..WorkloadConfig::default() };
+    config.faults.faults_per_day = 2.0;
+    Workload::generate(config)
+}
+
+#[test]
+fn oracle_answers_reach_best_possible_gain() {
+    let w = world();
+    let mut acc = GainAccountant::new(Team::PhyNet, w.iter());
+    // A perfect gate-keeper answers with ground truth.
+    let answers: Vec<Option<bool>> =
+        w.incidents.iter().map(|i| Some(i.owner == Team::PhyNet)).collect();
+    let r = acc.report(w.iter(), answers.into_iter());
+    assert_eq!(r.error_out, 0, "oracle makes no mistakes");
+    assert!(r.overhead_in.is_empty());
+    // Oracle gain must equal best possible.
+    assert_eq!(r.gain_in.len(), r.best_gain_in.len());
+    for (g, b) in r.gain_in.iter().zip(&r.best_gain_in) {
+        assert!((g - b).abs() < 1e-12);
+    }
+    assert_eq!(r.gain_out.len(), r.best_gain_out.len());
+}
+
+#[test]
+fn always_yes_maximizes_overhead_never_gains_out() {
+    let w = world();
+    let mut acc = GainAccountant::new(Team::PhyNet, w.iter());
+    let answers = std::iter::repeat_n(Some(true), w.len());
+    let r = acc.report(w.iter(), answers);
+    assert!(r.gain_out.is_empty(), "saying yes to everything never routes away");
+    assert_eq!(r.error_out, 0);
+    assert!(
+        r.overhead_in.len() > w.len() / 3,
+        "most incidents are not PhyNet's: {} overheads",
+        r.overhead_in.len()
+    );
+}
+
+#[test]
+fn always_no_maximizes_error_out() {
+    let w = world();
+    let mut acc = GainAccountant::new(Team::PhyNet, w.iter());
+    let answers = std::iter::repeat_n(Some(false), w.len());
+    let r = acc.report(w.iter(), answers);
+    assert!(r.gain_in.is_empty());
+    assert!((r.error_out_fraction() - 1.0).abs() < 1e-12);
+    assert!(r.overhead_in.is_empty());
+}
+
+#[test]
+fn overhead_distribution_matches_fig6_definition() {
+    let w = world();
+    let acc = GainAccountant::new(Team::PhyNet, w.iter());
+    let dist = acc.overhead_distribution();
+    assert!(!dist.is_empty());
+    for win in dist.windows(2) {
+        assert!(win[0] <= win[1], "sorted");
+    }
+    for &v in dist {
+        assert!((0.0..=1.0).contains(&v));
+    }
+    // Sanity: the distribution is exactly the set of PhyNet-visiting,
+    // non-PhyNet-owned incidents' time-in-PhyNet fractions.
+    let expected = w
+        .iter()
+        .filter(|(i, t)| i.owner != Team::PhyNet && t.visited(Team::PhyNet))
+        .count();
+    assert_eq!(dist.len(), expected);
+}
+
+#[test]
+fn perfect_scout_sim_is_monotone_in_deployment() {
+    let w = world();
+    let mut means = Vec::new();
+    for n in [1usize, 3, 6] {
+        let r = PerfectScoutSim::pooled_reductions(w.iter(), n);
+        assert!(!r.is_empty());
+        for &v in &r {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        means.push(r.iter().sum::<f64>() / r.len() as f64);
+    }
+    assert!(means[0] < means[1] && means[1] < means[2], "means {means:?}");
+    let best = PerfectScoutSim::best_possible(w.iter());
+    let best_mean = best.iter().sum::<f64>() / best.len() as f64;
+    assert!(best_mean >= means[2]);
+}
+
+#[test]
+fn reduction_never_exceeds_what_the_trace_allows() {
+    let w = world();
+    let all = PerfectScoutSim::candidate_teams();
+    for (inc, tr) in w.iter() {
+        let r = PerfectScoutSim::reduction_perfect(inc, tr, &all);
+        if !tr.misrouted() || tr.all_hands {
+            assert_eq!(r, 0.0);
+        } else {
+            // The resolver's own time can never be saved.
+            let last = tr.hops.last().unwrap().total().as_minutes() as f64;
+            let total = tr.total_time().as_minutes() as f64;
+            assert!(r <= 1.0 - last / total + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end integration: workload → monitoring → Scout → predictions.
+//!
+//! Uses a reduced fault density so the debug-build test stays fast while
+//! still exercising every pipeline stage.
+
+use scouts::cloudsim::Team;
+use scouts::incident::{Workload, WorkloadConfig};
+use scouts::ml::metrics::Confusion;
+use scouts::monitoring::{MonitoringConfig, MonitoringSystem};
+use scouts::scout::{
+    Example, ModelUsed, Scout, ScoutBuildConfig, ScoutConfig, Verdict,
+};
+
+fn small_world() -> Workload {
+    let mut config = WorkloadConfig { seed: 1234, ..WorkloadConfig::default() };
+    config.faults.faults_per_day = 1.2;
+    // Concept drift is exercised by fig10/fig08; here we test the pipeline
+    // on a stationary workload.
+    config.faults.drift = false;
+    Workload::generate(config)
+}
+
+fn examples(world: &Workload) -> Vec<Example> {
+    world
+        .incidents
+        .iter()
+        .map(|inc| Example::new(inc.text(), inc.created_at, inc.owner == Team::PhyNet))
+        .collect()
+}
+
+#[test]
+fn scout_beats_chance_by_a_wide_margin_end_to_end() {
+    let world = small_world();
+    let mon =
+        MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let exs = examples(&world);
+    let build = ScoutBuildConfig::default();
+    let corpus = Scout::prepare(&ScoutConfig::phynet(), &build, &exs, &mon);
+    // Time split: first 2/3 train, last 1/3 test.
+    let cutoff = scouts::cloudsim::SimTime::from_days(180);
+    let train: Vec<usize> = corpus
+        .trainable_indices()
+        .into_iter()
+        .filter(|&i| corpus.items[i].example.time < cutoff)
+        .collect();
+    let test: Vec<usize> = corpus
+        .trainable_indices()
+        .into_iter()
+        .filter(|&i| corpus.items[i].example.time >= cutoff)
+        .collect();
+    assert!(train.len() > 100, "train {}", train.len());
+    assert!(test.len() > 50, "test {}", test.len());
+    let scout = Scout::train_prepared(ScoutConfig::phynet(), build, &corpus, &train, &mon);
+    let confusion = scout.evaluate(&corpus, &test, &mon);
+    let m = confusion.metrics();
+    assert!(m.f1 > 0.85, "end-to-end F1 {} ({confusion:?})", m.f1);
+    assert!(m.precision > 0.8, "precision {}", m.precision);
+    assert!(m.recall > 0.8, "recall {}", m.recall);
+}
+
+#[test]
+fn every_pipeline_stage_appears_in_predictions() {
+    let world = small_world();
+    let mon =
+        MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let exs = examples(&world);
+    let (scout, corpus) =
+        Scout::train(ScoutConfig::phynet(), ScoutBuildConfig::default(), &exs, &mon);
+    let mut used_forest = false;
+    let mut used_fallback = false;
+    for item in &corpus.items {
+        let p = scout.predict_prepared(item, &mon);
+        match p.model {
+            ModelUsed::RandomForest => used_forest = true,
+            ModelUsed::Fallback => {
+                used_fallback = true;
+                assert_eq!(p.verdict, Verdict::Fallback);
+            }
+            _ => {}
+        }
+        // Contract: confidence is meaningful for model verdicts.
+        if p.verdict != Verdict::Fallback {
+            assert!((0.0..=1.0).contains(&p.confidence));
+        }
+    }
+    assert!(used_forest, "the forest is the main path");
+    assert!(used_fallback, "component-free CRIs fall back to legacy routing");
+}
+
+#[test]
+fn predictions_explain_themselves() {
+    let world = small_world();
+    let mon =
+        MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let exs = examples(&world);
+    let (scout, corpus) =
+        Scout::train(ScoutConfig::phynet(), ScoutBuildConfig::default(), &exs, &mon);
+    let mut checked = 0;
+    for item in corpus.items.iter().filter(|i| i.trainable()).take(50) {
+        let p = scout.predict_prepared(item, &mon);
+        assert!(
+            !p.explanation.components.is_empty(),
+            "explanations list the components examined"
+        );
+        assert!(!p.explanation.datasets.is_empty());
+        let rendered =
+            p.explanation.render("PhyNet", p.says_responsible(), p.confidence);
+        assert!(rendered.contains("PhyNet Scout investigated"));
+        checked += 1;
+    }
+    assert!(checked > 0);
+}
+
+#[test]
+fn training_is_deterministic_given_seed() {
+    let world = small_world();
+    let mon =
+        MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let exs: Vec<Example> = examples(&world).into_iter().take(150).collect();
+    let build = ScoutBuildConfig::default();
+    let (s1, corpus) = Scout::train(ScoutConfig::phynet(), build.clone(), &exs, &mon);
+    let (s2, _) = Scout::train(ScoutConfig::phynet(), build, &exs, &mon);
+    for item in corpus.items.iter().filter(|i| i.trainable()).take(40) {
+        let p1 = s1.predict_prepared(item, &mon);
+        let p2 = s2.predict_prepared(item, &mon);
+        assert_eq!(p1.verdict, p2.verdict);
+        assert!((p1.confidence - p2.confidence).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn deprecated_datasets_degrade_gracefully() {
+    use scouts::monitoring::Dataset;
+    let world = small_world();
+    let exs = examples(&world);
+    // Disable three data sets in both the plane and the Scout build.
+    let disabled = vec![Dataset::PingStats, Dataset::SnmpSyslog, Dataset::PfcCounters];
+    let mon = MonitoringSystem::new(
+        &world.topology,
+        &world.faults,
+        MonitoringConfig { seed: 0, disabled: disabled.clone() },
+    );
+    let build = ScoutBuildConfig { disabled_datasets: disabled, ..Default::default() };
+    let corpus = Scout::prepare(&ScoutConfig::phynet(), &build, &exs, &mon);
+    let idx = corpus.trainable_indices();
+    let (train, test) = idx.split_at(idx.len() * 2 / 3);
+    let scout =
+        Scout::train_prepared(ScoutConfig::phynet(), build, &corpus, train, &mon);
+    let mut confusion = Confusion::default();
+    for &i in test {
+        let p = scout.predict_prepared(&corpus.items[i], &mon);
+        confusion.record(corpus.items[i].example.label, p.says_responsible());
+    }
+    // The paper's Fig. 9: accuracy dips but survives deprecation.
+    assert!(
+        confusion.f1() > 0.75,
+        "reduced-telemetry F1 {} ({confusion:?})",
+        confusion.f1()
+    );
+}

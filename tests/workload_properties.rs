@@ -1,0 +1,100 @@
+//! Property-based integration tests: invariants that must hold for *any*
+//! workload seed, not just the calibrated default.
+
+use proptest::prelude::*;
+use scouts::cloudsim::Team;
+use scouts::incident::{Workload, WorkloadConfig};
+use scouts::monitoring::{Dataset, MonitoringConfig, MonitoringSystem};
+use scouts::scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
+
+fn tiny_workload(seed: u64) -> Workload {
+    let mut config = WorkloadConfig { seed, ..WorkloadConfig::default() };
+    config.faults.faults_per_day = 0.3;
+    Workload::generate(config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Traces are well-formed for every seed: at least one hop, resolver
+    /// consistency, time accounting.
+    #[test]
+    fn traces_are_well_formed(seed in 0u64..10_000) {
+        let w = tiny_workload(seed);
+        prop_assert!(w.len() >= w.faults.len());
+        for (inc, tr) in w.iter() {
+            prop_assert!(!tr.hops.is_empty());
+            prop_assert!(tr.hops.len() <= 11);
+            let total = tr.total_time().as_minutes();
+            prop_assert!(total > 0);
+            if !tr.all_hands && !inc.owner.is_external() && tr.hops.len() < 11 {
+                prop_assert_eq!(tr.resolver(), inc.owner);
+            }
+            if !tr.all_hands {
+                if let Some(before) = tr.time_before(tr.resolver()) {
+                    prop_assert!(before.as_minutes() <= total);
+                }
+            }
+        }
+    }
+
+    /// Monitoring is deterministic and consistent with coverage for any
+    /// seed and any dataset.
+    #[test]
+    fn monitoring_respects_contracts(seed in 0u64..10_000) {
+        let w = tiny_workload(seed);
+        let mon = MonitoringSystem::new(
+            &w.topology,
+            &w.faults,
+            MonitoringConfig { seed, disabled: vec![] },
+        );
+        let t = scouts::cloudsim::SimTime::from_hours(100);
+        let window = (t.saturating_sub(scouts::cloudsim::SimDuration::hours(2)), t);
+        for c in w.topology.components().take(60) {
+            for d in [Dataset::PingStats, Dataset::SnmpSyslog, Dataset::CpuUsage] {
+                let s1 = mon.series(d, c.id, window);
+                let s2 = mon.series(d, c.id, window);
+                prop_assert_eq!(s1.clone(), s2, "deterministic");
+                if let Some(s) = s1 {
+                    prop_assert_eq!(s.len(), 24);
+                    prop_assert!(s.iter().all(|v| v.is_finite()));
+                }
+                let e = mon.events(d, c.id, window);
+                for ev in &e {
+                    prop_assert!(ev.time >= window.0 && ev.time < window.1);
+                }
+            }
+        }
+    }
+
+    /// The Scout pipeline never panics and always returns a sane
+    /// prediction, for any seed.
+    #[test]
+    fn scout_predictions_are_total(seed in 0u64..10_000) {
+        let w = tiny_workload(seed);
+        let mon = MonitoringSystem::new(
+            &w.topology,
+            &w.faults,
+            MonitoringConfig::default(),
+        );
+        let exs: Vec<Example> = w
+            .incidents
+            .iter()
+            .map(|i| Example::new(i.text(), i.created_at, i.owner == Team::PhyNet))
+            .collect();
+        if exs.len() < 30 {
+            return Ok(());
+        }
+        let (scout, corpus) = Scout::train(
+            ScoutConfig::phynet(),
+            ScoutBuildConfig::default(),
+            &exs,
+            &mon,
+        );
+        for item in corpus.items.iter().take(40) {
+            let p = scout.predict_prepared(item, &mon);
+            prop_assert!(p.confidence.is_finite());
+            prop_assert!((0.0..=1.0).contains(&p.confidence));
+        }
+    }
+}
