@@ -42,7 +42,8 @@ fn online_path(c: &mut Criterion) {
 
 fn regex_engine(c: &mut Criterion) {
     let re = Regex::new(r"\b(vm|srv)-\d+\.c\d+\.dc\d+\b").unwrap();
-    let hay = "noise ".repeat(50) + "then vm-3.c10.dc3 and srv-7.c2.dc1 appear" + &" tail".repeat(50);
+    let hay =
+        "noise ".repeat(50) + "then vm-3.c10.dc3 and srv-7.c2.dc1 appear" + &" tail".repeat(50);
     c.bench_function("retex_find_iter", |b| {
         b.iter(|| black_box(re.find_iter(black_box(&hay)).count()))
     });
@@ -64,7 +65,11 @@ fn change_point_detection(c: &mut Criterion) {
     });
     c.bench_function("cpd_fast_24", |b| {
         b.iter(|| {
-            black_box(detect_change_points_fast(black_box(&series), 4, FAST_THRESHOLD))
+            black_box(detect_change_points_fast(
+                black_box(&series),
+                4,
+                FAST_THRESHOLD,
+            ))
         })
     });
 }

@@ -17,7 +17,11 @@ fn forest_training(c: &mut Criterion) {
     let n = 600;
     let d = 200;
     let x: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..d).map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0).collect())
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0)
+                .collect()
+        })
         .collect();
     let y: Vec<usize> = (0..n).map(|i| usize::from((i * 31) % 97 > 48)).collect();
     c.bench_function("random_forest_fit_600x200", |b| {
@@ -27,7 +31,10 @@ fn forest_training(c: &mut Criterion) {
                 black_box(&x),
                 &y,
                 2,
-                ForestConfig { n_trees: 40, ..Default::default() },
+                ForestConfig {
+                    n_trees: 40,
+                    ..Default::default()
+                },
                 &mut rng,
             ))
         })
@@ -37,8 +44,11 @@ fn forest_training(c: &mut Criterion) {
 fn nlp_training(c: &mut Criterion) {
     let world = bench_world();
     let texts: Vec<String> = world.incidents.iter().map(|i| i.text()).collect();
-    let teams: Vec<usize> =
-        world.incidents.iter().map(|i| i.owner.id().0 as usize).collect();
+    let teams: Vec<usize> = world
+        .incidents
+        .iter()
+        .map(|i| i.owner.id().0 as usize)
+        .collect();
     c.bench_function("nlp_router_fit", |b| {
         b.iter(|| black_box(NlpRouter::fit(black_box(&texts), &teams, 11)))
     });
@@ -51,7 +61,12 @@ fn corpus_preparation(c: &mut Criterion) {
     let build = ScoutBuildConfig::default();
     c.bench_function("scout_prepare_60_incidents", |b| {
         b.iter(|| {
-            black_box(Scout::prepare(&ScoutConfig::phynet(), &build, black_box(&exs), &mon))
+            black_box(Scout::prepare(
+                &ScoutConfig::phynet(),
+                &build,
+                black_box(&exs),
+                &mon,
+            ))
         })
     });
 }

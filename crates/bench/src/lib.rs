@@ -7,7 +7,10 @@ use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
 
 /// A small benchmark world (~300 incidents).
 pub fn bench_world() -> Workload {
-    let mut config = WorkloadConfig { seed: 7, ..WorkloadConfig::default() };
+    let mut config = WorkloadConfig {
+        seed: 7,
+        ..WorkloadConfig::default()
+    };
     config.faults.faults_per_day = 1.0;
     Workload::generate(config)
 }
@@ -32,5 +35,10 @@ pub fn bench_scout<'a>(
     mon: &MonitoringSystem<'a>,
 ) -> (Scout, scout::scout::PreparedCorpus) {
     let exs = bench_examples(world);
-    Scout::train(ScoutConfig::phynet(), ScoutBuildConfig::default(), &exs, mon)
+    Scout::train(
+        ScoutConfig::phynet(),
+        ScoutBuildConfig::default(),
+        &exs,
+        mon,
+    )
 }

@@ -19,7 +19,10 @@ use crate::topology::{ComponentId, ComponentKind, Topology};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultScope {
     /// A handful of specific devices (plus their cluster for context).
-    Devices { devices: Vec<ComponentId>, cluster: ComponentId },
+    Devices {
+        devices: Vec<ComponentId>,
+        cluster: ComponentId,
+    },
     /// A whole cluster (no individual device identified) — the harder case
     /// for CPD+ (§5.2.2).
     Cluster(ComponentId),
@@ -35,7 +38,9 @@ impl FaultScope {
         match *self {
             FaultScope::Devices { cluster, .. } => cluster,
             FaultScope::Cluster(c) => c,
-            FaultScope::External { symptomatic_cluster } => symptomatic_cluster,
+            FaultScope::External {
+                symptomatic_cluster,
+            } => symptomatic_cluster,
         }
     }
 
@@ -333,15 +338,20 @@ impl<'a> FaultCatalog<'a> {
         let days = config.horizon.as_days_f64();
         let total = (days * config.faults_per_day).round() as usize;
         let mut out = Vec::with_capacity(total);
-        let clusters: Vec<ComponentId> =
-            self.topo.of_kind(ComponentKind::Cluster).map(|c| c.id).collect();
-        assert!(!clusters.is_empty(), "topology must contain at least one cluster");
+        let clusters: Vec<ComponentId> = self
+            .topo
+            .of_kind(ComponentKind::Cluster)
+            .map(|c| c.id)
+            .collect();
+        assert!(
+            !clusters.is_empty(),
+            "topology must contain at least one cluster"
+        );
 
         for i in 0..total {
             let mut kind = self.pick_kind(config, &mut rng_next);
             let cluster = clusters[(rng_next() * clusters.len() as f64) as usize % clusters.len()];
-            let start =
-                SimTime((rng_next() * config.horizon.as_minutes() as f64) as u64);
+            let start = SimTime((rng_next() * config.horizon.as_minutes() as f64) as u64);
             if config.drift {
                 // An RDMA rollout after day 150 makes PFC storms the
                 // dominant new PhyNet failure mode (and the config-reboot
@@ -353,10 +363,8 @@ impl<'a> FaultCatalog<'a> {
                     kind = FaultKind::PfcStorm;
                 } else if kind == FaultKind::SwitchOverheat && start.days() > 120 {
                     kind = FaultKind::SwitchPacketDrops;
-                } else if matches!(
-                    kind,
-                    FaultKind::HostAgentCrash | FaultKind::ServerOverload
-                ) && start.days() >= 150
+                } else if matches!(kind, FaultKind::HostAgentCrash | FaultKind::ServerOverload)
+                    && start.days() >= 150
                 {
                     // The NIC firmware regression ships fleet-wide.
                     kind = FaultKind::NicFirmwarePanic;
@@ -447,9 +455,9 @@ impl<'a> FaultCatalog<'a> {
         rng_next: &mut impl FnMut() -> f64,
     ) -> FaultScope {
         match kind {
-            FaultKind::CustomerMisconfig | FaultKind::IspRouteLeak => {
-                FaultScope::External { symptomatic_cluster: cluster }
-            }
+            FaultKind::CustomerMisconfig | FaultKind::IspRouteLeak => FaultScope::External {
+                symptomatic_cluster: cluster,
+            },
             FaultKind::StorageLatency
             | FaultKind::StorageOutage
             | FaultKind::DbQueryRegression
@@ -463,7 +471,11 @@ impl<'a> FaultCatalog<'a> {
                     return FaultScope::Cluster(cluster);
                 }
                 // Most faults pin one device; some implicate 2-3.
-                let n = if rng_next() < 0.8 { 1 } else { 2 + (rng_next() * 2.0) as usize };
+                let n = if rng_next() < 0.8 {
+                    1
+                } else {
+                    2 + (rng_next() * 2.0) as usize
+                };
                 let mut devices = Vec::new();
                 for _ in 0..n.min(candidates.len()) {
                     let d = candidates
@@ -477,11 +489,7 @@ impl<'a> FaultCatalog<'a> {
         }
     }
 
-    fn pick_duration(
-        &self,
-        kind: FaultKind,
-        rng_next: &mut impl FnMut() -> f64,
-    ) -> SimDuration {
+    fn pick_duration(&self, kind: FaultKind, rng_next: &mut impl FnMut() -> f64) -> SimDuration {
         // Log-uniform between kind-specific bounds.
         let (lo, hi) = match kind {
             FaultKind::TransientSpike => (10.0, 40.0),
@@ -564,12 +572,24 @@ mod tests {
         let n = faults.len() as f64;
         let cfg = FaultScheduleConfig::default();
         let phynet = faults.iter().filter(|f| f.kind.is_phynet()).count() as f64 / n;
-        let external =
-            faults.iter().filter(|f| f.kind.owner().is_external()).count() as f64 / n;
-        let transient =
-            faults.iter().filter(|f| f.kind == FaultKind::TransientSpike).count() as f64 / n;
-        assert!((phynet - cfg.phynet_share).abs() < 0.05, "phynet share {phynet}");
-        assert!((external - cfg.external_share).abs() < 0.04, "external share {external}");
+        let external = faults
+            .iter()
+            .filter(|f| f.kind.owner().is_external())
+            .count() as f64
+            / n;
+        let transient = faults
+            .iter()
+            .filter(|f| f.kind == FaultKind::TransientSpike)
+            .count() as f64
+            / n;
+        assert!(
+            (phynet - cfg.phynet_share).abs() < 0.05,
+            "phynet share {phynet}"
+        );
+        assert!(
+            (external - cfg.external_share).abs() < 0.04,
+            "external share {external}"
+        );
         assert!(
             (transient - cfg.transient_share).abs() < 0.03,
             "transient share {transient}"
@@ -599,7 +619,10 @@ mod tests {
                 _ => {}
             }
             // Scope cluster must actually be a cluster.
-            assert_eq!(topo.component(f.scope.cluster()).kind, ComponentKind::Cluster);
+            assert_eq!(
+                topo.component(f.scope.cluster()).kind,
+                ComponentKind::Cluster
+            );
         }
     }
 
@@ -640,7 +663,10 @@ mod tests {
         assert!(faults.iter().any(|f| f.severity == Severity::Sev1));
         assert!(faults.iter().any(|f| f.severity == Severity::Sev2));
         assert!(faults.iter().any(|f| f.severity == Severity::Sev3));
-        let sev1 = faults.iter().filter(|f| f.severity == Severity::Sev1).count();
+        let sev1 = faults
+            .iter()
+            .filter(|f| f.severity == Severity::Sev1)
+            .count();
         assert!(sev1 < faults.len() / 8, "Sev1 must be rare");
     }
 }

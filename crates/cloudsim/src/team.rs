@@ -161,7 +161,10 @@ impl TeamRegistry {
 
     /// Teams that depend on `team` (reverse edges).
     pub fn dependents_of(&self, team: Team) -> Vec<Team> {
-        Team::ALL.into_iter().filter(|t| t.depends_on().contains(&team)).collect()
+        Team::ALL
+            .into_iter()
+            .filter(|t| t.depends_on().contains(&team))
+            .collect()
     }
 
     /// Is `suspect` a (transitive) dependency of `complainant`?

@@ -192,7 +192,13 @@ impl Topology {
             }
             for c in 0..config.clusters_per_dc {
                 let cl_name = format!("c{c}.{dc_name}");
-                let cl = t.push(ComponentKind::Cluster, cl_name.clone(), Some(dc), None, Some(dc));
+                let cl = t.push(
+                    ComponentKind::Cluster,
+                    cl_name.clone(),
+                    Some(dc),
+                    None,
+                    Some(dc),
+                );
                 for a in 0..config.aggs_per_cluster {
                     t.push(
                         ComponentKind::AggSwitch,
@@ -255,7 +261,14 @@ impl Topology {
     ) -> ComponentId {
         let id = ComponentId(self.components.len() as u32);
         let dc = dc.unwrap_or(id); // DCs are their own dc
-        self.components.push(Component { id, kind, name: name.clone(), parent, cluster, dc });
+        self.components.push(Component {
+            id,
+            kind,
+            name: name.clone(),
+            parent,
+            cluster,
+            dc,
+        });
         self.children.push(Vec::new());
         if let Some(p) = parent {
             self.children[p.0 as usize].push(id);
@@ -363,7 +376,10 @@ mod tests {
         let n = |k| t.of_kind(k).count();
         assert_eq!(n(ComponentKind::Dc), cfg.dcs);
         assert_eq!(n(ComponentKind::Cluster), cfg.dcs * cfg.clusters_per_dc);
-        assert_eq!(n(ComponentKind::TorSwitch), cfg.dcs * cfg.clusters_per_dc * cfg.racks_per_cluster);
+        assert_eq!(
+            n(ComponentKind::TorSwitch),
+            cfg.dcs * cfg.clusters_per_dc * cfg.racks_per_cluster
+        );
         assert_eq!(
             n(ComponentKind::Server),
             cfg.dcs * cfg.clusters_per_dc * cfg.racks_per_cluster * cfg.servers_per_rack
@@ -377,15 +393,26 @@ mod tests {
                 * cfg.vms_per_server
         );
         assert_eq!(n(ComponentKind::CoreSwitch), cfg.dcs * cfg.cores_per_dc);
-        assert_eq!(n(ComponentKind::AggSwitch), cfg.dcs * cfg.clusters_per_dc * cfg.aggs_per_cluster);
-        assert_eq!(n(ComponentKind::Slb), cfg.dcs * cfg.clusters_per_dc * cfg.slbs_per_cluster);
+        assert_eq!(
+            n(ComponentKind::AggSwitch),
+            cfg.dcs * cfg.clusters_per_dc * cfg.aggs_per_cluster
+        );
+        assert_eq!(
+            n(ComponentKind::Slb),
+            cfg.dcs * cfg.clusters_per_dc * cfg.slbs_per_cluster
+        );
     }
 
     #[test]
     fn names_are_unique_and_resolvable() {
         let t = Topology::build(TopologyConfig::default());
         for c in t.components() {
-            assert_eq!(t.by_name(&c.name).unwrap().id, c.id, "name {} resolves", c.name);
+            assert_eq!(
+                t.by_name(&c.name).unwrap().id,
+                c.id,
+                "name {} resolves",
+                c.name
+            );
         }
     }
 
@@ -443,15 +470,17 @@ mod tests {
         let t = Topology::build(TopologyConfig::default());
         let vm = t.by_name("vm-0.c0.dc0").unwrap().id;
         let deps = t.dependencies(vm);
-        let kinds: Vec<ComponentKind> =
-            deps.iter().map(|&d| t.component(d).kind).collect();
+        let kinds: Vec<ComponentKind> = deps.iter().map(|&d| t.component(d).kind).collect();
         assert!(kinds.contains(&ComponentKind::Server));
         assert!(kinds.contains(&ComponentKind::TorSwitch));
         assert!(kinds.contains(&ComponentKind::AggSwitch));
         assert!(kinds.contains(&ComponentKind::CoreSwitch));
         assert!(kinds.contains(&ComponentKind::Cluster));
         assert!(kinds.contains(&ComponentKind::Dc));
-        assert!(!deps.contains(&vm), "dependencies exclude the component itself");
+        assert!(
+            !deps.contains(&vm),
+            "dependencies exclude the component itself"
+        );
     }
 
     #[test]

@@ -4,17 +4,28 @@ use cloudsim::{ComponentKind, FaultCatalog, FaultScheduleConfig, Team, Topology,
 use proptest::prelude::*;
 
 fn any_config() -> impl Strategy<Value = TopologyConfig> {
-    (1usize..3, 1usize..4, 1usize..4, 1usize..4, 1usize..3, 1usize..3, 1usize..3, 1usize..3)
-        .prop_map(|(dcs, cl, racks, srv, vms, aggs, cores, slbs)| TopologyConfig {
-            dcs,
-            clusters_per_dc: cl,
-            racks_per_cluster: racks,
-            servers_per_rack: srv,
-            vms_per_server: vms,
-            aggs_per_cluster: aggs,
-            cores_per_dc: cores,
-            slbs_per_cluster: slbs,
-        })
+    (
+        1usize..3,
+        1usize..4,
+        1usize..4,
+        1usize..4,
+        1usize..3,
+        1usize..3,
+        1usize..3,
+        1usize..3,
+    )
+        .prop_map(
+            |(dcs, cl, racks, srv, vms, aggs, cores, slbs)| TopologyConfig {
+                dcs,
+                clusters_per_dc: cl,
+                racks_per_cluster: racks,
+                servers_per_rack: srv,
+                vms_per_server: vms,
+                aggs_per_cluster: aggs,
+                cores_per_dc: cores,
+                slbs_per_cluster: slbs,
+            },
+        )
 }
 
 proptest! {

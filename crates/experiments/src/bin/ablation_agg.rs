@@ -6,19 +6,27 @@ use experiments::{banner, paper_split, Lab};
 use scout::{Aggregation, Scout, ScoutBuildConfig, ScoutConfig};
 
 fn main() {
-    banner("ablation_agg", "device-merging strategy for time-series features");
+    banner(
+        "ablation_agg",
+        "device-merging strategy for time-series features",
+    );
     let lab = Lab::standard();
     let mon = lab.monitoring();
-    println!("{:<18} {:>10} {:>8} {:>6}", "aggregation", "precision", "recall", "F1");
+    println!(
+        "{:<18} {:>10} {:>8} {:>6}",
+        "aggregation", "precision", "recall", "F1"
+    );
     for (name, agg) in [
         ("pooled-samples", Aggregation::PooledSamples),
         ("device-means", Aggregation::DeviceMeans),
     ] {
-        let build = ScoutBuildConfig { aggregation: agg, ..Default::default() };
+        let build = ScoutBuildConfig {
+            aggregation: agg,
+            ..Default::default()
+        };
         let corpus = lab.prepare(&build, &mon);
         let (train, test) = paper_split(&corpus, lab.seed);
-        let scout =
-            Scout::train_prepared(ScoutConfig::phynet(), build, &corpus, &train, &mon);
+        let scout = Scout::train_prepared(ScoutConfig::phynet(), build, &corpus, &train, &mon);
         let m = scout.evaluate(&corpus, &test, &mon).metrics();
         println!(
             "{name:<18} {:>9.1}% {:>7.1}% {:>6.2}",

@@ -10,7 +10,10 @@ fn main() {
     banner("ablation_lookback", "look-back window T sweep");
     let lab = Lab::standard();
     let mon = lab.monitoring();
-    println!("{:<12} {:>10} {:>8} {:>6}", "T", "precision", "recall", "F1");
+    println!(
+        "{:<12} {:>10} {:>8} {:>6}",
+        "T", "precision", "recall", "F1"
+    );
     for minutes in [30u64, 60, 120, 240, 480] {
         let build = ScoutBuildConfig {
             lookback: SimDuration::minutes(minutes),
@@ -18,8 +21,7 @@ fn main() {
         };
         let corpus = lab.prepare(&build, &mon);
         let (train, test) = paper_split(&corpus, lab.seed);
-        let scout =
-            Scout::train_prepared(ScoutConfig::phynet(), build, &corpus, &train, &mon);
+        let scout = Scout::train_prepared(ScoutConfig::phynet(), build, &corpus, &train, &mon);
         let m = scout.evaluate(&corpus, &test, &mon).metrics();
         println!(
             "{:<12} {:>9.1}% {:>7.1}% {:>6.2}",

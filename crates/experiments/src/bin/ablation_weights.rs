@@ -28,8 +28,7 @@ fn main() {
             ..Default::default()
         });
         let results = schedule.run(&ScoutConfig::phynet(), &build, &corpus, &mon);
-        let mean =
-            results.iter().map(|r| r.f1()).sum::<f64>() / results.len().max(1) as f64;
+        let mean = results.iter().map(|r| r.f1()).sum::<f64>() / results.len().max(1) as f64;
         let min = results.iter().map(|r| r.f1()).fold(1.0f64, f64::min);
         println!("{name:<22} {mean:>9.3} {min:>8.3}");
     }

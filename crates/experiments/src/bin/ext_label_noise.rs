@@ -21,7 +21,9 @@ fn main() {
     let (train, test) = paper_split(&corpus, lab.seed);
     let feat = |idx: &[usize]| -> (Vec<Vec<f64>>, Vec<usize>) {
         (
-            idx.iter().map(|&i| corpus.items[i].features.clone().unwrap()).collect(),
+            idx.iter()
+                .map(|&i| corpus.items[i].features.clone().unwrap())
+                .collect(),
             idx.iter()
                 .map(|&i| usize::from(corpus.items[i].example.label))
                 .collect(),

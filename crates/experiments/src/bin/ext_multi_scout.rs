@@ -36,7 +36,10 @@ MONITORING syslog  = CREATE_MONITORING(snmp-syslog, {server, cluster}, EVENT);
 "#;
 
 fn main() {
-    banner("ext_multi_scout", "three trained Scouts + Scout Masters, end to end");
+    banner(
+        "ext_multi_scout",
+        "three trained Scouts + Scout Masters, end to end",
+    );
     let lab = Lab::standard();
     let mon = lab.monitoring();
 
@@ -176,7 +179,11 @@ fn main() {
              team); fallback {:.1}%; end-to-end first-touch accuracy {:.1}%; \
              mean reduction on mis-routed {:.0}%",
             100.0 * routed as f64 / scored as f64,
-            if routed == 0 { 0.0 } else { 100.0 * t.direct_hits as f64 / routed as f64 },
+            if routed == 0 {
+                0.0
+            } else {
+                100.0 * t.direct_hits as f64 / routed as f64
+            },
             100.0 * t.fallbacks as f64 / scored as f64,
             100.0 * effective as f64 / scored as f64,
             100.0 * mean(&t.reductions),

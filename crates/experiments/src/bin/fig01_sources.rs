@@ -6,14 +6,16 @@ use experiments::{banner, print_cdf, Lab};
 use incident::study::StudyReport;
 
 fn main() {
-    banner("fig01", "PhyNet incident sources and their mis-routing rates");
+    banner(
+        "fig01",
+        "PhyNet incident sources and their mis-routing rates",
+    );
     let lab = Lab::standard();
     let r = StudyReport::compute(&lab.workload);
 
     println!("(a) per-day fraction of PhyNet incidents, CDF over days");
-    let col = |f: fn(&(f64, f64, f64)) -> f64| -> Vec<f64> {
-        r.fig1a_per_day.iter().map(f).collect()
-    };
+    let col =
+        |f: fn(&(f64, f64, f64)) -> f64| -> Vec<f64> { r.fig1a_per_day.iter().map(f).collect() };
     print_cdf("created by PhyNet monitors", &col(|d| d.0));
     print_cdf("created by other teams' monitors", &col(|d| d.1));
     print_cdf("customer-reported (CRI)", &col(|d| d.2));
@@ -21,7 +23,11 @@ fn main() {
     println!();
     println!("(b) per-day fraction mis-routed, CDF over days");
     let colb = |f: fn(&(f64, f64, f64)) -> f64| -> Vec<f64> {
-        r.fig1b_per_day.iter().map(f).filter(|v| !v.is_nan()).collect()
+        r.fig1b_per_day
+            .iter()
+            .map(f)
+            .filter(|v| !v.is_nan())
+            .collect()
     };
     print_cdf("own-monitor incidents mis-routed", &colb(|d| d.0));
     print_cdf("other-monitor incidents mis-routed", &colb(|d| d.1));

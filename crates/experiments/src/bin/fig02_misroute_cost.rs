@@ -5,7 +5,10 @@ use experiments::{banner, print_cdf, Lab};
 use incident::study::{quantile, StudyReport};
 
 fn main() {
-    banner("fig02", "time-to-diagnosis: single vs multiple investigating teams");
+    banner(
+        "fig02",
+        "time-to-diagnosis: single vs multiple investigating teams",
+    );
     let lab = Lab::standard();
     let r = StudyReport::compute(&lab.workload);
     print_cdf("single team (normalized time)", &r.fig2_single);

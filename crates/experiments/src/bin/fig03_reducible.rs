@@ -5,7 +5,10 @@ use experiments::{banner, print_cdf, Lab};
 use incident::study::{quantile, StudyReport};
 
 fn main() {
-    banner("fig03", "reducible investigation time of mis-routed PhyNet incidents (%)");
+    banner(
+        "fig03",
+        "reducible investigation time of mis-routed PhyNet incidents (%)",
+    );
     let lab = Lab::standard();
     let r = StudyReport::compute(&lab.workload);
     print_cdf("time in other teams (%)", &r.fig3_reducible_pct);

@@ -63,5 +63,9 @@ fn correct_confirmation_rate(lab: &Lab, sl: &ScoutLab) -> f64 {
             }
         }
     }
-    if total == 0 { 1.0 } else { confirmed as f64 / total as f64 }
+    if total == 0 {
+        1.0
+    } else {
+        confirmed as f64 / total as f64
+    }
 }

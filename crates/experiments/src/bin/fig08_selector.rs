@@ -7,7 +7,10 @@ use experiments::{banner, default_build, Lab};
 use scout::{RetrainConfig, RetrainSchedule, ScoutConfig, SelectorKind, WindowPolicy};
 
 fn main() {
-    banner("fig08", "model-selector algorithms under different retraining cadences");
+    banner(
+        "fig08",
+        "model-selector algorithms under different retraining cadences",
+    );
     let lab = Lab::standard();
     let mon = lab.monitoring();
     let base = default_build();
@@ -16,17 +19,18 @@ fn main() {
     for days in [10u64, 60] {
         println!("(retraining every {days} days)");
         for kind in SelectorKind::ALL {
-            let build = scout::ScoutBuildConfig { selector: kind, ..base.clone() };
+            let build = scout::ScoutBuildConfig {
+                selector: kind,
+                ..base.clone()
+            };
             let schedule = RetrainSchedule::new(RetrainConfig {
                 interval: SimDuration::days(days),
                 window: WindowPolicy::Growing,
                 ..Default::default()
             });
             let results = schedule.run(&ScoutConfig::phynet(), &build, &corpus, &mon);
-            let series: Vec<String> =
-                results.iter().map(|r| format!("{:.2}", r.f1())).collect();
-            let mean = results.iter().map(|r| r.f1()).sum::<f64>()
-                / results.len().max(1) as f64;
+            let series: Vec<String> = results.iter().map(|r| format!("{:.2}", r.f1())).collect();
+            let mean = results.iter().map(|r| r.f1()).sum::<f64>() / results.len().max(1) as f64;
             println!(
                 "  {:<20} F1/period = [{}]  mean {mean:.2}",
                 kind.name(),

@@ -13,7 +13,10 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
-    banner("fig09", "F1 after deprecating n monitoring systems (retrained)");
+    banner(
+        "fig09",
+        "F1 after deprecating n monitoring systems (retrained)",
+    );
     let lab = Lab::standard();
     let sl = ScoutLab::build(&lab);
     let (train_x, train_y) = sl.matrix(&sl.train);
@@ -24,7 +27,16 @@ fn main() {
     let imp = sl.scout.forest().feature_importances(&train_x, &train_y);
     let mut by_importance: Vec<(Dataset, f64)> = Dataset::ALL
         .into_iter()
-        .map(|d| (d, layout.indices_for_dataset(d).iter().map(|&i| imp[i]).sum::<f64>()))
+        .map(|d| {
+            (
+                d,
+                layout
+                    .indices_for_dataset(d)
+                    .iter()
+                    .map(|&i| imp[i])
+                    .sum::<f64>(),
+            )
+        })
         .collect();
     by_importance.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("data sets by importance:");
@@ -34,19 +46,31 @@ fn main() {
     println!();
 
     let f1_without = |removed: &[Dataset]| -> f64 {
-        let drop: Vec<usize> =
-            removed.iter().flat_map(|&d| layout.indices_for_dataset(d)).collect();
-        let keep: Vec<usize> =
-            (0..layout.len()).filter(|i| !drop.contains(i)).collect();
+        let drop: Vec<usize> = removed
+            .iter()
+            .flat_map(|&d| layout.indices_for_dataset(d))
+            .collect();
+        let keep: Vec<usize> = (0..layout.len()).filter(|i| !drop.contains(i)).collect();
         let take = |x: &[Vec<f64>]| -> Vec<Vec<f64>> {
-            x.iter().map(|row| keep.iter().map(|&c| row[c]).collect()).collect()
+            x.iter()
+                .map(|row| keep.iter().map(|&c| row[c]).collect())
+                .collect()
         };
         let mut rng = SmallRng::seed_from_u64(lab.seed ^ removed.len() as u64);
-        let f = RandomForest::fit(&take(&train_x), &train_y, 2, ForestConfig::default(), &mut rng);
+        let f = RandomForest::fit(
+            &take(&train_x),
+            &train_y,
+            2,
+            ForestConfig::default(),
+            &mut rng,
+        );
         Confusion::from_predictions(&test_y, &f.predict_batch(&take(&test_x))).f1()
     };
 
-    println!("{:<12} {:>12} {:>12}", "n removed", "average F1", "worst-case F1");
+    println!(
+        "{:<12} {:>12} {:>12}",
+        "n removed", "average F1", "worst-case F1"
+    );
     let mut rng = SmallRng::seed_from_u64(lab.seed);
     for n in 1..=7usize {
         // Average case: mean over random subsets.

@@ -17,7 +17,10 @@ fn main() {
 
     for (label, window) in [
         ("(a) growing training set", WindowPolicy::Growing),
-        ("(b) sliding 60-day training set", WindowPolicy::Sliding(SimDuration::days(60))),
+        (
+            "(b) sliding 60-day training set",
+            WindowPolicy::Sliding(SimDuration::days(60)),
+        ),
     ] {
         println!("{label}");
         for days in [10u64, 20, 30, 60] {
@@ -27,11 +30,9 @@ fn main() {
                 ..Default::default()
             });
             let results = schedule.run(&ScoutConfig::phynet(), &build, &corpus, &mon);
-            let series: Vec<String> =
-                results.iter().map(|r| format!("{:.2}", r.f1())).collect();
+            let series: Vec<String> = results.iter().map(|r| format!("{:.2}", r.f1())).collect();
             let min = results.iter().map(|r| r.f1()).fold(1.0f64, f64::min);
-            let mean = results.iter().map(|r| r.f1()).sum::<f64>()
-                / results.len().max(1) as f64;
+            let mean = results.iter().map(|r| r.f1()).sum::<f64>() / results.len().max(1) as f64;
             println!(
                 "  every {days:>2} days: F1/period = [{}]  mean {mean:.2} min {min:.2}",
                 series.join(" ")

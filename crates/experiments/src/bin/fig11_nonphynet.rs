@@ -7,7 +7,10 @@ use incident::IncidentSource;
 use scoutmaster::GainAccountant;
 
 fn main() {
-    banner("fig11", "gain/overhead for incidents from other teams' watchdogs");
+    banner(
+        "fig11",
+        "gain/overhead for incidents from other teams' watchdogs",
+    );
     let lab = Lab::standard();
     let sl = ScoutLab::build(&lab);
     let answers = sl.test_answers();
@@ -16,8 +19,7 @@ fn main() {
     let mut ans = Vec::new();
     for (k, &i) in sl.test.iter().enumerate() {
         let inc = &lab.workload.incidents[i];
-        let cross =
-            matches!(inc.source, IncidentSource::Monitor(t) if t != inc.owner);
+        let cross = matches!(inc.source, IncidentSource::Monitor(t) if t != inc.owner);
         if cross && lab.workload.traces[i].misrouted() {
             pairs.push((inc, &lab.workload.traces[i]));
             ans.push(answers[k]);

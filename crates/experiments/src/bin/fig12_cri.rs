@@ -35,12 +35,20 @@ fn main() {
             let tr = &lab.workload.traces[i];
             let hops = n.min(tr.hops.len().saturating_sub(1));
             let text = tr.text_after_hops(inc, hops);
-            let spent: u64 =
-                tr.hops.iter().take(hops).map(|h| h.total().as_minutes()).sum();
+            let spent: u64 = tr
+                .hops
+                .iter()
+                .take(hops)
+                .map(|h| h.total().as_minutes())
+                .sum();
             let t = inc.created_at + cloudsim::SimDuration::minutes(spent);
             let ex = [Example::new(text, t, false)];
-            let corpus =
-                Scout::prepare(&ScoutConfig::phynet(), &experiments::default_build(), &ex, &sl.mon);
+            let corpus = Scout::prepare(
+                &ScoutConfig::phynet(),
+                &experiments::default_build(),
+                &ex,
+                &sl.mon,
+            );
             let pred = sl.scout.predict_prepared(&corpus.items[0], &sl.mon);
             if pred.verdict == Verdict::Fallback {
                 continue;
@@ -55,8 +63,10 @@ fn main() {
                 (true, true) => {
                     // Save the remaining detour (what was already spent is
                     // sunk cost).
-                    let before =
-                        tr.time_before(Team::PhyNet).map(|d| d.as_minutes()).unwrap_or(0);
+                    let before = tr
+                        .time_before(Team::PhyNet)
+                        .map(|d| d.as_minutes())
+                        .unwrap_or(0);
                     let saved = before.saturating_sub(spent) as f64;
                     gain_in.push((saved / total).clamp(0.0, 1.0));
                 }
@@ -73,7 +83,11 @@ fn main() {
             mean(&gain_in),
             mean(&gain_out),
             overhead_in,
-            if responsible_total == 0 { 0.0 } else { error_out as f64 / responsible_total as f64 },
+            if responsible_total == 0 {
+                0.0
+            } else {
+                error_out as f64 / responsible_total as f64
+            },
             answered
         );
     }

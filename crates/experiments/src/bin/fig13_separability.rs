@@ -25,17 +25,27 @@ fn main() {
 }
 
 /// Sampled pairwise distances (caps at `cap` vectors per class).
-pub fn pairwise(
-    x: &[Vec<f64>],
-    y: &[usize],
-    cap: usize,
-) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-    let pos: Vec<&Vec<f64>> =
-        x.iter().zip(y).filter(|(_, &l)| l == 1).map(|(v, _)| v).take(cap).collect();
-    let neg: Vec<&Vec<f64>> =
-        x.iter().zip(y).filter(|(_, &l)| l == 0).map(|(v, _)| v).take(cap).collect();
+pub fn pairwise(x: &[Vec<f64>], y: &[usize], cap: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let pos: Vec<&Vec<f64>> = x
+        .iter()
+        .zip(y)
+        .filter(|(_, &l)| l == 1)
+        .map(|(v, _)| v)
+        .take(cap)
+        .collect();
+    let neg: Vec<&Vec<f64>> = x
+        .iter()
+        .zip(y)
+        .filter(|(_, &l)| l == 0)
+        .map(|(v, _)| v)
+        .take(cap)
+        .collect();
     let d = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt()
     };
     let mut wp = Vec::new();
     let mut wn = Vec::new();
@@ -63,4 +73,3 @@ fn median(v: &[f64]) -> f64 {
     s.sort_by(|a, b| a.partial_cmp(b).unwrap());
     s[s.len() / 2]
 }
-

@@ -24,7 +24,11 @@ fn main() {
                 let mut rng = SmallRng::seed_from_u64(lab.seed ^ (n_scouts as u64));
                 let r = PerfectScoutSim::imperfect(
                     lab.workload.iter(),
-                    ImperfectParams { alpha: a, beta: b, n_scouts },
+                    ImperfectParams {
+                        alpha: a,
+                        beta: b,
+                        n_scouts,
+                    },
                     &mut rng,
                 );
                 print!(" {:>6.3}", r.mean);

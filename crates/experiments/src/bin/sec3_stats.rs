@@ -6,7 +6,10 @@ use experiments::{banner, Lab};
 use incident::study::StudyReport;
 
 fn main() {
-    banner("sec3", "§3.1 headline statistics of the baseline routing process");
+    banner(
+        "sec3",
+        "§3.1 headline statistics of the baseline routing process",
+    );
     let lab = Lab::standard();
     let r = StudyReport::compute(&lab.workload);
     println!(
@@ -18,7 +21,11 @@ fn main() {
         r.phynet_teams_mean, r.phynet_teams_max
     );
     println!("time-to-mitigation reduction under perfect routing:");
-    let paper = [(Severity::Sev1, 0.15), (Severity::Sev2, 47.4), (Severity::Sev3, 32.0)];
+    let paper = [
+        (Severity::Sev1, 0.15),
+        (Severity::Sev2, 47.4),
+        (Severity::Sev3, 32.0),
+    ];
     for (sev, paper_pct) in paper {
         let ours = r.perfect_routing_savings.get(&sev).copied().unwrap_or(0.0);
         println!("  {sev:?}: {ours:.1}%   (paper: {paper_pct}%)");

@@ -59,7 +59,10 @@ fn main() {
     }
     let svm = svm_conf.metrics();
 
-    println!("{:<28} {:>10} {:>8} {:>9}", "model", "precision", "recall", "F1");
+    println!(
+        "{:<28} {:>10} {:>8} {:>9}",
+        "model", "precision", "recall", "F1"
+    );
     let row = |name: &str, m: ml::metrics::BinaryMetrics| {
         println!(
             "{name:<28} {:>9.1}% {:>7.1}% {:>9.2}",

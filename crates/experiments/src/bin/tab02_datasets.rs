@@ -26,12 +26,24 @@ fn main() {
             .collect();
         let sample = match d.data_type() {
             DataType::TimeSeries => {
-                let dev = if d.covers(ComponentKind::Server) { srv } else { tor };
+                let dev = if d.covers(ComponentKind::Server) {
+                    srv
+                } else {
+                    tor
+                };
                 let s = mon.series(d, dev, w).unwrap();
-                format!("{} samples, mean {:.4}", s.len(), s.iter().sum::<f64>() / s.len() as f64)
+                format!(
+                    "{} samples, mean {:.4}",
+                    s.len(),
+                    s.iter().sum::<f64>() / s.len() as f64
+                )
             }
             DataType::Event => {
-                let dev = if d.covers(ComponentKind::TorSwitch) { tor } else { srv };
+                let dev = if d.covers(ComponentKind::TorSwitch) {
+                    tor
+                } else {
+                    srv
+                };
                 format!(
                     "{} events/2h window, {} kinds",
                     mon.events(d, dev, w).len(),

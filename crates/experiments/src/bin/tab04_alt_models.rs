@@ -8,7 +8,10 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner("tab04", "alternative supervised models on the Scout features");
+    banner(
+        "tab04",
+        "alternative supervised models on the Scout features",
+    );
     let lab = Lab::standard();
     let sl = ScoutLab::build(&lab);
     let (train_x, train_y) = sl.matrix(&sl.train);
@@ -16,12 +19,15 @@ fn main() {
     let (xs_train, xs_test, _) = ml::data::standardize(&train_x, &test_x);
     let mut rng = SmallRng::seed_from_u64(lab.seed);
 
-    let eval = |preds: Vec<usize>| -> f64 {
-        Confusion::from_predictions(&test_y, &preds).f1()
-    };
+    let eval = |preds: Vec<usize>| -> f64 { Confusion::from_predictions(&test_y, &preds).f1() };
     println!("{:<34} {:>6} {:>12}", "algorithm", "F1", "paper F1");
     let knn = KnnClassifier::fit(&xs_train, &train_y, 2, 5);
-    println!("{:<34} {:>6.2} {:>12}", "kNN (k=5)", eval(knn.predict_batch(&xs_test)), "0.95");
+    println!(
+        "{:<34} {:>6.2} {:>12}",
+        "kNN (k=5)",
+        eval(knn.predict_batch(&xs_test)),
+        "0.95"
+    );
     let mlp = Mlp::fit(&xs_train, &train_y, 2, MlpConfig::default(), &mut rng);
     println!(
         "{:<34} {:>6.2} {:>12}",
@@ -30,7 +36,12 @@ fn main() {
         "0.93"
     );
     let ada = AdaBoost::fit(&xs_train, &train_y, 2, 80, &mut rng);
-    println!("{:<34} {:>6.2} {:>12}", "AdaBoost", eval(ada.predict_batch(&xs_test)), "0.96");
+    println!(
+        "{:<34} {:>6.2} {:>12}",
+        "AdaBoost",
+        eval(ada.predict_batch(&xs_test)),
+        "0.96"
+    );
     let gnb = GaussianNb::fit(&xs_train, &train_y, 2);
     println!(
         "{:<34} {:>6.2} {:>12}",
@@ -46,5 +57,8 @@ fn main() {
         "0.9"
     );
     let rf = sl.metrics_for_path(scout::PathChoice::ForestOnly);
-    println!("{:<34} {:>6.2} {:>12}", "random forest (reference)", rf.f1, "0.97");
+    println!(
+        "{:<34} {:>6.2} {:>12}",
+        "random forest (reference)", rf.f1, "0.97"
+    );
 }

@@ -10,7 +10,10 @@ use rand::SeedableRng;
 use scout::ComponentType;
 
 fn main() {
-    banner("tab05", "deflation study: per-component-type feature utility");
+    banner(
+        "tab05",
+        "deflation study: per-component-type feature utility",
+    );
     let lab = Lab::standard();
     let sl = ScoutLab::build(&lab);
     let (train_x, train_y) = sl.matrix(&sl.train);
@@ -24,12 +27,36 @@ fn main() {
         all.iter().copied().filter(|i| !drop.contains(i)).collect()
     };
     let rows: Vec<(&str, Vec<usize>, &str)> = vec![
-        ("server only", idx_of(ComponentType::Server), "59.5/97.2/0.73"),
-        ("switch only", idx_of(ComponentType::Switch), "97.1/93.1/0.95"),
-        ("cluster only", idx_of(ComponentType::Cluster), "93.4/95.7/0.94"),
-        ("without cluster", without(ComponentType::Cluster), "97.4/94.5/0.95"),
-        ("without switches", without(ComponentType::Switch), "87.5/94.0/0.90"),
-        ("without server", without(ComponentType::Server), "97.3/94.7/0.96"),
+        (
+            "server only",
+            idx_of(ComponentType::Server),
+            "59.5/97.2/0.73",
+        ),
+        (
+            "switch only",
+            idx_of(ComponentType::Switch),
+            "97.1/93.1/0.95",
+        ),
+        (
+            "cluster only",
+            idx_of(ComponentType::Cluster),
+            "93.4/95.7/0.94",
+        ),
+        (
+            "without cluster",
+            without(ComponentType::Cluster),
+            "97.4/94.5/0.95",
+        ),
+        (
+            "without switches",
+            without(ComponentType::Switch),
+            "87.5/94.0/0.90",
+        ),
+        (
+            "without server",
+            without(ComponentType::Server),
+            "97.3/94.7/0.96",
+        ),
         ("all", all.clone(), "97.5/97.7/0.98"),
     ];
     println!(
@@ -38,10 +65,18 @@ fn main() {
     );
     for (name, cols, paper) in rows {
         let take = |x: &[Vec<f64>]| -> Vec<Vec<f64>> {
-            x.iter().map(|row| cols.iter().map(|&c| row[c]).collect()).collect()
+            x.iter()
+                .map(|row| cols.iter().map(|&c| row[c]).collect())
+                .collect()
         };
         let mut rng = SmallRng::seed_from_u64(lab.seed);
-        let f = RandomForest::fit(&take(&train_x), &train_y, 2, ForestConfig::default(), &mut rng);
+        let f = RandomForest::fit(
+            &take(&train_x),
+            &train_y,
+            2,
+            ForestConfig::default(),
+            &mut rng,
+        );
         let preds = f.predict_batch(&take(&test_x));
         let m = Confusion::from_predictions(&test_y, &preds).metrics();
         println!(

@@ -30,7 +30,10 @@ impl Lab {
     /// Build the standard lab from the environment knobs.
     pub fn standard() -> Lab {
         let seed = env_u64("SCOUTS_SEED", 42);
-        let mut config = WorkloadConfig { seed, ..WorkloadConfig::default() };
+        let mut config = WorkloadConfig {
+            seed,
+            ..WorkloadConfig::default()
+        };
         config.faults.faults_per_day = env_f64("SCOUTS_FAULTS_PER_DAY", 12.0);
         eprintln!(
             "[lab] generating workload: seed={seed}, {} faults/day over {} days …",
@@ -48,7 +51,10 @@ impl Lab {
 
     /// The monitoring plane over this lab's world.
     pub fn monitoring(&self) -> MonitoringSystem<'_> {
-        self.monitoring_with(MonitoringConfig { seed: self.seed, disabled: Vec::new() })
+        self.monitoring_with(MonitoringConfig {
+            seed: self.seed,
+            disabled: Vec::new(),
+        })
     }
 
     /// Monitoring with custom config (deprecation experiments).
@@ -68,18 +74,17 @@ impl Lab {
 
     /// Prepare the corpus for the PhyNet Scout (the expensive, cacheable
     /// stage).
-    pub fn prepare(
-        &self,
-        build: &ScoutBuildConfig,
-        mon: &MonitoringSystem<'_>,
-    ) -> PreparedCorpus {
-        let t0 = std::time::Instant::now();
-        let corpus = Scout::prepare(&ScoutConfig::phynet(), build, &self.examples(), mon);
+    pub fn prepare(&self, build: &ScoutBuildConfig, mon: &MonitoringSystem<'_>) -> PreparedCorpus {
+        // Wall time lands in the `span.lab.prepare` histogram (visible in
+        // the obs summary when collection is enabled, e.g. timing_probe).
+        let corpus = {
+            let _span = obs::span!("lab.prepare");
+            Scout::prepare(&ScoutConfig::phynet(), build, &self.examples(), mon)
+        };
         eprintln!(
-            "[lab] prepared {} examples ({} trainable) in {:.1}s",
+            "[lab] prepared {} examples ({} trainable)",
             corpus.items.len(),
             corpus.trainable_indices().len(),
-            t0.elapsed().as_secs_f64()
         );
         corpus
     }
@@ -148,11 +153,17 @@ pub fn banner(id: &str, title: &str) {
 }
 
 fn env_u64(key: &str, default: u64) -> u64 {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn env_f64(key: &str, default: f64) -> f64 {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// A fully trained PhyNet Scout environment: prepared corpus, §7 split,
@@ -183,16 +194,24 @@ impl<'a> ScoutLab<'a> {
         let mon = lab.monitoring();
         let corpus = lab.prepare(&build, &mon);
         let (train, test) = paper_split(&corpus, lab.seed);
-        let t0 = std::time::Instant::now();
-        let scout =
-            Scout::train_prepared(ScoutConfig::phynet(), build, &corpus, &train, &mon);
+        // Wall time lands in the `span.lab.train` histogram.
+        let scout = {
+            let _span = obs::span!("lab.train");
+            Scout::train_prepared(ScoutConfig::phynet(), build, &corpus, &train, &mon)
+        };
         eprintln!(
-            "[lab] trained scout on {} examples in {:.1}s (test {})",
+            "[lab] trained scout on {} examples (test {})",
             train.len(),
-            t0.elapsed().as_secs_f64(),
             test.len()
         );
-        ScoutLab { lab, mon, corpus, train, test, scout }
+        ScoutLab {
+            lab,
+            mon,
+            corpus,
+            train,
+            test,
+            scout,
+        }
     }
 
     /// Scout answers over the test set: `Some(says_responsible)` or `None`
@@ -201,7 +220,9 @@ impl<'a> ScoutLab<'a> {
         self.test
             .iter()
             .map(|&i| {
-                let p = self.scout.predict_prepared(&self.corpus.items[i], &self.mon);
+                let p = self
+                    .scout
+                    .predict_prepared(&self.corpus.items[i], &self.mon);
                 match p.verdict {
                     scout::Verdict::Responsible => Some(true),
                     scout::Verdict::NotResponsible => Some(false),
@@ -225,8 +246,10 @@ impl<'a> ScoutLab<'a> {
     /// The §7 feature matrix/labels for an index set (standardization left
     /// to the caller).
     pub fn matrix(&self, idx: &[usize]) -> (Vec<Vec<f64>>, Vec<usize>) {
-        let x =
-            idx.iter().map(|&i| self.corpus.items[i].features.clone().unwrap()).collect();
+        let x = idx
+            .iter()
+            .map(|&i| self.corpus.items[i].features.clone().unwrap())
+            .collect();
         let y = idx
             .iter()
             .map(|&i| usize::from(self.corpus.items[i].example.label))

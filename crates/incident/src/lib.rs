@@ -30,6 +30,6 @@ pub mod text;
 pub mod workload;
 
 pub use model::{Incident, IncidentId, IncidentSource};
-pub use routing::{RoutingHop, RoutingTrace, Router, RouterConfig};
+pub use routing::{Router, RouterConfig, RoutingHop, RoutingTrace};
 pub use study::{ecdf, StudyReport};
 pub use workload::{Workload, WorkloadConfig};

@@ -58,9 +58,16 @@ impl RoutingTrace {
     pub fn total_time(&self) -> SimDuration {
         if self.all_hands {
             // Parallel engagement: the slowest engaged team bounds the time.
-            self.hops.iter().map(RoutingHop::total).max().unwrap_or(SimDuration::ZERO)
+            self.hops
+                .iter()
+                .map(RoutingHop::total)
+                .max()
+                .unwrap_or(SimDuration::ZERO)
         } else {
-            self.hops.iter().map(|h| h.total()).fold(SimDuration::ZERO, |a, b| a + b)
+            self.hops
+                .iter()
+                .map(|h| h.total())
+                .fold(SimDuration::ZERO, |a, b| a + b)
         }
     }
 
@@ -159,7 +166,11 @@ pub struct Router<'a> {
 impl<'a> Router<'a> {
     /// Build a router over the fleet.
     pub fn new(topo: &'a Topology, config: RouterConfig) -> Router<'a> {
-        Router { topo, registry: TeamRegistry::new(), config }
+        Router {
+            topo,
+            registry: TeamRegistry::new(),
+            config,
+        }
     }
 
     /// Produce the baseline routing trace for `incident`.
@@ -186,24 +197,37 @@ impl<'a> Router<'a> {
                 SimDuration::minutes(self.lognormal(self.config.queue_median, rng) as u64)
             };
             let owner_engaged = current == owner;
-            let external_closure = owner.is_external()
-                && current == Team::Support
-                && visited.len() > 1;
+            let external_closure =
+                owner.is_external() && current == Team::Support && visited.len() > 1;
             if owner_engaged || external_closure || hops.len() + 1 >= self.config.max_hops {
-                let investigation =
-                    SimDuration::minutes(self.lognormal(self.resolution_scale(incident), rng) as u64);
+                let investigation = SimDuration::minutes(
+                    self.lognormal(self.resolution_scale(incident), rng) as u64,
+                );
                 let note = self.resolution_note(current, owner, fault);
-                hops.push(RoutingHop { team: current, queue_delay, investigation, note });
+                hops.push(RoutingHop {
+                    team: current,
+                    queue_delay,
+                    investigation,
+                    note,
+                });
                 break;
             }
             // Wrong team: prove innocence, hand over.
             let investigation =
                 SimDuration::minutes(self.lognormal(self.config.innocence_median, rng) as u64);
             let note = self.innocence_note(current, incident, fault, rng);
-            hops.push(RoutingHop { team: current, queue_delay, investigation, note });
+            hops.push(RoutingHop {
+                team: current,
+                queue_delay,
+                investigation,
+                note,
+            });
             current = self.next_suspect(first, owner, &visited, rng);
         }
-        RoutingTrace { hops, all_hands: false }
+        RoutingTrace {
+            hops,
+            all_hands: false,
+        }
     }
 
     fn all_hands_trace<R: Rng>(
@@ -251,7 +275,10 @@ impl<'a> Router<'a> {
                 note: self.resolution_note(owner, owner, fault),
             });
         }
-        RoutingTrace { hops, all_hands: true }
+        RoutingTrace {
+            hops,
+            all_hands: true,
+        }
     }
 
     /// Pick the next team to blame. Dependency structure plus a strong
@@ -285,7 +312,11 @@ impl<'a> Router<'a> {
             candidates.push((team, w));
         }
         if candidates.is_empty() {
-            return if owner.is_external() { Team::Support } else { owner };
+            return if owner.is_external() {
+                Team::Support
+            } else {
+                owner
+            };
         }
         let total: f64 = candidates.iter().map(|c| c.1).sum();
         let mut r = rng.gen::<f64>() * total;
@@ -332,7 +363,10 @@ impl<'a> Router<'a> {
         // information the Scout benefits from when re-triggered (§7.4).
         if incident.source.is_cri() && rng.gen_bool(0.75) {
             let cluster = self.topo.component(fault.scope.cluster());
-            note.push_str(&format!(" Impact appears scoped to cluster {}.", cluster.name));
+            note.push_str(&format!(
+                " Impact appears scoped to cluster {}.",
+                cluster.name
+            ));
             if rng.gen_bool(0.4) {
                 if let Some(&d) = fault.scope.devices().first() {
                     note.push_str(&format!(
@@ -400,7 +434,11 @@ mod tests {
         let topo = topo();
         let router = Router::new(&topo, RouterConfig::default());
         let f = fault(&topo, FaultKind::TorFailure, Team::PhyNet);
-        let inc = incident(IncidentSource::Monitor(Team::PhyNet), Team::PhyNet, Severity::Sev2);
+        let inc = incident(
+            IncidentSource::Monitor(Team::PhyNet),
+            Team::PhyNet,
+            Severity::Sev2,
+        );
         let mut rng = SmallRng::seed_from_u64(1);
         let trace = router.route(&inc, &f, &mut rng);
         assert_eq!(trace.teams(), vec![Team::PhyNet]);
@@ -413,7 +451,11 @@ mod tests {
         let topo = topo();
         let router = Router::new(&topo, RouterConfig::default());
         let f = fault(&topo, FaultKind::TorFailure, Team::PhyNet);
-        let inc = incident(IncidentSource::Monitor(Team::Storage), Team::PhyNet, Severity::Sev2);
+        let inc = incident(
+            IncidentSource::Monitor(Team::Storage),
+            Team::PhyNet,
+            Severity::Sev2,
+        );
         let mut rng = SmallRng::seed_from_u64(2);
         for _ in 0..100 {
             let trace = router.route(&inc, &f, &mut rng);
@@ -436,13 +478,21 @@ mod tests {
         let mut misrouted = Vec::new();
         for _ in 0..400 {
             let d = router.route(
-                &incident(IncidentSource::Monitor(Team::PhyNet), Team::PhyNet, Severity::Sev2),
+                &incident(
+                    IncidentSource::Monitor(Team::PhyNet),
+                    Team::PhyNet,
+                    Severity::Sev2,
+                ),
                 &f,
                 &mut rng,
             );
             direct.push(d.total_time().as_minutes());
             let m = router.route(
-                &incident(IncidentSource::Monitor(Team::Database), Team::PhyNet, Severity::Sev2),
+                &incident(
+                    IncidentSource::Monitor(Team::Database),
+                    Team::PhyNet,
+                    Severity::Sev2,
+                ),
                 &f,
                 &mut rng,
             );
@@ -477,7 +527,11 @@ mod tests {
         let topo = topo();
         let router = Router::new(&topo, RouterConfig::default());
         let f = fault(&topo, FaultKind::StorageOutage, Team::Storage);
-        let inc = incident(IncidentSource::Monitor(Team::Database), Team::Storage, Severity::Sev1);
+        let inc = incident(
+            IncidentSource::Monitor(Team::Database),
+            Team::Storage,
+            Severity::Sev1,
+        );
         let mut rng = SmallRng::seed_from_u64(5);
         let trace = router.route(&inc, &f, &mut rng);
         assert!(trace.all_hands);
@@ -507,7 +561,11 @@ mod tests {
         let topo = topo();
         let router = Router::new(&topo, RouterConfig::default());
         let f = fault(&topo, FaultKind::TorFailure, Team::PhyNet);
-        let inc = incident(IncidentSource::Monitor(Team::Slb), Team::PhyNet, Severity::Sev3);
+        let inc = incident(
+            IncidentSource::Monitor(Team::Slb),
+            Team::PhyNet,
+            Severity::Sev3,
+        );
         let mut rng = SmallRng::seed_from_u64(7);
         let trace = router.route(&inc, &f, &mut rng);
         let per_team: u64 = trace

@@ -80,7 +80,10 @@ impl StudyReport {
             by_day[d].push((inc, tr));
         }
         for day in &by_day {
-            let phynet: Vec<_> = day.iter().filter(|(i, _)| i.owner == Team::PhyNet).collect();
+            let phynet: Vec<_> = day
+                .iter()
+                .filter(|(i, _)| i.owner == Team::PhyNet)
+                .collect();
             if !phynet.is_empty() {
                 let n = phynet.len() as f64;
                 let own = phynet
@@ -97,15 +100,14 @@ impl StudyReport {
                 if of_type.is_empty() {
                     return f64::NAN;
                 }
-                of_type.iter().filter(|(_, t)| t.misrouted()).count() as f64
-                    / of_type.len() as f64
+                of_type.iter().filter(|(_, t)| t.misrouted()).count() as f64 / of_type.len() as f64
             };
-            let own_f = frac(&|i: &Incident| {
-                matches!(i.source, IncidentSource::Monitor(t) if t == i.owner)
-            });
-            let other_f = frac(&|i: &Incident| {
-                matches!(i.source, IncidentSource::Monitor(t) if t != i.owner)
-            });
+            let own_f = frac(
+                &|i: &Incident| matches!(i.source, IncidentSource::Monitor(t) if t == i.owner),
+            );
+            let other_f = frac(
+                &|i: &Incident| matches!(i.source, IncidentSource::Monitor(t) if t != i.owner),
+            );
             let cri_f = frac(&|i: &Incident| i.source.is_cri());
             if !own_f.is_nan() || !other_f.is_nan() || !cri_f.is_nan() {
                 fig1b_per_day.push((own_f, other_f, cri_f));
@@ -146,8 +148,10 @@ impl StudyReport {
         // --- Fig 4: PhyNet as a waypoint ---
         let mut fig4 = Vec::new();
         for day in &by_day {
-            let engaged: Vec<_> =
-                day.iter().filter(|(_, t)| t.visited(Team::PhyNet)).collect();
+            let engaged: Vec<_> = day
+                .iter()
+                .filter(|(_, t)| t.visited(Team::PhyNet))
+                .collect();
             if !engaged.is_empty() {
                 let innocent = engaged
                     .iter()
@@ -158,8 +162,7 @@ impl StudyReport {
         }
 
         // --- §3.1 headline numbers ---
-        let phynet_touching: Vec<_> =
-            w.iter().filter(|(_, t)| t.visited(Team::PhyNet)).collect();
+        let phynet_touching: Vec<_> = w.iter().filter(|(_, t)| t.visited(Team::PhyNet)).collect();
         let passthrough = phynet_touching
             .iter()
             .filter(|(i, t)| t.misrouted() || i.owner != Team::PhyNet)
@@ -179,8 +182,8 @@ impl StudyReport {
                 teams.len()
             })
             .collect();
-        let teams_mean = teams_counts.iter().sum::<usize>() as f64
-            / teams_counts.len().max(1) as f64;
+        let teams_mean =
+            teams_counts.iter().sum::<usize>() as f64 / teams_counts.len().max(1) as f64;
         let teams_max = teams_counts.iter().copied().max().unwrap_or(0);
 
         let mut savings: BTreeMap<Severity, (f64, f64)> = BTreeMap::new();
@@ -190,7 +193,10 @@ impl StudyReport {
             let direct = if tr.all_hands {
                 total // severity-1: everyone is engaged regardless
             } else {
-                tr.hops.last().map(|h| h.total().as_minutes() as f64).unwrap_or(total)
+                tr.hops
+                    .last()
+                    .map(|h| h.total().as_minutes() as f64)
+                    .unwrap_or(total)
             };
             let e = savings.entry(inc.severity).or_insert((0.0, 0.0));
             e.0 += total - direct;
@@ -208,7 +214,11 @@ impl StudyReport {
                     return 0.0;
                 }
                 let total = tr.total_time().as_minutes() as f64;
-                let last = tr.hops.last().map(|h| h.total().as_minutes() as f64).unwrap_or(0.0);
+                let last = tr
+                    .hops
+                    .last()
+                    .map(|h| h.total().as_minutes() as f64)
+                    .unwrap_or(0.0);
                 total - last
             })
             .sum();
@@ -272,8 +282,8 @@ mod tests {
     fn phynet_is_mostly_self_detected_fig1a() {
         let r = report();
         assert!(!r.fig1a_per_day.is_empty());
-        let mean_own: f64 = r.fig1a_per_day.iter().map(|d| d.0).sum::<f64>()
-            / r.fig1a_per_day.len() as f64;
+        let mean_own: f64 =
+            r.fig1a_per_day.iter().map(|d| d.0).sum::<f64>() / r.fig1a_per_day.len() as f64;
         assert!(mean_own > 0.45, "own-monitor share {mean_own}");
     }
 
@@ -281,15 +291,22 @@ mod tests {
     fn own_monitor_incidents_misroute_least_fig1b() {
         let r = report();
         let mean = |f: fn(&(f64, f64, f64)) -> f64| {
-            let vals: Vec<f64> =
-                r.fig1b_per_day.iter().map(f).filter(|v| !v.is_nan()).collect();
+            let vals: Vec<f64> = r
+                .fig1b_per_day
+                .iter()
+                .map(f)
+                .filter(|v| !v.is_nan())
+                .collect();
             vals.iter().sum::<f64>() / vals.len().max(1) as f64
         };
         let own = mean(|d| d.0);
         let other = mean(|d| d.1);
         let cri = mean(|d| d.2);
         assert!(own < 0.2, "own-monitor misroute rate {own}");
-        assert!(other > own, "cross-monitor misroutes more: {other} vs {own}");
+        assert!(
+            other > own,
+            "cross-monitor misroutes more: {other} vs {own}"
+        );
         assert!(cri > own, "CRIs misroute more: {cri} vs {own}");
     }
 
@@ -319,7 +336,10 @@ mod tests {
         let r = report();
         let median = quantile(&r.fig4_waypoint_per_day, 0.5);
         // Paper: median day has ~35% of PhyNet engagements caused elsewhere.
-        assert!((10.0..70.0).contains(&median), "median waypoint rate {median}%");
+        assert!(
+            (10.0..70.0).contains(&median),
+            "median waypoint rate {median}%"
+        );
     }
 
     #[test]
@@ -336,7 +356,11 @@ mod tests {
             r.phynet_teams_mean
         );
         assert!(r.phynet_teams_max >= 4, "teams max {}", r.phynet_teams_max);
-        assert!(r.wasted_hours_per_day > 5.0, "wasted h/day {}", r.wasted_hours_per_day);
+        assert!(
+            r.wasted_hours_per_day > 5.0,
+            "wasted h/day {}",
+            r.wasted_hours_per_day
+        );
         // Severity ordering: high severity benefits least from routing.
         let hi = r.perfect_routing_savings[&Severity::Sev1];
         let med = r.perfect_routing_savings[&Severity::Sev2];

@@ -79,7 +79,11 @@ fn owner_monitor_text<R: Rng>(
     if fault.upgrade_related && rng.gen_bool(0.7) {
         body.push_str(" A maintenance window was active in this cluster at detection time.");
     }
-    SynthesizedText { title, body, mentioned }
+    SynthesizedText {
+        title,
+        body,
+        mentioned,
+    }
 }
 
 /// Another team's watchdog: describes the symptom in its own domain and
@@ -113,7 +117,11 @@ fn symptom_monitor_text<R: Rng>(
     }
     let network_cause = fault.owner == Team::PhyNet;
     let symptom = team_symptom_words(watchdog_team, network_cause, rng);
-    let subject = if names.is_empty() { cluster_name.to_string() } else { names.join(", ") };
+    let subject = if names.is_empty() {
+        cluster_name.to_string()
+    } else {
+        names.join(", ")
+    };
     let title = format!("[{watchdog_team} watchdog] {symptom} in {cluster_name}");
     let mut body = format!(
         "{watchdog_team} monitoring detected {symptom} impacting {subject} in \
@@ -133,7 +141,11 @@ fn symptom_monitor_text<R: Rng>(
              underlying network issue.",
         );
     }
-    SynthesizedText { title, body, mentioned }
+    SynthesizedText {
+        title,
+        body,
+        mentioned,
+    }
 }
 
 /// A customer ticket: vague, possibly component-free, noisy.
@@ -161,15 +173,24 @@ fn cri_text<R: Rng>(
         match vm_name {
             Some(vm) => {
                 mentioned.push(cluster);
-                (format!("my VM {vm} in {cluster_name}"), format!("[CRI] {complaint}"))
+                (
+                    format!("my VM {vm} in {cluster_name}"),
+                    format!("[CRI] {complaint}"),
+                )
             }
             None => {
                 mentioned.push(cluster);
-                (format!("our deployment in {cluster_name}"), format!("[CRI] {complaint}"))
+                (
+                    format!("our deployment in {cluster_name}"),
+                    format!("[CRI] {complaint}"),
+                )
             }
         }
     } else {
-        ("our production workload".to_string(), format!("[CRI] {complaint}"))
+        (
+            "our production workload".to_string(),
+            format!("[CRI] {complaint}"),
+        )
     };
     let mut body = format!(
         "Customer reports: {complaint} for {subject}. Started roughly an hour \
@@ -192,7 +213,11 @@ fn cri_text<R: Rng>(
         body.push(' ');
         body.push_str(noise[rng.gen_range(0..noise.len())]);
     }
-    SynthesizedText { title, body, mentioned }
+    SynthesizedText {
+        title,
+        body,
+        mentioned,
+    }
 }
 
 /// Servers that feel the fault (used to pick what other teams' watchdogs
@@ -215,9 +240,10 @@ fn victim_servers(fault: &Fault, topo: &Topology) -> Vec<ComponentId> {
             }
             out
         }
-        FaultScope::Cluster(c) | FaultScope::External { symptomatic_cluster: c } => {
-            topo.descendants_of_kind(*c, ComponentKind::Server)
-        }
+        FaultScope::Cluster(c)
+        | FaultScope::External {
+            symptomatic_cluster: c,
+        } => topo.descendants_of_kind(*c, ComponentKind::Server),
     }
 }
 
@@ -310,7 +336,10 @@ fn team_symptom_words<R: Rng>(team: Team, network_cause: bool, rng: &mut R) -> &
             &["database login failures", "query timeouts", "replica lag"],
         ),
         Team::Compute => (
-            &["host heartbeat loss", "VM unreachable from fabric controller"],
+            &[
+                "host heartbeat loss",
+                "VM unreachable from fabric controller",
+            ],
             &["VM reboot storm", "VM allocation failures"],
         ),
         Team::Slb => (
@@ -333,8 +362,16 @@ fn team_symptom_words<R: Rng>(team: Team, network_cause: bool, rng: &mut R) -> &
     };
     // The watchdog sees symptoms, not causes: wording matches the cause
     // only most of the time.
-    let use_network = if network_cause { rng.gen_bool(0.75) } else { rng.gen_bool(0.2) };
-    let options = if use_network { network_flavored } else { internal_flavored };
+    let use_network = if network_cause {
+        rng.gen_bool(0.75)
+    } else {
+        rng.gen_bool(0.2)
+    };
+    let options = if use_network {
+        network_flavored
+    } else {
+        internal_flavored
+    };
     options[rng.gen_range(0..options.len())]
 }
 
@@ -348,9 +385,10 @@ fn customer_complaint_words<R: Rng>(kind: FaultKind, rng: &mut R) -> &'static st
             "intermittent timeouts reaching our service from some regions",
             "high latency from specific geographies",
         ],
-        FaultKind::StorageLatency | FaultKind::StorageOutage => {
-            &["disk operations extremely slow", "application cannot write data"]
-        }
+        FaultKind::StorageLatency | FaultKind::StorageOutage => &[
+            "disk operations extremely slow",
+            "application cannot write data",
+        ],
         FaultKind::DbQueryRegression => &["database queries timing out"],
         _ => &[
             "cannot connect to my virtual machine",
@@ -393,7 +431,8 @@ mod tests {
         let t = synthesize(f, IncidentSource::Monitor(f.owner), &topo, &mut rng);
         for &d in f.scope.devices() {
             assert!(
-                t.body.contains(&topo.component(d).name) || t.title.contains(&topo.component(d).name),
+                t.body.contains(&topo.component(d).name)
+                    || t.title.contains(&topo.component(d).name),
                 "device name embedded"
             );
         }
@@ -433,7 +472,10 @@ mod tests {
             }
         }
         let frac = empty as f64 / total as f64;
-        assert!((0.1..0.45).contains(&frac), "component-free CRI fraction {frac}");
+        assert!(
+            (0.1..0.45).contains(&frac),
+            "component-free CRI fraction {frac}"
+        );
     }
 
     #[test]

@@ -6,8 +6,7 @@ use crate::model::{Incident, IncidentId, IncidentSource};
 use crate::routing::{Router, RouterConfig, RoutingTrace};
 use crate::text;
 use cloudsim::{
-    Fault, FaultCatalog, FaultScheduleConfig, Team, TeamRegistry, Topology,
-    TopologyConfig,
+    Fault, FaultCatalog, FaultScheduleConfig, Team, TeamRegistry, Topology, TopologyConfig,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -127,7 +126,13 @@ impl Workload {
             })
             .collect();
 
-        Workload { topology, faults, incidents, traces, config }
+        Workload {
+            topology,
+            faults,
+            incidents,
+            traces,
+            config,
+        }
     }
 
     /// Number of incidents.
@@ -176,7 +181,13 @@ fn random_internal_observer<R: Rng>(fault: &Fault, rng: &mut R) -> Team {
     let registry = TeamRegistry::new();
     let mut candidates: Vec<Team> = if fault.owner.is_external() {
         // Anyone serving the symptomatic cluster may notice.
-        vec![Team::Storage, Team::Database, Team::Compute, Team::Slb, Team::HostNet]
+        vec![
+            Team::Storage,
+            Team::Database,
+            Team::Compute,
+            Team::Slb,
+            Team::HostNet,
+        ]
     } else {
         registry
             .dependents_of(fault.owner)
@@ -246,7 +257,10 @@ mod tests {
     #[test]
     fn incident_count_tracks_fault_count() {
         let w = workload();
-        assert!(w.len() >= w.faults.len(), "every fault spawns at least one incident");
+        assert!(
+            w.len() >= w.faults.len(),
+            "every fault spawns at least one incident"
+        );
         let dup_rate = w.len() as f64 / w.faults.len() as f64 - 1.0;
         assert!((dup_rate - 0.10).abs() < 0.04, "duplicate rate {dup_rate}");
     }
@@ -266,8 +280,11 @@ mod tests {
     #[test]
     fn phynet_incidents_mostly_from_own_monitors() {
         let w = workload();
-        let phynet: Vec<&Incident> =
-            w.incidents.iter().filter(|i| i.owner == Team::PhyNet).collect();
+        let phynet: Vec<&Incident> = w
+            .incidents
+            .iter()
+            .filter(|i| i.owner == Team::PhyNet)
+            .collect();
         assert!(phynet.len() > 100);
         let own = phynet
             .iter()
@@ -317,7 +334,10 @@ mod tests {
         }
         let c = Workload::generate(WorkloadConfig::small(8));
         assert!(
-            a.incidents.iter().zip(&c.incidents).any(|(x, y)| x.title != y.title)
+            a.incidents
+                .iter()
+                .zip(&c.incidents)
+                .any(|(x, y)| x.title != y.title)
                 || a.len() != c.len(),
             "different seeds differ"
         );

@@ -6,7 +6,10 @@ use incident::study::{quantile, StudyReport};
 use incident::{Workload, WorkloadConfig};
 
 fn study(seed: u64) -> StudyReport {
-    let mut config = WorkloadConfig { seed, ..WorkloadConfig::default() };
+    let mut config = WorkloadConfig {
+        seed,
+        ..WorkloadConfig::default()
+    };
     config.faults.faults_per_day = 6.0;
     StudyReport::compute(&Workload::generate(config))
 }
@@ -62,7 +65,10 @@ fn waypoint_rate_stays_in_band() {
 fn phynet_receives_disproportionate_misroutes() {
     // §1: PhyNet is "a recipient in 1 in every 10 mis-routed incidents" —
     // far above a uniform share.
-    let mut config = WorkloadConfig { seed: 5, ..WorkloadConfig::default() };
+    let mut config = WorkloadConfig {
+        seed: 5,
+        ..WorkloadConfig::default()
+    };
     config.faults.faults_per_day = 6.0;
     let w = Workload::generate(config);
     let mut phynet_innocent_visits = 0usize;
@@ -84,7 +90,10 @@ fn phynet_receives_disproportionate_misroutes() {
 
 #[test]
 fn drift_changes_the_late_incident_mix() {
-    let config = WorkloadConfig { seed: 3, ..WorkloadConfig::default() };
+    let config = WorkloadConfig {
+        seed: 3,
+        ..WorkloadConfig::default()
+    };
     let w = Workload::generate(config);
     let day = |i: &incident::Incident| i.created_at.days();
     let pfc_early = w
@@ -102,9 +111,7 @@ fn drift_changes_the_late_incident_mix() {
     let nic_early = w
         .incidents
         .iter()
-        .filter(|i| {
-            day(i) < 150 && w.fault_of(i).kind == cloudsim::FaultKind::NicFirmwarePanic
-        })
+        .filter(|i| day(i) < 150 && w.fault_of(i).kind == cloudsim::FaultKind::NicFirmwarePanic)
         .count();
     assert_eq!(nic_early, 0, "the NIC firmware family is drift-only");
 }

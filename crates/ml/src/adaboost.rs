@@ -27,7 +27,10 @@ impl AdaBoost {
         let n = x.len();
         let mut w = vec![1.0 / n as f64; n];
         let mut stumps = Vec::new();
-        let stump_cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        let stump_cfg = TreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        };
         for _ in 0..n_rounds {
             let stump = DecisionTree::fit(x, y, &w, n_classes, stump_cfg, rng);
             let preds: Vec<usize> = x.iter().map(|xi| stump.predict(xi)).collect();
@@ -126,8 +129,10 @@ mod tests {
         // Interval structure: class 1 in the middle band. A single
         // threshold cannot express it; boosting can.
         let x: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64 / 120.0]).collect();
-        let y: Vec<usize> =
-            x.iter().map(|v| usize::from(v[0] > 0.3 && v[0] < 0.7)).collect();
+        let y: Vec<usize> = x
+            .iter()
+            .map(|v| usize::from(v[0] > 0.3 && v[0] < 0.7))
+            .collect();
         let model = AdaBoost::fit(&x, &y, 2, 50, &mut rng());
         let acc = model
             .predict_batch(&x)

@@ -26,7 +26,11 @@ pub struct CpdConfig {
 impl Default for CpdConfig {
     /// Tuned for the Scout's 24-sample (2-hour) windows.
     fn default() -> Self {
-        CpdConfig { min_segment: 4, n_permutations: 99, significance: 0.05 }
+        CpdConfig {
+            min_segment: 4,
+            n_permutations: 99,
+            significance: 0.05,
+        }
     }
 }
 
@@ -39,11 +43,8 @@ impl Default for CpdConfig {
 ///
 /// `threshold` is in normalized-energy units; [`FAST_THRESHOLD`] holds a
 /// value calibrated so pure noise rarely exceeds it.
-pub fn detect_change_points_fast(
-    series: &[f64],
-    min_segment: usize,
-    threshold: f64,
-) -> Vec<usize> {
+pub fn detect_change_points_fast(series: &[f64], min_segment: usize, threshold: f64) -> Vec<usize> {
+    obs::counter("ml.cpd.fast_detections").inc();
     let n = series.len();
     if n < 2 * min_segment {
         return Vec::new();
@@ -78,7 +79,9 @@ fn fast_recursive(
     if segment.len() < 2 * min_segment {
         return;
     }
-    let Some((tau, q)) = best_split(segment, min_segment) else { return };
+    let Some((tau, q)) = best_split(segment, min_segment) else {
+        return;
+    };
     if q < threshold {
         return;
     }
@@ -89,11 +92,8 @@ fn fast_recursive(
 
 /// Detect change points in `series`; returns sorted sample indices, each
 /// marking the first sample of a new regime.
-pub fn detect_change_points<R: Rng>(
-    series: &[f64],
-    config: &CpdConfig,
-    rng: &mut R,
-) -> Vec<usize> {
+pub fn detect_change_points<R: Rng>(series: &[f64], config: &CpdConfig, rng: &mut R) -> Vec<usize> {
+    let _span = obs::span!("ml.cpd.detect");
     let mut found = Vec::new();
     split_recursive(series, 0, config, rng, &mut found);
     found.sort_unstable();
@@ -197,7 +197,9 @@ mod tests {
 
     /// Deterministic wiggle around `level`.
     fn noisy(level: f64, n: usize, phase: usize) -> Vec<f64> {
-        (0..n).map(|i| level + 0.1 * (((i + phase) as f64) * 1.7).sin()).collect()
+        (0..n)
+            .map(|i| level + 0.1 * (((i + phase) as f64) * 1.7).sin())
+            .collect()
     }
 
     #[test]
@@ -238,7 +240,10 @@ mod tests {
     fn respects_min_segment() {
         let mut series = noisy(0.0, 20, 0);
         series.extend(noisy(5.0, 4, 0));
-        let cfg = CpdConfig { min_segment: 6, ..Default::default() };
+        let cfg = CpdConfig {
+            min_segment: 6,
+            ..Default::default()
+        };
         let cps = detect_change_points(&series, &cfg, &mut rng());
         for &cp in &cps {
             assert!(cp >= 6 && cp <= series.len() - 6);

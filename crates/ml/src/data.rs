@@ -15,7 +15,10 @@ pub struct SplitConfig {
 
 impl Default for SplitConfig {
     fn default() -> Self {
-        SplitConfig { train_fraction: 0.5, shuffle: true }
+        SplitConfig {
+            train_fraction: 0.5,
+            shuffle: true,
+        }
     }
 }
 
@@ -37,7 +40,10 @@ pub fn train_test_split<R: Rng>(
     let n_train = (x.len() as f64 * config.train_fraction).round() as usize;
     let (tr, te) = idx.split_at(n_train.min(x.len()));
     let take = |ids: &[usize]| -> (Vec<Vec<f64>>, Vec<usize>) {
-        (ids.iter().map(|&i| x[i].clone()).collect(), ids.iter().map(|&i| y[i]).collect())
+        (
+            ids.iter().map(|&i| x[i].clone()).collect(),
+            ids.iter().map(|&i| y[i]).collect(),
+        )
     };
     (take(tr), take(te))
 }
@@ -121,7 +127,10 @@ impl Scaler {
 }
 
 /// Fit-and-transform shorthand used across the experiments.
-pub fn standardize(train: &[Vec<f64>], test: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Scaler) {
+pub fn standardize(
+    train: &[Vec<f64>],
+    test: &[Vec<f64>],
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Scaler) {
     let scaler = Scaler::fit(train);
     (scaler.transform(train), scaler.transform(test), scaler)
 }
@@ -142,8 +151,15 @@ mod tests {
     fn split_partitions_everything() {
         let (x, y) = toy();
         let mut rng = SmallRng::seed_from_u64(1);
-        let ((xtr, ytr), (xte, yte)) =
-            train_test_split(&x, &y, SplitConfig { train_fraction: 0.7, shuffle: true }, &mut rng);
+        let ((xtr, ytr), (xte, yte)) = train_test_split(
+            &x,
+            &y,
+            SplitConfig {
+                train_fraction: 0.7,
+                shuffle: true,
+            },
+            &mut rng,
+        );
         assert_eq!(xtr.len(), 70);
         assert_eq!(xte.len(), 30);
         assert_eq!(ytr.len(), 70);
@@ -154,8 +170,15 @@ mod tests {
     fn unshuffled_split_is_time_ordered() {
         let (x, y) = toy();
         let mut rng = SmallRng::seed_from_u64(1);
-        let ((xtr, _), (xte, _)) =
-            train_test_split(&x, &y, SplitConfig { train_fraction: 0.5, shuffle: false }, &mut rng);
+        let ((xtr, _), (xte, _)) = train_test_split(
+            &x,
+            &y,
+            SplitConfig {
+                train_fraction: 0.5,
+                shuffle: false,
+            },
+            &mut rng,
+        );
         assert_eq!(xtr[0][0], 0.0);
         assert_eq!(xtr[49][0], 49.0);
         assert_eq!(xte[0][0], 50.0);

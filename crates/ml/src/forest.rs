@@ -25,7 +25,11 @@ impl Default for ForestConfig {
     fn default() -> Self {
         ForestConfig {
             n_trees: 100,
-            tree: TreeConfig { max_depth: 16, min_samples_leaf: 2, ..Default::default() },
+            tree: TreeConfig {
+                max_depth: 16,
+                min_samples_leaf: 2,
+                ..Default::default()
+            },
             class_weight: None,
             bootstrap_fraction: 1.0,
         }
@@ -63,9 +67,12 @@ impl RandomForest {
         config: ForestConfig,
         rng: &mut R,
     ) -> RandomForest {
+        let _span = obs::span!("ml.forest.fit");
         assert!(!x.is_empty(), "cannot fit on an empty data set");
         assert_eq!(x.len(), y.len());
         assert_eq!(x.len(), weights.len());
+        obs::counter("ml.forest.fits").inc();
+        obs::observe("ml.forest.fit.examples", x.len() as f64);
         let n_features = x[0].len();
         let mut tree_cfg = config.tree;
         if tree_cfg.max_features.is_none() {
@@ -80,7 +87,9 @@ impl RandomForest {
                 .collect(),
         };
 
-        let n_boot = ((x.len() as f64) * config.bootstrap_fraction).round().max(1.0) as usize;
+        let n_boot = ((x.len() as f64) * config.bootstrap_fraction)
+            .round()
+            .max(1.0) as usize;
         // Seed per-tree RNGs up front so training is deterministic given
         // the caller's RNG, then train trees independently in parallel.
         let seeds: Vec<u64> = (0..config.n_trees).map(|_| rng.gen()).collect();
@@ -102,10 +111,17 @@ impl RandomForest {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("tree training panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tree training panicked"))
+                .collect()
         });
 
-        RandomForest { trees, n_classes, n_features }
+        RandomForest {
+            trees,
+            n_classes,
+            n_features,
+        }
     }
 
     /// Number of trees.
@@ -128,7 +144,11 @@ impl RandomForest {
         {
             return Err("trees disagree on shape".into());
         }
-        Ok(RandomForest { trees, n_classes, n_features })
+        Ok(RandomForest {
+            trees,
+            n_classes,
+            n_features,
+        })
     }
 
     /// Number of input features.
@@ -138,6 +158,7 @@ impl RandomForest {
 
     /// Probability estimate: average of the trees' leaf distributions.
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        obs::counter("ml.forest.predictions").inc();
         let mut p = vec![0.0; self.n_classes];
         for t in &self.trees {
             for (acc, &v) in p.iter_mut().zip(t.predict_proba(x)) {
@@ -269,7 +290,10 @@ mod tests {
         let (x, y) = nonlinear(400);
         let forest = RandomForest::fit(&x, &y, 2, ForestConfig::default(), &mut rng());
         let imp = forest.feature_importances(&x, &y);
-        assert!(imp[2] < imp[0] && imp[2] < imp[1], "noise importance {imp:?}");
+        assert!(
+            imp[2] < imp[0] && imp[2] < imp[1],
+            "noise importance {imp:?}"
+        );
     }
 
     #[test]
@@ -285,14 +309,25 @@ mod tests {
         }
         let mut cw = [1.0; 8];
         cw[1] = 20.0;
-        let cfg = ForestConfig { class_weight: Some(cw), ..Default::default() };
+        let cfg = ForestConfig {
+            class_weight: Some(cw),
+            ..Default::default()
+        };
         let weighted = RandomForest::fit(&x, &y, 2, cfg, &mut rng());
         let recall = |f: &RandomForest| {
             let preds = f.predict_batch(&x);
-            let tp = preds.iter().zip(&y).filter(|&(&p, &l)| p == 1 && l == 1).count();
+            let tp = preds
+                .iter()
+                .zip(&y)
+                .filter(|&(&p, &l)| p == 1 && l == 1)
+                .count();
             tp as f64 / y.iter().filter(|&&l| l == 1).count() as f64
         };
-        assert!(recall(&weighted) > 0.9, "weighted recall {}", recall(&weighted));
+        assert!(
+            recall(&weighted) > 0.9,
+            "weighted recall {}",
+            recall(&weighted)
+        );
     }
 
     #[test]
@@ -313,7 +348,10 @@ mod tests {
         let x = vec![vec![0.0], vec![0.0]];
         let y = vec![0, 1];
         let w = vec![0.05, 5.0];
-        let cfg = ForestConfig { n_trees: 21, ..Default::default() };
+        let cfg = ForestConfig {
+            n_trees: 21,
+            ..Default::default()
+        };
         let forest = RandomForest::fit_weighted(&x, &y, &w, 2, cfg, &mut rng());
         assert_eq!(forest.predict(&[0.0]), 1);
     }

@@ -18,7 +18,12 @@ impl KnnClassifier {
         assert!(!x.is_empty(), "k-NN needs at least one training sample");
         assert_eq!(x.len(), y.len());
         assert!(k >= 1);
-        KnnClassifier { x: x.to_vec(), y: y.to_vec(), k, n_classes }
+        KnnClassifier {
+            x: x.to_vec(),
+            y: y.to_vec(),
+            k,
+            n_classes,
+        }
     }
 
     /// The `k` in use (clamped to the training-set size at query time).
@@ -75,13 +80,7 @@ mod tests {
     #[test]
     fn k_votes_smooth_noise() {
         // One mislabeled point surrounded by correct ones.
-        let x = vec![
-            vec![0.0],
-            vec![0.1],
-            vec![0.2],
-            vec![0.15],
-            vec![5.0],
-        ];
+        let x = vec![vec![0.0], vec![0.1], vec![0.2], vec![0.15], vec![5.0]];
         let y = vec![0, 0, 0, 1, 1];
         let knn = KnnClassifier::fit(&x, &y, 2, 3);
         assert_eq!(knn.predict(&[0.12]), 0, "majority of 3 neighbours wins");

@@ -13,7 +13,10 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(n: usize) -> Matrix {
-        Matrix { n, data: vec![0.0; n * n] }
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Identity matrix.
@@ -29,7 +32,10 @@ impl Matrix {
     pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
         let n = rows.len();
         assert!(rows.iter().all(|r| r.len() == n), "matrix must be square");
-        Matrix { n, data: rows.iter().flatten().copied().collect() }
+        Matrix {
+            n,
+            data: rows.iter().flatten().copied().collect(),
+        }
     }
 
     /// Matrix-vector product.
@@ -74,7 +80,12 @@ impl Matrix {
                 }
             }
         }
-        Some(Lu { n, lu: a, perm, sign })
+        Some(Lu {
+            n,
+            lu: a,
+            perm,
+            sign,
+        })
     }
 
     /// Inverse via LU. `None` for singular matrices.

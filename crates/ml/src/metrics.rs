@@ -17,7 +17,11 @@ pub struct Confusion {
 impl Confusion {
     /// Tally predictions against labels (both 0/1).
     pub fn from_predictions(labels: &[usize], preds: &[usize]) -> Confusion {
-        assert_eq!(labels.len(), preds.len(), "label/prediction length mismatch");
+        assert_eq!(
+            labels.len(),
+            preds.len(),
+            "label/prediction length mismatch"
+        );
         let mut c = Confusion::default();
         for (&y, &p) in labels.iter().zip(preds) {
             match (y, p) {
@@ -87,7 +91,11 @@ impl Confusion {
 
     /// The three headline numbers as a struct.
     pub fn metrics(&self) -> BinaryMetrics {
-        BinaryMetrics { precision: self.precision(), recall: self.recall(), f1: self.f1() }
+        BinaryMetrics {
+            precision: self.precision(),
+            recall: self.recall(),
+            f1: self.f1(),
+        }
     }
 }
 
@@ -126,13 +134,26 @@ mod tests {
     #[test]
     fn counts_are_correct() {
         let c = confusion(&[1, 1, 0, 0, 1, 0], &[1, 0, 1, 0, 1, 0]);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, fn_: 1, tn: 2 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                fn_: 1,
+                tn: 2
+            }
+        );
         assert_eq!(c.total(), 6);
     }
 
     #[test]
     fn metrics_match_hand_computation() {
-        let c = Confusion { tp: 90, fp: 10, fn_: 5, tn: 95 };
+        let c = Confusion {
+            tp: 90,
+            fp: 10,
+            fn_: 5,
+            tn: 95,
+        };
         assert!((c.precision() - 0.9).abs() < 1e-12);
         assert!((c.recall() - 90.0 / 95.0).abs() < 1e-12);
         let p = 0.9;
@@ -143,11 +164,21 @@ mod tests {
 
     #[test]
     fn degenerate_cases() {
-        let none_predicted = Confusion { tp: 0, fp: 0, fn_: 3, tn: 7 };
+        let none_predicted = Confusion {
+            tp: 0,
+            fp: 0,
+            fn_: 3,
+            tn: 7,
+        };
         assert_eq!(none_predicted.precision(), 1.0);
         assert_eq!(none_predicted.recall(), 0.0);
         assert_eq!(none_predicted.f1(), 0.0);
-        let no_positives = Confusion { tp: 0, fp: 0, fn_: 0, tn: 10 };
+        let no_positives = Confusion {
+            tp: 0,
+            fp: 0,
+            fn_: 0,
+            tn: 10,
+        };
         assert_eq!(no_positives.recall(), 1.0);
         assert_eq!(Confusion::default().accuracy(), 1.0);
     }

@@ -63,10 +63,18 @@ impl Mlp {
         let scale1 = (2.0 / d as f64).sqrt();
         let scale2 = (2.0 / h as f64).sqrt();
         let mut w1: Vec<Vec<f64>> = (0..h)
-            .map(|_| (0..=d).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale1).collect())
+            .map(|_| {
+                (0..=d)
+                    .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale1)
+                    .collect()
+            })
             .collect();
         let mut w2: Vec<Vec<f64>> = (0..n_classes)
-            .map(|_| (0..=h).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale2).collect())
+            .map(|_| {
+                (0..=h)
+                    .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale2)
+                    .collect()
+            })
             .collect();
         let mut v1 = vec![vec![0.0; d + 1]; h];
         let mut v2 = vec![vec![0.0; h + 1]; n_classes];
@@ -81,17 +89,13 @@ impl Mlp {
                     backprop(&x[i], y[i], &w1, &w2, &mut g1, &mut g2);
                 }
                 let lr = config.learning_rate / batch.len() as f64;
-                for (wr, (vr, gr)) in
-                    w1.iter_mut().zip(v1.iter_mut().zip(&g1))
-                {
+                for (wr, (vr, gr)) in w1.iter_mut().zip(v1.iter_mut().zip(&g1)) {
                     for ((w, v), &g) in wr.iter_mut().zip(vr.iter_mut()).zip(gr) {
                         *v = config.momentum * *v - lr * (g + config.weight_decay * *w);
                         *w += *v;
                     }
                 }
-                for (wr, (vr, gr)) in
-                    w2.iter_mut().zip(v2.iter_mut().zip(&g2))
-                {
+                for (wr, (vr, gr)) in w2.iter_mut().zip(v2.iter_mut().zip(&g2)) {
                     for ((w, v), &g) in wr.iter_mut().zip(vr.iter_mut()).zip(gr) {
                         *v = config.momentum * *v - lr * (g + config.weight_decay * *w);
                         *w += *v;
@@ -111,8 +115,7 @@ impl Mlp {
 fn hidden_activations(x: &[f64], w1: &[Vec<f64>]) -> Vec<f64> {
     w1.iter()
         .map(|wr| {
-            let z: f64 =
-                wr[..x.len()].iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + wr[x.len()];
+            let z: f64 = wr[..x.len()].iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + wr[x.len()];
             z.max(0.0) // ReLU
         })
         .collect()
@@ -121,7 +124,11 @@ fn hidden_activations(x: &[f64], w1: &[Vec<f64>]) -> Vec<f64> {
 fn output_scores(hidden: &[f64], w2: &[Vec<f64>]) -> Vec<f64> {
     w2.iter()
         .map(|wr| {
-            wr[..hidden.len()].iter().zip(hidden).map(|(w, v)| w * v).sum::<f64>()
+            wr[..hidden.len()]
+                .iter()
+                .zip(hidden)
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
                 + wr[hidden.len()]
         })
         .collect()
@@ -140,8 +147,11 @@ fn backprop(
     let scores = output_scores(&hidden, w2);
     let probs = softmax_from_log(&scores);
     // d(loss)/d(score_c) = p_c - 1[c == y]
-    let dscore: Vec<f64> =
-        probs.iter().enumerate().map(|(c, &p)| p - f64::from(c == y)).collect();
+    let dscore: Vec<f64> = probs
+        .iter()
+        .enumerate()
+        .map(|(c, &p)| p - f64::from(c == y))
+        .collect();
     for (c, &ds) in dscore.iter().enumerate() {
         for (j, &hv) in hidden.iter().enumerate() {
             g2[c][j] += ds * hv;
@@ -191,7 +201,12 @@ mod tests {
             y.push(usize::from(a + b > 0.0));
         }
         let mlp = Mlp::fit(&x, &y, 2, MlpConfig::default(), &mut rng());
-        let acc = mlp.predict_batch(&x).iter().zip(&y).filter(|(p, y)| p == y).count() as f64
+        let acc = mlp
+            .predict_batch(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, y)| p == y)
+            .count() as f64
             / y.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
@@ -206,9 +221,18 @@ mod tests {
             x.push(vec![a, b]);
             y.push(usize::from((a > 0.0) != (b > 0.0)));
         }
-        let cfg = MlpConfig { epochs: 200, hidden: 16, ..Default::default() };
+        let cfg = MlpConfig {
+            epochs: 200,
+            hidden: 16,
+            ..Default::default()
+        };
         let mlp = Mlp::fit(&x, &y, 2, cfg, &mut rng());
-        let acc = mlp.predict_batch(&x).iter().zip(&y).filter(|(p, y)| p == y).count() as f64
+        let acc = mlp
+            .predict_batch(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, y)| p == y)
+            .count() as f64
             / y.len() as f64;
         assert!(acc > 0.9, "xor accuracy {acc}");
     }
@@ -217,7 +241,16 @@ mod tests {
     fn probabilities_form_distribution() {
         let x = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5]];
         let y = vec![0, 1, 0];
-        let mlp = Mlp::fit(&x, &y, 2, MlpConfig { epochs: 5, ..Default::default() }, &mut rng());
+        let mlp = Mlp::fit(
+            &x,
+            &y,
+            2,
+            MlpConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
         for xi in &x {
             let p = mlp.predict_proba(xi);
             assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);

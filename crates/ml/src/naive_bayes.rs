@@ -52,16 +52,30 @@ impl GaussianNb {
         };
         for (c, vr) in var.iter_mut().enumerate() {
             for v in vr.iter_mut() {
-                *v = if count[c] > 0 { *v / count[c] as f64 } else { 0.0 };
+                *v = if count[c] > 0 {
+                    *v / count[c] as f64
+                } else {
+                    0.0
+                };
                 *v = v.max(VAR_FLOOR * global_scale);
             }
         }
         let n = x.len() as f64;
         let log_prior = count
             .iter()
-            .map(|&c| if c == 0 { f64::NEG_INFINITY } else { (c as f64 / n).ln() })
+            .map(|&c| {
+                if c == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (c as f64 / n).ln()
+                }
+            })
             .collect();
-        GaussianNb { log_prior, mean, var }
+        GaussianNb {
+            log_prior,
+            mean,
+            var,
+        }
     }
 
     fn log_likelihoods(&self, x: &[f64]) -> Vec<f64> {
@@ -153,7 +167,12 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_blow_up() {
-        let x = vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 5.0], vec![1.0, 6.0]];
+        let x = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 5.0],
+            vec![1.0, 6.0],
+        ];
         let y = vec![0, 0, 1, 1];
         let nb = GaussianNb::fit(&x, &y, 2);
         let p = nb.predict_proba(&[1.0, 5.5]);

@@ -37,7 +37,10 @@ pub struct Lines<'a> {
 impl<'a> Lines<'a> {
     /// Wrap a source string.
     pub fn new(src: &'a str) -> Lines<'a> {
-        Lines { iter: src.lines(), line_no: 0 }
+        Lines {
+            iter: src.lines(),
+            line_no: 0,
+        }
     }
 
     /// Next non-empty line.
@@ -68,13 +71,19 @@ impl<'a> Lines<'a> {
     pub fn fields<T: std::str::FromStr>(&mut self) -> Result<Vec<T>, PersistError> {
         let l = self.next_line()?;
         l.split_whitespace()
-            .map(|f| f.parse().map_err(|_| err(format!("cannot parse '{f}' in '{l}'"))))
+            .map(|f| {
+                f.parse()
+                    .map_err(|_| err(format!("cannot parse '{f}' in '{l}'")))
+            })
             .collect()
     }
 }
 
 fn floats(v: &[f64]) -> String {
-    v.iter().map(|x| format!("{x:?}")).collect::<Vec<_>>().join(" ")
+    v.iter()
+        .map(|x| format!("{x:?}"))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 // ---------- decision trees ----------
@@ -94,7 +103,13 @@ pub fn tree_to_text(tree: &DecisionTree) -> String {
             Node::Leaf { proba } => {
                 let _ = writeln!(out, "L {}", floats(proba));
             }
-            Node::Split { feature, threshold, left, right, proba } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+                proba,
+            } => {
                 let _ = writeln!(
                     out,
                     "S {feature} {threshold:?} {left} {right} {}",
@@ -113,12 +128,18 @@ pub fn tree_from_lines(lines: &mut Lines<'_>) -> Result<DecisionTree, PersistErr
     if parts.next() != Some("tree") {
         return Err(err(format!("expected tree header, found '{header}'")));
     }
-    let n_classes: usize =
-        parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| err("bad n_classes"))?;
-    let n_features: usize =
-        parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| err("bad n_features"))?;
-    let n_nodes: usize =
-        parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| err("bad node count"))?;
+    let n_classes: usize = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| err("bad n_classes"))?;
+    let n_features: usize = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| err("bad n_features"))?;
+    let n_nodes: usize = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| err("bad node count"))?;
     let mut nodes = Vec::with_capacity(n_nodes);
     for _ in 0..n_nodes {
         let l = lines.next_line()?;
@@ -156,7 +177,13 @@ pub fn tree_from_lines(lines: &mut Lines<'_>) -> Result<DecisionTree, PersistErr
                 if left >= n_nodes || right >= n_nodes {
                     return Err(err(format!("child index out of range in '{l}'")));
                 }
-                nodes.push(Node::Split { feature, threshold, left, right, proba });
+                nodes.push(Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    proba,
+                });
             }
             _ => return Err(err(format!("unknown node line '{l}'"))),
         }
@@ -234,15 +261,21 @@ fn kernel_from_text(s: &str) -> Result<Kernel, PersistError> {
     let mut f = s.split_whitespace();
     match f.next() {
         Some("rbf") => {
-            let gamma =
-                f.next().and_then(|x| x.parse().ok()).ok_or_else(|| err("bad gamma"))?;
+            let gamma = f
+                .next()
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| err("bad gamma"))?;
             Ok(Kernel::Rbf { gamma })
         }
         Some("poly") => {
-            let degree =
-                f.next().and_then(|x| x.parse().ok()).ok_or_else(|| err("bad degree"))?;
-            let scale =
-                f.next().and_then(|x| x.parse().ok()).ok_or_else(|| err("bad scale"))?;
+            let degree = f
+                .next()
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| err("bad degree"))?;
+            let scale = f
+                .next()
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| err("bad scale"))?;
             Ok(Kernel::Poly { degree, scale })
         }
         _ => Err(err(format!("unknown kernel '{s}'"))),
@@ -314,8 +347,7 @@ mod tests {
         let (x, y) = data();
         let w = vec![1.0; x.len()];
         let mut rng = SmallRng::seed_from_u64(1);
-        let tree =
-            DecisionTree::fit(&x, &y, &w, 2, crate::tree::TreeConfig::default(), &mut rng);
+        let tree = DecisionTree::fit(&x, &y, &w, 2, crate::tree::TreeConfig::default(), &mut rng);
         let text = tree_to_text(&tree);
         let back = tree_from_lines(&mut Lines::new(&text)).unwrap();
         for xi in &x {
@@ -331,7 +363,10 @@ mod tests {
             &x,
             &y,
             2,
-            ForestConfig { n_trees: 9, ..Default::default() },
+            ForestConfig {
+                n_trees: 9,
+                ..Default::default()
+            },
             &mut rng,
         );
         let text = forest_to_text(&f);
@@ -365,8 +400,14 @@ mod tests {
         for xi in &x {
             assert_eq!(m.decision(xi), back.decision(xi));
         }
-        let poly =
-            OneClassSvmSmo::fit(&x, Kernel::Poly { degree: 3, scale: 2.0 }, SmoConfig::default());
+        let poly = OneClassSvmSmo::fit(
+            &x,
+            Kernel::Poly {
+                degree: 3,
+                scale: 2.0,
+            },
+            SmoConfig::default(),
+        );
         let text = svm_to_text(&poly);
         let back = svm_from_lines(&mut Lines::new(&text)).unwrap();
         assert_eq!(poly.decision(&x[0]), back.decision(&x[0]));
@@ -380,8 +421,6 @@ mod tests {
         // Truncated file.
         assert!(forest_from_lines(&mut Lines::new("forest 3\n")).is_err());
         // Child index out of range.
-        assert!(
-            tree_from_lines(&mut Lines::new("tree 2 1 1\nS 0 1.0 5 6 0.5 0.5")).is_err()
-        );
+        assert!(tree_from_lines(&mut Lines::new("tree 2 1 1\nS 0 1.0 5 6 0.5 0.5")).is_err());
     }
 }

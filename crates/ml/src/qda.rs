@@ -29,8 +29,12 @@ impl Qda {
         let mut precision = Vec::with_capacity(n_classes);
         let mut log_det = Vec::with_capacity(n_classes);
         for c in 0..n_classes {
-            let rows: Vec<&Vec<f64>> =
-                x.iter().zip(y).filter(|(_, &yi)| yi == c).map(|(xi, _)| xi).collect();
+            let rows: Vec<&Vec<f64>> = x
+                .iter()
+                .zip(y)
+                .filter(|(_, &yi)| yi == c)
+                .map(|(xi, _)| xi)
+                .collect();
             if rows.is_empty() {
                 log_prior.push(f64::NEG_INFINITY);
                 mean.push(vec![0.0; d]);
@@ -67,8 +71,7 @@ impl Qda {
                     cov[(j, i)] = v;
                 }
             }
-            let avg_var =
-                ((0..d).map(|i| cov[(i, i)]).sum::<f64>() / d as f64).max(1e-9);
+            let avg_var = ((0..d).map(|i| cov[(i, i)]).sum::<f64>() / d as f64).max(1e-9);
             for i in 0..d {
                 for j in 0..d {
                     let target = if i == j { avg_var } else { 0.0 };
@@ -79,12 +82,19 @@ impl Qda {
             }
             let lu = cov.lu().expect("regularized covariance must be invertible");
             let (ld, _) = lu.log_abs_det();
-            let inv = cov.inverse().expect("regularized covariance must be invertible");
+            let inv = cov
+                .inverse()
+                .expect("regularized covariance must be invertible");
             mean.push(mu);
             precision.push(inv);
             log_det.push(ld);
         }
-        Qda { log_prior, mean, precision, log_det }
+        Qda {
+            log_prior,
+            mean,
+            precision,
+            log_det,
+        }
     }
 
     fn discriminants(&self, x: &[f64]) -> Vec<f64> {
@@ -95,8 +105,7 @@ impl Qda {
                 if lp == f64::NEG_INFINITY {
                     return f64::NEG_INFINITY;
                 }
-                let diff: Vec<f64> =
-                    x.iter().zip(&self.mean[c]).map(|(&v, &m)| v - m).collect();
+                let diff: Vec<f64> = x.iter().zip(&self.mean[c]).map(|(&v, &m)| v - m).collect();
                 let pd = self.precision[c].mul_vec(&diff);
                 let maha: f64 = diff.iter().zip(&pd).map(|(a, b)| a * b).sum();
                 lp - 0.5 * (maha + self.log_det[c])
@@ -148,7 +157,12 @@ mod tests {
         assert_eq!(qda.predict(&[0.05, 0.02]), 0);
         // ...far points to the wide class.
         assert_eq!(qda.predict(&[2.5, -2.0]), 1);
-        let acc = qda.predict_batch(&x).iter().zip(&y).filter(|(p, y)| p == y).count() as f64
+        let acc = qda
+            .predict_batch(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, y)| p == y)
+            .count() as f64
             / y.len() as f64;
         assert!(acc > 0.85, "accuracy {acc}");
     }

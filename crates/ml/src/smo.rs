@@ -30,7 +30,11 @@ pub struct SmoConfig {
 
 impl Default for SmoConfig {
     fn default() -> Self {
-        SmoConfig { nu: 0.05, tolerance: 1e-4, max_iterations: 20_000 }
+        SmoConfig {
+            nu: 0.05,
+            tolerance: 1e-4,
+            max_iterations: 20_000,
+        }
     }
 }
 
@@ -47,7 +51,10 @@ impl OneClassSvmSmo {
     /// Train on (unlabeled) inlier data.
     pub fn fit(x: &[Vec<f64>], kernel: Kernel, config: SmoConfig) -> OneClassSvmSmo {
         assert!(!x.is_empty(), "one-class SVM needs training data");
-        assert!((0.0 < config.nu) && (config.nu < 1.0), "nu must be in (0,1)");
+        assert!(
+            (0.0 < config.nu) && (config.nu < 1.0),
+            "nu must be in (0,1)"
+        );
         let n = x.len();
         let c = 1.0 / (config.nu * n as f64);
 
@@ -82,18 +89,16 @@ impl OneClassSvmSmo {
             let mut i_up: Option<usize> = None; // min gradient among α < C
             let mut j_down: Option<usize> = None; // max gradient among α > 0
             for k in 0..n {
-                if alpha[k] < c - 1e-12
-                    && i_up.is_none_or(|i| grad[k] < grad[i])
-                {
+                if alpha[k] < c - 1e-12 && i_up.is_none_or(|i| grad[k] < grad[i]) {
                     i_up = Some(k);
                 }
-                if alpha[k] > 1e-12
-                    && j_down.is_none_or(|j| grad[k] > grad[j])
-                {
+                if alpha[k] > 1e-12 && j_down.is_none_or(|j| grad[k] > grad[j]) {
                     j_down = Some(k);
                 }
             }
-            let (Some(i), Some(j)) = (i_up, j_down) else { break };
+            let (Some(i), Some(j)) = (i_up, j_down) else {
+                break;
+            };
             if grad[j] - grad[i] < config.tolerance {
                 break; // KKT satisfied
             }
@@ -133,7 +138,12 @@ impl OneClassSvmSmo {
                 alphas.push(alpha[k]);
             }
         }
-        OneClassSvmSmo { support_vectors, alphas, kernel, rho }
+        OneClassSvmSmo {
+            support_vectors,
+            alphas,
+            kernel,
+            rho,
+        }
     }
 
     /// Decision value `f(x) = Σ α_i K(sv_i, x) − ρ` (≥ 0 ⇒ inlier).
@@ -185,7 +195,12 @@ impl OneClassSvmSmo {
         if support_vectors.is_empty() {
             return Err("a one-class SVM needs at least one support vector".into());
         }
-        Ok(OneClassSvmSmo { support_vectors, alphas, kernel, rho })
+        Ok(OneClassSvmSmo {
+            support_vectors,
+            alphas,
+            kernel,
+            rho,
+        })
     }
 }
 
@@ -206,11 +221,7 @@ mod tests {
     #[test]
     fn separates_inliers_from_far_outliers() {
         let train = blob(0.0, 120);
-        let svm = OneClassSvmSmo::fit(
-            &train,
-            Kernel::Rbf { gamma: 1.0 },
-            SmoConfig::default(),
-        );
+        let svm = OneClassSvmSmo::fit(&train, Kernel::Rbf { gamma: 1.0 }, SmoConfig::default());
         assert!(svm.is_inlier(&[0.0, 0.0]));
         assert!(svm.is_novel(&[6.0, 6.0]));
         assert!(svm.is_novel(&[-5.0, 4.0]));
@@ -226,7 +237,10 @@ mod tests {
             let svm = OneClassSvmSmo::fit(
                 &train,
                 Kernel::Rbf { gamma: 0.8 },
-                SmoConfig { nu, ..Default::default() },
+                SmoConfig {
+                    nu,
+                    ..Default::default()
+                },
             );
             let outliers =
                 train.iter().filter(|p| svm.is_novel(p)).count() as f64 / train.len() as f64;
@@ -248,7 +262,10 @@ mod tests {
         let svm = OneClassSvmSmo::fit(
             &train,
             Kernel::Rbf { gamma: 1.0 },
-            SmoConfig { nu: 0.05, ..Default::default() },
+            SmoConfig {
+                nu: 0.05,
+                ..Default::default()
+            },
         );
         assert!(
             svm.n_support() < train.len() / 2,
@@ -265,7 +282,10 @@ mod tests {
         let svm = OneClassSvmSmo::fit(
             &train,
             Kernel::Rbf { gamma: 0.5 },
-            SmoConfig { nu, ..Default::default() },
+            SmoConfig {
+                nu,
+                ..Default::default()
+            },
         );
         let c = 1.0 / (nu * train.len() as f64);
         let sum: f64 = svm.alphas.iter().sum();
@@ -280,7 +300,10 @@ mod tests {
         let train = blob(1.0, 100);
         let svm = OneClassSvmSmo::fit(
             &train,
-            Kernel::Poly { degree: 2, scale: 2.0 },
+            Kernel::Poly {
+                degree: 2,
+                scale: 2.0,
+            },
             SmoConfig::default(),
         );
         // The training region is accepted. Note: with an even degree the
@@ -295,7 +318,10 @@ mod tests {
         let svm = OneClassSvmSmo::fit(
             &[vec![1.0, 2.0]],
             Kernel::Rbf { gamma: 1.0 },
-            SmoConfig { nu: 0.5, ..Default::default() },
+            SmoConfig {
+                nu: 0.5,
+                ..Default::default()
+            },
         );
         assert!(svm.is_inlier(&[1.0, 2.0]));
         assert!(svm.decision(&[100.0, 100.0]) < svm.decision(&[1.0, 2.0]));

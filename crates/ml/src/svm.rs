@@ -61,8 +61,11 @@ impl OneClassSvm {
     pub fn fit(x: &[Vec<f64>], kernel: Kernel, nu: f64) -> OneClassSvm {
         assert!(!x.is_empty(), "one-class model needs training data");
         assert!((0.0..1.0).contains(&nu), "nu must be in (0,1)");
-        let mut model =
-            OneClassSvm { train: x.to_vec(), kernel, threshold: f64::NEG_INFINITY };
+        let mut model = OneClassSvm {
+            train: x.to_vec(),
+            kernel,
+            threshold: f64::NEG_INFINITY,
+        };
         let mut scores: Vec<f64> = x.iter().map(|xi| model.score(xi)).collect();
         scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let idx = ((scores.len() as f64) * nu).floor() as usize;
@@ -135,7 +138,14 @@ mod tests {
         // the global polynomial shrugs.
         let train = blob(1.0, 100);
         let rbf = OneClassSvm::fit(&train, Kernel::Rbf { gamma: 2.0 }, 0.05);
-        let poly = OneClassSvm::fit(&train, Kernel::Poly { degree: 2, scale: 2.0 }, 0.05);
+        let poly = OneClassSvm::fit(
+            &train,
+            Kernel::Poly {
+                degree: 2,
+                scale: 2.0,
+            },
+            0.05,
+        );
         let probes = blob(2.2, 40);
         let rbf_novel = probes.iter().filter(|p| rbf.is_novel(p)).count();
         let poly_novel = probes.iter().filter(|p| poly.is_novel(p)).count();
@@ -150,9 +160,18 @@ mod tests {
         let a = vec![1.0, 0.0];
         let b = vec![0.0, 1.0];
         let rbf = Kernel::Rbf { gamma: 1.0 };
-        assert!((rbf.eval(&a, &a) - 1.0).abs() < 1e-12, "rbf self-similarity is 1");
+        assert!(
+            (rbf.eval(&a, &a) - 1.0).abs() < 1e-12,
+            "rbf self-similarity is 1"
+        );
         assert!(rbf.eval(&a, &b) < 1.0);
-        let poly = Kernel::Poly { degree: 2, scale: 1.0 };
-        assert!((poly.eval(&a, &b) - 1.0).abs() < 1e-12, "orthogonal → (0+1)^2");
+        let poly = Kernel::Poly {
+            degree: 2,
+            scale: 1.0,
+        };
+        assert!(
+            (poly.eval(&a, &b) - 1.0).abs() < 1e-12,
+            "orthogonal → (0+1)^2"
+        );
     }
 }

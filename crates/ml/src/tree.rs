@@ -89,10 +89,16 @@ impl DecisionTree {
         assert!(!x.is_empty(), "cannot fit on an empty data set");
         assert_eq!(x.len(), y.len());
         assert_eq!(x.len(), weights.len());
-        debug_assert!(y.iter().all(|&c| c < n_classes), "labels must be < n_classes");
+        debug_assert!(
+            y.iter().all(|&c| c < n_classes),
+            "labels must be < n_classes"
+        );
         let n_features = x[0].len();
-        let mut tree =
-            DecisionTree { nodes: Vec::new(), n_classes, n_features };
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes,
+            n_features,
+        };
         let indices: Vec<usize> = (0..x.len()).collect();
         tree.build(x, y, weights, indices, 0, config, rng);
         tree
@@ -115,22 +121,36 @@ impl DecisionTree {
         let stop = depth >= config.max_depth
             || indices.len() < 2 * config.min_samples_leaf
             || node_gini <= 1e-12;
-        let split = if stop { None } else { self.best_split(x, y, w, &indices, config, rng) };
+        let split = if stop {
+            None
+        } else {
+            self.best_split(x, y, w, &indices, config, rng)
+        };
 
         match split {
             None => {
                 self.nodes.push(Node::Leaf { proba });
                 self.nodes.len() - 1
             }
-            Some(BestSplit { feature, threshold, .. }) => {
+            Some(BestSplit {
+                feature, threshold, ..
+            }) => {
                 let (li, ri): (Vec<usize>, Vec<usize>) =
                     indices.iter().partition(|&&i| x[i][feature] <= threshold);
                 // Reserve our slot before children so child indices are known.
                 let me = self.nodes.len();
-                self.nodes.push(Node::Leaf { proba: proba.clone() }); // placeholder
+                self.nodes.push(Node::Leaf {
+                    proba: proba.clone(),
+                }); // placeholder
                 let left = self.build(x, y, w, li, depth + 1, config, rng);
                 let right = self.build(x, y, w, ri, depth + 1, config, rng);
-                self.nodes[me] = Node::Split { feature, threshold, left, right, proba };
+                self.nodes[me] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    proba,
+                };
                 me
             }
         }
@@ -159,7 +179,9 @@ impl DecisionTree {
         let mut sorted = indices.to_vec();
         for &f in &features {
             sorted.sort_unstable_by(|&a, &b| {
-                x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+                x[a][f]
+                    .partial_cmp(&x[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut left_counts = vec![0.0; self.n_classes];
             let mut left_w = 0.0;
@@ -237,19 +259,28 @@ impl DecisionTree {
             if node.proba().len() != n_classes {
                 return Err(format!("node {i}: probability arity mismatch"));
             }
-            if let Node::Split { feature, left, right, .. } = node {
+            if let Node::Split {
+                feature,
+                left,
+                right,
+                ..
+            } = node
+            {
                 if *feature >= n_features {
                     return Err(format!("node {i}: feature out of range"));
                 }
                 // Children must come after the parent (construction order),
                 // which also guarantees the walk terminates.
-                if *left <= i || *right <= i || *left >= nodes.len() || *right >= nodes.len()
-                {
+                if *left <= i || *right <= i || *left >= nodes.len() || *right >= nodes.len() {
                     return Err(format!("node {i}: invalid child indices"));
                 }
             }
         }
-        Ok(DecisionTree { nodes, n_classes, n_features })
+        Ok(DecisionTree {
+            nodes,
+            n_classes,
+            n_features,
+        })
     }
 
     /// Class-probability estimate for `x`.
@@ -258,8 +289,18 @@ impl DecisionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { proba } => return proba,
-                Node::Split { feature, threshold, left, right, .. } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -278,8 +319,18 @@ impl DecisionTree {
             path.push(&self.nodes[node]);
             match &self.nodes[node] {
                 Node::Leaf { .. } => return path,
-                Node::Split { feature, threshold, left, right, .. } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -313,8 +364,18 @@ impl DecisionTree {
                 reach[node] += 1.0;
                 match &self.nodes[node] {
                     Node::Leaf { .. } => break,
-                    Node::Split { feature, threshold, left, right, .. } => {
-                        node = if xi[*feature] <= *threshold { *left } else { *right };
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                        ..
+                    } => {
+                        node = if xi[*feature] <= *threshold {
+                            *left
+                        } else {
+                            *right
+                        };
                     }
                 }
             }
@@ -322,7 +383,14 @@ impl DecisionTree {
         let total = x.len() as f64;
         let mut imp = vec![0.0; self.n_features];
         for (ni, node) in self.nodes.iter().enumerate() {
-            if let Node::Split { feature, left, right, proba, .. } = node {
+            if let Node::Split {
+                feature,
+                left,
+                right,
+                proba,
+                ..
+            } = node
+            {
                 let wn = reach[ni] / total;
                 let wl = reach[*left] / total;
                 let wr = reach[*right] / total;
@@ -379,7 +447,10 @@ fn gini_from_counts(counts: &[f64], total: f64) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+    1.0 - counts
+        .iter()
+        .map(|c| (c / total) * (c / total))
+        .sum::<f64>()
 }
 
 impl crate::Classifier for DecisionTree {
@@ -450,7 +521,10 @@ mod tests {
     fn max_depth_zero_gives_single_leaf() {
         let (x, y) = blobs(50);
         let w = vec![1.0; x.len()];
-        let cfg = TreeConfig { max_depth: 0, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&x, &y, &w, 2, cfg, &mut rng());
         assert_eq!(tree.node_count(), 1);
         let p = tree.predict_proba(&x[0]);
@@ -463,12 +537,10 @@ mod tests {
         let x = vec![vec![0.0], vec![0.0]];
         let y = vec![0, 1];
         let heavy_one = vec![0.1, 10.0];
-        let tree =
-            DecisionTree::fit(&x, &y, &heavy_one, 2, TreeConfig::default(), &mut rng());
+        let tree = DecisionTree::fit(&x, &y, &heavy_one, 2, TreeConfig::default(), &mut rng());
         assert_eq!(tree.predict(&[0.0]), 1);
         let heavy_zero = vec![10.0, 0.1];
-        let tree =
-            DecisionTree::fit(&x, &y, &heavy_zero, 2, TreeConfig::default(), &mut rng());
+        let tree = DecisionTree::fit(&x, &y, &heavy_zero, 2, TreeConfig::default(), &mut rng());
         assert_eq!(tree.predict(&[0.0]), 0);
     }
 
@@ -517,7 +589,10 @@ mod tests {
     fn min_samples_leaf_is_respected() {
         let (x, y) = blobs(100);
         let w = vec![1.0; x.len()];
-        let cfg = TreeConfig { min_samples_leaf: 40, ..Default::default() };
+        let cfg = TreeConfig {
+            min_samples_leaf: 40,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&x, &y, &w, 2, cfg, &mut rng());
         // With 100 samples and min leaf 40, at most one split is possible.
         assert!(tree.node_count() <= 3);

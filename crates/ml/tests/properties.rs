@@ -15,10 +15,7 @@ use rand::SeedableRng;
 fn dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>)> {
     (4usize..40, 1usize..6).prop_flat_map(|(n, d)| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(-100.0f64..100.0, d..=d),
-                n..=n,
-            ),
+            proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, d..=d), n..=n),
             proptest::collection::vec(0usize..2, n..=n)
                 .prop_filter("both classes", |y| y.contains(&0) && y.contains(&1)),
         )

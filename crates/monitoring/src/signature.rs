@@ -206,7 +206,10 @@ mod tests {
         // Network-specific data sets are PhyNet's diagnostic core; generic
         // device health (CPU, temperature) is shared with other teams.
         let network_specific = |d: Dataset| {
-            !matches!(d, Dataset::CpuUsage | Dataset::Temperature | Dataset::DeviceReboots)
+            !matches!(
+                d,
+                Dataset::CpuUsage | Dataset::Temperature | Dataset::DeviceReboots
+            )
         };
         for kind in FaultKind::ALL {
             let max_net_shift = signature(kind)
@@ -222,7 +225,10 @@ mod tests {
             ) {
                 // NicFirmwarePanic is exempt by design: it is the drift
                 // family that *deliberately* mimics a network fault.
-                assert!(max_net_shift <= 4.0, "{kind:?} must not mimic a PhyNet fault");
+                assert!(
+                    max_net_shift <= 4.0,
+                    "{kind:?} must not mimic a PhyNet fault"
+                );
             }
         }
     }

@@ -54,6 +54,7 @@ impl<'a> MonitoringSystem<'a> {
         faults: &'a [Fault],
         config: MonitoringConfig,
     ) -> MonitoringSystem<'a> {
+        let _span = obs::span!("monitoring.system.build");
         let mut by_cluster: HashMap<ComponentId, Vec<usize>> = HashMap::new();
         for (i, f) in faults.iter().enumerate() {
             by_cluster.entry(f.scope.cluster()).or_default().push(i);
@@ -110,6 +111,7 @@ impl<'a> MonitoringSystem<'a> {
         device: ComponentId,
         window: (SimTime, SimTime),
     ) -> Option<Vec<f64>> {
+        obs::counter("monitoring.series.reads").inc();
         if !self.is_enabled(dataset)
             || dataset.data_type() != DataType::TimeSeries
             || !dataset.covers(self.topo.component(device).kind)
@@ -159,6 +161,7 @@ impl<'a> MonitoringSystem<'a> {
         device: ComponentId,
         window: (SimTime, SimTime),
     ) -> Vec<Event> {
+        obs::counter("monitoring.events.reads").inc();
         if !self.is_enabled(dataset)
             || dataset.data_type() != DataType::Event
             || !dataset.covers(self.topo.component(device).kind)

@@ -1,8 +1,8 @@
 //! Property-based tests for the monitoring plane.
 
 use cloudsim::{
-    ComponentId, ComponentKind, Fault, FaultKind, FaultScope, Severity, SimDuration, SimTime,
-    Team, Topology, TopologyConfig,
+    ComponentId, ComponentKind, Fault, FaultKind, FaultScope, Severity, SimDuration, SimTime, Team,
+    Topology, TopologyConfig,
 };
 use monitoring::{DataType, Dataset, MonitoringConfig, MonitoringSystem, SAMPLE_INTERVAL};
 use proptest::prelude::*;

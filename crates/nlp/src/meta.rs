@@ -55,17 +55,29 @@ impl MetaFeaturizer {
             })
             .collect();
         scored.sort_by(|x, y| {
-            y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal).then(x.0.cmp(&y.0))
+            y.1.partial_cmp(&x.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(x.0.cmp(&y.0))
         });
         scored.truncate(k);
         let words: Vec<String> = scored.into_iter().map(|(w, _)| w).collect();
-        let index = words.iter().cloned().enumerate().map(|(i, w)| (w, i)).collect();
+        let index = words
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, w)| (w, i))
+            .collect();
         MetaFeaturizer { words, index }
     }
 
     /// Rebuild from a saved word list (persistence).
     pub fn from_words(words: Vec<String>) -> MetaFeaturizer {
-        let index = words.iter().cloned().enumerate().map(|(i, w)| (w, i)).collect();
+        let index = words
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, w)| (w, i))
+            .collect();
         MetaFeaturizer { words, index }
     }
 
@@ -126,12 +138,16 @@ mod tests {
         let (texts, labels) = corpus();
         let mf = MetaFeaturizer::fit(&texts, &labels, 6);
         assert!(
-            mf.words().iter().any(|w| w == "switch" || w == "drops" || w == "tor"),
+            mf.words()
+                .iter()
+                .any(|w| w == "switch" || w == "drops" || w == "tor"),
             "positive-class words selected: {:?}",
             mf.words()
         );
         assert!(
-            mf.words().iter().any(|w| w == "storage" || w == "latency" || w == "disk"),
+            mf.words()
+                .iter()
+                .any(|w| w == "storage" || w == "latency" || w == "disk"),
             "negative-class words are discriminative too: {:?}",
             mf.words()
         );

@@ -77,16 +77,29 @@ impl NlpRouter {
         let n = descriptions.len() as f64;
         let log_prior = class_count
             .iter()
-            .map(|&c| if c == 0 { f64::NEG_INFINITY } else { (c as f64 / n).ln() })
+            .map(|&c| {
+                if c == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (c as f64 / n).ln()
+                }
+            })
             .collect();
         let log_likelihood = token_count
             .into_iter()
             .map(|counts| {
                 let total: f64 = counts.iter().sum::<f64>() + v as f64; // Laplace
-                counts.into_iter().map(|c| ((c + 1.0) / total).ln()).collect()
+                counts
+                    .into_iter()
+                    .map(|c| ((c + 1.0) / total).ln())
+                    .collect()
             })
             .collect();
-        NlpRouter { vocab, log_prior, log_likelihood }
+        NlpRouter {
+            vocab,
+            log_prior,
+            log_likelihood,
+        }
     }
 
     /// Number of teams.
@@ -129,7 +142,11 @@ impl NlpRouter {
                 band: ConfidenceBand::from_posterior(score),
             })
             .collect();
-        ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         ranked
     }
 
@@ -157,11 +174,17 @@ mod tests {
         let mut texts = Vec::new();
         let mut labels = Vec::new();
         for i in 0..30 {
-            texts.push(format!("packet loss on switch tor-{i} link corruption detected"));
+            texts.push(format!(
+                "packet loss on switch tor-{i} link corruption detected"
+            ));
             labels.push(0); // network
-            texts.push(format!("storage account timeout virtual disk latency stamp-{i}"));
+            texts.push(format!(
+                "storage account timeout virtual disk latency stamp-{i}"
+            ));
             labels.push(1); // storage
-            texts.push(format!("database query slow execution plan table lock id-{i}"));
+            texts.push(format!(
+                "database query slow execution plan table lock id-{i}"
+            ));
             labels.push(2); // database
         }
         (texts, labels, 3)
@@ -172,8 +195,16 @@ mod tests {
         let (texts, labels, n) = corpus();
         let router = NlpRouter::fit(&texts, &labels, n);
         assert_eq!(router.recommend("tor switch reporting packet loss").team, 0);
-        assert_eq!(router.recommend("virtual disk slow storage timeout").team, 1);
-        assert_eq!(router.recommend("query execution blocked on table lock").team, 2);
+        assert_eq!(
+            router.recommend("virtual disk slow storage timeout").team,
+            1
+        );
+        assert_eq!(
+            router
+                .recommend("query execution blocked on table lock")
+                .team,
+            2
+        );
     }
 
     #[test]

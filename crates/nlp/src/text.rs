@@ -11,7 +11,10 @@ pub fn tokenize(text: &str) -> Vec<String> {
     let mut cur = String::new();
     for c in text.chars() {
         if c.is_alphanumeric() {
-            cur.extend(c.to_lowercase());
+            // Some lowercase expansions emit combining marks (e.g. 'İ' →
+            // "i\u{307}"); keep only alphanumerics so tokens honor the
+            // advertised contract.
+            cur.extend(c.to_lowercase().filter(|lc| lc.is_alphanumeric()));
         } else if !cur.is_empty() {
             push_token(&mut out, std::mem::take(&mut cur));
         }
@@ -70,7 +73,11 @@ impl Vocabulary {
             index.insert(t.to_string(), i);
             df.push(d);
         }
-        Vocabulary { index, df, n_docs: docs.len() }
+        Vocabulary {
+            index,
+            df,
+            n_docs: docs.len(),
+        }
     }
 
     /// Vocabulary size.
@@ -148,7 +155,10 @@ mod tests {
     #[test]
     fn tokenizer_splits_machine_names() {
         let toks = tokenize("VM vm-3.c10.dc3 cannot reach storage");
-        assert_eq!(toks, vec!["vm", "vm", "c10", "dc3", "cannot", "reach", "storage"]);
+        assert_eq!(
+            toks,
+            vec!["vm", "vm", "c10", "dc3", "cannot", "reach", "storage"]
+        );
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! The prediction audit log.
+//!
+//! The paper's operators would not deploy a Scout they could not
+//! interrogate (§8): every routing decision must be reviewable after
+//! the fact. One [`AuditRecord`] is written per `Scout::predict_*`
+//! call, capturing what was decided, by which model, how confidently,
+//! which features drove it, and where the incident went.
+
+use crate::json::{Obj, Value};
+
+/// One prediction, as written to the audit sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditRecord {
+    /// Incident id.
+    pub incident: u64,
+    /// Which model decided (`RandomForest`, `CpdConservative`,
+    /// `CpdCluster`, `Exclusion`, `Fallback`).
+    pub model: String,
+    /// The verdict (`Responsible`, `NotResponsible`, `Fallback`).
+    pub verdict: String,
+    /// Confidence in `[0.5, 1]` for model verdicts, 1.0 for rules.
+    pub confidence: f64,
+    /// Top-k feature contributions, most influential first (signed:
+    /// positive pushes toward `Responsible`).
+    pub top_features: Vec<(String, f64)>,
+    /// Routing outcome (`route-here`, `route-away`, `legacy-process`).
+    pub outcome: String,
+}
+
+impl AuditRecord {
+    /// Encode as one JSONL line.
+    pub fn to_json(&self) -> String {
+        let mut feats = String::from("[");
+        for (i, (name, w)) in self.top_features.iter().enumerate() {
+            if i > 0 {
+                feats.push(',');
+            }
+            feats.push_str(&Obj::new().str("feature", name).num("weight", *w).finish());
+        }
+        feats.push(']');
+        Obj::new()
+            .str("type", "audit")
+            .uint("incident", self.incident)
+            .str("model", &self.model)
+            .str("verdict", &self.verdict)
+            .num("confidence", self.confidence)
+            .raw("top_features", &feats)
+            .str("outcome", &self.outcome)
+            .finish()
+    }
+
+    /// Decode one JSONL line; `None` for non-audit or malformed lines.
+    pub fn from_json(line: &str) -> Option<AuditRecord> {
+        let v = Value::parse(line)?;
+        if v.get("type")?.as_str()? != "audit" {
+            return None;
+        }
+        let top_features = v
+            .get("top_features")?
+            .as_arr()?
+            .iter()
+            .map(|f| {
+                Some((
+                    f.get("feature")?.as_str()?.to_string(),
+                    f.get("weight")?.as_f64()?,
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(AuditRecord {
+            incident: v.get("incident")?.as_f64()? as u64,
+            model: v.get("model")?.as_str()?.to_string(),
+            verdict: v.get("verdict")?.as_str()?.to_string(),
+            confidence: v.get("confidence")?.as_f64()?,
+            top_features,
+            outcome: v.get("outcome")?.as_str()?.to_string(),
+        })
+    }
+
+    /// Write this record to the global audit sink (no-op while
+    /// collection is disabled) and count it under
+    /// `scout.audit.records`.
+    pub fn emit(&self) {
+        if !crate::enabled() {
+            return;
+        }
+        let collector = crate::global();
+        collector.metrics.add_counter("scout.audit.records", 1);
+        if collector.has_audit_sink() {
+            collector.emit_audit(&self.to_json());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuditRecord {
+        AuditRecord {
+            incident: 42,
+            model: "RandomForest".into(),
+            verdict: "Responsible".into(),
+            confidence: 0.875,
+            top_features: vec![
+                ("switch/link-loss-status/mean".into(), 0.31),
+                ("text:reachability".into(), -0.12),
+            ],
+            outcome: "route-here".into(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let rec = sample();
+        let back = AuditRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn empty_features_round_trip() {
+        let rec = AuditRecord {
+            top_features: Vec::new(),
+            ..sample()
+        };
+        assert_eq!(AuditRecord::from_json(&rec.to_json()).unwrap(), rec);
+    }
+
+    #[test]
+    fn non_audit_lines_rejected() {
+        assert!(AuditRecord::from_json(r#"{"type":"span","name":"x"}"#).is_none());
+        assert!(AuditRecord::from_json("not json").is_none());
+    }
+}

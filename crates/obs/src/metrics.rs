@@ -1,0 +1,507 @@
+//! Counters, gauges and streaming histograms.
+//!
+//! The histogram is log-bucketed: bucket boundaries are taken from the
+//! top bits of the `f64` representation (7 mantissa bits → 128
+//! sub-buckets per octave, <1% relative error), so recording is O(log
+//! buckets), memory is bounded by the dynamic range actually seen, and
+//! merging two histograms is a bucket-wise count addition — exactly
+//! order-insensitive.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// How many low mantissa bits are discarded when bucketing. 45 keeps
+/// the sign, exponent, and top 7 mantissa bits.
+const BUCKET_SHIFT: u32 = 45;
+
+fn bucket_key(v: f64) -> i64 {
+    if v == 0.0 {
+        return 0;
+    }
+    let idx = (v.abs().to_bits() >> BUCKET_SHIFT) as i64 + 1;
+    if v.is_sign_negative() {
+        -idx
+    } else {
+        idx
+    }
+}
+
+/// A deterministic representative value for a bucket: the midpoint of
+/// its range. Depends only on the key, so percentiles computed from
+/// merged histograms do not depend on merge order.
+fn bucket_rep(key: i64) -> f64 {
+    if key == 0 {
+        return 0.0;
+    }
+    let idx = (key.unsigned_abs()) - 1;
+    let lo = f64::from_bits(idx << BUCKET_SHIFT);
+    let hi = f64::from_bits((idx + 1) << BUCKET_SHIFT);
+    let mid = if hi.is_finite() { (lo + hi) / 2.0 } else { lo };
+    if key < 0 {
+        -mid
+    } else {
+        mid
+    }
+}
+
+/// A streaming histogram over `f64` observations.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    sumsq: f64,
+    min: f64,
+    max: f64,
+    buckets: BTreeMap<i64, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation. NaN observations are dropped (they have
+    /// no place on the number line).
+    pub fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        self.sumsq += v * v;
+        *self.buckets.entry(bucket_key(v)).or_insert(0) += 1;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold another histogram into this one. Bucket counts add, so the
+    /// percentile set of `a ∪ b` does not depend on which side was the
+    /// accumulator.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
+        for (&k, &n) in &other.buckets {
+            *self.buckets.entry(k).or_insert(0) += n;
+        }
+    }
+
+    /// The approximate `q`-th percentile (`q` in `[0, 100]`), or `None`
+    /// when empty.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut seen = 0u64;
+        for (&k, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_rep(k).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Summary statistics, or `None` when empty.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.count as f64;
+        let mean = self.sum / n;
+        let var = (self.sumsq / n - mean * mean).max(0.0);
+        Some(HistogramSummary {
+            count: self.count,
+            mean,
+            std: var.sqrt(),
+            min: self.min,
+            max: self.max,
+            p1: self.percentile(1.0).unwrap(),
+            p10: self.percentile(10.0).unwrap(),
+            p25: self.percentile(25.0).unwrap(),
+            p50: self.percentile(50.0).unwrap(),
+            p75: self.percentile(75.0).unwrap(),
+            p90: self.percentile(90.0).unwrap(),
+            p99: self.percentile(99.0).unwrap(),
+        })
+    }
+}
+
+/// Snapshot statistics of one histogram: the same statistic set the
+/// Scout computes over telemetry windows (§5.2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Observation count.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Exact minimum.
+    pub min: f64,
+    /// Exact maximum.
+    pub max: f64,
+    /// 1st percentile (approximate, <1% relative error).
+    pub p1: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// The statistics as `(name, value)` pairs in presentation order.
+    pub fn stats(&self) -> [(&'static str, f64); 11] {
+        [
+            ("mean", self.mean),
+            ("std", self.std),
+            ("min", self.min),
+            ("max", self.max),
+            ("p1", self.p1),
+            ("p10", self.p10),
+            ("p25", self.p25),
+            ("p50", self.p50),
+            ("p75", self.p75),
+            ("p90", self.p90),
+            ("p99", self.p99),
+        ]
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+/// A named collection of counters, gauges and histograms.
+///
+/// All mutation goes through one mutex; instrumentation points are
+/// coarse enough (per prediction / per training pass, not per tree
+/// node) that contention is irrelevant, and the disabled path never
+/// touches the registry at all.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// A live handle to the counter `name`.
+    pub fn counter<'a>(&'a self, name: &'a str) -> Counter<'a> {
+        Counter {
+            target: Some((self, name)),
+        }
+    }
+
+    /// A live handle to the gauge `name`.
+    pub fn gauge<'a>(&'a self, name: &'a str) -> Gauge<'a> {
+        Gauge {
+            target: Some((self, name)),
+        }
+    }
+
+    /// Add `n` to the counter `name`.
+    pub fn add_counter(&self, name: &str, n: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(c) = inner.counters.get_mut(name) {
+            *c += n;
+        } else {
+            inner.counters.insert(name.to_string(), n);
+        }
+    }
+
+    /// Set the gauge `name` to `v` (last write wins).
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(g) = inner.gauges.get_mut(name) {
+            *g = v;
+        } else {
+            inner.gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Add `v` to the gauge `name` (missing gauges start at 0).
+    pub fn add_gauge(&self, name: &str, v: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(g) = inner.gauges.get_mut(name) {
+            *g += v;
+        } else {
+            inner.gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Record `v` into the histogram `name`.
+    pub fn observe(&self, name: &str, v: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(h) = inner.hists.get_mut(name) {
+            h.record(v);
+        } else {
+            let mut h = Histogram::new();
+            h.record(v);
+            inner.hists.insert(name.to_string(), h);
+        }
+    }
+
+    /// Current value of a counter, if it exists.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.inner.lock().unwrap().counters.get(name).copied()
+    }
+
+    /// Current value of a gauge, if it exists.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner.lock().unwrap().gauges.get(name).copied()
+    }
+
+    /// Summary of a histogram, if it exists and is non-empty.
+    pub fn histogram_summary(&self, name: &str) -> Option<HistogramSummary> {
+        self.inner
+            .lock()
+            .unwrap()
+            .hists
+            .get(name)
+            .and_then(Histogram::summary)
+    }
+
+    /// Snapshot of every counter, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// Snapshot of every gauge, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// Snapshot summary of every non-empty histogram, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, HistogramSummary)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .hists
+            .iter()
+            .filter_map(|(k, h)| h.summary().map(|s| (k.clone(), s)))
+            .collect()
+    }
+}
+
+/// A counter handle; inert when obtained while collection is disabled.
+pub struct Counter<'a> {
+    target: Option<(&'a Registry, &'a str)>,
+}
+
+impl Counter<'_> {
+    /// A handle that records nothing.
+    pub fn noop() -> Counter<'static> {
+        Counter { target: None }
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        if let Some((reg, name)) = self.target {
+            reg.add_counter(name, n);
+        }
+    }
+}
+
+/// A gauge handle; inert when obtained while collection is disabled.
+pub struct Gauge<'a> {
+    target: Option<(&'a Registry, &'a str)>,
+}
+
+impl Gauge<'_> {
+    /// A handle that records nothing.
+    pub fn noop() -> Gauge<'static> {
+        Gauge { target: None }
+    }
+
+    /// Set the gauge (last write wins).
+    pub fn set(&self, v: f64) {
+        if let Some((reg, name)) = self.target {
+            reg.set_gauge(name, v);
+        }
+    }
+
+    /// Add to the gauge.
+    pub fn add(&self, v: f64) {
+        if let Some((reg, name)) = self.target {
+            reg.add_gauge(name, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_semantics() {
+        let reg = Registry::new();
+        assert_eq!(reg.counter_value("c"), None);
+        reg.counter("c").inc();
+        reg.counter("c").add(4);
+        assert_eq!(reg.counter_value("c"), Some(5));
+        Counter::noop().add(100);
+        assert_eq!(reg.counter_value("c"), Some(5));
+    }
+
+    #[test]
+    fn gauge_semantics() {
+        let reg = Registry::new();
+        assert_eq!(reg.gauge_value("g"), None);
+        reg.gauge("g").set(2.0);
+        reg.gauge("g").set(7.5);
+        assert_eq!(reg.gauge_value("g"), Some(7.5), "last write wins");
+        reg.gauge("g").add(-0.5);
+        assert_eq!(reg.gauge_value("g"), Some(7.0));
+        Gauge::noop().set(99.0);
+        assert_eq!(reg.gauge_value("g"), Some(7.0));
+    }
+
+    #[test]
+    fn histogram_exact_aggregates() {
+        let mut h = Histogram::new();
+        for v in [3.0, 1.0, 2.0, -4.0] {
+            h.record(v);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, -4.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 0.5).abs() < 1e-12);
+        // Population std of {3,1,2,-4}: sqrt(30/4 - 0.25).
+        assert!((s.std - (30.0 / 4.0 - 0.25_f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_ignores_nan_and_empty_is_none() {
+        let mut h = Histogram::new();
+        assert!(h.summary().is_none());
+        h.record(f64::NAN);
+        assert!(h.summary().is_none());
+        h.record(1.0);
+        assert_eq!(h.summary().unwrap().count, 1);
+    }
+
+    /// Percentiles from the log-bucketed sketch must track exact sample
+    /// quantiles to within the bucket resolution (<1% relative error).
+    #[test]
+    fn histogram_percentiles_track_exact_quantiles() {
+        // Deterministic LCG so the test needs no rand dependency.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut values: Vec<f64> = (0..20_000)
+            .map(|_| {
+                // Skewed, multi-octave positive distribution.
+                let u = next();
+                u * u * 1_000.0 + 0.001
+            })
+            .collect();
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
+            let rank = ((q / 100.0) * values.len() as f64).ceil().max(1.0) as usize;
+            let exact = values[rank.min(values.len()) - 1];
+            let approx = h.percentile(q).unwrap();
+            let err = (approx - exact).abs() / exact.abs();
+            assert!(err < 0.01, "q={q}: exact={exact} approx={approx} err={err}");
+        }
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1.0, 2.0, 3.0] {
+            a.record(v);
+        }
+        for v in [10.0, 20.0] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let (sa, sb) = (ab.summary().unwrap(), ba.summary().unwrap());
+        assert_eq!(sa.count, 5);
+        assert_eq!(sa.min, sb.min);
+        assert_eq!(sa.max, sb.max);
+        assert_eq!(sa.p50, sb.p50);
+        assert_eq!(sa.p99, sb.p99);
+    }
+
+    #[test]
+    fn bucket_reps_are_ordered_and_signed() {
+        assert_eq!(bucket_rep(0), 0.0);
+        let k1 = bucket_key(5.0);
+        let k2 = bucket_key(5.1);
+        assert!(k2 >= k1);
+        assert!(bucket_rep(bucket_key(-3.0)) < 0.0);
+        // Representative stays within ~1% of the value that chose the bucket.
+        for v in [0.001, 0.7, 1.0, 42.0, 9.9e6] {
+            let rep = bucket_rep(bucket_key(v));
+            assert!((rep - v).abs() / v < 0.01, "v={v} rep={rep}");
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Event sinks and the human-readable metrics summary.
+
+use crate::metrics::Registry;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Something that accepts JSONL event lines.
+pub trait Sink: Send {
+    /// Write one line (without trailing newline).
+    fn write_line(&mut self, line: &str);
+    /// Flush buffered lines to durable storage.
+    fn flush(&mut self) {}
+}
+
+/// A buffered JSONL file sink. I/O errors are swallowed: observability
+/// must never take the pipeline down.
+pub struct JsonlSink {
+    w: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            w: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn write_line(&mut self, line: &str) {
+        let _ = writeln!(self.w, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// An in-memory sink for tests: lines land in the shared buffer
+/// returned alongside it.
+pub struct MemorySink {
+    buf: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// The sink plus a handle to the lines it will capture.
+    pub fn new() -> (MemorySink, Arc<Mutex<Vec<String>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (
+            MemorySink {
+                buf: Arc::clone(&buf),
+            },
+            buf,
+        )
+    }
+}
+
+impl Sink for MemorySink {
+    fn write_line(&mut self, line: &str) {
+        self.buf.lock().unwrap().push(line.to_string());
+    }
+}
+
+/// Render every metric in `reg` as an aligned, human-readable report.
+/// Histograms named `span.*` hold nanosecond durations and are printed
+/// with time units.
+pub fn render_summary(reg: &Registry) -> String {
+    let mut out = String::new();
+    let counters = reg.counters();
+    if !counters.is_empty() {
+        out.push_str("== counters ==\n");
+        for (name, v) in counters {
+            let _ = writeln!(out, "  {name:<44} {v}");
+        }
+    }
+    let gauges = reg.gauges();
+    if !gauges.is_empty() {
+        out.push_str("== gauges ==\n");
+        for (name, v) in gauges {
+            let _ = writeln!(out, "  {name:<44} {}", fmt_value(v));
+        }
+    }
+    let (spans, hists): (Vec<_>, Vec<_>) = reg
+        .histograms()
+        .into_iter()
+        .partition(|(name, _)| name.starts_with("span."));
+    for (header, group, time) in [
+        ("== histograms ==", hists, false),
+        ("== spans (wall time) ==", spans, true),
+    ] {
+        if group.is_empty() {
+            continue;
+        }
+        out.push_str(header);
+        out.push('\n');
+        for (name, s) in group {
+            let _ = write!(out, "  {name:<44} count={}", s.count);
+            for (stat, v) in s.stats() {
+                let shown = if time {
+                    fmt_duration_ns(v)
+                } else {
+                    fmt_value(v)
+                };
+                let _ = write!(out, " {stat}={shown}");
+            }
+            out.push('\n');
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+/// Render every metric as JSONL, one record per metric. Counters:
+/// `{"type":"counter","name":…,"value":…}`; gauges alike; histograms
+/// carry count plus the full statistic set (mean/std/min/max and the
+/// 1/10/25/50/75/90/99th percentiles).
+pub fn render_metrics_jsonl(reg: &Registry) -> String {
+    use crate::json::Obj;
+    let mut out = String::new();
+    for (name, v) in reg.counters() {
+        out.push_str(
+            &Obj::new()
+                .str("type", "counter")
+                .str("name", &name)
+                .uint("value", v)
+                .finish(),
+        );
+        out.push('\n');
+    }
+    for (name, v) in reg.gauges() {
+        out.push_str(
+            &Obj::new()
+                .str("type", "gauge")
+                .str("name", &name)
+                .num("value", v)
+                .finish(),
+        );
+        out.push('\n');
+    }
+    for (name, s) in reg.histograms() {
+        let mut obj = Obj::new()
+            .str("type", "histogram")
+            .str("name", &name)
+            .uint("count", s.count);
+        for (stat, v) in s.stats() {
+            obj = obj.num(stat, v);
+        }
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    out
+}
+
+/// Compact numeric formatting for gauges and plain histograms.
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Nanoseconds with an auto-scaled unit.
+pub fn fmt_duration_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_captures_lines() {
+        let (mut sink, buf) = MemorySink::new();
+        sink.write_line("a");
+        sink.write_line("b");
+        sink.flush();
+        assert_eq!(*buf.lock().unwrap(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let path = std::env::temp_dir().join("obs-sink-test.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.write_line(r#"{"a":1}"#);
+            sink.write_line(r#"{"a":2}"#);
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"a\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn summary_lists_all_stats_and_sections() {
+        let reg = Registry::new();
+        reg.add_counter("scout.predictions", 3);
+        reg.set_gauge("scout.features.dim", 412.0);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            reg.observe("ml.forest.trees", v);
+            reg.observe("span.scout.predict", v * 1e6);
+        }
+        let report = render_summary(&reg);
+        for needle in [
+            "== counters ==",
+            "== gauges ==",
+            "== histograms ==",
+            "== spans (wall time) ==",
+            "scout.predictions",
+            "scout.features.dim",
+            "count=4",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+        }
+        for stat in [
+            "mean=", "std=", "min=", "max=", "p1=", "p10=", "p25=", "p50=", "p75=", "p90=", "p99=",
+        ] {
+            assert!(report.contains(stat), "missing {stat:?} in:\n{report}");
+        }
+        assert!(
+            report.contains("ms"),
+            "span durations use time units:\n{report}"
+        );
+    }
+
+    #[test]
+    fn metrics_jsonl_is_parseable_and_complete() {
+        let reg = Registry::new();
+        reg.add_counter("c", 2);
+        reg.set_gauge("g", 1.5);
+        for v in [1.0, 5.0, 9.0] {
+            reg.observe("h", v);
+        }
+        let rendered = render_metrics_jsonl(&reg);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(
+                crate::json::Value::parse(line).is_some(),
+                "invalid JSON: {line}"
+            );
+        }
+        let hist = crate::json::Value::parse(lines[2]).unwrap();
+        assert_eq!(hist.get("type").unwrap().as_str(), Some("histogram"));
+        for stat in [
+            "mean", "std", "min", "max", "p1", "p10", "p25", "p50", "p75", "p90", "p99",
+        ] {
+            assert!(hist.get(stat).is_some(), "histogram JSONL missing {stat}");
+        }
+    }
+
+    #[test]
+    fn empty_registry_has_placeholder() {
+        assert!(render_summary(&Registry::new()).contains("no metrics"));
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration_ns(12.0), "12ns");
+        assert!(fmt_duration_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_duration_ns(12_300_000.0).ends_with("ms"));
+        assert!(fmt_duration_ns(12_300_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,148 @@
+//! Scoped, nested wall-time spans.
+//!
+//! [`SpanGuard::open`] pushes onto a thread-local stack and starts a
+//! timer; dropping the guard pops it, records the duration into the
+//! global histogram `span.<name>`, and (when a trace sink is installed)
+//! emits one JSONL [`SpanEvent`]. Span ids are process-unique and each
+//! event carries its parent's id, so a trace file reconstructs the call
+//! tree.
+
+use crate::json::{Obj, Value};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(span id, name)` of every open span on this thread, outermost
+    /// first.
+    static STACK: RefCell<Vec<(u64, &'static str)>> = const { RefCell::new(Vec::new()) };
+    /// Small stable id for trace events (thread::ThreadId has no stable
+    /// public integer form).
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process start reference for `start_us` timestamps.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    depth: usize,
+    start: Instant,
+}
+
+/// RAII guard for one span; see [`crate::span!`].
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// Open a span. Inert (a single atomic load, no clock read) when
+    /// collection is disabled.
+    pub fn open(name: &'static str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard(None);
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let (parent, depth) = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().map_or(0, |&(pid, _)| pid);
+            let depth = s.len();
+            s.push((id, name));
+            (parent, depth)
+        });
+        let start = Instant::now();
+        epoch(); // make sure the timestamp reference exists
+        SpanGuard(Some(ActiveSpan {
+            name,
+            id,
+            parent,
+            depth,
+            start,
+        }))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.0.take() else { return };
+        let dur = span.start.elapsed();
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards normally drop in LIFO order; if a guard was moved
+            // and outlived its children, discard the stale tail.
+            if let Some(pos) = s.iter().rposition(|&(id, _)| id == span.id) {
+                s.truncate(pos);
+            }
+        });
+        if !crate::enabled() {
+            return;
+        }
+        let collector = crate::global();
+        let dur_ns = dur.as_nanos() as u64;
+        collector
+            .metrics
+            .observe(&format!("span.{}", span.name), dur_ns as f64);
+        if collector.has_trace_sink() {
+            let start_us = span.start.duration_since(epoch()).as_micros() as u64;
+            let line = Obj::new()
+                .str("type", "span")
+                .str("name", span.name)
+                .uint("id", span.id)
+                .uint("parent", span.parent)
+                .uint("depth", span.depth as u64)
+                .uint("thread", THREAD_ID.with(|&t| t))
+                .uint("start_us", start_us)
+                .uint("dur_ns", dur_ns)
+                .finish();
+            collector.emit_trace(&line);
+        }
+    }
+}
+
+/// One closed span as written to the trace sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (taxonomy: `scout.*`, `ml.*`, `monitoring.*`,
+    /// `master.*`, `lab.*`).
+    pub name: String,
+    /// Process-unique span id.
+    pub id: u64,
+    /// Id of the enclosing span, 0 at the root.
+    pub parent: u64,
+    /// Nesting depth at open time (0 = root).
+    pub depth: u64,
+    /// Stable per-thread id.
+    pub thread: u64,
+    /// Microseconds since the first span of the process.
+    pub start_us: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl SpanEvent {
+    /// Parse one trace JSONL line; `None` for non-span or malformed
+    /// lines.
+    pub fn from_json(line: &str) -> Option<SpanEvent> {
+        let v = Value::parse(line)?;
+        if v.get("type")?.as_str()? != "span" {
+            return None;
+        }
+        let field = |k: &str| v.get(k).and_then(Value::as_f64).map(|n| n as u64);
+        Some(SpanEvent {
+            name: v.get("name")?.as_str()?.to_string(),
+            id: field("id")?,
+            parent: field("parent")?,
+            depth: field("depth")?,
+            thread: field("thread")?,
+            start_us: field("start_us")?,
+            dur_ns: field("dur_ns")?,
+        })
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the streaming histogram.
+
+use obs::metrics::Histogram;
+use proptest::prelude::*;
+
+fn build(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Merging per-chunk histograms must give the same sketch regardless
+    /// of chunk boundaries or merge order: counts, extrema and every
+    /// reported percentile are bit-exact, the moment statistics agree to
+    /// floating-point roundoff.
+    #[test]
+    fn merge_is_order_insensitive(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+        swap in proptest::arbitrary::any::<bool>(),
+    ) {
+        let cut = split % values.len();
+        let (left, right) = values.split_at(cut);
+        let (first, second) = if swap { (right, left) } else { (left, right) };
+
+        let mut merged = build(first);
+        merged.merge(&build(second));
+        let whole = build(&values);
+
+        prop_assert_eq!(merged.count(), whole.count());
+        let (m, w) = (merged.summary().unwrap(), whole.summary().unwrap());
+        prop_assert_eq!(m.min, w.min);
+        prop_assert_eq!(m.max, w.max);
+        for (ms, ws) in m.stats().iter().zip(w.stats().iter()) {
+            let (name, mv) = *ms;
+            let (_, wv) = *ws;
+            if name == "mean" || name == "std" {
+                // Sums of floats commute but do not associate: allow
+                // roundoff-scale drift only.
+                prop_assert!((mv - wv).abs() <= 1e-9 * (1.0 + wv.abs()),
+                    "{}: merged={} whole={}", name, mv, wv);
+            } else {
+                prop_assert_eq!(mv, wv, "{} differs", name);
+            }
+        }
+    }
+
+    /// An empty histogram is a merge identity.
+    #[test]
+    fn merging_empty_changes_nothing(
+        values in proptest::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        let mut h = build(&values);
+        let before = h.summary().unwrap();
+        h.merge(&Histogram::new());
+        prop_assert_eq!(h.summary().unwrap(), before);
+
+        let mut empty = Histogram::new();
+        empty.merge(&build(&values));
+        prop_assert_eq!(empty.summary().unwrap(), before);
+    }
+
+    /// Percentiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn percentiles_are_monotone(
+        values in proptest::collection::vec(-1e4f64..1e4, 1..100),
+    ) {
+        let h = build(&values);
+        let s = h.summary().unwrap();
+        let ps = [s.p1, s.p10, s.p25, s.p50, s.p75, s.p90, s.p99];
+        for pair in ps.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "percentiles out of order: {:?}", ps);
+        }
+        prop_assert!(s.min <= s.p1 && s.p99 <= s.max);
+    }
+}

@@ -1,0 +1,93 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut SmallRng) -> char {
+        // Bias toward ASCII (boundary-heavy code), with the full scalar
+        // space still reachable.
+        loop {
+            let raw = match rng.gen_range(0u32..4) {
+                0 | 1 => rng.gen_range(0u32..0x80),
+                2 => rng.gen_range(0x80u32..0x1_0000),
+                _ => rng.gen_range(0x1_0000u32..0x11_0000),
+            };
+            if let Some(c) = char::from_u32(raw) {
+                return c;
+            }
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut SmallRng) -> f64 {
+        // Finite values spanning many magnitudes, including negatives.
+        let mantissa: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let exp = rng.gen_range(-64i32..64);
+        mantissa * (exp as f64).exp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_char_is_valid_scalars() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let c = char::arbitrary(&mut rng);
+            assert!(char::from_u32(c as u32).is_some());
+        }
+    }
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            assert!(f64::arbitrary(&mut rng).is_finite());
+        }
+    }
+}

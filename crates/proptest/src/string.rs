@@ -1,0 +1,298 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supported syntax (everything the workspace's tests use, and a little
+//! margin): literals, `.` (any scalar except `\n`), `\PC` (any
+//! non-control scalar), `\d`, `\w`, `\s`, character classes with ranges
+//! (`[a-zA-Z0-9 _.-]`), and the quantifiers `{m,n}`, `{n}`, `{m,}`,
+//! `*`, `+`, `?`.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum CharGen {
+    /// A fixed literal.
+    Literal(char),
+    /// Any Unicode scalar except `\n` (regex `.`).
+    AnyNoNewline,
+    /// Any non-control Unicode scalar (regex `\PC`).
+    Printable,
+    /// An explicit set of characters (expanded class).
+    OneOf(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    gen: CharGen,
+    min: usize,
+    max: usize,
+}
+
+/// Generate a string matching `pattern`. Panics on syntax outside the
+/// supported subset — the error names the offending position so the
+/// pattern (or this module) can be extended.
+pub fn generate_matching(pattern: &str, rng: &mut SmallRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..n {
+            out.push(sample_char(&atom.gen, rng));
+        }
+    }
+    out
+}
+
+fn sample_char(gen: &CharGen, rng: &mut SmallRng) -> char {
+    match gen {
+        CharGen::Literal(c) => *c,
+        CharGen::OneOf(set) => set[rng.gen_range(0..set.len())],
+        CharGen::AnyNoNewline => loop {
+            let c = sample_scalar(rng);
+            if c != '\n' {
+                return c;
+            }
+        },
+        CharGen::Printable => loop {
+            let c = sample_scalar(rng);
+            if !c.is_control() {
+                return c;
+            }
+        },
+    }
+}
+
+/// A Unicode scalar, biased toward ASCII so boundary-heavy code paths
+/// get exercised, with a steady trickle of multi-byte characters.
+fn sample_scalar(rng: &mut SmallRng) -> char {
+    loop {
+        let raw = match rng.gen_range(0u32..10) {
+            0..=5 => rng.gen_range(0x20u32..0x7F),
+            6 => rng.gen_range(0u32..0x20), // ASCII control (filtered by \PC)
+            7 => rng.gen_range(0x80u32..0x800),
+            8 => rng.gen_range(0x800u32..0x1_0000),
+            _ => rng.gen_range(0x1_0000u32..0x11_0000),
+        };
+        if let Some(c) = char::from_u32(raw) {
+            return c;
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let gen = match chars[i] {
+            '.' => {
+                i += 1;
+                CharGen::AnyNoNewline
+            }
+            '\\' => {
+                i += 1;
+                let (gen, used) = parse_escape(&chars[i..], pattern);
+                i += used;
+                gen
+            }
+            '[' => {
+                i += 1;
+                let (gen, used) = parse_class(&chars[i..], pattern);
+                i += used;
+                gen
+            }
+            c @ ('*' | '+' | '?' | '{') => {
+                panic!("string strategy '{pattern}': dangling quantifier '{c}'")
+            }
+            c => {
+                i += 1;
+                CharGen::Literal(c)
+            }
+        };
+        let (min, max, used) = parse_quantifier(&chars[i..], pattern);
+        i += used;
+        atoms.push(Atom { gen, min, max });
+    }
+    atoms
+}
+
+fn parse_escape(rest: &[char], pattern: &str) -> (CharGen, usize) {
+    match rest.first() {
+        Some('P') => {
+            // Only the `\PC` (non-control) category is supported.
+            assert_eq!(
+                rest.get(1),
+                Some(&'C'),
+                "string strategy '{pattern}': unsupported \\P category"
+            );
+            (CharGen::Printable, 2)
+        }
+        Some('d') => (CharGen::OneOf(('0'..='9').collect()), 1),
+        Some('w') => {
+            let mut set: Vec<char> = ('a'..='z').collect();
+            set.extend('A'..='Z');
+            set.extend('0'..='9');
+            set.push('_');
+            (CharGen::OneOf(set), 1)
+        }
+        Some('s') => (CharGen::OneOf(vec![' ', '\t', '\n']), 1),
+        Some('n') => (CharGen::Literal('\n'), 1),
+        Some('t') => (CharGen::Literal('\t'), 1),
+        Some(&c) => (CharGen::Literal(c), 1),
+        None => panic!("string strategy '{pattern}': trailing backslash"),
+    }
+}
+
+fn parse_class(rest: &[char], pattern: &str) -> (CharGen, usize) {
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < rest.len() && rest[i] != ']' {
+        let c = if rest[i] == '\\' {
+            i += 1;
+            *rest.get(i).unwrap_or_else(|| {
+                panic!("string strategy '{pattern}': trailing backslash in class")
+            })
+        } else {
+            rest[i]
+        };
+        // `a-z` range (a `-` that is last in the class is a literal).
+        if rest.get(i + 1) == Some(&'-') && rest.get(i + 2).is_some_and(|&n| n != ']') {
+            let end = rest[i + 2];
+            assert!(
+                c <= end,
+                "string strategy '{pattern}': inverted class range {c}-{end}"
+            );
+            for v in (c as u32)..=(end as u32) {
+                if let Some(ch) = char::from_u32(v) {
+                    set.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(
+        i < rest.len(),
+        "string strategy '{pattern}': unterminated class"
+    );
+    assert!(!set.is_empty(), "string strategy '{pattern}': empty class");
+    (CharGen::OneOf(set), i + 1)
+}
+
+/// Returns `(min, max, chars_consumed)`; a missing quantifier is `{1,1}`.
+fn parse_quantifier(rest: &[char], pattern: &str) -> (usize, usize, usize) {
+    const UNBOUNDED_CAP: usize = 32;
+    match rest.first() {
+        Some('*') => (0, UNBOUNDED_CAP, 1),
+        Some('+') => (1, UNBOUNDED_CAP, 1),
+        Some('?') => (0, 1, 1),
+        Some('{') => {
+            let close = rest
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("string strategy '{pattern}': unterminated {{"));
+            let body: String = rest[1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = body.parse().unwrap_or_else(|_| {
+                        panic!("string strategy '{pattern}': bad quantifier {{{body}}}")
+                    });
+                    (n, n)
+                }
+                Some((lo, "")) => {
+                    let lo: usize = lo.parse().unwrap_or_else(|_| {
+                        panic!("string strategy '{pattern}': bad quantifier {{{body}}}")
+                    });
+                    (lo, lo + UNBOUNDED_CAP)
+                }
+                Some((lo, hi)) => {
+                    let lo = lo.parse().unwrap_or_else(|_| {
+                        panic!("string strategy '{pattern}': bad quantifier {{{body}}}")
+                    });
+                    let hi = hi.parse().unwrap_or_else(|_| {
+                        panic!("string strategy '{pattern}': bad quantifier {{{body}}}")
+                    });
+                    (lo, hi)
+                }
+            };
+            assert!(
+                min <= max,
+                "string strategy '{pattern}': {{{body}}} inverted"
+            );
+            (min, max, close + 1)
+        }
+        _ => (1, 1, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn class_and_quantifier() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-c]{0,30}", &mut rng);
+            assert!(s.chars().count() <= 30);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn class_with_literals_and_trailing_dash() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z0-9 _.-]{0,40}", &mut rng);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()
+                || c == ' '
+                || c == '_'
+                || c == '.'
+                || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_excludes_control() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = generate_matching("\\PC{0,200}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = generate_matching(".{0,50}", &mut rng);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn literals_and_digit_class() {
+        let mut rng = rng();
+        let s = generate_matching("ab\\d{3}z", &mut rng);
+        assert_eq!(s.len(), 6);
+        assert!(s.starts_with("ab") && s.ends_with('z'));
+        assert!(s[2..5].chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn lengths_cover_the_whole_quantifier_range() {
+        let mut rng = rng();
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen[generate_matching("x{0,3}", &mut rng).len()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,188 @@
+//! The case loop behind the [`crate::proptest!`] macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs: try other ones.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property violation.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// An input rejection.
+    pub fn reject(condition: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(condition.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(c) => write!(f, "rejected: {c}"),
+        }
+    }
+}
+
+/// Harness configuration (subset of upstream's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; overridable via PROPTEST_CASES.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives one `proptest!` test: deterministic per-case generators,
+/// rejection accounting, failure reporting.
+pub struct TestRunner {
+    base_seed: u64,
+    cases: u32,
+    accepted: u32,
+    attempts: u32,
+    max_attempts: u32,
+    test_name: &'static str,
+}
+
+impl TestRunner {
+    /// A runner for `test_name` (whose hash seeds the generator, so
+    /// every run of the same test sees the same cases).
+    pub fn new(config: &ProptestConfig, test_name: &'static str) -> TestRunner {
+        // FNV-1a over the fully qualified test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            base_seed: h,
+            cases: config.cases,
+            accepted: 0,
+            attempts: 0,
+            max_attempts: config.cases.saturating_mul(16).max(1024),
+            test_name,
+        }
+    }
+
+    /// The next case to run: `(case index, its generator)`, or `None`
+    /// when the case budget is met.
+    pub fn next_case(&mut self) -> Option<(u32, SmallRng)> {
+        if self.accepted >= self.cases {
+            return None;
+        }
+        if self.attempts >= self.max_attempts {
+            panic!(
+                "{}: gave up after {} attempts ({} accepted of {} wanted) — \
+                 prop_assume! rejects too many inputs",
+                self.test_name, self.attempts, self.accepted, self.cases
+            );
+        }
+        let case = self.attempts;
+        self.attempts += 1;
+        Some((
+            case,
+            SmallRng::seed_from_u64(
+                self.base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+        ))
+    }
+
+    /// Record a case outcome; panics (failing the `#[test]`) on
+    /// property violations.
+    pub fn record(&mut self, case: u32, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) => self.accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(m)) => {
+                panic!(
+                    "{} failed at case {case} (deterministic; rerun reproduces it): {m}",
+                    self.test_name
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_runs_exactly_the_case_budget() {
+        let cfg = ProptestConfig::with_cases(10);
+        let mut runner = TestRunner::new(&cfg, "t");
+        let mut ran = 0;
+        while let Some((case, _rng)) = runner.next_case() {
+            runner.record(case, Ok(()));
+            ran += 1;
+        }
+        assert_eq!(ran, 10);
+    }
+
+    #[test]
+    fn rejections_do_not_consume_the_budget() {
+        let cfg = ProptestConfig::with_cases(5);
+        let mut runner = TestRunner::new(&cfg, "t");
+        let mut accepted = 0;
+        let mut total = 0;
+        while let Some((case, _rng)) = runner.next_case() {
+            total += 1;
+            if total % 2 == 0 {
+                runner.record(case, Err(TestCaseError::reject("odd")));
+            } else {
+                runner.record(case, Ok(()));
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 5);
+        assert!(total > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_the_case_number() {
+        let cfg = ProptestConfig::with_cases(5);
+        let mut runner = TestRunner::new(&cfg, "t");
+        let (case, _rng) = runner.next_case().unwrap();
+        runner.record(case, Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn same_test_name_same_cases() {
+        let cfg = ProptestConfig::with_cases(3);
+        let mut a = TestRunner::new(&cfg, "x");
+        let mut b = TestRunner::new(&cfg, "x");
+        use rand::Rng;
+        while let (Some((ca, mut ra)), Some((cb, mut rb))) = (a.next_case(), b.next_case()) {
+            assert_eq!(ca, cb);
+            assert_eq!(ra.gen::<u64>(), rb.gen::<u64>());
+            a.record(ca, Ok(()));
+            b.record(cb, Ok(()));
+        }
+    }
+}

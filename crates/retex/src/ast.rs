@@ -29,7 +29,10 @@ pub enum Ast {
     /// `.` — any character except `\n`.
     AnyChar,
     /// A (possibly negated) character class.
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     /// `^` — start of haystack.
     StartAnchor,
     /// `$` — end of haystack.
@@ -41,7 +44,12 @@ pub enum Ast {
     /// Alternation `a|b|c`.
     Alternate(Vec<Ast>),
     /// Repetition. `max == None` means unbounded.
-    Repeat { node: Box<Ast>, min: u32, max: Option<u32>, greedy: bool },
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+        greedy: bool,
+    },
     /// Capturing group; `index` is 1-based.
     Group { index: u32, node: Box<Ast> },
     /// Non-capturing group `(?: .. )`.

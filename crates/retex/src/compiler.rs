@@ -27,7 +27,10 @@ pub enum CharPred {
     /// Any character except `\n`.
     AnyNoNewline,
     /// A (possibly negated) set of items.
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
 }
 
 impl CharPred {
@@ -63,7 +66,10 @@ pub type Program = Vec<Inst>;
 /// Compile `ast`; returns the program and the number of capture groups
 /// (including the implicit group 0).
 pub fn compile(ast: &Ast) -> (Program, usize) {
-    let mut c = Compiler { prog: Vec::new(), max_group: 0 };
+    let mut c = Compiler {
+        prog: Vec::new(),
+        max_group: 0,
+    };
     // Group 0 wraps the whole pattern.
     c.prog.push(Inst::Save(0));
     c.emit(ast);
@@ -84,20 +90,22 @@ impl Compiler {
             Ast::Empty => {}
             Ast::Literal(ch) => self.prog.push(Inst::Char(CharPred::Literal(*ch))),
             Ast::AnyChar => self.prog.push(Inst::Char(CharPred::AnyNoNewline)),
-            Ast::Class { negated, items } => self
-                .prog
-                .push(Inst::Char(CharPred::Class { negated: *negated, items: items.clone() })),
+            Ast::Class { negated, items } => self.prog.push(Inst::Char(CharPred::Class {
+                negated: *negated,
+                items: items.clone(),
+            })),
             Ast::StartAnchor => self.prog.push(Inst::Assert(Assertion::Start)),
             Ast::EndAnchor => self.prog.push(Inst::Assert(Assertion::End)),
             Ast::WordBoundary(true) => self.prog.push(Inst::Assert(Assertion::WordBoundary)),
-            Ast::WordBoundary(false) => {
-                self.prog.push(Inst::Assert(Assertion::NotWordBoundary))
-            }
+            Ast::WordBoundary(false) => self.prog.push(Inst::Assert(Assertion::NotWordBoundary)),
             Ast::Concat(parts) => parts.iter().for_each(|p| self.emit(p)),
             Ast::Alternate(parts) => self.emit_alternate(parts),
-            Ast::Repeat { node, min, max, greedy } => {
-                self.emit_repeat(node, *min, *max, *greedy)
-            }
+            Ast::Repeat {
+                node,
+                min,
+                max,
+                greedy,
+            } => self.emit_repeat(node, *min, *max, *greedy),
             Ast::Group { index, node } => {
                 self.max_group = self.max_group.max(*index);
                 self.prog.push(Inst::Save(2 * *index as usize));
@@ -116,14 +124,20 @@ impl Compiler {
             let last = i == parts.len() - 1;
             if !last {
                 let split_at = self.prog.len();
-                self.prog.push(Inst::Split { primary: 0, secondary: 0 });
+                self.prog.push(Inst::Split {
+                    primary: 0,
+                    secondary: 0,
+                });
                 let b_start = self.prog.len();
                 self.emit(part);
                 let jmp_at = self.prog.len();
                 self.prog.push(Inst::Jmp(0));
                 jmp_fixups.push(jmp_at);
                 let next = self.prog.len();
-                self.prog[split_at] = Inst::Split { primary: b_start, secondary: next };
+                self.prog[split_at] = Inst::Split {
+                    primary: b_start,
+                    secondary: next,
+                };
             } else {
                 self.emit(part);
             }
@@ -145,7 +159,10 @@ impl Compiler {
                 let mut split_fixups = Vec::new();
                 for _ in min..max {
                     let split_at = self.prog.len();
-                    self.prog.push(Inst::Split { primary: 0, secondary: 0 });
+                    self.prog.push(Inst::Split {
+                        primary: 0,
+                        secondary: 0,
+                    });
                     split_fixups.push(split_at);
                     let body = self.prog.len();
                     self.emit(node);
@@ -174,15 +191,24 @@ impl Compiler {
                 //   L2: node; jmp L1
                 //   L3:
                 let l1 = self.prog.len();
-                self.prog.push(Inst::Split { primary: 0, secondary: 0 });
+                self.prog.push(Inst::Split {
+                    primary: 0,
+                    secondary: 0,
+                });
                 let l2 = self.prog.len();
                 self.emit(node);
                 self.prog.push(Inst::Jmp(l1));
                 let l3 = self.prog.len();
                 self.prog[l1] = if greedy {
-                    Inst::Split { primary: l2, secondary: l3 }
+                    Inst::Split {
+                        primary: l2,
+                        secondary: l3,
+                    }
                 } else {
-                    Inst::Split { primary: l3, secondary: l2 }
+                    Inst::Split {
+                        primary: l3,
+                        secondary: l2,
+                    }
                 };
             }
         }
@@ -217,7 +243,13 @@ mod tests {
     fn star_loops_back() {
         let p = prog("a*");
         // Save0, Split, Char, Jmp, Save1, Match
-        assert!(matches!(p[1], Inst::Split { primary: 2, secondary: 4 }));
+        assert!(matches!(
+            p[1],
+            Inst::Split {
+                primary: 2,
+                secondary: 4
+            }
+        ));
         assert!(matches!(p[3], Inst::Jmp(1)));
     }
 

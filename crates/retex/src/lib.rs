@@ -91,7 +91,11 @@ impl<'t> Captures<'t> {
     pub fn get(&self, i: usize) -> Option<Match<'t>> {
         let (s, e) = (*self.slots.get(2 * i)?, *self.slots.get(2 * i + 1)?);
         match (s, e) {
-            (Some(start), Some(end)) => Some(Match { haystack: self.haystack, start, end }),
+            (Some(start), Some(end)) => Some(Match {
+                haystack: self.haystack,
+                start,
+                end,
+            }),
             _ => None,
         }
     }
@@ -113,7 +117,11 @@ impl Regex {
     pub fn new(pattern: &str) -> Result<Regex, ParseError> {
         let ast = parser::parse(pattern)?;
         let (program, n_captures) = compiler::compile(&ast);
-        Ok(Regex { pattern: pattern.to_string(), program, n_captures })
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            program,
+            n_captures,
+        })
     }
 
     /// The original pattern string.
@@ -134,18 +142,30 @@ impl Regex {
     /// Leftmost match, if any.
     pub fn find<'t>(&self, haystack: &'t str) -> Option<Match<'t>> {
         let slots = vm::search(&self.program, haystack, 0, self.n_captures)?;
-        Some(Match { haystack, start: slots[0]?, end: slots[1]? })
+        Some(Match {
+            haystack,
+            start: slots[0]?,
+            end: slots[1]?,
+        })
     }
 
     /// Leftmost match starting at or after byte offset `from`.
     pub fn find_at<'t>(&self, haystack: &'t str, from: usize) -> Option<Match<'t>> {
         let slots = vm::search(&self.program, haystack, from, self.n_captures)?;
-        Some(Match { haystack, start: slots[0]?, end: slots[1]? })
+        Some(Match {
+            haystack,
+            start: slots[0]?,
+            end: slots[1]?,
+        })
     }
 
     /// Iterator over all non-overlapping matches, left to right.
     pub fn find_iter<'r, 't>(&'r self, haystack: &'t str) -> FindIter<'r, 't> {
-        FindIter { re: self, haystack, at: 0 }
+        FindIter {
+            re: self,
+            haystack,
+            at: 0,
+        }
     }
 
     /// Capture groups for the leftmost match.
@@ -177,7 +197,11 @@ impl<'r, 't> Iterator for FindIter<'r, 't> {
         }
         let m = self.re.find_at(self.haystack, self.at)?;
         // Never yield the same empty position twice: step past it.
-        self.at = if m.end == m.start { next_char_boundary(self.haystack, m.end) } else { m.end };
+        self.at = if m.end == m.start {
+            next_char_boundary(self.haystack, m.end)
+        } else {
+            m.end
+        };
         Some(m)
     }
 }

@@ -23,7 +23,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -31,7 +35,11 @@ impl std::error::Error for ParseError {}
 
 /// Parse `pattern` into an [`Ast`].
 pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
-    let mut p = Parser { chars: pattern.char_indices().collect(), pos: 0, next_group: 1 };
+    let mut p = Parser {
+        chars: pattern.char_indices().collect(),
+        pos: 0,
+        next_group: 1,
+    };
     let ast = p.alternation()?;
     if p.pos < p.chars.len() {
         return Err(p.err("unexpected character (unbalanced ')'?)"));
@@ -51,7 +59,10 @@ impl Parser {
             || self.chars.last().map_or(0, |&(i, c)| i + c.len_utf8()),
             |&(i, _)| i,
         );
-        ParseError { message: msg.to_string(), position }
+        ParseError {
+            message: msg.to_string(),
+            position,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -80,7 +91,11 @@ impl Parser {
         while self.eat('|') {
             branches.push(self.concat()?);
         }
-        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Ast::Alternate(branches) })
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alternate(branches)
+        })
     }
 
     fn concat(&mut self) -> Result<Ast, ParseError> {
@@ -128,7 +143,12 @@ impl Parser {
                 return Err(self.err("repetition operator applied to empty-width atom"));
             }
             let greedy = !self.eat('?');
-            node = Ast::Repeat { node: Box::new(node), min, max, greedy };
+            node = Ast::Repeat {
+                node: Box::new(node),
+                min,
+                max,
+                greedy,
+            };
         }
         Ok(node)
     }
@@ -256,7 +276,10 @@ impl Parser {
         Ok(if non_capturing {
             Ast::NonCapturing(Box::new(inner))
         } else {
-            Ast::Group { index, node: Box::new(inner) }
+            Ast::Group {
+                index,
+                node: Box::new(inner),
+            }
         })
     }
 
@@ -326,21 +349,37 @@ impl Parser {
         self.bump(); // '\\'
         match self.bump() {
             None => Err(self.err("dangling escape at end of pattern")),
-            Some('d') => Ok(Ast::Class { negated: false, items: DIGIT.to_vec() }),
-            Some('D') => Ok(Ast::Class { negated: true, items: DIGIT.to_vec() }),
-            Some('w') => Ok(Ast::Class { negated: false, items: WORD.to_vec() }),
-            Some('W') => Ok(Ast::Class { negated: true, items: WORD.to_vec() }),
-            Some('s') => Ok(Ast::Class { negated: false, items: SPACE.to_vec() }),
-            Some('S') => Ok(Ast::Class { negated: true, items: SPACE.to_vec() }),
+            Some('d') => Ok(Ast::Class {
+                negated: false,
+                items: DIGIT.to_vec(),
+            }),
+            Some('D') => Ok(Ast::Class {
+                negated: true,
+                items: DIGIT.to_vec(),
+            }),
+            Some('w') => Ok(Ast::Class {
+                negated: false,
+                items: WORD.to_vec(),
+            }),
+            Some('W') => Ok(Ast::Class {
+                negated: true,
+                items: WORD.to_vec(),
+            }),
+            Some('s') => Ok(Ast::Class {
+                negated: false,
+                items: SPACE.to_vec(),
+            }),
+            Some('S') => Ok(Ast::Class {
+                negated: true,
+                items: SPACE.to_vec(),
+            }),
             Some('b') => Ok(Ast::WordBoundary(true)),
             Some('B') => Ok(Ast::WordBoundary(false)),
             Some('n') => Ok(Ast::Literal('\n')),
             Some('t') => Ok(Ast::Literal('\t')),
             Some('r') => Ok(Ast::Literal('\r')),
             Some('0') => Ok(Ast::Literal('\0')),
-            Some(c) if c.is_ascii_alphanumeric() => {
-                Err(self.err("unsupported escape sequence"))
-            }
+            Some(c) if c.is_ascii_alphanumeric() => Err(self.err("unsupported escape sequence")),
             Some(c) => Ok(Ast::Literal(c)),
         }
     }

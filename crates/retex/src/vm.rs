@@ -15,7 +15,11 @@ struct ThreadList {
 
 impl ThreadList {
     fn new(n: usize) -> ThreadList {
-        ThreadList { dense: Vec::with_capacity(n), sparse: vec![0; n], generation: 0 }
+        ThreadList {
+            dense: Vec::with_capacity(n),
+            sparse: vec![0; n],
+            generation: 0,
+        }
     }
 
     fn clear(&mut self) {
@@ -34,13 +38,11 @@ impl ThreadList {
 
 /// Search for the leftmost match of `prog` in `haystack` starting at byte
 /// offset `from`. Returns the capture slots (2 per group) on success.
-pub fn search(
-    prog: &Program,
-    haystack: &str,
-    from: usize,
-    n_captures: usize,
-) -> Option<Slots> {
-    debug_assert!(haystack.is_char_boundary(from), "search offset must be a char boundary");
+pub fn search(prog: &Program, haystack: &str, from: usize, n_captures: usize) -> Option<Slots> {
+    debug_assert!(
+        haystack.is_char_boundary(from),
+        "search offset must be a char boundary"
+    );
     let n_slots = 2 * n_captures;
     let mut clist = ThreadList::new(prog.len());
     let mut nlist = ThreadList::new(prog.len());
@@ -155,8 +157,16 @@ fn is_word_char(c: char) -> bool {
 }
 
 fn is_word_boundary(haystack: &str, pos: usize) -> bool {
-    let before = haystack[..pos].chars().next_back().map(is_word_char).unwrap_or(false);
-    let after = haystack[pos..].chars().next().map(is_word_char).unwrap_or(false);
+    let before = haystack[..pos]
+        .chars()
+        .next_back()
+        .map(is_word_char)
+        .unwrap_or(false);
+    let after = haystack[pos..]
+        .chars()
+        .next()
+        .map(is_word_char)
+        .unwrap_or(false);
     before != after
 }
 
@@ -202,6 +212,9 @@ mod tests {
     #[test]
     fn anchored_search_from_offset() {
         let re = Regex::new("^b").unwrap();
-        assert!(re.find_at("ab", 1).is_none(), "^ anchors to haystack start, not offset");
+        assert!(
+            re.find_at("ab", 1).is_none(),
+            "^ anchors to haystack start, not offset"
+        );
     }
 }

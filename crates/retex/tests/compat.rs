@@ -61,7 +61,11 @@ const CASES: &[(&str, &str, Option<(usize, &str)>)] = &[
     ("(a)(b)(c)", "abc", Some((0, "abc"))),
     ("(?:ab)+", "ababx", Some((0, "abab"))),
     // Realistic component patterns
-    (r"\bvm-\d+\.c\d+\.dc\d+\b", "see vm-12.c3.dc0 now", Some((4, "vm-12.c3.dc0"))),
+    (
+        r"\bvm-\d+\.c\d+\.dc\d+\b",
+        "see vm-12.c3.dc0 now",
+        Some((4, "vm-12.c3.dc0")),
+    ),
     (r"(tor|agg)-\d+", "agg-7 down", Some((0, "agg-7"))),
     (r"c\d+\.dc\d+", "tor-1.c10.dc3", Some((6, "c10.dc3"))),
 ];
@@ -83,7 +87,11 @@ fn compatibility_table() {
 fn is_match_agrees_with_find() {
     for &(pattern, haystack, expected) in CASES {
         let re = Regex::new(pattern).unwrap();
-        assert_eq!(re.is_match(haystack), expected.is_some(), "pattern '{pattern}'");
+        assert_eq!(
+            re.is_match(haystack),
+            expected.is_some(),
+            "pattern '{pattern}'"
+        );
     }
 }
 

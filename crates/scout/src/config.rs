@@ -45,8 +45,11 @@ pub enum ComponentType {
 
 impl ComponentType {
     /// All types, in feature-layout order.
-    pub const ALL: [ComponentType; 3] =
-        [ComponentType::Server, ComponentType::Switch, ComponentType::Cluster];
+    pub const ALL: [ComponentType; 3] = [
+        ComponentType::Server,
+        ComponentType::Switch,
+        ComponentType::Cluster,
+    ];
 
     /// Lowercase name used in the DSL and in feature names.
     pub fn name(self) -> &'static str {
@@ -133,15 +136,21 @@ impl std::error::Error for ConfigError {}
 impl ScoutConfig {
     /// Parse a configuration file.
     pub fn parse(source: &str) -> Result<ScoutConfig, ConfigError> {
-        let mut cfg =
-            ScoutConfig { patterns: Vec::new(), monitoring: Vec::new(), excludes: Vec::new() };
+        let mut cfg = ScoutConfig {
+            patterns: Vec::new(),
+            monitoring: Vec::new(),
+            excludes: Vec::new(),
+        };
         for (i, raw) in source.lines().enumerate() {
             let line_no = i + 1;
             let line = raw.trim();
             if line.is_empty() || line.starts_with("//") || line.starts_with('#') {
                 continue;
             }
-            let err = |message: String| ConfigError { line: line_no, message };
+            let err = |message: String| ConfigError {
+                line: line_no,
+                message,
+            };
             if let Some(rest) = line.strip_prefix("let ") {
                 let (name, regex) = parse_let(rest).map_err(err)?;
                 cfg.patterns.push((name, regex));
@@ -153,7 +162,8 @@ impl ScoutConfig {
                 return Err(err(format!("unrecognized statement: {line}")));
             }
         }
-        cfg.validate().map_err(|message| ConfigError { line: 0, message })?;
+        cfg.validate()
+            .map_err(|message| ConfigError { line: 0, message })?;
         Ok(cfg)
     }
 
@@ -224,12 +234,14 @@ impl ScoutConfig {
     pub fn to_source(&self) -> String {
         let mut out = String::new();
         for (name, regex) in &self.patterns {
-            out.push_str(&format!("let {name} = <{}>;
-", regex.as_str()));
+            out.push_str(&format!(
+                "let {name} = <{}>;
+",
+                regex.as_str()
+            ));
         }
         for m in &self.monitoring {
-            let assoc: Vec<&str> =
-                m.associations.iter().map(|t| t.name()).collect();
+            let assoc: Vec<&str> = m.associations.iter().map(|t| t.name()).collect();
             let dtype = match m.data_type {
                 DataType::TimeSeries => "TIME_SERIES",
                 DataType::Event => "EVENT",
@@ -253,18 +265,22 @@ impl ScoutConfig {
         }
         for e in &self.excludes {
             match e {
-                ExcludeRule::Title(r) => {
-                    out.push_str(&format!("EXCLUDE TITLE = <{}>;
-", r.as_str()))
-                }
-                ExcludeRule::Body(r) => {
-                    out.push_str(&format!("EXCLUDE BODY = <{}>;
-", r.as_str()))
-                }
-                ExcludeRule::Component(t, r) => {
-                    out.push_str(&format!("EXCLUDE {} = <{}>;
-", t.name(), r.as_str()))
-                }
+                ExcludeRule::Title(r) => out.push_str(&format!(
+                    "EXCLUDE TITLE = <{}>;
+",
+                    r.as_str()
+                )),
+                ExcludeRule::Body(r) => out.push_str(&format!(
+                    "EXCLUDE BODY = <{}>;
+",
+                    r.as_str()
+                )),
+                ExcludeRule::Component(t, r) => out.push_str(&format!(
+                    "EXCLUDE {} = <{}>;
+",
+                    t.name(),
+                    r.as_str()
+                )),
             }
         }
         out
@@ -299,8 +315,13 @@ EXCLUDE TITLE = <decommission>;
 
 fn parse_let(rest: &str) -> Result<(String, Regex), String> {
     // name = <regex>;
-    let rest = rest.trim().strip_suffix(';').ok_or("missing trailing ';'")?;
-    let (name, value) = rest.split_once('=').ok_or("expected 'let name = <regex>;'")?;
+    let rest = rest
+        .trim()
+        .strip_suffix(';')
+        .ok_or("missing trailing ';'")?;
+    let (name, value) = rest
+        .split_once('=')
+        .ok_or("expected 'let name = <regex>;'")?;
     let name = name.trim();
     if name.is_empty() {
         return Err("empty binding name".into());
@@ -315,8 +336,13 @@ fn parse_let(rest: &str) -> Result<(String, Regex), String> {
 }
 
 fn parse_monitoring(rest: &str) -> Result<MonitoringDecl, String> {
-    let rest = rest.trim().strip_suffix(';').ok_or("missing trailing ';'")?;
-    let (name, call) = rest.split_once('=').ok_or("expected 'MONITORING name = …'")?;
+    let rest = rest
+        .trim()
+        .strip_suffix(';')
+        .ok_or("missing trailing ';'")?;
+    let (name, call) = rest
+        .split_once('=')
+        .ok_or("expected 'MONITORING name = …'")?;
     let name = name.trim().to_string();
     let call = call.trim();
     let args = call
@@ -339,7 +365,11 @@ fn parse_monitoring(rest: &str) -> Result<MonitoringDecl, String> {
         .find(|d| d.name() == locator)
         .ok_or_else(|| format!("unknown resource locator '{locator}'"))?;
     let mut associations = Vec::new();
-    for a in assoc_src.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+    for a in assoc_src
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
         let t = ComponentType::parse(a).ok_or_else(|| format!("unknown association '{a}'"))?;
         if !associations.contains(&t) {
             associations.push(t);
@@ -353,12 +383,23 @@ fn parse_monitoring(rest: &str) -> Result<MonitoringDecl, String> {
         "EVENT" => DataType::Event,
         other => return Err(format!("unknown data type '{other}'")),
     };
-    Ok(MonitoringDecl { name, dataset, associations, data_type, class_tag })
+    Ok(MonitoringDecl {
+        name,
+        dataset,
+        associations,
+        data_type,
+        class_tag,
+    })
 }
 
 fn parse_exclude(rest: &str) -> Result<ExcludeRule, String> {
-    let rest = rest.trim().strip_suffix(';').ok_or("missing trailing ';'")?;
-    let (target, value) = rest.split_once('=').ok_or("expected 'EXCLUDE target = <regex>;'")?;
+    let rest = rest
+        .trim()
+        .strip_suffix(';')
+        .ok_or("missing trailing ';'")?;
+    let (target, value) = rest
+        .split_once('=')
+        .ok_or("expected 'EXCLUDE target = <regex>;'")?;
     let target = target.trim();
     let pattern = value
         .trim()
@@ -386,7 +427,11 @@ mod tests {
         let cfg = ScoutConfig::phynet();
         assert_eq!(cfg.monitoring.len(), 12);
         assert_eq!(cfg.patterns.len(), 4);
-        let tagged = cfg.monitoring.iter().filter(|m| m.class_tag.is_some()).count();
+        let tagged = cfg
+            .monitoring
+            .iter()
+            .filter(|m| m.class_tag.is_some())
+            .count();
         assert_eq!(tagged, 2, "two class tags like the paper");
         assert!(!cfg.datasets_for(ComponentType::Server).is_empty());
         assert!(!cfg.datasets_for(ComponentType::Switch).is_empty());

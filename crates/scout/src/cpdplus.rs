@@ -43,7 +43,11 @@ impl Default for CpdPlusConfig {
             few_device_threshold: 3,
             // A lighter permutation budget than the library default: CPD+
             // runs over many device series per incident.
-            cpd: CpdConfig { min_segment: 4, n_permutations: 39, significance: 0.05 },
+            cpd: CpdConfig {
+                min_segment: 4,
+                n_permutations: 39,
+                significance: 0.05,
+            },
             seed: 0x5C07,
             fast_threshold: ml::cpd::FAST_THRESHOLD,
         }
@@ -113,7 +117,11 @@ pub struct CpdVerdict {
 impl CpdPlus {
     /// A fresh CPD+ with no cluster model yet.
     pub fn new(config: CpdPlusConfig, layout: CpdFeatureLayout) -> CpdPlus {
-        CpdPlus { config, layout, cluster_rf: None }
+        CpdPlus {
+            config,
+            layout,
+            cluster_rf: None,
+        }
     }
 
     /// The cluster-path feature layout.
@@ -160,6 +168,7 @@ impl CpdPlus {
         monitoring: &MonitoringSystem<'_>,
         lookback: SimDuration,
     ) -> Vec<f64> {
+        let _span = obs::span!("scout.cpd.cluster_features");
         let window = (t.saturating_sub(lookback), t);
         let mut out = Vec::with_capacity(self.layout.len());
         for &(ctype, dataset) in &self.layout.entries {
@@ -187,13 +196,15 @@ impl CpdPlus {
                                 None => 0.0,
                             }
                         }
-                        DataType::Event => {
-                            monitoring.events(dataset, device, window).len() as f64
-                        }
+                        DataType::Event => monitoring.events(dataset, device, window).len() as f64,
                     };
                 }
             }
-            out.push(if devices == 0 { 0.0 } else { total / devices as f64 });
+            out.push(if devices == 0 {
+                0.0
+            } else {
+                total / devices as f64
+            });
         }
         out
     }
@@ -207,6 +218,7 @@ impl CpdPlus {
         monitoring: &MonitoringSystem<'_>,
         lookback: SimDuration,
     ) -> Vec<String> {
+        let _span = obs::span!("scout.cpd.conservative");
         let window = (t.saturating_sub(lookback), t);
         let topo = monitoring.topology();
         let mut evidence = Vec::new();
@@ -215,8 +227,11 @@ impl CpdPlus {
         let mut datasets: Vec<Dataset> = self.layout.entries.iter().map(|&(_, d)| d).collect();
         datasets.sort_unstable();
         datasets.dedup();
-        let devices =
-            extracted.servers.iter().chain(extracted.switches.iter()).copied();
+        let devices = extracted
+            .servers
+            .iter()
+            .chain(extracted.switches.iter())
+            .copied();
         for device in devices {
             let kind = topo.component(device).kind;
             let name = &topo.component(device).name;
@@ -238,15 +253,12 @@ impl CpdPlus {
                     DataType::TimeSeries => {
                         if let Some(series) = monitoring.series(dataset, device, window) {
                             let mut rng = self.series_rng(dataset, device.0);
-                            let cps =
-                                detect_change_points(&series, &self.config.cpd, &mut rng);
+                            let cps = detect_change_points(&series, &self.config.cpd, &mut rng);
                             // Effect-size gate: fault signatures shift the
                             // level by several σ; mild diurnal drift and
                             // noise wobbles do not constitute evidence an
                             // operator would accept.
-                            if let Some(&cp) =
-                                cps.iter().find(|&&cp| strong_shift(&series, cp))
-                            {
+                            if let Some(&cp) = cps.iter().find(|&&cp| strong_shift(&series, cp)) {
                                 evidence.push(format!(
                                     "Change point in {dataset} on {name} at sample {cp}."
                                 ));
@@ -256,10 +268,8 @@ impl CpdPlus {
                     DataType::Event => {
                         let events = monitoring.events(dataset, device, window);
                         if !events.is_empty() {
-                            evidence.push(format!(
-                                "{} {dataset} event(s) on {name}.",
-                                events.len()
-                            ));
+                            evidence
+                                .push(format!("{} {dataset} event(s) on {name}.", events.len()));
                         }
                     }
                 }
@@ -306,7 +316,7 @@ impl CpdPlus {
                     responsible: any,
                     confidence: 0.55,
                     evidence: vec![
-                        "CPD+ cluster model untrained; using any-change heuristic.".into(),
+                        "CPD+ cluster model untrained; using any-change heuristic.".into()
                     ],
                 }
             }
@@ -331,9 +341,7 @@ fn strong_shift(series: &[f64], cp: usize) -> bool {
     let (a, b) = series.split_at(cp);
     let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
     let (ma, mb) = (mean(a), mean(b));
-    let var = |s: &[f64], m: f64| {
-        s.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / s.len() as f64
-    };
+    let var = |s: &[f64], m: f64| s.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / s.len() as f64;
     let pooled = ((var(a, ma) + var(b, mb)) / 2.0).sqrt().max(1e-12);
     (ma - mb).abs() > 2.5 * pooled
 }
@@ -353,7 +361,10 @@ mod tests {
             id: 0,
             kind: FaultKind::TorFailure,
             owner: Team::PhyNet,
-            scope: FaultScope::Devices { devices: vec![tor], cluster },
+            scope: FaultScope::Devices {
+                devices: vec![tor],
+                cluster,
+            },
             start: SimTime::from_hours(100),
             duration: SimDuration::hours(6),
             severity: Severity::Sev2,
@@ -363,7 +374,10 @@ mod tests {
     }
 
     fn cpd(config: &ScoutConfig) -> CpdPlus {
-        CpdPlus::new(CpdPlusConfig::default(), CpdFeatureLayout::build(config, &[]))
+        CpdPlus::new(
+            CpdPlusConfig::default(),
+            CpdFeatureLayout::build(config, &[]),
+        )
     }
 
     #[test]
@@ -437,16 +451,15 @@ mod tests {
             &mon,
             SimDuration::hours(2),
         );
-        let before = model.cluster_features(
-            &found,
-            SimTime::from_hours(50),
-            &mon,
-            SimDuration::hours(2),
-        );
+        let before =
+            model.cluster_features(&found, SimTime::from_hours(50), &mon, SimDuration::hours(2));
         assert_eq!(during.len(), model.layout().len());
         let sum_d: f64 = during.iter().sum();
         let sum_b: f64 = before.iter().sum();
-        assert!(sum_d > sum_b, "fault window has more changes: {sum_d} vs {sum_b}");
+        assert!(
+            sum_d > sum_b,
+            "fault window has more changes: {sum_d} vs {sum_b}"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl Default for DenoiseConfig {
         DenoiseConfig {
             folds: 3,
             label_probability_floor: 0.2,
-            forest: ForestConfig { n_trees: 30, ..ForestConfig::default() },
+            forest: ForestConfig {
+                n_trees: 30,
+                ..ForestConfig::default()
+            },
         }
     }
 }
@@ -65,7 +68,10 @@ pub fn denoise<R: Rng>(
     let n = x.len();
     let mut label_probability = vec![0.5; n];
     if n < config.folds * 4 {
-        return DenoiseReport { label_probability, suspects: Vec::new() };
+        return DenoiseReport {
+            label_probability,
+            suspects: Vec::new(),
+        };
     }
     for fold in 0..config.folds {
         let (train, test): (Vec<usize>, Vec<usize>) =
@@ -83,7 +89,10 @@ pub fn denoise<R: Rng>(
     let suspects = (0..n)
         .filter(|&i| label_probability[i] < config.label_probability_floor)
         .collect();
-    DenoiseReport { label_probability, suspects }
+    DenoiseReport {
+        label_probability,
+        suspects,
+    }
 }
 
 #[cfg(test)]
@@ -120,7 +129,10 @@ mod tests {
         let (x, y, flipped) = noisy_blobs(300, 15);
         let mut rng = SmallRng::seed_from_u64(1);
         let report = denoise(&x, &y, &DenoiseConfig::default(), &mut rng);
-        let found = flipped.iter().filter(|i| report.suspects.contains(i)).count();
+        let found = flipped
+            .iter()
+            .filter(|i| report.suspects.contains(i))
+            .count();
         assert!(
             found as f64 / flipped.len() as f64 > 0.8,
             "found {found}/{} flipped labels; suspects {:?}",
@@ -128,7 +140,11 @@ mod tests {
             report.suspects.len()
         );
         // And few clean examples are flagged.
-        let false_flags = report.suspects.iter().filter(|i| !flipped.contains(i)).count();
+        let false_flags = report
+            .suspects
+            .iter()
+            .filter(|i| !flipped.contains(i))
+            .count();
         assert!(false_flags <= 6, "false flags {false_flags}");
     }
 

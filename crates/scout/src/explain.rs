@@ -25,7 +25,9 @@ impl Explanation {
     /// Keep only the `k` strongest feature contributions by magnitude.
     pub fn truncated(mut self, k: usize) -> Explanation {
         self.top_features.sort_by(|a, b| {
-            b.1.abs().partial_cmp(&a.1.abs()).unwrap_or(std::cmp::Ordering::Equal)
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         self.top_features.truncate(k);
         self

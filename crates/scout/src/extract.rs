@@ -76,7 +76,9 @@ impl<'a> Extractor<'a> {
                 let (ctype, id) = match component.kind {
                     ComponentKind::Vm => {
                         // Dependent-component resolution: VM → host server.
-                        let Some(server) = component.parent else { continue };
+                        let Some(server) = component.parent else {
+                            continue;
+                        };
                         (ComponentType::Server, server)
                     }
                     ComponentKind::Server => (ComponentType::Server, component.id),
@@ -123,7 +125,10 @@ mod tests {
     use cloudsim::TopologyConfig;
 
     fn setup() -> (ScoutConfig, Topology) {
-        (ScoutConfig::phynet(), Topology::build(TopologyConfig::default()))
+        (
+            ScoutConfig::phynet(),
+            Topology::build(TopologyConfig::default()),
+        )
     }
 
     #[test]

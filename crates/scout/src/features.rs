@@ -22,8 +22,9 @@ use cloudsim::{SimDuration, SimTime};
 use monitoring::{DataType, Dataset, MonitoringSystem};
 
 /// The statistics computed per time-series pool, in feature order.
-pub const TS_STATS: [&str; 11] =
-    ["mean", "std", "min", "max", "p1", "p10", "p25", "p50", "p75", "p90", "p99"];
+pub const TS_STATS: [&str; 11] = [
+    "mean", "std", "min", "max", "p1", "p10", "p25", "p50", "p75", "p90", "p99",
+];
 
 /// One contiguous block of the feature vector.
 #[derive(Debug, Clone)]
@@ -74,7 +75,12 @@ impl FeatureLayout {
                         dataset.event_kinds().len()
                     }
                 };
-                blocks.push(Block { ctype, dataset, offset, len });
+                blocks.push(Block {
+                    ctype,
+                    dataset,
+                    offset,
+                    len,
+                });
                 offset += len;
             }
         }
@@ -82,7 +88,11 @@ impl FeatureLayout {
         for ctype in ComponentType::ALL {
             names.push(format!("count/{ctype}"));
         }
-        FeatureLayout { blocks, names, count_offset }
+        FeatureLayout {
+            blocks,
+            names,
+            count_offset,
+        }
     }
 
     /// Total feature-vector length.
@@ -166,7 +176,12 @@ impl<'a> Featurizer<'a> {
         monitoring: &'a MonitoringSystem<'a>,
         lookback: SimDuration,
     ) -> Featurizer<'a> {
-        Featurizer { layout, monitoring, lookback, aggregation: Aggregation::default() }
+        Featurizer {
+            layout,
+            monitoring,
+            lookback,
+            aggregation: Aggregation::default(),
+        }
     }
 
     /// Same, with an explicit aggregation strategy (the `ablation_agg`
@@ -177,12 +192,19 @@ impl<'a> Featurizer<'a> {
         lookback: SimDuration,
         aggregation: Aggregation,
     ) -> Featurizer<'a> {
-        Featurizer { layout, monitoring, lookback, aggregation }
+        Featurizer {
+            layout,
+            monitoring,
+            lookback,
+            aggregation,
+        }
     }
 
     /// The feature vector for components extracted from an incident created
     /// at time `t`.
     pub fn features(&self, extracted: &ExtractedComponents, t: SimTime) -> Vec<f64> {
+        let _span = obs::span!("scout.features.build");
+        obs::counter("scout.features.vectors").inc();
         let window = (t.saturating_sub(self.lookback), t);
         let mut out = vec![0.0; self.layout.len()];
         for block in &self.layout.blocks {
@@ -205,9 +227,7 @@ impl<'a> Featurizer<'a> {
                                     Aggregation::PooledSamples => pool.extend(s),
                                     Aggregation::DeviceMeans => {
                                         if !s.is_empty() {
-                                            pool.push(
-                                                s.iter().sum::<f64>() / s.len() as f64,
-                                            );
+                                            pool.push(s.iter().sum::<f64>() / s.len() as f64);
                                         }
                                     }
                                 }
@@ -291,7 +311,10 @@ mod tests {
             id: 0,
             kind: FaultKind::TorFailure,
             owner: Team::PhyNet,
-            scope: FaultScope::Devices { devices: vec![tor], cluster },
+            scope: FaultScope::Devices {
+                devices: vec![tor],
+                cluster,
+            },
             start: SimTime::from_hours(100),
             duration: SimDuration::hours(6),
             severity: Severity::Sev2,
@@ -305,15 +328,25 @@ mod tests {
         let cfg = ScoutConfig::phynet();
         let layout = FeatureLayout::build(&cfg, &[]);
         assert_eq!(layout.len(), layout.names().len());
-        assert!(layout.len() > 150, "rich feature vector, got {}", layout.len());
+        assert!(
+            layout.len() > 150,
+            "rich feature vector, got {}",
+            layout.len()
+        );
         // Stable block structure: contiguous, non-overlapping.
         let mut expected = 0;
         for b in layout.blocks() {
             assert_eq!(b.offset, expected);
             expected += b.len;
         }
-        assert!(layout.names().iter().any(|n| n == "cluster/ping-statistics/p99"));
-        assert!(layout.names().iter().any(|n| n == "switch/snmp-syslog/count[link-down]"));
+        assert!(layout
+            .names()
+            .iter()
+            .any(|n| n == "cluster/ping-statistics/p99"));
+        assert!(layout
+            .names()
+            .iter()
+            .any(|n| n == "switch/snmp-syslog/count[link-down]"));
         assert!(layout.names().iter().any(|n| n == "count/server"));
     }
 
@@ -323,7 +356,10 @@ mod tests {
         let full = FeatureLayout::build(&cfg, &[]);
         let reduced = FeatureLayout::build(&cfg, &[Dataset::PingStats, Dataset::SnmpSyslog]);
         assert!(reduced.len() < full.len());
-        assert!(!reduced.names().iter().any(|n| n.contains("ping-statistics")));
+        assert!(!reduced
+            .names()
+            .iter()
+            .any(|n| n.contains("ping-statistics")));
         assert!(!reduced.names().iter().any(|n| n.contains("snmp-syslog")));
     }
 
@@ -355,7 +391,11 @@ mod tests {
             .iter()
             .position(|n| n == "switch/switch-level-drops/count[switch-drop-detected]")
             .unwrap();
-        assert!(v_during[drops] >= 3.0, "drop detections {}", v_during[drops]);
+        assert!(
+            v_during[drops] >= 3.0,
+            "drop detections {}",
+            v_during[drops]
+        );
         assert!(v_before[drops] <= 1.0);
     }
 
@@ -369,10 +409,18 @@ mod tests {
         let only_cluster = ex.extract("something wrong in c0.dc0");
         let v = fz.features(&only_cluster, SimTime::from_hours(10));
         for i in layout.indices_for_type(ComponentType::Server) {
-            assert_eq!(v[i], 0.0, "server feature {} must be zero", layout.names()[i]);
+            assert_eq!(
+                v[i],
+                0.0,
+                "server feature {} must be zero",
+                layout.names()[i]
+            );
         }
-        let count_cluster =
-            layout.names().iter().position(|n| n == "count/cluster").unwrap();
+        let count_cluster = layout
+            .names()
+            .iter()
+            .position(|n| n == "count/cluster")
+            .unwrap();
         assert_eq!(v[count_cluster], 1.0);
     }
 
@@ -389,10 +437,16 @@ mod tests {
         let found = ex.extract("problems reported in c0.dc0");
         let v_during = fz.features(&found, SimTime::from_hours(103));
         let v_before = fz.features(&found, SimTime::from_hours(50));
-        let p99 =
-            layout.names().iter().position(|n| n == "cluster/ping-statistics/p99").unwrap();
-        let p50 =
-            layout.names().iter().position(|n| n == "cluster/ping-statistics/p50").unwrap();
+        let p99 = layout
+            .names()
+            .iter()
+            .position(|n| n == "cluster/ping-statistics/p99")
+            .unwrap();
+        let p50 = layout
+            .names()
+            .iter()
+            .position(|n| n == "cluster/ping-statistics/p50")
+            .unwrap();
         assert!(
             v_during[p99] > v_before[p99] * 1.3,
             "p99 moves: {} vs {}",
@@ -412,7 +466,7 @@ mod tests {
         assert_eq!(out[2], 1.0); // min
         assert_eq!(out[3], 4.0); // max
         assert_eq!(out[7], 3.0); // p50 (nearest-rank on 4 samples)
-        // Empty pool → zeros.
+                                 // Empty pool → zeros.
         write_ts_stats(&[], &mut out);
         assert!(out.iter().all(|&v| v == 0.0));
     }

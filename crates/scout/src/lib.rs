@@ -29,8 +29,8 @@ pub mod cpdplus;
 pub mod denoise;
 pub mod explain;
 pub mod extract;
-pub mod persist;
 pub mod features;
+pub mod persist;
 pub mod retrain;
 pub mod rules;
 pub mod scout;
@@ -64,6 +64,11 @@ pub struct Example {
 impl Example {
     /// An example with unit weight.
     pub fn new(text: impl Into<String>, time: SimTime, label: bool) -> Example {
-        Example { text: text.into(), time, label, weight: 1.0 }
+        Example {
+            text: text.into(),
+            time,
+            label,
+            weight: 1.0,
+        }
     }
 }

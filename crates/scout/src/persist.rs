@@ -52,8 +52,7 @@ impl Scout {
             b.cpdplus.seed,
             b.cpdplus.fast_threshold,
         ));
-        let disabled: Vec<&str> =
-            b.disabled_datasets.iter().map(|d| d.name()).collect();
+        let disabled: Vec<&str> = b.disabled_datasets.iter().map(|d| d.name()).collect();
         out.push_str(&format!("disabled {}\n", disabled.join(" ")));
         out.push_str("[end]\n");
 
@@ -157,9 +156,7 @@ impl Scout {
                             Dataset::ALL
                                 .into_iter()
                                 .find(|d| d.name() == name)
-                                .ok_or_else(|| {
-                                    PersistError(format!("unknown data set '{name}'"))
-                                })
+                                .ok_or_else(|| PersistError(format!("unknown data set '{name}'")))
                         })
                         .collect::<Result<_, _>>()?;
                 }
@@ -195,7 +192,14 @@ impl Scout {
                 forest.n_features()
             )));
         }
-        Ok(Scout { config, build, layout, forest, cpd, selector })
+        Ok(Scout {
+            config,
+            build,
+            layout,
+            forest,
+            cpd,
+            selector,
+        })
     }
 
     /// Save to a file.
@@ -230,15 +234,26 @@ mod tests {
             let tors = topo.descendants_of_kind(cluster, ComponentKind::TorSwitch);
             let servers = topo.descendants_of_kind(cluster, ComponentKind::Server);
             let (kind, owner, dev) = if i % 2 == 0 {
-                (FaultKind::TorFailure, Team::PhyNet, tors[i as usize % tors.len()])
+                (
+                    FaultKind::TorFailure,
+                    Team::PhyNet,
+                    tors[i as usize % tors.len()],
+                )
             } else {
-                (FaultKind::ServerOverload, Team::Compute, servers[i as usize % servers.len()])
+                (
+                    FaultKind::ServerOverload,
+                    Team::Compute,
+                    servers[i as usize % servers.len()],
+                )
             };
             faults.push(Fault {
                 id: i as u32,
                 kind,
                 owner,
-                scope: FaultScope::Devices { devices: vec![dev], cluster },
+                scope: FaultScope::Devices {
+                    devices: vec![dev],
+                    cluster,
+                },
                 start: SimTime::from_hours(10 + i * 8),
                 duration: SimDuration::hours(4),
                 severity: Severity::Sev2,

@@ -157,7 +157,11 @@ impl RetrainSchedule {
                 confusion.record(corpus.items[i].example.label, said);
                 mistaken[i] = said != corpus.items[i].example.label;
             }
-            results.push(PeriodResult { at, confusion, train_size: train_idx.len() });
+            results.push(PeriodResult {
+                at,
+                confusion,
+                train_size: train_idx.len(),
+            });
             at += cfg.interval;
         }
         results
@@ -169,7 +173,13 @@ impl PreparedCorpus {
     /// indices of its items.
     pub fn clone_window(&self, idx: &[usize]) -> (PreparedCorpus, Vec<usize>) {
         let items = idx.iter().map(|&i| self.items[i].clone()).collect();
-        (PreparedCorpus { items, layout: self.layout.clone() }, idx.to_vec())
+        (
+            PreparedCorpus {
+                items,
+                layout: self.layout.clone(),
+            },
+            idx.to_vec(),
+        )
     }
 }
 
@@ -180,7 +190,10 @@ mod tests {
     #[test]
     fn window_policies() {
         assert_eq!(WindowPolicy::Growing, WindowPolicy::Growing);
-        assert_ne!(WindowPolicy::Growing, WindowPolicy::Sliding(SimDuration::days(60)));
+        assert_ne!(
+            WindowPolicy::Growing,
+            WindowPolicy::Sliding(SimDuration::days(60))
+        );
     }
 
     #[test]

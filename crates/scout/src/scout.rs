@@ -131,6 +131,9 @@ impl Prediction {
 /// One example after the (cacheable) featurization stage.
 #[derive(Debug, Clone)]
 pub struct PreparedExample {
+    /// Position in the prepared corpus; doubles as the incident id in
+    /// the audit log.
+    pub ordinal: usize,
     /// The raw example.
     pub example: Example,
     /// Did an EXCLUDE rule veto it?
@@ -169,7 +172,9 @@ pub struct PreparedCorpus {
 impl PreparedCorpus {
     /// Indices of trainable items.
     pub fn trainable_indices(&self) -> Vec<usize> {
-        (0..self.items.len()).filter(|&i| self.items[i].trainable()).collect()
+        (0..self.items.len())
+            .filter(|&i| self.items[i].trainable())
+            .collect()
     }
 }
 
@@ -192,23 +197,26 @@ impl Scout {
         examples: &[Example],
         monitoring: &MonitoringSystem<'_>,
     ) -> PreparedCorpus {
+        let _span = obs::span!("scout.prepare");
         let topo = monitoring.topology();
         let layout = FeatureLayout::build(config, &build.disabled_datasets);
+        obs::gauge("scout.features.dim").set(layout.len() as f64);
+        obs::counter("scout.prepare.examples").add(examples.len() as u64);
         let cpd_layout = CpdFeatureLayout::build(config, &build.disabled_datasets);
         let cpd = CpdPlus::new(build.cpdplus.clone(), cpd_layout);
         let extractor = Extractor::new(config, topo);
-        let featurizer = Featurizer::with_aggregation(
-            &layout,
-            monitoring,
-            build.lookback,
-            build.aggregation,
-        );
+        let featurizer =
+            Featurizer::with_aggregation(&layout, monitoring, build.lookback, build.aggregation);
         let items = examples
             .iter()
-            .map(|ex| {
+            .enumerate()
+            .map(|(ordinal, ex)| {
                 let excluded = config.excludes_incident(&ex.text);
-                let extracted =
-                    if excluded { ExtractedComponents::default() } else { extractor.extract(&ex.text) };
+                let extracted = if excluded {
+                    ExtractedComponents::default()
+                } else {
+                    extractor.extract(&ex.text)
+                };
                 let component_names = extracted
                     .all()
                     .iter()
@@ -217,20 +225,18 @@ impl Scout {
                 let features = (!excluded && !extracted.is_empty())
                     .then(|| featurizer.features(&extracted, ex.time));
                 let device_count = extracted.device_count();
-                let conservative_hits = if (1..=build.cpdplus.few_device_threshold)
-                    .contains(&device_count)
-                {
-                    cpd.conservative_hits(&extracted, ex.time, monitoring, build.lookback)
-                } else {
-                    Vec::new()
-                };
+                let conservative_hits =
+                    if (1..=build.cpdplus.few_device_threshold).contains(&device_count) {
+                        cpd.conservative_hits(&extracted, ex.time, monitoring, build.lookback)
+                    } else {
+                        Vec::new()
+                    };
                 let cluster_features = (!excluded
                     && device_count == 0
                     && !extracted.clusters.is_empty())
-                .then(|| {
-                    cpd.cluster_features(&extracted, ex.time, monitoring, build.lookback)
-                });
+                .then(|| cpd.cluster_features(&extracted, ex.time, monitoring, build.lookback));
                 PreparedExample {
+                    ordinal,
                     example: ex.clone(),
                     excluded,
                     extracted,
@@ -254,6 +260,7 @@ impl Scout {
         // cached in the corpus so training itself never touches telemetry.
         _monitoring: &MonitoringSystem<'_>,
     ) -> Scout {
+        let _span = obs::span!("scout.train");
         let mut rng = SmallRng::seed_from_u64(build.seed);
         let usable: Vec<usize> = train_idx
             .iter()
@@ -269,21 +276,32 @@ impl Scout {
             .iter()
             .map(|&i| corpus.items[i].features.clone().unwrap())
             .collect();
-        let y: Vec<usize> =
-            usable.iter().map(|&i| usize::from(corpus.items[i].example.label)).collect();
-        let w: Vec<f64> = usable.iter().map(|&i| corpus.items[i].example.weight).collect();
+        let y: Vec<usize> = usable
+            .iter()
+            .map(|&i| usize::from(corpus.items[i].example.label))
+            .collect();
+        let w: Vec<f64> = usable
+            .iter()
+            .map(|&i| corpus.items[i].example.weight)
+            .collect();
 
-        let forest =
-            RandomForest::fit_weighted(&x, &y, &w, 2, build.forest, &mut rng);
+        let forest = RandomForest::fit_weighted(&x, &y, &w, 2, build.forest, &mut rng);
 
         // Meta-learning labels: 2-fold cross-validated mistakes of the
         // main forest (§5.3: "find incidents where the RF is expected to
         // make mistakes").
-        let rf_wrong = cross_val_mistakes(&x, &y, &w, build.forest, &mut rng);
-        let texts: Vec<String> =
-            usable.iter().map(|&i| corpus.items[i].example.text.clone()).collect();
-        let responsible: Vec<bool> =
-            usable.iter().map(|&i| corpus.items[i].example.label).collect();
+        let rf_wrong = {
+            let _span = obs::span!("scout.train.crossval");
+            cross_val_mistakes(&x, &y, &w, build.forest, &mut rng)
+        };
+        let texts: Vec<String> = usable
+            .iter()
+            .map(|&i| corpus.items[i].example.text.clone())
+            .collect();
+        let responsible: Vec<bool> = usable
+            .iter()
+            .map(|&i| corpus.items[i].example.label)
+            .collect();
         let selector = Selector::fit(
             build.selector,
             &texts,
@@ -315,7 +333,14 @@ impl Scout {
             cpd.fit_cluster_rf(&cx, &cy, &mut rng);
         }
 
-        Scout { config, build, layout: corpus.layout.clone(), forest, cpd, selector }
+        Scout {
+            config,
+            build,
+            layout: corpus.layout.clone(),
+            forest,
+            cpd,
+            selector,
+        }
     }
 
     /// Convenience: prepare + train on everything.
@@ -359,8 +384,20 @@ impl Scout {
         }
     }
 
-    /// Predict from a prepared example.
+    /// Predict from a prepared example. Exactly one audit-log record is
+    /// emitted per call (see [`obs::audit`]).
     pub fn predict_prepared(
+        &self,
+        item: &PreparedExample,
+        monitoring: &MonitoringSystem<'_>,
+    ) -> Prediction {
+        let _span = obs::span!("scout.predict");
+        let pred = self.predict_unaudited(item, monitoring);
+        self.audit(item, &pred);
+        pred
+    }
+
+    fn predict_unaudited(
         &self,
         item: &PreparedExample,
         monitoring: &MonitoringSystem<'_>,
@@ -382,11 +419,9 @@ impl Scout {
                 confidence: 0.0,
                 model: ModelUsed::Fallback,
                 explanation: Explanation {
-                    evidence: vec![
-                        "No components could be extracted; the incident is too \
+                    evidence: vec!["No components could be extracted; the incident is too \
                          broad in scope for the Scout (§5.3)."
-                            .into(),
-                    ],
+                        .into()],
                     ..Default::default()
                 },
             };
@@ -398,19 +433,41 @@ impl Scout {
     }
 
     /// Predict for raw incident text at time `t` (prepares on the fly).
-    pub fn predict(
-        &self,
-        text: &str,
-        t: SimTime,
-        monitoring: &MonitoringSystem<'_>,
-    ) -> Prediction {
+    pub fn predict(&self, text: &str, t: SimTime, monitoring: &MonitoringSystem<'_>) -> Prediction {
         let examples = [Example::new(text, t, false)];
         let corpus = Scout::prepare(&self.config, &self.build, &examples, monitoring);
         self.predict_prepared(&corpus.items[0], monitoring)
     }
 
+    /// One audit record per prediction: who decided, how confidently,
+    /// on which features, and where the incident went (§4, §8).
+    fn audit(&self, item: &PreparedExample, pred: &Prediction) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::observe("scout.predict.confidence", pred.confidence);
+        obs::AuditRecord {
+            incident: item.ordinal as u64,
+            model: format!("{:?}", pred.model),
+            verdict: format!("{:?}", pred.verdict),
+            confidence: pred.confidence,
+            top_features: pred.explanation.top_features.clone(),
+            outcome: match pred.verdict {
+                Verdict::Responsible => "route-here",
+                Verdict::NotResponsible => "route-away",
+                Verdict::Fallback => "legacy-process",
+            }
+            .into(),
+        }
+        .emit();
+    }
+
     fn predict_forest(&self, item: &PreparedExample) -> Prediction {
-        let features = item.features.as_ref().expect("non-empty extraction has features");
+        let _span = obs::span!("scout.predict.forest");
+        let features = item
+            .features
+            .as_ref()
+            .expect("non-empty extraction has features");
         let proba = self.forest.predict_proba(features);
         let responsible = proba[1] >= 0.5;
         let (_, contributions) = self.forest.feature_contributions(features, 1);
@@ -427,18 +484,19 @@ impl Scout {
         }
         .truncated(5);
         Prediction {
-            verdict: if responsible { Verdict::Responsible } else { Verdict::NotResponsible },
+            verdict: if responsible {
+                Verdict::Responsible
+            } else {
+                Verdict::NotResponsible
+            },
             confidence: proba[1].max(proba[0]),
             model: ModelUsed::RandomForest,
             explanation,
         }
     }
 
-    fn predict_cpd(
-        &self,
-        item: &PreparedExample,
-        monitoring: &MonitoringSystem<'_>,
-    ) -> Prediction {
+    fn predict_cpd(&self, item: &PreparedExample, monitoring: &MonitoringSystem<'_>) -> Prediction {
+        let _span = obs::span!("scout.predict.cpd");
         let device_count = item.extracted.device_count();
         let few = (1..=self.build.cpdplus.few_device_threshold).contains(&device_count);
         let cluster_features = if few {
@@ -453,8 +511,9 @@ impl Scout {
                 self.build.lookback,
             )
         };
-        let verdict =
-            self.cpd.decide(device_count, &item.conservative_hits, &cluster_features);
+        let verdict = self
+            .cpd
+            .decide(device_count, &item.conservative_hits, &cluster_features);
         Prediction {
             verdict: if verdict.responsible {
                 Verdict::Responsible
@@ -462,7 +521,11 @@ impl Scout {
                 Verdict::NotResponsible
             },
             confidence: verdict.confidence,
-            model: if few { ModelUsed::CpdConservative } else { ModelUsed::CpdCluster },
+            model: if few {
+                ModelUsed::CpdConservative
+            } else {
+                ModelUsed::CpdCluster
+            },
             explanation: Explanation {
                 components: item.component_names.clone(),
                 datasets: self.dataset_names(),
@@ -515,10 +578,12 @@ fn cross_val_mistakes(
         return wrong;
     }
     // Cheaper forests are fine for the meta-labels.
-    let cv_cfg = ForestConfig { n_trees: 20, ..forest_cfg };
+    let cv_cfg = ForestConfig {
+        n_trees: 20,
+        ..forest_cfg
+    };
     for fold in 0..2 {
-        let (train, test): (Vec<usize>, Vec<usize>) =
-            (0..n).partition(|i| i % 2 == fold);
+        let (train, test): (Vec<usize>, Vec<usize>) = (0..n).partition(|i| i % 2 == fold);
         let tx: Vec<Vec<f64>> = train.iter().map(|&i| x[i].clone()).collect();
         let ty: Vec<usize> = train.iter().map(|&i| y[i]).collect();
         let tw: Vec<f64> = train.iter().map(|&i| w[i]).collect();
@@ -552,8 +617,7 @@ mod tests {
     fn world() -> World {
         let topo = Topology::build(TopologyConfig::default());
         let mut faults = Vec::new();
-        let clusters: Vec<_> =
-            topo.of_kind(ComponentKind::Cluster).map(|c| c.id).collect();
+        let clusters: Vec<_> = topo.of_kind(ComponentKind::Cluster).map(|c| c.id).collect();
         for i in 0..60u64 {
             let cluster = clusters[i as usize % clusters.len()];
             let start = SimTime::from_hours(10 + i * 10);
@@ -564,7 +628,10 @@ mod tests {
                     id: i as u32,
                     kind: FaultKind::TorFailure,
                     owner: Team::PhyNet,
-                    scope: FaultScope::Devices { devices: vec![tor], cluster },
+                    scope: FaultScope::Devices {
+                        devices: vec![tor],
+                        cluster,
+                    },
                     start,
                     duration: SimDuration::hours(5),
                     severity: Severity::Sev2,
@@ -577,7 +644,10 @@ mod tests {
                     id: i as u32,
                     kind: FaultKind::ServerOverload,
                     owner: Team::Compute,
-                    scope: FaultScope::Devices { devices: vec![srv], cluster },
+                    scope: FaultScope::Devices {
+                        devices: vec![srv],
+                        cluster,
+                    },
                     start,
                     duration: SimDuration::hours(5),
                     severity: Severity::Sev3,
@@ -605,14 +675,21 @@ mod tests {
                          cluster {cluster} above 95% for 30 minutes."
                     ),
                 };
-                Example::new(text, f.start + SimDuration::minutes(30), f.owner == Team::PhyNet)
+                Example::new(
+                    text,
+                    f.start + SimDuration::minutes(30),
+                    f.owner == Team::PhyNet,
+                )
             })
             .collect()
     }
 
     fn build_cfg() -> ScoutBuildConfig {
         ScoutBuildConfig {
-            forest: ForestConfig { n_trees: 20, ..ForestConfig::default() },
+            forest: ForestConfig {
+                n_trees: 20,
+                ..ForestConfig::default()
+            },
             ..Default::default()
         }
     }
@@ -643,7 +720,9 @@ mod tests {
             assert!(!pred.explanation.top_features.is_empty());
             assert!(pred.explanation.top_features.len() <= 5);
         }
-        let rendered = pred.explanation.render("PhyNet", pred.says_responsible(), pred.confidence);
+        let rendered = pred
+            .explanation
+            .render("PhyNet", pred.says_responsible(), pred.confidence);
         assert!(rendered.contains("PhyNet"));
     }
 
@@ -653,8 +732,11 @@ mod tests {
         let mon = MonitoringSystem::new(&w.topo, &w.faults, MonitoringConfig::default());
         let exs = examples(&w);
         let (scout, _) = Scout::train(ScoutConfig::phynet(), build_cfg(), &exs, &mon);
-        let pred =
-            scout.predict("something vague happened somewhere", SimTime::from_hours(20), &mon);
+        let pred = scout.predict(
+            "something vague happened somewhere",
+            SimTime::from_hours(20),
+            &mon,
+        );
         assert_eq!(pred.verdict, Verdict::Fallback);
         assert_eq!(pred.model, ModelUsed::Fallback);
     }

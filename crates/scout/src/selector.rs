@@ -84,6 +84,7 @@ impl Selector {
         meta_words: usize,
         rng: &mut R,
     ) -> Selector {
+        let _span = obs::span!("scout.selector.fit");
         assert_eq!(texts.len(), responsible.len());
         assert_eq!(texts.len(), rf_wrong.len());
         let labels: Vec<usize> = responsible.iter().map(|&b| usize::from(b)).collect();
@@ -121,12 +122,21 @@ impl Selector {
             SelectorKind::OneClassSvmAggressive => Model::Svm(OneClassSvmSmo::fit(
                 &x,
                 Kernel::Rbf { gamma: 4.0 },
-                SmoConfig { nu: 0.10, ..Default::default() },
+                SmoConfig {
+                    nu: 0.10,
+                    ..Default::default()
+                },
             )),
             SelectorKind::OneClassSvmConservative => Model::Svm(OneClassSvmSmo::fit(
                 &x,
-                Kernel::Poly { degree: 2, scale: 1.0 },
-                SmoConfig { nu: 0.02, ..Default::default() },
+                Kernel::Poly {
+                    degree: 2,
+                    scale: 1.0,
+                },
+                SmoConfig {
+                    nu: 0.02,
+                    ..Default::default()
+                },
             )),
         };
         Selector { kind, meta, model }
@@ -206,14 +216,21 @@ impl Selector {
     /// Should this incident bypass the supervised forest and go to CPD+?
     pub fn routes_to_cpd(&self, text: &str) -> bool {
         let x = self.meta.features(text);
-        match &self.model {
+        let novel = match &self.model {
             // Route to CPD+ only on a clear novelty signal; borderline
             // incidents stay with the forest.
             Model::Rf(rf) => rf.predict_proba(&x)[1] > 0.6,
             Model::Ada(a) => a.predict(&x) == 1,
             Model::Svm(svm) => svm.is_novel(&x),
             Model::AlwaysFamiliar => false,
-        }
+        };
+        obs::counter(if novel {
+            "scout.selector.to_cpd"
+        } else {
+            "scout.selector.to_forest"
+        })
+        .inc();
+        novel
     }
 }
 
@@ -248,8 +265,14 @@ mod tests {
     fn bag_of_words_learns_the_mistake_family() {
         let (texts, resp, wrong) = corpus();
         let mut rng = SmallRng::seed_from_u64(1);
-        let s =
-            Selector::fit(SelectorKind::BagOfWordsRf, &texts, &resp, &wrong, 30, &mut rng);
+        let s = Selector::fit(
+            SelectorKind::BagOfWordsRf,
+            &texts,
+            &resp,
+            &wrong,
+            30,
+            &mut rng,
+        );
         assert!(s.routes_to_cpd("bgp wedge firmware anomaly again"));
         assert!(!s.routes_to_cpd("switch drops on tor rack packet loss"));
     }
@@ -288,7 +311,10 @@ mod tests {
             .collect();
         let agg_n = probes.iter().filter(|p| agg.routes_to_cpd(p)).count();
         let cons_n = probes.iter().filter(|p| cons.routes_to_cpd(p)).count();
-        assert!(agg_n >= cons_n, "aggressive {agg_n} vs conservative {cons_n}");
+        assert!(
+            agg_n >= cons_n,
+            "aggressive {agg_n} vs conservative {cons_n}"
+        );
         assert!(agg_n > 0, "aggressive kernel must flag novel text");
     }
 
@@ -298,8 +324,14 @@ mod tests {
         let resp = vec![true; 10];
         let wrong = vec![false; 10];
         let mut rng = SmallRng::seed_from_u64(4);
-        let s =
-            Selector::fit(SelectorKind::BagOfWordsRf, &texts, &resp, &wrong, 10, &mut rng);
+        let s = Selector::fit(
+            SelectorKind::BagOfWordsRf,
+            &texts,
+            &resp,
+            &wrong,
+            10,
+            &mut rng,
+        );
         assert!(!s.routes_to_cpd("anything at all"));
     }
 }

@@ -41,9 +41,13 @@ fn main() -> ExitCode {
 fn run(raw: Vec<String>) -> Result<(), ArgError> {
     let args = Args::parse(raw, &["verbose"])?;
     if args.flag("verbose") {
-        eprintln!("[scoutctl] {} positional argument(s)", args.positional_count());
+        eprintln!(
+            "[scoutctl] {} positional argument(s)",
+            args.positional_count()
+        );
     }
-    match args.positional(0) {
+    let observing = setup_obs(&args)?;
+    let result = match args.positional(0) {
         None | Some("help") | Some("--help") => {
             print!("{}", USAGE);
             Ok(())
@@ -52,8 +56,53 @@ fn run(raw: Vec<String>) -> Result<(), ArgError> {
         Some("simulate") => simulate(&args),
         Some("train-eval") => train_eval(&args),
         Some("classify") => classify(&args),
+        Some("stats") => stats(&args),
         Some(other) => Err(ArgError(format!("unknown command '{other}'"))),
+    };
+    if observing {
+        finish_obs(&args)?;
     }
+    result
+}
+
+/// Install JSONL sinks and enable collection when any observability
+/// option (`--trace`, `--metrics`, `--audit`) is present, or when the
+/// command is `stats` (whose whole point is the metrics report).
+fn setup_obs(args: &Args) -> Result<bool, ArgError> {
+    let observing = args.get("trace").is_some()
+        || args.get("metrics").is_some()
+        || args.get("audit").is_some()
+        || args.positional(0) == Some("stats");
+    if !observing {
+        return Ok(false);
+    }
+    if let Some(path) = args.get("trace") {
+        let sink = obs::JsonlSink::create(path)
+            .map_err(|e| ArgError(format!("cannot create trace file {path}: {e}")))?;
+        obs::global().set_trace_sink(Some(Box::new(sink)));
+    }
+    if let Some(path) = args.get("audit") {
+        let sink = obs::JsonlSink::create(path)
+            .map_err(|e| ArgError(format!("cannot create audit file {path}: {e}")))?;
+        obs::global().set_audit_sink(Some(Box::new(sink)));
+    }
+    obs::enable();
+    Ok(true)
+}
+
+/// Flush sinks and write the metrics JSONL report, if requested.
+fn finish_obs(args: &Args) -> Result<(), ArgError> {
+    obs::disable();
+    let collector = obs::global();
+    collector.flush();
+    collector.set_trace_sink(None);
+    collector.set_audit_sink(None);
+    if let Some(path) = args.get("metrics") {
+        std::fs::write(path, obs::sink::render_metrics_jsonl(&collector.metrics))
+            .map_err(|e| ArgError(format!("cannot write metrics file {path}: {e}")))?;
+        eprintln!("[scoutctl] metrics written to {path}");
+    }
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -64,6 +113,7 @@ commands:
   simulate                 generate a synthetic workload, print §3 statistics
   train-eval               train a Scout on the workload, print accuracy
   classify <file|->        train a Scout, then classify incident text
+  stats                    run the full pipeline, print the metrics summary
 
 options:
   --seed N                 workload seed (default 42)
@@ -73,14 +123,20 @@ options:
   --at MINUTES             classify: incident time in minutes since epoch
   --save FILE              train-eval: save the trained Scout model
   --model FILE             classify: load a saved model instead of training
+
+observability (any command):
+  --trace FILE             write span events (JSONL) to FILE
+  --metrics FILE           write final counter/gauge/histogram values (JSONL)
+  --audit FILE             write one prediction-audit record (JSONL) per
+                           Scout prediction
 ";
 
 fn check_config(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(1)
         .ok_or_else(|| ArgError("check-config needs a file path".into()))?;
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
     match ScoutConfig::parse(&source) {
         Ok(cfg) => {
             println!(
@@ -98,7 +154,10 @@ fn check_config(args: &Args) -> Result<(), ArgError> {
 fn load_world(args: &Args) -> Result<Workload, ArgError> {
     let seed = args.get_parsed("seed", 42u64)?;
     let faults_per_day = args.get_parsed("faults-per-day", 4.0f64)?;
-    let mut config = WorkloadConfig { seed, ..WorkloadConfig::default() };
+    let mut config = WorkloadConfig {
+        seed,
+        ..WorkloadConfig::default()
+    };
     config.faults.faults_per_day = faults_per_day;
     eprintln!("[scoutctl] generating workload (seed {seed}, {faults_per_day} faults/day)…");
     Ok(Workload::generate(config))
@@ -126,7 +185,11 @@ fn load_team(args: &Args) -> Result<Team, ArgError> {
 fn simulate(args: &Args) -> Result<(), ArgError> {
     let world = load_world(args)?;
     let r = StudyReport::compute(&world);
-    println!("incidents: {} (from {} faults)", world.len(), world.faults.len());
+    println!(
+        "incidents: {} (from {} faults)",
+        world.len(),
+        world.faults.len()
+    );
     println!(
         "mis-routed median slowdown: {:.1}x; PhyNet pass-through mis-route rate: {:.0}%",
         r.misrouted_slowdown,
@@ -136,7 +199,10 @@ fn simulate(args: &Args) -> Result<(), ArgError> {
         "teams per PhyNet-resolved incident: mean {:.1}, max {}",
         r.phynet_teams_mean, r.phynet_teams_max
     );
-    println!("wasted investigation hours/day: {:.1}", r.wasted_hours_per_day);
+    println!(
+        "wasted investigation hours/day: {:.1}",
+        r.wasted_hours_per_day
+    );
     Ok(())
 }
 
@@ -145,9 +211,13 @@ fn train_scout(
     world: &Workload,
     config: ScoutConfig,
     team: Team,
-) -> (Scout, scout::scout::PreparedCorpus, Vec<usize>, MonitoringSystem<'_>) {
-    let mon =
-        MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+) -> (
+    Scout,
+    scout::scout::PreparedCorpus,
+    Vec<usize>,
+    MonitoringSystem<'_>,
+) {
+    let mon = MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
     let examples: Vec<Example> = world
         .incidents
         .iter()
@@ -190,6 +260,60 @@ fn train_eval(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Exercise the whole pipeline once — workload generation, Scout
+/// training, held-out evaluation, and the scout-master simulations —
+/// then print the collected metrics summary.
+fn stats(args: &Args) -> Result<(), ArgError> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use scoutmaster::{ImperfectParams, PerfectScoutSim};
+
+    let world = load_world(args)?;
+    let config = load_config(args)?;
+    let team = load_team(args)?;
+    let (scout, corpus, test, mon) = train_scout(&world, config, team);
+    let confusion = scout.evaluate(&corpus, &test, &mon);
+    println!(
+        "{team} Scout on the last 90 days ({} incidents): {}",
+        test.len(),
+        confusion.metrics()
+    );
+
+    let pairs = || world.incidents.iter().zip(world.traces.iter());
+    let pooled = PerfectScoutSim::pooled_reductions(pairs(), 2);
+    if !pooled.is_empty() {
+        let mean = pooled.iter().sum::<f64>() / pooled.len() as f64;
+        println!(
+            "perfect-scout sim (2 scouts): mean reduction {:.0}% over {} incident-assignments",
+            100.0 * mean,
+            pooled.len()
+        );
+    }
+    let best = PerfectScoutSim::best_possible(pairs());
+    if !best.is_empty() {
+        let mean = best.iter().sum::<f64>() / best.len() as f64;
+        println!("best-possible sim: mean reduction {:.0}%", 100.0 * mean);
+    }
+    let mut rng = SmallRng::seed_from_u64(args.get_parsed("seed", 42u64)?);
+    let imp = PerfectScoutSim::imperfect(
+        pairs(),
+        ImperfectParams {
+            alpha: 0.9,
+            beta: 0.05,
+            n_scouts: 2,
+        },
+        &mut rng,
+    );
+    println!(
+        "imperfect-scout sim (α=0.90, β=0.05, 2 scouts): mean {:.0}%, p95 {:.0}%",
+        100.0 * imp.mean,
+        100.0 * imp.p95
+    );
+    println!();
+    print!("{}", obs::global().summary());
+    Ok(())
+}
+
 fn classify(args: &Args) -> Result<(), ArgError> {
     let source = args
         .positional(1)
@@ -215,13 +339,10 @@ fn classify(args: &Args) -> Result<(), ArgError> {
     let at = SimTime(args.get_parsed("at", default_at)?);
     let (scout, mon) = match args.get("model") {
         Some(path) => {
-            let scout = Scout::load(std::path::Path::new(path))
-                .map_err(|e| ArgError(e.to_string()))?;
-            let mon = MonitoringSystem::new(
-                &world.topology,
-                &world.faults,
-                MonitoringConfig::default(),
-            );
+            let scout =
+                Scout::load(std::path::Path::new(path)).map_err(|e| ArgError(e.to_string()))?;
+            let mon =
+                MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
             eprintln!("[scoutctl] loaded model from {path}");
             (scout, mon)
         }
@@ -240,7 +361,8 @@ fn classify(args: &Args) -> Result<(), ArgError> {
     println!();
     println!(
         "{}",
-        pred.explanation.render(team.name(), pred.says_responsible(), pred.confidence)
+        pred.explanation
+            .render(team.name(), pred.says_responsible(), pred.confidence)
     );
     Ok(())
 }

@@ -49,8 +49,11 @@ fn check_config_accepts_valid_and_rejects_invalid() {
     assert!(stdout(&o).contains("OK"));
 
     let bad = dir.join("bad.scoutcfg");
-    std::fs::write(&bad, "MONITORING x = CREATE_MONITORING(nope, {cluster}, EVENT);\n")
-        .unwrap();
+    std::fs::write(
+        &bad,
+        "MONITORING x = CREATE_MONITORING(nope, {cluster}, EVENT);\n",
+    )
+    .unwrap();
     let o = scoutctl(&["check-config", bad.to_str().unwrap()]);
     assert!(!o.status.success());
 }

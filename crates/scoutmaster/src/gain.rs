@@ -102,7 +102,11 @@ impl GainAccountant {
         if overhead_dist.is_empty() {
             overhead_dist.push(0.05); // degenerate baseline: small default
         }
-        GainAccountant { team, overhead_dist, draw: 0 }
+        GainAccountant {
+            team,
+            overhead_dist,
+            draw: 0,
+        }
     }
 
     /// The Fig. 6 distribution (sorted).
@@ -158,7 +162,9 @@ impl GainAccountant {
             if responsible {
                 r.responsible_total += 1;
                 r.best_gain_in.push(
-                    tr.time_before(self.team).map(|d| fraction(d, tr)).unwrap_or(0.0),
+                    tr.time_before(self.team)
+                        .map(|d| fraction(d, tr))
+                        .unwrap_or(0.0),
                 );
             } else if tr.visited(self.team) {
                 r.best_gain_out.push(fraction(tr.time_in(self.team), tr));
@@ -190,7 +196,7 @@ fn fraction(part: cloudsim::SimDuration, trace: &RoutingTrace) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cloudsim::{SimDuration, SimTime, Severity};
+    use cloudsim::{Severity, SimDuration, SimTime};
     use incident::model::{IncidentId, IncidentSource};
     use incident::routing::RoutingHop;
 
@@ -218,13 +224,20 @@ mod tests {
     }
 
     fn trace(hops: Vec<RoutingHop>) -> RoutingTrace {
-        RoutingTrace { hops, all_hands: false }
+        RoutingTrace {
+            hops,
+            all_hands: false,
+        }
     }
 
     #[test]
     fn gain_in_is_time_before_the_team() {
         let inc = incident(Team::PhyNet);
-        let tr = trace(vec![hop(Team::Storage, 60), hop(Team::Database, 40), hop(Team::PhyNet, 100)]);
+        let tr = trace(vec![
+            hop(Team::Storage, 60),
+            hop(Team::Database, 40),
+            hop(Team::PhyNet, 100),
+        ]);
         let mut acc = GainAccountant::new(Team::PhyNet, std::iter::empty());
         match acc.outcome(&inc, &tr, Some(true)) {
             IncidentOutcome::GainIn { fraction } => {
@@ -252,7 +265,10 @@ mod tests {
         let inc = incident(Team::PhyNet);
         let tr = trace(vec![hop(Team::PhyNet, 100)]);
         let mut acc = GainAccountant::new(Team::PhyNet, std::iter::empty());
-        assert_eq!(acc.outcome(&inc, &tr, Some(false)), IncidentOutcome::ErrorOut);
+        assert_eq!(
+            acc.outcome(&inc, &tr, Some(false)),
+            IncidentOutcome::ErrorOut
+        );
     }
 
     #[test]
@@ -261,10 +277,7 @@ mod tests {
         let b_inc = incident(Team::Storage);
         let b_tr = trace(vec![hop(Team::PhyNet, 30), hop(Team::Storage, 70)]);
         let baseline = [(b_inc.clone(), b_tr)];
-        let mut acc = GainAccountant::new(
-            Team::PhyNet,
-            baseline.iter().map(|(i, t)| (i, t)),
-        );
+        let mut acc = GainAccountant::new(Team::PhyNet, baseline.iter().map(|(i, t)| (i, t)));
         let inc = incident(Team::Storage);
         let tr = trace(vec![hop(Team::Storage, 100)]);
         match acc.outcome(&inc, &tr, Some(true)) {
@@ -287,14 +300,19 @@ mod tests {
     fn report_aggregates_and_tracks_best_possible() {
         let incidents = [
             // Mis-routed PhyNet incident, Scout catches it.
-            (incident(Team::PhyNet), trace(vec![hop(Team::Storage, 50), hop(Team::PhyNet, 50)])),
+            (
+                incident(Team::PhyNet),
+                trace(vec![hop(Team::Storage, 50), hop(Team::PhyNet, 50)]),
+            ),
             // Non-PhyNet incident dragged through PhyNet, Scout routes away.
-            (incident(Team::Storage), trace(vec![hop(Team::PhyNet, 25), hop(Team::Storage, 75)])),
+            (
+                incident(Team::Storage),
+                trace(vec![hop(Team::PhyNet, 25), hop(Team::Storage, 75)]),
+            ),
             // PhyNet incident the Scout misses.
             (incident(Team::PhyNet), trace(vec![hop(Team::PhyNet, 10)])),
         ];
-        let mut acc =
-            GainAccountant::new(Team::PhyNet, incidents.iter().map(|(i, t)| (i, t)));
+        let mut acc = GainAccountant::new(Team::PhyNet, incidents.iter().map(|(i, t)| (i, t)));
         let answers = vec![Some(true), Some(false), Some(false)];
         let r = acc.report(incidents.iter().map(|(i, t)| (i, t)), answers.into_iter());
         assert_eq!(r.total, 3);

@@ -42,7 +42,10 @@ impl ScoutMaster {
     /// A master with the paper's 0.8 confidence bar (§8's operator
     /// recommendation).
     pub fn new() -> ScoutMaster {
-        ScoutMaster { registry: TeamRegistry::new(), confidence_threshold: 0.8 }
+        ScoutMaster {
+            registry: TeamRegistry::new(),
+            confidence_threshold: 0.8,
+        }
     }
 
     /// Route one incident given the deployed Scouts' answers.
@@ -59,8 +62,7 @@ impl ScoutMaster {
                 // yes, B (the dependency) is the better destination.
                 for a in &yes {
                     if yes.iter().all(|b| {
-                        b.team == a.team
-                            || self.registry.is_transitive_dependency(b.team, a.team)
+                        b.team == a.team || self.registry.is_transitive_dependency(b.team, a.team)
                     }) {
                         return MasterDecision::SendTo(a.team);
                     }
@@ -82,7 +84,11 @@ mod tests {
     use super::*;
 
     fn ans(team: Team, responsible: bool, confidence: f64) -> ScoutAnswer {
-        ScoutAnswer { team, responsible, confidence }
+        ScoutAnswer {
+            team,
+            responsible,
+            confidence,
+        }
     }
 
     #[test]
@@ -128,10 +134,7 @@ mod tests {
     fn unrelated_ties_go_to_confidence() {
         // DNS and Firewall do not depend on each other.
         let m = ScoutMaster::new();
-        let d = m.route(&[
-            ans(Team::Dns, true, 0.9),
-            ans(Team::Firewall, true, 0.95),
-        ]);
+        let d = m.route(&[ans(Team::Dns, true, 0.9), ans(Team::Firewall, true, 0.95)]);
         assert_eq!(d, MasterDecision::SendTo(Team::Firewall));
     }
 

@@ -35,7 +35,10 @@ pub struct ScoutStats {
 impl ScoutStats {
     /// Clamp into the open interval so likelihoods never hit 0/1.
     fn clamped(self) -> ScoutStats {
-        ScoutStats { tpr: self.tpr.clamp(0.01, 0.99), fpr: self.fpr.clamp(0.01, 0.99) }
+        ScoutStats {
+            tpr: self.tpr.clamp(0.01, 0.99),
+            fpr: self.fpr.clamp(0.01, 0.99),
+        }
     }
 }
 
@@ -53,11 +56,12 @@ impl MleMaster {
     /// Build from per-Scout accuracy stats and per-team base rates
     /// (`priors` need not be normalized; teams absent from it get a small
     /// default mass).
-    pub fn new(
-        stats: HashMap<Team, ScoutStats>,
-        priors: HashMap<Team, f64>,
-    ) -> MleMaster {
-        MleMaster { stats, priors, min_posterior: 0.5 }
+    pub fn new(stats: HashMap<Team, ScoutStats>, priors: HashMap<Team, f64>) -> MleMaster {
+        MleMaster {
+            stats,
+            priors,
+            min_posterior: 0.5,
+        }
     }
 
     /// Estimate Scout stats from labeled history: `(team, said_yes,
@@ -115,7 +119,9 @@ impl MleMaster {
                 let prior = self.priors.get(&t).copied().unwrap_or(0.01).max(1e-6);
                 let mut log_p = prior.ln();
                 for a in answers {
-                    let Some(stats) = self.stats.get(&a.team) else { continue };
+                    let Some(stats) = self.stats.get(&a.team) else {
+                        continue;
+                    };
                     let stats = stats.clamped();
                     let p_yes = if a.team == t { stats.tpr } else { stats.fpr };
                     let p = if a.responsible { p_yes } else { 1.0 - p_yes };
@@ -128,7 +134,10 @@ impl MleMaster {
             })
             .collect();
         // Normalize via softmax over log posteriors.
-        let max = scores.iter().map(|&(_, s)| s).fold(f64::NEG_INFINITY, f64::max);
+        let max = scores
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::NEG_INFINITY, f64::max);
         let mut total = 0.0;
         for (_, s) in &mut scores {
             *s = (*s - max).exp();
@@ -163,7 +172,10 @@ mod tests {
     }
 
     fn good_scout() -> ScoutStats {
-        ScoutStats { tpr: 0.95, fpr: 0.03 }
+        ScoutStats {
+            tpr: 0.95,
+            fpr: 0.03,
+        }
     }
 
     #[test]
@@ -180,16 +192,21 @@ mod tests {
 
     #[test]
     fn a_no_shifts_mass_to_other_teams() {
-        let stats = [
-            (Team::PhyNet, good_scout()),
-            (Team::Storage, good_scout()),
-        ]
-        .into_iter()
-        .collect();
+        let stats = [(Team::PhyNet, good_scout()), (Team::Storage, good_scout())]
+            .into_iter()
+            .collect();
         let m = MleMaster::new(stats, uniform_priors());
         let posts = m.posteriors(&[
-            ScoutAnswer { team: Team::PhyNet, responsible: false, confidence: 0.95 },
-            ScoutAnswer { team: Team::Storage, responsible: true, confidence: 0.95 },
+            ScoutAnswer {
+                team: Team::PhyNet,
+                responsible: false,
+                confidence: 0.95,
+            },
+            ScoutAnswer {
+                team: Team::Storage,
+                responsible: true,
+                confidence: 0.95,
+            },
         ]);
         assert_eq!(posts[0].0, Team::Storage);
         assert!(posts[0].1 > 0.8, "posterior {posts:?}");
@@ -228,7 +245,11 @@ mod tests {
         let m = MleMaster::new(stats, uniform_priors());
         let answers: Vec<ScoutAnswer> = [Team::PhyNet, Team::Storage, Team::Compute]
             .into_iter()
-            .map(|team| ScoutAnswer { team, responsible: false, confidence: 0.95 })
+            .map(|team| ScoutAnswer {
+                team,
+                responsible: false,
+                confidence: 0.95,
+            })
             .collect();
         // All scouts say no with high accuracy: no team clears the bar …
         // unless priors strongly favour someone. With uniform priors the
@@ -272,8 +293,16 @@ mod tests {
         // Both say yes with equal confidence; the accurate Scout's claim
         // should dominate.
         let posts = m.posteriors(&[
-            ScoutAnswer { team: Team::PhyNet, responsible: true, confidence: 0.9 },
-            ScoutAnswer { team: Team::Storage, responsible: true, confidence: 0.9 },
+            ScoutAnswer {
+                team: Team::PhyNet,
+                responsible: true,
+                confidence: 0.9,
+            },
+            ScoutAnswer {
+                team: Team::Storage,
+                responsible: true,
+                confidence: 0.9,
+            },
         ]);
         assert_eq!(posts[0].0, Team::PhyNet, "{posts:?}");
     }

@@ -43,11 +43,7 @@ impl PerfectScoutSim {
 
     /// Fraction of investigation time removed for one mis-routed incident
     /// when `scouts` are deployed and all-knowing.
-    pub fn reduction_perfect(
-        incident: &Incident,
-        trace: &RoutingTrace,
-        scouts: &[Team],
-    ) -> f64 {
+    pub fn reduction_perfect(incident: &Incident, trace: &RoutingTrace, scouts: &[Team]) -> f64 {
         if trace.all_hands || !trace.misrouted() {
             return 0.0;
         }
@@ -57,7 +53,11 @@ impl PerfectScoutSim {
         }
         // Owner's Scout deployed: direct routing, only the last hop stays.
         if scouts.contains(&incident.owner) {
-            let last = trace.hops.last().map(|h| h.total().as_minutes()).unwrap_or(0) as f64;
+            let last = trace
+                .hops
+                .last()
+                .map(|h| h.total().as_minutes())
+                .unwrap_or(0) as f64;
             return ((total - last) / total).clamp(0.0, 1.0);
         }
         // Otherwise: Scout-enabled innocent teams are skipped.
@@ -76,9 +76,11 @@ impl PerfectScoutSim {
         incidents: impl Iterator<Item = (&'a Incident, &'a RoutingTrace)>,
         n: usize,
     ) -> Vec<f64> {
+        let _span = obs::span!("master.sim.perfect");
         let assignments = Self::assignments(n);
-        let pairs: Vec<(&Incident, &RoutingTrace)> =
-            incidents.filter(|(_, t)| t.misrouted() && !t.all_hands).collect();
+        let pairs: Vec<(&Incident, &RoutingTrace)> = incidents
+            .filter(|(_, t)| t.misrouted() && !t.all_hands)
+            .collect();
         let mut out = Vec::with_capacity(assignments.len() * pairs.len());
         for scouts in &assignments {
             for (inc, tr) in &pairs {
@@ -92,6 +94,7 @@ impl PerfectScoutSim {
     pub fn best_possible<'a>(
         incidents: impl Iterator<Item = (&'a Incident, &'a RoutingTrace)>,
     ) -> Vec<f64> {
+        let _span = obs::span!("master.sim.best_possible");
         let all = Self::candidate_teams();
         incidents
             .filter(|(_, t)| t.misrouted() && !t.all_hands)
@@ -145,8 +148,10 @@ impl PerfectScoutSim {
         params: ImperfectParams,
         rng: &mut R,
     ) -> ImperfectResult {
-        let pairs: Vec<(&Incident, &RoutingTrace)> =
-            incidents.filter(|(_, t)| t.misrouted() && !t.all_hands).collect();
+        let _span = obs::span!("master.sim.imperfect");
+        let pairs: Vec<(&Incident, &RoutingTrace)> = incidents
+            .filter(|(_, t)| t.misrouted() && !t.all_hands)
+            .collect();
         let assignments = Self::assignments(params.n_scouts);
         let mut reductions = Vec::with_capacity(assignments.len() * pairs.len());
         for scouts in &assignments {
@@ -157,12 +162,20 @@ impl PerfectScoutSim {
                 .collect();
             for (inc, tr) in &pairs {
                 reductions.push(Self::reduction_imperfect(
-                    inc, tr, scouts, &accuracies, params.beta, rng,
+                    inc,
+                    tr,
+                    scouts,
+                    &accuracies,
+                    params.beta,
+                    rng,
                 ));
             }
         }
         if reductions.is_empty() {
-            return ImperfectResult { mean: 0.0, p95: 0.0 };
+            return ImperfectResult {
+                mean: 0.0,
+                p95: 0.0,
+            };
         }
         let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
         reductions.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -208,7 +221,11 @@ impl PerfectScoutSim {
             }
         }
         if trusted_yes_owner {
-            let last = trace.hops.last().map(|h| h.total().as_minutes()).unwrap_or(0) as f64;
+            let last = trace
+                .hops
+                .last()
+                .map(|h| h.total().as_minutes())
+                .unwrap_or(0) as f64;
             return ((total - last) / total).clamp(0.0, 1.0);
         }
         // Skip trusted-"no" teams' hops — including, wrongly, the owner's
@@ -264,7 +281,11 @@ mod tests {
         (
             incident(Team::PhyNet),
             RoutingTrace {
-                hops: vec![hop(Team::Storage, 60), hop(Team::Database, 40), hop(Team::PhyNet, 100)],
+                hops: vec![
+                    hop(Team::Storage, 60),
+                    hop(Team::Database, 40),
+                    hop(Team::PhyNet, 100),
+                ],
                 all_hands: false,
             },
         )
@@ -290,8 +311,7 @@ mod tests {
     fn more_scouts_never_hurt() {
         let (inc, tr) = misrouted();
         let r1 = PerfectScoutSim::reduction_perfect(&inc, &tr, &[Team::Storage]);
-        let r2 =
-            PerfectScoutSim::reduction_perfect(&inc, &tr, &[Team::Storage, Team::Database]);
+        let r2 = PerfectScoutSim::reduction_perfect(&inc, &tr, &[Team::Storage, Team::Database]);
         let r3 = PerfectScoutSim::reduction_perfect(
             &inc,
             &tr,
@@ -304,8 +324,14 @@ mod tests {
     #[test]
     fn correctly_routed_incidents_have_no_reduction() {
         let inc = incident(Team::PhyNet);
-        let tr = RoutingTrace { hops: vec![hop(Team::PhyNet, 100)], all_hands: false };
-        assert_eq!(PerfectScoutSim::reduction_perfect(&inc, &tr, &[Team::PhyNet]), 0.0);
+        let tr = RoutingTrace {
+            hops: vec![hop(Team::PhyNet, 100)],
+            all_hands: false,
+        };
+        assert_eq!(
+            PerfectScoutSim::reduction_perfect(&inc, &tr, &[Team::PhyNet]),
+            0.0
+        );
     }
 
     #[test]
@@ -325,14 +351,15 @@ mod tests {
         // α = 1.0, β = 0: always correct, always trusted.
         let res = PerfectScoutSim::imperfect(
             pairs.iter().map(|(i, t)| (i, t)),
-            ImperfectParams { alpha: 1.0, beta: 0.0, n_scouts: 3 },
+            ImperfectParams {
+                alpha: 1.0,
+                beta: 0.0,
+                n_scouts: 3,
+            },
             &mut rng,
         );
         // The pooled perfect reductions for n=3 over the same pair:
-        let pooled = PerfectScoutSim::pooled_reductions(
-            pairs.iter().map(|(i, t)| (i, t)),
-            3,
-        );
+        let pooled = PerfectScoutSim::pooled_reductions(pairs.iter().map(|(i, t)| (i, t)), 3);
         let mean = pooled.iter().sum::<f64>() / pooled.len() as f64;
         assert!((res.mean - mean).abs() < 1e-9, "{} vs {}", res.mean, mean);
     }
@@ -344,12 +371,20 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let hi = PerfectScoutSim::imperfect(
             pairs.iter().map(|(i, t)| (i, t)),
-            ImperfectParams { alpha: 0.95, beta: 0.0, n_scouts: 2 },
+            ImperfectParams {
+                alpha: 0.95,
+                beta: 0.0,
+                n_scouts: 2,
+            },
             &mut rng,
         );
         let lo = PerfectScoutSim::imperfect(
             pairs.iter().map(|(i, t)| (i, t)),
-            ImperfectParams { alpha: 0.70, beta: 0.4, n_scouts: 2 },
+            ImperfectParams {
+                alpha: 0.70,
+                beta: 0.4,
+                n_scouts: 2,
+            },
             &mut rng,
         );
         assert!(hi.mean >= lo.mean, "hi {} vs lo {}", hi.mean, lo.mean);

@@ -15,8 +15,8 @@
 //! ```
 
 use cloudsim::{
-    ComponentKind, Fault, FaultKind, FaultScope, Severity, SimDuration, SimTime, Team,
-    Topology, TopologyConfig,
+    ComponentKind, Fault, FaultKind, FaultScope, Severity, SimDuration, SimTime, Team, Topology,
+    TopologyConfig,
 };
 use monitoring::{MonitoringConfig, MonitoringSystem};
 use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
@@ -35,7 +35,10 @@ fn main() {
         id: faults.len() as u32,
         kind: FaultKind::TorFailure,
         owner: Team::PhyNet,
-        scope: FaultScope::Devices { devices: vec![cs1_tor], cluster: cs1_cluster },
+        scope: FaultScope::Devices {
+            devices: vec![cs1_tor],
+            cluster: cs1_cluster,
+        },
         start: cs1_start,
         duration: SimDuration::hours(6),
         severity: Severity::Sev2,
@@ -50,7 +53,10 @@ fn main() {
         id: faults.len() as u32,
         kind: FaultKind::TorReboot,
         owner: Team::PhyNet,
-        scope: FaultScope::Devices { devices: vec![cs2_tor], cluster: cs2_cluster },
+        scope: FaultScope::Devices {
+            devices: vec![cs2_tor],
+            cluster: cs2_cluster,
+        },
         start: cs2_start,
         duration: SimDuration::hours(3),
         severity: Severity::Sev2,
@@ -61,9 +67,16 @@ fn main() {
 
     // ---- Train the PhyNet Scout on the background history ----
     let examples = training_examples(&topo, &faults[..faults.len() - 2]);
-    let (scout, _) =
-        Scout::train(ScoutConfig::phynet(), ScoutBuildConfig::default(), &examples, &mon);
-    println!("PhyNet Scout trained on {} background incidents\n", examples.len());
+    let (scout, _) = Scout::train(
+        ScoutConfig::phynet(),
+        ScoutBuildConfig::default(),
+        &examples,
+        &mon,
+    );
+    println!(
+        "PhyNet Scout trained on {} background incidents\n",
+        examples.len()
+    );
 
     // ---- Case study 1: the virtual disk failure ----
     // The database watchdog fires first; its text names the suffering VMs
@@ -108,13 +121,7 @@ fn main() {
     );
 }
 
-fn run_case(
-    title: &str,
-    scout: &Scout,
-    text: &str,
-    at: SimTime,
-    mon: &MonitoringSystem<'_>,
-) {
+fn run_case(title: &str, scout: &Scout, text: &str, at: SimTime, mon: &MonitoringSystem<'_>) {
     println!("=== {title} ===");
     println!("{}", text.lines().next().unwrap());
     let pred = scout.predict(text, at, mon);
@@ -124,7 +131,8 @@ fn run_case(
     );
     println!(
         "{}\n",
-        pred.explanation.render("PhyNet", pred.says_responsible(), pred.confidence)
+        pred.explanation
+            .render("PhyNet", pred.says_responsible(), pred.confidence)
     );
 }
 
@@ -138,15 +146,30 @@ fn background_faults(topo: &Topology) -> Vec<Fault> {
         let tors = topo.descendants_of_kind(cluster, ComponentKind::TorSwitch);
         let servers = topo.descendants_of_kind(cluster, ComponentKind::Server);
         let (kind, owner, dev) = match i % 3 {
-            0 => (FaultKind::TorFailure, Team::PhyNet, tors[i as usize % tors.len()]),
-            1 => (FaultKind::ServerOverload, Team::Compute, servers[i as usize % servers.len()]),
-            _ => (FaultKind::TorReboot, Team::PhyNet, tors[(i as usize + 1) % tors.len()]),
+            0 => (
+                FaultKind::TorFailure,
+                Team::PhyNet,
+                tors[i as usize % tors.len()],
+            ),
+            1 => (
+                FaultKind::ServerOverload,
+                Team::Compute,
+                servers[i as usize % servers.len()],
+            ),
+            _ => (
+                FaultKind::TorReboot,
+                Team::PhyNet,
+                tors[(i as usize + 1) % tors.len()],
+            ),
         };
         faults.push(Fault {
             id: i as u32,
             kind,
             owner,
-            scope: FaultScope::Devices { devices: vec![dev], cluster },
+            scope: FaultScope::Devices {
+                devices: vec![dev],
+                cluster,
+            },
             start: SimTime::from_hours(10 + i * 30),
             duration: SimDuration::hours(4),
             severity: Severity::Sev2,

@@ -35,10 +35,7 @@ fn main() {
     for m in cfg.monitoring.iter().take(3) {
         println!(
             "    MONITORING {} -> {} ({:?}, tags {:?})",
-            m.name,
-            m.dataset,
-            m.data_type,
-            m.associations
+            m.name, m.dataset, m.data_type, m.associations
         );
     }
     println!("    …");

@@ -18,9 +18,21 @@ fn main() {
     // --- The strawman master on one concrete incident ---
     let master = ScoutMaster::new();
     let answers = [
-        ScoutAnswer { team: Team::Database, responsible: true, confidence: 0.93 },
-        ScoutAnswer { team: Team::PhyNet, responsible: true, confidence: 0.88 },
-        ScoutAnswer { team: Team::Storage, responsible: false, confidence: 0.97 },
+        ScoutAnswer {
+            team: Team::Database,
+            responsible: true,
+            confidence: 0.93,
+        },
+        ScoutAnswer {
+            team: Team::PhyNet,
+            responsible: true,
+            confidence: 0.88,
+        },
+        ScoutAnswer {
+            team: Team::Storage,
+            responsible: false,
+            confidence: 0.97,
+        },
     ];
     let decision = master.route(&answers);
     println!("two yes answers, Database depends on PhyNet → {decision:?}");

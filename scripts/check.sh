@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, tests.
+#
+#   scripts/check.sh
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q
+
+echo "all checks passed"

@@ -5,7 +5,10 @@ use scouts::incident::{Workload, WorkloadConfig};
 use scouts::scoutmaster::{GainAccountant, PerfectScoutSim};
 
 fn world() -> Workload {
-    let mut config = WorkloadConfig { seed: 77, ..WorkloadConfig::default() };
+    let mut config = WorkloadConfig {
+        seed: 77,
+        ..WorkloadConfig::default()
+    };
     config.faults.faults_per_day = 2.0;
     Workload::generate(config)
 }
@@ -15,8 +18,11 @@ fn oracle_answers_reach_best_possible_gain() {
     let w = world();
     let mut acc = GainAccountant::new(Team::PhyNet, w.iter());
     // A perfect gate-keeper answers with ground truth.
-    let answers: Vec<Option<bool>> =
-        w.incidents.iter().map(|i| Some(i.owner == Team::PhyNet)).collect();
+    let answers: Vec<Option<bool>> = w
+        .incidents
+        .iter()
+        .map(|i| Some(i.owner == Team::PhyNet))
+        .collect();
     let r = acc.report(w.iter(), answers.into_iter());
     assert_eq!(r.error_out, 0, "oracle makes no mistakes");
     assert!(r.overhead_in.is_empty());
@@ -34,7 +40,10 @@ fn always_yes_maximizes_overhead_never_gains_out() {
     let mut acc = GainAccountant::new(Team::PhyNet, w.iter());
     let answers = std::iter::repeat_n(Some(true), w.len());
     let r = acc.report(w.iter(), answers);
-    assert!(r.gain_out.is_empty(), "saying yes to everything never routes away");
+    assert!(
+        r.gain_out.is_empty(),
+        "saying yes to everything never routes away"
+    );
     assert_eq!(r.error_out, 0);
     assert!(
         r.overhead_in.len() > w.len() / 3,
@@ -87,7 +96,10 @@ fn perfect_scout_sim_is_monotone_in_deployment() {
         }
         means.push(r.iter().sum::<f64>() / r.len() as f64);
     }
-    assert!(means[0] < means[1] && means[1] < means[2], "means {means:?}");
+    assert!(
+        means[0] < means[1] && means[1] < means[2],
+        "means {means:?}"
+    );
     let best = PerfectScoutSim::best_possible(w.iter());
     let best_mean = best.iter().sum::<f64>() / best.len() as f64;
     assert!(best_mean >= means[2]);

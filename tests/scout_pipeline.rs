@@ -7,12 +7,13 @@ use scouts::cloudsim::Team;
 use scouts::incident::{Workload, WorkloadConfig};
 use scouts::ml::metrics::Confusion;
 use scouts::monitoring::{MonitoringConfig, MonitoringSystem};
-use scouts::scout::{
-    Example, ModelUsed, Scout, ScoutBuildConfig, ScoutConfig, Verdict,
-};
+use scouts::scout::{Example, ModelUsed, Scout, ScoutBuildConfig, ScoutConfig, Verdict};
 
 fn small_world() -> Workload {
-    let mut config = WorkloadConfig { seed: 1234, ..WorkloadConfig::default() };
+    let mut config = WorkloadConfig {
+        seed: 1234,
+        ..WorkloadConfig::default()
+    };
     config.faults.faults_per_day = 1.2;
     // Concept drift is exercised by fig10/fig08; here we test the pipeline
     // on a stationary workload.
@@ -31,8 +32,7 @@ fn examples(world: &Workload) -> Vec<Example> {
 #[test]
 fn scout_beats_chance_by_a_wide_margin_end_to_end() {
     let world = small_world();
-    let mon =
-        MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let mon = MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
     let exs = examples(&world);
     let build = ScoutBuildConfig::default();
     let corpus = Scout::prepare(&ScoutConfig::phynet(), &build, &exs, &mon);
@@ -61,11 +61,14 @@ fn scout_beats_chance_by_a_wide_margin_end_to_end() {
 #[test]
 fn every_pipeline_stage_appears_in_predictions() {
     let world = small_world();
-    let mon =
-        MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let mon = MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
     let exs = examples(&world);
-    let (scout, corpus) =
-        Scout::train(ScoutConfig::phynet(), ScoutBuildConfig::default(), &exs, &mon);
+    let (scout, corpus) = Scout::train(
+        ScoutConfig::phynet(),
+        ScoutBuildConfig::default(),
+        &exs,
+        &mon,
+    );
     let mut used_forest = false;
     let mut used_fallback = false;
     for item in &corpus.items {
@@ -84,17 +87,23 @@ fn every_pipeline_stage_appears_in_predictions() {
         }
     }
     assert!(used_forest, "the forest is the main path");
-    assert!(used_fallback, "component-free CRIs fall back to legacy routing");
+    assert!(
+        used_fallback,
+        "component-free CRIs fall back to legacy routing"
+    );
 }
 
 #[test]
 fn predictions_explain_themselves() {
     let world = small_world();
-    let mon =
-        MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let mon = MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
     let exs = examples(&world);
-    let (scout, corpus) =
-        Scout::train(ScoutConfig::phynet(), ScoutBuildConfig::default(), &exs, &mon);
+    let (scout, corpus) = Scout::train(
+        ScoutConfig::phynet(),
+        ScoutBuildConfig::default(),
+        &exs,
+        &mon,
+    );
     let mut checked = 0;
     for item in corpus.items.iter().filter(|i| i.trainable()).take(50) {
         let p = scout.predict_prepared(item, &mon);
@@ -103,8 +112,9 @@ fn predictions_explain_themselves() {
             "explanations list the components examined"
         );
         assert!(!p.explanation.datasets.is_empty());
-        let rendered =
-            p.explanation.render("PhyNet", p.says_responsible(), p.confidence);
+        let rendered = p
+            .explanation
+            .render("PhyNet", p.says_responsible(), p.confidence);
         assert!(rendered.contains("PhyNet Scout investigated"));
         checked += 1;
     }
@@ -114,8 +124,7 @@ fn predictions_explain_themselves() {
 #[test]
 fn training_is_deterministic_given_seed() {
     let world = small_world();
-    let mon =
-        MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let mon = MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
     let exs: Vec<Example> = examples(&world).into_iter().take(150).collect();
     let build = ScoutBuildConfig::default();
     let (s1, corpus) = Scout::train(ScoutConfig::phynet(), build.clone(), &exs, &mon);
@@ -134,18 +143,27 @@ fn deprecated_datasets_degrade_gracefully() {
     let world = small_world();
     let exs = examples(&world);
     // Disable three data sets in both the plane and the Scout build.
-    let disabled = vec![Dataset::PingStats, Dataset::SnmpSyslog, Dataset::PfcCounters];
+    let disabled = vec![
+        Dataset::PingStats,
+        Dataset::SnmpSyslog,
+        Dataset::PfcCounters,
+    ];
     let mon = MonitoringSystem::new(
         &world.topology,
         &world.faults,
-        MonitoringConfig { seed: 0, disabled: disabled.clone() },
+        MonitoringConfig {
+            seed: 0,
+            disabled: disabled.clone(),
+        },
     );
-    let build = ScoutBuildConfig { disabled_datasets: disabled, ..Default::default() };
+    let build = ScoutBuildConfig {
+        disabled_datasets: disabled,
+        ..Default::default()
+    };
     let corpus = Scout::prepare(&ScoutConfig::phynet(), &build, &exs, &mon);
     let idx = corpus.trainable_indices();
     let (train, test) = idx.split_at(idx.len() * 2 / 3);
-    let scout =
-        Scout::train_prepared(ScoutConfig::phynet(), build, &corpus, train, &mon);
+    let scout = Scout::train_prepared(ScoutConfig::phynet(), build, &corpus, train, &mon);
     let mut confusion = Confusion::default();
     for &i in test {
         let p = scout.predict_prepared(&corpus.items[i], &mon);

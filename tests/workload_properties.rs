@@ -8,7 +8,10 @@ use scouts::monitoring::{Dataset, MonitoringConfig, MonitoringSystem};
 use scouts::scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
 
 fn tiny_workload(seed: u64) -> Workload {
-    let mut config = WorkloadConfig { seed, ..WorkloadConfig::default() };
+    let mut config = WorkloadConfig {
+        seed,
+        ..WorkloadConfig::default()
+    };
     config.faults.faults_per_day = 0.3;
     Workload::generate(config)
 }
