@@ -6,7 +6,6 @@
 use experiments::{banner, Lab, ScoutLab};
 use ml::forest::{ForestConfig, RandomForest};
 use ml::metrics::Confusion;
-use ml::Classifier;
 use monitoring::Dataset;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;

@@ -4,7 +4,6 @@
 use experiments::{banner, Lab, ScoutLab};
 use ml::forest::{ForestConfig, RandomForest};
 use ml::metrics::Confusion;
-use ml::Classifier;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use scout::ComponentType;

@@ -8,7 +8,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Forest configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ForestConfig {
     /// Number of trees.
     pub n_trees: usize,
@@ -16,7 +16,10 @@ pub struct ForestConfig {
     /// (the usual forest default), chosen at fit time.
     pub tree: TreeConfig,
     /// Optional per-class weight multipliers (class-imbalance handling).
-    pub class_weight: Option<[f64; 8]>,
+    /// When set, the length must equal `n_classes` at fit time — a
+    /// shorter vector used to hand every class ≥ 8 a silent weight of
+    /// 1.0, which skewed what the forest learned without any error.
+    pub class_weight: Option<Vec<f64>>,
     /// Bootstrap sample size as a fraction of the training set.
     pub bootstrap_fraction: f64,
 }
@@ -59,7 +62,25 @@ impl RandomForest {
 
     /// Fit with per-sample weights (the §8 down-weighting/up-weighting
     /// hook). Class weights from the config are multiplied on top.
+    /// Trains on the global thread pool; see
+    /// [`RandomForest::fit_weighted_on`].
     pub fn fit_weighted<R: Rng>(
+        x: &[Vec<f64>],
+        y: &[usize],
+        weights: &[f64],
+        n_classes: usize,
+        config: ForestConfig,
+        rng: &mut R,
+    ) -> RandomForest {
+        RandomForest::fit_weighted_on(pool::Pool::global(), x, y, weights, n_classes, config, rng)
+    }
+
+    /// [`RandomForest::fit_weighted`] on an explicit pool. Trees are
+    /// seeded up front from the caller's RNG and trained as independent
+    /// pool tasks, so the fitted forest is bit-identical for every
+    /// worker count (the determinism tests assert 1 ≡ 2 ≡ 8 workers).
+    pub fn fit_weighted_on<R: Rng>(
+        pool: &pool::Pool,
         x: &[Vec<f64>],
         y: &[usize],
         weights: &[f64],
@@ -78,43 +99,40 @@ impl RandomForest {
         if tree_cfg.max_features.is_none() {
             tree_cfg.max_features = Some((n_features as f64).sqrt().ceil() as usize);
         }
-        let w: Vec<f64> = match config.class_weight {
+        let w: Vec<f64> = match &config.class_weight {
             None => weights.to_vec(),
-            Some(cw) => weights
-                .iter()
-                .zip(y)
-                .map(|(&wi, &yi)| wi * cw.get(yi).copied().unwrap_or(1.0))
-                .collect(),
+            Some(cw) => {
+                assert_eq!(
+                    cw.len(),
+                    n_classes,
+                    "class_weight length {} does not match n_classes {}",
+                    cw.len(),
+                    n_classes
+                );
+                weights
+                    .iter()
+                    .zip(y)
+                    .map(|(&wi, &yi)| wi * cw[yi])
+                    .collect()
+            }
         };
 
         let n_boot = ((x.len() as f64) * config.bootstrap_fraction)
             .round()
             .max(1.0) as usize;
         // Seed per-tree RNGs up front so training is deterministic given
-        // the caller's RNG, then train trees independently in parallel.
+        // the caller's RNG (and independent of pool scheduling), then
+        // train trees as independent, bounded pool tasks.
         let seeds: Vec<u64> = (0..config.n_trees).map(|_| rng.gen()).collect();
-        let trees: Vec<DecisionTree> = std::thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .iter()
-                .map(|&seed| {
-                    let (x, y, w) = (&x, &y, &w);
-                    scope.spawn(move || {
-                        let mut trng = SmallRng::seed_from_u64(seed);
-                        // Weighted bootstrap: sample indices uniformly and
-                        // keep their weights.
-                        let idx: Vec<usize> =
-                            (0..n_boot).map(|_| trng.gen_range(0..x.len())).collect();
-                        let bx: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
-                        let by: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
-                        let bw: Vec<f64> = idx.iter().map(|&i| w[i]).collect();
-                        DecisionTree::fit(&bx, &by, &bw, n_classes, tree_cfg, &mut trng)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("tree training panicked"))
-                .collect()
+        let trees: Vec<DecisionTree> = pool.parallel_map(&seeds, |_, &seed| {
+            let mut trng = SmallRng::seed_from_u64(seed);
+            // Weighted bootstrap: sample indices uniformly and keep
+            // their weights.
+            let idx: Vec<usize> = (0..n_boot).map(|_| trng.gen_range(0..x.len())).collect();
+            let bx: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+            let by: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+            let bw: Vec<f64> = idx.iter().map(|&i| w[i]).collect();
+            DecisionTree::fit(&bx, &by, &bw, n_classes, tree_cfg, &mut trng)
         });
 
         RandomForest {
@@ -171,6 +189,23 @@ impl RandomForest {
         p
     }
 
+    /// Probability estimates for a batch, computed on the global thread
+    /// pool. Order-preserving and bit-identical to mapping
+    /// [`RandomForest::predict_proba`] sequentially.
+    pub fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let _span = obs::span!("ml.forest.predict_batch");
+        pool::Pool::global().parallel_map(xs, |_, x| RandomForest::predict_proba(self, x))
+    }
+
+    /// Class predictions for a batch (pooled; see
+    /// [`RandomForest::predict_proba_batch`]).
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        self.predict_proba_batch(xs)
+            .iter()
+            .map(|p| crate::argmax(p))
+            .collect()
+    }
+
     /// Prediction confidence: the probability of the predicted class. The
     /// paper reports this alongside every routing decision (§4).
     pub fn confidence(&self, x: &[f64]) -> f64 {
@@ -224,6 +259,10 @@ impl Classifier for RandomForest {
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         RandomForest::predict_proba(self, x)
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        RandomForest::predict_batch(self, xs)
     }
 }
 
@@ -307,10 +346,8 @@ mod tests {
             x.push(vec![v + ((i * 13) % 10) as f64 * 0.03]);
             y.push(usize::from(minority));
         }
-        let mut cw = [1.0; 8];
-        cw[1] = 20.0;
         let cfg = ForestConfig {
-            class_weight: Some(cw),
+            class_weight: Some(vec![1.0, 20.0]),
             ..Default::default()
         };
         let weighted = RandomForest::fit(&x, &y, 2, cfg, &mut rng());
@@ -328,6 +365,17 @@ mod tests {
             "weighted recall {}",
             recall(&weighted)
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "class_weight length 3 does not match n_classes 2")]
+    fn class_weight_length_mismatch_is_an_error() {
+        let (x, y) = nonlinear(20);
+        let cfg = ForestConfig {
+            class_weight: Some(vec![1.0, 2.0, 3.0]),
+            ..Default::default()
+        };
+        RandomForest::fit(&x, &y, 2, cfg, &mut rng());
     }
 
     #[test]

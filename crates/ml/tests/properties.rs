@@ -57,7 +57,7 @@ proptest! {
     #[test]
     fn forest_is_deterministic_and_valid((x, y) in dataset()) {
         let cfg = ForestConfig { n_trees: 7, ..Default::default() };
-        let f1 = RandomForest::fit(&x, &y, 2, cfg, &mut SmallRng::seed_from_u64(3));
+        let f1 = RandomForest::fit(&x, &y, 2, cfg.clone(), &mut SmallRng::seed_from_u64(3));
         let f2 = RandomForest::fit(&x, &y, 2, cfg, &mut SmallRng::seed_from_u64(3));
         for xi in x.iter().take(10) {
             let p1 = RandomForest::predict_proba(&f1, xi);

@@ -160,7 +160,8 @@ impl CpdPlus {
     }
 
     /// Average change-points / events per device for each (type, data set)
-    /// pair — the cluster-path feature vector.
+    /// pair — the cluster-path feature vector. Runs on the global thread
+    /// pool (see [`CpdPlus::cluster_features_on`]).
     pub fn cluster_features(
         &self,
         extracted: &ExtractedComponents,
@@ -168,45 +169,74 @@ impl CpdPlus {
         monitoring: &MonitoringSystem<'_>,
         lookback: SimDuration,
     ) -> Vec<f64> {
+        self.cluster_features_on(pool::Pool::global(), extracted, t, monitoring, lookback)
+    }
+
+    /// [`CpdPlus::cluster_features`] on an explicit pool. A cluster
+    /// mention fans out to every covered device of every associated data
+    /// set — the most expensive computation in the pipeline — so each
+    /// (entry, device) detection runs as one pool task. Per-device counts
+    /// come back in deterministic input order and are reduced
+    /// sequentially, so the feature vector is bit-identical for any
+    /// worker count.
+    pub fn cluster_features_on(
+        &self,
+        pool: &pool::Pool,
+        extracted: &ExtractedComponents,
+        t: SimTime,
+        monitoring: &MonitoringSystem<'_>,
+        lookback: SimDuration,
+    ) -> Vec<f64> {
         let _span = obs::span!("scout.cpd.cluster_features");
         let window = (t.saturating_sub(lookback), t);
-        let mut out = Vec::with_capacity(self.layout.len());
-        for &(ctype, dataset) in &self.layout.entries {
-            let mentioned = extracted.of_type(ctype);
-            if mentioned.is_empty() {
-                out.push(0.0);
-                continue;
-            }
-            let mut total = 0.0;
-            let mut devices = 0usize;
-            for &c in mentioned {
+        // Flatten the per-entry device fan-out into independent detection
+        // jobs, remembering how many devices each entry owns.
+        let mut jobs: Vec<(usize, cloudsim::ComponentId)> = Vec::new();
+        let mut devices_per_entry = vec![0usize; self.layout.entries.len()];
+        for (ei, &(ctype, dataset)) in self.layout.entries.iter().enumerate() {
+            for &c in extracted.of_type(ctype) {
                 for device in monitoring.covered_devices(dataset, c) {
-                    devices += 1;
-                    total += match dataset.data_type() {
-                        DataType::TimeSeries => {
-                            match monitoring.series(dataset, device, window) {
-                                // The fast threshold detector: cluster-wide
-                                // permutation tests would cost ~40x more.
-                                Some(series) => ml::cpd::detect_change_points_fast(
-                                    &series,
-                                    self.config.cpd.min_segment,
-                                    self.config.fast_threshold,
-                                )
-                                .len() as f64,
-                                None => 0.0,
-                            }
-                        }
-                        DataType::Event => monitoring.events(dataset, device, window).len() as f64,
-                    };
+                    jobs.push((ei, device));
+                    devices_per_entry[ei] += 1;
                 }
             }
-            out.push(if devices == 0 {
-                0.0
-            } else {
-                total / devices as f64
-            });
         }
-        out
+        let counts = pool.parallel_map(&jobs, |_, &(ei, device)| {
+            let dataset = self.layout.entries[ei].1;
+            match dataset.data_type() {
+                DataType::TimeSeries => {
+                    match monitoring.series(dataset, device, window) {
+                        // The fast threshold detector: cluster-wide
+                        // permutation tests would cost ~40x more.
+                        Some(series) => ml::cpd::detect_change_points_fast(
+                            &series,
+                            self.config.cpd.min_segment,
+                            self.config.fast_threshold,
+                        )
+                        .len() as f64,
+                        None => 0.0,
+                    }
+                }
+                DataType::Event => monitoring.events(dataset, device, window).len() as f64,
+            }
+        });
+        // Sequential reduction in job order: identical float-summation
+        // order to the old sequential loop.
+        let mut totals = vec![0.0; self.layout.entries.len()];
+        for (&(ei, _), count) in jobs.iter().zip(&counts) {
+            totals[ei] += count;
+        }
+        totals
+            .into_iter()
+            .zip(devices_per_entry)
+            .map(|(total, devices)| {
+                if devices == 0 {
+                    0.0
+                } else {
+                    total / devices as f64
+                }
+            })
+            .collect()
     }
 
     /// The conservative few-device check: evidence lines for every change

@@ -16,7 +16,7 @@ use ml::forest::{ForestConfig, RandomForest};
 use rand::Rng;
 
 /// De-noising configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DenoiseConfig {
     /// Number of cross-validation folds.
     pub folds: usize,
@@ -81,7 +81,7 @@ pub fn denoise<R: Rng>(
         if ty.iter().all(|&v| v == ty[0]) {
             continue; // degenerate fold
         }
-        let f = RandomForest::fit(&tx, &ty, 2, config.forest, rng);
+        let f = RandomForest::fit(&tx, &ty, 2, config.forest.clone(), rng);
         for &i in &test {
             label_probability[i] = f.predict_proba(&x[i])[y[i]];
         }

@@ -100,9 +100,11 @@ impl FeatureLayout {
         self.names.len()
     }
 
-    /// Layouts are never empty.
+    /// Is the layout empty? (Layouts built from a valid config never
+    /// are — they always contain the per-type count features — but this
+    /// must report the truth rather than hard-code it.)
     pub fn is_empty(&self) -> bool {
-        false
+        self.names.is_empty()
     }
 
     /// Human-readable feature names (for explanations, §8).
@@ -243,6 +245,20 @@ impl<'a> Featurizer<'a> {
                                 let k = e.kind as usize;
                                 if k < block.len {
                                     out[block.offset + k] += 1.0;
+                                } else {
+                                    // An event kind outside the layout's
+                                    // block means the layout and the
+                                    // monitoring plane have drifted apart;
+                                    // dropping it silently would quietly
+                                    // starve the forest of a feature.
+                                    debug_assert!(
+                                        k < block.len,
+                                        "event kind {k} out of range for {}/{} (block len {})",
+                                        block.ctype,
+                                        block.dataset,
+                                        block.len
+                                    );
+                                    obs::counter("scout.features.dropped_event_kinds").inc();
                                 }
                             }
                         }
@@ -269,7 +285,16 @@ fn normalize_to_baseline(dataset: Dataset, series: &mut [f64]) {
 }
 
 /// Fill `out` (length 11) with the TS statistics of `pool`.
-fn write_ts_stats(pool: &[f64], out: &mut [f64]) {
+///
+/// Percentiles use linear interpolation between closest ranks (the
+/// numpy/sklearn default the paper's pipeline sat on). The previous
+/// nearest-rank rounding — `((n-1)·q).round()` — snapped p1 to the
+/// minimum and p99 to the maximum for every pool under ~50 samples,
+/// collapsing three of the paper's 11 statistics into duplicates of
+/// min/max and feeding the forest redundant columns.
+///
+/// Public so property tests and benches can drive it directly.
+pub fn write_ts_stats(pool: &[f64], out: &mut [f64]) {
     debug_assert_eq!(out.len(), TS_STATS.len());
     if pool.is_empty() {
         out.iter_mut().for_each(|v| *v = 0.0);
@@ -280,7 +305,13 @@ fn write_ts_stats(pool: &[f64], out: &mut [f64]) {
     let var = pool.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
     let mut sorted = pool.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let pct = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+    let pct = |q: f64| {
+        let rank = (sorted.len() - 1) as f64 * q;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    };
     out[0] = mean;
     out[1] = var.sqrt();
     out[2] = sorted[0];
@@ -465,8 +496,17 @@ mod tests {
         assert!((out[1] - (1.25f64).sqrt()).abs() < 1e-12); // std
         assert_eq!(out[2], 1.0); // min
         assert_eq!(out[3], 4.0); // max
-        assert_eq!(out[7], 3.0); // p50 (nearest-rank on 4 samples)
-                                 // Empty pool → zeros.
+                                 // Linear interpolation between ranks: rank(q) = 3q on 4 samples.
+        assert!((out[4] - 1.03).abs() < 1e-12); // p1  → rank 0.03
+        assert!((out[5] - 1.30).abs() < 1e-12); // p10 → rank 0.30
+        assert!((out[6] - 1.75).abs() < 1e-12); // p25 → rank 0.75
+        assert!((out[7] - 2.50).abs() < 1e-12); // p50 → rank 1.50
+        assert!((out[8] - 3.25).abs() < 1e-12); // p75 → rank 2.25
+        assert!((out[9] - 3.70).abs() < 1e-12); // p90 → rank 2.70
+        assert!((out[10] - 3.97).abs() < 1e-12); // p99 → rank 2.97
+                                                 // p1/p99 no longer collapse onto min/max on small pools.
+        assert!(out[4] > out[2] && out[10] < out[3]);
+        // Empty pool → zeros.
         write_ts_stats(&[], &mut out);
         assert!(out.iter().all(|&v| v == 0.0));
     }

@@ -191,6 +191,11 @@ pub struct Scout {
 
 impl Scout {
     /// Stage 1: featurize a corpus (cache this across retraining sweeps).
+    ///
+    /// Featurization is independent per example, so the corpus is mapped
+    /// on the workspace thread pool. Ordinals and item order follow input
+    /// order, and every per-example computation is a pure function of the
+    /// example, so the corpus is bit-identical for any worker count.
     pub fn prepare(
         config: &ScoutConfig,
         build: &ScoutBuildConfig,
@@ -207,46 +212,41 @@ impl Scout {
         let extractor = Extractor::new(config, topo);
         let featurizer =
             Featurizer::with_aggregation(&layout, monitoring, build.lookback, build.aggregation);
-        let items = examples
-            .iter()
-            .enumerate()
-            .map(|(ordinal, ex)| {
-                let excluded = config.excludes_incident(&ex.text);
-                let extracted = if excluded {
-                    ExtractedComponents::default()
+        let items = pool::Pool::global().parallel_map(examples, |ordinal, ex| {
+            let excluded = config.excludes_incident(&ex.text);
+            let extracted = if excluded {
+                ExtractedComponents::default()
+            } else {
+                extractor.extract(&ex.text)
+            };
+            let component_names = extracted
+                .all()
+                .iter()
+                .map(|&c| topo.component(c).name.clone())
+                .collect();
+            let features = (!excluded && !extracted.is_empty())
+                .then(|| featurizer.features(&extracted, ex.time));
+            let device_count = extracted.device_count();
+            let conservative_hits =
+                if (1..=build.cpdplus.few_device_threshold).contains(&device_count) {
+                    cpd.conservative_hits(&extracted, ex.time, monitoring, build.lookback)
                 } else {
-                    extractor.extract(&ex.text)
+                    Vec::new()
                 };
-                let component_names = extracted
-                    .all()
-                    .iter()
-                    .map(|&c| topo.component(c).name.clone())
-                    .collect();
-                let features = (!excluded && !extracted.is_empty())
-                    .then(|| featurizer.features(&extracted, ex.time));
-                let device_count = extracted.device_count();
-                let conservative_hits =
-                    if (1..=build.cpdplus.few_device_threshold).contains(&device_count) {
-                        cpd.conservative_hits(&extracted, ex.time, monitoring, build.lookback)
-                    } else {
-                        Vec::new()
-                    };
-                let cluster_features = (!excluded
-                    && device_count == 0
-                    && !extracted.clusters.is_empty())
-                .then(|| cpd.cluster_features(&extracted, ex.time, monitoring, build.lookback));
-                PreparedExample {
-                    ordinal,
-                    example: ex.clone(),
-                    excluded,
-                    extracted,
-                    component_names,
-                    features,
-                    conservative_hits,
-                    cluster_features,
-                }
-            })
-            .collect();
+            let cluster_features =
+                (!excluded && device_count == 0 && !extracted.clusters.is_empty())
+                    .then(|| cpd.cluster_features(&extracted, ex.time, monitoring, build.lookback));
+            PreparedExample {
+                ordinal,
+                example: ex.clone(),
+                excluded,
+                extracted,
+                component_names,
+                features,
+                conservative_hits,
+                cluster_features,
+            }
+        });
         PreparedCorpus { items, layout }
     }
 
@@ -285,14 +285,14 @@ impl Scout {
             .map(|&i| corpus.items[i].example.weight)
             .collect();
 
-        let forest = RandomForest::fit_weighted(&x, &y, &w, 2, build.forest, &mut rng);
+        let forest = RandomForest::fit_weighted(&x, &y, &w, 2, build.forest.clone(), &mut rng);
 
         // Meta-learning labels: 2-fold cross-validated mistakes of the
         // main forest (§5.3: "find incidents where the RF is expected to
         // make mistakes").
         let rf_wrong = {
             let _span = obs::span!("scout.train.crossval");
-            cross_val_mistakes(&x, &y, &w, build.forest, &mut rng)
+            cross_val_mistakes(&x, &y, &w, &build.forest, &mut rng)
         };
         let texts: Vec<String> = usable
             .iter()
@@ -569,7 +569,7 @@ fn cross_val_mistakes(
     x: &[Vec<f64>],
     y: &[usize],
     w: &[f64],
-    forest_cfg: ForestConfig,
+    forest_cfg: &ForestConfig,
     rng: &mut SmallRng,
 ) -> Vec<bool> {
     let n = x.len();
@@ -580,7 +580,7 @@ fn cross_val_mistakes(
     // Cheaper forests are fine for the meta-labels.
     let cv_cfg = ForestConfig {
         n_trees: 20,
-        ..forest_cfg
+        ..forest_cfg.clone()
     };
     for fold in 0..2 {
         let (train, test): (Vec<usize>, Vec<usize>) = (0..n).partition(|i| i % 2 == fold);
@@ -590,7 +590,7 @@ fn cross_val_mistakes(
         if ty.iter().all(|&v| v == ty[0]) {
             continue;
         }
-        let f = RandomForest::fit_weighted(&tx, &ty, &tw, 2, cv_cfg, rng);
+        let f = RandomForest::fit_weighted(&tx, &ty, &tw, 2, cv_cfg.clone(), rng);
         for &i in &test {
             wrong[i] = f.predict(&x[i]) != y[i];
         }

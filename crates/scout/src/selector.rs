@@ -101,7 +101,7 @@ impl Selector {
                     // moderately: over-boosting floods CPD+ with incidents
                     // the forest handles fine (the forest is the accurate,
                     // explainable main path — §5.3 prefers it).
-                    let mut cw = [1.0; 8];
+                    let mut cw = vec![1.0; 2];
                     let wrong = y.iter().filter(|&&v| v == 1).count().max(1);
                     cw[1] = (y.len() as f64 / wrong as f64).min(4.0);
                     let cfg = ForestConfig {

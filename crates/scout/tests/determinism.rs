@@ -1,0 +1,155 @@
+//! Cross-worker-count determinism for the pooled hot paths.
+//!
+//! The `pool` crate promises that `parallel_map` is a drop-in for a
+//! sequential map: input order is preserved and per-item work never sees
+//! the worker count or scheduling order. These tests drive the promise
+//! end to end — the same forest fit and the same CPD+ cluster
+//! featurization must come out *bit-identical* whether they run inline
+//! (1 thread) or fan out across 2 or 8 workers.
+//!
+//! Also here: property tests for the percentile features (satellite of
+//! the same change), since `write_ts_stats` is now public.
+
+use cloudsim::{
+    Fault, FaultKind, FaultScope, Severity, SimDuration, SimTime, Team, Topology, TopologyConfig,
+};
+use ml::forest::{ForestConfig, RandomForest};
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scout::config::ScoutConfig;
+use scout::cpdplus::{CpdFeatureLayout, CpdPlus, CpdPlusConfig};
+use scout::extract::Extractor;
+use scout::features::{write_ts_stats, TS_STATS};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn synthetic(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>() * 10.0).collect())
+        .collect();
+    let y: Vec<usize> = x.iter().map(|r| usize::from(r[0] + r[1] > 10.0)).collect();
+    (x, y)
+}
+
+fn fit_on(threads: usize, x: &[Vec<f64>], y: &[usize]) -> RandomForest {
+    let p = pool::Pool::new(threads);
+    let w = vec![1.0; x.len()];
+    let cfg = ForestConfig {
+        n_trees: 12,
+        ..ForestConfig::default()
+    };
+    RandomForest::fit_weighted_on(&p, x, y, &w, 2, cfg, &mut SmallRng::seed_from_u64(7))
+}
+
+/// The forest — every tree, split threshold, and leaf distribution —
+/// must be identical regardless of how many workers trained it. `Debug`
+/// for `f64` round-trips exactly, so string equality is bit equality.
+#[test]
+fn forest_fit_is_identical_across_worker_counts() {
+    let (x, y) = synthetic(80, 4, 11);
+    let baseline = fit_on(WORKER_COUNTS[0], &x, &y);
+    let reference = format!("{baseline:?}");
+    for &threads in &WORKER_COUNTS[1..] {
+        let f = fit_on(threads, &x, &y);
+        assert_eq!(
+            format!("{f:?}"),
+            reference,
+            "forest differs at {threads} workers"
+        );
+    }
+    // And the batched prediction path agrees with the scalar one.
+    let probas = baseline.predict_proba_batch(&x);
+    for (xi, p) in x.iter().zip(&probas) {
+        assert_eq!(p, &baseline.predict_proba(xi));
+    }
+}
+
+fn cpd_fixture() -> (ScoutConfig, Topology, Vec<Fault>) {
+    let topo = Topology::build(TopologyConfig::default());
+    let tor = topo.by_name("tor-0.c0.dc0").unwrap().id;
+    let cluster = topo.by_name("c0.dc0").unwrap().id;
+    let fault = Fault {
+        id: 0,
+        kind: FaultKind::TorFailure,
+        owner: Team::PhyNet,
+        scope: FaultScope::Devices {
+            devices: vec![tor],
+            cluster,
+        },
+        start: SimTime::from_hours(100),
+        duration: SimDuration::hours(6),
+        severity: Severity::Sev2,
+        upgrade_related: false,
+    };
+    (ScoutConfig::phynet(), topo, vec![fault])
+}
+
+/// Cluster featurization fans one job out per (entry, device); the
+/// reduced averages must not depend on which worker ran which device.
+#[test]
+fn cluster_features_are_identical_across_worker_counts() {
+    let (cfg, topo, faults) = cpd_fixture();
+    let mon = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+    let ex = Extractor::new(&cfg, &topo);
+    let model = CpdPlus::new(CpdPlusConfig::default(), CpdFeatureLayout::build(&cfg, &[]));
+    let found = ex.extract("widespread problems in c0.dc0");
+    let reference = model.cluster_features_on(
+        &pool::Pool::new(WORKER_COUNTS[0]),
+        &found,
+        SimTime::from_hours(101),
+        &mon,
+        SimDuration::hours(2),
+    );
+    assert!(
+        reference.iter().any(|&v| v > 0.0),
+        "fixture fault should register change points"
+    );
+    for &threads in &WORKER_COUNTS[1..] {
+        let features = model.cluster_features_on(
+            &pool::Pool::new(threads),
+            &found,
+            SimTime::from_hours(101),
+            &mon,
+            SimDuration::hours(2),
+        );
+        assert_eq!(features, reference, "features differ at {threads} workers");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Percentiles are monotone in q and bounded by min/max for any pool.
+    #[test]
+    fn percentiles_are_monotone(pool in proptest::collection::vec(-1e6f64..1e6, 1..60)) {
+        let mut out = vec![0.0; TS_STATS.len()];
+        write_ts_stats(&pool, &mut out);
+        let (min, max) = (out[2], out[3]);
+        // out[4..=10] = p1, p10, p25, p50, p75, p90, p99.
+        let percentiles = &out[4..=10];
+        prop_assert!(min <= percentiles[0] + 1e-9);
+        for w in percentiles.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9, "{} > {}", w[0], w[1]);
+        }
+        prop_assert!(percentiles[6] <= max + 1e-9);
+    }
+
+    /// With more than a handful of distinct samples, p1 and p99 must
+    /// *interpolate* — not collapse onto min/max the way the old
+    /// nearest-rank rounding did for every n < 50.
+    #[test]
+    fn tail_percentiles_interpolate(n in 3usize..50) {
+        let pool: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut out = vec![0.0; TS_STATS.len()];
+        write_ts_stats(&pool, &mut out);
+        let expected_p1 = (n - 1) as f64 * 0.01;
+        let expected_p99 = (n - 1) as f64 * 0.99;
+        prop_assert!((out[4] - expected_p1).abs() < 1e-9, "p1 {} vs {}", out[4], expected_p1);
+        prop_assert!((out[10] - expected_p99).abs() < 1e-9, "p99 {} vs {}", out[10], expected_p99);
+        prop_assert!(out[4] > out[2], "p1 must sit strictly above min");
+        prop_assert!(out[10] < out[3], "p99 must sit strictly below max");
+    }
+}

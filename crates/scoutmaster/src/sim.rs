@@ -17,7 +17,8 @@
 
 use cloudsim::{Team, TeamRegistry};
 use incident::{Incident, RoutingTrace};
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// Shared machinery for the Appendix D simulations.
 #[derive(Debug, Default)]
@@ -81,13 +82,16 @@ impl PerfectScoutSim {
         let pairs: Vec<(&Incident, &RoutingTrace)> = incidents
             .filter(|(_, t)| t.misrouted() && !t.all_hands)
             .collect();
-        let mut out = Vec::with_capacity(assignments.len() * pairs.len());
-        for scouts in &assignments {
-            for (inc, tr) in &pairs {
-                out.push(Self::reduction_perfect(inc, tr, scouts));
-            }
-        }
-        out
+        // One pool task per assignment; each reduction is pure, and the
+        // flattening below follows input order, so the population is
+        // identical for any worker count.
+        let per_assignment = pool::Pool::global().parallel_map(&assignments, |_, scouts| {
+            pairs
+                .iter()
+                .map(|(inc, tr)| Self::reduction_perfect(inc, tr, scouts))
+                .collect::<Vec<f64>>()
+        });
+        per_assignment.into_iter().flatten().collect()
     }
 
     /// Best-possible reductions (a Scout for every team).
@@ -96,10 +100,12 @@ impl PerfectScoutSim {
     ) -> Vec<f64> {
         let _span = obs::span!("master.sim.best_possible");
         let all = Self::candidate_teams();
-        incidents
+        let pairs: Vec<(&Incident, &RoutingTrace)> = incidents
             .filter(|(_, t)| t.misrouted() && !t.all_hands)
-            .map(|(inc, tr)| Self::reduction_perfect(inc, tr, &all))
-            .collect()
+            .collect();
+        pool::Pool::global().parallel_map(&pairs, |_, (inc, tr)| {
+            Self::reduction_perfect(inc, tr, &all)
+        })
     }
 }
 
@@ -153,24 +159,41 @@ impl PerfectScoutSim {
             .filter(|(_, t)| t.misrouted() && !t.all_hands)
             .collect();
         let assignments = Self::assignments(params.n_scouts);
-        let mut reductions = Vec::with_capacity(assignments.len() * pairs.len());
-        for scouts in &assignments {
-            // Per-assignment per-team accuracy P ~ U(α, α+5%).
-            let accuracies: Vec<f64> = scouts
-                .iter()
-                .map(|_| params.alpha + rng.gen::<f64>() * 0.05)
-                .collect();
-            for (inc, tr) in &pairs {
-                reductions.push(Self::reduction_imperfect(
-                    inc,
-                    tr,
-                    scouts,
-                    &accuracies,
-                    params.beta,
-                    rng,
-                ));
-            }
-        }
+        // Randomness is drawn from the caller's stream *sequentially*
+        // before the fan-out: per-assignment per-team accuracies
+        // P ~ U(α, α+5%) plus one sub-stream seed per assignment. Each
+        // pool task then owns an independent `SmallRng`, so the pooled
+        // population is bit-identical for any worker count.
+        let seeded: Vec<(Vec<f64>, u64)> = assignments
+            .iter()
+            .map(|scouts| {
+                let accuracies: Vec<f64> = scouts
+                    .iter()
+                    .map(|_| params.alpha + rng.gen::<f64>() * 0.05)
+                    .collect();
+                (accuracies, rng.gen::<u64>())
+            })
+            .collect();
+        type Job<'j> = (&'j Vec<Team>, &'j (Vec<f64>, u64));
+        let jobs: Vec<Job<'_>> = assignments.iter().zip(seeded.iter()).collect();
+        let per_assignment =
+            pool::Pool::global().parallel_map(&jobs, |_, (scouts, (accuracies, seed))| {
+                let mut rng = SmallRng::seed_from_u64(*seed);
+                pairs
+                    .iter()
+                    .map(|(inc, tr)| {
+                        Self::reduction_imperfect(
+                            inc,
+                            tr,
+                            scouts,
+                            accuracies,
+                            params.beta,
+                            &mut rng,
+                        )
+                    })
+                    .collect::<Vec<f64>>()
+            });
+        let mut reductions: Vec<f64> = per_assignment.into_iter().flatten().collect();
         if reductions.is_empty() {
             return ImperfectResult {
                 mean: 0.0,

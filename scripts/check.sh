@@ -1,11 +1,22 @@
 #!/usr/bin/env bash
 # Repo-wide hygiene gate: formatting, lints, tests.
 #
-#   scripts/check.sh
+#   scripts/check.sh                # fmt + clippy + tests
+#   scripts/check.sh --bench-smoke  # also run the pool bench on a tiny
+#                                   # workload (BENCH_SMOKE=1) to keep the
+#                                   # benches compiling and running
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+bench_smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) bench_smoke=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo fmt --check =="
 cargo fmt --check
@@ -15,5 +26,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test =="
 cargo test -q
+
+if [[ "$bench_smoke" == 1 ]]; then
+  echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench pool) =="
+  BENCH_SMOKE=1 cargo bench -p bench --bench pool
+fi
 
 echo "all checks passed"
