@@ -43,12 +43,27 @@ impl<'a> Lines<'a> {
         }
     }
 
+    /// 1-based number of the most recently returned line.
+    pub fn line_no(&self) -> usize {
+        self.line_no
+    }
+
+    /// A format error pinned to the current line.
+    pub fn error_here(&self, msg: impl std::fmt::Display) -> PersistError {
+        err(format!("line {}: {msg}", self.line_no))
+    }
+
     /// Next non-empty line.
     pub fn next_line(&mut self) -> Result<&'a str, PersistError> {
         loop {
             self.line_no += 1;
             match self.iter.next() {
-                None => return Err(err("unexpected end of model file")),
+                None => {
+                    return Err(err(format!(
+                        "unexpected end of model file at line {}",
+                        self.line_no
+                    )))
+                }
                 Some(l) if l.trim().is_empty() => continue,
                 Some(l) => return Ok(l.trim()),
             }
@@ -70,10 +85,11 @@ impl<'a> Lines<'a> {
     /// Parse the next line as whitespace-separated values.
     pub fn fields<T: std::str::FromStr>(&mut self) -> Result<Vec<T>, PersistError> {
         let l = self.next_line()?;
+        let line_no = self.line_no;
         l.split_whitespace()
             .map(|f| {
                 f.parse()
-                    .map_err(|_| err(format!("cannot parse '{f}' in '{l}'")))
+                    .map_err(|_| err(format!("line {line_no}: cannot parse '{f}' in '{l}'")))
             })
             .collect()
     }
@@ -126,31 +142,32 @@ pub fn tree_from_lines(lines: &mut Lines<'_>) -> Result<DecisionTree, PersistErr
     let header = lines.next_line()?;
     let mut parts = header.split_whitespace();
     if parts.next() != Some("tree") {
-        return Err(err(format!("expected tree header, found '{header}'")));
+        return Err(lines.error_here(format_args!("expected tree header, found '{header}'")));
     }
     let n_classes: usize = parts
         .next()
         .and_then(|p| p.parse().ok())
-        .ok_or_else(|| err("bad n_classes"))?;
+        .ok_or_else(|| lines.error_here("bad n_classes"))?;
     let n_features: usize = parts
         .next()
         .and_then(|p| p.parse().ok())
-        .ok_or_else(|| err("bad n_features"))?;
+        .ok_or_else(|| lines.error_here("bad n_features"))?;
     let n_nodes: usize = parts
         .next()
         .and_then(|p| p.parse().ok())
-        .ok_or_else(|| err("bad node count"))?;
+        .ok_or_else(|| lines.error_here("bad node count"))?;
     let mut nodes = Vec::with_capacity(n_nodes);
     for _ in 0..n_nodes {
         let l = lines.next_line()?;
+        let at = |msg: String| err(format!("line {}: {msg}", lines.line_no()));
         let mut f = l.split_whitespace();
         match f.next() {
             Some("L") => {
                 let proba: Vec<f64> = f
-                    .map(|x| x.parse().map_err(|_| err(format!("bad float in '{l}'"))))
+                    .map(|x| x.parse().map_err(|_| at(format!("bad float in '{l}'"))))
                     .collect::<Result<_, _>>()?;
                 if proba.len() != n_classes {
-                    return Err(err(format!("leaf arity mismatch in '{l}'")));
+                    return Err(at(format!("leaf arity mismatch in '{l}'")));
                 }
                 nodes.push(Node::Leaf { proba });
             }
@@ -158,24 +175,24 @@ pub fn tree_from_lines(lines: &mut Lines<'_>) -> Result<DecisionTree, PersistErr
                 let feature: usize = f
                     .next()
                     .and_then(|x| x.parse().ok())
-                    .ok_or_else(|| err(format!("bad feature in '{l}'")))?;
+                    .ok_or_else(|| at(format!("bad feature in '{l}'")))?;
                 let threshold: f64 = f
                     .next()
                     .and_then(|x| x.parse().ok())
-                    .ok_or_else(|| err(format!("bad threshold in '{l}'")))?;
+                    .ok_or_else(|| at(format!("bad threshold in '{l}'")))?;
                 let left: usize = f
                     .next()
                     .and_then(|x| x.parse().ok())
-                    .ok_or_else(|| err(format!("bad left in '{l}'")))?;
+                    .ok_or_else(|| at(format!("bad left in '{l}'")))?;
                 let right: usize = f
                     .next()
                     .and_then(|x| x.parse().ok())
-                    .ok_or_else(|| err(format!("bad right in '{l}'")))?;
+                    .ok_or_else(|| at(format!("bad right in '{l}'")))?;
                 let proba: Vec<f64> = f
-                    .map(|x| x.parse().map_err(|_| err(format!("bad float in '{l}'"))))
+                    .map(|x| x.parse().map_err(|_| at(format!("bad float in '{l}'"))))
                     .collect::<Result<_, _>>()?;
                 if left >= n_nodes || right >= n_nodes {
-                    return Err(err(format!("child index out of range in '{l}'")));
+                    return Err(at(format!("child index out of range in '{l}'")));
                 }
                 nodes.push(Node::Split {
                     feature,
@@ -185,7 +202,7 @@ pub fn tree_from_lines(lines: &mut Lines<'_>) -> Result<DecisionTree, PersistErr
                     proba,
                 });
             }
-            _ => return Err(err(format!("unknown node line '{l}'"))),
+            _ => return Err(at(format!("unknown node line '{l}'"))),
         }
     }
     DecisionTree::from_parts(nodes, n_classes, n_features).map_err(err)
@@ -208,7 +225,9 @@ pub fn forest_from_lines(lines: &mut Lines<'_>) -> Result<RandomForest, PersistE
     let n: usize = header
         .strip_prefix("forest ")
         .and_then(|p| p.parse().ok())
-        .ok_or_else(|| err(format!("expected forest header, found '{header}'")))?;
+        .ok_or_else(|| {
+            lines.error_here(format_args!("expected forest header, found '{header}'"))
+        })?;
     let mut trees = Vec::with_capacity(n);
     for _ in 0..n {
         trees.push(tree_from_lines(lines)?);
@@ -234,14 +253,18 @@ pub fn adaboost_from_lines(lines: &mut Lines<'_>) -> Result<AdaBoost, PersistErr
     let n: usize = header
         .strip_prefix("adaboost ")
         .and_then(|p| p.parse().ok())
-        .ok_or_else(|| err(format!("expected adaboost header, found '{header}'")))?;
+        .ok_or_else(|| {
+            lines.error_here(format_args!("expected adaboost header, found '{header}'"))
+        })?;
     let mut stumps = Vec::with_capacity(n);
     for _ in 0..n {
         let alpha_line = lines.next_line()?;
         let alpha: f64 = alpha_line
             .strip_prefix("alpha ")
             .and_then(|p| p.parse().ok())
-            .ok_or_else(|| err(format!("expected alpha line, found '{alpha_line}'")))?;
+            .ok_or_else(|| {
+                lines.error_here(format_args!("expected alpha line, found '{alpha_line}'"))
+            })?;
         let tree = tree_from_lines(lines)?;
         stumps.push((tree, alpha));
     }
@@ -303,16 +326,16 @@ pub fn svm_from_lines(lines: &mut Lines<'_>) -> Result<OneClassSvmSmo, PersistEr
     let header = lines.next_line()?;
     let rest = header
         .strip_prefix("ocsvm ")
-        .ok_or_else(|| err(format!("expected ocsvm header, found '{header}'")))?;
+        .ok_or_else(|| lines.error_here(format_args!("expected ocsvm header, found '{header}'")))?;
     let fields: Vec<&str> = rest.split_whitespace().collect();
     let n: usize = fields
         .first()
         .and_then(|x| x.parse().ok())
-        .ok_or_else(|| err("bad sv count"))?;
+        .ok_or_else(|| lines.error_here("bad sv count"))?;
     let rho: f64 = fields
         .last()
         .and_then(|x| x.parse().ok())
-        .ok_or_else(|| err("bad rho"))?;
+        .ok_or_else(|| lines.error_here("bad rho"))?;
     let kernel = kernel_from_text(&fields[1..fields.len() - 1].join(" "))?;
     let alphas: Vec<f64> = lines.fields()?;
     if alphas.len() != n {
@@ -411,6 +434,16 @@ mod tests {
         let text = svm_to_text(&poly);
         let back = svm_from_lines(&mut Lines::new(&text)).unwrap();
         assert_eq!(poly.decision(&x[0]), back.decision(&x[0]));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = tree_from_lines(&mut Lines::new("tree 2 2 1\nX junk")).unwrap_err();
+        assert!(e.0.contains("line 2"), "{e}");
+        let e = forest_from_lines(&mut Lines::new("forest two")).unwrap_err();
+        assert!(e.0.contains("line 1"), "{e}");
+        let e = forest_from_lines(&mut Lines::new("forest 3\n")).unwrap_err();
+        assert!(e.0.contains("line 2"), "{e}");
     }
 
     #[test]

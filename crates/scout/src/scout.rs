@@ -439,6 +439,34 @@ impl Scout {
         self.predict_prepared(&corpus.items[0], monitoring)
     }
 
+    /// Predict for a batch of raw `(text, time)` inputs in one prepared
+    /// pass: the whole batch is featurized through a single
+    /// [`Scout::prepare`] call (which fans out per item on the workspace
+    /// thread pool), then each item is classified.
+    ///
+    /// Every per-item computation in `prepare` is a pure function of the
+    /// item, so results are **identical to calling [`Scout::predict`]
+    /// once per input** — batch size, batch composition, and worker count
+    /// never leak into a prediction. This is what lets an online server
+    /// micro-batch concurrent requests without giving up determinism.
+    pub fn predict_many(
+        &self,
+        inputs: &[(&str, SimTime)],
+        monitoring: &MonitoringSystem<'_>,
+    ) -> Vec<Prediction> {
+        let _span = obs::span!("scout.predict_many");
+        let examples: Vec<Example> = inputs
+            .iter()
+            .map(|&(text, t)| Example::new(text, t, false))
+            .collect();
+        let corpus = Scout::prepare(&self.config, &self.build, &examples, monitoring);
+        // Classification is also pure per item, so it fans out too;
+        // parallel_map preserves input order.
+        pool::Pool::global().parallel_map(&corpus.items, |_, item| {
+            self.predict_prepared(item, monitoring)
+        })
+    }
+
     /// One audit record per prediction: who decided, how confidently,
     /// on which features, and where the incident went (§4, §8).
     fn audit(&self, item: &PreparedExample, pred: &Prediction) {
@@ -754,6 +782,26 @@ mod tests {
         );
         assert_eq!(pred.verdict, Verdict::NotResponsible);
         assert_eq!(pred.model, ModelUsed::Exclusion);
+    }
+
+    /// Batched inference must be indistinguishable from one-at-a-time
+    /// inference: same verdicts, same confidences, bit for bit.
+    #[test]
+    fn predict_many_matches_single_predictions() {
+        let w = world();
+        let mon = MonitoringSystem::new(&w.topo, &w.faults, MonitoringConfig::default());
+        let exs = examples(&w);
+        let (scout, _) = Scout::train(ScoutConfig::phynet(), build_cfg(), &exs, &mon);
+        let inputs: Vec<(&str, SimTime)> =
+            exs[..8].iter().map(|e| (e.text.as_str(), e.time)).collect();
+        let batched = scout.predict_many(&inputs, &mon);
+        assert_eq!(batched.len(), inputs.len());
+        for (&(text, t), b) in inputs.iter().zip(&batched) {
+            let single = scout.predict(text, t, &mon);
+            assert_eq!(single.verdict, b.verdict);
+            assert_eq!(single.model, b.model);
+            assert!((single.confidence - b.confidence).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -124,6 +124,15 @@ mod tests {
     }
 
     #[test]
+    fn registered_flags_do_not_consume_values() {
+        // `--help` used to error with "--help needs a value" because it was
+        // not registered as a flag; commands register it now.
+        let a = Args::parse(["--help".to_string()], &["verbose", "help", "version"]).unwrap();
+        assert!(a.flag("help"));
+        assert!(!a.flag("version"));
+    }
+
+    #[test]
     fn missing_value_is_an_error() {
         let e = Args::parse(["--seed".to_string()], &[]).unwrap_err();
         assert!(e.0.contains("--seed"));

@@ -39,7 +39,26 @@ fn main() -> ExitCode {
 }
 
 fn run(raw: Vec<String>) -> Result<(), ArgError> {
-    let args = Args::parse(raw, &["verbose"])?;
+    // Expand the conventional short aliases before parsing.
+    let raw: Vec<String> = raw
+        .into_iter()
+        .map(|a| match a.as_str() {
+            "-h" => "--help".to_string(),
+            "-V" => "--version".to_string(),
+            other => other.to_string(),
+        })
+        .collect();
+    let args = Args::parse(raw, &["verbose", "help", "version"])?;
+    // Help and version are answered before any command dispatch, so
+    // `scoutctl --help` and `scoutctl <cmd> --help` both work.
+    if args.flag("version") {
+        println!("scoutctl {}", env!("CARGO_PKG_VERSION"));
+        return Ok(());
+    }
+    if args.flag("help") || args.positional(0).is_none() || args.positional(0) == Some("help") {
+        print!("{}", USAGE);
+        return Ok(());
+    }
     if args.flag("verbose") {
         eprintln!(
             "[scoutctl] {} positional argument(s)",
@@ -48,7 +67,7 @@ fn run(raw: Vec<String>) -> Result<(), ArgError> {
     }
     let observing = setup_obs(&args)?;
     let result = match args.positional(0) {
-        None | Some("help") | Some("--help") => {
+        None | Some("help") => {
             print!("{}", USAGE);
             Ok(())
         }
@@ -57,6 +76,9 @@ fn run(raw: Vec<String>) -> Result<(), ArgError> {
         Some("train-eval") => train_eval(&args),
         Some("classify") => classify(&args),
         Some("stats") => stats(&args),
+        Some("serve") => serve_cmd(&args),
+        Some("loadgen") => loadgen(&args),
+        Some("probe") => probe(&args),
         Some(other) => Err(ArgError(format!("unknown command '{other}'"))),
     };
     if observing {
@@ -114,8 +136,13 @@ commands:
   train-eval               train a Scout on the workload, print accuracy
   classify <file|->        train a Scout, then classify incident text
   stats                    run the full pipeline, print the metrics summary
+  serve                    run the online incident-routing HTTP server
+  loadgen                  drive a running server, print throughput and latency
+  probe                    send one request to a running server (CI smoke)
 
 options:
+  --help, -h               print this help
+  --version, -V            print the scoutctl version
   --seed N                 workload seed (default 42)
   --faults-per-day F       fault density (default 4)
   --config FILE            Scout config file (default: built-in PhyNet)
@@ -123,6 +150,30 @@ options:
   --at MINUTES             classify: incident time in minutes since epoch
   --save FILE              train-eval: save the trained Scout model
   --model FILE             classify: load a saved model instead of training
+
+serve options:
+  --addr HOST:PORT         listen address (default 127.0.0.1:7777; port 0 = any)
+  --model-dir DIR          load every *.scout in DIR (team = file stem) instead
+                           of training at startup; also enables
+                           POST /v1/models/reload
+  --batch-size N           max predict requests per inference batch (default 8)
+  --batch-deadline-ms MS   how long an open batch waits for more (default 2)
+  --queue-cap N            max outstanding requests before shedding (default 64)
+  --max-runtime-secs S     stop after S seconds (default: run until killed)
+
+loadgen options:
+  --addr HOST:PORT         server to drive (required)
+  --requests N             total requests (default 200)
+  --concurrency N          concurrent connections (default 4)
+  --endpoint predict|route what to exercise (default predict)
+  --team NAME              predict: team to query (default PhyNet)
+  --text STRING            incident text to send
+
+probe options:
+  --addr HOST:PORT         server to probe (required)
+  --path PATH              endpoint (default /healthz)
+  --body JSON              send a POST with this body instead of a GET
+  --expect-field NAME      fail unless the JSON response has this field
 
 observability (any command):
   --trace FILE             write span events (JSONL) to FILE
@@ -339,8 +390,8 @@ fn classify(args: &Args) -> Result<(), ArgError> {
     let at = SimTime(args.get_parsed("at", default_at)?);
     let (scout, mon) = match args.get("model") {
         Some(path) => {
-            let scout =
-                Scout::load(std::path::Path::new(path)).map_err(|e| ArgError(e.to_string()))?;
+            let scout = Scout::load(std::path::Path::new(path))
+                .map_err(|e| ArgError(format!("cannot load model {path}: {e}")))?;
             let mon =
                 MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
             eprintln!("[scoutctl] loaded model from {path}");
@@ -364,5 +415,179 @@ fn classify(args: &Args) -> Result<(), ArgError> {
         pred.explanation
             .render(team.name(), pred.says_responsible(), pred.confidence)
     );
+    Ok(())
+}
+
+// ---------- online serving ----------
+
+/// `scoutctl serve`: start the online incident-routing server.
+fn serve_cmd(args: &Args) -> Result<(), ArgError> {
+    use serve::{Engine, ModelRegistry, ServeConfig, Server};
+    use std::io::Write as _;
+    use std::sync::Arc;
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7777");
+    let world = Arc::new(load_world(args)?);
+    let registry = Arc::new(ModelRegistry::new());
+    let model_dir = args.get("model-dir").map(std::path::PathBuf::from);
+    match &model_dir {
+        Some(dir) => {
+            let published = registry
+                .load_dir(dir)
+                .map_err(|e| ArgError(e.to_string()))?;
+            for (team, version) in &published {
+                eprintln!(
+                    "[scoutctl] loaded {team} Scout (v{version}) from {}",
+                    dir.display()
+                );
+            }
+        }
+        None => {
+            let config = load_config(args)?;
+            let team = load_team(args)?;
+            eprintln!("[scoutctl] no --model-dir: training a {team} Scout at startup…");
+            let (scout, _, _, _) = train_scout(&world, config, team);
+            let version = registry.register(team.name(), scout, "trained-at-startup");
+            eprintln!("[scoutctl] registered {team} Scout (v{version})");
+        }
+    }
+    let mut engine = Engine::new(registry, world);
+    if let Some(dir) = model_dir {
+        engine = engine.with_model_dir(dir);
+    }
+    let config = ServeConfig {
+        batch_size: args.get_parsed("batch-size", 8usize)?,
+        batch_deadline: std::time::Duration::from_millis(
+            args.get_parsed("batch-deadline-ms", 2u64)?,
+        ),
+        queue_cap: args.get_parsed("queue-cap", 64usize)?,
+        max_connections: args.get_parsed("max-connections", 128usize)?,
+    };
+    let server = Server::start(engine, addr, config)
+        .map_err(|e| ArgError(format!("cannot bind {addr}: {e}")))?;
+    // The smoke scripts scrape this exact line for the bound port, so it
+    // must reach the pipe even when stdout is block-buffered.
+    println!("listening on http://{}", server.addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| ArgError(format!("stdout: {e}")))?;
+    match args.get_parsed("max-runtime-secs", 0u64)? {
+        0 => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+        secs => {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            server.shutdown();
+            Ok(())
+        }
+    }
+}
+
+/// `scoutctl loadgen`: drive a running server and report throughput/latency.
+fn loadgen(args: &Args) -> Result<(), ArgError> {
+    use serve::Client;
+
+    let addr = args
+        .get("addr")
+        .ok_or_else(|| ArgError("loadgen needs --addr HOST:PORT".into()))?
+        .to_string();
+    let requests = args.get_parsed("requests", 200usize)?.max(1);
+    let concurrency = args.get_parsed("concurrency", 4usize)?.max(1);
+    let team = args.get("team").unwrap_or("PhyNet");
+    let text = args
+        .get("text")
+        .unwrap_or("Link flaps on switch agg-3 in c2.dc1; BGP sessions resetting");
+    let path = match args.get("endpoint").unwrap_or("predict") {
+        "predict" => format!("/v1/scouts/{team}/predict"),
+        "route" => "/v1/route".to_string(),
+        other => return Err(ArgError(format!("unknown --endpoint '{other}'"))),
+    };
+    let body = obs::json::Obj::new().str("text", text).finish();
+
+    let started = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for worker in 0..concurrency {
+        let n = requests / concurrency + usize::from(worker < requests % concurrency);
+        let (addr, path, body) = (addr.clone(), path.clone(), body.clone());
+        handles.push(std::thread::spawn(move || -> Result<Vec<f64>, String> {
+            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let mut latencies_ms = Vec::with_capacity(n);
+            for _ in 0..n {
+                let t = std::time::Instant::now();
+                let resp = client.post_json(&path, &body).map_err(|e| e.to_string())?;
+                if !resp.is_success() {
+                    return Err(format!(
+                        "server answered {}: {}",
+                        resp.status,
+                        resp.body_text()
+                    ));
+                }
+                latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+            Ok(latencies_ms)
+        }));
+    }
+    let mut latencies: Vec<f64> = Vec::with_capacity(requests);
+    for h in handles {
+        latencies.extend(
+            h.join()
+                .map_err(|_| ArgError("worker panicked".into()))?
+                .map_err(ArgError)?,
+        );
+    }
+    let wall = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{} requests over {} connection(s) in {:.2}s: {:.0} req/s; latency p50 {:.2} ms, p99 {:.2} ms",
+        latencies.len(),
+        concurrency,
+        wall,
+        latencies.len() as f64 / wall,
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 99.0),
+    );
+    Ok(())
+}
+
+/// Percentile of an already-sorted sample (nearest-rank on n-1).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// `scoutctl probe`: one request, human-readable result, non-zero exit on
+/// failure. Lets CI smoke-test the server without curl.
+fn probe(args: &Args) -> Result<(), ArgError> {
+    use serve::client::status_line;
+    use serve::Client;
+
+    let addr = args
+        .get("addr")
+        .ok_or_else(|| ArgError("probe needs --addr HOST:PORT".into()))?;
+    let path = args.get("path").unwrap_or("/healthz");
+    let mut client = Client::connect(addr).map_err(|e| ArgError(e.to_string()))?;
+    let resp = match args.get("body") {
+        Some(body) => client.post_json(path, body),
+        None => client.get(path),
+    }
+    .map_err(|e| ArgError(e.to_string()))?;
+    let text = resp.body_text();
+    println!("{} {path}: {}", status_line(resp.status), text.trim());
+    if !resp.is_success() {
+        return Err(ArgError(format!("{path} answered {}", resp.status)));
+    }
+    if let Some(field) = args.get("expect-field") {
+        let value = obs::json::Value::parse(&text)
+            .ok_or_else(|| ArgError(format!("{path} response is not valid JSON")))?;
+        if value.get(field).is_none() {
+            return Err(ArgError(format!(
+                "{path} response has no field {field:?}: {}",
+                text.trim()
+            )));
+        }
+    }
     Ok(())
 }

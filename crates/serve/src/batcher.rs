@@ -1,0 +1,287 @@
+//! Micro-batched inference.
+//!
+//! Predict requests from all connections land in one bounded job queue.
+//! A single batcher thread collects jobs until either the batch is full
+//! or a short deadline lapses (default 8 requests / 2 ms), groups them
+//! by team, resolves **one** model version per team-group, and runs one
+//! pooled [`Scout::predict_many`] pass per group. Because `prepare` is a
+//! pure per-example function (PR 2's determinism contract), the batched
+//! answers are bit-identical to what N sequential `predict` calls would
+//! have produced — batching changes throughput, never verdicts.
+//!
+//! Metrics: `serve.batch.occupancy` (histogram of jobs per batch),
+//! `serve.deadline.expired` (requests that timed out in the queue).
+
+use crate::admission::Permit;
+use crate::registry::{ModelEntry, ModelRegistry};
+use cloudsim::SimTime;
+use incident::Workload;
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use scout::Prediction;
+use std::collections::BTreeMap;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One queued predict job.
+pub struct Job {
+    /// Team whose Scout should answer.
+    pub team: String,
+    /// Incident text.
+    pub text: String,
+    /// Incident creation time (simulated).
+    pub time: SimTime,
+    /// Wall-clock deadline; expired jobs are answered with
+    /// [`PredictError::DeadlineExpired`] instead of running.
+    pub deadline: Option<Instant>,
+    /// Admission slot, held until the reply is sent. `None` when the
+    /// caller holds one permit for a fan-out of jobs (the `/v1/route`
+    /// path).
+    pub permit: Option<Permit>,
+    /// Where the answer goes. `sync_channel(1)` so the send never blocks.
+    pub reply: SyncSender<Result<Answer, PredictError>>,
+}
+
+/// A completed prediction, attributable to exactly one model version.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// Canonical team name (registry key; may differ in case from the
+    /// request).
+    pub team: String,
+    /// Version of the model that produced this answer.
+    pub model_version: u64,
+    /// The Scout's prediction.
+    pub prediction: Prediction,
+}
+
+/// Why a job did not produce an [`Answer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// No Scout registered under that team name.
+    UnknownTeam(String),
+    /// The job's deadline lapsed before it ran.
+    DeadlineExpired,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::UnknownTeam(t) => write!(f, "no Scout registered for team {t:?}"),
+            PredictError::DeadlineExpired => write!(f, "request deadline expired in queue"),
+            PredictError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: std::collections::VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Queue {
+    state: Mutex<QueueState>,
+    wake: Condvar,
+}
+
+/// Batcher configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Maximum jobs per batch.
+    pub batch_size: usize,
+    /// How long to hold an open batch waiting for more jobs.
+    pub batch_deadline: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            batch_size: 8,
+            batch_deadline: Duration::from_millis(2),
+        }
+    }
+}
+
+/// The batcher: owns the job queue and the worker thread.
+pub struct Batcher {
+    queue: Arc<Queue>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Start the worker thread. `workload` supplies the monitoring plane
+    /// Scouts consult at predict time; `registry` supplies the models.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        workload: Arc<Workload>,
+        config: BatchConfig,
+    ) -> Batcher {
+        let queue = Arc::new(Queue {
+            state: Mutex::new(QueueState::default()),
+            wake: Condvar::new(),
+        });
+        let worker_queue = Arc::clone(&queue);
+        let worker = std::thread::Builder::new()
+            .name("serve-batcher".into())
+            .spawn(move || run_worker(worker_queue, registry, workload, config))
+            .expect("spawn batcher thread");
+        Batcher {
+            queue,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueue a job. Returns the job back if the batcher has shut down
+    /// (the caller still holds the permit and reply channel).
+    pub fn submit(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.queue.state.lock().unwrap();
+        if state.shutdown {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.queue.wake.notify_one();
+        Ok(())
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        {
+            let mut state = self.queue.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        self.queue.wake.notify_all();
+        if let Some(worker) = self.worker.take() {
+            worker.join().ok();
+        }
+    }
+}
+
+fn run_worker(
+    queue: Arc<Queue>,
+    registry: Arc<ModelRegistry>,
+    workload: Arc<Workload>,
+    config: BatchConfig,
+) {
+    let batch_size = config.batch_size.max(1);
+    loop {
+        let batch = collect_batch(&queue, batch_size, config.batch_deadline);
+        match batch {
+            Some(jobs) => run_batch(jobs, &registry, &workload),
+            None => {
+                // Shutdown: fail whatever is still queued.
+                let mut state = queue.state.lock().unwrap();
+                for job in state.jobs.drain(..) {
+                    let _ = job.reply.try_send(Err(PredictError::ShuttingDown));
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Block until at least one job is available, then keep collecting until
+/// the batch is full or `batch_deadline` has passed since the first job
+/// was picked up. Returns `None` on shutdown with an empty queue.
+fn collect_batch(queue: &Queue, batch_size: usize, batch_deadline: Duration) -> Option<Vec<Job>> {
+    let mut state = queue.state.lock().unwrap();
+    loop {
+        if !state.jobs.is_empty() {
+            break;
+        }
+        if state.shutdown {
+            return None;
+        }
+        state = queue.wake.wait(state).unwrap();
+    }
+    let mut batch = Vec::with_capacity(batch_size);
+    while batch.len() < batch_size {
+        if let Some(job) = state.jobs.pop_front() {
+            batch.push(job);
+        } else {
+            break;
+        }
+    }
+    let window_end = Instant::now() + batch_deadline;
+    while batch.len() < batch_size && !state.shutdown {
+        let now = Instant::now();
+        if now >= window_end {
+            break;
+        }
+        let (next, timeout) = queue.wake.wait_timeout(state, window_end - now).unwrap();
+        state = next;
+        while batch.len() < batch_size {
+            if let Some(job) = state.jobs.pop_front() {
+                batch.push(job);
+            } else {
+                break;
+            }
+        }
+        if timeout.timed_out() {
+            break;
+        }
+    }
+    drop(state);
+    Some(batch)
+}
+
+fn run_batch(jobs: Vec<Job>, registry: &ModelRegistry, workload: &Workload) {
+    let _span = obs::span!("serve.batch");
+    obs::observe("serve.batch.occupancy", jobs.len() as f64);
+
+    // Drop expired jobs before doing any work on them.
+    let now = Instant::now();
+    let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if job.deadline.is_some_and(|d| now >= d) {
+            obs::counter("serve.deadline.expired").inc();
+            let _ = job.reply.try_send(Err(PredictError::DeadlineExpired));
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Group by requested team so each group runs one pooled predict pass
+    // against exactly one pinned model version.
+    let mut groups: BTreeMap<String, Vec<Job>> = BTreeMap::new();
+    for job in live {
+        groups.entry(job.team.clone()).or_default().push(job);
+    }
+
+    let monitoring = MonitoringSystem::new(
+        &workload.topology,
+        &workload.faults,
+        MonitoringConfig::default(),
+    );
+
+    for (team, group) in groups {
+        let Some(entry) = registry.get(&team) else {
+            for job in group {
+                let _ = job
+                    .reply
+                    .try_send(Err(PredictError::UnknownTeam(team.clone())));
+            }
+            continue;
+        };
+        run_group(group, &entry, &monitoring);
+    }
+}
+
+fn run_group(group: Vec<Job>, entry: &Arc<ModelEntry>, monitoring: &MonitoringSystem<'_>) {
+    let inputs: Vec<(&str, SimTime)> = group.iter().map(|j| (j.text.as_str(), j.time)).collect();
+    let predictions = entry.scout.predict_many(&inputs, monitoring);
+    for (job, prediction) in group.into_iter().zip(predictions) {
+        let _ = job.reply.try_send(Ok(Answer {
+            team: entry.team.clone(),
+            model_version: entry.version,
+            prediction,
+        }));
+        // `job.permit` drops here, freeing the admission slot.
+    }
+}

@@ -1,0 +1,174 @@
+//! A minimal blocking HTTP/1.1 client for the serve endpoints.
+//!
+//! Used by `scoutctl loadgen`, `scoutctl probe`, the serve bench, and the
+//! integration tests — everything in this workspace that needs to *talk*
+//! to the server without curl. Keep-alive by default; one connection per
+//! [`Client`].
+
+use crate::http::reason;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header named `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Is the status 2xx?
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A client error: connect/IO failure or a malformed response.
+#[derive(Debug)]
+pub struct ClientError(pub String);
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One keep-alive connection to a serve instance.
+pub struct Client {
+    addr: String,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ClientError(format!("cannot connect to {addr}: {e}")))?;
+        stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+        // Requests are small and latency-sensitive; Nagle + delayed ACK
+        // would add tens of milliseconds per exchange.
+        stream.set_nodelay(true).ok();
+        let writer = stream
+            .try_clone()
+            .map_err(|e| ClientError(format!("cannot clone stream: {e}")))?;
+        Ok(Client {
+            addr: addr.to_string(),
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> Result<ClientResponse, ClientError> {
+        self.request("GET", path, &[], b"")
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post_json(&mut self, path: &str, body: &str) -> Result<ClientResponse, ClientError> {
+        self.request(
+            "POST",
+            path,
+            &[("Content-Type", "application/json")],
+            body.as_bytes(),
+        )
+    }
+
+    /// Send one request and read one response on this connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n",
+            self.addr,
+            body.len()
+        );
+        for (k, v) in headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str("\r\n");
+        // One write, one segment: a split head/body write interacts with
+        // Nagle + delayed ACK and stalls the exchange.
+        let mut frame = head.into_bytes();
+        frame.extend_from_slice(body);
+        self.writer
+            .write_all(&frame)
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| ClientError(format!("write to {} failed: {e}", self.addr)))?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map_err(|e| ClientError(format!("read from {} failed: {e}", self.addr)))?;
+        if line.is_empty() {
+            return Err(ClientError(format!("{} closed the connection", self.addr)));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn read_response(&mut self) -> Result<ClientResponse, ClientError> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .strip_prefix("HTTP/1.1 ")
+            .or_else(|| status_line.strip_prefix("HTTP/1.0 "))
+            .and_then(|rest| rest.split(' ').next())
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| ClientError(format!("malformed status line {status_line:?}")))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                headers.push((k.trim().to_string(), v.trim().to_string()));
+            }
+        }
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; len];
+        self.reader
+            .read_exact(&mut body)
+            .map_err(|e| ClientError(format!("short body from {}: {e}", self.addr)))?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Human-readable `status reason` for CLI output.
+pub fn status_line(status: u16) -> String {
+    format!("{status} {}", reason(status))
+}

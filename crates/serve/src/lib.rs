@@ -1,0 +1,35 @@
+//! The online half of the Scouts system: an incident-routing server.
+//!
+//! The paper splits each Scout into an offline component (training, the
+//! `scout` crate) and an **online component** that serves routing
+//! decisions to the incident-management pipeline. This crate is that
+//! online component, built from three pieces:
+//!
+//! * [`registry::ModelRegistry`] — versioned `Arc`-swapped models, so a
+//!   retrain (the paper retrains Scouts on a schedule, §6) can be rolled
+//!   out with `POST /v1/models/reload` while predictions are in flight;
+//! * [`batcher::Batcher`] — micro-batched inference: concurrent predict
+//!   requests coalesce into one pooled `Scout::predict_many` pass,
+//!   preserving the determinism contract (batched results are
+//!   bit-identical to sequential ones);
+//! * [`admission::Admission`] — a hard cap on outstanding work with
+//!   load-shedding (`503` + `Retry-After`) and per-request deadlines
+//!   (`X-Deadline-Ms` → `504`), because a late routing decision is a
+//!   useless one.
+//!
+//! Everything — including the HTTP/1.1 implementation in [`http`] — is
+//! dependency-free, like the rest of the workspace.
+
+pub mod admission;
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod registry;
+pub mod server;
+
+pub use admission::{Admission, Permit};
+pub use batcher::{Answer, BatchConfig, Batcher, Job, PredictError};
+pub use client::{Client, ClientError, ClientResponse};
+pub use http::{HttpError, Request, Response};
+pub use registry::{ModelEntry, ModelRegistry, RegistryError};
+pub use server::{Engine, ServeConfig, Server};

@@ -1,0 +1,203 @@
+//! Versioned model registry with atomic hot-swap.
+//!
+//! The paper keeps trained Scouts "in a highly available storage system
+//! and serves them to the online component"; this is the in-process half
+//! of that contract. Each team name maps to an [`Arc<ModelEntry>`] — an
+//! immutable trained Scout plus a process-unique version number. Readers
+//! clone the `Arc` under a briefly-held lock and then predict entirely
+//! lock-free, so a reload (which builds the new Scouts *outside* the
+//! lock and swaps the map in one write) never blocks an in-flight
+//! prediction, and every prediction is attributable to exactly one
+//! version.
+
+use scout::Scout;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// One registered model: immutable once published.
+#[derive(Debug)]
+pub struct ModelEntry {
+    /// Team the Scout answers for (registry key).
+    pub team: String,
+    /// Process-unique, monotonically increasing version.
+    pub version: u64,
+    /// Where the model came from (file path or "trained-at-startup").
+    pub source: String,
+    /// The trained Scout.
+    pub scout: Scout,
+}
+
+/// A reload or registration failure, with enough context to act on.
+#[derive(Debug)]
+pub struct RegistryError(pub String);
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The registry: team name → current model version.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<BTreeMap<String, std::sync::Arc<ModelEntry>>>,
+    next_version: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry {
+            models: RwLock::new(BTreeMap::new()),
+            next_version: AtomicU64::new(1),
+        }
+    }
+
+    /// Publish `scout` for `team`, returning the version it was assigned.
+    /// Replaces any previous version atomically; in-flight predictions
+    /// against the old `Arc` are unaffected.
+    pub fn register(&self, team: &str, scout: Scout, source: &str) -> u64 {
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let entry = std::sync::Arc::new(ModelEntry {
+            team: team.to_string(),
+            version,
+            source: source.to_string(),
+            scout,
+        });
+        self.models.write().unwrap().insert(team.to_string(), entry);
+        obs::counter("serve.models.registered").inc();
+        version
+    }
+
+    /// The current model for `team` (exact match, then ASCII
+    /// case-insensitive).
+    pub fn get(&self, team: &str) -> Option<std::sync::Arc<ModelEntry>> {
+        let models = self.models.read().unwrap();
+        if let Some(e) = models.get(team) {
+            return Some(std::sync::Arc::clone(e));
+        }
+        models
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(team))
+            .map(|(_, e)| std::sync::Arc::clone(e))
+    }
+
+    /// Registered team names, sorted.
+    pub fn teams(&self) -> Vec<String> {
+        self.models.read().unwrap().keys().cloned().collect()
+    }
+
+    /// Current entries, sorted by team.
+    pub fn snapshot(&self) -> Vec<std::sync::Arc<ModelEntry>> {
+        self.models
+            .read()
+            .unwrap()
+            .values()
+            .map(std::sync::Arc::clone)
+            .collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().unwrap().len()
+    }
+
+    /// Is the registry empty (server not ready)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Load every `*.scout` file in `dir` (team name = file stem) and
+    /// publish them all in one atomic swap. On any failure the registry
+    /// is left exactly as it was — a bad reload never degrades serving —
+    /// and the error names the offending path (and, for format errors,
+    /// the line; see `ml::persist`).
+    pub fn load_dir(&self, dir: &Path) -> Result<Vec<(String, u64)>, RegistryError> {
+        let _span = obs::span!("serve.registry.load_dir");
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| RegistryError(format!("cannot read model dir {}: {e}", dir.display())))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "scout"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(RegistryError(format!(
+                "no *.scout files in {}",
+                dir.display()
+            )));
+        }
+        // Load (the expensive part) entirely outside the lock.
+        let mut loaded: Vec<(String, Scout, String)> = Vec::new();
+        for path in &paths {
+            let team = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| {
+                    RegistryError(format!("non-UTF-8 model file name {}", path.display()))
+                })?
+                .to_string();
+            let scout = Scout::load(path)
+                .map_err(|e| RegistryError(format!("cannot load {}: {e}", path.display())))?;
+            loaded.push((team, scout, path.display().to_string()));
+        }
+        // Publish in one write-lock window.
+        let mut published = Vec::with_capacity(loaded.len());
+        {
+            let mut models = self.models.write().unwrap();
+            for (team, scout, source) in loaded {
+                let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+                published.push((team.clone(), version));
+                models.insert(
+                    team.clone(),
+                    std::sync::Arc::new(ModelEntry {
+                        team,
+                        version,
+                        source,
+                        scout,
+                    }),
+                );
+            }
+        }
+        obs::counter("serve.models.reloads").inc();
+        Ok(published)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_reports_not_ready() {
+        let r = ModelRegistry::new();
+        assert!(r.is_empty());
+        assert!(r.get("PhyNet").is_none());
+        assert!(r.teams().is_empty());
+    }
+
+    #[test]
+    fn load_dir_on_missing_dir_names_the_path() {
+        let r = ModelRegistry::new();
+        let e = r
+            .load_dir(Path::new("/nonexistent/scout-models"))
+            .unwrap_err();
+        assert!(e.0.contains("/nonexistent/scout-models"), "{e}");
+    }
+
+    #[test]
+    fn load_dir_on_corrupt_file_names_the_path_and_keeps_registry() {
+        let dir = std::env::temp_dir().join("serve-registry-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("PhyNet.scout");
+        std::fs::write(&bad, "not a model\n").unwrap();
+        let r = ModelRegistry::new();
+        let e = r.load_dir(&dir).unwrap_err();
+        assert!(e.0.contains("PhyNet.scout"), "{e}");
+        assert!(r.is_empty(), "failed reload must not publish anything");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,550 @@
+//! The HTTP server: endpoints, connection handling, lifecycle.
+//!
+//! One acceptor thread, one handler thread per connection (capped), one
+//! batcher thread. Handlers do the protocol work — parse, admission,
+//! deadline — and park on a rendezvous channel while the batcher answers;
+//! all model execution happens in the batcher on the shared `pool`.
+//!
+//! | Endpoint | Behaviour |
+//! |---|---|
+//! | `GET /healthz` | liveness: 200 as long as the process serves |
+//! | `GET /readyz` | readiness: 200 once ≥1 model is registered, else 503 |
+//! | `GET /metrics` | the obs registry as JSONL |
+//! | `POST /v1/scouts/<team>/predict` | one Scout's verdict for `{"text", "time_minutes"?}` |
+//! | `POST /v1/route` | Scout-Master decision over every registered Scout |
+//! | `POST /v1/models/reload` | atomic hot-swap from the model directory |
+//!
+//! Shedding is `503` + `Retry-After: 1`; a lapsed `X-Deadline-Ms` is
+//! `504`; an unknown team is `404`.
+
+use crate::admission::Admission;
+use crate::batcher::{Answer, BatchConfig, Batcher, Job, PredictError};
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::registry::ModelRegistry;
+use cloudsim::{SimTime, Team};
+use incident::Workload;
+use obs::json::{escape_into, Obj, Value};
+use scout::Prediction;
+use scoutmaster::{MasterDecision, ScoutAnswer, ScoutMaster};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything the endpoints need to answer a request.
+pub struct Engine {
+    /// Registered models, hot-swappable.
+    pub registry: Arc<ModelRegistry>,
+    /// The world the Scouts' monitoring plane reads from.
+    pub workload: Arc<Workload>,
+    /// The Scout-Master aggregation policy.
+    pub master: ScoutMaster,
+    /// Where `POST /v1/models/reload` loads from (`None` → reload is 409).
+    pub model_dir: Option<PathBuf>,
+}
+
+impl Engine {
+    /// An engine with the paper's default Scout-Master policy and no
+    /// reload directory.
+    pub fn new(registry: Arc<ModelRegistry>, workload: Arc<Workload>) -> Engine {
+        Engine {
+            registry,
+            workload,
+            master: ScoutMaster::default(),
+            model_dir: None,
+        }
+    }
+
+    /// Set the model directory used by `POST /v1/models/reload`.
+    pub fn with_model_dir(mut self, dir: PathBuf) -> Engine {
+        self.model_dir = Some(dir);
+        self
+    }
+}
+
+/// Server tunables. All have serving-grade defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum jobs per inference batch.
+    pub batch_size: usize,
+    /// How long an open batch waits for more jobs.
+    pub batch_deadline: Duration,
+    /// Maximum outstanding predict requests before shedding.
+    pub queue_cap: usize,
+    /// Maximum concurrently-served connections.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            batch_size: 8,
+            batch_deadline: Duration::from_millis(2),
+            queue_cap: 64,
+            max_connections: 128,
+        }
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    batcher: Batcher,
+    admission: Admission,
+    stop: AtomicBool,
+    connections: AtomicUsize,
+    max_connections: usize,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops
+/// the acceptor and the batcher.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and start serving.
+    pub fn start(engine: Engine, addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        obs::enable();
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let batcher = Batcher::start(
+            Arc::clone(&engine.registry),
+            Arc::clone(&engine.workload),
+            BatchConfig {
+                batch_size: config.batch_size,
+                batch_deadline: config.batch_deadline,
+            },
+        );
+        let shared = Arc::new(Shared {
+            engine,
+            batcher,
+            admission: Admission::new(config.queue_cap),
+            stop: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            max_connections: config.max_connections.max(1),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn acceptor thread");
+        Ok(Server {
+            addr: local,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the batcher, join the acceptor.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().ok();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        stream.set_nodelay(true).ok();
+        let active = shared.connections.fetch_add(1, Ordering::AcqRel) + 1;
+        if active > shared.max_connections {
+            shared.connections.fetch_sub(1, Ordering::AcqRel);
+            obs::counter("serve.conn.rejected").inc();
+            let mut stream = stream;
+            let _ = Response::from_error(&HttpError::new(503, "connection limit reached"))
+                .with_header("Retry-After", "1")
+                .write_to(&mut stream, false);
+            continue;
+        }
+        obs::counter("serve.conn.accepted").inc();
+        let conn_shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || {
+                handle_connection(stream, &conn_shared);
+                conn_shared.connections.fetch_sub(1, Ordering::AcqRel);
+            });
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_request(&mut reader) {
+            Ok(None) => return, // clean close
+            Err(e) => {
+                // Protocol error: answer and close.
+                let _ = Response::from_error(&e).write_to(&mut writer, false);
+                return;
+            }
+            Ok(Some(req)) => {
+                let keep_alive = req.keep_alive();
+                let started = Instant::now();
+                let endpoint = endpoint_label(&req.path);
+                let response = dispatch(&req, shared);
+                obs::observe(
+                    &format!("serve.latency.{endpoint}"),
+                    started.elapsed().as_secs_f64() * 1e3,
+                );
+                obs::counter(&format!("serve.http.{}", response.status)).inc();
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A low-cardinality label for per-endpoint latency series.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "healthz",
+        "/readyz" => "readyz",
+        "/metrics" => "metrics",
+        "/v1/route" => "route",
+        "/v1/models/reload" => "reload",
+        p if p.starts_with("/v1/scouts/") && p.ends_with("/predict") => "predict",
+        _ => "other",
+    }
+}
+
+fn dispatch(req: &Request, shared: &Shared) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, Obj::new().str("status", "ok").finish()),
+        ("GET", "/readyz") => readyz(shared),
+        ("GET", "/metrics") => {
+            Response::text(200, obs::sink::render_metrics_jsonl(&obs::global().metrics))
+        }
+        ("POST", "/v1/route") => route(req, shared),
+        ("POST", "/v1/models/reload") => reload(shared),
+        ("POST", path) => {
+            if let Some(team) = path
+                .strip_prefix("/v1/scouts/")
+                .and_then(|rest| rest.strip_suffix("/predict"))
+            {
+                predict(req, team, shared)
+            } else {
+                not_found(path)
+            }
+        }
+        ("GET" | "HEAD", path) => not_found(path),
+        (method, _) => {
+            Response::from_error(&HttpError::new(405, format!("method {method} not allowed")))
+        }
+    }
+}
+
+fn not_found(path: &str) -> Response {
+    Response::from_error(&HttpError::new(404, format!("no such endpoint: {path}")))
+}
+
+fn readyz(shared: &Shared) -> Response {
+    let teams = shared.engine.registry.teams();
+    if teams.is_empty() {
+        Response::from_error(&HttpError::new(503, "no models registered"))
+    } else {
+        Response::json(
+            200,
+            Obj::new()
+                .str("status", "ready")
+                .raw("teams", &json_str_array(&teams))
+                .finish(),
+        )
+    }
+}
+
+/// Parsed body of a predict/route request.
+struct PredictInput {
+    text: String,
+    time: SimTime,
+}
+
+fn parse_predict_input(req: &Request, shared: &Shared) -> Result<PredictInput, HttpError> {
+    let body = req.body_str()?;
+    let value =
+        Value::parse(body).ok_or_else(|| HttpError::new(400, "request body is not valid JSON"))?;
+    let text = value
+        .get("text")
+        .and_then(Value::as_str)
+        .ok_or_else(|| HttpError::new(400, "missing required string field \"text\""))?
+        .to_string();
+    // Default prediction time: the end of the workload's fault horizon,
+    // where the monitoring look-back window has the most signal.
+    let default_time = SimTime::EPOCH + shared.engine.workload.config.faults.horizon;
+    let time = match value.get("time_minutes") {
+        None => default_time,
+        Some(v) => {
+            let n = v
+                .as_f64()
+                .filter(|n| n.is_finite() && *n >= 0.0)
+                .ok_or_else(|| HttpError::new(400, "\"time_minutes\" must be a number >= 0"))?;
+            SimTime(n as u64)
+        }
+    };
+    Ok(PredictInput { text, time })
+}
+
+/// Per-request deadline from `X-Deadline-Ms`, if present.
+fn request_deadline(req: &Request) -> Result<Option<Instant>, HttpError> {
+    match req.header("x-deadline-ms") {
+        None => Ok(None),
+        Some(v) => {
+            let ms: u64 = v
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::new(400, "X-Deadline-Ms must be a whole number"))?;
+            Ok(Some(Instant::now() + Duration::from_millis(ms)))
+        }
+    }
+}
+
+fn shed_response() -> Response {
+    Response::from_error(&HttpError::new(503, "server over capacity, request shed"))
+        .with_header("Retry-After", "1")
+}
+
+fn predict_error_response(e: &PredictError) -> Response {
+    let status = match e {
+        PredictError::UnknownTeam(_) => 404,
+        PredictError::DeadlineExpired => 504,
+        PredictError::ShuttingDown => 503,
+    };
+    Response::from_error(&HttpError::new(status, e.to_string()))
+}
+
+fn predict(req: &Request, team: &str, shared: &Shared) -> Response {
+    let input = match parse_predict_input(req, shared) {
+        Ok(i) => i,
+        Err(e) => return Response::from_error(&e),
+    };
+    let deadline = match request_deadline(req) {
+        Ok(d) => d,
+        Err(e) => return Response::from_error(&e),
+    };
+    let Some(permit) = shared.admission.try_admit() else {
+        return shed_response();
+    };
+    let (reply_tx, reply_rx) = sync_channel(1);
+    let job = Job {
+        team: team.to_string(),
+        text: input.text,
+        time: input.time,
+        deadline,
+        permit: Some(permit),
+        reply: reply_tx,
+    };
+    if shared.batcher.submit(job).is_err() {
+        return predict_error_response(&PredictError::ShuttingDown);
+    }
+    match reply_rx.recv() {
+        Ok(Ok(answer)) => Response::json(200, render_answer(&answer).finish()),
+        Ok(Err(e)) => predict_error_response(&e),
+        Err(_) => Response::from_error(&HttpError::new(500, "batcher dropped the request")),
+    }
+}
+
+fn route(req: &Request, shared: &Shared) -> Response {
+    let input = match parse_predict_input(req, shared) {
+        Ok(i) => i,
+        Err(e) => return Response::from_error(&e),
+    };
+    let deadline = match request_deadline(req) {
+        Ok(d) => d,
+        Err(e) => return Response::from_error(&e),
+    };
+    let teams = shared.engine.registry.teams();
+    if teams.is_empty() {
+        return Response::from_error(&HttpError::new(503, "no models registered"));
+    }
+    // One admission slot covers the whole fan-out: a routing request is
+    // one unit of operator-facing work regardless of Scout count.
+    let Some(_permit) = shared.admission.try_admit() else {
+        return shed_response();
+    };
+    let mut pending = Vec::with_capacity(teams.len());
+    for team in &teams {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job {
+            team: team.clone(),
+            text: input.text.clone(),
+            time: input.time,
+            deadline,
+            permit: None,
+            reply: reply_tx,
+        };
+        if shared.batcher.submit(job).is_err() {
+            return predict_error_response(&PredictError::ShuttingDown);
+        }
+        pending.push(reply_rx);
+    }
+    let mut answers: Vec<Answer> = Vec::with_capacity(pending.len());
+    for rx in pending {
+        match rx.recv() {
+            Ok(Ok(answer)) => answers.push(answer),
+            Ok(Err(e)) => return predict_error_response(&e),
+            Err(_) => {
+                return Response::from_error(&HttpError::new(500, "batcher dropped the request"))
+            }
+        }
+    }
+    let scout_answers: Vec<ScoutAnswer> = answers
+        .iter()
+        .filter_map(|a| {
+            Team::ALL
+                .iter()
+                .find(|t| t.name().eq_ignore_ascii_case(&a.team))
+                .map(|&team| ScoutAnswer {
+                    team,
+                    responsible: a.prediction.says_responsible(),
+                    confidence: a.prediction.confidence,
+                })
+        })
+        .collect();
+    let decision = shared.engine.master.route(&scout_answers);
+    let mut answers_json = String::from("[");
+    for (i, a) in answers.iter().enumerate() {
+        if i > 0 {
+            answers_json.push(',');
+        }
+        answers_json.push_str(&render_answer(a).finish());
+    }
+    answers_json.push(']');
+    let obj = match decision {
+        MasterDecision::SendTo(team) => Obj::new()
+            .str("decision", "send_to")
+            .str("team", team.name()),
+        MasterDecision::Fallback => Obj::new().str("decision", "fallback"),
+    };
+    Response::json(200, obj.raw("answers", &answers_json).finish())
+}
+
+fn reload(shared: &Shared) -> Response {
+    let Some(dir) = shared.engine.model_dir.as_deref() else {
+        return Response::from_error(&HttpError::new(
+            409,
+            "server was started without a model directory; reload is unavailable",
+        ));
+    };
+    match shared.engine.registry.load_dir(dir) {
+        Ok(published) => {
+            let mut arr = String::from("[");
+            for (i, (team, version)) in published.iter().enumerate() {
+                if i > 0 {
+                    arr.push(',');
+                }
+                arr.push_str(
+                    &Obj::new()
+                        .str("team", team)
+                        .uint("version", *version)
+                        .finish(),
+                );
+            }
+            arr.push(']');
+            Response::json(200, Obj::new().raw("reloaded", &arr).finish())
+        }
+        Err(e) => Response::from_error(&HttpError::new(500, e.to_string())),
+    }
+}
+
+/// Render one [`Answer`] as a JSON object builder.
+fn render_answer(answer: &Answer) -> Obj {
+    let p: &Prediction = &answer.prediction;
+    Obj::new()
+        .str("team", &answer.team)
+        .uint("model_version", answer.model_version)
+        .str("verdict", verdict_name(p))
+        .num("confidence", p.confidence)
+        .str("model", model_name(p))
+        .raw("components", &json_str_array(&p.explanation.components))
+        .raw("evidence", &json_str_array(&p.explanation.evidence))
+}
+
+fn verdict_name(p: &Prediction) -> &'static str {
+    match p.verdict {
+        scout::Verdict::Responsible => "responsible",
+        scout::Verdict::NotResponsible => "not_responsible",
+        scout::Verdict::Fallback => "fallback",
+    }
+}
+
+fn model_name(p: &Prediction) -> &'static str {
+    match p.model {
+        scout::ModelUsed::RandomForest => "random_forest",
+        scout::ModelUsed::CpdConservative => "cpd_conservative",
+        scout::ModelUsed::CpdCluster => "cpd_cluster",
+        scout::ModelUsed::Exclusion => "exclusion",
+        scout::ModelUsed::Fallback => "fallback",
+    }
+}
+
+/// A JSON array of strings.
+fn json_str_array(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(&mut out, item);
+        out.push('"');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_labels_are_low_cardinality() {
+        assert_eq!(endpoint_label("/healthz"), "healthz");
+        assert_eq!(endpoint_label("/v1/scouts/PhyNet/predict"), "predict");
+        assert_eq!(endpoint_label("/v1/scouts/Storage/predict"), "predict");
+        assert_eq!(endpoint_label("/v1/route"), "route");
+        assert_eq!(endpoint_label("/anything/else"), "other");
+    }
+
+    #[test]
+    fn json_str_array_escapes() {
+        assert_eq!(json_str_array(&[]), "[]");
+        assert_eq!(
+            json_str_array(&["a\"b".to_string(), "c".to_string()]),
+            r#"["a\"b","c"]"#
+        );
+    }
+}

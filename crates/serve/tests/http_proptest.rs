@@ -1,0 +1,92 @@
+//! Property: the HTTP parser is **total**. Any byte stream — random
+//! garbage, truncated requests, oversized heads, bad content-lengths,
+//! invalid UTF-8 bodies — yields a parsed request, a clean close, or a
+//! 4xx/5xx protocol error. Never a panic, never an out-of-range status.
+
+use proptest::prelude::*;
+use serve::http::{read_request, HttpError, Request};
+use std::io::Cursor;
+
+fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+    read_request(&mut Cursor::new(bytes.to_vec()))
+}
+
+/// Every error the parser can produce must be an answerable client or
+/// protocol error: 4xx, 501 (chunked) or 505 (bad version).
+fn assert_total(bytes: &[u8]) -> Result<(), TestCaseError> {
+    match parse(bytes) {
+        Ok(_) => Ok(()),
+        Err(e) => {
+            prop_assert!(
+                (400..500).contains(&e.status) || e.status == 501 || e.status == 505,
+                "unexpected status {} for input {:?}",
+                e.status,
+                &bytes[..bytes.len().min(80)]
+            );
+            Ok(())
+        }
+    }
+}
+
+/// A syntactically plausible request the mutators can start from.
+fn valid_request() -> Vec<u8> {
+    b"POST /v1/scouts/PhyNet/predict HTTP/1.1\r\nHost: test\r\nContent-Length: 15\r\n\r\n{\"text\":\"abc\"}x".to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte streams never panic the parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        assert_total(&bytes)?;
+    }
+
+    /// Every prefix of a valid request parses, cleanly closes, or 4xxes.
+    #[test]
+    fn truncations_never_panic(cut in 0usize..90) {
+        let full = valid_request();
+        let cut = cut.min(full.len());
+        assert_total(&full[..cut])?;
+    }
+
+    /// Single-byte corruption of a valid request never panics.
+    #[test]
+    fn mutations_never_panic(pos in 0usize..90, byte in any::<u8>()) {
+        let mut bytes = valid_request();
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] = byte;
+        assert_total(&bytes)?;
+    }
+
+    /// Arbitrary (often invalid) content-length values never panic and
+    /// never hand back a body longer than the parser's hard cap.
+    #[test]
+    fn content_length_fuzz(value in proptest::collection::vec(any::<u8>(), 0..20)) {
+        let mut bytes = b"POST / HTTP/1.1\r\nContent-Length: ".to_vec();
+        bytes.extend_from_slice(&value);
+        bytes.extend_from_slice(b"\r\n\r\nsome body bytes");
+        match parse(&bytes) {
+            Ok(Some(req)) => prop_assert!(req.body.len() <= serve::http::MAX_BODY_BYTES),
+            Ok(None) => {}
+            Err(e) => prop_assert!((400..=505).contains(&e.status)),
+        }
+    }
+
+    /// Invalid UTF-8 bodies parse fine as bytes, and `body_str` turns
+    /// them into a 400 instead of panicking.
+    #[test]
+    fn invalid_utf8_bodies_are_rejected_as_400(body in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut bytes = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", body.len()).into_bytes();
+        bytes.extend_from_slice(&body);
+        let req = parse(&bytes).unwrap().unwrap();
+        prop_assert_eq!(req.body.len(), body.len());
+        match req.body_str() {
+            Ok(_) => prop_assert!(std::str::from_utf8(&body).is_ok()),
+            Err(e) => {
+                prop_assert!(std::str::from_utf8(&body).is_err());
+                prop_assert_eq!(e.status, 400);
+            }
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! End-to-end tests against a live server on an ephemeral port: protocol
+//! basics, predict/route round-trips, deterministic load-shedding and
+//! deadlines, and the hot-swap guarantee (concurrent predicts during a
+//! reload all succeed and each is attributable to exactly one version).
+
+use cloudsim::{SimDuration, Team};
+use incident::{Workload, WorkloadConfig};
+use ml::forest::ForestConfig;
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use obs::json::Value;
+use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
+use serve::{Client, Engine, ModelRegistry, ServeConfig, Server};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// A small world: enough incidents to train on, fast enough for tests.
+fn small_workload() -> Arc<Workload> {
+    static WORLD: OnceLock<Arc<Workload>> = OnceLock::new();
+    WORLD
+        .get_or_init(|| {
+            let mut config = WorkloadConfig {
+                seed: 7,
+                ..WorkloadConfig::default()
+            };
+            config.faults.faults_per_day = 2.0;
+            config.faults.horizon = SimDuration::days(20);
+            Arc::new(Workload::generate(config))
+        })
+        .clone()
+}
+
+/// One PhyNet Scout trained on the small world, cached as model text so
+/// every test can cheaply mint its own `Scout` (or write a model file).
+fn trained_model_text() -> &'static str {
+    static TEXT: OnceLock<String> = OnceLock::new();
+    TEXT.get_or_init(|| {
+        let world = small_workload();
+        let mon =
+            MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+        let examples: Vec<Example> = world
+            .incidents
+            .iter()
+            .map(|i| Example::new(i.text(), i.created_at, i.owner == Team::PhyNet))
+            .collect();
+        let config = ScoutConfig::phynet();
+        let build = ScoutBuildConfig {
+            forest: ForestConfig {
+                n_trees: 8,
+                ..ForestConfig::default()
+            },
+            cluster_train_cap: 10,
+            ..ScoutBuildConfig::default()
+        };
+        let corpus = Scout::prepare(&config, &build, &examples, &mon);
+        let train = corpus.trainable_indices();
+        let scout = Scout::train_prepared(config, build, &corpus, &train, &mon);
+        scout.to_text()
+    })
+}
+
+fn test_scout() -> Scout {
+    Scout::from_text(trained_model_text()).expect("cached model text round-trips")
+}
+
+/// A server with one registered PhyNet model and the given config.
+fn start_server(config: ServeConfig) -> Server {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("PhyNet", test_scout(), "test");
+    let engine = Engine::new(registry, small_workload());
+    Server::start(engine, "127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(&server.addr().to_string()).expect("connect")
+}
+
+const INCIDENT: &str = r#"{"text":"Switch agg-3 in c1.dc1 reporting CRC errors and packet loss"}"#;
+
+#[test]
+fn health_ready_metrics_and_protocol_basics() {
+    let server = start_server(ServeConfig::default());
+    let mut client = connect(&server);
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body_text().contains("\"ok\""));
+
+    let ready = client.get("/readyz").unwrap();
+    assert_eq!(ready.status, 200);
+    assert!(ready.body_text().contains("PhyNet"));
+
+    // Keep-alive: the same connection answers multiple requests.
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+
+    assert_eq!(client.get("/no/such/endpoint").unwrap().status, 404);
+    assert_eq!(
+        client
+            .request("DELETE", "/healthz", &[], b"")
+            .unwrap()
+            .status,
+        405
+    );
+    assert_eq!(
+        client
+            .post_json("/v1/route", "this is not json")
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(client.post_json("/v1/route", "{}").unwrap().status, 400);
+}
+
+#[test]
+fn readyz_is_503_with_no_models() {
+    let engine = Engine::new(Arc::new(ModelRegistry::new()), small_workload());
+    let server = Server::start(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = connect(&server);
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    assert_eq!(client.get("/readyz").unwrap().status, 503);
+}
+
+#[test]
+fn predict_round_trip_and_unknown_team() {
+    let server = start_server(ServeConfig::default());
+    let mut client = connect(&server);
+
+    let resp = client
+        .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    let value = Value::parse(&resp.body_text()).expect("JSON body");
+    assert_eq!(value.get("team").and_then(Value::as_str), Some("PhyNet"));
+    assert!(value.get("verdict").and_then(Value::as_str).is_some());
+    let confidence = value.get("confidence").and_then(Value::as_f64).unwrap();
+    assert!((0.0..=1.0).contains(&confidence));
+    assert_eq!(
+        value.get("model_version").and_then(Value::as_f64),
+        Some(1.0)
+    );
+
+    // Team lookup is case-insensitive…
+    assert_eq!(
+        client
+            .post_json("/v1/scouts/phynet/predict", INCIDENT)
+            .unwrap()
+            .status,
+        200
+    );
+    // …but an unregistered team is a 404.
+    assert_eq!(
+        client
+            .post_json("/v1/scouts/Atlantis/predict", INCIDENT)
+            .unwrap()
+            .status,
+        404
+    );
+}
+
+#[test]
+fn batched_responses_match_sequential_ones() {
+    // A batch-friendly config and a burst of identical concurrent
+    // requests: every response must be byte-identical to the sequential
+    // answer (the determinism-under-batching contract).
+    let server = start_server(ServeConfig {
+        batch_size: 8,
+        batch_deadline: Duration::from_millis(20),
+        ..ServeConfig::default()
+    });
+    let sequential = connect(&server)
+        .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
+        .unwrap();
+    assert_eq!(sequential.status, 200);
+
+    let addr = server.addr().to_string();
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                client
+                    .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
+                    .unwrap()
+            })
+        })
+        .collect();
+    for h in handles {
+        let resp = h.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, sequential.body, "batched answer diverged");
+    }
+}
+
+#[test]
+fn route_aggregates_scout_answers() {
+    let server = start_server(ServeConfig::default());
+    let mut client = connect(&server);
+    let resp = client.post_json("/v1/route", INCIDENT).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    let value = Value::parse(&resp.body_text()).expect("JSON body");
+    let decision = value.get("decision").and_then(Value::as_str).unwrap();
+    assert!(decision == "send_to" || decision == "fallback");
+    let answers = value.get("answers").and_then(Value::as_arr).unwrap();
+    assert_eq!(answers.len(), 1, "one registered Scout, one answer");
+    assert_eq!(
+        answers[0].get("team").and_then(Value::as_str),
+        Some("PhyNet")
+    );
+}
+
+#[test]
+fn over_capacity_requests_are_shed_with_retry_after() {
+    // queue_cap 2 and a long batch window: the first two requests sit in
+    // the open batch holding both permits, so the third is shed — a
+    // deterministic 503, not a timing accident.
+    let server = start_server(ServeConfig {
+        batch_size: 4,
+        batch_deadline: Duration::from_millis(1500),
+        queue_cap: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr().to_string();
+    let occupiers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                client
+                    .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
+                    .unwrap()
+            })
+        })
+        .collect();
+    // Let both occupiers enter the batch window.
+    std::thread::sleep(Duration::from_millis(400));
+
+    let shed = connect(&server)
+        .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
+        .unwrap();
+    assert_eq!(shed.status, 503, "{}", shed.body_text());
+    assert_eq!(shed.header("Retry-After"), Some("1"));
+
+    for h in occupiers {
+        assert_eq!(h.join().unwrap().status, 200, "occupiers must complete");
+    }
+}
+
+#[test]
+fn expired_deadline_is_504() {
+    let server = start_server(ServeConfig::default());
+    let mut client = connect(&server);
+    let resp = client
+        .request(
+            "POST",
+            "/v1/scouts/PhyNet/predict",
+            &[("X-Deadline-Ms", "0")],
+            INCIDENT.as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 504, "{}", resp.body_text());
+    // A generous deadline is honoured.
+    let resp = client
+        .request(
+            "POST",
+            "/v1/scouts/PhyNet/predict",
+            &[("X-Deadline-Ms", "30000")],
+            INCIDENT.as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+}
+
+#[test]
+fn reload_is_409_without_model_dir() {
+    let server = start_server(ServeConfig::default());
+    let mut client = connect(&server);
+    assert_eq!(
+        client.post_json("/v1/models/reload", "{}").unwrap().status,
+        409
+    );
+}
+
+#[test]
+fn hot_swap_under_concurrent_predicts() {
+    // Server whose models come from a directory, so reload works.
+    let dir = std::env::temp_dir().join(format!("serve-hotswap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("PhyNet.scout"), trained_model_text()).unwrap();
+
+    let registry = Arc::new(ModelRegistry::new());
+    let initial = registry.load_dir(&dir).expect("initial load");
+    assert_eq!(initial.len(), 1);
+    let v1 = initial[0].1;
+    let engine = Engine::new(registry, small_workload()).with_model_dir(dir.clone());
+    let server = Server::start(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    let version_of = |resp: &serve::ClientResponse| -> u64 {
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+        Value::parse(&resp.body_text())
+            .and_then(|v| v.get("model_version").and_then(Value::as_f64))
+            .expect("model_version field") as u64
+    };
+
+    // Phase 1: before the reload, everything is v1.
+    let mut client = Client::connect(&addr).unwrap();
+    for _ in 0..3 {
+        let resp = client
+            .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
+            .unwrap();
+        assert_eq!(version_of(&resp), v1);
+    }
+
+    // Phase 2: predicts race the reload. Every one must succeed and be
+    // attributable to exactly one of the two versions.
+    let predictors: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                (0..6)
+                    .map(|_| {
+                        client
+                            .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
+                            .unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let reload = client.post_json("/v1/models/reload", "{}").unwrap();
+    assert_eq!(reload.status, 200, "{}", reload.body_text());
+    let v2 = Value::parse(&reload.body_text())
+        .and_then(|v| {
+            v.get("reloaded")
+                .and_then(Value::as_arr)
+                .and_then(|arr| arr[0].get("version").and_then(Value::as_f64))
+        })
+        .expect("reloaded version") as u64;
+    assert!(v2 > v1);
+
+    let mut seen = std::collections::BTreeSet::new();
+    for h in predictors {
+        for resp in h.join().unwrap() {
+            let v = version_of(&resp);
+            assert!(
+                v == v1 || v == v2,
+                "response attributed to unknown version {v} (expected {v1} or {v2})"
+            );
+            seen.insert(v);
+        }
+    }
+    assert!(!seen.is_empty());
+
+    // Phase 3: after the reload, everything is v2.
+    for _ in 0..3 {
+        let resp = client
+            .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
+            .unwrap();
+        assert_eq!(version_of(&resp), v2);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

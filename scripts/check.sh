@@ -2,18 +2,22 @@
 # Repo-wide hygiene gate: formatting, lints, tests.
 #
 #   scripts/check.sh                # fmt + clippy + tests
-#   scripts/check.sh --bench-smoke  # also run the pool bench on a tiny
-#                                   # workload (BENCH_SMOKE=1) to keep the
-#                                   # benches compiling and running
+#   scripts/check.sh --bench-smoke  # also run the pool + serve benches on
+#                                   # tiny workloads (BENCH_SMOKE=1) to keep
+#                                   # the benches compiling and running
+#   scripts/check.sh --serve-smoke  # also boot `scoutctl serve` on an
+#                                   # ephemeral port and probe it end-to-end
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bench_smoke=0
+serve_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
+    --serve-smoke) serve_smoke=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -30,6 +34,13 @@ cargo test -q
 if [[ "$bench_smoke" == 1 ]]; then
   echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench pool) =="
   BENCH_SMOKE=1 cargo bench -p bench --bench pool
+  echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench serve) =="
+  BENCH_SMOKE=1 cargo bench -p bench --bench serve
+fi
+
+if [[ "$serve_smoke" == 1 ]]; then
+  echo "== serve smoke (scoutctl serve + probe) =="
+  scripts/serve_smoke.sh
 fi
 
 echo "all checks passed"
