@@ -1,0 +1,197 @@
+//! Feature-chunk cache speedup on repeated `predict_many` over
+//! overlapping look-back windows, emitted as `BENCH_featcache.json` at
+//! the workspace root.
+//!
+//! The workload is the online serving pattern the cache was built for: a
+//! stream of incidents against one cluster, spaced a few minutes apart,
+//! so consecutive 2 h look-back windows share almost all of their
+//! time-bucket chunks. Each incident names the cluster plus five devices
+//! — past `few_device_threshold`, so both CPD+ paths are skipped and the
+//! passes measure featurization (telemetry generation + aggregation)
+//! almost exclusively.
+//!
+//! Three modes, identical inputs and bit-identical predictions:
+//!  - `disabled` — no cache; every predict regenerates every window.
+//!  - `cold`     — fresh cache per pass; chunks shared within the pass.
+//!  - `warm`     — shared cache, pre-warmed; chunk builds all amortized.
+//!
+//! `BENCH_SMOKE=1` shrinks the workload — used by
+//! `scripts/check.sh --bench-smoke` and CI. The bench asserts warm ≥
+//! cold in every mode; the headline ≥2x warm-over-disabled figure is in
+//! the JSON.
+
+use cloudsim::{SimDuration, SimTime};
+use featcache::FeatCache;
+use incident::{Workload, WorkloadConfig};
+use ml::forest::ForestConfig;
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use scout::{Scout, ScoutBuildConfig, ScoutConfig};
+use std::time::Instant;
+
+struct RunStats {
+    name: &'static str,
+    pass_ms: f64,
+    predictions_per_s: f64,
+}
+
+fn train(smoke: bool) -> (Workload, Scout) {
+    let mut config = WorkloadConfig {
+        seed: 7,
+        ..WorkloadConfig::default()
+    };
+    config.faults.faults_per_day = 2.0;
+    if smoke {
+        config.faults.horizon = SimDuration::days(20);
+    }
+    let world = Workload::generate(config);
+    let mon = MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let examples = bench::bench_examples(&world);
+    let build = if smoke {
+        ScoutBuildConfig {
+            forest: ForestConfig {
+                n_trees: 8,
+                ..ForestConfig::default()
+            },
+            cluster_train_cap: 10,
+            ..ScoutBuildConfig::default()
+        }
+    } else {
+        ScoutBuildConfig::default()
+    };
+    let (scout, _) = Scout::train(ScoutConfig::phynet(), build, &examples, &mon);
+    drop(mon);
+    (world, scout)
+}
+
+/// `n` incidents against clusters c1.dc1 and c2.dc1, 10 minutes apart,
+/// each naming five devices so CPD+ is skipped and featurization (two
+/// clusters' worth of pooled telemetry) dominates.
+fn incident_stream(n: usize) -> Vec<(String, SimTime)> {
+    (0..n)
+        .map(|i| {
+            let t = SimTime::from_hours(48) + SimDuration(10 * i as u64);
+            let text = format!(
+                "srv-{}.c1.dc1 srv-{}.c1.dc1 srv-{}.c2.dc1 tor-{}.c1.dc1 agg-0.c2.dc1 \
+                 widespread retransmits and CPU across c1.dc1 and c2.dc1",
+                i % 24,
+                (i + 1) % 24,
+                (i + 2) % 24,
+                i % 6,
+            );
+            (text, t)
+        })
+        .collect()
+}
+
+/// Best-of-`reps` timing for one pass of `predict_many_cached`.
+/// `fresh_cache` rebuilds the cache before every rep (cold); otherwise
+/// `cache` is reused across reps (warm after the first).
+fn run(
+    name: &'static str,
+    scout: &Scout,
+    mon: &MonitoringSystem<'_>,
+    inputs: &[(&str, SimTime)],
+    cache: Option<&FeatCache>,
+    fresh_cache: bool,
+    reps: usize,
+) -> RunStats {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let fresh;
+        let pass_cache = if fresh_cache {
+            fresh = cache.map(|c| FeatCache::new(c.capacity_bytes()));
+            fresh.as_ref()
+        } else {
+            cache
+        };
+        let t0 = Instant::now();
+        let preds = scout.predict_many_cached(inputs, mon, pass_cache);
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(preds.len(), inputs.len());
+        best = best.min(dt);
+    }
+    RunStats {
+        name,
+        pass_ms: best * 1e3,
+        predictions_per_s: inputs.len() as f64 / best,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let (n_incidents, reps) = if smoke { (24, 3) } else { (96, 5) };
+
+    let (world, scout) = train(smoke);
+    let mon = MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let stream = incident_stream(n_incidents);
+    let inputs: Vec<(&str, SimTime)> = stream.iter().map(|(s, t)| (s.as_str(), *t)).collect();
+
+    let cache = FeatCache::new(64 * 1024 * 1024);
+    // Warm pass (untimed): fills the cache so the `warm` rows below never
+    // build a chunk.
+    scout.predict_many_cached(&inputs, &mon, Some(&cache));
+
+    let rows = [
+        run("disabled", &scout, &mon, &inputs, None, false, reps),
+        run("cold", &scout, &mon, &inputs, Some(&cache), true, reps),
+        run("warm", &scout, &mon, &inputs, Some(&cache), false, reps),
+    ];
+    let warm_vs_disabled = rows[0].pass_ms / rows[2].pass_ms.max(1e-9);
+    let warm_vs_cold = rows[1].pass_ms / rows[2].pass_ms.max(1e-9);
+    let stats = cache.stats();
+
+    for r in &rows {
+        println!(
+            "{:<9} pass {:>9.3} ms   {:>9.1} predictions/s",
+            r.name, r.pass_ms, r.predictions_per_s
+        );
+    }
+    println!(
+        "warm speedup: {warm_vs_disabled:.2}x vs disabled, {warm_vs_cold:.2}x vs cold; \
+         cache: {} hits / {} misses / {} evictions, {} chunks, {} bytes",
+        stats.hits, stats.misses, stats.evictions, stats.chunks, stats.bytes
+    );
+
+    // The warm pass does strictly less work than the cold pass (zero chunk
+    // builds vs all of them); 5% slack absorbs scheduler noise.
+    assert!(
+        rows[2].pass_ms <= rows[1].pass_ms * 1.05,
+        "warm pass ({:.3} ms) slower than cold pass ({:.3} ms)",
+        rows[2].pass_ms,
+        rows[1].pass_ms
+    );
+    assert!(
+        stats.hits > stats.misses,
+        "warm passes should be hit-dominated"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"incidents_per_pass\": {n_incidents},\n"));
+    json.push_str("  \"configs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"pass_ms\": {:.3}, \"predictions_per_s\": {:.1}}}{}\n",
+            r.name,
+            r.pass_ms,
+            r.predictions_per_s,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"warm_speedup_vs_disabled\": {warm_vs_disabled:.3},\n"
+    ));
+    json.push_str(&format!("  \"warm_speedup_vs_cold\": {warm_vs_cold:.3},\n"));
+    json.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"chunks\": {}, \"bytes\": {}}}\n",
+        stats.hits, stats.misses, stats.evictions, stats.chunks, stats.bytes
+    ));
+    json.push_str("}\n");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_featcache.json");
+    std::fs::write(&out, json).expect("write BENCH_featcache.json");
+    println!("wrote {}", out.display());
+}

@@ -28,4 +28,4 @@ pub mod system;
 
 pub use dataset::{DataType, Dataset};
 pub use signature::{EffectTarget, TelemetryEffect};
-pub use system::{Event, MonitoringConfig, MonitoringSystem, SAMPLE_INTERVAL};
+pub use system::{window_steps, Event, MonitoringConfig, MonitoringSystem, SAMPLE_INTERVAL};

@@ -12,8 +12,27 @@ use cloudsim::{ComponentId, ComponentKind, Fault, FaultScope, SimDuration, SimTi
 use std::collections::HashMap;
 
 /// Telemetry sampling interval: one sample every five minutes, so the
-/// paper's two-hour look-back window yields 24 samples per series.
+/// paper's two-hour look-back window `[t-2h, t]` yields 25 samples per
+/// series (both edges inclusive — the sample at the incident minute `t`
+/// is the freshest, most diagnostic one and must be part of the window).
 pub const SAMPLE_INTERVAL: SimDuration = SimDuration(5);
+
+/// The sample steps covered by the **inclusive** window `[start, end]`:
+/// every step `s` with `start <= s * SAMPLE_INTERVAL <= end`. Mid-step
+/// edges round inward (the first sample is the first one at or after
+/// `start`; the last is the last one at or before `end`), so a window
+/// narrower than one interval that straddles no sample point is empty.
+///
+/// This is the single boundary convention for the whole monitoring
+/// plane: [`MonitoringSystem::series`], [`MonitoringSystem::events`],
+/// and cached chunk generation all iterate exactly this range, which is
+/// what makes cached and uncached featurization bit-identical.
+pub fn window_steps(window: (SimTime, SimTime)) -> std::ops::Range<u64> {
+    let step_len = SAMPLE_INTERVAL.as_minutes();
+    let first = window.0.minutes().div_ceil(step_len);
+    let last_excl = window.1.minutes() / step_len + 1;
+    first..last_excl.max(first)
+}
 
 /// One event occurrence in an event-typed data set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +64,11 @@ pub struct MonitoringSystem<'a> {
     /// Fault indices grouped by the cluster they manifest in.
     by_cluster: HashMap<ComponentId, Vec<usize>>,
     config: MonitoringConfig,
+    /// Content fingerprint of everything telemetry depends on (seed,
+    /// disabled data sets, fault schedule, topology shape). Two planes
+    /// with the same epoch generate identical telemetry, so the epoch is
+    /// the cache-invalidation key for `featcache` chunks.
+    epoch: u64,
 }
 
 impl<'a> MonitoringSystem<'a> {
@@ -59,17 +83,26 @@ impl<'a> MonitoringSystem<'a> {
         for (i, f) in faults.iter().enumerate() {
             by_cluster.entry(f.scope.cluster()).or_default().push(i);
         }
+        let epoch = fingerprint(topo, faults, &config);
         MonitoringSystem {
             topo,
             faults,
             by_cluster,
             config,
+            epoch,
         }
     }
 
     /// The topology this plane instruments.
     pub fn topology(&self) -> &Topology {
         self.topo
+    }
+
+    /// The monitoring epoch: a content hash of seed, disabled data sets,
+    /// fault schedule, and topology shape. Any change that could alter a
+    /// generated value changes the epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Is `dataset` currently deployed (not deprecated)?
@@ -100,7 +133,17 @@ impl<'a> MonitoringSystem<'a> {
             .collect()
     }
 
-    /// The time-series window for `dataset` on `device` over `[start, end)`.
+    /// Can `series` queries ever return data for this (data set, device)
+    /// pair? False when the data set is deprecated, event-typed, or does
+    /// not cover the device's kind.
+    pub fn series_available(&self, dataset: Dataset, device: ComponentId) -> bool {
+        self.is_enabled(dataset)
+            && dataset.data_type() == DataType::TimeSeries
+            && dataset.covers(self.topo.component(device).kind)
+    }
+
+    /// The time-series window for `dataset` on `device` over the
+    /// **inclusive** window `[start, end]` (see [`window_steps`]).
     ///
     /// Returns `None` when the data set is deprecated, event-typed, or does
     /// not cover the device's kind. Samples are ordered, one per
@@ -111,21 +154,29 @@ impl<'a> MonitoringSystem<'a> {
         device: ComponentId,
         window: (SimTime, SimTime),
     ) -> Option<Vec<f64>> {
+        self.series_steps(dataset, device, window_steps(window))
+    }
+
+    /// [`MonitoringSystem::series`] over an explicit sample-step range —
+    /// the shared generation path for whole-window queries and
+    /// `featcache` chunk generation. A step `s` is the sample at
+    /// `SimTime(s * SAMPLE_INTERVAL)`.
+    pub fn series_steps(
+        &self,
+        dataset: Dataset,
+        device: ComponentId,
+        steps: std::ops::Range<u64>,
+    ) -> Option<Vec<f64>> {
         obs::counter("monitoring.series.reads").inc();
-        if !self.is_enabled(dataset)
-            || dataset.data_type() != DataType::TimeSeries
-            || !dataset.covers(self.topo.component(device).kind)
-        {
+        if !self.series_available(dataset, device) {
             return None;
         }
         let (mean, sd) = dataset.baseline();
         let cluster_off = self.cluster_offset(dataset, device) * sd;
-        let active = self.relevant_faults(device, window);
+        let active = self.relevant_faults(device, &steps);
         let step_len = SAMPLE_INTERVAL.as_minutes();
-        let first = window.0.minutes().div_ceil(step_len);
-        let last = window.1.minutes().div_ceil(step_len);
-        let mut out = Vec::with_capacity((last.saturating_sub(first)) as usize);
-        for step in first..last {
+        let mut out = Vec::with_capacity((steps.end.saturating_sub(steps.start)) as usize);
+        for step in steps {
             let t = SimTime(step * step_len);
             let h = noise::coord_hash(self.config.seed, dataset.index(), device.0, step);
             let mut v = mean + cluster_off + sd * noise::std_normal(h);
@@ -153,13 +204,25 @@ impl<'a> MonitoringSystem<'a> {
         Some(out)
     }
 
-    /// The events for `dataset` on `device` over `[start, end)`, ordered by
-    /// time. Empty when deprecated / not covering / series-typed.
+    /// The events for `dataset` on `device` over the **inclusive** window
+    /// `[start, end]`, ordered by time. Empty when deprecated / not
+    /// covering / series-typed.
     pub fn events(
         &self,
         dataset: Dataset,
         device: ComponentId,
         window: (SimTime, SimTime),
+    ) -> Vec<Event> {
+        self.events_steps(dataset, device, window_steps(window))
+    }
+
+    /// [`MonitoringSystem::events`] over an explicit sample-step range
+    /// (see [`MonitoringSystem::series_steps`]).
+    pub fn events_steps(
+        &self,
+        dataset: Dataset,
+        device: ComponentId,
+        steps: std::ops::Range<u64>,
     ) -> Vec<Event> {
         obs::counter("monitoring.events.reads").inc();
         if !self.is_enabled(dataset)
@@ -168,14 +231,12 @@ impl<'a> MonitoringSystem<'a> {
         {
             return Vec::new();
         }
-        let active = self.relevant_faults(device, window);
+        let active = self.relevant_faults(device, &steps);
         let step_len = SAMPLE_INTERVAL.as_minutes();
         let per_step = step_len as f64 / 60.0; // fraction of an hour
-        let first = window.0.minutes().div_ceil(step_len);
-        let last = window.1.minutes().div_ceil(step_len);
         let n_kinds = dataset.event_kinds().len() as u64;
         let mut out = Vec::new();
-        for step in first..last {
+        for step in steps {
             let t = SimTime(step * step_len);
             // Background events: uniform over the vocabulary.
             let h = noise::coord_hash(self.config.seed ^ 0xEE, dataset.index(), device.0, step);
@@ -223,8 +284,25 @@ impl<'a> MonitoringSystem<'a> {
         noise::uniform(h) - 0.5
     }
 
-    /// Faults that could affect `device` and overlap `window`.
-    fn relevant_faults(&self, device: ComponentId, window: (SimTime, SimTime)) -> Vec<usize> {
+    /// Faults that could affect `device` somewhere in the sampled range.
+    ///
+    /// Fault activity is half-open `[fs, fe)` (see [`Fault::active_at`]),
+    /// while query windows are inclusive of both sampled edges, so the
+    /// prefilter is `fs <= last_sample && fe > first_sample`: a fault
+    /// starting exactly at the incident minute affects the (now included)
+    /// sample at `t`, and a fault ending exactly at `t` still affects
+    /// every sample before `t`. This is only a prefilter — per-sample
+    /// application is always gated by `active_at`, so a superset here can
+    /// never change a generated value.
+    fn relevant_faults(&self, device: ComponentId, steps: &std::ops::Range<u64>) -> Vec<usize> {
+        if steps.is_empty() {
+            return Vec::new();
+        }
+        let step_len = SAMPLE_INTERVAL.as_minutes();
+        let span = (
+            SimTime(steps.start * step_len),
+            SimTime((steps.end - 1) * step_len),
+        );
         let c = self.topo.component(device);
         let cluster = c.cluster.unwrap_or(c.dc);
         let Some(indices) = self.by_cluster.get(&cluster) else {
@@ -235,7 +313,7 @@ impl<'a> MonitoringSystem<'a> {
             .copied()
             .filter(|&i| {
                 let (fs, fe) = self.faults[i].window();
-                fs < window.1 && fe > window.0
+                fs <= span.1 && fe > span.0
             })
             .collect()
     }
@@ -277,6 +355,42 @@ impl<'a> MonitoringSystem<'a> {
             }
         }
     }
+}
+
+/// Content hash of everything a generated sample depends on. Mixing uses
+/// `splitmix64` so single-field changes (one fault shifted by a minute,
+/// one data set disabled) avalanche into a different epoch.
+fn fingerprint(topo: &Topology, faults: &[Fault], config: &MonitoringConfig) -> u64 {
+    let mut h = noise::splitmix64(config.seed ^ 0x5C07_7E90_C4AC_11E5);
+    let mut mix = |v: u64| h = noise::splitmix64(h ^ v);
+    let tc = topo.config();
+    for dim in [
+        tc.dcs,
+        tc.clusters_per_dc,
+        tc.racks_per_cluster,
+        tc.servers_per_rack,
+        tc.vms_per_server,
+        tc.aggs_per_cluster,
+        tc.cores_per_dc,
+        tc.slbs_per_cluster,
+    ] {
+        mix(dim as u64);
+    }
+    for d in &config.disabled {
+        mix(0xD15A_B1ED ^ d.index() as u64);
+    }
+    mix(faults.len() as u64);
+    for f in faults {
+        mix(f.id as u64);
+        mix(f.kind as u64);
+        mix(f.start.minutes());
+        mix(f.duration.as_minutes());
+        mix(f.scope.cluster().0 as u64);
+        for &d in f.scope.devices() {
+            mix(d.0 as u64);
+        }
+    }
+    h
 }
 
 fn clamp(dataset: Dataset, v: f64) -> f64 {
@@ -323,7 +437,7 @@ mod tests {
         let srv = topo.by_name("srv-0.c0.dc0").unwrap().id;
         let w = (SimTime::from_hours(10), SimTime::from_hours(12));
         let s = mon.series(Dataset::PingStats, srv, w).unwrap();
-        assert_eq!(s.len(), 24, "2h window at 5-minute samples");
+        assert_eq!(s.len(), 25, "2h inclusive window at 5-minute samples");
         let (mean, sd) = Dataset::PingStats.baseline();
         let avg = s.iter().sum::<f64>() / s.len() as f64;
         assert!(
@@ -382,9 +496,120 @@ mod tests {
             assert!(pair[0].time <= pair[1].time);
         }
         for e in &evs {
-            assert!(e.time >= w.0 && e.time < w.1);
+            assert!(e.time >= w.0 && e.time <= w.1);
             assert!((e.kind as usize) < Dataset::SnmpSyslog.event_kinds().len());
         }
+    }
+
+    /// The headline boundary pin: `[start, end]` includes the sample at
+    /// both edges when they are step-aligned, and mid-step edges round
+    /// inward.
+    #[test]
+    fn window_steps_are_inclusive_at_both_edges() {
+        // Step-aligned 2h window: 25 samples, first at start, last at end.
+        let w = (SimTime::from_hours(10), SimTime::from_hours(12));
+        assert_eq!(window_steps(w), 120..145);
+        // A single aligned instant is one sample.
+        assert_eq!(window_steps((SimTime(600), SimTime(600))), 120..121);
+        // Mid-step edges: [3, 14] covers samples at 5 and 10 only.
+        assert_eq!(window_steps((SimTime(3), SimTime(14))), 1..3);
+        // A window that straddles no sample point is empty.
+        let empty = window_steps((SimTime(6), SimTime(9)));
+        assert!(empty.is_empty());
+        // Degenerate (end < start) is empty, not a panic.
+        let inverted = window_steps((SimTime(10), SimTime(3)));
+        assert!(inverted.is_empty());
+    }
+
+    /// An incident exactly on a 5-minute sample boundary must include
+    /// that sample — and therefore see a fault that starts at exactly
+    /// that minute.
+    #[test]
+    fn fault_starting_at_window_end_is_visible() {
+        let topo = topo();
+        let faults = vec![tor_fault(&topo)]; // starts at t = 100h
+        let mon = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        let clean: Vec<Fault> = Vec::new();
+        let mon_clean = MonitoringSystem::new(&topo, &clean, MonitoringConfig::default());
+        let srv = topo.by_name("srv-0.c0.dc0").unwrap().id;
+        let t = SimTime::from_hours(100); // incident minute == fault start
+        let w = (t.saturating_sub(SimDuration::hours(2)), t);
+        let s = mon.series(Dataset::PingStats, srv, w).unwrap();
+        let s_clean = mon_clean.series(Dataset::PingStats, srv, w).unwrap();
+        assert_eq!(s.len(), 25);
+        // Every sample before t is untouched; the sample at t is shifted.
+        assert_eq!(s[..24], s_clean[..24], "pre-fault samples unperturbed");
+        assert!(
+            s[24] > s_clean[24] + 0.25,
+            "sample at the incident minute must carry the fault shift: {} vs {}",
+            s[24],
+            s_clean[24]
+        );
+    }
+
+    /// A fault ending exactly at the incident minute is still visible to
+    /// the window that now includes `t`: fault activity is half-open
+    /// `[fs, fe)`, so every sample before `t` carries the shift while the
+    /// sample at `t` itself is back to baseline.
+    #[test]
+    fn fault_ending_at_window_end_is_visible() {
+        let topo = topo();
+        let faults = vec![tor_fault(&topo)]; // active [100h, 106h)
+        let mon = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        let clean: Vec<Fault> = Vec::new();
+        let mon_clean = MonitoringSystem::new(&topo, &clean, MonitoringConfig::default());
+        let srv = topo.by_name("srv-0.c0.dc0").unwrap().id;
+        let t = SimTime::from_hours(106); // incident minute == fault end
+        let w = (t.saturating_sub(SimDuration::hours(2)), t);
+        let s = mon.series(Dataset::PingStats, srv, w).unwrap();
+        let s_clean = mon_clean.series(Dataset::PingStats, srv, w).unwrap();
+        assert!(
+            s[..24].iter().zip(&s_clean[..24]).all(|(a, b)| a > b),
+            "samples before the fault end must be shifted"
+        );
+        assert_eq!(s[24], s_clean[24], "sample at fe is outside [fs, fe)");
+        // And conversely: a fault ending exactly at window *start* is
+        // invisible (no sampled instant falls inside [fs, fe)).
+        let w_after = (t, t + SimDuration::hours(2));
+        assert_eq!(
+            mon.series(Dataset::PingStats, srv, w_after),
+            mon_clean.series(Dataset::PingStats, srv, w_after)
+        );
+    }
+
+    /// `series`/`events` are exactly their step-range counterparts over
+    /// `window_steps`, and the epoch fingerprints content, not identity.
+    #[test]
+    fn step_range_api_and_epoch() {
+        let topo = topo();
+        let faults = vec![tor_fault(&topo)];
+        let mon = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        let srv = topo.by_name("srv-0.c0.dc0").unwrap().id;
+        let tor = topo.by_name("tor-0.c0.dc0").unwrap().id;
+        let w = (SimTime::from_hours(99), SimTime::from_hours(101));
+        assert_eq!(
+            mon.series(Dataset::PingStats, srv, w),
+            mon.series_steps(Dataset::PingStats, srv, window_steps(w))
+        );
+        assert_eq!(
+            mon.events(Dataset::SnmpSyslog, tor, w),
+            mon.events_steps(Dataset::SnmpSyslog, tor, window_steps(w))
+        );
+        // Same content → same epoch; different fault schedule → different.
+        let mon2 = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        assert_eq!(mon.epoch(), mon2.epoch());
+        let clean: Vec<Fault> = Vec::new();
+        let mon3 = MonitoringSystem::new(&topo, &clean, MonitoringConfig::default());
+        assert_ne!(mon.epoch(), mon3.epoch());
+        let mon4 = MonitoringSystem::new(
+            &topo,
+            &faults,
+            MonitoringConfig {
+                seed: 0,
+                disabled: vec![Dataset::PingStats],
+            },
+        );
+        assert_ne!(mon.epoch(), mon4.epoch());
     }
 
     #[test]

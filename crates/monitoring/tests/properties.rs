@@ -54,7 +54,9 @@ proptest! {
                     );
                 }
                 Some(s) => {
-                    prop_assert_eq!(s.len() as u64, len_steps);
+                    // Inclusive windows: a step-aligned span of `len_steps`
+                    // intervals samples both edges.
+                    prop_assert_eq!(s.len() as u64, len_steps + 1);
                     for &v in &s {
                         prop_assert!(v.is_finite());
                         match dataset {
@@ -73,8 +75,10 @@ proptest! {
         }
     }
 
-    /// Adjacent windows concatenate: series(a..b) ++ series(b..c) equals
-    /// series(a..c) — telemetry is a pure function of time.
+    /// Adjacent windows concatenate: series[a, b] ++ series[b+Δ, c]
+    /// equals series[a, c] (windows are inclusive of both sampled edges,
+    /// so the right window starts one sample after the left one ends) —
+    /// telemetry is a pure function of time.
     #[test]
     fn windows_concatenate(seed in any::<u64>(), start_h in 0u64..500) {
         let topo = small_topo();
@@ -90,7 +94,7 @@ proptest! {
         let c = b + SimDuration::hours(1);
         for d in [Dataset::PingStats, Dataset::CpuUsage, Dataset::Temperature] {
             let left = mon.series(d, srv, (a, b)).unwrap();
-            let right = mon.series(d, srv, (b, c)).unwrap();
+            let right = mon.series(d, srv, (b + SAMPLE_INTERVAL, c)).unwrap();
             let whole = mon.series(d, srv, (a, c)).unwrap();
             let mut joined = left;
             joined.extend(right);
@@ -168,7 +172,7 @@ proptest! {
                 prop_assert!(pair[0].time <= pair[1].time);
             }
             for e in &events {
-                prop_assert!(e.time >= w.0 && e.time < w.1);
+                prop_assert!(e.time >= w.0 && e.time <= w.1);
                 prop_assert!((e.kind as usize) < dataset.event_kinds().len());
             }
         }

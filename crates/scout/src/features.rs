@@ -11,10 +11,19 @@
 //! whether a change in the 99th percentile … is significant"). Pooling
 //! variable numbers of devices into fixed statistics is the paper's answer
 //! to variable-cardinality mentions; class-tagged data sets are normalized
-//! before pooling so different hardware generations mix safely. Component
-//! types with no mention contribute zeros ("we remove its features" — a
-//! fixed-length vector needs a neutral encoding, and an all-zero block with
-//! a zero count feature is exactly that).
+//! before pooling so different hardware generations mix safely (the
+//! normalization lives in `featcache`'s chunk builder, the single code
+//! path that turns raw telemetry into pool samples). Component types with
+//! no mention contribute zeros ("we remove its features" — a fixed-length
+//! vector needs a neutral encoding, and an all-zero block with a zero
+//! count feature is exactly that).
+//!
+//! Aggregation goes through [`featcache`]: telemetry is fetched as
+//! immutable per-`(device, dataset, hour-bucket)` chunks and merged, with
+//! or without a [`featcache::FeatCache`] behind the fetch. Cached and
+//! uncached featurization run the *same* merge code over the *same* chunk
+//! values, so the resulting vectors are bit-identical (property-tested in
+//! `tests/featcache_prop.rs`).
 
 use crate::config::{ComponentType, ScoutConfig};
 use crate::extract::ExtractedComponents;
@@ -169,6 +178,9 @@ pub struct Featurizer<'a> {
     pub lookback: SimDuration,
     /// Device-merging strategy.
     pub aggregation: Aggregation,
+    /// Chunk cache to fetch telemetry through; `None` builds every chunk
+    /// fresh (identical output either way).
+    pub cache: Option<&'a featcache::FeatCache>,
 }
 
 impl<'a> Featurizer<'a> {
@@ -183,6 +195,7 @@ impl<'a> Featurizer<'a> {
             monitoring,
             lookback,
             aggregation: Aggregation::default(),
+            cache: None,
         }
     }
 
@@ -199,6 +212,7 @@ impl<'a> Featurizer<'a> {
             monitoring,
             lookback,
             aggregation,
+            cache: None,
         }
     }
 
@@ -215,52 +229,75 @@ impl<'a> Featurizer<'a> {
                 continue; // zero block: type absent from the incident
             }
             match block.dataset.data_type() {
-                DataType::TimeSeries => {
-                    let mut pool = Vec::new();
-                    for &c in mentioned {
-                        for device in self.monitoring.covered_devices(block.dataset, c) {
-                            if let Some(mut s) =
-                                self.monitoring.series(block.dataset, device, window)
-                            {
-                                if block.dataset.class_tag().is_some() {
-                                    normalize_to_baseline(block.dataset, &mut s);
-                                }
-                                match self.aggregation {
-                                    Aggregation::PooledSamples => pool.extend(s),
-                                    Aggregation::DeviceMeans => {
-                                        if !s.is_empty() {
-                                            pool.push(s.iter().sum::<f64>() / s.len() as f64);
-                                        }
-                                    }
+                DataType::TimeSeries => match self.aggregation {
+                    Aggregation::PooledSamples => {
+                        let mut pool = featcache::PoolStats::new();
+                        for &c in mentioned {
+                            for device in self.monitoring.covered_devices(block.dataset, c) {
+                                featcache::accumulate_series(
+                                    self.cache,
+                                    self.monitoring,
+                                    block.dataset,
+                                    device,
+                                    window,
+                                    &mut pool,
+                                );
+                            }
+                        }
+                        pool.write_stats(&mut out[block.offset..block.offset + block.len]);
+                    }
+                    Aggregation::DeviceMeans => {
+                        let mut means = Vec::new();
+                        for &c in mentioned {
+                            for device in self.monitoring.covered_devices(block.dataset, c) {
+                                let mut dev = featcache::PoolStats::new();
+                                featcache::accumulate_series(
+                                    self.cache,
+                                    self.monitoring,
+                                    block.dataset,
+                                    device,
+                                    window,
+                                    &mut dev,
+                                );
+                                if let Some(m) = dev.mean() {
+                                    means.push(m);
                                 }
                             }
                         }
+                        write_ts_stats(&means, &mut out[block.offset..block.offset + block.len]);
                     }
-                    write_ts_stats(&pool, &mut out[block.offset..block.offset + block.len]);
-                }
+                },
                 DataType::Event => {
+                    let counts = &mut out[block.offset..block.offset + block.len];
                     for &c in mentioned {
                         for device in self.monitoring.covered_devices(block.dataset, c) {
-                            for e in self.monitoring.events(block.dataset, device, window) {
-                                let k = e.kind as usize;
-                                if k < block.len {
-                                    out[block.offset + k] += 1.0;
-                                } else {
-                                    // An event kind outside the layout's
-                                    // block means the layout and the
-                                    // monitoring plane have drifted apart;
-                                    // dropping it silently would quietly
-                                    // starve the forest of a feature.
-                                    debug_assert!(
-                                        k < block.len,
-                                        "event kind {k} out of range for {}/{} (block len {})",
-                                        block.ctype,
-                                        block.dataset,
-                                        block.len
-                                    );
-                                    obs::counter("scout.features.dropped_event_kinds").inc();
-                                }
-                            }
+                            featcache::for_each_event(
+                                self.cache,
+                                self.monitoring,
+                                block.dataset,
+                                device,
+                                window,
+                                |e| {
+                                    let k = e.kind as usize;
+                                    if k < counts.len() {
+                                        counts[k] += 1.0;
+                                    } else {
+                                        // An event kind outside the layout's
+                                        // block means the layout and the
+                                        // monitoring plane have drifted apart;
+                                        // dropping it silently would quietly
+                                        // starve the forest of a feature.
+                                        debug_assert!(
+                                            k < counts.len(),
+                                            "event kind {k} out of range for {}/{} (block len {})",
+                                            block.ctype,
+                                            block.dataset,
+                                            counts.len()
+                                        );
+                                        obs::counter("scout.features.dropped_event_kinds").inc();
+                                    }
+                                },
+                            );
                         }
                     }
                 }
@@ -271,16 +308,6 @@ impl<'a> Featurizer<'a> {
             out[self.layout.count_offset + i] = extracted.of_type(ctype).len() as f64;
         }
         out
-    }
-}
-
-/// Class-tag normalization: rescale by the data set's healthy baseline so
-/// pools mix units safely.
-fn normalize_to_baseline(dataset: Dataset, series: &mut [f64]) {
-    let (mean, sd) = dataset.baseline();
-    let sd = if sd > 0.0 { sd } else { 1.0 };
-    for v in series {
-        *v = (*v - mean) / sd;
     }
 }
 

@@ -202,6 +202,39 @@ impl Scout {
         examples: &[Example],
         monitoring: &MonitoringSystem<'_>,
     ) -> PreparedCorpus {
+        Scout::prepare_cached(config, build, examples, monitoring, None)
+    }
+
+    /// [`Scout::prepare`] with telemetry fetched through a feature-chunk
+    /// cache. Passing `None` builds every chunk fresh; either way the
+    /// corpus is bit-identical (chunks are pure functions of their key).
+    pub fn prepare_cached(
+        config: &ScoutConfig,
+        build: &ScoutBuildConfig,
+        examples: &[Example],
+        monitoring: &MonitoringSystem<'_>,
+        cache: Option<&featcache::FeatCache>,
+    ) -> PreparedCorpus {
+        Scout::prepare_cached_on(
+            pool::Pool::global(),
+            config,
+            build,
+            examples,
+            monitoring,
+            cache,
+        )
+    }
+
+    /// [`Scout::prepare_cached`] on an explicit worker pool (the
+    /// determinism tests sweep worker counts through this).
+    pub fn prepare_cached_on(
+        workers: &pool::Pool,
+        config: &ScoutConfig,
+        build: &ScoutBuildConfig,
+        examples: &[Example],
+        monitoring: &MonitoringSystem<'_>,
+        cache: Option<&featcache::FeatCache>,
+    ) -> PreparedCorpus {
         let _span = obs::span!("scout.prepare");
         let topo = monitoring.topology();
         let layout = FeatureLayout::build(config, &build.disabled_datasets);
@@ -210,9 +243,10 @@ impl Scout {
         let cpd_layout = CpdFeatureLayout::build(config, &build.disabled_datasets);
         let cpd = CpdPlus::new(build.cpdplus.clone(), cpd_layout);
         let extractor = Extractor::new(config, topo);
-        let featurizer =
+        let mut featurizer =
             Featurizer::with_aggregation(&layout, monitoring, build.lookback, build.aggregation);
-        let items = pool::Pool::global().parallel_map(examples, |ordinal, ex| {
+        featurizer.cache = cache;
+        let items = workers.parallel_map(examples, |ordinal, ex| {
             let excluded = config.excludes_incident(&ex.text);
             let extracted = if excluded {
                 ExtractedComponents::default()
@@ -454,12 +488,26 @@ impl Scout {
         inputs: &[(&str, SimTime)],
         monitoring: &MonitoringSystem<'_>,
     ) -> Vec<Prediction> {
+        self.predict_many_cached(inputs, monitoring, None)
+    }
+
+    /// [`Scout::predict_many`] with featurization fetched through a chunk
+    /// cache. Repeated predicts over overlapping look-back windows (the
+    /// online serving pattern) hit warm chunks and skip telemetry
+    /// generation and sorting; predictions are bit-identical to the
+    /// uncached path.
+    pub fn predict_many_cached(
+        &self,
+        inputs: &[(&str, SimTime)],
+        monitoring: &MonitoringSystem<'_>,
+        cache: Option<&featcache::FeatCache>,
+    ) -> Vec<Prediction> {
         let _span = obs::span!("scout.predict_many");
         let examples: Vec<Example> = inputs
             .iter()
             .map(|&(text, t)| Example::new(text, t, false))
             .collect();
-        let corpus = Scout::prepare(&self.config, &self.build, &examples, monitoring);
+        let corpus = Scout::prepare_cached(&self.config, &self.build, &examples, monitoring, cache);
         // Classification is also pure per item, so it fans out too;
         // parallel_map preserves input order.
         pool::Pool::global().parallel_map(&corpus.items, |_, item| {

@@ -1,0 +1,162 @@
+//! Property tests for the feature-chunk cache: cached and uncached
+//! featurization must be **bit-identical** — across random fault
+//! schedules, window offsets (step-aligned and mid-step), cache
+//! capacities (including the degenerate 0 and 1 bytes), warm and cold
+//! caches, and worker counts (the `SCOUTS_POOL_THREADS` axis, driven
+//! here through explicit pools).
+
+use cloudsim::{
+    Fault, FaultKind, FaultScope, Severity, SimDuration, SimTime, Team, Topology, TopologyConfig,
+};
+use featcache::FeatCache;
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use proptest::prelude::*;
+use scout::config::ScoutConfig;
+use scout::{Example, Scout, ScoutBuildConfig};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn small_topo() -> Topology {
+    Topology::build(TopologyConfig {
+        dcs: 1,
+        clusters_per_dc: 2,
+        racks_per_cluster: 2,
+        servers_per_rack: 2,
+        vms_per_server: 1,
+        aggs_per_cluster: 1,
+        cores_per_dc: 1,
+        slbs_per_cluster: 1,
+    })
+}
+
+#[derive(Debug, Clone)]
+struct FaultSpec {
+    kind_pick: u8,
+    tor: bool,
+    start_h: u64,
+    duration_h: u64,
+}
+
+fn any_fault() -> impl Strategy<Value = FaultSpec> {
+    (0u8..3, any::<bool>(), 5u64..200, 1u64..8).prop_map(|(kind_pick, tor, start_h, duration_h)| {
+        FaultSpec {
+            kind_pick,
+            tor,
+            start_h,
+            duration_h,
+        }
+    })
+}
+
+fn realize(topo: &Topology, specs: &[FaultSpec]) -> Vec<Fault> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let cluster = topo.by_name("c0.dc0").unwrap().id;
+            let (device, kind) = if s.tor {
+                (
+                    topo.by_name("tor-0.c0.dc0").unwrap().id,
+                    match s.kind_pick {
+                        0 => FaultKind::TorFailure,
+                        1 => FaultKind::TorReboot,
+                        _ => FaultKind::LinkCorruption,
+                    },
+                )
+            } else {
+                (
+                    topo.by_name("srv-0.c0.dc0").unwrap().id,
+                    FaultKind::ServerOverload,
+                )
+            };
+            Fault {
+                id: i as u32,
+                kind,
+                owner: if s.tor { Team::PhyNet } else { Team::Compute },
+                scope: FaultScope::Devices {
+                    devices: vec![device],
+                    cluster,
+                },
+                start: SimTime::from_hours(s.start_h),
+                duration: SimDuration::hours(s.duration_h),
+                severity: Severity::Sev2,
+                upgrade_related: false,
+            }
+        })
+        .collect()
+}
+
+/// The three incident shapes the featurizer distinguishes: device-naming,
+/// cluster-naming, and mixed.
+fn incident_texts() -> [&'static str; 3] {
+    [
+        "packet drops on tor-0.c0.dc0, please investigate",
+        "widespread latency in cluster c0.dc0",
+        "srv-0.c0.dc0 and srv-1.c0.dc0 in c0.dc0 degraded",
+    ]
+}
+
+fn features_of(corpus: &scout::scout::PreparedCorpus) -> Vec<Option<Vec<f64>>> {
+    corpus.items.iter().map(|i| i.features.clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The bit-identity contract: every cache mode, capacity, and worker
+    /// count produces byte-for-byte the same feature vectors.
+    #[test]
+    fn cached_featurization_is_bit_identical(
+        specs in proptest::collection::vec(any_fault(), 0..4),
+        // Minute offsets exercise both step-aligned (multiples of 5) and
+        // mid-step incident times against the inclusive window boundary.
+        offset_min in 0u64..11,
+        t_base_h in 4u64..200,
+    ) {
+        let topo = small_topo();
+        let faults = realize(&topo, &specs);
+        let mon = MonitoringSystem::new(&topo, &faults, MonitoringConfig::default());
+        let config = ScoutConfig::phynet();
+        let build = ScoutBuildConfig::default();
+        let examples: Vec<Example> = incident_texts()
+            .iter()
+            .enumerate()
+            .map(|(i, text)| {
+                let t = SimTime::from_hours(t_base_h + i as u64) + SimDuration(offset_min);
+                Example::new(*text, t, false)
+            })
+            .collect();
+
+        // Baseline: no cache, sequential.
+        let baseline = features_of(&Scout::prepare_cached_on(
+            &pool::Pool::new(1), &config, &build, &examples, &mon, None,
+        ));
+        prop_assert!(
+            baseline.iter().any(|f| f.is_some()),
+            "fixture incidents must featurize"
+        );
+
+        // Capacity axis: 0 (pass-through), 1 (evicts immediately), real.
+        for capacity in [0usize, 1, 8 << 20] {
+            let cache = FeatCache::new(capacity);
+            for round in 0..2 { // cold, then warm
+                let got = features_of(&Scout::prepare_cached_on(
+                    &pool::Pool::new(1), &config, &build, &examples, &mon, Some(&cache),
+                ));
+                prop_assert_eq!(
+                    &got, &baseline,
+                    "capacity {} round {} diverged", capacity, round
+                );
+            }
+        }
+
+        // Worker-count axis, sharing one warm cache across counts.
+        let cache = FeatCache::new(8 << 20);
+        for threads in WORKER_COUNTS {
+            let got = features_of(&Scout::prepare_cached_on(
+                &pool::Pool::new(threads), &config, &build, &examples, &mon, Some(&cache),
+            ));
+            prop_assert_eq!(&got, &baseline, "{} workers diverged", threads);
+        }
+    }
+}

@@ -159,6 +159,9 @@ serve options:
   --batch-size N           max predict requests per inference batch (default 8)
   --batch-deadline-ms MS   how long an open batch waits for more (default 2)
   --queue-cap N            max outstanding requests before shedding (default 64)
+  --max-connections N      max concurrent connections (default 128)
+  --feat-cache-mb MB       per-model feature-chunk cache budget (default 64;
+                           0 disables caching)
   --max-runtime-secs S     stop after S seconds (default: run until killed)
 
 loadgen options:
@@ -275,7 +278,11 @@ fn train_scout(
         .map(|i| Example::new(i.text(), i.created_at, i.owner == team))
         .collect();
     let build = ScoutBuildConfig::default();
-    let corpus = Scout::prepare(&config, &build, &examples, &mon);
+    // A throwaway chunk cache: examples near each other in time share
+    // look-back chunks, and the featcache.* counters it feeds surface in
+    // `scoutctl stats` / `--metrics` output.
+    let feat_cache = featcache::FeatCache::new(64 * 1024 * 1024);
+    let corpus = Scout::prepare_cached(&config, &build, &examples, &mon, Some(&feat_cache));
     let cutoff = SimTime::from_days(180);
     let train: Vec<usize> = corpus
         .trainable_indices()
@@ -428,7 +435,10 @@ fn serve_cmd(args: &Args) -> Result<(), ArgError> {
 
     let addr = args.get("addr").unwrap_or("127.0.0.1:7777");
     let world = Arc::new(load_world(args)?);
-    let registry = Arc::new(ModelRegistry::new());
+    let feat_cache_mb = args.get_parsed("feat-cache-mb", 64usize)?;
+    let registry = Arc::new(ModelRegistry::with_feat_cache_bytes(
+        feat_cache_mb * 1024 * 1024,
+    ));
     let model_dir = args.get("model-dir").map(std::path::PathBuf::from);
     match &model_dir {
         Some(dir) => {

@@ -145,6 +145,19 @@ impl Batcher {
         self.queue.wake.notify_one();
         Ok(())
     }
+
+    /// Signal shutdown without waiting for the worker: new submits are
+    /// refused, an open batch window closes immediately, and the worker
+    /// drains — everything already queued is answered (or shed with
+    /// [`PredictError::ShuttingDown`]), never silently dropped. The worker
+    /// thread itself is joined by [`Drop`].
+    pub fn begin_shutdown(&self) {
+        {
+            let mut state = self.queue.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        self.queue.wake.notify_all();
+    }
 }
 
 impl Drop for Batcher {
@@ -275,7 +288,12 @@ fn run_batch(jobs: Vec<Job>, registry: &ModelRegistry, workload: &Workload) {
 
 fn run_group(group: Vec<Job>, entry: &Arc<ModelEntry>, monitoring: &MonitoringSystem<'_>) {
     let inputs: Vec<(&str, SimTime)> = group.iter().map(|j| (j.text.as_str(), j.time)).collect();
-    let predictions = entry.scout.predict_many(&inputs, monitoring);
+    // The per-entry chunk cache makes repeated predicts over overlapping
+    // look-back windows skip telemetry generation; the monitoring epoch in
+    // the chunk key keeps it exact across batches.
+    let predictions = entry
+        .scout
+        .predict_many_cached(&inputs, monitoring, Some(&entry.feat_cache));
     for (job, prediction) in group.into_iter().zip(predictions) {
         let _ = job.reply.try_send(Ok(Answer {
             team: entry.team.clone(),

@@ -10,11 +10,15 @@
 //! prediction, and every prediction is attributable to exactly one
 //! version.
 
+use featcache::FeatCache;
 use scout::Scout;
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+
+/// Default per-model feature-chunk cache budget (bytes).
+pub const DEFAULT_FEAT_CACHE_BYTES: usize = 64 * 1024 * 1024;
 
 /// One registered model: immutable once published.
 #[derive(Debug)]
@@ -27,6 +31,10 @@ pub struct ModelEntry {
     pub source: String,
     /// The trained Scout.
     pub scout: Scout,
+    /// Feature-chunk cache shared by every predict against this entry.
+    /// Fresh per registration, so hot-swapping a model (or its world)
+    /// starts cold instead of serving stale chunks.
+    pub feat_cache: FeatCache,
 }
 
 /// A reload or registration failure, with enough context to act on.
@@ -42,19 +50,38 @@ impl std::fmt::Display for RegistryError {
 impl std::error::Error for RegistryError {}
 
 /// The registry: team name → current model version.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ModelRegistry {
     models: RwLock<BTreeMap<String, std::sync::Arc<ModelEntry>>>,
     next_version: AtomicU64,
+    feat_cache_bytes: usize,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        ModelRegistry::new()
+    }
 }
 
 impl ModelRegistry {
-    /// An empty registry.
+    /// An empty registry with the default per-model feature-cache budget.
     pub fn new() -> ModelRegistry {
+        ModelRegistry::with_feat_cache_bytes(DEFAULT_FEAT_CACHE_BYTES)
+    }
+
+    /// An empty registry whose models each get a feature-chunk cache of
+    /// `bytes` (0 disables caching entirely).
+    pub fn with_feat_cache_bytes(bytes: usize) -> ModelRegistry {
         ModelRegistry {
             models: RwLock::new(BTreeMap::new()),
             next_version: AtomicU64::new(1),
+            feat_cache_bytes: bytes,
         }
+    }
+
+    /// The per-model feature-cache budget in bytes.
+    pub fn feat_cache_bytes(&self) -> usize {
+        self.feat_cache_bytes
     }
 
     /// Publish `scout` for `team`, returning the version it was assigned.
@@ -67,6 +94,7 @@ impl ModelRegistry {
             version,
             source: source.to_string(),
             scout,
+            feat_cache: FeatCache::new(self.feat_cache_bytes),
         });
         self.models.write().unwrap().insert(team.to_string(), entry);
         obs::counter("serve.models.registered").inc();
@@ -158,6 +186,7 @@ impl ModelRegistry {
                         version,
                         source,
                         scout,
+                        feat_cache: FeatCache::new(self.feat_cache_bytes),
                     }),
                 );
             }

@@ -157,6 +157,19 @@ impl Server {
         if let Some(acceptor) = self.acceptor.take() {
             acceptor.join().ok();
         }
+        // Drain, don't drop: refuse new submits and close the open batch
+        // window immediately, so jobs already queued are answered now
+        // rather than after the full batch deadline — and never left
+        // unanswered.
+        self.shared.batcher.begin_shutdown();
+        // Bounded wait for in-flight requests (admission permits are held
+        // until the reply is sent) so handler threads deliver their
+        // responses before the process can exit under us. Idle keep-alive
+        // connections hold no permit and don't delay shutdown.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.shared.admission.outstanding() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 }
 

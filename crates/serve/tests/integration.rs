@@ -271,6 +271,52 @@ fn expired_deadline_is_504() {
 }
 
 #[test]
+fn shutdown_drains_partial_batch() {
+    // A huge batch size and a long window: requests sit in a partially
+    // filled batch that will not fill or time out on its own. Shutting
+    // the server down mid-window must answer every one of them — 200 from
+    // the drained batch or 503 shed — promptly, never dropping a request
+    // or waiting out the full window.
+    let server = start_server(ServeConfig {
+        batch_size: 32,
+        batch_deadline: Duration::from_secs(5),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr().to_string();
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                client
+                    .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
+                    .unwrap()
+            })
+        })
+        .collect();
+    // Let all three land in the open batch window.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let started = std::time::Instant::now();
+    server.shutdown();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "shutdown must not wait out the 5s batch window (took {elapsed:?})"
+    );
+
+    for h in clients {
+        let resp = h.join().unwrap();
+        assert!(
+            resp.status == 200 || resp.status == 503,
+            "queued request must be answered or shed, got {}: {}",
+            resp.status,
+            resp.body_text()
+        );
+    }
+}
+
+#[test]
 fn reload_is_409_without_model_dir() {
     let server = start_server(ServeConfig::default());
     let mut client = connect(&server);

@@ -36,6 +36,8 @@ if [[ "$bench_smoke" == 1 ]]; then
   BENCH_SMOKE=1 cargo bench -p bench --bench pool
   echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench serve) =="
   BENCH_SMOKE=1 cargo bench -p bench --bench serve
+  echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench featcache) =="
+  BENCH_SMOKE=1 cargo bench -p bench --bench featcache
 fi
 
 if [[ "$serve_smoke" == 1 ]]; then

@@ -59,12 +59,14 @@ proptest! {
                 let s2 = mon.series(d, c.id, window);
                 prop_assert_eq!(s1.clone(), s2, "deterministic");
                 if let Some(s) = s1 {
-                    prop_assert_eq!(s.len(), 24);
+                    // 2h of 5-min samples over the inclusive window
+                    // [t-2h, t]: both endpoints sampled, so 25.
+                    prop_assert_eq!(s.len(), 25);
                     prop_assert!(s.iter().all(|v| v.is_finite()));
                 }
                 let e = mon.events(d, c.id, window);
                 for ev in &e {
-                    prop_assert!(ev.time >= window.0 && ev.time < window.1);
+                    prop_assert!(ev.time >= window.0 && ev.time <= window.1);
                 }
             }
         }
