@@ -1,0 +1,188 @@
+//! Continual-learning hot paths, emitted as `BENCH_lifecycle.json` at
+//! the workspace root.
+//!
+//! Three measurements, one per controller stage that runs often:
+//!
+//!  - `ingest` — [`lifecycle::FeedbackStore::push`] throughput on a
+//!    partly out-of-order stream (the worst case for the time-ordered
+//!    insert: operators resolve incidents out of order).
+//!  - `drift` — one [`lifecycle::DriftMonitor::evaluate`] pass over the
+//!    full store (bucketing + change-point detection); this runs on
+//!    every controller tick.
+//!  - `shadow` — one [`lifecycle::shadow_evaluate`] pass replaying a
+//!    prepared shadow window through two models; this runs only when a
+//!    retrain fires, but sits on the promotion critical path.
+//!
+//! `BENCH_SMOKE=1` shrinks the workload — used by
+//! `scripts/check.sh --bench-smoke` and CI.
+
+use cloudsim::{SimDuration, SimTime, Team};
+use incident::{Workload, WorkloadConfig};
+use lifecycle::{DriftConfig, DriftMonitor, Feedback, FeedbackStore};
+use ml::forest::ForestConfig;
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
+use std::time::Instant;
+
+fn drift_world(smoke: bool) -> Workload {
+    let mut config = WorkloadConfig {
+        seed: 11,
+        ..WorkloadConfig::default()
+    };
+    config.faults.faults_per_day = 2.0;
+    config.faults.horizon = SimDuration::days(if smoke { 40 } else { 120 });
+    config.faults.drift = true;
+    Workload::generate(config)
+}
+
+fn build_config() -> ScoutBuildConfig {
+    ScoutBuildConfig {
+        forest: ForestConfig {
+            n_trees: 8,
+            ..ForestConfig::default()
+        },
+        cluster_train_cap: 10,
+        ..ScoutBuildConfig::default()
+    }
+}
+
+/// Train a PhyNet Scout on the incidents before `before`.
+fn train_prefix(world: &Workload, mon: &MonitoringSystem<'_>, before: SimTime) -> Scout {
+    let examples: Vec<Example> = world
+        .incidents
+        .iter()
+        .filter(|i| i.created_at < before)
+        .map(|i| Example::new(i.text(), i.created_at, i.owner == Team::PhyNet))
+        .collect();
+    let config = ScoutConfig::phynet();
+    let build = build_config();
+    let corpus = Scout::prepare(&config, &build, &examples, mon);
+    let train = corpus.trainable_indices();
+    Scout::train_prepared(config, build, &corpus, &train, mon)
+}
+
+/// A stream of `n` labeled feedback items, one every 7 minutes, with
+/// every fourth item arriving two hours late (out of order).
+fn feedback_stream(n: usize) -> Vec<Feedback> {
+    (0..n)
+        .map(|i| {
+            let minute = 7 * i as u64;
+            let skew = if i % 4 == 0 { 120 } else { 0 };
+            Feedback {
+                incident: i as u64 + 1,
+                text: format!("incident {i} on tor-{}.c1.dc1", i % 6),
+                time: SimTime(minute.saturating_sub(skew)),
+                predicted: i % 3 == 0,
+                label: i % 5 == 0,
+                model_version: 1,
+            }
+        })
+        .collect()
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let (n_feedback, reps) = if smoke { (5_000, 3) } else { (50_000, 5) };
+
+    // Ingest: the store bound equals the stream length so nothing is
+    // evicted and every push pays the ordered-insert search.
+    let stream = feedback_stream(n_feedback);
+    let ingest_s = best_of(reps, || {
+        let mut store = FeedbackStore::new(n_feedback);
+        for fb in &stream {
+            store.push(fb.clone());
+        }
+        store
+    });
+    let ingest_per_s = n_feedback as f64 / ingest_s;
+
+    // Drift: one evaluate pass over the populated store.
+    let mut store = FeedbackStore::new(n_feedback);
+    for fb in &stream {
+        store.push(fb.clone());
+    }
+    let monitor = DriftMonitor::new(DriftConfig {
+        bucket: SimDuration::hours(6),
+        ..DriftConfig::default()
+    });
+    let now = SimTime(7 * n_feedback as u64);
+    let drift_s = best_of(reps, || monitor.evaluate(&store, now));
+    let buckets = monitor.error_series(&store, now).len();
+
+    // Shadow: replay a prepared window through a live and a candidate
+    // model (trained on different prefixes so they genuinely differ).
+    let world = drift_world(smoke);
+    let mon = MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let mid = SimTime::from_days(if smoke { 20 } else { 60 });
+    let live = train_prefix(&world, &mon, mid);
+    let candidate = train_prefix(
+        &world,
+        &mon,
+        SimTime::from_days(if smoke { 40 } else { 120 }),
+    );
+    let shadow_examples: Vec<Example> = world
+        .incidents
+        .iter()
+        .filter(|i| i.created_at >= mid)
+        .map(|i| Example::new(i.text(), i.created_at, i.owner == Team::PhyNet))
+        .collect();
+    let config = ScoutConfig::phynet();
+    let build = build_config();
+    let corpus = Scout::prepare(&config, &build, &shadow_examples, &mon);
+    let idx: Vec<usize> = (0..corpus.items.len()).collect();
+    let shadow_s = best_of(reps, || {
+        lifecycle::shadow_evaluate(&candidate, &live, &corpus, &idx, &mon)
+    });
+    let shadow_per_s = idx.len() as f64 / shadow_s.max(1e-9);
+
+    println!(
+        "ingest    {:>9.1} feedback/s  ({} items, out-of-order mix)",
+        ingest_per_s, n_feedback
+    );
+    println!(
+        "drift     {:>9.3} ms/evaluate ({buckets} buckets)",
+        drift_s * 1e3
+    );
+    println!(
+        "shadow    {:>9.3} ms/eval     ({} samples, {:.1} samples/s)",
+        shadow_s * 1e3,
+        idx.len(),
+        shadow_per_s
+    );
+
+    assert!(ingest_per_s > 10_000.0, "ingest unexpectedly slow");
+    assert!(!idx.is_empty(), "shadow window must not be empty");
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!(
+        "  \"ingest\": {{\"items\": {n_feedback}, \"per_s\": {ingest_per_s:.1}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"drift\": {{\"buckets\": {buckets}, \"evaluate_ms\": {:.3}}},\n",
+        drift_s * 1e3
+    ));
+    json.push_str(&format!(
+        "  \"shadow\": {{\"samples\": {}, \"eval_ms\": {:.3}, \"samples_per_s\": {:.1}}}\n",
+        idx.len(),
+        shadow_s * 1e3,
+        shadow_per_s
+    ));
+    json.push_str("}\n");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_lifecycle.json");
+    std::fs::write(&out, json).expect("write BENCH_lifecycle.json");
+    println!("wrote {}", out.display());
+}

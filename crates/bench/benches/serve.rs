@@ -169,7 +169,9 @@ fn main() {
 
     let (world, scout) = train(smoke);
     let registry = Arc::new(ModelRegistry::new());
-    registry.register("PhyNet", scout, "bench");
+    registry
+        .register("PhyNet", scout, "bench")
+        .expect("register bench model");
 
     let rows = [
         run_best(

@@ -1,0 +1,92 @@
+//! The serve-side bridge: a background worker that runs the controller
+//! off the HTTP path.
+//!
+//! The serve engine calls [`serve::FeedbackHook::on_feedback`] on its
+//! handler threads; this handle forwards each event over a channel to a
+//! dedicated `lifecycle` thread, so feedback ingestion costs the server
+//! one channel send — retrains and shadow evaluations never touch
+//! serving latency. The worker drives the controller's simulation clock
+//! with the high-water mark of observed feedback times, preserving the
+//! sim-clock contract even in live mode.
+
+use crate::controller::{LifecycleConfig, LifecycleController};
+use crate::feedback::Feedback;
+use cloudsim::{Fault, SimTime, Topology};
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use serve::{FeedbackEvent, FeedbackHook, ModelRegistry};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// A running lifecycle worker; implements [`serve::FeedbackHook`].
+pub struct LifecycleHandle {
+    tx: Mutex<Option<mpsc::Sender<FeedbackEvent>>>,
+    events: Arc<Mutex<Vec<String>>>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl LifecycleHandle {
+    /// Spawn the worker thread. `topology`/`faults` are the world the
+    /// Scouts' monitoring plane reads from (same data the serve engine
+    /// uses).
+    pub fn start(
+        cfg: LifecycleConfig,
+        registry: Arc<ModelRegistry>,
+        topology: Arc<Topology>,
+        faults: Arc<Vec<Fault>>,
+        mon_config: MonitoringConfig,
+    ) -> Arc<LifecycleHandle> {
+        let (tx, rx) = mpsc::channel::<FeedbackEvent>();
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let worker = std::thread::Builder::new()
+            .name("lifecycle".into())
+            .spawn(move || {
+                let monitoring =
+                    MonitoringSystem::new(topology.as_ref(), faults.as_slice(), mon_config);
+                let mut controller = LifecycleController::new(cfg, registry);
+                let mut horizon = SimTime::EPOCH;
+                while let Ok(event) = rx.recv() {
+                    if event.time > horizon {
+                        horizon = event.time;
+                    }
+                    controller.ingest(Feedback::from(event));
+                    for e in controller.tick(horizon, &monitoring) {
+                        sink.lock().unwrap().push(e.to_string());
+                    }
+                }
+            })
+            .expect("spawn lifecycle worker");
+        Arc::new(LifecycleHandle {
+            tx: Mutex::new(Some(tx)),
+            events,
+            worker: Mutex::new(Some(worker)),
+        })
+    }
+
+    /// Event lines emitted so far (the controller's `Display` forms).
+    pub fn events(&self) -> Vec<String> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Close the feedback channel and join the worker. Idempotent.
+    pub fn stop(&self) {
+        self.tx.lock().unwrap().take();
+        if let Some(worker) = self.worker.lock().unwrap().take() {
+            worker.join().ok();
+        }
+    }
+}
+
+impl Drop for LifecycleHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl FeedbackHook for LifecycleHandle {
+    fn on_feedback(&self, event: FeedbackEvent) {
+        if let Some(tx) = self.tx.lock().unwrap().as_ref() {
+            let _ = tx.send(event);
+        }
+    }
+}

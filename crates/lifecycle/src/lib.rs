@@ -1,0 +1,43 @@
+//! Online continual learning for Scouts: the loop that keeps deployed
+//! models matched to a drifting incident mix.
+//!
+//! The paper's Scouts only stay useful because they are retrained as
+//! incidents change (§7.3, Fig. 10: sliding-window retraining recovers
+//! from "new type of incident" drift that a frozen model never does).
+//! The workspace already had both endpoints of that loop — offline
+//! retrain policies (`scout::retrain`) and atomic hot-swap
+//! (`serve::ModelRegistry`) — but a human had to notice drift, retrain
+//! by hand, and `POST /v1/models/reload`. This crate closes the loop:
+//!
+//! 1. **Feedback ingestion** ([`feedback`]) — ground-truth resolving
+//!    teams (from `POST /v1/feedback`) become a bounded, time-ordered
+//!    labeled stream.
+//! 2. **Drift detection** ([`drift`]) — windowed error rates over that
+//!    stream, with change-point detection (`ml::cpd`) for step changes
+//!    and a sustained-degradation threshold for slow burns.
+//! 3. **Background retrain** ([`controller`]) — reuses the
+//!    `scout::retrain` window/weighting policies (sliding window, age
+//!    half-life, mistake boost) on the accumulated stream.
+//! 4. **Shadow evaluation + gated promotion** ([`shadow`],
+//!    [`controller`]) — the candidate must beat the live model
+//!    out-of-sample before it is published, and a post-promotion
+//!    probation window auto-rolls back regressions.
+//!
+//! The whole controller is simulation-clock-driven and seed-
+//! deterministic: replaying the same feedback stream and tick schedule
+//! produces a bit-identical event log at any worker count (see
+//! `tests/e2e.rs`). [`handle::LifecycleHandle`] bridges the controller
+//! onto a live serve engine as a [`serve::FeedbackHook`] without
+//! touching serving latency.
+
+pub mod controller;
+pub mod drift;
+pub mod feedback;
+pub mod handle;
+pub mod shadow;
+
+pub use controller::{LifecycleConfig, LifecycleController, LifecycleEvent};
+pub use drift::{DriftConfig, DriftMonitor, DriftVerdict};
+pub use feedback::{Feedback, FeedbackStore, DEFAULT_STORE_CAP};
+pub use handle::LifecycleHandle;
+pub use shadow::{evaluate as shadow_evaluate, ShadowReport};

@@ -1,0 +1,80 @@
+//! Shadow evaluation: score a retrained candidate against the live
+//! model on held-out labeled traffic before letting it serve.
+//!
+//! The gate is strictly **out-of-sample**: the controller trains the
+//! candidate only on feedback *older* than the shadow window, then both
+//! models replay the shadow window's incidents here. Comparing on the
+//! candidate's own training data would let any overfit model through;
+//! comparing out-of-sample means the candidate must actually generalize
+//! to the post-drift mix to win. MCC is the score (see
+//! `ml::metrics::Confusion::mcc`) because per-team incident streams are
+//! heavily imbalanced.
+
+use ml::metrics::Confusion;
+use monitoring::MonitoringSystem;
+use scout::scout::PreparedCorpus;
+use scout::Scout;
+
+/// Outcome of one shadow evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowReport {
+    /// Labeled examples replayed.
+    pub samples: usize,
+    /// Candidate's confusion on the shadow window.
+    pub candidate: Confusion,
+    /// Live model's confusion on the same window.
+    pub live: Confusion,
+}
+
+impl ShadowReport {
+    /// Candidate MCC on the shadow window.
+    pub fn candidate_mcc(&self) -> f64 {
+        self.candidate.mcc()
+    }
+
+    /// Live-model MCC on the shadow window.
+    pub fn live_mcc(&self) -> f64 {
+        self.live.mcc()
+    }
+
+    /// Promotion gate: enough samples, and the candidate beats the live
+    /// model by at least `margin`.
+    pub fn passes(&self, margin: f64, min_samples: usize) -> bool {
+        self.samples >= min_samples && self.candidate_mcc() >= self.live_mcc() + margin
+    }
+}
+
+/// Replay `idx` (indices into `corpus`) through both models and tally
+/// confusions against ground truth. Prediction is pure per item, so the
+/// report is deterministic for a fixed corpus and index order.
+pub fn evaluate(
+    candidate: &Scout,
+    live: &Scout,
+    corpus: &PreparedCorpus,
+    idx: &[usize],
+    monitoring: &MonitoringSystem<'_>,
+) -> ShadowReport {
+    let _span = obs::span!("lifecycle.shadow");
+    let mut report = ShadowReport {
+        samples: idx.len(),
+        candidate: Confusion::default(),
+        live: Confusion::default(),
+    };
+    for &i in idx {
+        let item = &corpus.items[i];
+        let truth = item.example.label;
+        report.candidate.record(
+            truth,
+            candidate
+                .predict_prepared(item, monitoring)
+                .says_responsible(),
+        );
+        report.live.record(
+            truth,
+            live.predict_prepared(item, monitoring).says_responsible(),
+        );
+    }
+    obs::counter("lifecycle.shadow.evals").inc();
+    obs::observe("lifecycle.shadow.samples", idx.len() as f64);
+    report
+}

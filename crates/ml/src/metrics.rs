@@ -89,17 +89,41 @@ impl Confusion {
         }
     }
 
-    /// The three headline numbers as a struct.
+    /// Matthews correlation coefficient, in `[-1, 1]`.
+    ///
+    /// The drift monitor's primary signal: unlike F1 it uses all four
+    /// confusion cells, so it stays informative under the heavy class
+    /// imbalance of per-team incident streams (a model that answers
+    /// "not responsible" to everything scores 0, not a high F1's
+    /// complement). Returns 0.0 whenever any marginal is empty — the
+    /// chance-level convention.
+    pub fn mcc(&self) -> f64 {
+        let (tp, fp, fn_, tn) = (
+            self.tp as f64,
+            self.fp as f64,
+            self.fn_ as f64,
+            self.tn as f64,
+        );
+        let denom = (tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_);
+        if denom == 0.0 {
+            0.0
+        } else {
+            (tp * tn - fp * fn_) / denom.sqrt()
+        }
+    }
+
+    /// The headline numbers as a struct.
     pub fn metrics(&self) -> BinaryMetrics {
         BinaryMetrics {
             precision: self.precision(),
             recall: self.recall(),
             f1: self.f1(),
+            mcc: self.mcc(),
         }
     }
 }
 
-/// Precision / recall / F1 triple.
+/// Precision / recall / F1 / MCC bundle.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BinaryMetrics {
     /// TP / (TP + FP).
@@ -108,16 +132,19 @@ pub struct BinaryMetrics {
     pub recall: f64,
     /// Harmonic mean.
     pub f1: f64,
+    /// Matthews correlation coefficient (imbalance-robust, in `[-1, 1]`).
+    pub mcc: f64,
 }
 
 impl std::fmt::Display for BinaryMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "precision {:.1}%, recall {:.1}%, F1 {:.2}",
+            "precision {:.1}%, recall {:.1}%, F1 {:.2}, MCC {:.2}",
             self.precision * 100.0,
             self.recall * 100.0,
-            self.f1
+            self.f1,
+            self.mcc
         )
     }
 }
@@ -197,5 +224,75 @@ mod tests {
     #[should_panic(expected = "binary confusion")]
     fn rejects_non_binary() {
         confusion(&[2], &[0]);
+    }
+
+    #[test]
+    fn mcc_matches_hand_computation() {
+        let c = Confusion {
+            tp: 90,
+            fp: 10,
+            fn_: 5,
+            tn: 95,
+        };
+        let expected = (90.0 * 95.0 - 10.0 * 5.0) / (100.0f64 * 95.0 * 105.0 * 100.0).sqrt();
+        assert!((c.mcc() - expected).abs() < 1e-12);
+        assert!((c.metrics().mcc - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcc_is_bounded_and_signed() {
+        // Perfect classifier → +1.
+        let perfect = Confusion {
+            tp: 10,
+            fp: 0,
+            fn_: 0,
+            tn: 10,
+        };
+        assert!((perfect.mcc() - 1.0).abs() < 1e-12);
+        // Perfectly inverted classifier → -1.
+        let inverted = Confusion {
+            tp: 0,
+            fp: 10,
+            fn_: 10,
+            tn: 0,
+        };
+        assert!((inverted.mcc() + 1.0).abs() < 1e-12);
+        // Prediction independent of label → 0 (here: always positive on a
+        // balanced stream).
+        let constant = Confusion {
+            tp: 5,
+            fp: 5,
+            fn_: 0,
+            tn: 0,
+        };
+        assert_eq!(constant.mcc(), 0.0);
+    }
+
+    #[test]
+    fn mcc_degenerate_margins_are_chance_level() {
+        assert_eq!(Confusion::default().mcc(), 0.0);
+        // No positives in the stream at all.
+        let no_pos = Confusion {
+            tp: 0,
+            fp: 0,
+            fn_: 0,
+            tn: 25,
+        };
+        assert_eq!(no_pos.mcc(), 0.0);
+    }
+
+    #[test]
+    fn mcc_robust_to_imbalance_where_f1_is_not() {
+        // 95:5 imbalance; classifier says "positive" for everything.
+        // Recall is perfect and F1 looks mediocre-but-nonzero, while MCC
+        // correctly reports zero information.
+        let all_positive = Confusion {
+            tp: 5,
+            fp: 95,
+            fn_: 0,
+            tn: 0,
+        };
+        assert!(all_positive.f1() > 0.09);
+        assert_eq!(all_positive.mcc(), 0.0);
     }
 }

@@ -25,6 +25,12 @@ pub struct AuditRecord {
     pub top_features: Vec<(String, f64)>,
     /// Routing outcome (`route-here`, `route-away`, `legacy-process`).
     pub outcome: String,
+    /// Registry version of the model that produced this prediction.
+    /// `0` means "unversioned" (offline training/evaluation predictions,
+    /// which are keyed by corpus ordinal rather than a served incident
+    /// id). Versioned records additionally enter the in-memory audit
+    /// tail so ground-truth feedback can be joined back to them.
+    pub model_version: u64,
 }
 
 impl AuditRecord {
@@ -46,6 +52,7 @@ impl AuditRecord {
             .num("confidence", self.confidence)
             .raw("top_features", &feats)
             .str("outcome", &self.outcome)
+            .uint("model_version", self.model_version)
             .finish()
     }
 
@@ -73,18 +80,28 @@ impl AuditRecord {
             confidence: v.get("confidence")?.as_f64()?,
             top_features,
             outcome: v.get("outcome")?.as_str()?.to_string(),
+            // Absent in pre-versioning logs: treat as unversioned.
+            model_version: v
+                .get("model_version")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0) as u64,
         })
     }
 
     /// Write this record to the global audit sink (no-op while
     /// collection is disabled) and count it under
-    /// `scout.audit.records`.
+    /// `scout.audit.records`. Versioned records (`model_version > 0`)
+    /// also enter the bounded in-memory audit tail, which is what
+    /// `POST /v1/feedback` joins ground-truth labels against.
     pub fn emit(&self) {
         if !crate::enabled() {
             return;
         }
         let collector = crate::global();
         collector.metrics.add_counter("scout.audit.records", 1);
+        if self.model_version > 0 {
+            collector.push_audit_tail(self.clone());
+        }
         if collector.has_audit_sink() {
             collector.emit_audit(&self.to_json());
         }
@@ -106,6 +123,7 @@ mod tests {
                 ("text:reachability".into(), -0.12),
             ],
             outcome: "route-here".into(),
+            model_version: 3,
         }
     }
 
@@ -129,5 +147,13 @@ mod tests {
     fn non_audit_lines_rejected() {
         assert!(AuditRecord::from_json(r#"{"type":"span","name":"x"}"#).is_none());
         assert!(AuditRecord::from_json("not json").is_none());
+    }
+
+    #[test]
+    fn pre_versioning_lines_decode_as_unversioned() {
+        let line = r#"{"type":"audit","incident":7,"model":"RandomForest","verdict":"Responsible","confidence":0.9,"top_features":[],"outcome":"route-here"}"#;
+        let rec = AuditRecord::from_json(line).unwrap();
+        assert_eq!(rec.model_version, 0);
+        assert_eq!(rec.incident, 7);
     }
 }

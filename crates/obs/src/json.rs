@@ -84,6 +84,13 @@ impl Obj {
         self
     }
 
+    /// Add a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Obj {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
     /// Add a pre-encoded JSON value verbatim.
     pub fn raw(mut self, k: &str, v: &str) -> Obj {
         self.key(k);

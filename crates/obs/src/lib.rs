@@ -68,12 +68,20 @@ use std::sync::{Mutex, OnceLock};
 /// load per span/counter touch.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// How many versioned audit records the in-memory tail retains. Sized
+/// for the feedback join window of an online server: ground truth for a
+/// routed incident arrives hours after the prediction, so the tail must
+/// outlive the serving burst, not the whole history (the JSONL sink is
+/// the durable record).
+pub const AUDIT_TAIL_CAP: usize = 8192;
+
 /// The process-wide collector: metrics registry plus optional sinks.
 pub struct Collector {
     /// Metrics registry (counters, gauges, histograms).
     pub metrics: Registry,
     trace: Mutex<Option<Box<dyn Sink>>>,
     audit: Mutex<Option<Box<dyn Sink>>>,
+    audit_tail: Mutex<std::collections::VecDeque<AuditRecord>>,
 }
 
 impl Collector {
@@ -82,6 +90,7 @@ impl Collector {
             metrics: Registry::new(),
             trace: Mutex::new(None),
             audit: Mutex::new(None),
+            audit_tail: Mutex::new(std::collections::VecDeque::new()),
         }
     }
 
@@ -117,6 +126,28 @@ impl Collector {
         if let Some(s) = self.audit.lock().unwrap().as_mut() {
             s.write_line(line);
         }
+    }
+
+    /// Retain a versioned audit record in the bounded in-memory tail.
+    pub fn push_audit_tail(&self, rec: AuditRecord) {
+        let mut tail = self.audit_tail.lock().unwrap();
+        if tail.len() >= AUDIT_TAIL_CAP {
+            tail.pop_front();
+        }
+        tail.push_back(rec);
+    }
+
+    /// The most recent tail record for `incident`, if it has not been
+    /// evicted. Scans newest-first so a re-served incident joins against
+    /// its latest prediction.
+    pub fn audit_lookup(&self, incident: u64) -> Option<AuditRecord> {
+        self.audit_tail
+            .lock()
+            .unwrap()
+            .iter()
+            .rev()
+            .find(|r| r.incident == incident)
+            .cloned()
     }
 
     /// Flush both sinks.
@@ -163,6 +194,12 @@ pub fn disable() {
 /// final summary after turning collection off).
 pub fn global() -> &'static Collector {
     collector()
+}
+
+/// Shorthand: look up a versioned audit record by incident id in the
+/// global in-memory tail (the `POST /v1/feedback` join).
+pub fn audit_lookup(incident: u64) -> Option<AuditRecord> {
+    global().audit_lookup(incident)
 }
 
 /// Shorthand: the global counter named `name` (no-op handle when

@@ -123,6 +123,7 @@ fn audit_records_round_trip_one_per_prediction() {
             confidence: 0.5 + 0.1 * i as f64,
             top_features: vec![(format!("feature-{i}"), i as f64 / 10.0)],
             outcome: "route-away".into(),
+            model_version: 1 + i,
         })
         .collect();
     for r in &records {
@@ -141,6 +142,14 @@ fn audit_records_round_trip_one_per_prediction() {
         .map(|l| AuditRecord::from_json(l).expect("valid audit JSON"))
         .collect();
     assert_eq!(parsed, records);
+
+    // Versioned records are joinable by incident id via the in-memory
+    // tail (the feedback path), newest wins.
+    for r in &records {
+        let hit = obs::audit_lookup(r.incident).expect("versioned record in tail");
+        assert_eq!(&hit, r);
+    }
+    assert!(obs::audit_lookup(999_999).is_none());
 }
 
 #[test]
@@ -157,6 +166,7 @@ fn disabled_collection_emits_nothing() {
         confidence: 1.0,
         top_features: Vec::new(),
         outcome: "legacy-process".into(),
+        model_version: 1,
     }
     .emit();
     assert!(h.trace.lock().unwrap().is_empty());

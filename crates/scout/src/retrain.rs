@@ -53,6 +53,67 @@ impl Default for RetrainConfig {
     }
 }
 
+impl RetrainConfig {
+    /// Start of the training window for a retrain at `at`.
+    pub fn window_start(&self, at: SimTime) -> SimTime {
+        match self.window {
+            WindowPolicy::Growing => SimTime::EPOCH,
+            WindowPolicy::Sliding(w) => at.saturating_sub(w),
+        }
+    }
+
+    /// Indices of corpus items trainable at retrain instant `at`:
+    /// inside the window policy's span `[window_start, at)` and carrying
+    /// a feature vector. Preserves corpus (time) order.
+    pub fn window_indices(&self, corpus: &PreparedCorpus, at: SimTime) -> Vec<usize> {
+        let start = self.window_start(at);
+        (0..corpus.items.len())
+            .filter(|&i| {
+                let t = corpus.items[i].example.time;
+                t >= start && t < at && corpus.items[i].trainable()
+            })
+            .collect()
+    }
+
+    /// The weight of one training example at retrain instant `at`: age
+    /// decay (`0.5^(age/half_life)`) times the mistake boost when the
+    /// previous model got it wrong.
+    pub fn weight_at(&self, at: SimTime, example_time: SimTime, mistaken: bool) -> f64 {
+        let mut w = 1.0;
+        if let Some(hl) = self.age_half_life {
+            let age = at.since(example_time).as_minutes() as f64;
+            w *= 0.5f64.powf(age / hl.as_minutes().max(1) as f64);
+        }
+        if mistaken {
+            w *= self.mistake_boost;
+        }
+        w
+    }
+
+    /// Clone the in-window sub-corpus at `at` with weights applied.
+    /// `mistaken[i]` (indexed by *original* corpus position, may be
+    /// empty) marks examples the previous model got wrong. Returns the
+    /// weighted sub-corpus and the original indices of its items.
+    pub fn weighted_window(
+        &self,
+        corpus: &PreparedCorpus,
+        at: SimTime,
+        mistaken: &[bool],
+    ) -> (PreparedCorpus, Vec<usize>) {
+        let idx = self.window_indices(corpus, at);
+        let (mut sub, idx) = corpus.clone_window(&idx);
+        for (slot, &i) in idx.iter().enumerate() {
+            let item = &mut sub.items[slot];
+            item.example.weight = self.weight_at(
+                at,
+                item.example.time,
+                mistaken.get(i).copied().unwrap_or(false),
+            );
+        }
+        (sub, idx)
+    }
+}
+
 /// One evaluation period of the schedule.
 #[derive(Debug, Clone)]
 pub struct PeriodResult {
@@ -108,16 +169,7 @@ impl RetrainSchedule {
         let mut at = SimTime::EPOCH + cfg.interval;
         while at <= end {
             let eval_end = at + cfg.interval;
-            let window_start = match cfg.window {
-                WindowPolicy::Growing => SimTime::EPOCH,
-                WindowPolicy::Sliding(w) => at.saturating_sub(w),
-            };
-            let train_idx: Vec<usize> = (0..corpus.items.len())
-                .filter(|&i| {
-                    let t = corpus.items[i].example.time;
-                    t >= window_start && t < at && corpus.items[i].trainable()
-                })
-                .collect();
+            let train_idx = cfg.window_indices(corpus, at);
             let eval_idx: Vec<usize> = (0..corpus.items.len())
                 .filter(|&i| {
                     let t = corpus.items[i].example.time;
@@ -129,24 +181,12 @@ impl RetrainSchedule {
                 continue;
             }
             // Weight transform: age decay × mistake boost.
-            let mut weighted = corpus.clone_window(&train_idx);
-            for (slot, &i) in weighted.1.iter().enumerate() {
-                let item = &mut weighted.0.items[slot];
-                let mut w = 1.0;
-                if let Some(hl) = cfg.age_half_life {
-                    let age = at.since(item.example.time).as_minutes() as f64;
-                    w *= 0.5f64.powf(age / hl.as_minutes().max(1) as f64);
-                }
-                if mistaken[i] {
-                    w *= cfg.mistake_boost;
-                }
-                item.example.weight = w;
-            }
-            let all: Vec<usize> = (0..weighted.0.items.len()).collect();
+            let (weighted, _) = cfg.weighted_window(corpus, at, &mistaken);
+            let all: Vec<usize> = (0..weighted.items.len()).collect();
             let scout = Scout::train_prepared(
                 scout_config.clone(),
                 build.clone(),
-                &weighted.0,
+                &weighted,
                 &all,
                 monitoring,
             );

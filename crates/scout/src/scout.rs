@@ -534,6 +534,9 @@ impl Scout {
                 Verdict::Fallback => "legacy-process",
             }
             .into(),
+            // Offline predictions are keyed by corpus ordinal, not a
+            // served incident id; the server emits the versioned record.
+            model_version: 0,
         }
         .emit();
     }

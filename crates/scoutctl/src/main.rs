@@ -48,7 +48,16 @@ fn run(raw: Vec<String>) -> Result<(), ArgError> {
             other => other.to_string(),
         })
         .collect();
-    let args = Args::parse(raw, &["verbose", "help", "version"])?;
+    let args = Args::parse(
+        raw,
+        &[
+            "verbose",
+            "help",
+            "version",
+            "lifecycle",
+            "inject-regression",
+        ],
+    )?;
     // Help and version are answered before any command dispatch, so
     // `scoutctl --help` and `scoutctl <cmd> --help` both work.
     if args.flag("version") {
@@ -76,6 +85,7 @@ fn run(raw: Vec<String>) -> Result<(), ArgError> {
         Some("train-eval") => train_eval(&args),
         Some("classify") => classify(&args),
         Some("stats") => stats(&args),
+        Some("lifecycle") => lifecycle_cmd(&args),
         Some("serve") => serve_cmd(&args),
         Some("loadgen") => loadgen(&args),
         Some("probe") => probe(&args),
@@ -136,6 +146,8 @@ commands:
   train-eval               train a Scout on the workload, print accuracy
   classify <file|->        train a Scout, then classify incident text
   stats                    run the full pipeline, print the metrics summary
+  lifecycle                replay the continual-learning loop against scripted
+                           incident drift, print the promotion/rollback log
   serve                    run the online incident-routing HTTP server
   loadgen                  drive a running server, print throughput and latency
   probe                    send one request to a running server (CI smoke)
@@ -151,8 +163,21 @@ options:
   --save FILE              train-eval: save the trained Scout model
   --model FILE             classify: load a saved model instead of training
 
+lifecycle options:
+  --horizon-days D         replay horizon (default 240; the scripted drift
+                           switches fault families at days 120 and 150)
+  --train-days D           frozen model's training prefix (default 100)
+  --tick-days D            controller tick interval (default 5)
+  --inject-regression      force-publish a label-poisoned model mid-replay to
+                           demonstrate probation and automatic rollback
+
 serve options:
   --addr HOST:PORT         listen address (default 127.0.0.1:7777; port 0 = any)
+  --lifecycle              attach the continual-learning controller: feedback
+                           from POST /v1/feedback drives drift detection,
+                           shadow-gated retrains, and rollback
+  --feedback-cap N         bound on served predictions awaiting feedback and on
+                           the controller's labeled stream (default 8192)
   --model-dir DIR          load every *.scout in DIR (team = file stem) instead
                            of training at startup; also enables
                            POST /v1/models/reload
@@ -425,6 +450,181 @@ fn classify(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+// ---------- continual learning ----------
+
+/// `scoutctl lifecycle`: replay the closed continual-learning loop
+/// against `cloudsim`'s scripted drift. A model frozen before the drift
+/// serves a drifting incident stream; every resolution is fed back to
+/// the controller, which detects the degradation, retrains, shadow-
+/// gates, promotes, and (with `--inject-regression`) rolls a poisoned
+/// operator override back. Prints the event log plus a final
+/// frozen-vs-adaptive comparison.
+fn lifecycle_cmd(args: &Args) -> Result<(), ArgError> {
+    use incident::Incident;
+    use lifecycle::{Feedback, LifecycleConfig, LifecycleController, LifecycleEvent};
+    use ml::forest::ForestConfig;
+    use serve::ModelRegistry;
+    use std::sync::Arc;
+
+    let seed = args.get_parsed("seed", 42u64)?;
+    let faults_per_day = args.get_parsed("faults-per-day", 2.5f64)?;
+    let horizon_days = args.get_parsed("horizon-days", 240u64)?;
+    let train_days = args.get_parsed("train-days", 100u64)?.min(horizon_days);
+    let tick_days = args.get_parsed("tick-days", 5u64)?.max(1);
+    let team = load_team(args)?;
+    let scout_config = load_config(args)?;
+
+    let mut config = WorkloadConfig {
+        seed,
+        ..WorkloadConfig::default()
+    };
+    config.faults.faults_per_day = faults_per_day;
+    config.faults.horizon = cloudsim::SimDuration::days(horizon_days);
+    config.faults.drift = true;
+    eprintln!(
+        "[scoutctl] generating drifting workload (seed {seed}, {faults_per_day} faults/day, {horizon_days} days)…"
+    );
+    let world = Workload::generate(config);
+    let mon = MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let build = ScoutBuildConfig {
+        forest: ForestConfig {
+            n_trees: 8,
+            ..ForestConfig::default()
+        },
+        cluster_train_cap: 10,
+        ..ScoutBuildConfig::default()
+    };
+
+    let train_prefix = |label: &dyn Fn(&Incident) -> bool| -> Scout {
+        let cutoff = SimTime::from_days(train_days);
+        let examples: Vec<Example> = world
+            .incidents
+            .iter()
+            .filter(|i| i.created_at < cutoff)
+            .map(|i| Example::new(i.text(), i.created_at, label(i)))
+            .collect();
+        let corpus = Scout::prepare(&scout_config, &build, &examples, &mon);
+        let train = corpus.trainable_indices();
+        Scout::train_prepared(scout_config.clone(), build.clone(), &corpus, &train, &mon)
+    };
+
+    eprintln!("[scoutctl] training the frozen {team} model on days 0..{train_days}…");
+    let frozen = train_prefix(&|i| i.owner == team);
+    // A second copy of the frozen model for the end-of-replay
+    // comparison (Scout is deliberately not Clone).
+    let frozen_text = frozen.to_text();
+    let frozen = Scout::from_text(&frozen_text).expect("model text round-trips");
+    let registry = Arc::new(ModelRegistry::new());
+    let v1 = registry
+        .register(
+            team.name(),
+            Scout::from_text(&frozen_text).expect("model text round-trips"),
+            "frozen-pre-drift",
+        )
+        .expect("fresh registry has no pins");
+    println!("day {:>6.1}  serving frozen model v{v1}", train_days as f64);
+
+    let mut controller = LifecycleController::new(
+        LifecycleConfig::new(team.name(), scout_config.clone(), build.clone()),
+        Arc::clone(&registry),
+    );
+
+    let end = SimTime::from_days(horizon_days);
+    let inject_at = SimTime::from_days((train_days + horizon_days) / 2);
+    let mut injected = false;
+    let mut chunk_start = SimTime::from_days(train_days);
+    let mut ordinal = 0u64;
+    let mut replayed = 0usize;
+    while chunk_start < end {
+        let chunk_end = SimTime((chunk_start.0 + tick_days * 1440).min(end.0));
+        if args.flag("inject-regression") && !injected && chunk_start >= inject_at {
+            injected = true;
+            let poisoned = train_prefix(&|i| i.owner != team);
+            let v = registry
+                .register(team.name(), poisoned, "operator-override")
+                .expect("no pins in this replay");
+            println!(
+                "day {:>6.1}  injecting label-poisoned model v{v} (operator override)",
+                chunk_start.0 as f64 / 1440.0
+            );
+        }
+        let entry = registry.get(team.name()).expect("model always registered");
+        let batch: Vec<&Incident> = world
+            .incidents
+            .iter()
+            .filter(|i| i.created_at >= chunk_start && i.created_at < chunk_end)
+            .collect();
+        let texts: Vec<String> = batch.iter().map(|i| i.text()).collect();
+        let inputs: Vec<(&str, SimTime)> = texts
+            .iter()
+            .zip(&batch)
+            .map(|(t, i)| (t.as_str(), i.created_at))
+            .collect();
+        let preds = entry
+            .scout
+            .predict_many_cached(&inputs, &mon, Some(&entry.feat_cache));
+        replayed += batch.len();
+        for ((incident, text), pred) in batch.iter().zip(texts).zip(&preds) {
+            ordinal += 1;
+            controller.ingest(Feedback {
+                incident: ordinal,
+                text,
+                time: incident.created_at,
+                predicted: pred.says_responsible(),
+                label: incident.owner == team,
+                model_version: entry.version,
+            });
+        }
+        for event in controller.tick(chunk_end, &mon) {
+            println!("{event}");
+        }
+        chunk_start = chunk_end;
+    }
+
+    println!(
+        "replayed {replayed} incidents over days {train_days}..{horizon_days} (tick {tick_days}d)"
+    );
+    let final_version = registry.version_of(team.name()).unwrap_or(0);
+    println!("final serving version: v{final_version}");
+
+    let first_promotion = controller.events().iter().find_map(|e| match e {
+        LifecycleEvent::Promoted { at, .. } => Some(*at),
+        _ => None,
+    });
+    match first_promotion {
+        None => println!("no promotion occurred"),
+        Some(promoted_at) => {
+            let adaptive = controller.store().confusion_in(promoted_at, end);
+            let batch: Vec<&Incident> = world
+                .incidents
+                .iter()
+                .filter(|i| i.created_at >= promoted_at && i.created_at < end)
+                .collect();
+            let texts: Vec<String> = batch.iter().map(|i| i.text()).collect();
+            let inputs: Vec<(&str, SimTime)> = texts
+                .iter()
+                .zip(&batch)
+                .map(|(t, i)| (t.as_str(), i.created_at))
+                .collect();
+            let mut frozen_conf = ml::metrics::Confusion::default();
+            for (incident, pred) in batch
+                .iter()
+                .zip(frozen.predict_many_cached(&inputs, &mon, None))
+            {
+                frozen_conf.record(incident.owner == team, pred.says_responsible());
+            }
+            println!(
+                "post-promotion (day {:.1} on, {} incidents): adaptive mcc {:.3} vs frozen mcc {:.3}",
+                promoted_at.0 as f64 / 1440.0,
+                adaptive.total(),
+                adaptive.mcc(),
+                frozen_conf.mcc()
+            );
+        }
+    }
+    Ok(())
+}
+
 // ---------- online serving ----------
 
 /// `scoutctl serve`: start the online incident-routing server.
@@ -457,14 +657,41 @@ fn serve_cmd(args: &Args) -> Result<(), ArgError> {
             let team = load_team(args)?;
             eprintln!("[scoutctl] no --model-dir: training a {team} Scout at startup…");
             let (scout, _, _, _) = train_scout(&world, config, team);
-            let version = registry.register(team.name(), scout, "trained-at-startup");
+            let version = registry
+                .register(team.name(), scout, "trained-at-startup")
+                .expect("startup registration cannot hit a pin");
             eprintln!("[scoutctl] registered {team} Scout (v{version})");
         }
     }
-    let mut engine = Engine::new(registry, world);
+    let feedback_cap = args.get_parsed("feedback-cap", serve::feedback::DEFAULT_SERVED_CAP)?;
+    let mut engine =
+        Engine::new(Arc::clone(&registry), Arc::clone(&world)).with_served_cap(feedback_cap);
     if let Some(dir) = model_dir {
         engine = engine.with_model_dir(dir);
     }
+    // Keep the handle alive for the server's lifetime: dropping it stops
+    // the controller worker.
+    let _lifecycle = if args.flag("lifecycle") {
+        let team = load_team(args)?;
+        let mut cfg = lifecycle::LifecycleConfig::new(
+            team.name(),
+            load_config(args)?,
+            ScoutBuildConfig::default(),
+        );
+        cfg.store_cap = feedback_cap;
+        let handle = lifecycle::LifecycleHandle::start(
+            cfg,
+            Arc::clone(&registry),
+            Arc::new(world.topology.clone()),
+            Arc::new(world.faults.clone()),
+            MonitoringConfig::default(),
+        );
+        engine = engine.with_feedback_hook(handle.clone());
+        eprintln!("[scoutctl] lifecycle controller attached ({team})");
+        Some(handle)
+    } else {
+        None
+    };
     let config = ServeConfig {
         batch_size: args.get_parsed("batch-size", 8usize)?,
         batch_deadline: std::time::Duration::from_millis(

@@ -125,3 +125,38 @@ fn classify_without_components_falls_back() {
     assert!(o.status.success(), "{}", stderr(&o));
     assert!(stdout(&o).contains("legacy routing"), "{}", stdout(&o));
 }
+
+#[test]
+fn lifecycle_replays_the_continual_learning_loop() {
+    // A deliberately small world: this test checks the command's
+    // plumbing and grep-able output, not the promotion behavior (the
+    // lifecycle crate's e2e tests cover that at full scale).
+    let o = scoutctl(&[
+        "lifecycle",
+        "--faults-per-day",
+        "1",
+        "--seed",
+        "5",
+        "--horizon-days",
+        "140",
+        "--train-days",
+        "60",
+        "--tick-days",
+        "10",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("serving frozen model v1"), "{out}");
+    assert!(out.contains("replayed "), "{out}");
+    assert!(out.contains("final serving version: v"), "{out}");
+}
+
+#[test]
+fn help_lists_lifecycle_surface() {
+    let o = scoutctl(&["help"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("lifecycle"), "{out}");
+    assert!(out.contains("--inject-regression"), "{out}");
+    assert!(out.contains("--feedback-cap"), "{out}");
+}

@@ -23,6 +23,7 @@
 pub mod admission;
 pub mod batcher;
 pub mod client;
+pub mod feedback;
 pub mod http;
 pub mod registry;
 pub mod server;
@@ -30,6 +31,7 @@ pub mod server;
 pub use admission::{Admission, Permit};
 pub use batcher::{Answer, BatchConfig, Batcher, Job, PredictError};
 pub use client::{Client, ClientError, ClientResponse};
+pub use feedback::{FeedbackEvent, FeedbackHook, ResolveError, ServedLog, ServedRecord};
 pub use http::{HttpError, Request, Response};
 pub use registry::{ModelEntry, ModelRegistry, RegistryError};
 pub use server::{Engine, ServeConfig, Server};

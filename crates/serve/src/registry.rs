@@ -1,18 +1,31 @@
-//! Versioned model registry with atomic hot-swap.
+//! Versioned model registry with atomic hot-swap, rollback, and pins.
 //!
 //! The paper keeps trained Scouts "in a highly available storage system
 //! and serves them to the online component"; this is the in-process half
-//! of that contract. Each team name maps to an [`Arc<ModelEntry>`] — an
-//! immutable trained Scout plus a process-unique version number. Readers
-//! clone the `Arc` under a briefly-held lock and then predict entirely
-//! lock-free, so a reload (which builds the new Scouts *outside* the
-//! lock and swaps the map in one write) never blocks an in-flight
-//! prediction, and every prediction is attributable to exactly one
-//! version.
+//! of that contract. Each team name maps to a slot holding the *current*
+//! [`Arc<ModelEntry>`] — an immutable trained Scout plus a
+//! process-unique version number — and the *previous* entry, retained so
+//! the lifecycle controller can roll a bad promotion back without
+//! retraining. Readers clone the `Arc` under a briefly-held lock and
+//! then predict entirely lock-free, so a reload (which builds the new
+//! Scouts *outside* the lock and swaps the map in one write) never
+//! blocks an in-flight prediction, and every prediction is attributable
+//! to exactly one version.
+//!
+//! Invariants:
+//!
+//! * versions are process-unique and never reused — a rollback restores
+//!   the previous entry *with its original version number*, so audit
+//!   records stay attributable;
+//! * a **pinned** team rejects `register` and is skipped by `load_dir`
+//!   (operator override: "stop auto-promoting this team"), but rollback
+//!   still works — pinning must never trap a regressed model in place;
+//! * each slot keeps exactly one step of history: rolling back twice
+//!   without an intervening promotion is an error, not a loop.
 
 use featcache::FeatCache;
 use scout::Scout;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
@@ -37,7 +50,15 @@ pub struct ModelEntry {
     pub feat_cache: FeatCache,
 }
 
-/// A reload or registration failure, with enough context to act on.
+/// One team's slot: the serving model plus one step of history.
+#[derive(Debug)]
+struct Slot {
+    current: std::sync::Arc<ModelEntry>,
+    previous: Option<std::sync::Arc<ModelEntry>>,
+}
+
+/// A reload, registration, or rollback failure, with enough context to
+/// act on.
 #[derive(Debug)]
 pub struct RegistryError(pub String);
 
@@ -49,10 +70,11 @@ impl std::fmt::Display for RegistryError {
 
 impl std::error::Error for RegistryError {}
 
-/// The registry: team name → current model version.
+/// The registry: team name → current (and previous) model version.
 #[derive(Debug)]
 pub struct ModelRegistry {
-    models: RwLock<BTreeMap<String, std::sync::Arc<ModelEntry>>>,
+    models: RwLock<BTreeMap<String, Slot>>,
+    pinned: RwLock<BTreeSet<String>>,
     next_version: AtomicU64,
     feat_cache_bytes: usize,
 }
@@ -74,6 +96,7 @@ impl ModelRegistry {
     pub fn with_feat_cache_bytes(bytes: usize) -> ModelRegistry {
         ModelRegistry {
             models: RwLock::new(BTreeMap::new()),
+            pinned: RwLock::new(BTreeSet::new()),
             next_version: AtomicU64::new(1),
             feat_cache_bytes: bytes,
         }
@@ -84,10 +107,7 @@ impl ModelRegistry {
         self.feat_cache_bytes
     }
 
-    /// Publish `scout` for `team`, returning the version it was assigned.
-    /// Replaces any previous version atomically; in-flight predictions
-    /// against the old `Arc` are unaffected.
-    pub fn register(&self, team: &str, scout: Scout, source: &str) -> u64 {
+    fn entry(&self, team: &str, scout: Scout, source: &str) -> (u64, std::sync::Arc<ModelEntry>) {
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
         let entry = std::sync::Arc::new(ModelEntry {
             team: team.to_string(),
@@ -96,22 +116,101 @@ impl ModelRegistry {
             scout,
             feat_cache: FeatCache::new(self.feat_cache_bytes),
         });
-        self.models.write().unwrap().insert(team.to_string(), entry);
+        (version, entry)
+    }
+
+    fn publish_version_gauge(team: &str, version: u64) {
+        obs::gauge(&format!("serve.model.version.{team}")).set(version as f64);
+    }
+
+    /// Publish `scout` for `team`, returning the version it was
+    /// assigned. Replaces any previous version atomically, retaining the
+    /// replaced entry for [`ModelRegistry::rollback`]; in-flight
+    /// predictions against the old `Arc` are unaffected. Errs when the
+    /// team is pinned.
+    pub fn register(&self, team: &str, scout: Scout, source: &str) -> Result<u64, RegistryError> {
+        if self.is_pinned(team) {
+            return Err(RegistryError(format!(
+                "team {team} is pinned; unpin before publishing a new model"
+            )));
+        }
+        let (version, entry) = self.entry(team, scout, source);
+        let mut models = self.models.write().unwrap();
+        match models.get_mut(team) {
+            Some(slot) => {
+                slot.previous = Some(std::sync::Arc::clone(&slot.current));
+                slot.current = entry;
+            }
+            None => {
+                models.insert(
+                    team.to_string(),
+                    Slot {
+                        current: entry,
+                        previous: None,
+                    },
+                );
+            }
+        }
+        drop(models);
         obs::counter("serve.models.registered").inc();
-        version
+        Self::publish_version_gauge(team, version);
+        Ok(version)
+    }
+
+    /// Restore the previous entry for `team` as current (keeping its
+    /// original version number) and clear the history slot. Works on
+    /// pinned teams — a pin stops promotions, never recovery. Errs when
+    /// the team is unknown or has no previous version.
+    pub fn rollback(&self, team: &str) -> Result<u64, RegistryError> {
+        let mut models = self.models.write().unwrap();
+        let slot = models
+            .get_mut(team)
+            .ok_or_else(|| RegistryError(format!("unknown team {team}")))?;
+        let prior = slot
+            .previous
+            .take()
+            .ok_or_else(|| RegistryError(format!("no previous version for team {team}")))?;
+        let version = prior.version;
+        slot.current = prior;
+        drop(models);
+        obs::counter("serve.models.rollbacks").inc();
+        Self::publish_version_gauge(team, version);
+        Ok(version)
+    }
+
+    /// Pin `team`: reject `register` and skip it in `load_dir` until
+    /// unpinned. Pinning an unknown team is allowed (it blocks the
+    /// initial publish too).
+    pub fn pin(&self, team: &str) {
+        self.pinned.write().unwrap().insert(team.to_string());
+    }
+
+    /// Remove a pin. No-op if not pinned.
+    pub fn unpin(&self, team: &str) {
+        self.pinned.write().unwrap().remove(team);
+    }
+
+    /// Is `team` pinned?
+    pub fn is_pinned(&self, team: &str) -> bool {
+        self.pinned.read().unwrap().contains(team)
     }
 
     /// The current model for `team` (exact match, then ASCII
     /// case-insensitive).
     pub fn get(&self, team: &str) -> Option<std::sync::Arc<ModelEntry>> {
         let models = self.models.read().unwrap();
-        if let Some(e) = models.get(team) {
-            return Some(std::sync::Arc::clone(e));
+        if let Some(slot) = models.get(team) {
+            return Some(std::sync::Arc::clone(&slot.current));
         }
         models
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case(team))
-            .map(|(_, e)| std::sync::Arc::clone(e))
+            .map(|(_, slot)| std::sync::Arc::clone(&slot.current))
+    }
+
+    /// The current version number for `team`, if registered.
+    pub fn version_of(&self, team: &str) -> Option<u64> {
+        self.get(team).map(|e| e.version)
     }
 
     /// Registered team names, sorted.
@@ -125,7 +224,7 @@ impl ModelRegistry {
             .read()
             .unwrap()
             .values()
-            .map(std::sync::Arc::clone)
+            .map(|slot| std::sync::Arc::clone(&slot.current))
             .collect()
     }
 
@@ -140,10 +239,10 @@ impl ModelRegistry {
     }
 
     /// Load every `*.scout` file in `dir` (team name = file stem) and
-    /// publish them all in one atomic swap. On any failure the registry
-    /// is left exactly as it was — a bad reload never degrades serving —
-    /// and the error names the offending path (and, for format errors,
-    /// the line; see `ml::persist`).
+    /// publish them all in one atomic swap, skipping pinned teams. On
+    /// any failure the registry is left exactly as it was — a bad reload
+    /// never degrades serving — and the error names the offending path
+    /// (and, for format errors, the line; see `ml::persist`).
     pub fn load_dir(&self, dir: &Path) -> Result<Vec<(String, u64)>, RegistryError> {
         let _span = obs::span!("serve.registry.load_dir");
         let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
@@ -168,6 +267,10 @@ impl ModelRegistry {
                     RegistryError(format!("non-UTF-8 model file name {}", path.display()))
                 })?
                 .to_string();
+            if self.is_pinned(&team) {
+                obs::counter("serve.models.reload_skipped_pinned").inc();
+                continue;
+            }
             let scout = Scout::load(path)
                 .map_err(|e| RegistryError(format!("cannot load {}: {e}", path.display())))?;
             loaded.push((team, scout, path.display().to_string()));
@@ -179,17 +282,32 @@ impl ModelRegistry {
             for (team, scout, source) in loaded {
                 let version = self.next_version.fetch_add(1, Ordering::Relaxed);
                 published.push((team.clone(), version));
-                models.insert(
-                    team.clone(),
-                    std::sync::Arc::new(ModelEntry {
-                        team,
-                        version,
-                        source,
-                        scout,
-                        feat_cache: FeatCache::new(self.feat_cache_bytes),
-                    }),
-                );
+                let entry = std::sync::Arc::new(ModelEntry {
+                    team: team.clone(),
+                    version,
+                    source,
+                    scout,
+                    feat_cache: FeatCache::new(self.feat_cache_bytes),
+                });
+                match models.get_mut(&team) {
+                    Some(slot) => {
+                        slot.previous = Some(std::sync::Arc::clone(&slot.current));
+                        slot.current = entry;
+                    }
+                    None => {
+                        models.insert(
+                            team,
+                            Slot {
+                                current: entry,
+                                previous: None,
+                            },
+                        );
+                    }
+                }
             }
+        }
+        for (team, version) in &published {
+            Self::publish_version_gauge(team, *version);
         }
         obs::counter("serve.models.reloads").inc();
         Ok(published)
@@ -206,6 +324,7 @@ mod tests {
         assert!(r.is_empty());
         assert!(r.get("PhyNet").is_none());
         assert!(r.teams().is_empty());
+        assert!(r.version_of("PhyNet").is_none());
     }
 
     #[test]
@@ -228,5 +347,20 @@ mod tests {
         assert!(e.0.contains("PhyNet.scout"), "{e}");
         assert!(r.is_empty(), "failed reload must not publish anything");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rollback_without_history_is_an_error() {
+        let r = ModelRegistry::new();
+        assert!(r.rollback("PhyNet").is_err());
+    }
+
+    #[test]
+    fn pinned_team_rejects_register() {
+        let r = ModelRegistry::new();
+        r.pin("PhyNet");
+        assert!(r.is_pinned("PhyNet"));
+        r.unpin("PhyNet");
+        assert!(!r.is_pinned("PhyNet"));
     }
 }

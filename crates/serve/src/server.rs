@@ -13,12 +13,14 @@
 //! | `POST /v1/scouts/<team>/predict` | one Scout's verdict for `{"text", "time_minutes"?}` |
 //! | `POST /v1/route` | Scout-Master decision over every registered Scout |
 //! | `POST /v1/models/reload` | atomic hot-swap from the model directory |
+//! | `POST /v1/feedback` | ground-truth resolving team for a served prediction |
 //!
 //! Shedding is `503` + `Retry-After: 1`; a lapsed `X-Deadline-Ms` is
 //! `504`; an unknown team is `404`.
 
 use crate::admission::Admission;
 use crate::batcher::{Answer, BatchConfig, Batcher, Job, PredictError};
+use crate::feedback::{FeedbackEvent, FeedbackHook, ResolveError, ServedLog, DEFAULT_SERVED_CAP};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::registry::ModelRegistry;
 use cloudsim::{SimTime, Team};
@@ -44,6 +46,11 @@ pub struct Engine {
     pub master: ScoutMaster,
     /// Where `POST /v1/models/reload` loads from (`None` → reload is 409).
     pub model_dir: Option<PathBuf>,
+    /// Served predictions awaiting ground truth (`POST /v1/feedback`
+    /// joins against this).
+    pub served: Arc<ServedLog>,
+    /// Labeled-feedback subscriber (the lifecycle controller), if any.
+    pub feedback: Option<Arc<dyn FeedbackHook>>,
 }
 
 impl Engine {
@@ -55,12 +62,26 @@ impl Engine {
             workload,
             master: ScoutMaster::default(),
             model_dir: None,
+            served: Arc::new(ServedLog::new(DEFAULT_SERVED_CAP)),
+            feedback: None,
         }
     }
 
     /// Set the model directory used by `POST /v1/models/reload`.
     pub fn with_model_dir(mut self, dir: PathBuf) -> Engine {
         self.model_dir = Some(dir);
+        self
+    }
+
+    /// Subscribe `hook` to labeled feedback events.
+    pub fn with_feedback_hook(mut self, hook: Arc<dyn FeedbackHook>) -> Engine {
+        self.feedback = Some(hook);
+        self
+    }
+
+    /// Bound the served-prediction log at `cap` entries.
+    pub fn with_served_cap(mut self, cap: usize) -> Engine {
+        self.served = Arc::new(ServedLog::new(cap));
         self
     }
 }
@@ -250,6 +271,7 @@ fn endpoint_label(path: &str) -> &'static str {
         "/metrics" => "metrics",
         "/v1/route" => "route",
         "/v1/models/reload" => "reload",
+        "/v1/feedback" => "feedback",
         p if p.starts_with("/v1/scouts/") && p.ends_with("/predict") => "predict",
         _ => "other",
     }
@@ -264,6 +286,7 @@ fn dispatch(req: &Request, shared: &Shared) -> Response {
         }
         ("POST", "/v1/route") => route(req, shared),
         ("POST", "/v1/models/reload") => reload(shared),
+        ("POST", "/v1/feedback") => feedback(req, shared),
         ("POST", path) => {
             if let Some(team) = path
                 .strip_prefix("/v1/scouts/")
@@ -286,15 +309,30 @@ fn not_found(path: &str) -> Response {
 }
 
 fn readyz(shared: &Shared) -> Response {
-    let teams = shared.engine.registry.teams();
-    if teams.is_empty() {
+    let entries = shared.engine.registry.snapshot();
+    if entries.is_empty() {
         Response::from_error(&HttpError::new(503, "no models registered"))
     } else {
+        let teams: Vec<String> = entries.iter().map(|e| e.team.clone()).collect();
+        let mut models = String::from("[");
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                models.push(',');
+            }
+            models.push_str(
+                &Obj::new()
+                    .str("team", &e.team)
+                    .uint("version", e.version)
+                    .finish(),
+            );
+        }
+        models.push(']');
         Response::json(
             200,
             Obj::new()
                 .str("status", "ready")
                 .raw("teams", &json_str_array(&teams))
+                .raw("models", &models)
                 .finish(),
         )
     }
@@ -374,7 +412,7 @@ fn predict(req: &Request, team: &str, shared: &Shared) -> Response {
     let (reply_tx, reply_rx) = sync_channel(1);
     let job = Job {
         team: team.to_string(),
-        text: input.text,
+        text: input.text.clone(),
         time: input.time,
         deadline,
         permit: Some(permit),
@@ -384,10 +422,116 @@ fn predict(req: &Request, team: &str, shared: &Shared) -> Response {
         return predict_error_response(&PredictError::ShuttingDown);
     }
     match reply_rx.recv() {
-        Ok(Ok(answer)) => Response::json(200, render_answer(&answer).finish()),
+        Ok(Ok(answer)) => {
+            let incident = record_served(&answer, &input.text, input.time, shared);
+            Response::json(
+                200,
+                render_answer(&answer).uint("incident", incident).finish(),
+            )
+        }
         Ok(Err(e)) => predict_error_response(&e),
         Err(_) => Response::from_error(&HttpError::new(500, "batcher dropped the request")),
     }
+}
+
+/// Remember a served answer (assigning its incident id) and emit the
+/// versioned audit record that `POST /v1/feedback` will join against.
+fn record_served(answer: &Answer, text: &str, time: SimTime, shared: &Shared) -> u64 {
+    let p: &Prediction = &answer.prediction;
+    let incident = shared.engine.served.record(
+        &answer.team,
+        text,
+        answer.model_version,
+        p.says_responsible(),
+        p.confidence,
+        time,
+    );
+    obs::AuditRecord {
+        incident,
+        model: model_name(p).to_string(),
+        verdict: verdict_name(p).to_string(),
+        confidence: p.confidence,
+        top_features: p.explanation.top_features.clone(),
+        outcome: match p.verdict {
+            scout::Verdict::Responsible => "route-here",
+            scout::Verdict::NotResponsible => "route-away",
+            scout::Verdict::Fallback => "legacy-process",
+        }
+        .into(),
+        model_version: answer.model_version,
+    }
+    .emit();
+    incident
+}
+
+/// `POST /v1/feedback {"incident", "team"}`: record the ground-truth
+/// resolving team for a served prediction, join it back to the served
+/// record (and the audit tail), and hand the labeled event to the
+/// lifecycle hook.
+fn feedback(req: &Request, shared: &Shared) -> Response {
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::from_error(&e),
+    };
+    let Some(value) = Value::parse(body) else {
+        return Response::from_error(&HttpError::new(400, "request body is not valid JSON"));
+    };
+    let Some(incident) = value
+        .get("incident")
+        .and_then(Value::as_f64)
+        .filter(|n| n.is_finite() && *n >= 1.0)
+    else {
+        return Response::from_error(&HttpError::new(
+            400,
+            "missing required numeric field \"incident\"",
+        ));
+    };
+    let Some(resolving_team) = value.get("team").and_then(Value::as_str) else {
+        return Response::from_error(&HttpError::new(
+            400,
+            "missing required string field \"team\" (the resolving team)",
+        ));
+    };
+    let served = match shared.engine.served.resolve(incident as u64) {
+        Ok(rec) => rec,
+        Err(e @ ResolveError::Unknown(_)) => {
+            obs::counter("serve.feedback.unknown").inc();
+            return Response::from_error(&HttpError::new(404, e.to_string()));
+        }
+        Err(e @ ResolveError::AlreadyResolved(_)) => {
+            obs::counter("serve.feedback.duplicate").inc();
+            return Response::from_error(&HttpError::new(409, e.to_string()));
+        }
+    };
+    // Join against the versioned audit tail: presence means the full
+    // explanation for this prediction is still on hand.
+    if obs::audit_lookup(served.incident).is_some() {
+        obs::counter("serve.feedback.audit_joined").inc();
+    } else {
+        obs::counter("serve.feedback.audit_miss").inc();
+    }
+    let event = FeedbackEvent {
+        incident: served.incident,
+        team: served.team.clone(),
+        text: served.text.clone(),
+        model_version: served.model_version,
+        predicted: served.predicted_responsible,
+        label: resolving_team.eq_ignore_ascii_case(&served.team),
+        time: served.time,
+    };
+    obs::counter("serve.feedback.accepted").inc();
+    let response = Obj::new()
+        .str("status", "recorded")
+        .uint("incident", event.incident)
+        .str("team", &event.team)
+        .uint("model_version", event.model_version)
+        .bool("predicted_responsible", event.predicted)
+        .bool("label_responsible", event.label)
+        .finish();
+    if let Some(hook) = shared.engine.feedback.as_ref() {
+        hook.on_feedback(event);
+    }
+    Response::json(200, response)
 }
 
 fn route(req: &Request, shared: &Shared) -> Response {

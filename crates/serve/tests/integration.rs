@@ -65,7 +65,9 @@ fn test_scout() -> Scout {
 /// A server with one registered PhyNet model and the given config.
 fn start_server(config: ServeConfig) -> Server {
     let registry = Arc::new(ModelRegistry::new());
-    registry.register("PhyNet", test_scout(), "test");
+    registry
+        .register("PhyNet", test_scout(), "test")
+        .expect("register test model");
     let engine = Engine::new(registry, small_workload());
     Server::start(engine, "127.0.0.1:0", config).expect("bind ephemeral port")
 }
@@ -171,6 +173,26 @@ fn batched_responses_match_sequential_ones() {
         .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
         .unwrap();
     assert_eq!(sequential.status, 200);
+    // Responses differ only in the server-assigned incident id; the
+    // prediction payload must be bit-identical.
+    let strip_incident = |body: &str| -> String {
+        let v = Value::parse(body).expect("JSON body");
+        assert!(v.get("incident").and_then(Value::as_f64).is_some());
+        let mut obj = obs::json::Obj::new();
+        for key in [
+            "team",
+            "model_version",
+            "verdict",
+            "confidence",
+            "model",
+            "components",
+            "evidence",
+        ] {
+            obj = obj.raw(key, &format!("{:?}", v.get(key).expect(key)));
+        }
+        obj.finish()
+    };
+    let sequential_answer = strip_incident(&sequential.body_text());
 
     let addr = server.addr().to_string();
     let handles: Vec<_> = (0..6)
@@ -187,7 +209,11 @@ fn batched_responses_match_sequential_ones() {
     for h in handles {
         let resp = h.join().unwrap();
         assert_eq!(resp.status, 200);
-        assert_eq!(resp.body, sequential.body, "batched answer diverged");
+        assert_eq!(
+            strip_incident(&resp.body_text()),
+            sequential_answer,
+            "batched answer diverged"
+        );
     }
 }
 
@@ -407,4 +433,157 @@ fn hot_swap_under_concurrent_predicts() {
     }
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn readyz_reports_model_versions() {
+    let server = start_server(ServeConfig::default());
+    let mut client = connect(&server);
+    let ready = client.get("/readyz").unwrap();
+    assert_eq!(ready.status, 200);
+    let value = Value::parse(&ready.body_text()).expect("JSON body");
+    let models = value.get("models").and_then(Value::as_arr).unwrap();
+    assert_eq!(models.len(), 1);
+    assert_eq!(
+        models[0].get("team").and_then(Value::as_str),
+        Some("PhyNet")
+    );
+    assert!(models[0].get("version").and_then(Value::as_f64).unwrap() >= 1.0);
+}
+
+#[test]
+fn feedback_round_trip_dedup_and_hook() {
+    use serve::{FeedbackEvent, FeedbackHook};
+    use std::sync::Mutex;
+
+    struct Capture(Mutex<Vec<FeedbackEvent>>);
+    impl FeedbackHook for Capture {
+        fn on_feedback(&self, event: FeedbackEvent) {
+            self.0.lock().unwrap().push(event);
+        }
+    }
+
+    let hook = Arc::new(Capture(Mutex::new(Vec::new())));
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .register("PhyNet", test_scout(), "test")
+        .expect("register test model");
+    let engine = Engine::new(registry, small_workload())
+        .with_feedback_hook(Arc::clone(&hook) as Arc<dyn FeedbackHook>);
+    let server = Server::start(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = connect(&server);
+
+    // A served prediction carries its incident id.
+    let resp = client
+        .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    let value = Value::parse(&resp.body_text()).unwrap();
+    let incident = value.get("incident").and_then(Value::as_f64).unwrap() as u64;
+    assert!(incident >= 1);
+    let predicted_responsible = value.get("verdict").and_then(Value::as_str) == Some("responsible");
+
+    // Ground truth arrives: PhyNet resolved it.
+    let fb = client
+        .post_json(
+            "/v1/feedback",
+            &format!(r#"{{"incident":{incident},"team":"PhyNet"}}"#),
+        )
+        .unwrap();
+    assert_eq!(fb.status, 200, "{}", fb.body_text());
+    let fbv = Value::parse(&fb.body_text()).unwrap();
+    assert_eq!(fbv.get("label_responsible"), Some(&Value::Bool(true)));
+
+    // The hook saw exactly that labeled event.
+    {
+        let events = hook.0.lock().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].incident, incident);
+        assert_eq!(events[0].team, "PhyNet");
+        assert!(events[0].label);
+        assert_eq!(events[0].predicted, predicted_responsible);
+        assert_eq!(events[0].model_version, 1);
+    }
+
+    // Second report for the same incident: 409, hook not called again.
+    let dup = client
+        .post_json(
+            "/v1/feedback",
+            &format!(r#"{{"incident":{incident},"team":"Storage"}}"#),
+        )
+        .unwrap();
+    assert_eq!(dup.status, 409, "{}", dup.body_text());
+    assert_eq!(hook.0.lock().unwrap().len(), 1);
+
+    // Unknown incident: 404. Malformed: 400.
+    assert_eq!(
+        client
+            .post_json("/v1/feedback", r#"{"incident":999999,"team":"PhyNet"}"#)
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(
+        client
+            .post_json("/v1/feedback", r#"{"team":"PhyNet"}"#)
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(
+        client
+            .post_json("/v1/feedback", r#"{"incident":1}"#)
+            .unwrap()
+            .status,
+        400
+    );
+}
+
+#[test]
+fn rollback_restores_prior_version_and_serving_follows() {
+    let registry = Arc::new(ModelRegistry::new());
+    let v1 = registry
+        .register("PhyNet", test_scout(), "first")
+        .expect("register v1");
+    let v2 = registry
+        .register("PhyNet", test_scout(), "second")
+        .expect("register v2");
+    assert!(v2 > v1);
+    assert_eq!(registry.version_of("PhyNet"), Some(v2));
+
+    let engine = Engine::new(Arc::clone(&registry), small_workload());
+    let server = Server::start(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = connect(&server);
+    let version_of_resp = |resp: &serve::ClientResponse| -> u64 {
+        Value::parse(&resp.body_text())
+            .and_then(|v| v.get("model_version").and_then(Value::as_f64))
+            .expect("model_version") as u64
+    };
+    let resp = client
+        .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
+        .unwrap();
+    assert_eq!(version_of_resp(&resp), v2);
+
+    // Roll back: serving returns to v1 with its original version number.
+    let restored = registry.rollback("PhyNet").expect("one step of history");
+    assert_eq!(restored, v1);
+    let resp = client
+        .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
+        .unwrap();
+    assert_eq!(version_of_resp(&resp), v1);
+
+    // History is one-deep: a second rollback fails.
+    assert!(registry.rollback("PhyNet").is_err());
+
+    // Pins block promotion but never recovery.
+    registry.pin("PhyNet");
+    assert!(registry
+        .register("PhyNet", test_scout(), "blocked")
+        .is_err());
+    registry.unpin("PhyNet");
+    let v3 = registry
+        .register("PhyNet", test_scout(), "third")
+        .expect("register after unpin");
+    assert!(v3 > v2);
+    assert_eq!(registry.rollback("PhyNet").unwrap(), v1);
 }

@@ -7,6 +7,10 @@
 #                                   # the benches compiling and running
 #   scripts/check.sh --serve-smoke  # also boot `scoutctl serve` on an
 #                                   # ephemeral port and probe it end-to-end
+#   scripts/check.sh --lifecycle-smoke
+#                                   # also replay the continual-learning loop
+#                                   # (drift -> retrain -> promotion -> rollback)
+#                                   # and round-trip /v1/feedback on a live server
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -14,10 +18,12 @@ cd "$(dirname "$0")/.."
 
 bench_smoke=0
 serve_smoke=0
+lifecycle_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --serve-smoke) serve_smoke=1 ;;
+    --lifecycle-smoke) lifecycle_smoke=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -38,11 +44,18 @@ if [[ "$bench_smoke" == 1 ]]; then
   BENCH_SMOKE=1 cargo bench -p bench --bench serve
   echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench featcache) =="
   BENCH_SMOKE=1 cargo bench -p bench --bench featcache
+  echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench lifecycle) =="
+  BENCH_SMOKE=1 cargo bench -p bench --bench lifecycle
 fi
 
 if [[ "$serve_smoke" == 1 ]]; then
   echo "== serve smoke (scoutctl serve + probe) =="
   scripts/serve_smoke.sh
+fi
+
+if [[ "$lifecycle_smoke" == 1 ]]; then
+  echo "== lifecycle smoke (scoutctl lifecycle + serve --lifecycle) =="
+  scripts/lifecycle_smoke.sh
 fi
 
 echo "all checks passed"

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the continual-learning loop: replay
+# `scoutctl lifecycle` against the scripted drift and assert the whole
+# arc is visible in the event log — drift detection, retrain, gated
+# promotion, and (with an injected operator override) automatic
+# rollback. Also exercises the serve-side wiring: a server started with
+# --lifecycle must accept POST /v1/feedback for a served prediction.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p scoutctl
+
+echo "== lifecycle replay (drift -> retrain -> promotion) =="
+log=$(./target/release/scoutctl lifecycle)
+echo "$log"
+grep -q "drift armed" <<<"$log"
+grep -q "retrain started" <<<"$log"
+grep -q "promoted v" <<<"$log"
+grep -q "final serving version: v" <<<"$log"
+
+echo "== lifecycle replay (--inject-regression -> rollback) =="
+log=$(./target/release/scoutctl lifecycle --inject-regression)
+echo "$log"
+grep -q "injecting label-poisoned model" <<<"$log"
+grep -q "external promotion detected" <<<"$log"
+grep -q "rolled back to v" <<<"$log"
+
+echo "== serve --lifecycle feedback round trip =="
+serve_log=$(mktemp)
+./target/release/scoutctl serve --addr 127.0.0.1:0 --faults-per-day 1 \
+  --lifecycle --max-runtime-secs 120 >"$serve_log" 2>/dev/null &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+
+addr=""
+for _ in $(seq 1 120); do
+  addr=$(grep -o '127\.0\.0\.1:[0-9]*' "$serve_log" || true)
+  [[ -n "$addr" ]] && break
+  sleep 1
+done
+if [[ -z "$addr" ]]; then
+  echo "lifecycle smoke: server never printed its listen address" >&2
+  exit 1
+fi
+echo "server up on $addr"
+
+predict=$(./target/release/scoutctl probe --addr "$addr" \
+  --path /v1/scouts/PhyNet/predict \
+  --body '{"text":"Switch agg-3 in c1.dc1 reporting CRC errors and packet loss"}' \
+  --expect-field incident)
+echo "$predict"
+incident=$(grep -o '"incident": *[0-9]*' <<<"$predict" | grep -o '[0-9]*')
+./target/release/scoutctl probe --addr "$addr" --path /v1/feedback \
+  --body "{\"incident\":$incident,\"team\":\"PhyNet\"}" \
+  --expect-field label_responsible
+
+kill "$serve_pid" 2>/dev/null || true
+trap - EXIT
+echo "lifecycle smoke passed"
