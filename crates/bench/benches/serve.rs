@@ -86,6 +86,7 @@ fn run(
             batch_deadline: Duration::from_millis(2),
             queue_cap: 1024,
             max_connections: 256,
+            ..ServeConfig::default()
         },
     )
     .expect("bind ephemeral port");

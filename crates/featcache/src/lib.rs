@@ -340,7 +340,10 @@ impl FeatCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::counter("featcache.misses").inc();
-        let chunk = Arc::new(build());
+        let chunk = {
+            let _span = obs::span!("featcache.build");
+            Arc::new(build())
+        };
         if self.capacity_bytes == 0 {
             return chunk;
         }

@@ -46,6 +46,12 @@ impl LifecycleHandle {
                 let mut controller = LifecycleController::new(cfg, registry);
                 let mut horizon = SimTime::EPOCH;
                 while let Ok(event) = rx.recv() {
+                    // Continue the reporting request's trace across the
+                    // channel hop: ingestion (and any retrain it
+                    // triggers) shows up under the feedback request.
+                    let _trace = (event.trace_id != 0)
+                        .then(|| obs::TraceContext::adopt(event.trace_id).enter());
+                    let _span = obs::span!("lifecycle.feedback");
                     if event.time > horizon {
                         horizon = event.time;
                     }

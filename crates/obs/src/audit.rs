@@ -7,6 +7,7 @@
 //! which features drove it, and where the incident went.
 
 use crate::json::{Obj, Value};
+use crate::trace;
 
 /// One prediction, as written to the audit sink.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +32,11 @@ pub struct AuditRecord {
     /// id). Versioned records additionally enter the in-memory audit
     /// tail so ground-truth feedback can be joined back to them.
     pub model_version: u64,
+    /// Trace id of the request that produced this prediction, `0` when
+    /// the prediction ran outside a trace context (offline paths). Lets
+    /// an operator go from an audit line to the request's span tree in
+    /// the trace sink or flight recorder.
+    pub trace_id: u64,
 }
 
 impl AuditRecord {
@@ -44,7 +50,7 @@ impl AuditRecord {
             feats.push_str(&Obj::new().str("feature", name).num("weight", *w).finish());
         }
         feats.push(']');
-        Obj::new()
+        let mut obj = Obj::new()
             .str("type", "audit")
             .uint("incident", self.incident)
             .str("model", &self.model)
@@ -52,8 +58,11 @@ impl AuditRecord {
             .num("confidence", self.confidence)
             .raw("top_features", &feats)
             .str("outcome", &self.outcome)
-            .uint("model_version", self.model_version)
-            .finish()
+            .uint("model_version", self.model_version);
+        if self.trace_id != 0 {
+            obj = obj.str("trace", &trace::hex(self.trace_id));
+        }
+        obj.finish()
     }
 
     /// Decode one JSONL line; `None` for non-audit or malformed lines.
@@ -85,6 +94,12 @@ impl AuditRecord {
                 .get("model_version")
                 .and_then(Value::as_f64)
                 .unwrap_or(0.0) as u64,
+            // Absent in pre-tracing logs: treat as traceless.
+            trace_id: v
+                .get("trace")
+                .and_then(Value::as_str)
+                .and_then(trace::parse_hex)
+                .unwrap_or(0),
         })
     }
 
@@ -124,7 +139,27 @@ mod tests {
             ],
             outcome: "route-here".into(),
             model_version: 3,
+            trace_id: 0xdeadbeef,
         }
+    }
+
+    #[test]
+    fn trace_id_round_trips_as_hex() {
+        let rec = sample();
+        assert!(rec.to_json().contains(r#""trace":"00000000deadbeef""#));
+        assert_eq!(
+            AuditRecord::from_json(&rec.to_json()).unwrap().trace_id,
+            0xdeadbeef
+        );
+        let traceless = AuditRecord {
+            trace_id: 0,
+            ..sample()
+        };
+        assert!(!traceless.to_json().contains("\"trace\""));
+        assert_eq!(
+            AuditRecord::from_json(&traceless.to_json()).unwrap(),
+            traceless
+        );
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! The flight recorder: a bounded, lock-light ring of recent trace
+//! events, dumped to disk when something goes wrong.
+//!
+//! A serving incident is investigated *after* the fact; by then the
+//! interesting spans have long scrolled past any live view. The flight
+//! recorder keeps the last [`FLIGHT_CAPACITY`] span/alert events in
+//! memory at all times (one mutexed slot per ring position, an atomic
+//! cursor for placement — writers never contend on a global lock) and
+//! writes the whole ring out as JSONL:
+//!
+//! * on demand — `GET /v1/debug/flight`, `scoutctl flight`;
+//! * on anomaly — shed burst, deadline miss, model rollback, SLO burn
+//!   alert — when a dump directory is configured, debounced to at most
+//!   one dump per [`DUMP_DEBOUNCE`].
+//!
+//! Sampled spans enter the ring automatically (see
+//! [`crate::span::SpanGuard`]); [`FlightRecorder::alert`] records a
+//! structured `{"type":"alert",...}` event and triggers the dump path.
+
+use crate::json::Obj;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Ring capacity of the global recorder, in events.
+pub const FLIGHT_CAPACITY: usize = 8192;
+
+/// Minimum spacing between anomaly-triggered dumps.
+pub const DUMP_DEBOUNCE: Duration = Duration::from_secs(5);
+
+/// A bounded ring of recent JSONL event lines.
+pub struct FlightRecorder {
+    /// One slot per ring position: `(sequence, line)`. Writers lock only
+    /// the slot they land on, so concurrent recording threads contend
+    /// only when they collide modulo capacity.
+    slots: Vec<Mutex<Option<(u64, String)>>>,
+    /// Next sequence number; `seq % capacity` is the slot.
+    cursor: AtomicU64,
+    dump_dir: Mutex<Option<PathBuf>>,
+    last_dump: Mutex<Option<Instant>>,
+    dumps: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            dump_dir: Mutex::new(None),
+            last_dump: Mutex::new(None),
+            dumps: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide recorder ([`FLIGHT_CAPACITY`] events).
+    pub fn global() -> &'static FlightRecorder {
+        static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+        GLOBAL.get_or_init(|| FlightRecorder::new(FLIGHT_CAPACITY))
+    }
+
+    /// Number of events ever recorded (the ring holds the most recent
+    /// `capacity` of them).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Append one already-encoded JSONL event line.
+    pub fn record(&self, line: &str) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().unwrap() = Some((seq, line.to_string()));
+    }
+
+    /// Record a structured alert event and, when a dump directory is
+    /// configured, dump the ring (debounced). The alert always enters
+    /// the ring (anomalies are exactly what the recorder exists for);
+    /// the `flight.alerts.<kind>` counter records only while collection
+    /// is enabled.
+    pub fn alert(&self, kind: &str, detail: &str) {
+        crate::counter(&format!("flight.alerts.{kind}")).inc();
+        let line = Obj::new()
+            .str("type", "alert")
+            .str("kind", kind)
+            .str("detail", detail)
+            .uint("at_us", crate::span::now_us())
+            .finish();
+        self.record(&line);
+        self.maybe_dump(kind);
+    }
+
+    /// Set (or clear) the directory anomaly dumps are written to.
+    pub fn set_dump_dir(&self, dir: Option<PathBuf>) {
+        *self.dump_dir.lock().unwrap() = dir;
+    }
+
+    /// The ring's contents in recording order (oldest retained event
+    /// first).
+    pub fn snapshot(&self) -> Vec<String> {
+        let mut events: Vec<(u64, String)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap().clone())
+            .collect();
+        events.sort_by_key(|&(seq, _)| seq);
+        events.into_iter().map(|(_, line)| line).collect()
+    }
+
+    /// Write the ring as JSONL to `path`; returns the number of events
+    /// written.
+    pub fn dump_to(&self, path: &Path) -> std::io::Result<usize> {
+        let events = self.snapshot();
+        let mut out = String::with_capacity(events.iter().map(|l| l.len() + 1).sum());
+        for line in &events {
+            out.push_str(line);
+            out.push('\n');
+        }
+        std::fs::write(path, out)?;
+        Ok(events.len())
+    }
+
+    /// Anomaly-triggered dump: debounced, into the configured directory,
+    /// named `flight-<n>-<kind>.jsonl`. Silently a no-op when no
+    /// directory is set; I/O errors are swallowed (observability must
+    /// never take serving down).
+    fn maybe_dump(&self, kind: &str) {
+        let Some(dir) = self.dump_dir.lock().unwrap().clone() else {
+            return;
+        };
+        {
+            let mut last = self.last_dump.lock().unwrap();
+            if last.is_some_and(|at| at.elapsed() < DUMP_DEBOUNCE) {
+                return;
+            }
+            *last = Some(Instant::now());
+        }
+        let n = self.dumps.fetch_add(1, Ordering::Relaxed);
+        let safe_kind: String = kind
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let path = dir.join(format!("flight-{n}-{safe_kind}.jsonl"));
+        if self.dump_to(&path).is_ok() {
+            crate::global().metrics.add_counter("flight.dumps", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let fr = FlightRecorder::new(4);
+        for i in 0..10 {
+            fr.record(&format!("e{i}"));
+        }
+        assert_eq!(fr.snapshot(), vec!["e6", "e7", "e8", "e9"]);
+        assert_eq!(fr.recorded(), 10);
+    }
+
+    #[test]
+    fn snapshot_of_partial_ring() {
+        let fr = FlightRecorder::new(8);
+        fr.record("a");
+        fr.record("b");
+        assert_eq!(fr.snapshot(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn dump_writes_jsonl() {
+        let fr = FlightRecorder::new(4);
+        fr.record(r#"{"x":1}"#);
+        fr.record(r#"{"x":2}"#);
+        let path = std::env::temp_dir().join("obs-flight-dump-test.jsonl");
+        let n = fr.dump_to(&path).unwrap();
+        assert_eq!(n, 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"x\":1}\n{\"x\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn alert_dumps_into_dir_with_debounce() {
+        let dir = std::env::temp_dir().join(format!("obs-flight-alert-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let fr = FlightRecorder::new(16);
+        fr.set_dump_dir(Some(dir.clone()));
+        fr.alert("shed-burst", "42 sheds in 1s");
+        fr.alert("shed-burst", "again"); // debounced: no second file
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(files.len(), 1, "debounce must suppress the second dump");
+        assert!(files[0].starts_with("flight-0-shed-burst"));
+        let text = std::fs::read_to_string(dir.join(&files[0])).unwrap();
+        assert!(text.contains(r#""type":"alert""#));
+        assert!(text.contains(r#""kind":"shed-burst""#));
+        // Both alerts are in the ring even though only one dump fired.
+        assert_eq!(fr.snapshot().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn alert_without_dir_only_records() {
+        let fr = FlightRecorder::new(4);
+        fr.alert("rollback", "team=PhyNet");
+        assert_eq!(fr.snapshot().len(), 1);
+        assert!(fr.snapshot()[0].contains("rollback"));
+    }
+}

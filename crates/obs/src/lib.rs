@@ -50,15 +50,21 @@
 //! ```
 
 pub mod audit;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod sink;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 pub use audit::AuditRecord;
+pub use flight::FlightRecorder;
 pub use metrics::{Counter, Gauge, HistogramSummary, Registry};
-pub use sink::{JsonlSink, Sink};
+pub use sink::{JsonlSink, RotatingJsonlSink, Sink};
+pub use slo::{SloConfig, SloEngine, SloSpec, SloStatus};
 pub use span::SpanGuard;
+pub use trace::TraceContext;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -194,6 +200,14 @@ pub fn disable() {
 /// final summary after turning collection off).
 pub fn global() -> &'static Collector {
     collector()
+}
+
+/// Shorthand: the process-wide flight recorder (always usable; the ring
+/// records regardless of the enabled flag — anomaly forensics must not
+/// depend on metrics being on).
+#[inline]
+pub fn flight() -> &'static flight::FlightRecorder {
+    flight::FlightRecorder::global()
 }
 
 /// Shorthand: look up a versioned audit record by incident id in the

@@ -85,6 +85,23 @@ impl Histogram {
         self.count
     }
 
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of observations ≤ `v`, to bucket resolution (<1% relative
+    /// error: the whole bucket containing `v` counts as ≤ `v`). This is
+    /// the cumulative-bucket primitive behind Prometheus `_bucket{le=…}`
+    /// series and latency-SLO good counts.
+    pub fn count_le(&self, v: f64) -> u64 {
+        if v.is_nan() {
+            return 0;
+        }
+        let key = bucket_key(v);
+        self.buckets.range(..=key).map(|(_, &n)| n).sum()
+    }
+
     /// Fold another histogram into this one. Bucket counts add, so the
     /// percentile set of `a ∪ b` does not depend on which side was the
     /// accumulator.
@@ -321,6 +338,25 @@ impl Registry {
             .collect()
     }
 
+    /// Cumulative `(count ≤ le, total count)` of a histogram, if it
+    /// exists (the SLO engine's latency primitive).
+    pub fn histogram_count_le(&self, name: &str, le: f64) -> Option<(u64, u64)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .hists
+            .get(name)
+            .map(|h| (h.count_le(le), h.count()))
+    }
+
+    /// Visit every histogram under the registry lock, sorted by name
+    /// (the Prometheus renderer's zero-copy walk).
+    pub fn visit_histograms(&self, mut f: impl FnMut(&str, &Histogram)) {
+        for (name, h) in &self.inner.lock().unwrap().hists {
+            f(name, h);
+        }
+    }
+
     /// Snapshot summary of every non-empty histogram, sorted by name.
     pub fn histograms(&self) -> Vec<(String, HistogramSummary)> {
         self.inner
@@ -489,6 +525,28 @@ mod tests {
         assert_eq!(sa.max, sb.max);
         assert_eq!(sa.p50, sb.p50);
         assert_eq!(sa.p99, sb.p99);
+    }
+
+    #[test]
+    fn count_le_is_cumulative_and_ordered() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0, 16.0, -3.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count_le(f64::NEG_INFINITY), 0);
+        assert_eq!(h.count_le(-3.0), 1);
+        assert_eq!(h.count_le(0.0), 1);
+        assert_eq!(h.count_le(4.0), 4);
+        assert_eq!(h.count_le(100.0), 6);
+        assert_eq!(h.count_le(f64::INFINITY), 6);
+        assert_eq!(h.count_le(f64::NAN), 0);
+        // Monotone over an ascending ladder.
+        let mut prev = 0;
+        for le in [0.5, 1.5, 3.0, 6.0, 12.0, 24.0] {
+            let c = h.count_le(le);
+            assert!(c >= prev, "le={le}: {c} < {prev}");
+            prev = c;
+        }
     }
 
     #[test]

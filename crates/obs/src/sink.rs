@@ -1,10 +1,11 @@
-//! Event sinks and the human-readable metrics summary.
+//! Event sinks and the metrics renderers (human summary, JSONL,
+//! Prometheus text exposition).
 
 use crate::metrics::Registry;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 /// Something that accepts JSONL event lines.
@@ -43,6 +44,89 @@ impl Sink for JsonlSink {
 impl Drop for JsonlSink {
     fn drop(&mut self) {
         let _ = self.w.flush();
+    }
+}
+
+/// A JSONL file sink with size-based rotation: when the current file
+/// exceeds `max_bytes`, it is renamed to `<path>.1` (shifting `.1` →
+/// `.2`, …, dropping `.{keep}`) and a fresh file is started, so a
+/// long-running server's trace/audit logs are bounded at roughly
+/// `(keep + 1) × max_bytes` on disk. `keep = 0` truncates in place.
+pub struct RotatingJsonlSink {
+    path: PathBuf,
+    max_bytes: u64,
+    keep: usize,
+    written: u64,
+    w: Option<BufWriter<File>>,
+}
+
+impl RotatingJsonlSink {
+    /// Create (truncate) the active file at `path`, rotating once it
+    /// exceeds `max_bytes` and keeping at most `keep` rotated files.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        max_bytes: u64,
+        keep: usize,
+    ) -> std::io::Result<RotatingJsonlSink> {
+        let path = path.into();
+        let w = BufWriter::new(File::create(&path)?);
+        Ok(RotatingJsonlSink {
+            path,
+            max_bytes: max_bytes.max(1),
+            keep,
+            written: 0,
+            w: Some(w),
+        })
+    }
+
+    fn rotated(&self, i: usize) -> PathBuf {
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(format!(".{i}"));
+        PathBuf::from(name)
+    }
+
+    /// Shift the rotation chain and start a fresh active file. I/O
+    /// errors are swallowed (a failed rotation keeps appending to the
+    /// current file rather than losing events).
+    fn rotate(&mut self) {
+        if let Some(mut w) = self.w.take() {
+            let _ = w.flush();
+        }
+        if self.keep == 0 {
+            // No history requested: truncate in place.
+        } else {
+            let _ = std::fs::remove_file(self.rotated(self.keep));
+            for i in (1..self.keep).rev() {
+                let _ = std::fs::rename(self.rotated(i), self.rotated(i + 1));
+            }
+            let _ = std::fs::rename(&self.path, self.rotated(1));
+        }
+        self.w = File::create(&self.path).map(BufWriter::new).ok();
+        self.written = 0;
+    }
+}
+
+impl Sink for RotatingJsonlSink {
+    fn write_line(&mut self, line: &str) {
+        if let Some(w) = self.w.as_mut() {
+            let _ = writeln!(w, "{line}");
+        }
+        self.written += line.len() as u64 + 1;
+        if self.written >= self.max_bytes {
+            self.rotate();
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(w) = self.w.as_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl Drop for RotatingJsonlSink {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -163,6 +247,82 @@ pub fn render_metrics_jsonl(reg: &Registry) -> String {
     out
 }
 
+/// The fixed `le` ladder for Prometheus histogram exposition: 1–2.5–5
+/// per decade from 1e-3 to 5e9, wide enough for millisecond latencies
+/// at the low end and nanosecond span durations at the high end.
+/// Cumulative counts come from [`crate::metrics::Histogram::count_le`],
+/// so observations below the first bound still land in it and
+/// observations above the last appear only in `+Inf`.
+fn prometheus_ladder() -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(13 * 3);
+    for exp in -3i32..=9 {
+        for m in [1.0, 2.5, 5.0] {
+            bounds.push(m * 10f64.powi(exp));
+        }
+    }
+    bounds
+}
+
+/// Format a bucket bound the short way (`0.25`, `5`, `1000000`).
+fn fmt_le(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// Sanitize a dotted metric name into the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Render every metric in the Prometheus text exposition format:
+/// counters as `<name>_total`, gauges plain, histograms as cumulative
+/// `<name>_bucket{le="…"}` series over a fixed geometric ladder plus
+/// `_sum`/`_count`, each family preceded by `# HELP` and `# TYPE`.
+pub fn render_metrics_prometheus(reg: &Registry) -> String {
+    let mut out = String::new();
+    for (name, v) in reg.counters() {
+        let san = prometheus_name(&name);
+        let _ = writeln!(out, "# HELP {san}_total {name}");
+        let _ = writeln!(out, "# TYPE {san}_total counter");
+        let _ = writeln!(out, "{san}_total {v}");
+    }
+    for (name, v) in reg.gauges() {
+        let san = prometheus_name(&name);
+        let _ = writeln!(out, "# HELP {san} {name}");
+        let _ = writeln!(out, "# TYPE {san} gauge");
+        let _ = writeln!(out, "{san} {v}");
+    }
+    let ladder = prometheus_ladder();
+    reg.visit_histograms(|name, h| {
+        let san = prometheus_name(name);
+        let _ = writeln!(out, "# HELP {san} {name}");
+        let _ = writeln!(out, "# TYPE {san} histogram");
+        for &le in &ladder {
+            let _ = writeln!(
+                out,
+                "{san}_bucket{{le=\"{}\"}} {}",
+                fmt_le(le),
+                h.count_le(le)
+            );
+        }
+        let _ = writeln!(out, "{san}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{san}_sum {}", h.sum());
+        let _ = writeln!(out, "{san}_count {}", h.count());
+    });
+    out
+}
+
 /// Compact numeric formatting for gauges and plain histograms.
 fn fmt_value(v: f64) -> String {
     if v == 0.0 {
@@ -271,6 +431,99 @@ mod tests {
             "mean", "std", "min", "max", "p1", "p10", "p25", "p50", "p75", "p90", "p99",
         ] {
             assert!(hist.get(stat).is_some(), "histogram JSONL missing {stat}");
+        }
+    }
+
+    #[test]
+    fn rotating_sink_bounds_disk_and_keeps_n_files() {
+        let dir = std::env::temp_dir().join(format!("obs-rotate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        {
+            // Each line is 9 bytes on disk; rotate every ~30 bytes.
+            let mut sink = RotatingJsonlSink::create(&path, 30, 2).unwrap();
+            for i in 0..12 {
+                sink.write_line(&format!("{{\"i\":{i:03}}}"));
+            }
+            sink.flush();
+        }
+        let names = |d: &std::path::Path| {
+            let mut v: Vec<String> = std::fs::read_dir(d)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().into_string().unwrap())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            names(&dir),
+            vec!["trace.jsonl", "trace.jsonl.1", "trace.jsonl.2"],
+            "keep=2 retains exactly two rotated files"
+        );
+        // Newest lines are in the active file, older generations behind it.
+        let newest = std::fs::read_to_string(&path).unwrap();
+        let gen1 = std::fs::read_to_string(dir.join("trace.jsonl.1")).unwrap();
+        assert!(newest.is_empty() || newest.contains("011") || gen1.contains("011"));
+        assert!(
+            !names(&dir).contains(&"trace.jsonl.3".to_string()),
+            "generation 3 must have been dropped"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotating_sink_keep_zero_truncates_in_place() {
+        let dir = std::env::temp_dir().join(format!("obs-rotate0-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("audit.jsonl");
+        let mut sink = RotatingJsonlSink::create(&path, 20, 0).unwrap();
+        for i in 0..10 {
+            sink.write_line(&format!("{{\"i\":{i}}}"));
+        }
+        sink.flush();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        assert!(std::fs::metadata(&path).unwrap().len() <= 32);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_scrapable() {
+        let reg = Registry::new();
+        reg.add_counter("serve.http.200", 7);
+        reg.set_gauge("serve.queue.depth", 3.0);
+        for v in [0.5, 2.0, 40.0, 900.0] {
+            reg.observe("serve.latency.predict", v);
+        }
+        let text = render_metrics_prometheus(&reg);
+        assert!(text.contains("# TYPE serve_http_200_total counter"));
+        assert!(text.contains("serve_http_200_total 7"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge"));
+        assert!(text.contains("serve_queue_depth 3"));
+        assert!(text.contains("# TYPE serve_latency_predict histogram"));
+        assert!(text.contains("serve_latency_predict_count 4"));
+        assert!(text.contains("serve_latency_predict_sum 942.5"));
+        assert!(text.contains("serve_latency_predict_bucket{le=\"+Inf\"} 4"));
+        // Bucket series must be cumulative (monotone non-decreasing).
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("serve_latency_predict_bucket{le=\"") {
+                let count: u64 = rest.split("} ").nth(1).unwrap().parse().unwrap();
+                assert!(count >= last, "non-cumulative bucket: {line}");
+                last = count;
+                bucket_lines += 1;
+            }
+        }
+        assert!(bucket_lines > 10, "expected a full le ladder");
+        assert_eq!(last, 4, "+Inf bucket equals count");
+        // No raw dotted names may leak into series lines.
+        for line in text.lines() {
+            if !line.starts_with('#') && !line.is_empty() {
+                let series = line.split(['{', ' ']).next().unwrap();
+                assert!(!series.contains('.'), "unsanitized series name in: {line}");
+            }
         }
     }
 

@@ -124,6 +124,7 @@ fn audit_records_round_trip_one_per_prediction() {
             top_features: vec![(format!("feature-{i}"), i as f64 / 10.0)],
             outcome: "route-away".into(),
             model_version: 1 + i,
+            trace_id: 0x1000 + i,
         })
         .collect();
     for r in &records {
@@ -167,6 +168,7 @@ fn disabled_collection_emits_nothing() {
         top_features: Vec::new(),
         outcome: "legacy-process".into(),
         model_version: 1,
+        trace_id: 0,
     }
     .emit();
     assert!(h.trace.lock().unwrap().is_empty());

@@ -85,6 +85,10 @@ struct Group {
     done_cv: Condvar,
     /// Distinguishes groups so the caller only helps its own.
     id: u64,
+    /// Trace context captured on the calling thread; entered by every
+    /// worker running this group's chunks so per-item spans parent to
+    /// the caller's open span no matter which thread executes them.
+    ctx: Option<obs::TraceContext>,
 }
 
 impl Group {
@@ -92,6 +96,7 @@ impl Group {
     /// panic. After a panic, later items are skipped (but still counted)
     /// so the latch always releases.
     fn run_chunk(&self, start: usize, end: usize) {
+        let _trace = self.ctx.map(obs::trace::TraceContext::enter);
         let result = catch_unwind(AssertUnwindSafe(|| {
             for i in start..end {
                 if self.panicked.load(Ordering::Relaxed) {
@@ -344,6 +349,7 @@ impl Pool {
             done_mx: Mutex::new(false),
             done_cv: Condvar::new(),
             id: self.group_ids.fetch_add(1, Ordering::Relaxed) as u64,
+            ctx: obs::trace::capture(),
         });
 
         // ≈4 chunks per thread: coarse enough to amortize queue traffic,

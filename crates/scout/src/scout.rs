@@ -235,6 +235,26 @@ impl Scout {
         monitoring: &MonitoringSystem<'_>,
         cache: Option<&featcache::FeatCache>,
     ) -> PreparedCorpus {
+        Scout::prepare_traced_on(workers, config, build, examples, monitoring, cache, None)
+    }
+
+    /// [`Scout::prepare_cached_on`] with an optional per-example trace
+    /// context (index-aligned with `examples`). Each example's feature
+    /// construction runs under its own request context, so its spans —
+    /// including cache-miss `featcache.build` spans — attach to the
+    /// originating request's trace even when the batcher coalesced many
+    /// requests into one prepare call. Tracing never touches the
+    /// computation itself: prepared output is bit-identical with `ctxs`
+    /// present, absent, or partially populated.
+    pub fn prepare_traced_on(
+        workers: &pool::Pool,
+        config: &ScoutConfig,
+        build: &ScoutBuildConfig,
+        examples: &[Example],
+        monitoring: &MonitoringSystem<'_>,
+        cache: Option<&featcache::FeatCache>,
+        ctxs: Option<&[obs::TraceContext]>,
+    ) -> PreparedCorpus {
         let _span = obs::span!("scout.prepare");
         let topo = monitoring.topology();
         let layout = FeatureLayout::build(config, &build.disabled_datasets);
@@ -247,6 +267,12 @@ impl Scout {
             Featurizer::with_aggregation(&layout, monitoring, build.lookback, build.aggregation);
         featurizer.cache = cache;
         let items = workers.parallel_map(examples, |ordinal, ex| {
+            let _trace = ctxs
+                .and_then(|c| c.get(ordinal))
+                .copied()
+                .filter(|c| c.trace_id != 0)
+                .map(obs::TraceContext::enter);
+            let _span = ctxs.is_some().then(|| obs::span!("scout.prepare.item"));
             let excluded = config.excludes_incident(&ex.text);
             let extracted = if excluded {
                 ExtractedComponents::default()
@@ -502,15 +528,43 @@ impl Scout {
         monitoring: &MonitoringSystem<'_>,
         cache: Option<&featcache::FeatCache>,
     ) -> Vec<Prediction> {
+        self.predict_many_traced(inputs, monitoring, cache, None)
+    }
+
+    /// [`Scout::predict_many_cached`] with optional per-input trace
+    /// contexts (index-aligned with `inputs`, as handed over from the
+    /// serving batcher). Each input's featurization and classification
+    /// spans — and its audit record — carry that input's trace id.
+    /// Predictions are bit-identical whether `ctxs` is given or not.
+    pub fn predict_many_traced(
+        &self,
+        inputs: &[(&str, SimTime)],
+        monitoring: &MonitoringSystem<'_>,
+        cache: Option<&featcache::FeatCache>,
+        ctxs: Option<&[obs::TraceContext]>,
+    ) -> Vec<Prediction> {
         let _span = obs::span!("scout.predict_many");
         let examples: Vec<Example> = inputs
             .iter()
             .map(|&(text, t)| Example::new(text, t, false))
             .collect();
-        let corpus = Scout::prepare_cached(&self.config, &self.build, &examples, monitoring, cache);
+        let corpus = Scout::prepare_traced_on(
+            pool::Pool::global(),
+            &self.config,
+            &self.build,
+            &examples,
+            monitoring,
+            cache,
+            ctxs,
+        );
         // Classification is also pure per item, so it fans out too;
         // parallel_map preserves input order.
-        pool::Pool::global().parallel_map(&corpus.items, |_, item| {
+        pool::Pool::global().parallel_map(&corpus.items, |i, item| {
+            let _trace = ctxs
+                .and_then(|c| c.get(i))
+                .copied()
+                .filter(|c| c.trace_id != 0)
+                .map(obs::TraceContext::enter);
             self.predict_prepared(item, monitoring)
         })
     }
@@ -537,6 +591,7 @@ impl Scout {
             // Offline predictions are keyed by corpus ordinal, not a
             // served incident id; the server emits the versioned record.
             model_version: 0,
+            trace_id: obs::trace::current().map_or(0, |c| c.trace_id),
         }
         .emit();
     }

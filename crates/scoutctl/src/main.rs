@@ -89,6 +89,7 @@ fn run(raw: Vec<String>) -> Result<(), ArgError> {
         Some("serve") => serve_cmd(&args),
         Some("loadgen") => loadgen(&args),
         Some("probe") => probe(&args),
+        Some("flight") => flight_cmd(&args),
         Some(other) => Err(ArgError(format!("unknown command '{other}'"))),
     };
     if observing {
@@ -108,18 +109,34 @@ fn setup_obs(args: &Args) -> Result<bool, ArgError> {
     if !observing {
         return Ok(false);
     }
+    let rotate_mb = args.get_parsed("rotate-mb", 0u64)?;
+    let rotate_keep = args.get_parsed("rotate-keep", 3usize)?;
     if let Some(path) = args.get("trace") {
-        let sink = obs::JsonlSink::create(path)
+        let sink = jsonl_sink(path, rotate_mb, rotate_keep)
             .map_err(|e| ArgError(format!("cannot create trace file {path}: {e}")))?;
-        obs::global().set_trace_sink(Some(Box::new(sink)));
+        obs::global().set_trace_sink(Some(sink));
     }
     if let Some(path) = args.get("audit") {
-        let sink = obs::JsonlSink::create(path)
+        let sink = jsonl_sink(path, rotate_mb, rotate_keep)
             .map_err(|e| ArgError(format!("cannot create audit file {path}: {e}")))?;
-        obs::global().set_audit_sink(Some(Box::new(sink)));
+        obs::global().set_audit_sink(Some(sink));
     }
     obs::enable();
     Ok(true)
+}
+
+/// A plain JSONL sink, or a size-rotated one when `--rotate-mb` is set.
+fn jsonl_sink(
+    path: &str,
+    rotate_mb: u64,
+    rotate_keep: usize,
+) -> std::io::Result<Box<dyn obs::Sink>> {
+    if rotate_mb > 0 {
+        let sink = obs::RotatingJsonlSink::create(path, rotate_mb * 1024 * 1024, rotate_keep)?;
+        Ok(Box::new(sink))
+    } else {
+        Ok(Box::new(obs::JsonlSink::create(path)?))
+    }
 }
 
 /// Flush sinks and write the metrics JSONL report, if requested.
@@ -151,6 +168,7 @@ commands:
   serve                    run the online incident-routing HTTP server
   loadgen                  drive a running server, print throughput and latency
   probe                    send one request to a running server (CI smoke)
+  flight                   fetch a running server's flight-recorder ring (JSONL)
 
 options:
   --help, -h               print this help
@@ -188,6 +206,11 @@ serve options:
   --feat-cache-mb MB       per-model feature-chunk cache budget (default 64;
                            0 disables caching)
   --max-runtime-secs S     stop after S seconds (default: run until killed)
+  --trace-sample N         flight-record 1 in N minted traces (default 64;
+                           0 = never, 1 = every request; an incoming
+                           X-Trace-Id header is always recorded)
+  --flight-dir DIR         dump the flight-recorder ring into DIR on anomaly
+                           (shed burst, deadline miss, rollback, SLO burn)
 
 loadgen options:
   --addr HOST:PORT         server to drive (required)
@@ -202,12 +225,20 @@ probe options:
   --path PATH              endpoint (default /healthz)
   --body JSON              send a POST with this body instead of a GET
   --expect-field NAME      fail unless the JSON response has this field
+  --trace-id HEX           send X-Trace-Id (always sampled; echoed back)
+
+flight options:
+  --addr HOST:PORT         server whose flight ring to fetch (required)
+  --out FILE               write the JSONL dump to FILE instead of stdout
 
 observability (any command):
   --trace FILE             write span events (JSONL) to FILE
   --metrics FILE           write final counter/gauge/histogram values (JSONL)
   --audit FILE             write one prediction-audit record (JSONL) per
                            Scout prediction
+  --rotate-mb MB           rotate --trace/--audit files at MB megabytes
+                           (default 0 = never rotate)
+  --rotate-keep N          rotated generations to keep (default 3)
 ";
 
 fn check_config(args: &Args) -> Result<(), ArgError> {
@@ -699,6 +730,8 @@ fn serve_cmd(args: &Args) -> Result<(), ArgError> {
         ),
         queue_cap: args.get_parsed("queue-cap", 64usize)?,
         max_connections: args.get_parsed("max-connections", 128usize)?,
+        trace_sample: args.get_parsed("trace-sample", 64u64)?,
+        flight_dir: args.get("flight-dir").map(std::path::PathBuf::from),
     };
     let server = Server::start(engine, addr, config)
         .map_err(|e| ArgError(format!("cannot bind {addr}: {e}")))?;
@@ -795,6 +828,41 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// `scoutctl flight`: fetch a running server's flight-recorder ring
+/// (`GET /v1/debug/flight`) and print it — or write it to `--out` — as
+/// JSONL, newest event last.
+fn flight_cmd(args: &Args) -> Result<(), ArgError> {
+    use serve::Client;
+
+    let addr = args
+        .get("addr")
+        .ok_or_else(|| ArgError("flight needs --addr HOST:PORT".into()))?;
+    let mut client = Client::connect(addr).map_err(|e| ArgError(e.to_string()))?;
+    let resp = client
+        .get("/v1/debug/flight")
+        .map_err(|e| ArgError(e.to_string()))?;
+    if !resp.is_success() {
+        return Err(ArgError(format!(
+            "/v1/debug/flight answered {}",
+            resp.status
+        )));
+    }
+    let text = resp.body_text();
+    let events = text.lines().filter(|l| !l.trim().is_empty()).count();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, text.as_bytes())
+                .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+            eprintln!("[scoutctl] {events} flight event(s) written to {path}");
+        }
+        None => {
+            print!("{text}");
+            eprintln!("[scoutctl] {events} flight event(s)");
+        }
+    }
+    Ok(())
+}
+
 /// `scoutctl probe`: one request, human-readable result, non-zero exit on
 /// failure. Lets CI smoke-test the server without curl.
 fn probe(args: &Args) -> Result<(), ArgError> {
@@ -806,13 +874,22 @@ fn probe(args: &Args) -> Result<(), ArgError> {
         .ok_or_else(|| ArgError("probe needs --addr HOST:PORT".into()))?;
     let path = args.get("path").unwrap_or("/healthz");
     let mut client = Client::connect(addr).map_err(|e| ArgError(e.to_string()))?;
+    // An explicit trace id makes the request always-sampled, so its
+    // spans are recoverable from `scoutctl flight` afterwards.
+    let trace_id = args.get("trace-id");
+    let headers: Vec<(&str, &str)> = trace_id.iter().map(|id| ("X-Trace-Id", *id)).collect();
     let resp = match args.get("body") {
-        Some(body) => client.post_json(path, body),
-        None => client.get(path),
+        Some(body) => client.request("POST", path, &headers, body.as_bytes()),
+        None => client.request("GET", path, &headers, b""),
     }
     .map_err(|e| ArgError(e.to_string()))?;
     let text = resp.body_text();
     println!("{} {path}: {}", status_line(resp.status), text.trim());
+    if trace_id.is_some() {
+        if let Some(echoed) = resp.header("X-Trace-Id") {
+            eprintln!("trace {echoed}");
+        }
+    }
     if !resp.is_success() {
         return Err(ArgError(format!("{path} answered {}", resp.status)));
     }

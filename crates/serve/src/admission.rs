@@ -13,12 +13,21 @@
 //! `serve.shed` (counter) counts rejections.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Sheds within [`BURST_WINDOW`] of each other that constitute a burst
+/// worth a flight-recorder alert.
+const BURST_THRESHOLD: u32 = 8;
+/// How close together sheds must be to count as one burst.
+const BURST_WINDOW: Duration = Duration::from_secs(1);
 
 #[derive(Debug)]
 struct Inner {
     outstanding: AtomicUsize,
     cap: usize,
+    /// Shed-burst detector state: window start and sheds seen in it.
+    burst: Mutex<(Option<Instant>, u32)>,
 }
 
 /// The admission gate. Cheap to clone (shared state).
@@ -41,6 +50,7 @@ impl Admission {
             inner: Arc::new(Inner {
                 outstanding: AtomicUsize::new(0),
                 cap: cap.max(1),
+                burst: Mutex::new((None, 0)),
             }),
         }
     }
@@ -51,6 +61,7 @@ impl Admission {
         loop {
             if cur >= self.inner.cap {
                 obs::counter("serve.shed").inc();
+                self.note_shed();
                 return None;
             }
             match self.inner.outstanding.compare_exchange_weak(
@@ -67,6 +78,29 @@ impl Admission {
                 }
                 Err(seen) => cur = seen,
             }
+        }
+    }
+
+    /// Count one shed toward burst detection; a burst of
+    /// [`BURST_THRESHOLD`] sheds inside [`BURST_WINDOW`] raises a
+    /// `shed-burst` flight-recorder alert (once per window).
+    fn note_shed(&self) {
+        let mut burst = self.inner.burst.lock().unwrap();
+        let now = Instant::now();
+        match burst.0 {
+            Some(start) if now.duration_since(start) < BURST_WINDOW => {
+                burst.1 += 1;
+                if burst.1 == BURST_THRESHOLD {
+                    obs::flight().alert(
+                        "shed-burst",
+                        &format!(
+                            "{BURST_THRESHOLD} sheds within 1s at cap {}",
+                            self.inner.cap
+                        ),
+                    );
+                }
+            }
+            _ => *burst = (Some(now), 1),
         }
     }
 

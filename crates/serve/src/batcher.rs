@@ -40,6 +40,10 @@ pub struct Job {
     pub permit: Option<Permit>,
     /// Where the answer goes. `sync_channel(1)` so the send never blocks.
     pub reply: SyncSender<Result<Answer, PredictError>>,
+    /// The originating request's trace context (span id = the request's
+    /// root span). The batch span links it, and the per-item predict work
+    /// runs under it so its spans land in the request's trace.
+    pub ctx: obs::TraceContext,
 }
 
 /// A completed prediction, attributable to exactly one model version.
@@ -185,10 +189,24 @@ fn run_worker(
         match batch {
             Some(jobs) => run_batch(jobs, &registry, &workload),
             None => {
-                // Shutdown: fail whatever is still queued.
-                let mut state = queue.state.lock().unwrap();
-                for job in state.jobs.drain(..) {
-                    let _ = job.reply.try_send(Err(PredictError::ShuttingDown));
+                // Shutdown: fail whatever is still queued. The drain span
+                // links every abandoned request so no trace dead-ends
+                // without a recorded cause.
+                let drained: Vec<Job> = {
+                    let mut state = queue.state.lock().unwrap();
+                    state.jobs.drain(..).collect()
+                };
+                if !drained.is_empty() {
+                    let mut span = obs::span!("serve.batch.drain");
+                    for job in &drained {
+                        if job.ctx.trace_id != 0 {
+                            span.add_link(job.ctx);
+                        }
+                    }
+                    obs::counter("serve.batch.drained").add(drained.len() as u64);
+                    for job in drained {
+                        let _ = job.reply.try_send(Err(PredictError::ShuttingDown));
+                    }
                 }
                 return;
             }
@@ -242,19 +260,35 @@ fn collect_batch(queue: &Queue, batch_size: usize, batch_deadline: Duration) -> 
 }
 
 fn run_batch(jobs: Vec<Job>, registry: &ModelRegistry, workload: &Workload) {
-    let _span = obs::span!("serve.batch");
+    // The batch span is the fan-in point: it runs outside any single
+    // request's context but *links* every request it coalesced.
+    let mut span = obs::span!("serve.batch");
+    for job in &jobs {
+        if job.ctx.trace_id != 0 {
+            span.add_link(job.ctx);
+        }
+    }
+    let _span = span;
     obs::observe("serve.batch.occupancy", jobs.len() as f64);
 
     // Drop expired jobs before doing any work on them.
     let now = Instant::now();
     let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
+    let mut expired = 0u64;
     for job in jobs {
         if job.deadline.is_some_and(|d| now >= d) {
             obs::counter("serve.deadline.expired").inc();
+            expired += 1;
             let _ = job.reply.try_send(Err(PredictError::DeadlineExpired));
         } else {
             live.push(job);
         }
+    }
+    if expired > 0 {
+        obs::flight().alert(
+            "deadline-miss",
+            &format!("{expired} job(s) expired in queue"),
+        );
     }
     if live.is_empty() {
         return;
@@ -288,12 +322,14 @@ fn run_batch(jobs: Vec<Job>, registry: &ModelRegistry, workload: &Workload) {
 
 fn run_group(group: Vec<Job>, entry: &Arc<ModelEntry>, monitoring: &MonitoringSystem<'_>) {
     let inputs: Vec<(&str, SimTime)> = group.iter().map(|j| (j.text.as_str(), j.time)).collect();
+    let ctxs: Vec<obs::TraceContext> = group.iter().map(|j| j.ctx).collect();
     // The per-entry chunk cache makes repeated predicts over overlapping
     // look-back windows skip telemetry generation; the monitoring epoch in
     // the chunk key keeps it exact across batches.
-    let predictions = entry
-        .scout
-        .predict_many_cached(&inputs, monitoring, Some(&entry.feat_cache));
+    let predictions =
+        entry
+            .scout
+            .predict_many_traced(&inputs, monitoring, Some(&entry.feat_cache), Some(&ctxs));
     for (job, prediction) in group.into_iter().zip(predictions) {
         let _ = job.reply.try_send(Ok(Answer {
             team: entry.team.clone(),

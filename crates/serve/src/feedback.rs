@@ -156,6 +156,9 @@ pub struct FeedbackEvent {
     pub label: bool,
     /// Simulation time of the prediction (orders the labeled stream).
     pub time: SimTime,
+    /// Trace id of the feedback request (0 = untraced), so the lifecycle
+    /// worker's ingestion spans join the reporting request's trace.
+    pub trace_id: u64,
 }
 
 /// Receiver for labeled feedback (the lifecycle controller). Called on

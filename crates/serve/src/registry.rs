@@ -174,6 +174,7 @@ impl ModelRegistry {
         slot.current = prior;
         drop(models);
         obs::counter("serve.models.rollbacks").inc();
+        obs::flight().alert("rollback", &format!("team={team} restored v{version}"));
         Self::publish_version_gauge(team, version);
         Ok(version)
     }

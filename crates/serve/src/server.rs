@@ -8,8 +8,10 @@
 //! | Endpoint | Behaviour |
 //! |---|---|
 //! | `GET /healthz` | liveness: 200 as long as the process serves |
-//! | `GET /readyz` | readiness: 200 once ≥1 model is registered, else 503 |
-//! | `GET /metrics` | the obs registry as JSONL |
+//! | `GET /readyz` | readiness: 200 once ≥1 model is registered, else 503; includes SLO burn detail |
+//! | `GET /metrics` | the obs registry in Prometheus exposition format |
+//! | `GET /metrics.json` | the obs registry as JSONL |
+//! | `GET /v1/debug/flight` | the flight recorder's ring as JSONL |
 //! | `POST /v1/scouts/<team>/predict` | one Scout's verdict for `{"text", "time_minutes"?}` |
 //! | `POST /v1/route` | Scout-Master decision over every registered Scout |
 //! | `POST /v1/models/reload` | atomic hot-swap from the model directory |
@@ -17,6 +19,12 @@
 //!
 //! Shedding is `503` + `Retry-After: 1`; a lapsed `X-Deadline-Ms` is
 //! `504`; an unknown team is `404`.
+//!
+//! Every request runs under a [`obs::TraceContext`]: a client-supplied
+//! `X-Trace-Id` is adopted (and always sampled into the flight
+//! recorder), otherwise one is minted under the configured 1-in-N
+//! policy; the id is echoed back in the `X-Trace-Id` response header
+//! either way.
 
 use crate::admission::Admission;
 use crate::batcher::{Answer, BatchConfig, Batcher, Job, PredictError};
@@ -26,6 +34,7 @@ use crate::registry::ModelRegistry;
 use cloudsim::{SimTime, Team};
 use incident::Workload;
 use obs::json::{escape_into, Obj, Value};
+use obs::TraceContext;
 use scout::Prediction;
 use scoutmaster::{MasterDecision, ScoutAnswer, ScoutMaster};
 use std::io::BufReader;
@@ -97,6 +106,13 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Maximum concurrently-served connections.
     pub max_connections: usize,
+    /// Flight-recorder sampling for minted traces: 1-in-N requests
+    /// (`0` = never, `1` = every request). Client-supplied `X-Trace-Id`
+    /// requests are always sampled.
+    pub trace_sample: u64,
+    /// Directory for anomaly-triggered flight-recorder dumps (`None` =
+    /// dump only on demand via `GET /v1/debug/flight`).
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -106,31 +122,63 @@ impl Default for ServeConfig {
             batch_deadline: Duration::from_millis(2),
             queue_cap: 64,
             max_connections: 128,
+            trace_sample: 64,
+            flight_dir: None,
         }
     }
+}
+
+/// The serving plane's default objectives: 99% of predicts under 250 ms,
+/// 99.9% of responses non-5xx.
+fn default_slos() -> Vec<obs::SloSpec> {
+    vec![
+        obs::SloSpec {
+            name: "predict-latency".into(),
+            objective: obs::slo::Objective::Latency {
+                histogram: "serve.latency.predict".into(),
+                threshold: 250.0,
+                target: 0.99,
+            },
+        },
+        obs::SloSpec {
+            name: "availability".into(),
+            objective: obs::slo::Objective::Availability {
+                total_prefix: "serve.http.".into(),
+                bad_prefix: "serve.http.5".into(),
+                target: 0.999,
+            },
+        },
+    ]
 }
 
 struct Shared {
     engine: Engine,
     batcher: Batcher,
     admission: Admission,
+    slo: Arc<obs::SloEngine>,
     stop: AtomicBool,
     connections: AtomicUsize,
     max_connections: usize,
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`]) stops
-/// the acceptor and the batcher.
+/// the acceptor, the batcher, and the SLO sampler.
 pub struct Server {
     addr: std::net::SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    slo_sampler: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0`) and start serving.
     pub fn start(engine: Engine, addr: &str, config: ServeConfig) -> std::io::Result<Server> {
         obs::enable();
+        obs::trace::set_sample_every(config.trace_sample);
+        if let Some(dir) = &config.flight_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        obs::flight().set_dump_dir(config.flight_dir.clone());
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let batcher = Batcher::start(
@@ -145,6 +193,10 @@ impl Server {
             engine,
             batcher,
             admission: Admission::new(config.queue_cap),
+            slo: Arc::new(obs::SloEngine::new(
+                default_slos(),
+                obs::SloConfig::default(),
+            )),
             stop: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             max_connections: config.max_connections.max(1),
@@ -154,10 +206,16 @@ impl Server {
             .name("serve-accept".into())
             .spawn(move || accept_loop(listener, accept_shared))
             .expect("spawn acceptor thread");
+        let slo_shared = Arc::clone(&shared);
+        let slo_sampler = std::thread::Builder::new()
+            .name("serve-slo".into())
+            .spawn(move || slo_loop(slo_shared))
+            .expect("spawn slo sampler thread");
         Ok(Server {
             addr: local,
             shared,
             acceptor: Some(acceptor),
+            slo_sampler: Some(slo_sampler),
         })
     }
 
@@ -190,6 +248,24 @@ impl Server {
         let deadline = Instant::now() + Duration::from_secs(5);
         while self.shared.admission.outstanding() > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
+        }
+        if let Some(sampler) = self.slo_sampler.take() {
+            sampler.join().ok();
+        }
+    }
+}
+
+/// Periodic SLO evaluation against the global metrics registry. Samples
+/// about once a second, polling the stop flag at 100 ms so shutdown is
+/// prompt.
+fn slo_loop(shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        shared.slo.sample(&obs::global().metrics);
+        for _ in 0..10 {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
         }
     }
 }
@@ -249,12 +325,24 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 let keep_alive = req.keep_alive();
                 let started = Instant::now();
                 let endpoint = endpoint_label(&req.path);
-                let response = dispatch(&req, shared);
+                // Adopt the caller's trace id (always sampled: an explicit
+                // id is a request to record) or mint one under the 1-in-N
+                // policy; the root span anchors everything downstream.
+                let ctx = match req.header("x-trace-id").and_then(obs::trace::parse_hex) {
+                    Some(id) => TraceContext::adopt(id),
+                    None => TraceContext::mint(),
+                };
+                let response = {
+                    let _trace = ctx.enter();
+                    let _root = obs::span!("serve.request");
+                    dispatch(&req, shared)
+                };
                 obs::observe(
                     &format!("serve.latency.{endpoint}"),
                     started.elapsed().as_secs_f64() * 1e3,
                 );
                 obs::counter(&format!("serve.http.{}", response.status)).inc();
+                let response = response.with_header("X-Trace-Id", &obs::trace::hex(ctx.trace_id));
                 if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
                     return;
                 }
@@ -268,7 +356,8 @@ fn endpoint_label(path: &str) -> &'static str {
     match path {
         "/healthz" => "healthz",
         "/readyz" => "readyz",
-        "/metrics" => "metrics",
+        "/metrics" | "/metrics.json" => "metrics",
+        "/v1/debug/flight" => "flight",
         "/v1/route" => "route",
         "/v1/models/reload" => "reload",
         "/v1/feedback" => "feedback",
@@ -281,8 +370,20 @@ fn dispatch(req: &Request, shared: &Shared) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, Obj::new().str("status", "ok").finish()),
         ("GET", "/readyz") => readyz(shared),
-        ("GET", "/metrics") => {
+        ("GET", "/metrics") => Response::text(
+            200,
+            obs::sink::render_metrics_prometheus(&obs::global().metrics),
+        ),
+        ("GET", "/metrics.json") => {
             Response::text(200, obs::sink::render_metrics_jsonl(&obs::global().metrics))
+        }
+        ("GET", "/v1/debug/flight") => {
+            let mut out = String::new();
+            for line in obs::flight().snapshot() {
+                out.push_str(&line);
+                out.push('\n');
+            }
+            Response::text(200, out)
         }
         ("POST", "/v1/route") => route(req, shared),
         ("POST", "/v1/models/reload") => reload(shared),
@@ -333,6 +434,7 @@ fn readyz(shared: &Shared) -> Response {
                 .str("status", "ready")
                 .raw("teams", &json_str_array(&teams))
                 .raw("models", &models)
+                .raw("slo", &shared.slo.render_json())
                 .finish(),
         )
     }
@@ -406,7 +508,11 @@ fn predict(req: &Request, team: &str, shared: &Shared) -> Response {
         Ok(d) => d,
         Err(e) => return Response::from_error(&e),
     };
-    let Some(permit) = shared.admission.try_admit() else {
+    let admitted = {
+        let _span = obs::span!("serve.admission");
+        shared.admission.try_admit()
+    };
+    let Some(permit) = admitted else {
         return shed_response();
     };
     let (reply_tx, reply_rx) = sync_channel(1);
@@ -417,6 +523,8 @@ fn predict(req: &Request, team: &str, shared: &Shared) -> Response {
         deadline,
         permit: Some(permit),
         reply: reply_tx,
+        // Handoff: the job's spans parent to this request's root span.
+        ctx: obs::trace::capture().unwrap_or(TraceContext::NONE),
     };
     if shared.batcher.submit(job).is_err() {
         return predict_error_response(&PredictError::ShuttingDown);
@@ -459,6 +567,7 @@ fn record_served(answer: &Answer, text: &str, time: SimTime, shared: &Shared) ->
         }
         .into(),
         model_version: answer.model_version,
+        trace_id: obs::trace::current().map_or(0, |c| c.trace_id),
     }
     .emit();
     incident
@@ -518,6 +627,9 @@ fn feedback(req: &Request, shared: &Shared) -> Response {
         predicted: served.predicted_responsible,
         label: resolving_team.eq_ignore_ascii_case(&served.team),
         time: served.time,
+        // The feedback request's own trace follows the labeled example
+        // into the lifecycle worker.
+        trace_id: obs::trace::current().map_or(0, |c| c.trace_id),
     };
     obs::counter("serve.feedback.accepted").inc();
     let response = Obj::new()
@@ -549,9 +661,14 @@ fn route(req: &Request, shared: &Shared) -> Response {
     }
     // One admission slot covers the whole fan-out: a routing request is
     // one unit of operator-facing work regardless of Scout count.
-    let Some(_permit) = shared.admission.try_admit() else {
+    let admitted = {
+        let _span = obs::span!("serve.admission");
+        shared.admission.try_admit()
+    };
+    let Some(_permit) = admitted else {
         return shed_response();
     };
+    let ctx = obs::trace::capture().unwrap_or(TraceContext::NONE);
     let mut pending = Vec::with_capacity(teams.len());
     for team in &teams {
         let (reply_tx, reply_rx) = sync_channel(1);
@@ -562,6 +679,7 @@ fn route(req: &Request, shared: &Shared) -> Response {
             deadline,
             permit: None,
             reply: reply_tx,
+            ctx,
         };
         if shared.batcher.submit(job).is_err() {
             return predict_error_response(&PredictError::ShuttingDown);

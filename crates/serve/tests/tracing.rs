@@ -1,0 +1,322 @@
+//! End-to-end causal tracing through the serving plane.
+//!
+//! Two guarantees are exercised against a live server:
+//!
+//! 1. A predict carrying `X-Trace-Id` yields ONE connected trace
+//!    recoverable from the flight recorder: the HTTP root span, the
+//!    admission span under it, the batch span *linked* to the request,
+//!    and the per-item predict/prepare/featcache spans — plus the same
+//!    trace id echoed in the response header and stamped on the audit
+//!    record.
+//! 2. No span is ever orphaned: under concurrent traced predicts racing
+//!    a model hot-swap and a shutdown drain, every captured span's
+//!    parent chain resolves to the trace root.
+
+use cloudsim::{SimDuration, Team};
+use incident::{Workload, WorkloadConfig};
+use ml::forest::ForestConfig;
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use obs::json::Value;
+use obs::span::SpanEvent;
+use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
+use serve::{Client, Engine, ModelRegistry, ServeConfig, Server};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+fn small_workload() -> Arc<Workload> {
+    static WORLD: OnceLock<Arc<Workload>> = OnceLock::new();
+    WORLD
+        .get_or_init(|| {
+            let mut config = WorkloadConfig {
+                seed: 7,
+                ..WorkloadConfig::default()
+            };
+            config.faults.faults_per_day = 2.0;
+            config.faults.horizon = SimDuration::days(20);
+            Arc::new(Workload::generate(config))
+        })
+        .clone()
+}
+
+fn trained_model_text() -> &'static str {
+    static TEXT: OnceLock<String> = OnceLock::new();
+    TEXT.get_or_init(|| {
+        let world = small_workload();
+        let mon =
+            MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+        let examples: Vec<Example> = world
+            .incidents
+            .iter()
+            .map(|i| Example::new(i.text(), i.created_at, i.owner == Team::PhyNet))
+            .collect();
+        let config = ScoutConfig::phynet();
+        let build = ScoutBuildConfig {
+            forest: ForestConfig {
+                n_trees: 8,
+                ..ForestConfig::default()
+            },
+            cluster_train_cap: 10,
+            ..ScoutBuildConfig::default()
+        };
+        let corpus = Scout::prepare(&config, &build, &examples, &mon);
+        let train = corpus.trainable_indices();
+        let scout = Scout::train_prepared(config, build, &corpus, &train, &mon);
+        scout.to_text()
+    })
+}
+
+fn test_scout() -> Scout {
+    Scout::from_text(trained_model_text()).expect("cached model text round-trips")
+}
+
+fn start_server(config: ServeConfig) -> Server {
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .register("PhyNet", test_scout(), "test")
+        .expect("register test model");
+    let engine = Engine::new(registry, small_workload());
+    Server::start(engine, "127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(&server.addr().to_string()).expect("connect")
+}
+
+const INCIDENT: &str = r#"{"text":"Switch agg-3 in c1.dc1 reporting CRC errors and packet loss"}"#;
+
+/// Spans currently in the flight ring, parsed (alert lines skipped).
+fn flight_spans(client: &mut Client) -> Vec<SpanEvent> {
+    let resp = client.get("/v1/debug/flight").expect("flight endpoint");
+    assert_eq!(resp.status, 200);
+    resp.body_text()
+        .lines()
+        .filter_map(SpanEvent::from_json)
+        .collect()
+}
+
+/// A client-supplied trace id must thread the whole path: HTTP root →
+/// admission → (link) batch → per-item predict/prepare/featcache — all
+/// recoverable from the flight recorder with the same trace id, which
+/// the response header echoes and the audit record carries.
+#[test]
+fn traced_predict_yields_one_connected_trace() {
+    let server = start_server(ServeConfig::default());
+    let mut client = connect(&server);
+
+    let trace_id: u64 = 0xfeed_c0de_1234;
+    let resp = client
+        .request(
+            "POST",
+            "/v1/scouts/PhyNet/predict",
+            &[("X-Trace-Id", "feedc0de1234")],
+            INCIDENT.as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+
+    // The response echoes the trace id it served under.
+    let echoed = resp.header("X-Trace-Id").expect("X-Trace-Id echoed");
+    assert_eq!(obs::trace::parse_hex(echoed), Some(trace_id));
+
+    // The audit record carries the same trace id as the HTTP header.
+    let incident = Value::parse(&resp.body_text())
+        .and_then(|v| v.get("incident").and_then(Value::as_f64))
+        .expect("incident id in predict response") as u64;
+    let audit = obs::audit_lookup(incident).expect("audit record for served predict");
+    assert_eq!(audit.trace_id, trace_id, "audit trace != header trace");
+
+    // The batch span closes on the batcher thread just after the
+    // response is answered; poll briefly so the assertion isn't racing
+    // a microsecond-scale guard drop.
+    let mut spans = Vec::new();
+    for _ in 0..100 {
+        spans = flight_spans(&mut client);
+        let linked = spans
+            .iter()
+            .any(|s| s.links.iter().any(|&(t, _)| t == trace_id));
+        if linked && spans.iter().any(|s| s.trace == trace_id) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let ours: Vec<&SpanEvent> = spans.iter().filter(|s| s.trace == trace_id).collect();
+    let names: BTreeSet<&str> = ours.iter().map(|s| s.name.as_str()).collect();
+    for expected in [
+        "serve.request",
+        "serve.admission",
+        "scout.prepare.item",
+        "scout.predict",
+    ] {
+        assert!(
+            names.contains(expected),
+            "span {expected:?} missing from trace; got {names:?}"
+        );
+    }
+
+    // Exactly one root, and admission hangs off it.
+    let roots: Vec<_> = ours
+        .iter()
+        .filter(|s| s.name == "serve.request" && s.parent == 0)
+        .collect();
+    assert_eq!(roots.len(), 1, "expected one serve.request root");
+    let root_id = roots[0].id;
+    assert!(
+        ours.iter()
+            .any(|s| s.name == "serve.admission" && s.parent == root_id),
+        "admission span not parented to the HTTP root"
+    );
+
+    // The batch fan-in span links back to the request's context.
+    assert!(
+        spans.iter().any(|s| s.name == "serve.batch"
+            && s.links.iter().any(|&(t, p)| t == trace_id && p == root_id)),
+        "no serve.batch span links (trace, root) back to the request"
+    );
+
+    // Connectivity: every span in the trace reaches the root — each
+    // parent is 0 or another span of the same trace.
+    let ids: BTreeSet<u64> = ours.iter().map(|s| s.id).collect();
+    for s in &ours {
+        assert!(
+            s.parent == 0 || ids.contains(&s.parent),
+            "span {} (id {}) is orphaned: parent {} not in trace",
+            s.name,
+            s.id,
+            s.parent
+        );
+    }
+}
+
+/// Serializes the tests that install a global trace sink.
+static SINK_LOCK: Mutex<()> = Mutex::new(());
+
+/// Under concurrent traced predicts racing a hot-swap reload and a
+/// shutdown drain, every span of every traced request must still chain
+/// to its root — nothing orphaned, including jobs drained out of a
+/// partial batch at shutdown.
+#[test]
+fn no_span_orphaned_under_hot_swap_and_shutdown_drain() {
+    let _guard = SINK_LOCK.lock().unwrap();
+
+    // Server whose models come from a directory, so reload works. Batch
+    // of 32 with a 300 ms window: waves of 3 never fill the batch, so
+    // every batch runs on the deadline — and shutdown mid-window
+    // catches an open partial batch (the drain path).
+    let dir = std::env::temp_dir().join(format!("serve-tracing-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("PhyNet.scout"), trained_model_text()).unwrap();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load_dir(&dir).expect("initial load");
+    let engine = Engine::new(registry, small_workload()).with_model_dir(dir.clone());
+    let server = Server::start(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            batch_size: 32,
+            batch_deadline: Duration::from_millis(300),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    let (sink, lines) = obs::sink::MemorySink::new();
+    obs::global().set_trace_sink(Some(Box::new(sink)));
+
+    // 3 clients × 4 predicts, each with its own client-supplied trace
+    // id (always sampled). Early waves land in deadline-run batches and
+    // race the reload; later ones are drained (503) or never reach the
+    // server once shutdown closes the listener. Each thread reports
+    // which of its requests were actually answered.
+    let base: u64 = 0x7ab0_0000;
+    let clients: Vec<_> = (0..3u64)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let mut answered = Vec::new();
+                for r in 0..4u64 {
+                    let trace = base + c * 16 + r;
+                    let id = obs::trace::hex(trace);
+                    let Ok(resp) = client.request(
+                        "POST",
+                        "/v1/scouts/PhyNet/predict",
+                        &[("X-Trace-Id", id.as_str())],
+                        INCIDENT.as_bytes(),
+                    ) else {
+                        break; // connection closed by shutdown
+                    };
+                    // 200 (served) or 503 (drained at shutdown) only.
+                    assert!(
+                        resp.status == 200 || resp.status == 503,
+                        "unexpected status {}",
+                        resp.status
+                    );
+                    answered.push(trace);
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // Race a hot-swap against the in-flight predicts, then shut down
+    // while a partially-filled batch window is still open.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut ctl = Client::connect(&addr).unwrap();
+    assert_eq!(
+        ctl.post_json("/v1/models/reload", "{}").unwrap().status,
+        200
+    );
+    std::thread::sleep(Duration::from_millis(500));
+    server.shutdown();
+    let answered: BTreeSet<u64> = clients
+        .into_iter()
+        .flat_map(|c| c.join().unwrap())
+        .collect();
+    obs::global().set_trace_sink(None);
+    assert!(
+        answered.len() >= 3,
+        "expected at least the first wave answered, got {answered:?}"
+    );
+
+    let spans: Vec<SpanEvent> = lines
+        .lock()
+        .unwrap()
+        .iter()
+        .filter_map(|l| SpanEvent::from_json(l))
+        .collect();
+
+    // Every answered request produced spans, and every span of every
+    // one of those traces chains to a root within its own trace.
+    let our_traces = answered;
+    let seen: BTreeSet<u64> = spans
+        .iter()
+        .filter(|s| our_traces.contains(&s.trace))
+        .map(|s| s.trace)
+        .collect();
+    assert_eq!(
+        seen, our_traces,
+        "some answered requests left no spans behind"
+    );
+    for &trace in &our_traces {
+        let ours: Vec<&SpanEvent> = spans.iter().filter(|s| s.trace == trace).collect();
+        let ids: BTreeSet<u64> = ours.iter().map(|s| s.id).collect();
+        assert!(
+            ours.iter().any(|s| s.parent == 0),
+            "trace {trace:#x} has no root span"
+        );
+        for s in &ours {
+            assert!(
+                s.parent == 0 || ids.contains(&s.parent),
+                "orphaned span {} (id {}, trace {trace:#x}): parent {} not in trace",
+                s.name,
+                s.id,
+                s.parent
+            );
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -46,6 +46,8 @@ if [[ "$bench_smoke" == 1 ]]; then
   BENCH_SMOKE=1 cargo bench -p bench --bench featcache
   echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench lifecycle) =="
   BENCH_SMOKE=1 cargo bench -p bench --bench lifecycle
+  echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench obs) =="
+  BENCH_SMOKE=1 cargo bench -p bench --bench obs
 fi
 
 if [[ "$serve_smoke" == 1 ]]; then
