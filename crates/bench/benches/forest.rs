@@ -1,0 +1,199 @@
+//! Forest inference-core throughput: legacy enum-walking batch scoring
+//! vs the flattened node-major tables, emitted as `BENCH_forest.json` at
+//! the workspace root.
+//!
+//! This isolates the regime the flattening targets: the featcache-warm
+//! serving path, where look-back telemetry aggregation is fully
+//! amortized by the chunk cache and forest traversal dominates the
+//! predict pass. The workload is a paper-scale forest (100 trees, depth
+//! ≤ 16) over feature rows shaped like the Scout featurizer's output,
+//! scored in large batches:
+//!
+//!  - `walk` — the legacy path: one enum-walk per (row, tree), a fresh
+//!    `Vec<f64>` per tree visit, pointer-chasing through boxed nodes.
+//!  - `flat` — the node-major path: branchless lockstep descent over
+//!    contiguous packed-node tables, tree-outermost, tiles of rows
+//!    advancing level-synchronously (see `ml::flat`).
+//!
+//! Both paths are bit-identical by construction (proptest-enforced in
+//! `ml/tests/flat_prop.rs`); the bench re-asserts it on this workload
+//! before timing. `BENCH_SMOKE=1` shrinks the workload — used by
+//! `scripts/check.sh --bench-smoke` and CI, which assert flat ≥ 1x walk.
+//! The headline figure comes from the full run's `BENCH_forest.json`.
+
+use ml::forest::{ForestConfig, RandomForest};
+use ml::FeatureMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct RunStats {
+    name: &'static str,
+    pass_ms: f64,
+    predictions_per_s: f64,
+}
+
+/// Synthetic training set shaped like Scout feature rows: blocks of
+/// pooled time-series stats (level, spread, order stats) with a
+/// nonlinear label rule so the trees actually grow toward the depth cap.
+fn training_data(n: usize, d: usize, rng: &mut SmallRng) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..d)
+            .map(|j| {
+                let scale = if j % 11 == 0 { 100.0 } else { 1.0 };
+                rng.gen_range(0.0..scale)
+            })
+            .collect();
+        // Heavily overlapping classes: the forest grows to the depth cap
+        // (paper-scale trees) instead of separating the data early.
+        let signal = row[0] / 100.0 + (row[3] - row[7]).abs() + row[d / 2] * row[d - 1];
+        let noise: f64 = rng.gen_range(0.0..1.5);
+        y.push(usize::from(signal + noise > 1.85));
+        x.push(row);
+    }
+    (x, y)
+}
+
+/// Time one full batch pass.
+fn time_pass(rows: usize, pass: &impl Fn() -> usize) -> f64 {
+    let t0 = Instant::now();
+    let scored = pass();
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(scored, rows);
+    dt
+}
+
+/// Run both passes `reps` times, *interleaved* (walk, flat, walk, flat,
+/// ...) so slow drift on a shared machine lands on both sides of the
+/// comparison instead of whichever ran second. The headline speedup is
+/// the **median of the per-rep paired ratios** — a best-of-walk /
+/// best-of-flat quotient would pair timings from different drift
+/// windows. Pass times and predictions/s are still best-of-`reps`.
+fn run_pair(
+    rows: usize,
+    reps: usize,
+    walk: impl Fn() -> usize,
+    flat: impl Fn() -> usize,
+) -> ([RunStats; 2], f64) {
+    let (mut best_walk, mut best_flat) = (f64::INFINITY, f64::INFINITY);
+    let mut ratios = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let w = time_pass(rows, &walk);
+        let f = time_pass(rows, &flat);
+        ratios.push(w / f);
+        best_walk = best_walk.min(w);
+        best_flat = best_flat.min(f);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median = ratios[ratios.len() / 2];
+    (
+        [
+            RunStats {
+                name: "walk",
+                pass_ms: best_walk * 1e3,
+                predictions_per_s: rows as f64 / best_walk,
+            },
+            RunStats {
+                name: "flat",
+                pass_ms: best_flat * 1e3,
+                predictions_per_s: rows as f64 / best_flat,
+            },
+        ],
+        median,
+    )
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let (train_n, n_trees, batch_rows, reps) = if smoke {
+        (200, 16, 256, 3)
+    } else {
+        (8000, 100, 4096, 9)
+    };
+    let n_features = 44; // four telemetry blocks x 11 pooled stats
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    let (x, y) = training_data(train_n, n_features, &mut rng);
+    // The repo's serving defaults — exactly what a deployed Scout's
+    // forest looks like (ForestConfig::default, n_trees included).
+    let config = ForestConfig {
+        n_trees,
+        ..ForestConfig::default()
+    };
+    let forest = RandomForest::fit(&x, &y, 2, config, &mut rng);
+
+    // The scoring batch replicates training-like rows past any cache.
+    let batch: Vec<Vec<f64>> = (0..batch_rows)
+        .map(|_| training_data(1, n_features, &mut rng).0.pop().unwrap())
+        .collect();
+    let matrix = FeatureMatrix::from_rows(&batch);
+
+    // Bit-identity sanity on this exact workload before timing anything.
+    let walk_out = forest.predict_proba_batch_walk(&batch);
+    let flat_out = forest.predict_proba_matrix(&matrix);
+    for (i, row) in walk_out.iter().enumerate() {
+        let flat_row = flat_out.row(i);
+        for (a, b) in row.iter().zip(flat_row) {
+            assert_eq!(a.to_bits(), b.to_bits(), "row {i} diverged");
+        }
+    }
+
+    let (rows, speedup) = run_pair(
+        batch_rows,
+        reps,
+        || forest.predict_proba_batch_walk(&batch).len(),
+        || forest.predict_proba_matrix(&matrix).rows(),
+    );
+
+    for r in &rows {
+        println!(
+            "{:<5} pass {:>9.3} ms   {:>12.0} predictions/s",
+            r.name, r.pass_ms, r.predictions_per_s
+        );
+    }
+    println!(
+        "flat speedup: {speedup:.2}x over walk, median of {reps} paired reps \
+         ({} trees, {} features, {} rows)",
+        forest.trees().len(),
+        n_features,
+        batch_rows
+    );
+
+    // Smoke floor: the flattened path must never lose to the walk.
+    // The full run's speedup is reported in the JSON, not gated here —
+    // CI machines are too noisy for a hard multiple.
+    assert!(
+        speedup >= 1.0,
+        "flattened path ({:.0}/s) lost to the enum walk ({:.0}/s)",
+        rows[1].predictions_per_s,
+        rows[0].predictions_per_s
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!(
+        "  \"n_trees\": {}, \"n_features\": {n_features}, \"batch_rows\": {batch_rows},\n",
+        forest.trees().len()
+    ));
+    json.push_str("  \"configs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"pass_ms\": {:.3}, \"predictions_per_s\": {:.0}}}{}\n",
+            r.name,
+            r.pass_ms,
+            r.predictions_per_s,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"flat_speedup_vs_walk\": {speedup:.3}\n"));
+    json.push_str("}\n");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_forest.json");
+    std::fs::write(&out, json).expect("write BENCH_forest.json");
+    println!("wrote {}", out.display());
+}

@@ -44,6 +44,10 @@ use std::sync::{Arc, Mutex};
 use cloudsim::{ComponentId, SimTime};
 use monitoring::{window_steps, Dataset, Event, MonitoringSystem};
 
+pub mod stats;
+
+use stats::{finalize_stats, ord_key, with_scratch, Moments};
+
 /// Samples per chunk: 12 steps × 5-minute [`monitoring::SAMPLE_INTERVAL`]
 /// = one hour. A two-hour look-back window spans at most four buckets
 /// (two full, two ragged), so the per-predict merge is a handful of
@@ -131,23 +135,14 @@ fn build_series_chunk(
     }
     let mut sorted_keys: Vec<u64> = samples.iter().map(|&v| ord_key(v)).collect();
     sorted_keys.sort_unstable();
-    let mut sum = 0.0;
-    let mut sumsq = 0.0;
-    let mut min = f64::INFINITY;
-    let mut max = f64::NEG_INFINITY;
-    for &v in &samples {
-        sum += v;
-        sumsq += v * v;
-        min = min.min(v);
-        max = max.max(v);
-    }
+    let m = Moments::of(&samples);
     Chunk::Series(SeriesChunk {
         samples,
         sorted_keys,
-        sum,
-        sumsq,
-        min,
-        max,
+        sum: m.sum,
+        sumsq: m.sumsq,
+        min: m.min,
+        max: m.max,
     })
 }
 
@@ -422,29 +417,6 @@ fn event_chunk(
     }
 }
 
-/// Map an f64 to a u64 whose integer order is exactly `total_cmp`'s total
-/// order (sign-magnitude: flip everything for negatives, set the sign bit
-/// for non-negatives). [`key_value`] inverts it bit-exactly.
-#[inline]
-fn ord_key(v: f64) -> u64 {
-    let b = v.to_bits();
-    if b & (1 << 63) != 0 {
-        !b
-    } else {
-        b | (1 << 63)
-    }
-}
-
-/// Inverse of [`ord_key`].
-#[inline]
-fn key_value(k: u64) -> f64 {
-    f64::from_bits(if k & (1 << 63) != 0 {
-        k & !(1 << 63)
-    } else {
-        !k
-    })
-}
-
 /// Samples contributing to a pool's percentiles: either a whole chunk
 /// (its pre-transformed `sorted_keys` memcpy straight into the selection
 /// buffer) or a ragged-edge range of a chunk's time-ordered samples,
@@ -547,106 +519,29 @@ impl PoolStats {
 
     /// Write the 11 §5.2.1 statistics (mean, std, min, max,
     /// p1/10/25/50/75/90/99) into `out`. Zeros when the pool is empty.
+    ///
+    /// Finalization goes through the shared fused kernel
+    /// ([`stats::finalize_stats`]): the merged `sum`/`sumsq`/`min`/`max`
+    /// aggregates become a [`Moments`], the contributing slices pool
+    /// their [`ord_key`]s into the thread-local scratch, and the one
+    /// variance-clamp + percentile-selection site produces the bytes —
+    /// the same site the uncached path (`stats::fill_ts_stats`) uses, so
+    /// cached and uncached stats are bit-identical by construction.
     pub fn write_stats(&self, out: &mut [f64]) {
-        debug_assert_eq!(out.len(), 11);
-        if self.count == 0 {
-            out.iter_mut().for_each(|v| *v = 0.0);
-            return;
-        }
-        let n = self.count as f64;
-        let mean = self.sum / n;
-        let var = (self.sumsq / n - mean * mean).max(0.0);
-
-        // Pool the parts and pull out just the ranks the quantiles read.
-        // The element at a given rank of an f64 multiset is unique under
-        // `total_cmp`'s total order, so selection returns bit-for-bit the
-        // same values as fully sorting the pool — every percentile bit
-        // stays independent of cache state — in O(n) instead of
-        // O(n log n). Selection runs on order-preserving u64 keys
-        // ([`ord_key`] embeds exactly the `total_cmp` order): integer
-        // comparisons branch-predict and vectorize where f64 `total_cmp`
-        // does not, and the round-trip is bit-exact. The scratch buffer is
-        // thread-local so the per-feature-block call sites don't pay an
-        // allocation each.
-        thread_local! {
-            static SCRATCH: std::cell::RefCell<Vec<u64>> =
-                const { std::cell::RefCell::new(Vec::new()) };
-        }
-        SCRATCH.with(|scratch| {
-            let mut buf = scratch.borrow_mut();
-            buf.clear();
-            buf.reserve(self.count as usize);
+        let m = Moments {
+            count: self.count,
+            sum: self.sum,
+            sumsq: self.sumsq,
+            min: self.min,
+            max: self.max,
+        };
+        with_scratch(self.count as usize, |buf| {
             for part in &self.parts {
-                part.extend_keys(&mut buf);
+                part.extend_keys(buf);
             }
-            self.finish_stats(&mut buf, out, mean, var);
+            finalize_stats(&m, buf, out);
         });
     }
-
-    fn finish_stats(&self, buf: &mut [u64], out: &mut [f64], mean: f64, var: f64) {
-        debug_assert_eq!(buf.len() as u64, self.count);
-        const QS: [f64; 7] = [0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99];
-        let last = buf.len() - 1;
-        let mut ranks = [0usize; 14];
-        for (i, q) in QS.iter().enumerate() {
-            let rank = last as f64 * q;
-            ranks[2 * i] = rank.floor() as usize;
-            ranks[2 * i + 1] = rank.ceil() as usize;
-        }
-        ranks.sort_unstable();
-        let mut picked: Vec<(usize, f64)> = Vec::with_capacity(ranks.len());
-        multiselect(buf, 0, &ranks, &mut picked);
-        let at = |rank: usize| {
-            picked
-                .iter()
-                .find(|&&(p, _)| p == rank)
-                .expect("rank was selected")
-                .1
-        };
-        let pct = |q: f64| {
-            let rank = last as f64 * q;
-            let lo = rank.floor() as usize;
-            let hi = rank.ceil() as usize;
-            let frac = rank - lo as f64;
-            let (lo_v, hi_v) = (at(lo), at(hi));
-            lo_v + (hi_v - lo_v) * frac
-        };
-        out[0] = mean;
-        out[1] = var.sqrt();
-        out[2] = self.min;
-        out[3] = self.max;
-        for (slot, q) in QS.iter().enumerate() {
-            out[4 + slot] = pct(*q);
-        }
-    }
-}
-
-/// Select every rank in `ranks` (absolute, ascending, duplicates allowed;
-/// `buf` holds ranks `[base, base + buf.len())`) and push `(rank, value)`
-/// pairs. Recursing on the median rank first means each partition pass
-/// only ever scans the sub-range still containing unresolved ranks —
-/// `O(n log k)` with the same bit-exact results as any other selection
-/// order, since rank values in a multiset are unique.
-fn multiselect(buf: &mut [u64], base: usize, ranks: &[usize], out: &mut Vec<(usize, f64)>) {
-    let Some(&r) = ranks.get(ranks.len() / 2) else {
-        return;
-    };
-    let idx = r - base;
-    let (left, k, right) = buf.select_nth_unstable(idx);
-    let v = key_value(*k);
-    let mid = ranks.len() / 2;
-    // Duplicate ranks around the median resolve here without re-selecting.
-    let lo_end = ranks[..mid].partition_point(|&p| p < r);
-    for _ in lo_end..=mid {
-        out.push((r, v));
-    }
-    let hi_start = mid + 1 + ranks[mid + 1..].partition_point(|&p| p <= r);
-    for _ in mid + 1..hi_start {
-        out.push((r, v));
-    }
-    multiselect(left, base, &ranks[..lo_end], out);
-    let right_base = base + idx + 1;
-    multiselect(right, right_base, &ranks[hi_start..], out);
 }
 
 /// Accumulate the samples of `window` on `(dataset, device)` into `pool`,

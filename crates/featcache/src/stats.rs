@@ -1,0 +1,223 @@
+//! Fused single-pass statistics kernels shared by the cached
+//! ([`crate::PoolStats`]) and uncached (`scout::features::write_ts_stats`)
+//! featurization paths.
+//!
+//! The paper's §5.2.1 feature blocks reduce every telemetry pool to the
+//! same 11 statistics: mean, std, min, max, and seven percentiles. Before
+//! this module existed each caller had its own loop — `featcache`
+//! finalized from merged `sum/sumsq` aggregates while `scout` re-walked
+//! the samples with a two-pass variance and a `partial_cmp` sort — so
+//! "cached and uncached agree bit-for-bit" rested on two independent
+//! implementations happening to round identically. Now there is exactly
+//! one kernel: [`Moments`] is the single-pass accumulator (one loop for
+//! sum, sum of squares, min, and max), and [`finalize_stats`] is the
+//! single finalizer (one clamp site for the variance, one percentile
+//! selection). Both paths compute identical bits by construction.
+//!
+//! # Numeric edges (the defined behavior)
+//!
+//! - **Variance cancellation.** Std comes from `sumsq/n − mean²`, which
+//!   for large-magnitude, low-variance pools (e.g. samples near `1e9`)
+//!   can land fractionally *negative* from rounding; `sqrt` would then
+//!   poison the feature vector with `NaN`. [`finalize_stats`] clamps the
+//!   variance at `0.0` — the only clamp in the codebase, so every caller
+//!   inherits it.
+//! - **`NaN` samples.** Percentile selection runs on [`ord_key`]s, whose
+//!   integer order embeds `total_cmp`'s total order: negative `NaN`s sort
+//!   below `−inf`, positive `NaN`s above `+inf`, and the result is a
+//!   deterministic function of the sample *multiset* — never of input
+//!   order (the old `partial_cmp`-unwrap-to-`Equal` sort gave
+//!   order-dependent output). Mean and std propagate `NaN` through the
+//!   sums; min/max use `f64::min`/`f64::max`, which ignore `NaN`s (an
+//!   all-`NaN` pool reports `min = +inf`, `max = −inf`).
+//! - **Empty pools** write all zeros.
+
+/// Number of statistics written per pool: mean, std, min, max, and the
+/// seven [`QUANTILES`].
+pub const N_STATS: usize = 11;
+
+/// The percentile levels of §5.2.1, in output order.
+pub const QUANTILES: [f64; 7] = [0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99];
+
+/// Mergeable single-pass moment aggregates: everything except the
+/// percentiles, accumulated in one loop.
+#[derive(Debug, Clone, Copy)]
+pub struct Moments {
+    /// Samples accumulated.
+    pub count: u64,
+    /// Sequential sum in input order.
+    pub sum: f64,
+    /// Sequential sum of squares in input order.
+    pub sumsq: f64,
+    /// Minimum (`+inf` when empty; `NaN`s are ignored).
+    pub min: f64,
+    /// Maximum (`−inf` when empty; `NaN`s are ignored).
+    pub max: f64,
+}
+
+impl Default for Moments {
+    fn default() -> Moments {
+        Moments {
+            count: 0,
+            sum: 0.0,
+            sumsq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Moments {
+    /// The fused kernel: one pass over `samples` accumulating all four
+    /// aggregates in input order. The fold order (`sum`, then `sumsq`,
+    /// then `min`/`max`, per sample) is the contract every caller —
+    /// chunk building, ragged-edge folds, uncached featurization — must
+    /// share for bit-identity.
+    #[inline]
+    pub fn of(samples: &[f64]) -> Moments {
+        let mut m = Moments::default();
+        for &v in samples {
+            m.sum += v;
+            m.sumsq += v * v;
+            m.min = m.min.min(v);
+            m.max = m.max.max(v);
+        }
+        m.count = samples.len() as u64;
+        m
+    }
+}
+
+/// Map an f64 to a u64 whose integer order is exactly `total_cmp`'s total
+/// order (sign-magnitude: flip everything for negatives, set the sign bit
+/// for non-negatives). [`key_value`] inverts it bit-exactly.
+#[inline]
+pub fn ord_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b & (1 << 63) != 0 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`ord_key`].
+#[inline]
+pub fn key_value(k: u64) -> f64 {
+    f64::from_bits(if k & (1 << 63) != 0 {
+        k & !(1 << 63)
+    } else {
+        !k
+    })
+}
+
+/// Run `f` with this thread's reusable u64 key buffer (cleared, with
+/// room for `capacity` keys). The per-feature-block call sites are the
+/// predict hot path; sharing one scratch allocation per thread keeps
+/// them alloc-free.
+pub fn with_scratch<R>(capacity: usize, f: impl FnOnce(&mut Vec<u64>) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<u64>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|scratch| {
+        let mut buf = scratch.borrow_mut();
+        buf.clear();
+        buf.reserve(capacity);
+        f(&mut buf)
+    })
+}
+
+/// Write the 11 §5.2.1 statistics into `out[..N_STATS]` from moment
+/// aggregates plus the pool's samples as (unsorted is fine) [`ord_key`]s.
+/// `keys` is scrambled in place by selection. Zeros when the pool is
+/// empty. This is the **only** variance clamp site — see the module docs.
+pub fn finalize_stats(m: &Moments, keys: &mut [u64], out: &mut [f64]) {
+    debug_assert_eq!(out.len(), N_STATS);
+    debug_assert_eq!(keys.len() as u64, m.count);
+    if m.count == 0 {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let n = m.count as f64;
+    let mean = m.sum / n;
+    let var = (m.sumsq / n - mean * mean).max(0.0);
+
+    // Pull out just the ranks the quantiles read. The element at a given
+    // rank of an f64 multiset is unique under `total_cmp`'s total order,
+    // so selection returns bit-for-bit the same values as fully sorting
+    // the pool — every percentile bit stays independent of cache state —
+    // in O(n) instead of O(n log n). Integer comparisons on the keys
+    // branch-predict and vectorize where f64 `total_cmp` does not.
+    let last = keys.len() - 1;
+    let mut ranks = [0usize; 14];
+    for (i, q) in QUANTILES.iter().enumerate() {
+        let rank = last as f64 * q;
+        ranks[2 * i] = rank.floor() as usize;
+        ranks[2 * i + 1] = rank.ceil() as usize;
+    }
+    ranks.sort_unstable();
+    let mut picked: Vec<(usize, f64)> = Vec::with_capacity(ranks.len());
+    multiselect(keys, 0, &ranks, &mut picked);
+    let at = |rank: usize| {
+        picked
+            .iter()
+            .find(|&&(p, _)| p == rank)
+            .expect("rank was selected")
+            .1
+    };
+    let pct = |q: f64| {
+        let rank = last as f64 * q;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        let (lo_v, hi_v) = (at(lo), at(hi));
+        lo_v + (hi_v - lo_v) * frac
+    };
+    out[0] = mean;
+    out[1] = var.sqrt();
+    out[2] = m.min;
+    out[3] = m.max;
+    for (slot, q) in QUANTILES.iter().enumerate() {
+        out[4 + slot] = pct(*q);
+    }
+}
+
+/// The uncached path's entry point: fuse [`Moments::of`] over `samples`
+/// and finalize into `out[..N_STATS]` through the shared kernel, so a
+/// flat slice of samples and a cache-merged pool of the same multiset
+/// produce identical bits.
+pub fn fill_ts_stats(samples: &[f64], out: &mut [f64]) {
+    let m = Moments::of(samples);
+    with_scratch(samples.len(), |buf| {
+        buf.extend(samples.iter().map(|&v| ord_key(v)));
+        finalize_stats(&m, buf, out);
+    });
+}
+
+/// Select every rank in `ranks` (absolute, ascending, duplicates allowed;
+/// `buf` holds ranks `[base, base + buf.len())`) and push `(rank, value)`
+/// pairs. Recursing on the median rank first means each partition pass
+/// only ever scans the sub-range still containing unresolved ranks —
+/// `O(n log k)` with the same bit-exact results as any other selection
+/// order, since rank values in a multiset are unique.
+fn multiselect(buf: &mut [u64], base: usize, ranks: &[usize], out: &mut Vec<(usize, f64)>) {
+    let Some(&r) = ranks.get(ranks.len() / 2) else {
+        return;
+    };
+    let idx = r - base;
+    let (left, k, right) = buf.select_nth_unstable(idx);
+    let v = key_value(*k);
+    let mid = ranks.len() / 2;
+    // Duplicate ranks around the median resolve here without re-selecting.
+    let lo_end = ranks[..mid].partition_point(|&p| p < r);
+    for _ in lo_end..=mid {
+        out.push((r, v));
+    }
+    let hi_start = mid + 1 + ranks[mid + 1..].partition_point(|&p| p <= r);
+    for _ in mid + 1..hi_start {
+        out.push((r, v));
+    }
+    multiselect(left, base, &ranks[..lo_end], out);
+    let right_base = base + idx + 1;
+    multiselect(right, right_base, &ranks[hi_start..], out);
+}

@@ -1,0 +1,160 @@
+//! Property tests for the fused stats kernel (`featcache::stats`).
+//!
+//! The reference implementation here is deliberately *pass-split*: one
+//! loop for the sum, one for the sum of squares, one for min/max, and a
+//! full `total_cmp` sort for the percentiles. The fused single-pass
+//! kernel must reproduce it **bit for bit** — same accumulation order,
+//! same interpolation arithmetic, same NaN handling — because the warm
+//! cache path and the cold recompute path both call the fused kernel and
+//! train/serve parity depends on every caller agreeing on every bit.
+
+use featcache::stats::{fill_ts_stats, N_STATS, QUANTILES};
+use proptest::prelude::*;
+
+/// Pass-split reference: the numerics the fused kernel must match.
+fn reference_stats(samples: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; N_STATS];
+    if samples.is_empty() {
+        return out;
+    }
+    let n = samples.len() as f64;
+    let mut sum = 0.0;
+    for &v in samples {
+        sum += v;
+    }
+    let mut sumsq = 0.0;
+    for &v in samples {
+        sumsq += v * v;
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in samples {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    let mean = sum / n;
+    // The single clamp site, mirrored: cancellation in sumsq/n - mean^2
+    // can go slightly negative for near-constant pools.
+    let var = (sumsq / n - mean * mean).max(0.0);
+    out[0] = mean;
+    out[1] = var.sqrt();
+    out[2] = min;
+    out[3] = max;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let last = sorted.len() - 1;
+    for (i, q) in QUANTILES.iter().enumerate() {
+        let rank = last as f64 * q;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        let (lo_v, hi_v) = (sorted[lo], sorted[hi]);
+        out[4 + i] = lo_v + (hi_v - lo_v) * frac;
+    }
+    out
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn fused(samples: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; N_STATS];
+    fill_ts_stats(samples, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fused kernel == pass-split reference, bit for bit, on ordinary
+    /// finite pools.
+    #[test]
+    fn fused_matches_two_pass_reference(
+        samples in proptest::collection::vec(-1e6f64..1e6, 0..200)
+    ) {
+        prop_assert_eq!(bits(&reference_stats(&samples)), bits(&fused(&samples)));
+    }
+
+    /// Constant pools: variance cancellation must clamp, never NaN. The
+    /// std is non-negative, finite, and tiny relative to the level.
+    #[test]
+    fn constant_pools_have_clamped_tiny_std(
+        v in -1e9f64..1e9,
+        n in 1usize..200
+    ) {
+        let samples = vec![v; n];
+        let got = fused(&samples);
+        prop_assert_eq!(bits(&reference_stats(&samples)), bits(&got));
+        prop_assert!(got[1].is_finite() && got[1] >= 0.0, "std {}", got[1]);
+        prop_assert!(got[1] <= v.abs().max(1.0) * 1e-6, "std {} too large for constant pool", got[1]);
+        // Every percentile of a constant pool is the constant itself.
+        for s in &got[4..] {
+            prop_assert_eq!(s.to_bits(), v.to_bits());
+        }
+    }
+
+    /// Large-offset pools (values near 1e9 with small spread) are the
+    /// worst case for the sumsq formula: the clamp must keep sqrt off
+    /// negative inputs so no stat is ever NaN.
+    #[test]
+    fn large_offset_pools_never_produce_nan(
+        spread in proptest::collection::vec(0.0f64..1e-3, 2..100),
+        offset in 1e9f64..2e9
+    ) {
+        let samples: Vec<f64> = spread.iter().map(|d| offset + d).collect();
+        let got = fused(&samples);
+        prop_assert_eq!(bits(&reference_stats(&samples)), bits(&got));
+        prop_assert!(got.iter().all(|s| !s.is_nan()), "NaN in {:?}", got);
+        prop_assert!(got[1] >= 0.0);
+    }
+
+    /// NaN samples: the kernel's defined behavior is deterministic — the
+    /// same multiset of samples yields the same min/max/percentile bits
+    /// regardless of input order, because ranks come from a canonical
+    /// total order (the old partial_cmp-unwrap-to-Equal sort gave NaNs an
+    /// order-dependent position). Mean and std are sequential folds, so
+    /// only *they* may legitimately vary in the last ulp with order.
+    #[test]
+    fn nan_pools_have_order_independent_percentiles(
+        mut samples in proptest::collection::vec((-100.0f64..100.0, 0u8..5), 1..60)
+            .prop_map(|pairs: Vec<(f64, u8)>| {
+                // ~1 in 5 samples poisoned to NaN.
+                pairs
+                    .into_iter()
+                    .map(|(v, tag)| if tag == 0 { f64::NAN } else { v })
+                    .collect::<Vec<f64>>()
+            }),
+        rot in 0usize..60
+    ) {
+        let baseline = fused(&samples);
+        prop_assert_eq!(bits(&reference_stats(&samples)), bits(&baseline));
+        let len = samples.len();
+        samples.rotate_left(rot % len);
+        samples.reverse();
+        let shuffled = fused(&samples);
+        prop_assert_eq!(bits(&baseline[2..]), bits(&shuffled[2..]));
+    }
+}
+
+/// A single sample has exactly zero variance — not an epsilon, the bit
+/// pattern of `0.0` — and every percentile equals the sample.
+#[test]
+fn single_sample_std_is_exactly_zero() {
+    for v in [0.0, -3.5, 1e9, f64::MIN_POSITIVE] {
+        let got = fused(&[v]);
+        assert_eq!(got[0].to_bits(), v.to_bits());
+        assert_eq!(got[1].to_bits(), 0.0f64.to_bits());
+        assert_eq!(got[2].to_bits(), v.to_bits());
+        assert_eq!(got[3].to_bits(), v.to_bits());
+        for s in &got[4..] {
+            assert_eq!(s.to_bits(), v.to_bits());
+        }
+    }
+}
+
+/// Empty pools are all-zeros by definition (documented in the kernel).
+#[test]
+fn empty_pool_is_all_zeros() {
+    assert_eq!(fused(&[]), vec![0.0; N_STATS]);
+}

@@ -1,0 +1,472 @@
+//! Node-major flattened forests: the cache-linear predict core.
+//!
+//! [`crate::tree::DecisionTree`] stores ~64-byte `Node` enums whose leaf
+//! distributions live in per-node heap `Vec<f64>`s, so the enum walk
+//! pays a pointer chase and a branch per level, per tree, per sample —
+//! and each visit touches several scattered heap lines. [`FlatForest`]
+//! re-lays every tree of a fitted forest, in preorder, into node-major
+//! tables:
+//!
+//! * `nodes: Vec<PackedNode>` — one 32-byte-aligned record per node
+//!   (two per cache line, never straddling one) holding the threshold,
+//!   both child indices, and the split feature, so a descent step reads
+//!   exactly one node line. **Leaves carry a `NaN` threshold and point
+//!   both children at themselves**: the descent predicate `!(x ≤ NaN)`
+//!   is always true, so a parked row self-loops with no leaf test;
+//! * `dist_off: Vec<u32>` — per-node offset into the distribution arena
+//!   (meaningful at leaves only, read once per tree per row);
+//! * `dist: Vec<f64>` — all leaf distributions, `n_classes` apiece, in
+//!   one arena;
+//! * `roots`/`depth: Vec<u32>` — per-tree root index and maximum depth.
+//!
+//! A descent step selects its child *by load* —
+//! `children[usize::from(!(x ≤ t))]`, both slots on the node's own
+//! cache line — because split directions are data-dependent coin flips:
+//! a conditional branch mispredicts constantly, and shift/multiply
+//! selects cost more than the load (both measured 2-3x slower here).
+//! The self-looping leaves mean a tree of depth *d* is fully descended
+//! by exactly *d* steps. [`FlatForest::score_rows_into`] exploits that
+//! with level-synchronous ("lockstep") descent: a micro-batch of
+//! [`TILE`] rows advances through one tree a level at a time, so up to
+//! [`TILE`] independent node fetches are in flight between dependent
+//! steps. A per-row walk is a serial load chain (each level's address
+//! depends on the previous level's load) and is memory-*latency*-bound
+//! on big forests; lockstep turns the same walk
+//! memory-*throughput*-bound. Trees are **outermost**: one tree scores
+//! every tile of the caller's row range before the next tree starts, so
+//! each tree's tables are pulled from memory once per range and stay
+//! cache-resident across tiles.
+//!
+//! # Determinism
+//!
+//! The flat walk makes exactly the split decisions the enum walk makes:
+//! the descent goes left precisely when the enum walk's `x[f] <= t` is
+//! true — including for `NaN` features, which both send right (a
+//! left-on-`!(x > t)` formulation would *not*: `x > t` is also false
+//! for `NaN` and would mis-route left). Extra lockstep steps after a
+//! row parks on a shallow leaf are self-loops and change nothing. Per
+//! sample, leaf distributions accumulate in tree order and divide by
+//! the tree count at the end — the same floating-point operations, in
+//! the same order, as [`crate::RandomForest::predict_proba_walk`] — and
+//! per-row results never depend on tile boundaries or worker count. So
+//! flat and enum paths are bit-identical (proptest-enforced in
+//! `tests/flat_prop.rs`).
+
+use crate::matrix::FeatureMatrix;
+use crate::tree::{DecisionTree, Node};
+use std::ops::Range;
+
+/// Rows per micro-batch in [`FlatForest::score_rows_into`]: the width of
+/// the lockstep descent front. Big enough to keep many independent node
+/// fetches in flight between dependent descent steps, small enough that
+/// a tile's node cursors and feature rows stay L1-resident (measured
+/// fastest among 32/64/128/256 on the forest bench).
+pub const TILE: usize = 128;
+
+/// One flattened node: everything a descent step reads, padded to 32
+/// bytes — two to a cache line, never straddling one. The next node
+/// comes from a *load* (`children[go_right]`, both slots on the node's
+/// own line), not a conditional branch or arithmetic select — split
+/// directions are data-dependent coin flips, so a branch mispredicts
+/// constantly, and shift/multiply selects put extra latency on every
+/// step (both were measured 2-3x slower here).
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(32))]
+struct PackedNode {
+    /// Split threshold; `NaN` for leaves, so every comparison sends the
+    /// row right — into the leaf's self-loop.
+    threshold: f64,
+    /// `[left, right]` child indices; both the node's own index for
+    /// leaves (the self-loop that makes fixed-step descent work).
+    children: [u32; 2],
+    /// Split feature (0 for leaves — read but unused).
+    feature: u16,
+}
+
+impl PackedNode {
+    #[inline]
+    fn new(threshold: f64, left: u32, right: u32, feature: u16) -> PackedNode {
+        PackedNode {
+            threshold,
+            children: [left, right],
+            feature,
+        }
+    }
+
+    /// Split feature index (0 for leaves).
+    #[inline]
+    fn feature(self) -> usize {
+        usize::from(self.feature)
+    }
+
+    /// The child for this node's split decision on `xv`: `xv <= t` goes
+    /// left (the enum walk's predicate); anything else — NaN features,
+    /// and the NaN thresholds that mark leaves — goes right, by loading
+    /// the other child slot.
+    // The negated form is the point: `!(xv <= t)` must be true for NaN
+    // `xv` (and the NaN thresholds that mark leaves), exactly like the
+    // enum walk's `if x <= t {...} else {...}` falling to the else arm.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    fn child(self, xv: f64) -> u32 {
+        self.children[usize::from(!(xv <= self.threshold))]
+    }
+}
+
+/// A forest flattened into node-major tables.
+#[derive(Debug, Clone)]
+pub struct FlatForest {
+    n_classes: usize,
+    n_features: usize,
+    nodes: Vec<PackedNode>,
+    dist_off: Vec<u32>,
+    dist: Vec<f64>,
+    roots: Vec<u32>,
+    depth: Vec<u32>,
+}
+
+/// Re-emit `src[i]` (and its subtree) into `flat` in preorder, so the
+/// left child always lands at its parent's index + 1. Returns the new
+/// index and tracks the subtree's maximum depth. Recursion depth equals
+/// tree depth, which fit and load both bound.
+fn emit(flat: &mut FlatForest, src: &[Node], i: usize, level: u32, max_depth: &mut u32) -> u32 {
+    *max_depth = (*max_depth).max(level);
+    let me = flat.nodes.len() as u32;
+    match &src[i] {
+        Node::Leaf { proba } => {
+            flat.nodes.push(PackedNode::new(f64::NAN, me, me, 0));
+            flat.dist_off.push(flat.dist.len() as u32);
+            flat.dist.extend_from_slice(proba);
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+            ..
+        } => {
+            assert!(*feature < flat.n_features);
+            // Children are patched in after each subtree is emitted.
+            flat.nodes
+                .push(PackedNode::new(*threshold, 0, 0, *feature as u16));
+            flat.dist_off.push(0);
+            let l = emit(flat, src, *left, level + 1, max_depth);
+            debug_assert_eq!(l, me + 1, "preorder: left child follows parent");
+            let r = emit(flat, src, *right, level + 1, max_depth);
+            flat.nodes[me as usize] = PackedNode::new(*threshold, l, r, *feature as u16);
+        }
+    }
+    me
+}
+
+impl FlatForest {
+    /// Flatten fitted trees. The trees' own invariants (validated at fit
+    /// and load time: child indices in range and strictly after their
+    /// parent, features below `n_features`, distributions of `n_classes`
+    /// values) are what make the unchecked descent below sound.
+    pub fn from_trees(trees: &[DecisionTree]) -> FlatForest {
+        assert!(!trees.is_empty(), "a forest needs at least one tree");
+        let n_classes = trees[0].n_classes();
+        let n_features = trees[0].n_features();
+        assert!(
+            n_features < usize::from(u16::MAX),
+            "feature indices must fit in u16"
+        );
+        let total: usize = trees.iter().map(|t| t.nodes().len()).sum();
+        let mut flat = FlatForest {
+            n_classes,
+            n_features,
+            nodes: Vec::with_capacity(total),
+            dist_off: Vec::with_capacity(total),
+            dist: Vec::new(),
+            roots: Vec::with_capacity(trees.len()),
+            depth: Vec::with_capacity(trees.len()),
+        };
+        for tree in trees {
+            assert_eq!(tree.n_classes(), n_classes);
+            assert_eq!(tree.n_features(), n_features);
+            let root = flat.nodes.len() as u32;
+            flat.roots.push(root);
+            let mut max_depth = 0u32;
+            emit(&mut flat, tree.nodes(), 0, 0, &mut max_depth);
+            flat.depth.push(max_depth);
+        }
+        flat
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Number of classes per distribution.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Walk one tree for one row, returning the leaf's node index. Exits
+    /// early on the leaf self-loop, so single-row latency tracks the
+    /// row's actual leaf depth, not the tree's maximum.
+    ///
+    /// # Safety (of the internal `get_unchecked`s)
+    ///
+    /// `x` has been checked against `n_features` by the caller; node and
+    /// child indices were validated in range at flatten time, and every
+    /// child of a split comes strictly after its parent, so the walk
+    /// terminates.
+    #[inline]
+    fn descend(&self, x: &[f64], mut node: u32) -> u32 {
+        debug_assert_eq!(x.len(), self.n_features);
+        loop {
+            let nd = unsafe { *self.nodes.get_unchecked(node as usize) };
+            let xv = unsafe { *x.get_unchecked(nd.feature()) };
+            let next = nd.child(xv);
+            if next == node {
+                return node;
+            }
+            node = next;
+        }
+    }
+
+    /// One descent step for one row: advance `*cursor` one level and
+    /// return a nonzero value iff the cursor actually moved (zero means
+    /// it is parked on a leaf's self-loop).
+    ///
+    /// # Safety (of the internal `get_unchecked`s)
+    ///
+    /// Node indices stay within the flattened table (children are
+    /// in-range by construction, leaves self-loop); `row` points at a
+    /// full `n_features`-wide row, and every split's feature is below
+    /// `n_features`.
+    #[inline(always)]
+    fn step(&self, cursor: &mut u32, row: *const f64) -> u32 {
+        unsafe {
+            let n = *cursor;
+            let nd = *self.nodes.get_unchecked(n as usize);
+            let xv = *row.add(nd.feature());
+            let next = nd.child(xv);
+            *cursor = next;
+            n ^ next
+        }
+    }
+
+    /// Lockstep descent of one full [`TILE`] of rows through one tree:
+    /// fixed-size arrays give the front a constant trip count, so the
+    /// compiler unrolls all [`TILE`] independent steps per level.
+    #[inline]
+    fn lockstep(&self, root: u32, depth: u32, node: &mut [u32; TILE], rows: &[*const f64; TILE]) {
+        node.fill(root);
+        for _ in 0..depth {
+            for (cursor, &row) in node.iter_mut().zip(rows) {
+                self.step(cursor, row);
+            }
+        }
+    }
+
+    /// Leaf distribution of `node` (which must be a leaf).
+    #[inline]
+    fn leaf_dist(&self, node: u32) -> &[f64] {
+        let off = self.dist_off[node as usize] as usize;
+        &self.dist[off..off + self.n_classes]
+    }
+
+    /// Average-of-trees class probabilities for one row, written into
+    /// `out` (length `n_classes`). Bit-identical to the enum walk.
+    pub fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n_features, "feature vector length");
+        assert_eq!(out.len(), self.n_classes);
+        out.fill(0.0);
+        for &root in &self.roots {
+            let leaf = self.descend(x, root);
+            for (acc, &v) in out.iter_mut().zip(self.leaf_dist(leaf)) {
+                *acc += v;
+            }
+        }
+        let n = self.roots.len() as f64;
+        for v in out {
+            *v /= n;
+        }
+    }
+
+    /// Score `rows` of `x` into `out` (row-major, `rows.len() ×
+    /// n_classes`): [`TILE`]-row micro-batches descend each tree in
+    /// lockstep (level-synchronous, at most `depth[t]` steps, leaves
+    /// self-looping). Trees are **outermost**: one tree scores every
+    /// tile of the range before the next tree starts, so each tree's
+    /// node table is pulled from memory once per batch and stays
+    /// cache-resident across tiles — with the loops the other way
+    /// round, every tile re-streams the whole forest (megabytes) and
+    /// evicts it before the next tile arrives. Per-row accumulation is
+    /// still in tree order, and per-row results are independent of the
+    /// tile split, so any partition of a batch across pool workers
+    /// reassembles to the same bytes.
+    pub fn score_rows_into(&self, x: &FeatureMatrix, rows: Range<usize>, out: &mut [f64]) {
+        assert_eq!(x.cols(), self.n_features, "matrix width");
+        assert!(rows.end <= x.rows());
+        assert_eq!(out.len(), rows.len() * self.n_classes);
+        out.fill(0.0);
+        let nc = self.n_classes;
+        let cols = x.cols();
+        let xbase = x.data().as_ptr();
+        // Row base pointers, hoisted once for the whole range so the
+        // descent loop never multiplies by `cols`.
+        let xrow: Vec<*const f64> = (rows.start..rows.end)
+            .map(|r| unsafe { xbase.add(r * cols) })
+            .collect();
+        let mut node = [0u32; TILE];
+        for (t, &root) in self.roots.iter().enumerate() {
+            let depth = self.depth[t];
+            let mut tile_lo = 0usize;
+            while tile_lo < xrow.len() {
+                let tile = TILE.min(xrow.len() - tile_lo);
+                let tile_rows = &xrow[tile_lo..tile_lo + tile];
+                node[..tile].fill(root);
+                if tile == TILE {
+                    // Full tile: constant trip count, so the lockstep
+                    // front unrolls completely.
+                    let tile_rows: &[*const f64; TILE] = tile_rows.try_into().unwrap();
+                    self.lockstep(root, depth, &mut node, tile_rows);
+                } else {
+                    for _ in 0..depth {
+                        // The lockstep front: `tile` independent
+                        // one-level steps, so their node/feature loads
+                        // overlap instead of forming one serial chain
+                        // per row.
+                        let mut moved = 0u32;
+                        for (cursor, &row) in node[..tile].iter_mut().zip(tile_rows) {
+                            moved |= self.step(cursor, row);
+                        }
+                        // Every row in the tile has parked on its leaf
+                        // (self-loops only): the remaining levels,
+                        // padding out to this tree's maximum depth, are
+                        // no-ops.
+                        if moved == 0 {
+                            break;
+                        }
+                    }
+                }
+                for (k, &leaf) in node[..tile].iter().enumerate() {
+                    // Safety: `leaf` is a valid node index (descent
+                    // invariant), its distribution spans `nc` arena
+                    // slots by construction, and `tile_lo + k <
+                    // rows.len()` with `out.len() == rows.len() * nc`
+                    // (asserted above). The checked form costs ~15% of
+                    // the whole pass: one bounds-checked slice per
+                    // (row, tree) pair.
+                    unsafe {
+                        let off = *self.dist_off.get_unchecked(leaf as usize) as usize;
+                        let o = (tile_lo + k) * nc;
+                        for c in 0..nc {
+                            *out.get_unchecked_mut(o + c) += *self.dist.get_unchecked(off + c);
+                        }
+                    }
+                }
+                tile_lo += tile;
+            }
+        }
+        let n = self.roots.len() as f64;
+        for v in out {
+            *v /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{ForestConfig, RandomForest};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = (i as f64 * 0.7919).fract() * 4.0 - 2.0;
+            let b = (i as f64 * 0.3571).fract() * 4.0 - 2.0;
+            x.push(vec![a, b]);
+            y.push(usize::from(a * b > 0.0));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn packed_node_is_one_half_cache_line() {
+        assert_eq!(std::mem::size_of::<PackedNode>(), 32);
+        assert_eq!(std::mem::align_of::<PackedNode>(), 32);
+    }
+
+    #[test]
+    fn flat_matches_enum_walk_bitwise() {
+        let (x, y) = fixture();
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            2,
+            ForestConfig {
+                n_trees: 17,
+                ..ForestConfig::default()
+            },
+            &mut SmallRng::seed_from_u64(3),
+        );
+        let mut out = [0.0; 2];
+        for xi in &x {
+            forest.flat().predict_proba_into(xi, &mut out);
+            assert_eq!(out.as_slice(), forest.predict_proba_walk(xi).as_slice());
+        }
+    }
+
+    #[test]
+    fn tiled_scoring_is_tile_independent() {
+        let (x, y) = fixture();
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            2,
+            ForestConfig {
+                n_trees: 9,
+                ..ForestConfig::default()
+            },
+            &mut SmallRng::seed_from_u64(4),
+        );
+        let m = FeatureMatrix::from_rows(&x);
+        // Whole-range scoring vs. awkward sub-ranges crossing TILE edges.
+        let mut whole = vec![0.0; x.len() * 2];
+        forest.flat().score_rows_into(&m, 0..x.len(), &mut whole);
+        for range in [0..1, 5..37, 31..33, 64..200, 0..200] {
+            let mut part = vec![0.0; range.len() * 2];
+            forest.flat().score_rows_into(&m, range.clone(), &mut part);
+            assert_eq!(part, whole[range.start * 2..range.end * 2].to_vec());
+        }
+    }
+
+    #[test]
+    fn nan_features_route_like_the_enum_walk() {
+        let (x, y) = fixture();
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            2,
+            ForestConfig {
+                n_trees: 7,
+                ..ForestConfig::default()
+            },
+            &mut SmallRng::seed_from_u64(5),
+        );
+        let mut out = [0.0; 2];
+        for bad in [
+            vec![f64::NAN, 0.3],
+            vec![0.7, f64::NAN],
+            vec![f64::NAN, f64::NAN],
+            vec![f64::INFINITY, f64::NEG_INFINITY],
+        ] {
+            forest.flat().predict_proba_into(&bad, &mut out);
+            assert_eq!(out.as_slice(), forest.predict_proba_walk(&bad).as_slice());
+        }
+    }
+}

@@ -2,6 +2,8 @@
 //! class weights, and the explanation machinery the paper's operators
 //! required (§8 "Explanations are crucial").
 
+use crate::flat::{FlatForest, TILE};
+use crate::matrix::FeatureMatrix;
 use crate::tree::{DecisionTree, TreeConfig};
 use crate::Classifier;
 use rand::rngs::SmallRng;
@@ -40,9 +42,15 @@ impl Default for ForestConfig {
 }
 
 /// A fitted random forest.
+///
+/// Prediction runs on a node-major [`FlatForest`] built once at fit /
+/// load time; the original [`DecisionTree`]s are kept for persistence
+/// and the explanation walk ([`RandomForest::feature_contributions`]).
+/// Flat and enum walks are bit-identical (see [`crate::flat`]).
 #[derive(Debug, Clone)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
+    flat: FlatForest,
     n_classes: usize,
     n_features: usize,
 }
@@ -90,6 +98,10 @@ impl RandomForest {
     ) -> RandomForest {
         let _span = obs::span!("ml.forest.fit");
         assert!(!x.is_empty(), "cannot fit on an empty data set");
+        assert!(
+            config.n_trees > 0,
+            "a forest needs at least one tree (predict_proba averages over trees)"
+        );
         assert_eq!(x.len(), y.len());
         assert_eq!(x.len(), weights.len());
         obs::counter("ml.forest.fits").inc();
@@ -135,8 +147,10 @@ impl RandomForest {
             DecisionTree::fit(&bx, &by, &bw, n_classes, tree_cfg, &mut trng)
         });
 
+        let flat = FlatForest::from_trees(&trees);
         RandomForest {
             trees,
+            flat,
             n_classes,
             n_features,
         }
@@ -152,7 +166,10 @@ impl RandomForest {
         &self.trees
     }
 
-    /// Reassemble a forest from trees (persistence).
+    /// Reassemble a forest from trees (persistence). Zero-tree forests
+    /// are rejected — an empty average would be all-`NaN` probabilities
+    /// and a bogus argmax route, so a truncated persisted model must
+    /// fail loudly at load, not at predict.
     pub fn from_trees(trees: Vec<DecisionTree>) -> Result<RandomForest, String> {
         let first = trees.first().ok_or("a forest needs at least one tree")?;
         let (n_classes, n_features) = (first.n_classes(), first.n_features());
@@ -162,11 +179,18 @@ impl RandomForest {
         {
             return Err("trees disagree on shape".into());
         }
+        let flat = FlatForest::from_trees(&trees);
         Ok(RandomForest {
             trees,
+            flat,
             n_classes,
             n_features,
         })
+    }
+
+    /// The node-major flattened tables prediction runs on.
+    pub fn flat(&self) -> &FlatForest {
+        &self.flat
     }
 
     /// Number of input features.
@@ -175,8 +199,25 @@ impl RandomForest {
     }
 
     /// Probability estimate: average of the trees' leaf distributions.
+    /// Runs on the flattened tables; bit-identical to
+    /// [`RandomForest::predict_proba_walk`].
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut p = vec![0.0; self.n_classes];
+        self.predict_proba_into(x, &mut p);
+        p
+    }
+
+    /// [`RandomForest::predict_proba`] into a caller-provided buffer of
+    /// length `n_classes` — the alloc-free form for hot loops.
+    pub fn predict_proba_into(&self, x: &[f64], out: &mut [f64]) {
         obs::counter("ml.forest.predictions").inc();
+        self.flat.predict_proba_into(x, out);
+    }
+
+    /// The reference enum-tree walk `predict_proba` ran on before the
+    /// forest was flattened. Kept as the bit-identity oracle for the
+    /// property tests and the legacy side of `benches/forest.rs`.
+    pub fn predict_proba_walk(&self, x: &[f64]) -> Vec<f64> {
         let mut p = vec![0.0; self.n_classes];
         for t in &self.trees {
             for (acc, &v) in p.iter_mut().zip(t.predict_proba(x)) {
@@ -193,8 +234,50 @@ impl RandomForest {
     /// pool. Order-preserving and bit-identical to mapping
     /// [`RandomForest::predict_proba`] sequentially.
     pub fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let m = FeatureMatrix::from_rows(xs);
+        let scores = self.predict_proba_matrix_on(pool::Pool::global(), &m);
+        (0..scores.rows()).map(|i| scores.row(i).to_vec()).collect()
+    }
+
+    /// The legacy per-sample-pooled batch path (enum walk per row). Kept
+    /// for the bench's before/after comparison.
+    pub fn predict_proba_batch_walk(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
         let _span = obs::span!("ml.forest.predict_batch");
-        pool::Pool::global().parallel_map(xs, |_, x| RandomForest::predict_proba(self, x))
+        pool::Pool::global().parallel_map(xs, |_, x| RandomForest::predict_proba_walk(self, x))
+    }
+
+    /// Batch scoring over a columnar [`FeatureMatrix`]: the output is
+    /// filled in place by pool workers, each handling a large multi-tile
+    /// chunk of rows. Chunks are deliberately coarse (a couple per
+    /// worker, not one per [`TILE`]): inside a chunk the flattened
+    /// tables are walked tree-outer, so each tree's node table is
+    /// pulled from memory once per chunk and reused across every tile —
+    /// per-tile tasks would re-stream the whole forest for every
+    /// [`TILE`] rows. Per-row bytes are independent of both the
+    /// chunking and the worker count (each row's accumulation is
+    /// self-contained), so the result is bit-identical to the
+    /// sequential per-sample walk.
+    pub fn predict_proba_matrix_on(&self, pool: &pool::Pool, x: &FeatureMatrix) -> FeatureMatrix {
+        let _span = obs::span!("ml.forest.predict_batch");
+        obs::counter("ml.forest.predictions").add(x.rows() as u64);
+        let rows = x.rows();
+        let mut out = FeatureMatrix::zeros(rows, self.n_classes);
+        let n_tiles = rows.div_ceil(TILE);
+        let chunk_tiles = n_tiles.div_ceil(pool.threads() * 2).max(1);
+        let chunk_rows = chunk_tiles * TILE;
+        let chunks: Vec<usize> = (0..n_tiles.div_ceil(chunk_tiles)).collect();
+        let stride = chunk_rows * self.n_classes;
+        pool.parallel_fill(&chunks, out.data_mut(), stride, |_, &c, region| {
+            let lo = c * chunk_rows;
+            let hi = (lo + chunk_rows).min(rows);
+            self.flat.score_rows_into(x, lo..hi, region);
+        });
+        out
+    }
+
+    /// [`RandomForest::predict_proba_matrix_on`] on the global pool.
+    pub fn predict_proba_matrix(&self, x: &FeatureMatrix) -> FeatureMatrix {
+        self.predict_proba_matrix_on(pool::Pool::global(), x)
     }
 
     /// Class predictions for a batch (pooled; see

@@ -29,9 +29,11 @@
 pub mod adaboost;
 pub mod cpd;
 pub mod data;
+pub mod flat;
 pub mod forest;
 pub mod knn;
 pub mod linalg;
+pub mod matrix;
 pub mod metrics;
 pub mod mlp;
 pub mod naive_bayes;
@@ -44,8 +46,10 @@ pub mod tree;
 pub use adaboost::AdaBoost;
 pub use cpd::{detect_change_points, CpdConfig};
 pub use data::{standardize, train_test_split, Scaler, SplitConfig};
+pub use flat::FlatForest;
 pub use forest::{ForestConfig, RandomForest};
 pub use knn::KnnClassifier;
+pub use matrix::FeatureMatrix;
 pub use metrics::{confusion, BinaryMetrics, Confusion};
 pub use mlp::{Mlp, MlpConfig};
 pub use naive_bayes::GaussianNb;

@@ -284,6 +284,13 @@ impl DecisionTree {
     }
 
     /// Class-probability estimate for `x`.
+    ///
+    /// This enum walk is the *reference* traversal: `x[feature] <=
+    /// threshold` goes left, anything else — including a `NaN` feature,
+    /// for which the comparison is false — goes right. The flattened
+    /// forest ([`crate::flat::FlatForest`]) must preserve exactly this
+    /// routing (its branchless predicate is `!(x <= t)`, not `x > t`,
+    /// which would send `NaN` the other way).
     pub fn predict_proba(&self, x: &[f64]) -> &[f64] {
         let mut node = 0;
         loop {

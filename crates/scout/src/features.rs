@@ -219,10 +219,23 @@ impl<'a> Featurizer<'a> {
     /// The feature vector for components extracted from an incident created
     /// at time `t`.
     pub fn features(&self, extracted: &ExtractedComponents, t: SimTime) -> Vec<f64> {
+        let mut out = vec![0.0; self.layout.len()];
+        self.features_into(extracted, t, &mut out);
+        out
+    }
+
+    /// [`Featurizer::features`], but writing into a caller-provided slice
+    /// of length [`FeatureLayout::len`] — typically one row of an
+    /// [`ml::FeatureMatrix`] — so batch featurization fills a single
+    /// contiguous arena instead of allocating a `Vec<f64>` per incident.
+    /// The slice is fully overwritten (zeroed first), so a reused row
+    /// never leaks stale features.
+    pub fn features_into(&self, extracted: &ExtractedComponents, t: SimTime, out: &mut [f64]) {
         let _span = obs::span!("scout.features.build");
         obs::counter("scout.features.vectors").inc();
+        assert_eq!(out.len(), self.layout.len(), "row sized by the layout");
+        out.fill(0.0);
         let window = (t.saturating_sub(self.lookback), t);
-        let mut out = vec![0.0; self.layout.len()];
         for block in &self.layout.blocks {
             let mentioned = extracted.of_type(block.ctype);
             if mentioned.is_empty() {
@@ -307,11 +320,16 @@ impl<'a> Featurizer<'a> {
         for (i, ctype) in ComponentType::ALL.into_iter().enumerate() {
             out[self.layout.count_offset + i] = extracted.of_type(ctype).len() as f64;
         }
-        out
     }
 }
 
 /// Fill `out` (length 11) with the TS statistics of `pool`.
+///
+/// Delegates to the shared fused kernel
+/// ([`featcache::stats::fill_ts_stats`]) — the same single-pass
+/// moments + one-clamp variance + `total_cmp`-ordered percentile
+/// selection that finalizes cached pools, so the uncached and cached
+/// stats paths are bit-identical by construction.
 ///
 /// Percentiles use linear interpolation between closest ranks (the
 /// numpy/sklearn default the paper's pipeline sat on). The previous
@@ -320,36 +338,18 @@ impl<'a> Featurizer<'a> {
 /// collapsing three of the paper's 11 statistics into duplicates of
 /// min/max and feeding the forest redundant columns.
 ///
+/// Defined behavior on numeric edges: `NaN` samples produce output that
+/// is a deterministic function of the sample *multiset* (percentile
+/// ranks follow `total_cmp`'s total order — the old
+/// `partial_cmp`-unwrap-to-`Equal` sort was input-order dependent);
+/// mean/std propagate `NaN`, min/max ignore it; large-offset
+/// low-variance pools clamp the variance at zero instead of emitting
+/// `NaN` from `sqrt` of a tiny negative.
+///
 /// Public so property tests and benches can drive it directly.
 pub fn write_ts_stats(pool: &[f64], out: &mut [f64]) {
     debug_assert_eq!(out.len(), TS_STATS.len());
-    if pool.is_empty() {
-        out.iter_mut().for_each(|v| *v = 0.0);
-        return;
-    }
-    let n = pool.len() as f64;
-    let mean = pool.iter().sum::<f64>() / n;
-    let var = pool.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-    let mut sorted = pool.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let pct = |q: f64| {
-        let rank = (sorted.len() - 1) as f64 * q;
-        let lo = rank.floor() as usize;
-        let hi = rank.ceil() as usize;
-        let frac = rank - lo as f64;
-        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
-    };
-    out[0] = mean;
-    out[1] = var.sqrt();
-    out[2] = sorted[0];
-    out[3] = *sorted.last().unwrap();
-    out[4] = pct(0.01);
-    out[5] = pct(0.10);
-    out[6] = pct(0.25);
-    out[7] = pct(0.50);
-    out[8] = pct(0.75);
-    out[9] = pct(0.90);
-    out[10] = pct(0.99);
+    featcache::stats::fill_ts_stats(pool, out);
 }
 
 #[cfg(test)]

@@ -557,15 +557,49 @@ impl Scout {
             cache,
             ctxs,
         );
+        // Columnar forest lane: decide routing per item (pure), gather
+        // every forest-routed feature row into one contiguous matrix,
+        // and score it in a single tiled pass over the flattened forest.
+        // Each row's probabilities are bit-identical to the per-item
+        // `predict_proba` the sequential path runs (crate `ml`'s flat
+        // determinism argument), so batched and one-at-a-time predicts
+        // still agree byte for byte.
+        let routed: Vec<bool> = pool::Pool::global().parallel_map(&corpus.items, |_, item| {
+            !item.excluded
+                && !item.extracted.is_empty()
+                && !self.selector.routes_to_cpd(&item.example.text)
+        });
+        let rows: Vec<usize> = (0..corpus.items.len()).filter(|&i| routed[i]).collect();
+        let mut matrix = ml::FeatureMatrix::zeros(rows.len(), self.layout.len());
+        for (r, &i) in rows.iter().enumerate() {
+            let features = corpus.items[i]
+                .features
+                .as_ref()
+                .expect("forest-routed items have features");
+            matrix.row_mut(r).copy_from_slice(features);
+        }
+        let scores = self.forest.predict_proba_matrix(&matrix);
+        let mut row_of = vec![usize::MAX; corpus.items.len()];
+        for (r, &i) in rows.iter().enumerate() {
+            row_of[i] = r;
+        }
         // Classification is also pure per item, so it fans out too;
-        // parallel_map preserves input order.
+        // parallel_map preserves input order. The body mirrors
+        // `predict_prepared` (span, verdict, exactly one audit record).
         pool::Pool::global().parallel_map(&corpus.items, |i, item| {
             let _trace = ctxs
                 .and_then(|c| c.get(i))
                 .copied()
                 .filter(|c| c.trace_id != 0)
                 .map(obs::TraceContext::enter);
-            self.predict_prepared(item, monitoring)
+            let _span = obs::span!("scout.predict");
+            let pred = if row_of[i] != usize::MAX {
+                self.predict_forest_with(item, scores.row(row_of[i]))
+            } else {
+                self.predict_unaudited(item, monitoring)
+            };
+            self.audit(item, &pred);
+            pred
         })
     }
 
@@ -597,12 +631,24 @@ impl Scout {
     }
 
     fn predict_forest(&self, item: &PreparedExample) -> Prediction {
+        let features = item
+            .features
+            .as_ref()
+            .expect("non-empty extraction has features");
+        let mut proba = [0.0; 2];
+        self.forest.predict_proba_into(features, &mut proba);
+        self.predict_forest_with(item, &proba)
+    }
+
+    /// [`Scout::predict_forest`] from already-computed forest
+    /// probabilities — the batch lane scores whole feature matrices at
+    /// once and hands each item its row.
+    fn predict_forest_with(&self, item: &PreparedExample, proba: &[f64]) -> Prediction {
         let _span = obs::span!("scout.predict.forest");
         let features = item
             .features
             .as_ref()
             .expect("non-empty extraction has features");
-        let proba = self.forest.predict_proba(features);
         let responsible = proba[1] >= 0.5;
         let (_, contributions) = self.forest.feature_contributions(features, 1);
         let top_features: Vec<(String, f64)> = contributions

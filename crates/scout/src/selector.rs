@@ -218,8 +218,13 @@ impl Selector {
         let x = self.meta.features(text);
         let novel = match &self.model {
             // Route to CPD+ only on a clear novelty signal; borderline
-            // incidents stay with the forest.
-            Model::Rf(rf) => rf.predict_proba(&x)[1] > 0.6,
+            // incidents stay with the forest. Stack buffer: this runs
+            // per incident on the serving path.
+            Model::Rf(rf) => {
+                let mut p = [0.0; 2];
+                rf.predict_proba_into(&x, &mut p);
+                p[1] > 0.6
+            }
             Model::Ada(a) => a.predict(&x) == 1,
             Model::Svm(svm) => svm.is_novel(&x),
             Model::AlwaysFamiliar => false,

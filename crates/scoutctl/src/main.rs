@@ -199,7 +199,7 @@ serve options:
   --model-dir DIR          load every *.scout in DIR (team = file stem) instead
                            of training at startup; also enables
                            POST /v1/models/reload
-  --batch-size N           max predict requests per inference batch (default 8)
+  --batch-size N           max predict requests per inference batch (default 32)
   --batch-deadline-ms MS   how long an open batch waits for more (default 2)
   --queue-cap N            max outstanding requests before shedding (default 64)
   --max-connections N      max concurrent connections (default 128)
@@ -724,7 +724,7 @@ fn serve_cmd(args: &Args) -> Result<(), ArgError> {
         None
     };
     let config = ServeConfig {
-        batch_size: args.get_parsed("batch-size", 8usize)?,
+        batch_size: args.get_parsed("batch-size", 32usize)?,
         batch_deadline: std::time::Duration::from_millis(
             args.get_parsed("batch-deadline-ms", 2u64)?,
         ),

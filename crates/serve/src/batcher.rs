@@ -2,7 +2,9 @@
 //!
 //! Predict requests from all connections land in one bounded job queue.
 //! A single batcher thread collects jobs until either the batch is full
-//! or a short deadline lapses (default 8 requests / 2 ms), groups them
+//! or a short deadline lapses (default 32 requests / 2 ms — sized to
+//! the flattened forest's 32-row scoring tile, so a full batch feeds
+//! exactly one micro-batch through the node-major tables), groups them
 //! by team, resolves **one** model version per team-group, and runs one
 //! pooled [`Scout::predict_many`] pass per group. Because `prepare` is a
 //! pure per-example function (PR 2's determinism contract), the batched
@@ -102,7 +104,7 @@ pub struct BatchConfig {
 impl Default for BatchConfig {
     fn default() -> BatchConfig {
         BatchConfig {
-            batch_size: 8,
+            batch_size: 32,
             batch_deadline: Duration::from_millis(2),
         }
     }

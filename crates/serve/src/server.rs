@@ -118,7 +118,7 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
         ServeConfig {
-            batch_size: 8,
+            batch_size: 32,
             batch_deadline: Duration::from_millis(2),
             queue_cap: 64,
             max_connections: 128,

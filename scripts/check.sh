@@ -48,6 +48,8 @@ if [[ "$bench_smoke" == 1 ]]; then
   BENCH_SMOKE=1 cargo bench -p bench --bench lifecycle
   echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench obs) =="
   BENCH_SMOKE=1 cargo bench -p bench --bench obs
+  echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench forest) =="
+  BENCH_SMOKE=1 cargo bench -p bench --bench forest
 fi
 
 if [[ "$serve_smoke" == 1 ]]; then
