@@ -267,6 +267,7 @@ pub struct LifecycleController {
     workers: Option<Arc<pool::Pool>>,
     expected_version: Option<u64>,
     events: Vec<LifecycleEvent>,
+    wal: Option<Arc<wal::Wal>>,
 }
 
 impl LifecycleController {
@@ -286,6 +287,7 @@ impl LifecycleController {
             workers: None,
             expected_version: None,
             events: Vec::new(),
+            wal: None,
         }
     }
 
@@ -294,6 +296,73 @@ impl LifecycleController {
     pub fn with_workers(mut self, workers: Arc<pool::Pool>) -> LifecycleController {
         self.workers = Some(workers);
         self
+    }
+
+    /// Mirror lifecycle decisions into `wal` (log-first durability).
+    /// Feedback itself is logged by the serve layer at acceptance time;
+    /// the controller contributes the drift/retrain/shadow/probation
+    /// trail, and registry mutations arrive through the registry's own
+    /// journal.
+    pub fn with_wal(mut self, wal: Arc<wal::Wal>) -> LifecycleController {
+        self.wal = Some(wal);
+        self
+    }
+
+    fn log(&self, event: wal::Event) {
+        if let Some(w) = self.wal.as_deref() {
+            if w.append(&event).is_err() {
+                obs::counter("wal.append_errors").inc();
+            }
+        }
+    }
+
+    /// Resume from recovered projections: the labeled stream, phase,
+    /// cooldown anchor, and drift-monitor reset point continue exactly
+    /// where the crashed process left them. The expected registry
+    /// version is re-read from the (already restored) registry, so a
+    /// model-directory reload performed *after* this restore is detected
+    /// as an external promotion — which an unvetted post-crash reload
+    /// genuinely is.
+    pub fn restore_from(&mut self, proj: &wal::Projections) {
+        let items: Vec<Feedback> = proj
+            .feedback
+            .items
+            .iter()
+            .filter(|f| f.team == self.cfg.team)
+            .map(|f| Feedback {
+                incident: f.incident,
+                text: f.text.clone(),
+                time: f.time,
+                predicted: f.predicted,
+                label: f.label,
+                model_version: f.model_version,
+            })
+            .collect();
+        // The projection's total is stream-global; it only transfers
+        // exactly when this team owns the whole stream.
+        let total = if items.len() == proj.feedback.items.len() {
+            proj.feedback.total
+        } else {
+            items.len() as u64
+        };
+        self.store = FeedbackStore::restore(self.cfg.store_cap, total, items);
+        if let Some(lc) = proj.lifecycle.get(&self.cfg.team) {
+            self.phase = match &lc.phase {
+                wal::PhaseState::Monitoring => Phase::Monitoring,
+                wal::PhaseState::Probation {
+                    version,
+                    started,
+                    baseline_mcc,
+                } => Phase::Probation {
+                    version: *version,
+                    started: *started,
+                    baseline_mcc: *baseline_mcc,
+                },
+            };
+            self.last_action = lc.last_action;
+            self.monitor.reset(lc.ignore_before);
+        }
+        self.expected_version = self.registry.version_of(&self.cfg.team);
     }
 
     /// The labeled stream accumulated so far.
@@ -340,6 +409,13 @@ impl LifecycleController {
                     at: now,
                     version: cur,
                 });
+                self.log(wal::Event::ProbationStarted {
+                    team: self.cfg.team.clone(),
+                    version: cur,
+                    baseline_mcc: baseline,
+                    external: true,
+                    at: now,
+                });
                 self.phase = Phase::Probation {
                     version: cur,
                     started: now,
@@ -384,6 +460,12 @@ impl LifecycleController {
             error: verdict.recent_error,
             via_cpd: verdict.via_cpd,
         });
+        self.log(wal::Event::DriftArmed {
+            team: self.cfg.team.clone(),
+            at: now,
+            error: verdict.recent_error,
+            via_cpd: verdict.via_cpd,
+        });
 
         // Out-of-sample split: train strictly before the shadow window.
         let gate_start = now.saturating_sub(self.cfg.shadow_window);
@@ -410,6 +492,11 @@ impl LifecycleController {
             .weighted_window(&corpus, gate_start, &mistaken);
         if train_idx.len() < self.cfg.retrain.min_train.max(4) {
             obs::counter("lifecycle.retrain.skipped_thin").inc();
+            self.log(wal::Event::RetrainFinished {
+                team: self.cfg.team.clone(),
+                at: now,
+                outcome: "skipped_thin".into(),
+            });
             self.last_action = now;
             return;
         }
@@ -417,6 +504,11 @@ impl LifecycleController {
         out.push(LifecycleEvent::RetrainStarted {
             at: now,
             train_size: train_idx.len(),
+        });
+        self.log(wal::Event::RetrainStarted {
+            team: self.cfg.team.clone(),
+            at: now,
+            train_size: train_idx.len() as u64,
         });
         let candidate = {
             let _span = obs::span!("lifecycle.retrain.train");
@@ -432,24 +524,45 @@ impl LifecycleController {
 
         let Some(live) = self.registry.get(&self.cfg.team) else {
             // Cold start: nothing to shadow against, publish directly.
-            if let Ok(version) =
-                self.registry
-                    .register(&self.cfg.team, candidate, "lifecycle-retrain")
+            match self
+                .registry
+                .register(&self.cfg.team, candidate, "lifecycle-retrain")
             {
-                obs::counter("lifecycle.promotions").inc();
-                out.push(LifecycleEvent::Promoted {
-                    at: now,
-                    version,
-                    candidate_mcc: 0.0,
-                    live_mcc: 0.0,
-                });
-                self.phase = Phase::Probation {
-                    version,
-                    started: now,
-                    baseline_mcc: 0.0,
-                };
-                self.monitor.reset(now);
-                self.expected_version = Some(version);
+                Ok(version) => {
+                    obs::counter("lifecycle.promotions").inc();
+                    out.push(LifecycleEvent::Promoted {
+                        at: now,
+                        version,
+                        candidate_mcc: 0.0,
+                        live_mcc: 0.0,
+                    });
+                    self.log(wal::Event::RetrainFinished {
+                        team: self.cfg.team.clone(),
+                        at: now,
+                        outcome: "cold_start".into(),
+                    });
+                    self.log(wal::Event::ProbationStarted {
+                        team: self.cfg.team.clone(),
+                        version,
+                        baseline_mcc: 0.0,
+                        external: false,
+                        at: now,
+                    });
+                    self.phase = Phase::Probation {
+                        version,
+                        started: now,
+                        baseline_mcc: 0.0,
+                    };
+                    self.monitor.reset(now);
+                    self.expected_version = Some(version);
+                }
+                Err(_) => {
+                    self.log(wal::Event::RetrainFinished {
+                        team: self.cfg.team.clone(),
+                        at: now,
+                        outcome: "blocked_pinned".into(),
+                    });
+                }
             }
             self.last_action = now;
             return;
@@ -459,9 +572,23 @@ impl LifecycleController {
             .filter(|&i| corpus.items[i].example.time >= gate_start)
             .collect();
         let report = shadow::evaluate(&candidate, &live.scout, &corpus, &shadow_idx, monitoring);
-        if !report.passes(self.cfg.promote_margin, self.cfg.min_shadow) {
+        let passed = report.passes(self.cfg.promote_margin, self.cfg.min_shadow);
+        self.log(wal::Event::ShadowVerdict {
+            team: self.cfg.team.clone(),
+            at: now,
+            candidate_mcc: report.candidate_mcc(),
+            live_mcc: report.live_mcc(),
+            samples: report.samples as u64,
+            passed,
+        });
+        if !passed {
             obs::counter("lifecycle.rejections").inc();
             out.push(self.rejected(now, &report));
+            self.log(wal::Event::RetrainFinished {
+                team: self.cfg.team.clone(),
+                at: now,
+                outcome: "rejected".into(),
+            });
             self.last_action = now;
             return;
         }
@@ -477,6 +604,18 @@ impl LifecycleController {
                     candidate_mcc: report.candidate_mcc(),
                     live_mcc: report.live_mcc(),
                 });
+                self.log(wal::Event::RetrainFinished {
+                    team: self.cfg.team.clone(),
+                    at: now,
+                    outcome: "promoted".into(),
+                });
+                self.log(wal::Event::ProbationStarted {
+                    team: self.cfg.team.clone(),
+                    version,
+                    baseline_mcc: report.candidate_mcc(),
+                    external: false,
+                    at: now,
+                });
                 self.phase = Phase::Probation {
                     version,
                     started: now,
@@ -490,6 +629,11 @@ impl LifecycleController {
                 // blocked; record it as a rejection.
                 obs::counter("lifecycle.promotion_blocked_pinned").inc();
                 out.push(self.rejected(now, &report));
+                self.log(wal::Event::RetrainFinished {
+                    team: self.cfg.team.clone(),
+                    at: now,
+                    outcome: "blocked_pinned".into(),
+                });
             }
         }
         self.last_action = now;
@@ -542,12 +686,29 @@ impl LifecycleController {
                     obs::counter("lifecycle.rollback_unavailable").inc();
                 }
             }
+            // Logged either way (the `ModelRolledBack` itself arrives
+            // through the registry journal when rollback succeeded), so
+            // replay reaches Monitoring exactly like the runtime did.
+            self.log(wal::Event::ProbationEnded {
+                team: self.cfg.team.clone(),
+                version,
+                probation_mcc,
+                confirmed: false,
+                at: now,
+            });
         } else {
             obs::counter("lifecycle.confirmations").inc();
             out.push(LifecycleEvent::Confirmed {
                 at: now,
                 version,
                 probation_mcc,
+            });
+            self.log(wal::Event::ProbationEnded {
+                team: self.cfg.team.clone(),
+                version,
+                probation_mcc,
+                confirmed: true,
+                at: now,
             });
         }
         self.phase = Phase::Monitoring;

@@ -71,6 +71,23 @@ impl FeedbackStore {
         }
     }
 
+    /// Rebuild a store from recovered state: `items` arrive already
+    /// time-ordered, `total` continues the pre-crash ingestion count,
+    /// and the stream is re-capped to the current bound (oldest evicted
+    /// if the process restarted with a smaller one).
+    pub fn restore(cap: usize, total: u64, items: Vec<Feedback>) -> FeedbackStore {
+        let cap = cap.max(1);
+        let mut queue: VecDeque<Feedback> = items.into();
+        while queue.len() > cap {
+            queue.pop_front();
+        }
+        FeedbackStore {
+            items: queue,
+            cap,
+            total,
+        }
+    }
+
     /// Insert one labeled example, keeping the store time-ordered
     /// (stable for equal times: later arrivals go after earlier ones).
     /// Evicts the oldest example when full.

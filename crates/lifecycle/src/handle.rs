@@ -35,6 +35,22 @@ impl LifecycleHandle {
         faults: Arc<Vec<Fault>>,
         mon_config: MonitoringConfig,
     ) -> Arc<LifecycleHandle> {
+        LifecycleHandle::start_with_wal(cfg, registry, topology, faults, mon_config, None)
+    }
+
+    /// [`LifecycleHandle::start`] with a durability log: the controller
+    /// restores its recovered phase/stream from the WAL's projections
+    /// before processing any live feedback, then mirrors every decision
+    /// into the log. Pass the same `Arc<wal::Wal>` the serve engine was
+    /// attached to, so the event stream stays totally ordered.
+    pub fn start_with_wal(
+        cfg: LifecycleConfig,
+        registry: Arc<ModelRegistry>,
+        topology: Arc<Topology>,
+        faults: Arc<Vec<Fault>>,
+        mon_config: MonitoringConfig,
+        wal: Option<Arc<wal::Wal>>,
+    ) -> Arc<LifecycleHandle> {
         let (tx, rx) = mpsc::channel::<FeedbackEvent>();
         let events = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&events);
@@ -44,7 +60,18 @@ impl LifecycleHandle {
                 let monitoring =
                     MonitoringSystem::new(topology.as_ref(), faults.as_slice(), mon_config);
                 let mut controller = LifecycleController::new(cfg, registry);
-                let mut horizon = SimTime::EPOCH;
+                if let Some(w) = wal {
+                    let proj = w.projections();
+                    controller = controller.with_wal(w);
+                    controller.restore_from(&proj);
+                }
+                // Resume the sim clock at the restored stream's high-water
+                // mark so post-recovery ticks never run backwards.
+                let mut horizon = controller
+                    .store()
+                    .iter()
+                    .last()
+                    .map_or(SimTime::EPOCH, |f| f.time);
                 while let Ok(event) = rx.recv() {
                     // Continue the reporting request's trace across the
                     // channel hop: ingestion (and any retrain it

@@ -79,6 +79,39 @@ impl RotatingJsonlSink {
         })
     }
 
+    /// Reopen `path` for appending, surviving a crash mid-write: a torn
+    /// (newline-less) final line left by a killed process is truncated
+    /// away before appending resumes, so the reopened file stays valid
+    /// JSONL instead of gluing the next event onto a partial record.
+    /// A missing file behaves like [`RotatingJsonlSink::create`].
+    pub fn open_append(
+        path: impl Into<PathBuf>,
+        max_bytes: u64,
+        keep: usize,
+    ) -> std::io::Result<RotatingJsonlSink> {
+        use std::io::{Seek, SeekFrom};
+        let path = path.into();
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        let valid = last_line_end(&mut file, len)?;
+        if valid < len {
+            file.set_len(valid)?;
+        }
+        file.seek(SeekFrom::Start(valid))?;
+        Ok(RotatingJsonlSink {
+            path,
+            max_bytes: max_bytes.max(1),
+            keep,
+            written: valid,
+            w: Some(BufWriter::new(file)),
+        })
+    }
+
     fn rotated(&self, i: usize) -> PathBuf {
         let mut name = self.path.as_os_str().to_os_string();
         name.push(format!(".{i}"));
@@ -104,6 +137,27 @@ impl RotatingJsonlSink {
         self.w = File::create(&self.path).map(BufWriter::new).ok();
         self.written = 0;
     }
+}
+
+/// Byte offset just past the last `\n` in `file` (0 if none): the
+/// boundary of the last complete line. Scans backward in chunks so a
+/// multi-gigabyte log with a torn tail costs one tail read, not a full
+/// pass.
+fn last_line_end(file: &mut File, len: u64) -> std::io::Result<u64> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut buf = [0u8; 4096];
+    let mut end = len;
+    while end > 0 {
+        let start = end.saturating_sub(buf.len() as u64);
+        let n = (end - start) as usize;
+        file.seek(SeekFrom::Start(start))?;
+        file.read_exact(&mut buf[..n])?;
+        if let Some(i) = buf[..n].iter().rposition(|&b| b == b'\n') {
+            return Ok(start + i as u64 + 1);
+        }
+        end = start;
+    }
+    Ok(0)
 }
 
 impl Sink for RotatingJsonlSink {
@@ -469,6 +523,57 @@ mod tests {
             !names(&dir).contains(&"trace.jsonl.3".to_string()),
             "generation 3 must have been dropped"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_append_truncates_torn_final_line_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("obs-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        // Simulate a crash mid-write: two complete lines, one torn tail.
+        std::fs::write(&path, "{\"i\":1}\n{\"i\":2}\n{\"i\":3,\"partia").unwrap();
+        {
+            let mut sink = RotatingJsonlSink::open_append(&path, 1 << 20, 2).unwrap();
+            sink.write_line("{\"i\":4}");
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text, "{\"i\":1}\n{\"i\":2}\n{\"i\":4}\n",
+            "torn line dropped, complete lines kept, append resumed"
+        );
+        for line in text.lines() {
+            assert!(
+                crate::json::Value::parse(line).is_some(),
+                "bad JSON: {line}"
+            );
+        }
+        // A clean (newline-terminated) file must lose nothing.
+        {
+            let mut sink = RotatingJsonlSink::open_append(&path, 1 << 20, 2).unwrap();
+            sink.write_line("{\"i\":5}");
+            sink.flush();
+        }
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"i\":1}\n{\"i\":2}\n{\"i\":4}\n{\"i\":5}\n"
+        );
+        // A missing file is created, same as `create`.
+        let fresh = dir.join("fresh.jsonl");
+        {
+            let mut sink = RotatingJsonlSink::open_append(&fresh, 1 << 20, 0).unwrap();
+            sink.write_line("{\"i\":0}");
+            sink.flush();
+        }
+        assert_eq!(std::fs::read_to_string(&fresh).unwrap(), "{\"i\":0}\n");
+        // A file that is ONE torn line (no newline anywhere) empties out.
+        let torn = dir.join("torn.jsonl");
+        std::fs::write(&torn, "{\"never-finis").unwrap();
+        let sink = RotatingJsonlSink::open_append(&torn, 1 << 20, 0).unwrap();
+        drop(sink);
+        assert_eq!(std::fs::metadata(&torn).unwrap().len(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

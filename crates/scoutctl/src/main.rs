@@ -56,6 +56,7 @@ fn run(raw: Vec<String>) -> Result<(), ArgError> {
             "version",
             "lifecycle",
             "inject-regression",
+            "no-snapshot",
         ],
     )?;
     // Help and version are answered before any command dispatch, so
@@ -90,6 +91,7 @@ fn run(raw: Vec<String>) -> Result<(), ArgError> {
         Some("loadgen") => loadgen(&args),
         Some("probe") => probe(&args),
         Some("flight") => flight_cmd(&args),
+        Some("wal") => wal_cmd(&args),
         Some(other) => Err(ArgError(format!("unknown command '{other}'"))),
     };
     if observing {
@@ -126,13 +128,16 @@ fn setup_obs(args: &Args) -> Result<bool, ArgError> {
 }
 
 /// A plain JSONL sink, or a size-rotated one when `--rotate-mb` is set.
+/// Rotated sinks reopen in append mode (truncating any torn final line a
+/// crashed predecessor left) so a restarted server continues the same
+/// trace/audit files instead of clobbering them.
 fn jsonl_sink(
     path: &str,
     rotate_mb: u64,
     rotate_keep: usize,
 ) -> std::io::Result<Box<dyn obs::Sink>> {
     if rotate_mb > 0 {
-        let sink = obs::RotatingJsonlSink::create(path, rotate_mb * 1024 * 1024, rotate_keep)?;
+        let sink = obs::RotatingJsonlSink::open_append(path, rotate_mb * 1024 * 1024, rotate_keep)?;
         Ok(Box::new(sink))
     } else {
         Ok(Box::new(obs::JsonlSink::create(path)?))
@@ -169,6 +174,7 @@ commands:
   loadgen                  drive a running server, print throughput and latency
   probe                    send one request to a running server (CI smoke)
   flight                   fetch a running server's flight-recorder ring (JSONL)
+  wal replay               reconstruct serving state from a write-ahead log
 
 options:
   --help, -h               print this help
@@ -211,6 +217,16 @@ serve options:
                            X-Trace-Id header is always recorded)
   --flight-dir DIR         dump the flight-recorder ring into DIR on anomaly
                            (shed burst, deadline miss, rollback, SLO burn)
+  --wal-dir DIR            event-source every serving-state mutation into a
+                           write-ahead log under DIR; on startup, recover the
+                           pre-crash state from it (latest snapshot + log tail,
+                           torn final frame tolerated) and write the recovered
+                           projection to DIR/recovered.json
+  --wal-sync MODE          WAL durability: always (fsync per append), group
+                           (batched fsync, the default), or os (no fsync)
+  --wal-segment-mb MB      rotate WAL segments at MB megabytes (default 8)
+  --wal-snapshot-every N   write a snapshot every N events (default 4096;
+                           0 disables snapshots)
 
 loadgen options:
   --addr HOST:PORT         server to drive (required)
@@ -230,6 +246,13 @@ probe options:
 flight options:
   --addr HOST:PORT         server whose flight ring to fetch (required)
   --out FILE               write the JSONL dump to FILE instead of stdout
+
+wal replay options:
+  --wal-dir DIR            the log to replay (required)
+  --until N                stop after sequence number N (time-travel debugging)
+  --no-snapshot            replay every event from genesis instead of starting
+                           at the latest snapshot (verifies snapshot integrity
+                           when diffed against a snapshot-based replay)
 
 observability (any command):
   --trace FILE             write span events (JSONL) to FILE
@@ -658,6 +681,77 @@ fn lifecycle_cmd(args: &Args) -> Result<(), ArgError> {
 
 // ---------- online serving ----------
 
+/// Open (and recover) the serve WAL from `--wal-*` flags. Writes the
+/// recovered projection to `DIR/recovered.json` before any new event is
+/// appended, so crash-recovery harnesses can diff it against an offline
+/// replay of the same prefix; stamps a fresh log with `Event::Init`.
+fn open_wal(
+    args: &Args,
+    dir: &str,
+    feedback_cap: usize,
+) -> Result<std::sync::Arc<wal::Wal>, ArgError> {
+    let mut cfg = wal::WalConfig::new(dir);
+    cfg.sync = match args.get("wal-sync").unwrap_or("group") {
+        "always" => wal::SyncPolicy::Always,
+        "group" => wal::SyncPolicy::group_default(),
+        "os" => wal::SyncPolicy::Os,
+        other => {
+            return Err(ArgError(format!(
+                "unknown --wal-sync '{other}' (expected always|group|os)"
+            )))
+        }
+    };
+    cfg.segment_bytes = args.get_parsed("wal-segment-mb", 8u64)? * 1024 * 1024;
+    cfg.snapshot_every = args.get_parsed("wal-snapshot-every", 4096u64)?;
+    let w = wal::Wal::open(cfg).map_err(|e| ArgError(format!("cannot open WAL in {dir}: {e}")))?;
+    let recovered = w.render_state();
+    std::fs::write(
+        std::path::Path::new(dir).join("recovered.json"),
+        format!("{recovered}\n"),
+    )
+    .map_err(|e| ArgError(format!("cannot write {dir}/recovered.json: {e}")))?;
+    if w.seq() == 0 {
+        w.append(&wal::Event::Init {
+            served_cap: feedback_cap as u64,
+            feedback_cap: feedback_cap as u64,
+        })
+        .map_err(|e| ArgError(format!("WAL init append: {e}")))?;
+        eprintln!("[scoutctl] WAL started fresh in {dir}");
+    } else {
+        eprintln!(
+            "[scoutctl] WAL recovered to seq {} from {dir} (state in recovered.json)",
+            w.seq()
+        );
+    }
+    Ok(std::sync::Arc::new(w))
+}
+
+/// `scoutctl wal replay`: reconstruct the serving state a log describes,
+/// print the canonical single-line JSON projection. `--until N` stops
+/// after sequence `N` (time travel); `--no-snapshot` forces a
+/// from-genesis replay even when snapshots exist.
+fn wal_cmd(args: &Args) -> Result<(), ArgError> {
+    match args.positional(1) {
+        Some("replay") => {
+            let dir = args
+                .get("wal-dir")
+                .ok_or_else(|| ArgError("wal replay needs --wal-dir DIR".into()))?;
+            let until = match args.get("until") {
+                Some(_) => Some(args.get_parsed("until", 0u64)?),
+                None => None,
+            };
+            let proj = wal::replay_dir(std::path::Path::new(dir), until, !args.flag("no-snapshot"))
+                .map_err(|e| ArgError(format!("replay of {dir} failed: {e}")))?;
+            println!("{}", proj.render());
+            Ok(())
+        }
+        Some(other) => Err(ArgError(format!(
+            "unknown wal subcommand '{other}' (expected replay)"
+        ))),
+        None => Err(ArgError("wal needs a subcommand: replay".into())),
+    }
+}
+
 /// `scoutctl serve`: start the online incident-routing server.
 fn serve_cmd(args: &Args) -> Result<(), ArgError> {
     use serve::{Engine, ModelRegistry, ServeConfig, Server};
@@ -670,6 +764,19 @@ fn serve_cmd(args: &Args) -> Result<(), ArgError> {
     let registry = Arc::new(ModelRegistry::with_feat_cache_bytes(
         feat_cache_mb * 1024 * 1024,
     ));
+    let feedback_cap = args.get_parsed("feedback-cap", serve::feedback::DEFAULT_SERVED_CAP)?;
+    // Open the WAL (and recover from it) BEFORE any model publish: the
+    // restore seeds the registry's version counter and epoch, and the
+    // journal must be attached so startup promotions land in the log.
+    let wal_handle = match args.get("wal-dir") {
+        None => None,
+        Some(dir) => Some(open_wal(args, dir, feedback_cap)?),
+    };
+    let mut engine =
+        Engine::new(Arc::clone(&registry), Arc::clone(&world)).with_served_cap(feedback_cap);
+    if let Some(w) = &wal_handle {
+        engine = engine.with_wal(Arc::clone(w));
+    }
     let model_dir = args.get("model-dir").map(std::path::PathBuf::from);
     match &model_dir {
         Some(dir) => {
@@ -694,9 +801,6 @@ fn serve_cmd(args: &Args) -> Result<(), ArgError> {
             eprintln!("[scoutctl] registered {team} Scout (v{version})");
         }
     }
-    let feedback_cap = args.get_parsed("feedback-cap", serve::feedback::DEFAULT_SERVED_CAP)?;
-    let mut engine =
-        Engine::new(Arc::clone(&registry), Arc::clone(&world)).with_served_cap(feedback_cap);
     if let Some(dir) = model_dir {
         engine = engine.with_model_dir(dir);
     }
@@ -710,12 +814,13 @@ fn serve_cmd(args: &Args) -> Result<(), ArgError> {
             ScoutBuildConfig::default(),
         );
         cfg.store_cap = feedback_cap;
-        let handle = lifecycle::LifecycleHandle::start(
+        let handle = lifecycle::LifecycleHandle::start_with_wal(
             cfg,
             Arc::clone(&registry),
             Arc::new(world.topology.clone()),
             Arc::new(world.faults.clone()),
             MonitoringConfig::default(),
+            wal_handle.as_ref().map(Arc::clone),
         );
         engine = engine.with_feedback_hook(handle.clone());
         eprintln!("[scoutctl] lifecycle controller attached ({team})");

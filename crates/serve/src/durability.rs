@@ -1,0 +1,118 @@
+//! Serving-plane ↔ WAL glue: the registry journal adapter and the
+//! engine recovery path.
+//!
+//! Producers are **log-first**: the event is appended (one buffered-free
+//! `write(2)`; see `wal::log`) before the mutation is acknowledged to
+//! the caller, and the append happens while the mutated structure's own
+//! lock is still held, so the durable event order always matches the
+//! in-memory mutation order. On recovery the log is the authority — the
+//! runtime structures are rebuilt *from* the projections, so
+//! post-restart state equals the deterministic replay of the log by
+//! construction.
+
+use crate::feedback::{ServedLog, ServedRecord};
+use crate::registry::{RegistryChange, RegistryJournal};
+use crate::server::Engine;
+use cloudsim::SimTime;
+use std::sync::Arc;
+use wal::{Event, Wal};
+
+/// Append `event`, containing failures: serving must not return 500s
+/// because the log disk hiccuped. A failed append is counted
+/// (`wal.append_errors`) and shows up as recovery divergence, not as a
+/// request error.
+pub fn append_or_count(wal: &Wal, event: &Event) {
+    if wal.append(event).is_err() {
+        obs::counter("wal.append_errors").inc();
+    }
+}
+
+/// [`RegistryJournal`] implementation feeding registry mutations into
+/// the WAL. Registry changes are operator/controller actions with no
+/// inherent simulation time, so they are stamped `SimTime::EPOCH` —
+/// keeping the encoded event (and thus the log) deterministic.
+pub struct WalJournal(pub Arc<Wal>);
+
+impl RegistryJournal for WalJournal {
+    fn on_change(&self, change: &RegistryChange) {
+        let event = match change {
+            RegistryChange::Promoted {
+                team,
+                version,
+                source,
+            } => Event::ModelPromoted {
+                team: team.clone(),
+                version: *version,
+                source: source.clone(),
+                at: SimTime::EPOCH,
+            },
+            RegistryChange::RolledBack { team, from, to } => Event::ModelRolledBack {
+                team: team.clone(),
+                from: *from,
+                to: *to,
+                at: SimTime::EPOCH,
+            },
+            RegistryChange::Pinned { team, pinned } => Event::ModelPinned {
+                team: team.clone(),
+                pinned: *pinned,
+                at: SimTime::EPOCH,
+            },
+            RegistryChange::EpochChanged { epoch } => Event::EpochChanged {
+                epoch: *epoch,
+                at: SimTime::EPOCH,
+            },
+        };
+        append_or_count(&self.0, &event);
+    }
+}
+
+impl Engine {
+    /// Attach `wal` as the engine's durability log.
+    ///
+    /// Restores from the log's recovered projections first — the
+    /// served-prediction log (ids continue the pre-crash sequence),
+    /// the registry's version/epoch counters, and pins — and only then
+    /// subscribes the registry journal, so recovered state is never
+    /// re-logged. Models themselves are *not* restorable from the log
+    /// (a trained Scout lives in the model directory, not the WAL);
+    /// the caller reloads them after this, which appends fresh
+    /// `ModelPromoted` events under new version numbers.
+    ///
+    /// Call this after the other builders: it replaces the served log
+    /// (superseding `with_served_cap`) with the recovered one.
+    pub fn with_wal(mut self, wal: Arc<Wal>) -> Engine {
+        let proj = wal.projections();
+        let records: Vec<ServedRecord> = proj
+            .served
+            .records
+            .iter()
+            .map(|r| ServedRecord {
+                incident: r.incident,
+                team: r.team.clone(),
+                text: r.text.clone(),
+                model_version: r.model_version,
+                predicted_responsible: r.predicted,
+                confidence: r.confidence,
+                time: r.time,
+                resolved: r.resolved,
+            })
+            .collect();
+        self.served = Arc::new(ServedLog::restore(
+            proj.served.cap,
+            proj.served.next_incident,
+            records,
+        ));
+        self.registry
+            .resume_versions_from(proj.registry.next_version);
+        self.registry.resume_epoch_from(proj.registry.epoch);
+        for (team, slot) in &proj.registry.teams {
+            if slot.pinned {
+                self.registry.pin(team);
+            }
+        }
+        self.registry
+            .set_journal(Arc::new(WalJournal(Arc::clone(&wal))));
+        self.wal = Some(wal);
+        self
+    }
+}

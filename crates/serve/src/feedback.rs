@@ -81,6 +81,23 @@ impl ServedLog {
         }
     }
 
+    /// Rebuild a log from recovered state: `next_id` continues the
+    /// pre-crash id sequence, `records` arrive oldest-first and are
+    /// re-capped (so a recovered log obeys the *current* `cap` even if
+    /// the process was restarted with a smaller one).
+    pub fn restore(cap: usize, next_id: u64, records: Vec<ServedRecord>) -> ServedLog {
+        let cap = cap.max(1);
+        let mut queue: VecDeque<ServedRecord> = records.into();
+        while queue.len() > cap {
+            queue.pop_front();
+        }
+        ServedLog {
+            records: Mutex::new(queue),
+            next_id: AtomicU64::new(next_id.max(1)),
+            cap,
+        }
+    }
+
     /// Remember one served prediction, returning its assigned incident
     /// id.
     pub fn record(
@@ -91,6 +108,31 @@ impl ServedLog {
         predicted_responsible: bool,
         confidence: f64,
         time: SimTime,
+    ) -> u64 {
+        self.record_logged(
+            team,
+            text,
+            model_version,
+            predicted_responsible,
+            confidence,
+            time,
+            |_| {},
+        )
+    }
+
+    /// [`ServedLog::record`], invoking `log` with the new record while
+    /// the log's lock is still held — the WAL producer hook, guaranteeing
+    /// the durable event order matches the in-memory insertion order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_logged(
+        &self,
+        team: &str,
+        text: &str,
+        model_version: u64,
+        predicted_responsible: bool,
+        confidence: f64,
+        time: SimTime,
+        log: impl FnOnce(&ServedRecord),
     ) -> u64 {
         let incident = self.next_id.fetch_add(1, Ordering::Relaxed);
         let mut records = self.records.lock().unwrap();
@@ -107,6 +149,7 @@ impl ServedLog {
             time,
             resolved: false,
         });
+        log(records.back().unwrap());
         incident
     }
 
@@ -114,6 +157,17 @@ impl ServedLog {
     /// before resolution). Errs when unknown/evicted or already
     /// resolved.
     pub fn resolve(&self, incident: u64) -> Result<ServedRecord, ResolveError> {
+        self.resolve_logged(incident, |_| {})
+    }
+
+    /// [`ServedLog::resolve`], invoking `log` with the pre-resolution
+    /// record while the lock is held (WAL producer hook; see
+    /// [`ServedLog::record_logged`]).
+    pub fn resolve_logged(
+        &self,
+        incident: u64,
+        log: impl FnOnce(&ServedRecord),
+    ) -> Result<ServedRecord, ResolveError> {
         let mut records = self.records.lock().unwrap();
         let rec = records
             .iter_mut()
@@ -124,6 +178,7 @@ impl ServedLog {
         }
         let snapshot = rec.clone();
         rec.resolved = true;
+        log(&snapshot);
         Ok(snapshot)
     }
 
@@ -191,6 +246,26 @@ mod tests {
         assert!(!rec.resolved, "returned snapshot is pre-resolution");
         assert_eq!(log.resolve(id), Err(ResolveError::AlreadyResolved(id)));
         assert_eq!(log.resolve(999), Err(ResolveError::Unknown(999)));
+    }
+
+    #[test]
+    fn restore_continues_id_sequence_and_recaps() {
+        let mk = |incident: u64| ServedRecord {
+            incident,
+            team: "PhyNet".into(),
+            text: format!("t{incident}"),
+            model_version: 1,
+            predicted_responsible: true,
+            confidence: 0.9,
+            time: SimTime(incident),
+            resolved: false,
+        };
+        let log = ServedLog::restore(2, 5, vec![mk(2), mk(3), mk(4)]);
+        assert_eq!(log.len(), 2, "restore re-caps, evicting oldest");
+        assert_eq!(log.resolve(2), Err(ResolveError::Unknown(2)));
+        assert!(log.resolve(3).is_ok());
+        let next = log.record("PhyNet", "t5", 1, true, 0.9, SimTime(5));
+        assert_eq!(next, 5, "ids continue the pre-crash sequence");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod admission;
 pub mod batcher;
 pub mod client;
+pub mod durability;
 pub mod feedback;
 pub mod http;
 pub mod registry;
@@ -31,7 +32,8 @@ pub mod server;
 pub use admission::{Admission, Permit};
 pub use batcher::{Answer, BatchConfig, Batcher, Job, PredictError};
 pub use client::{Client, ClientError, ClientResponse};
+pub use durability::WalJournal;
 pub use feedback::{FeedbackEvent, FeedbackHook, ResolveError, ServedLog, ServedRecord};
 pub use http::{HttpError, Request, Response};
-pub use registry::{ModelEntry, ModelRegistry, RegistryError};
+pub use registry::{ModelEntry, ModelRegistry, RegistryChange, RegistryError, RegistryJournal};
 pub use server::{Engine, ServeConfig, Server};

@@ -1,34 +1,46 @@
-//! Versioned model registry with atomic hot-swap, rollback, and pins.
+//! Versioned model registry with atomic hot-swap, a rollback timeline,
+//! and pins.
 //!
 //! The paper keeps trained Scouts "in a highly available storage system
 //! and serves them to the online component"; this is the in-process half
 //! of that contract. Each team name maps to a slot holding the *current*
 //! [`Arc<ModelEntry>`] — an immutable trained Scout plus a
-//! process-unique version number — and the *previous* entry, retained so
-//! the lifecycle controller can roll a bad promotion back without
-//! retraining. Readers clone the `Arc` under a briefly-held lock and
-//! then predict entirely lock-free, so a reload (which builds the new
-//! Scouts *outside* the lock and swaps the map in one write) never
-//! blocks an in-flight prediction, and every prediction is attributable
-//! to exactly one version.
+//! process-unique version number — and a bounded stack of superseded
+//! entries, retained so a bad promotion (or several in a row) can be
+//! rolled back to **any** still-held version without retraining.
+//! Readers clone the `Arc` under a briefly-held lock and then predict
+//! entirely lock-free, so a reload (which builds the new Scouts
+//! *outside* the lock and swaps the map in one write) never blocks an
+//! in-flight prediction, and every prediction is attributable to
+//! exactly one version.
+//!
+//! Every mutation is reported to the attached [`RegistryJournal`]
+//! *inside* the write-lock window, so the journal (the WAL, in
+//! production) observes mutations in exactly the order they took
+//! effect. The journal is how the promotion timeline outlives the
+//! process: the in-memory history stack holds at most
+//! [`wal::HISTORY_CAP`] live entries, while the log keeps the full
+//! forensic record.
 //!
 //! Invariants:
 //!
 //! * versions are process-unique and never reused — a rollback restores
-//!   the previous entry *with its original version number*, so audit
-//!   records stay attributable;
+//!   a prior entry *with its original version number*, so audit records
+//!   stay attributable (after a crash, [`ModelRegistry::resume_versions_from`]
+//!   re-arms the counter above everything the log ever assigned);
 //! * a **pinned** team rejects `register` and is skipped by `load_dir`
 //!   (operator override: "stop auto-promoting this team"), but rollback
 //!   still works — pinning must never trap a regressed model in place;
-//! * each slot keeps exactly one step of history: rolling back twice
-//!   without an intervening promotion is an error, not a loop.
+//! * rolling back to version `v` discards every entry newer than `v`:
+//!   the timeline never forks.
 
 use featcache::FeatCache;
 use scout::Scout;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
+use wal::HISTORY_CAP;
 
 /// Default per-model feature-chunk cache budget (bytes).
 pub const DEFAULT_FEAT_CACHE_BYTES: usize = 64 * 1024 * 1024;
@@ -50,11 +62,65 @@ pub struct ModelEntry {
     pub feat_cache: FeatCache,
 }
 
-/// One team's slot: the serving model plus one step of history.
+/// One registry mutation, reported to the journal in commit order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryChange {
+    /// A model was published (register or reload).
+    Promoted {
+        /// Registry key.
+        team: String,
+        /// Assigned version.
+        version: u64,
+        /// Where the model came from.
+        source: String,
+    },
+    /// A slot was rolled back to a prior version.
+    RolledBack {
+        /// Registry key.
+        team: String,
+        /// The demoted version.
+        from: u64,
+        /// The restored version.
+        to: u64,
+    },
+    /// A pin was set or cleared.
+    Pinned {
+        /// Registry key.
+        team: String,
+        /// `true` = pinned.
+        pinned: bool,
+    },
+    /// The bulk-reload epoch advanced.
+    EpochChanged {
+        /// The new epoch.
+        epoch: u64,
+    },
+}
+
+/// Observer of registry mutations (the WAL producer, in production).
+/// Called with the registry's write lock held — implementations must be
+/// quick and must not call back into the registry.
+pub trait RegistryJournal: Send + Sync {
+    /// One mutation committed.
+    fn on_change(&self, change: &RegistryChange);
+}
+
+/// One team's slot: the serving model plus the rollback stack.
 #[derive(Debug)]
 struct Slot {
-    current: std::sync::Arc<ModelEntry>,
-    previous: Option<std::sync::Arc<ModelEntry>>,
+    current: Arc<ModelEntry>,
+    /// Superseded entries, oldest first, at most [`HISTORY_CAP`].
+    history: Vec<Arc<ModelEntry>>,
+}
+
+impl Slot {
+    fn supersede(&mut self, entry: Arc<ModelEntry>) {
+        let prior = std::mem::replace(&mut self.current, entry);
+        self.history.push(prior);
+        if self.history.len() > HISTORY_CAP {
+            self.history.remove(0);
+        }
+    }
 }
 
 /// A reload, registration, or rollback failure, with enough context to
@@ -70,13 +136,24 @@ impl std::fmt::Display for RegistryError {
 
 impl std::error::Error for RegistryError {}
 
-/// The registry: team name → current (and previous) model version.
-#[derive(Debug)]
+/// The registry: team name → current model version plus its rollback
+/// timeline.
 pub struct ModelRegistry {
     models: RwLock<BTreeMap<String, Slot>>,
     pinned: RwLock<BTreeSet<String>>,
     next_version: AtomicU64,
+    epoch: AtomicU64,
     feat_cache_bytes: usize,
+    journal: RwLock<Option<Arc<dyn RegistryJournal>>>,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("teams", &self.teams())
+            .field("next_version", &self.next_version.load(Ordering::Relaxed))
+            .finish()
+    }
 }
 
 impl Default for ModelRegistry {
@@ -98,7 +175,9 @@ impl ModelRegistry {
             models: RwLock::new(BTreeMap::new()),
             pinned: RwLock::new(BTreeSet::new()),
             next_version: AtomicU64::new(1),
+            epoch: AtomicU64::new(0),
             feat_cache_bytes: bytes,
+            journal: RwLock::new(None),
         }
     }
 
@@ -107,9 +186,38 @@ impl ModelRegistry {
         self.feat_cache_bytes
     }
 
-    fn entry(&self, team: &str, scout: Scout, source: &str) -> (u64, std::sync::Arc<ModelEntry>) {
+    /// Attach the mutation journal. Mutations from this point on are
+    /// reported in commit order.
+    pub fn set_journal(&self, journal: Arc<dyn RegistryJournal>) {
+        *self.journal.write().unwrap() = Some(journal);
+    }
+
+    fn journal(&self, change: RegistryChange) {
+        if let Some(j) = self.journal.read().unwrap().as_ref() {
+            j.on_change(&change);
+        }
+    }
+
+    /// Ensure future versions are assigned strictly above `next` — the
+    /// crash-recovery hook that keeps versions process-unique *across*
+    /// processes sharing one log.
+    pub fn resume_versions_from(&self, next: u64) {
+        self.next_version.fetch_max(next, Ordering::Relaxed);
+    }
+
+    /// The current bulk-reload epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Restore the epoch counter (crash recovery; not journaled).
+    pub fn resume_epoch_from(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::Relaxed);
+    }
+
+    fn entry(&self, team: &str, scout: Scout, source: &str) -> (u64, Arc<ModelEntry>) {
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
-        let entry = std::sync::Arc::new(ModelEntry {
+        let entry = Arc::new(ModelEntry {
             team: team.to_string(),
             version,
             source: source.to_string(),
@@ -124,10 +232,10 @@ impl ModelRegistry {
     }
 
     /// Publish `scout` for `team`, returning the version it was
-    /// assigned. Replaces any previous version atomically, retaining the
-    /// replaced entry for [`ModelRegistry::rollback`]; in-flight
-    /// predictions against the old `Arc` are unaffected. Errs when the
-    /// team is pinned.
+    /// assigned. Replaces any previous version atomically, pushing the
+    /// replaced entry onto the rollback timeline; in-flight predictions
+    /// against the old `Arc` are unaffected. Errs when the team is
+    /// pinned.
     pub fn register(&self, team: &str, scout: Scout, source: &str) -> Result<u64, RegistryError> {
         if self.is_pinned(team) {
             return Err(RegistryError(format!(
@@ -137,58 +245,115 @@ impl ModelRegistry {
         let (version, entry) = self.entry(team, scout, source);
         let mut models = self.models.write().unwrap();
         match models.get_mut(team) {
-            Some(slot) => {
-                slot.previous = Some(std::sync::Arc::clone(&slot.current));
-                slot.current = entry;
-            }
+            Some(slot) => slot.supersede(entry),
             None => {
                 models.insert(
                     team.to_string(),
                     Slot {
                         current: entry,
-                        previous: None,
+                        history: Vec::new(),
                     },
                 );
             }
         }
+        self.journal(RegistryChange::Promoted {
+            team: team.to_string(),
+            version,
+            source: source.to_string(),
+        });
         drop(models);
         obs::counter("serve.models.registered").inc();
         Self::publish_version_gauge(team, version);
         Ok(version)
     }
 
-    /// Restore the previous entry for `team` as current (keeping its
-    /// original version number) and clear the history slot. Works on
-    /// pinned teams — a pin stops promotions, never recovery. Errs when
-    /// the team is unknown or has no previous version.
+    /// Roll `team` back one step: restore the most recently superseded
+    /// entry (keeping its original version number). Works on pinned
+    /// teams — a pin stops promotions, never recovery. Errs when the
+    /// team is unknown or has no history.
     pub fn rollback(&self, team: &str) -> Result<u64, RegistryError> {
+        self.rollback_to(team, None)
+    }
+
+    /// Roll `team` back to `version` (or one step with `None`),
+    /// discarding every entry newer than the target. Errs when the team
+    /// is unknown, the timeline is empty, or `version` is no longer in
+    /// the retained timeline (older than the last [`HISTORY_CAP`]
+    /// promotions — the full history lives in the journal, but only
+    /// retained entries still hold a loaded model).
+    pub fn rollback_to(&self, team: &str, version: Option<u64>) -> Result<u64, RegistryError> {
         let mut models = self.models.write().unwrap();
         let slot = models
             .get_mut(team)
             .ok_or_else(|| RegistryError(format!("unknown team {team}")))?;
-        let prior = slot
-            .previous
-            .take()
-            .ok_or_else(|| RegistryError(format!("no previous version for team {team}")))?;
-        let version = prior.version;
-        slot.current = prior;
+        if slot.history.is_empty() {
+            return Err(RegistryError(format!(
+                "no previous version for team {team}"
+            )));
+        }
+        let pos = match version {
+            None => slot.history.len() - 1,
+            Some(v) => slot
+                .history
+                .iter()
+                .rposition(|e| e.version == v)
+                .ok_or_else(|| {
+                    let held: Vec<u64> = slot.history.iter().map(|e| e.version).collect();
+                    RegistryError(format!(
+                        "version {v} is not in team {team}'s retained timeline {held:?}"
+                    ))
+                })?,
+        };
+        let restored = slot.history[pos].clone();
+        slot.history.truncate(pos);
+        let from = std::mem::replace(&mut slot.current, restored).version;
+        let to = slot.current.version;
+        self.journal(RegistryChange::RolledBack {
+            team: team.to_string(),
+            from,
+            to,
+        });
         drop(models);
         obs::counter("serve.models.rollbacks").inc();
-        obs::flight().alert("rollback", &format!("team={team} restored v{version}"));
-        Self::publish_version_gauge(team, version);
-        Ok(version)
+        obs::flight().alert(
+            "rollback",
+            &format!("team={team} restored v{to} from v{from}"),
+        );
+        Self::publish_version_gauge(team, to);
+        Ok(to)
+    }
+
+    /// Versions in `team`'s retained rollback timeline, oldest first
+    /// (not including the current version).
+    pub fn history_of(&self, team: &str) -> Vec<u64> {
+        self.models
+            .read()
+            .unwrap()
+            .get(team)
+            .map(|slot| slot.history.iter().map(|e| e.version).collect())
+            .unwrap_or_default()
     }
 
     /// Pin `team`: reject `register` and skip it in `load_dir` until
     /// unpinned. Pinning an unknown team is allowed (it blocks the
     /// initial publish too).
     pub fn pin(&self, team: &str) {
-        self.pinned.write().unwrap().insert(team.to_string());
+        if self.pinned.write().unwrap().insert(team.to_string()) {
+            self.journal(RegistryChange::Pinned {
+                team: team.to_string(),
+                pinned: true,
+            });
+        }
     }
 
     /// Remove a pin. No-op if not pinned.
     pub fn unpin(&self, team: &str) {
-        self.pinned.write().unwrap().remove(team);
+        if self.pinned.write().unwrap().remove(team) {
+            self.journal(RegistryChange::Pinned {
+                team: team.to_string(),
+                pinned: false,
+            });
+        }
     }
 
     /// Is `team` pinned?
@@ -198,15 +363,15 @@ impl ModelRegistry {
 
     /// The current model for `team` (exact match, then ASCII
     /// case-insensitive).
-    pub fn get(&self, team: &str) -> Option<std::sync::Arc<ModelEntry>> {
+    pub fn get(&self, team: &str) -> Option<Arc<ModelEntry>> {
         let models = self.models.read().unwrap();
         if let Some(slot) = models.get(team) {
-            return Some(std::sync::Arc::clone(&slot.current));
+            return Some(Arc::clone(&slot.current));
         }
         models
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case(team))
-            .map(|(_, slot)| std::sync::Arc::clone(&slot.current))
+            .map(|(_, slot)| Arc::clone(&slot.current))
     }
 
     /// The current version number for `team`, if registered.
@@ -220,12 +385,12 @@ impl ModelRegistry {
     }
 
     /// Current entries, sorted by team.
-    pub fn snapshot(&self) -> Vec<std::sync::Arc<ModelEntry>> {
+    pub fn snapshot(&self) -> Vec<Arc<ModelEntry>> {
         self.models
             .read()
             .unwrap()
             .values()
-            .map(|slot| std::sync::Arc::clone(&slot.current))
+            .map(|slot| Arc::clone(&slot.current))
             .collect()
     }
 
@@ -243,7 +408,8 @@ impl ModelRegistry {
     /// publish them all in one atomic swap, skipping pinned teams. On
     /// any failure the registry is left exactly as it was — a bad reload
     /// never degrades serving — and the error names the offending path
-    /// (and, for format errors, the line; see `ml::persist`).
+    /// (and, for format errors, the line; see `ml::persist`). Each
+    /// successful call advances the reload epoch.
     pub fn load_dir(&self, dir: &Path) -> Result<Vec<(String, u64)>, RegistryError> {
         let _span = obs::span!("serve.registry.load_dir");
         let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
@@ -283,29 +449,33 @@ impl ModelRegistry {
             for (team, scout, source) in loaded {
                 let version = self.next_version.fetch_add(1, Ordering::Relaxed);
                 published.push((team.clone(), version));
-                let entry = std::sync::Arc::new(ModelEntry {
+                let entry = Arc::new(ModelEntry {
                     team: team.clone(),
                     version,
-                    source,
+                    source: source.clone(),
                     scout,
                     feat_cache: FeatCache::new(self.feat_cache_bytes),
                 });
                 match models.get_mut(&team) {
-                    Some(slot) => {
-                        slot.previous = Some(std::sync::Arc::clone(&slot.current));
-                        slot.current = entry;
-                    }
+                    Some(slot) => slot.supersede(entry),
                     None => {
                         models.insert(
-                            team,
+                            team.clone(),
                             Slot {
                                 current: entry,
-                                previous: None,
+                                history: Vec::new(),
                             },
                         );
                     }
                 }
+                self.journal(RegistryChange::Promoted {
+                    team,
+                    version,
+                    source,
+                });
             }
+            let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            self.journal(RegistryChange::EpochChanged { epoch });
         }
         for (team, version) in &published {
             Self::publish_version_gauge(team, *version);
@@ -318,6 +488,7 @@ impl ModelRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     #[test]
     fn empty_registry_reports_not_ready() {
@@ -326,6 +497,7 @@ mod tests {
         assert!(r.get("PhyNet").is_none());
         assert!(r.teams().is_empty());
         assert!(r.version_of("PhyNet").is_none());
+        assert!(r.history_of("PhyNet").is_empty());
     }
 
     #[test]
@@ -357,11 +529,61 @@ mod tests {
     }
 
     #[test]
+    fn rollback_to_unretained_version_is_an_error_naming_the_timeline() {
+        let r = ModelRegistry::new();
+        assert!(r.rollback_to("PhyNet", Some(3)).is_err());
+    }
+
+    #[test]
     fn pinned_team_rejects_register() {
         let r = ModelRegistry::new();
         r.pin("PhyNet");
         assert!(r.is_pinned("PhyNet"));
         r.unpin("PhyNet");
         assert!(!r.is_pinned("PhyNet"));
+    }
+
+    #[test]
+    fn version_resume_moves_only_forward() {
+        let r = ModelRegistry::new();
+        r.resume_versions_from(10);
+        r.resume_versions_from(5);
+        assert_eq!(r.next_version.load(Ordering::Relaxed), 10);
+        r.resume_epoch_from(3);
+        assert_eq!(r.epoch(), 3);
+    }
+
+    #[derive(Default)]
+    struct Recorder(Mutex<Vec<RegistryChange>>);
+
+    impl RegistryJournal for Recorder {
+        fn on_change(&self, change: &RegistryChange) {
+            self.0.lock().unwrap().push(change.clone());
+        }
+    }
+
+    #[test]
+    fn pin_changes_are_journaled_once() {
+        let r = ModelRegistry::new();
+        let rec = Arc::new(Recorder::default());
+        r.set_journal(Arc::clone(&rec) as Arc<dyn RegistryJournal>);
+        r.pin("PhyNet");
+        r.pin("PhyNet"); // no-op: already pinned
+        r.unpin("PhyNet");
+        r.unpin("PhyNet"); // no-op
+        let changes = rec.0.lock().unwrap();
+        assert_eq!(
+            *changes,
+            vec![
+                RegistryChange::Pinned {
+                    team: "PhyNet".into(),
+                    pinned: true
+                },
+                RegistryChange::Pinned {
+                    team: "PhyNet".into(),
+                    pinned: false
+                },
+            ]
+        );
     }
 }

@@ -15,7 +15,9 @@
 //! | `POST /v1/scouts/<team>/predict` | one Scout's verdict for `{"text", "time_minutes"?}` |
 //! | `POST /v1/route` | Scout-Master decision over every registered Scout |
 //! | `POST /v1/models/reload` | atomic hot-swap from the model directory |
+//! | `POST /v1/models/rollback` | restore a prior version from the promotion timeline |
 //! | `POST /v1/feedback` | ground-truth resolving team for a served prediction |
+//! | `GET /v1/wal/state` | the WAL's recovered+live projections (409 without `--wal-dir`) |
 //!
 //! Shedding is `503` + `Retry-After: 1`; a lapsed `X-Deadline-Ms` is
 //! `504`; an unknown team is `404`.
@@ -28,6 +30,7 @@
 
 use crate::admission::Admission;
 use crate::batcher::{Answer, BatchConfig, Batcher, Job, PredictError};
+use crate::durability::append_or_count;
 use crate::feedback::{FeedbackEvent, FeedbackHook, ResolveError, ServedLog, DEFAULT_SERVED_CAP};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::registry::ModelRegistry;
@@ -60,6 +63,10 @@ pub struct Engine {
     pub served: Arc<ServedLog>,
     /// Labeled-feedback subscriber (the lifecycle controller), if any.
     pub feedback: Option<Arc<dyn FeedbackHook>>,
+    /// The durability log, if `--wal-dir` is configured (attach with
+    /// [`Engine::with_wal`]). Every served prediction, accepted
+    /// feedback, and registry mutation is appended log-first.
+    pub wal: Option<Arc<wal::Wal>>,
 }
 
 impl Engine {
@@ -73,6 +80,7 @@ impl Engine {
             model_dir: None,
             served: Arc::new(ServedLog::new(DEFAULT_SERVED_CAP)),
             feedback: None,
+            wal: None,
         }
     }
 
@@ -360,7 +368,9 @@ fn endpoint_label(path: &str) -> &'static str {
         "/v1/debug/flight" => "flight",
         "/v1/route" => "route",
         "/v1/models/reload" => "reload",
+        "/v1/models/rollback" => "rollback",
         "/v1/feedback" => "feedback",
+        "/v1/wal/state" => "wal",
         p if p.starts_with("/v1/scouts/") && p.ends_with("/predict") => "predict",
         _ => "other",
     }
@@ -385,8 +395,10 @@ fn dispatch(req: &Request, shared: &Shared) -> Response {
             }
             Response::text(200, out)
         }
+        ("GET", "/v1/wal/state") => wal_state(shared),
         ("POST", "/v1/route") => route(req, shared),
         ("POST", "/v1/models/reload") => reload(shared),
+        ("POST", "/v1/models/rollback") => rollback(req, shared),
         ("POST", "/v1/feedback") => feedback(req, shared),
         ("POST", path) => {
             if let Some(team) = path
@@ -420,10 +432,12 @@ fn readyz(shared: &Shared) -> Response {
             if i > 0 {
                 models.push(',');
             }
+            let history = shared.engine.registry.history_of(&e.team);
             models.push_str(
                 &Obj::new()
                     .str("team", &e.team)
                     .uint("version", e.version)
+                    .raw("history", &json_u64_array(&history))
                     .finish(),
             );
         }
@@ -434,6 +448,7 @@ fn readyz(shared: &Shared) -> Response {
                 .str("status", "ready")
                 .raw("teams", &json_str_array(&teams))
                 .raw("models", &models)
+                .uint("epoch", shared.engine.registry.epoch())
                 .raw("slo", &shared.slo.render_json())
                 .finish(),
         )
@@ -542,17 +557,35 @@ fn predict(req: &Request, team: &str, shared: &Shared) -> Response {
     }
 }
 
-/// Remember a served answer (assigning its incident id) and emit the
-/// versioned audit record that `POST /v1/feedback` will join against.
+/// Remember a served answer (assigning its incident id), append it to
+/// the WAL (log-first, while the served log's lock pins the order), and
+/// emit the versioned audit record that `POST /v1/feedback` will join
+/// against.
 fn record_served(answer: &Answer, text: &str, time: SimTime, shared: &Shared) -> u64 {
     let p: &Prediction = &answer.prediction;
-    let incident = shared.engine.served.record(
+    let incident = shared.engine.served.record_logged(
         &answer.team,
         text,
         answer.model_version,
         p.says_responsible(),
         p.confidence,
         time,
+        |rec| {
+            if let Some(wal) = shared.engine.wal.as_deref() {
+                append_or_count(
+                    wal,
+                    &wal::Event::PredictionServed {
+                        incident: rec.incident,
+                        team: rec.team.clone(),
+                        text: rec.text.clone(),
+                        model_version: rec.model_version,
+                        predicted: rec.predicted_responsible,
+                        confidence: rec.confidence,
+                        time: rec.time,
+                    },
+                );
+            }
+        },
     );
     obs::AuditRecord {
         incident,
@@ -601,7 +634,22 @@ fn feedback(req: &Request, shared: &Shared) -> Response {
             "missing required string field \"team\" (the resolving team)",
         ));
     };
-    let served = match shared.engine.served.resolve(incident as u64) {
+    let served = match shared.engine.served.resolve_logged(incident as u64, |rec| {
+        if let Some(wal) = shared.engine.wal.as_deref() {
+            append_or_count(
+                wal,
+                &wal::Event::FeedbackAccepted {
+                    incident: rec.incident,
+                    team: rec.team.clone(),
+                    text: rec.text.clone(),
+                    model_version: rec.model_version,
+                    predicted: rec.predicted_responsible,
+                    label: resolving_team.eq_ignore_ascii_case(&rec.team),
+                    time: rec.time,
+                },
+            );
+        }
+    }) {
         Ok(rec) => rec,
         Err(e @ ResolveError::Unknown(_)) => {
             obs::counter("serve.feedback.unknown").inc();
@@ -755,6 +803,75 @@ fn reload(shared: &Shared) -> Response {
     }
 }
 
+/// `POST /v1/models/rollback {"team", "version"?}`: restore a prior
+/// version from `team`'s promotion timeline — the most recent one, or
+/// exactly `version`. Rollback works on pinned teams (a pin blocks
+/// promotions, never recovery); failures (unknown team, empty or
+/// unretained timeline) are `409` with the retained versions named.
+fn rollback(req: &Request, shared: &Shared) -> Response {
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::from_error(&e),
+    };
+    let Some(value) = Value::parse(body) else {
+        return Response::from_error(&HttpError::new(400, "request body is not valid JSON"));
+    };
+    let Some(team) = value.get("team").and_then(Value::as_str) else {
+        return Response::from_error(&HttpError::new(
+            400,
+            "missing required string field \"team\"",
+        ));
+    };
+    let version = match value.get("version") {
+        None => None,
+        Some(v) => match v
+            .as_f64()
+            .filter(|n| n.fract() == 0.0 && *n >= 1.0 && *n < 9.0e15)
+        {
+            Some(n) => Some(n as u64),
+            None => {
+                return Response::from_error(&HttpError::new(
+                    400,
+                    "\"version\" must be a whole number >= 1",
+                ))
+            }
+        },
+    };
+    match shared.engine.registry.rollback_to(team, version) {
+        Ok(restored) => Response::json(
+            200,
+            Obj::new()
+                .str("status", "rolled_back")
+                .str("team", team)
+                .uint("version", restored)
+                .raw(
+                    "history",
+                    &json_u64_array(&shared.engine.registry.history_of(team)),
+                )
+                .finish(),
+        ),
+        Err(e) => Response::from_error(&HttpError::new(409, e.to_string())),
+    }
+}
+
+/// `GET /v1/wal/state`: the durability log's live projections — what a
+/// crash right now would recover to. `409` when serving without a WAL.
+fn wal_state(shared: &Shared) -> Response {
+    match shared.engine.wal.as_deref() {
+        Some(wal) => Response::json(
+            200,
+            Obj::new()
+                .uint("seq", wal.seq())
+                .raw("projections", &wal.render_state())
+                .finish(),
+        ),
+        None => Response::from_error(&HttpError::new(
+            409,
+            "server was started without --wal-dir; no durability log",
+        )),
+    }
+}
+
 /// Render one [`Answer`] as a JSON object builder.
 fn render_answer(answer: &Answer) -> Obj {
     let p: &Prediction = &answer.prediction;
@@ -784,6 +901,19 @@ fn model_name(p: &Prediction) -> &'static str {
         scout::ModelUsed::Exclusion => "exclusion",
         scout::ModelUsed::Fallback => "fallback",
     }
+}
+
+/// A JSON array of unsigned integers.
+fn json_u64_array(items: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, n) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&n.to_string());
+    }
+    out.push(']');
+    out
 }
 
 /// A JSON array of strings.

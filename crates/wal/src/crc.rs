@@ -1,0 +1,61 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the frame
+//! checksum. Table-driven, table built at compile time, no dependencies.
+//!
+//! The WAL does not need a cryptographic hash: the threat model is torn
+//! writes and bit rot, not an adversary, and CRC-32 detects all burst
+//! errors up to 32 bits plus any odd number of bit flips — exactly the
+//! failure shapes a partially-flushed page produces.
+
+/// The reflected CRC-32 lookup table, one entry per byte value.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (initial value all-ones, final complement — the
+/// standard zlib/ethernet convention).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let base = crc32(b"the quick brown fox");
+        let mut flipped = b"the quick brown fox".to_vec();
+        flipped[7] ^= 0x01;
+        assert_ne!(base, crc32(&flipped));
+    }
+}

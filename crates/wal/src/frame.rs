@@ -1,0 +1,188 @@
+//! The on-disk frame codec: length-prefixed, CRC-checked records.
+//!
+//! Every record in a segment (and every snapshot body) is one frame:
+//!
+//! ```text
+//! ┌────────────┬────────────┬────────────────┐
+//! │ len: u32LE │ crc: u32LE │ payload (len B)│
+//! └────────────┴────────────┴────────────────┘
+//! ```
+//!
+//! `crc` is the CRC-32 of the payload alone; `len` is bounded by
+//! [`MAX_FRAME`] so a corrupted length field cannot make the reader
+//! allocate or skip gigabytes. The reader is **total**: any byte
+//! sequence scans to a (possibly empty) prefix of valid frames plus a
+//! classification of what stopped the scan — clean end, torn tail
+//! (truncated header or payload: the normal crash signature), or a
+//! corrupt frame (CRC/length mismatch: bit rot or an overwrite).
+//! Recovery truncates to the valid prefix either way, so one bad tail
+//! never poisons subsequent appends.
+
+use crate::crc::crc32;
+
+/// Bytes of header (length + checksum) preceding every payload.
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a single frame's payload. Events are small JSON
+/// records and snapshots are chunked under this; anything larger in a
+/// length field is corruption, not data.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Why a scan stopped before the end of the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanEnd {
+    /// The buffer ended exactly on a frame boundary.
+    Clean,
+    /// The final frame was cut short (header or payload truncated) —
+    /// the expected shape of a crash mid-append.
+    TornTail,
+    /// A complete frame failed its CRC or declared an impossible
+    /// length — bit rot, or a foreign write into the segment.
+    Corrupt,
+}
+
+/// The result of scanning a byte buffer for frames.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    /// `(start, end)` byte ranges of each valid payload, in order.
+    pub payloads: Vec<(usize, usize)>,
+    /// Bytes covered by valid frames — the truncation point that
+    /// restores the buffer to a clean state.
+    pub valid_len: usize,
+    /// What ended the scan.
+    pub end: ScanEnd,
+}
+
+/// Append one frame wrapping `payload` to `out`.
+///
+/// # Panics
+/// If `payload` exceeds [`MAX_FRAME`] (events and snapshot chunks are
+/// orders of magnitude smaller; a larger payload is a logic error).
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    assert!(
+        payload.len() <= MAX_FRAME as usize,
+        "frame payload of {} bytes exceeds MAX_FRAME",
+        payload.len()
+    );
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Scan `bytes` for consecutive valid frames. Total: never panics on
+/// any input, never reads past the buffer.
+pub fn scan_frames(bytes: &[u8]) -> Scan {
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            return Scan {
+                payloads,
+                valid_len: pos,
+                end: ScanEnd::Clean,
+            };
+        }
+        if remaining < FRAME_HEADER {
+            return Scan {
+                payloads,
+                valid_len: pos,
+                end: ScanEnd::TornTail,
+            };
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_FRAME {
+            return Scan {
+                payloads,
+                valid_len: pos,
+                end: ScanEnd::Corrupt,
+            };
+        }
+        let body_start = pos + FRAME_HEADER;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            return Scan {
+                payloads,
+                valid_len: pos,
+                end: ScanEnd::TornTail,
+            };
+        }
+        if crc32(&bytes[body_start..body_end]) != crc {
+            return Scan {
+                payloads,
+                valid_len: pos,
+                end: ScanEnd::Corrupt,
+            };
+        }
+        payloads.push((body_start, body_end));
+        pos = body_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for p in payloads {
+            encode_frame(p, &mut buf);
+        }
+        buf
+    }
+
+    #[test]
+    fn encode_then_scan_round_trips() {
+        let buf = roundtrip(&[b"alpha", b"", b"gamma rays"]);
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.end, ScanEnd::Clean);
+        assert_eq!(scan.valid_len, buf.len());
+        let got: Vec<&[u8]> = scan.payloads.iter().map(|&(s, e)| &buf[s..e]).collect();
+        assert_eq!(got, vec![&b"alpha"[..], &b""[..], &b"gamma rays"[..]]);
+    }
+
+    #[test]
+    fn truncation_is_a_torn_tail() {
+        let buf = roundtrip(&[b"first", b"second"]);
+        for cut in 1..FRAME_HEADER + 6 {
+            // Cut somewhere strictly inside the second frame.
+            let first_len = FRAME_HEADER + 5;
+            let scan = scan_frames(&buf[..first_len + cut]);
+            assert_eq!(scan.end, ScanEnd::TornTail, "cut {cut}");
+            assert_eq!(scan.valid_len, first_len);
+            assert_eq!(scan.payloads.len(), 1);
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_corrupt_and_preserves_prefix() {
+        let mut buf = roundtrip(&[b"first", b"second"]);
+        let first_len = FRAME_HEADER + 5;
+        // Flip a payload bit in the second frame.
+        let target = first_len + FRAME_HEADER + 2;
+        buf[target] ^= 0x10;
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.end, ScanEnd::Corrupt);
+        assert_eq!(scan.valid_len, first_len);
+        assert_eq!(scan.payloads.len(), 1);
+    }
+
+    #[test]
+    fn absurd_length_is_corrupt_not_oom() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 64]);
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.end, ScanEnd::Corrupt);
+        assert_eq!(scan.valid_len, 0);
+    }
+
+    #[test]
+    fn empty_buffer_is_clean() {
+        let scan = scan_frames(&[]);
+        assert_eq!(scan.end, ScanEnd::Clean);
+        assert!(scan.payloads.is_empty());
+    }
+}

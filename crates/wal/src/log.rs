@@ -1,0 +1,702 @@
+//! The write-ahead log proper: segmented append, group-commit fsync,
+//! periodic snapshots, and crash recovery.
+//!
+//! ## Durability model
+//!
+//! Every `append` issues the `write(2)` immediately — nothing buffers
+//! in user space — so a killed process (SIGKILL, panic, OOM) loses at
+//! most the final *partially written* frame, which recovery detects by
+//! CRC and truncates away. `fsync` only matters for machine-level
+//! failures (power loss); the [`SyncPolicy`] trades that window against
+//! throughput: `Always` syncs per append, `Group` batches syncs behind
+//! a time/size threshold serviced by a background flusher thread, `Os`
+//! leaves it to the kernel writeback.
+//!
+//! ## Layout
+//!
+//! `<dir>/wal-<firstseq:020>.seg` — CRC-framed event records (see
+//! [`crate::frame`]), seq-contiguous within and across segments.
+//! Segments are never garbage-collected: the full log is the audit
+//! trail (`scoutctl wal replay --until` answers "why did we promote
+//! that model?" from genesis). `<dir>/snap-<seq:020>.snap` — one frame
+//! wrapping the canonical [`Projections::render`] at `seq`, written
+//! temp-then-rename so a crash mid-snapshot leaves the previous one
+//! intact. Recovery = newest parseable snapshot + contiguous tail
+//! replay; a snapshot is an *accelerator*, never required.
+
+use crate::event::Event;
+use crate::frame::{encode_frame, scan_frames, ScanEnd, FRAME_HEADER};
+use crate::projection::Projections;
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// When the log file is flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fdatasync` after every append. Maximum durability, minimum
+    /// throughput.
+    Always,
+    /// Group commit: sync when `bytes` of unsynced frames accumulate
+    /// or the oldest unsynced frame is `interval` old, whichever first.
+    Group {
+        /// Maximum age of an unsynced frame.
+        interval: Duration,
+        /// Unsynced-byte threshold that forces an immediate sync.
+        bytes: usize,
+    },
+    /// Never sync explicitly; kernel writeback decides.
+    Os,
+}
+
+impl SyncPolicy {
+    /// The default group-commit window (5 ms / 256 KiB).
+    pub fn group_default() -> SyncPolicy {
+        SyncPolicy::Group {
+            interval: Duration::from_millis(5),
+            bytes: 256 * 1024,
+        }
+    }
+}
+
+/// Log tuning.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding segments and snapshots.
+    pub dir: PathBuf,
+    /// Fsync policy.
+    pub sync: SyncPolicy,
+    /// Rotate to a new segment once the current one would exceed this.
+    pub segment_bytes: u64,
+    /// Write a snapshot every this many events (0 disables).
+    pub snapshot_every: u64,
+    /// How many snapshots to retain (older ones are pruned).
+    pub snapshots_keep: usize,
+}
+
+impl WalConfig {
+    /// Defaults for `dir`: group commit, 8 MiB segments, snapshot every
+    /// 4096 events, keep 2 snapshots.
+    pub fn new(dir: impl Into<PathBuf>) -> WalConfig {
+        WalConfig {
+            dir: dir.into(),
+            sync: SyncPolicy::group_default(),
+            segment_bytes: 8 * 1024 * 1024,
+            snapshot_every: 4096,
+            snapshots_keep: 2,
+        }
+    }
+}
+
+struct Inner {
+    file: File,
+    segment_len: u64,
+    seq: u64,
+    proj: Projections,
+    dirty_bytes: usize,
+    dirty_since: Option<Instant>,
+    since_snapshot: u64,
+}
+
+/// The append side of the log. `Arc<Wal>` is shared by every producer;
+/// appends serialize on one internal mutex (they are µs-scale:
+/// encode + one `write(2)`).
+pub struct Wal {
+    cfg: WalConfig,
+    inner: Arc<Mutex<Inner>>,
+    cvar: Arc<Condvar>,
+    shutdown: Arc<AtomicBool>,
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.cfg.dir)
+            .field("seq", &self.seq())
+            .finish()
+    }
+}
+
+fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{first_seq:020}.seg"))
+}
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snap-{seq:020}.snap"))
+}
+
+/// `wal-*.seg` files sorted by first sequence number.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    list_numbered(dir, "wal-", ".seg")
+}
+
+/// `snap-*.snap` files sorted by sequence number.
+fn list_snapshots(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    list_numbered(dir, "snap-", ".snap")
+}
+
+fn list_numbered(dir: &Path, prefix: &str, suffix: &str) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(mid) = name
+            .strip_prefix(prefix)
+            .and_then(|rest| rest.strip_suffix(suffix))
+        {
+            if let Ok(n) = mid.parse::<u64>() {
+                out.insert(n, path);
+            }
+        }
+    }
+    Ok(out.into_iter().collect())
+}
+
+/// The newest snapshot (optionally at or below `max_seq`) that reads
+/// and parses cleanly. Damaged snapshots are skipped, falling back to
+/// older ones and ultimately to genesis replay.
+fn best_snapshot(dir: &Path, max_seq: Option<u64>) -> Option<Projections> {
+    let snaps = list_snapshots(dir).ok()?;
+    for (seq, path) in snaps.iter().rev() {
+        if max_seq.is_some_and(|m| *seq > m) {
+            continue;
+        }
+        let Ok(bytes) = fs::read(path) else {
+            continue;
+        };
+        let scan = scan_frames(&bytes);
+        let parsed = scan
+            .payloads
+            .first()
+            .and_then(|&(s, e)| std::str::from_utf8(&bytes[s..e]).ok())
+            .and_then(Projections::parse);
+        match parsed {
+            Some(p) => return Some(p),
+            None => obs::counter("wal.recovery.bad_snapshot").inc(),
+        }
+    }
+    None
+}
+
+fn fsync_inner(inner: &mut Inner) -> io::Result<()> {
+    if inner.dirty_bytes == 0 {
+        return Ok(());
+    }
+    let start = Instant::now();
+    inner.file.sync_data()?;
+    obs::observe("wal.fsync_ms", start.elapsed().as_secs_f64() * 1e3);
+    obs::counter("wal.fsyncs").inc();
+    inner.dirty_bytes = 0;
+    inner.dirty_since = None;
+    Ok(())
+}
+
+impl Wal {
+    /// Open (creating if needed) the log in `cfg.dir`, recovering the
+    /// projections from newest-snapshot + tail replay. A torn or
+    /// corrupt final frame is truncated away so appends continue from
+    /// the last valid record. A brand-new log reports `seq() == 0`;
+    /// the owner should append [`Event::Init`] first.
+    pub fn open(cfg: WalConfig) -> io::Result<Wal> {
+        fs::create_dir_all(&cfg.dir)?;
+        let mut proj = best_snapshot(&cfg.dir, None).unwrap_or_default();
+        let segments = list_segments(&cfg.dir)?;
+        let mut append_to: Option<(PathBuf, u64)> = None;
+        let mut dead = false;
+        for (idx, (_, path)) in segments.iter().enumerate() {
+            if dead {
+                // A damaged interior segment broke seq contiguity:
+                // everything after it can never replay. Move it aside
+                // so the on-disk invariant (contiguous segments) holds.
+                let orphan = path.with_extension("seg.orphan");
+                fs::rename(path, &orphan)?;
+                obs::counter("wal.recovery.orphaned_segments").inc();
+                continue;
+            }
+            let covered = segments
+                .get(idx + 1)
+                .is_some_and(|(next_first, _)| *next_first <= proj.seq + 1);
+            let is_last = idx + 1 == segments.len();
+            if covered && !is_last {
+                continue; // entirely behind the snapshot
+            }
+            let bytes = fs::read(path)?;
+            let scan = scan_frames(&bytes);
+            if scan.end != ScanEnd::Clean {
+                obs::counter("wal.recovery.torn_tail").inc();
+            }
+            let mut keep = scan.valid_len as u64;
+            let mut stopped = false;
+            for &(s, e) in &scan.payloads {
+                let text = std::str::from_utf8(&bytes[s..e]).ok();
+                // Behind-snapshot records only need their seq stamp —
+                // skip the full JSON decode for the covered prefix.
+                if let Some(seq) = text.and_then(Event::peek_seq) {
+                    if seq <= proj.seq {
+                        continue;
+                    }
+                }
+                let decoded = text.and_then(Event::decode);
+                match decoded {
+                    Some((seq, ev)) if seq == proj.seq + 1 => proj.apply(seq, &ev),
+                    Some((seq, _)) if seq <= proj.seq => {} // behind snapshot
+                    _ => {
+                        // Undecodable or non-contiguous: cut here.
+                        keep = (s - FRAME_HEADER) as u64;
+                        obs::counter("wal.recovery.bad_event").inc();
+                        stopped = true;
+                        break;
+                    }
+                }
+            }
+            if keep < bytes.len() as u64 {
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len(keep)?;
+                f.sync_data()?;
+            }
+            append_to = Some((path.clone(), keep));
+            if !is_last && (stopped || scan.end != ScanEnd::Clean) {
+                dead = true;
+            }
+        }
+        let (path, segment_len) = match append_to {
+            Some(v) => v,
+            None => (segment_path(&cfg.dir, proj.seq + 1), 0),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        obs::gauge("wal.seq").set(proj.seq as f64);
+        let inner = Arc::new(Mutex::new(Inner {
+            file,
+            segment_len,
+            seq: proj.seq,
+            proj,
+            dirty_bytes: 0,
+            dirty_since: None,
+            since_snapshot: 0,
+        }));
+        let wal = Wal {
+            cfg,
+            inner,
+            cvar: Arc::new(Condvar::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            flusher: Mutex::new(None),
+        };
+        if let SyncPolicy::Group { interval, .. } = wal.cfg.sync {
+            let inner = Arc::clone(&wal.inner);
+            let cvar = Arc::clone(&wal.cvar);
+            let shutdown = Arc::clone(&wal.shutdown);
+            let handle = std::thread::Builder::new()
+                .name("wal-flusher".into())
+                .spawn(move || {
+                    let mut guard = inner.lock().unwrap();
+                    loop {
+                        if shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let wait = match guard.dirty_since {
+                            Some(t0) => {
+                                let age = t0.elapsed();
+                                if age >= interval {
+                                    if fsync_inner(&mut guard).is_err() {
+                                        obs::counter("wal.fsync_errors").inc();
+                                        guard.dirty_bytes = 0;
+                                        guard.dirty_since = None;
+                                    }
+                                    interval
+                                } else {
+                                    interval - age
+                                }
+                            }
+                            None => interval,
+                        };
+                        guard = cvar.wait_timeout(guard, wait).unwrap().0;
+                    }
+                })
+                .expect("spawn wal-flusher");
+            *wal.flusher.lock().unwrap() = Some(handle);
+        }
+        Ok(wal)
+    }
+
+    /// Sequence number of the last appended (or recovered) event.
+    pub fn seq(&self) -> u64 {
+        self.inner.lock().unwrap().seq
+    }
+
+    /// A clone of the current projections (recovered state at startup,
+    /// then kept in lockstep with every append).
+    pub fn projections(&self) -> Projections {
+        self.inner.lock().unwrap().proj.clone()
+    }
+
+    /// The canonical rendering of the current projections.
+    pub fn render_state(&self) -> String {
+        self.inner.lock().unwrap().proj.render()
+    }
+
+    /// Append one event, returning its sequence number. The record is
+    /// written (visible to recovery after a process kill) before this
+    /// returns; stable-storage sync follows the configured policy.
+    pub fn append(&self, event: &Event) -> io::Result<u64> {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.seq + 1;
+        let payload = event.encode(seq);
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_HEADER);
+        encode_frame(payload.as_bytes(), &mut frame);
+        if inner.segment_len > 0 && inner.segment_len + frame.len() as u64 > self.cfg.segment_bytes
+        {
+            self.rotate_locked(&mut inner, seq)?;
+        }
+        inner.file.write_all(&frame)?;
+        inner.segment_len += frame.len() as u64;
+        inner.seq = seq;
+        inner.proj.apply(seq, event);
+        inner.dirty_bytes += frame.len();
+        obs::counter("wal.appends").inc();
+        obs::counter("wal.append_bytes").add(frame.len() as u64);
+        obs::gauge("wal.seq").set(seq as f64);
+        match self.cfg.sync {
+            SyncPolicy::Always => fsync_inner(&mut inner)?,
+            SyncPolicy::Group { bytes, .. } => {
+                if inner.dirty_since.is_none() {
+                    inner.dirty_since = Some(Instant::now());
+                }
+                if inner.dirty_bytes >= bytes {
+                    fsync_inner(&mut inner)?;
+                } else {
+                    self.cvar.notify_one();
+                }
+            }
+            SyncPolicy::Os => {}
+        }
+        inner.since_snapshot += 1;
+        if self.cfg.snapshot_every > 0 && inner.since_snapshot >= self.cfg.snapshot_every {
+            self.snapshot_locked(&mut inner)?;
+        }
+        Ok(seq)
+    }
+
+    /// Force everything appended so far onto stable storage.
+    pub fn sync(&self) -> io::Result<()> {
+        fsync_inner(&mut self.inner.lock().unwrap())
+    }
+
+    /// Write a snapshot of the current projections now (also done
+    /// automatically every `snapshot_every` events).
+    pub fn snapshot(&self) -> io::Result<()> {
+        self.snapshot_locked(&mut self.inner.lock().unwrap())
+    }
+
+    fn rotate_locked(&self, inner: &mut Inner, next_seq: u64) -> io::Result<()> {
+        // Finish the old segment durably before starting the next so a
+        // later power loss cannot hole-punch the middle of the log.
+        inner.dirty_bytes = inner.dirty_bytes.max(1);
+        fsync_inner(inner)?;
+        let path = segment_path(&self.cfg.dir, next_seq);
+        inner.file = OpenOptions::new().create(true).append(true).open(&path)?;
+        inner.segment_len = 0;
+        obs::counter("wal.rotations").inc();
+        Ok(())
+    }
+
+    fn snapshot_locked(&self, inner: &mut Inner) -> io::Result<()> {
+        // The snapshot must never get ahead of the durable log.
+        inner.dirty_bytes = inner.dirty_bytes.max(1);
+        fsync_inner(inner)?;
+        let rendered = inner.proj.render();
+        let mut framed = Vec::with_capacity(rendered.len() + FRAME_HEADER);
+        encode_frame(rendered.as_bytes(), &mut framed);
+        let path = snapshot_path(&self.cfg.dir, inner.proj.seq);
+        let tmp = path.with_extension("snap.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&framed)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        inner.since_snapshot = 0;
+        obs::counter("wal.snapshots").inc();
+        // Prune old snapshots; the segments stay (full audit trail).
+        if let Ok(snaps) = list_snapshots(&self.cfg.dir) {
+            if snaps.len() > self.cfg.snapshots_keep.max(1) {
+                let drop_n = snaps.len() - self.cfg.snapshots_keep.max(1);
+                for (_, old) in &snaps[..drop_n] {
+                    fs::remove_file(old).ok();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.cvar.notify_all();
+        if let Some(handle) = self.flusher.lock().unwrap().take() {
+            handle.join().ok();
+        }
+        if let Ok(mut inner) = self.inner.lock() {
+            fsync_inner(&mut inner).ok();
+        }
+    }
+}
+
+/// Replay the log in `dir` read-only, reconstructing the projections at
+/// `until` (or the tip). With `use_snapshot` the newest usable snapshot
+/// at or below `until` seeds the fold; without it the fold starts at
+/// genesis — the independent reference the crash-recovery tests compare
+/// against. Torn or corrupt tails end the replay at the last valid
+/// record, exactly like recovery (but nothing on disk is modified).
+pub fn replay_dir(dir: &Path, until: Option<u64>, use_snapshot: bool) -> io::Result<Projections> {
+    let mut proj = if use_snapshot {
+        best_snapshot(dir, until).unwrap_or_default()
+    } else {
+        Projections::new()
+    };
+    let segments = list_segments(dir)?;
+    'outer: for (idx, (_, path)) in segments.iter().enumerate() {
+        let covered = segments
+            .get(idx + 1)
+            .is_some_and(|(next_first, _)| *next_first <= proj.seq + 1);
+        if covered {
+            continue;
+        }
+        let bytes = fs::read(path)?;
+        let scan = scan_frames(&bytes);
+        for &(s, e) in &scan.payloads {
+            if until.is_some_and(|u| proj.seq >= u) {
+                break 'outer;
+            }
+            let text = std::str::from_utf8(&bytes[s..e]).ok();
+            // Behind-snapshot records only need their seq stamp.
+            if let Some(seq) = text.and_then(Event::peek_seq) {
+                if seq <= proj.seq {
+                    continue;
+                }
+            }
+            let decoded = text.and_then(Event::decode);
+            match decoded {
+                Some((seq, ev)) if seq == proj.seq + 1 => proj.apply(seq, &ev),
+                Some((seq, _)) if seq <= proj.seq => {}
+                _ => break 'outer,
+            }
+        }
+        if scan.end != ScanEnd::Clean {
+            break;
+        }
+    }
+    Ok(proj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::SimTime;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wal-log-test-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn small_cfg(dir: &Path) -> WalConfig {
+        WalConfig {
+            sync: SyncPolicy::Os,
+            segment_bytes: 512,
+            snapshot_every: 0,
+            ..WalConfig::new(dir)
+        }
+    }
+
+    fn pred(incident: u64) -> Event {
+        Event::PredictionServed {
+            incident,
+            team: "PhyNet".into(),
+            text: format!("incident {incident} text"),
+            model_version: 1,
+            predicted: incident.is_multiple_of(2),
+            confidence: 0.5,
+            time: SimTime(incident * 3),
+        }
+    }
+
+    #[test]
+    fn append_reopen_recovers_identical_state() {
+        let dir = tmp_dir("reopen");
+        let rendered = {
+            let wal = Wal::open(small_cfg(&dir)).unwrap();
+            wal.append(&Event::Init {
+                served_cap: 64,
+                feedback_cap: 64,
+            })
+            .unwrap();
+            for i in 1..=40 {
+                wal.append(&pred(i)).unwrap();
+            }
+            wal.render_state()
+        };
+        let wal = Wal::open(small_cfg(&dir)).unwrap();
+        assert_eq!(wal.seq(), 41);
+        assert_eq!(wal.render_state(), rendered);
+        // Appends continue with contiguous seqs after reopen.
+        assert_eq!(wal.append(&pred(41)).unwrap(), 42);
+        // And the independent genesis replay agrees.
+        drop(wal);
+        let replayed = replay_dir(&dir, None, false).unwrap();
+        assert_eq!(replayed.seq, 42);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replay_spans_them() {
+        let dir = tmp_dir("rotate");
+        {
+            let wal = Wal::open(small_cfg(&dir)).unwrap();
+            for i in 1..=50 {
+                wal.append(&pred(i)).unwrap();
+            }
+        }
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() > 1, "expected rotation, got {segs:?}");
+        let p = replay_dir(&dir, None, false).unwrap();
+        assert_eq!(p.seq, 50);
+        assert_eq!(p.counts["prediction_served"], 50);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let dir = tmp_dir("torn");
+        {
+            let wal = Wal::open(small_cfg(&dir)).unwrap();
+            for i in 1..=10 {
+                wal.append(&pred(i)).unwrap();
+            }
+        }
+        // Tear the last segment mid-frame.
+        let (_, last) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&last).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&last)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let before = replay_dir(&dir, None, false).unwrap();
+        let wal = Wal::open(small_cfg(&dir)).unwrap();
+        assert_eq!(wal.seq(), before.seq);
+        assert!(wal.seq() < 10, "final frame must have been dropped");
+        assert_eq!(wal.render_state(), before.render());
+        let next = wal.append(&pred(99)).unwrap();
+        assert_eq!(next, before.seq + 1);
+        drop(wal);
+        let after = replay_dir(&dir, None, false).unwrap();
+        assert_eq!(after.seq, next);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_accelerated_recovery_matches_genesis_replay() {
+        let dir = tmp_dir("snap");
+        let cfg = WalConfig {
+            snapshot_every: 16,
+            segment_bytes: 1024,
+            sync: SyncPolicy::Os,
+            ..WalConfig::new(&dir)
+        };
+        {
+            let wal = Wal::open(cfg.clone()).unwrap();
+            for i in 1..=60 {
+                wal.append(&pred(i)).unwrap();
+            }
+        }
+        assert!(
+            !list_snapshots(&dir).unwrap().is_empty(),
+            "expected snapshots"
+        );
+        let fast = replay_dir(&dir, None, true).unwrap();
+        let slow = replay_dir(&dir, None, false).unwrap();
+        assert_eq!(fast.render(), slow.render());
+        // A freshly opened Wal agrees too.
+        let wal = Wal::open(cfg).unwrap();
+        assert_eq!(wal.render_state(), slow.render());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_older_or_genesis() {
+        let dir = tmp_dir("badsnap");
+        let cfg = WalConfig {
+            snapshot_every: 8,
+            sync: SyncPolicy::Os,
+            ..WalConfig::new(&dir)
+        };
+        {
+            let wal = Wal::open(cfg.clone()).unwrap();
+            for i in 1..=30 {
+                wal.append(&pred(i)).unwrap();
+            }
+        }
+        let reference = replay_dir(&dir, None, false).unwrap();
+        for (_, snap) in list_snapshots(&dir).unwrap() {
+            fs::write(&snap, b"garbage, not a frame").unwrap();
+        }
+        let recovered = Wal::open(cfg).unwrap();
+        assert_eq!(recovered.render_state(), reference.render());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_until_is_time_travel() {
+        let dir = tmp_dir("until");
+        {
+            let wal = Wal::open(small_cfg(&dir)).unwrap();
+            for i in 1..=20 {
+                wal.append(&pred(i)).unwrap();
+            }
+        }
+        let at_5 = replay_dir(&dir, Some(5), false).unwrap();
+        assert_eq!(at_5.seq, 5);
+        assert_eq!(at_5.served.records.len(), 5);
+        let at_tip = replay_dir(&dir, Some(9999), false).unwrap();
+        assert_eq!(at_tip.seq, 20);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_flusher_syncs_in_background() {
+        let dir = tmp_dir("group");
+        let cfg = WalConfig {
+            sync: SyncPolicy::Group {
+                interval: Duration::from_millis(2),
+                bytes: 1 << 20,
+            },
+            snapshot_every: 0,
+            ..WalConfig::new(&dir)
+        };
+        let wal = Wal::open(cfg).unwrap();
+        for i in 1..=5 {
+            wal.append(&pred(i)).unwrap();
+        }
+        // The flusher should drain the dirty window without an explicit
+        // sync() from us.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if wal.inner.lock().unwrap().dirty_bytes == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "flusher never synced");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(wal);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,210 @@
+//! Crash-recovery integration tests for the log as a whole: write,
+//! damage the tail the way `kill -9` (or bit rot) would, reopen, and
+//! demand the recovered state equal a deterministic replay of the same
+//! byte prefix — the paper-level invariant the serving plane relies on.
+
+use cloudsim::SimTime;
+use std::path::{Path, PathBuf};
+use wal::{replay_dir, Event, SyncPolicy, Wal, WalConfig};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wal-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cfg(dir: &Path) -> WalConfig {
+    let mut cfg = WalConfig::new(dir);
+    cfg.sync = SyncPolicy::Os; // tests survive process exit, not power loss
+    cfg
+}
+
+/// A deterministic little event stream exercising every projection.
+fn sample_events(n: u64) -> Vec<Event> {
+    let mut out = vec![Event::Init {
+        served_cap: 64,
+        feedback_cap: 64,
+    }];
+    for i in 1..n {
+        out.push(match i % 4 {
+            0 => Event::PredictionServed {
+                incident: i,
+                team: "PhyNet".into(),
+                text: format!("incident {i}"),
+                model_version: 1 + i / 16,
+                predicted: i.is_multiple_of(3),
+                confidence: (i % 10) as f64 / 10.0,
+                time: SimTime(i),
+            },
+            1 => Event::FeedbackAccepted {
+                incident: i,
+                team: "PhyNet".into(),
+                text: format!("incident {i}"),
+                model_version: 1 + i / 16,
+                predicted: i.is_multiple_of(3),
+                label: i.is_multiple_of(5),
+                time: SimTime(i),
+            },
+            2 => Event::ModelPromoted {
+                team: "PhyNet".into(),
+                version: 1 + i / 16,
+                source: "retrain".into(),
+                at: SimTime(i),
+            },
+            _ => Event::ShadowVerdict {
+                team: "PhyNet".into(),
+                at: SimTime(i),
+                candidate_mcc: 0.5,
+                live_mcc: 0.25,
+                samples: i,
+                passed: true,
+            },
+        });
+    }
+    out
+}
+
+/// The single live segment's path (tests below keep segments large
+/// enough not to rotate unless they ask for it).
+fn newest_segment(dir: &Path) -> PathBuf {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+        .collect();
+    segs.sort();
+    segs.pop().expect("at least one segment")
+}
+
+#[test]
+fn torn_tail_recovers_to_last_whole_event() {
+    let dir = tmp_dir("torn");
+    {
+        let wal = Wal::open(cfg(&dir)).unwrap();
+        for e in sample_events(20) {
+            wal.append(&e).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+    let clean = replay_dir(&dir, None, false).unwrap();
+    assert_eq!(clean.seq, 20);
+
+    // kill -9 mid-append: chop bytes off the newest segment so the
+    // final frame is torn.
+    let seg = newest_segment(&dir);
+    let len = std::fs::metadata(&seg).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+    f.set_len(len - 7).unwrap();
+    drop(f);
+
+    let wal = Wal::open(cfg(&dir)).unwrap();
+    assert_eq!(wal.seq(), 19, "exactly the torn final event is lost");
+    // Recovered in-memory state must equal a from-genesis replay of the
+    // truncated log, byte for byte in the canonical rendering.
+    let replayed = replay_dir(&dir, None, false).unwrap();
+    assert_eq!(wal.render_state(), replayed.render());
+    // The log accepts appends again, continuing the sequence.
+    assert_eq!(wal.append(&sample_events(20)[19]).unwrap(), 20);
+}
+
+#[test]
+fn bit_rot_truncates_to_the_damaged_frame() {
+    let dir = tmp_dir("rot");
+    {
+        let wal = Wal::open(cfg(&dir)).unwrap();
+        for e in sample_events(12) {
+            wal.append(&e).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+    let seg = newest_segment(&dir);
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let wal = Wal::open(cfg(&dir)).unwrap();
+    assert!(wal.seq() < 12, "damage must cut the tail");
+    let replayed = replay_dir(&dir, None, false).unwrap();
+    assert_eq!(wal.render_state(), replayed.render());
+    // Reopen truncated the file back to the valid prefix on disk.
+    let scan = wal::frame::scan_frames(&std::fs::read(&seg).unwrap());
+    assert_eq!(scan.end, wal::frame::ScanEnd::Clean);
+}
+
+#[test]
+fn snapshot_plus_tail_equals_genesis_replay() {
+    let dir = tmp_dir("snap");
+    let mut c = cfg(&dir);
+    c.snapshot_every = 8; // several snapshots over the run
+    c.segment_bytes = 1024; // ...and several segment rotations
+    {
+        let wal = Wal::open(c.clone()).unwrap();
+        for e in sample_events(60) {
+            wal.append(&e).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+    assert!(
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e
+                .as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "snap"))
+            .count()
+            >= 1,
+        "run must have produced snapshots"
+    );
+    let via_snapshot = replay_dir(&dir, None, true).unwrap();
+    let from_genesis = replay_dir(&dir, None, false).unwrap();
+    assert_eq!(via_snapshot.render(), from_genesis.render());
+    // Reopening (which recovers via snapshot + tail) agrees too.
+    let wal = Wal::open(c).unwrap();
+    assert_eq!(wal.seq(), 60);
+    assert_eq!(wal.render_state(), from_genesis.render());
+}
+
+#[test]
+fn until_is_a_time_travel_debugger() {
+    let dir = tmp_dir("until");
+    let events = sample_events(30);
+    {
+        let wal = Wal::open(cfg(&dir)).unwrap();
+        for e in &events {
+            wal.append(&e.clone()).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+    // Replaying to seq k must equal applying the first k events.
+    for k in [1u64, 7, 15, 29, 30] {
+        let got = replay_dir(&dir, Some(k), false).unwrap();
+        let mut expect = wal::Projections::new();
+        for (i, e) in events.iter().take(k as usize).enumerate() {
+            expect.apply(i as u64 + 1, e);
+        }
+        assert_eq!(got.render(), expect.render(), "divergence at seq {k}");
+        assert_eq!(got.seq, k);
+    }
+    // `until` past the end is simply the full state.
+    let past = replay_dir(&dir, Some(10_000), false).unwrap();
+    assert_eq!(past.seq, 30);
+}
+
+#[test]
+fn recovery_is_deterministic_across_reopens() {
+    let dir = tmp_dir("det");
+    {
+        let wal = Wal::open(cfg(&dir)).unwrap();
+        for e in sample_events(25) {
+            wal.append(&e).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+    let first = Wal::open(cfg(&dir)).unwrap().render_state();
+    let second = Wal::open(cfg(&dir)).unwrap().render_state();
+    assert_eq!(first, second, "reopen must be a pure function of the bytes");
+}

@@ -11,6 +11,8 @@
 #                                   # also replay the continual-learning loop
 #                                   # (drift -> retrain -> promotion -> rollback)
 #                                   # and round-trip /v1/feedback on a live server
+#   scripts/check.sh --wal-smoke    # also kill -9 a WAL-backed server mid-load
+#                                   # and assert byte-identical crash recovery
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -19,11 +21,13 @@ cd "$(dirname "$0")/.."
 bench_smoke=0
 serve_smoke=0
 lifecycle_smoke=0
+wal_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --serve-smoke) serve_smoke=1 ;;
     --lifecycle-smoke) lifecycle_smoke=1 ;;
+    --wal-smoke) wal_smoke=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -50,6 +54,8 @@ if [[ "$bench_smoke" == 1 ]]; then
   BENCH_SMOKE=1 cargo bench -p bench --bench obs
   echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench forest) =="
   BENCH_SMOKE=1 cargo bench -p bench --bench forest
+  echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench wal) =="
+  BENCH_SMOKE=1 cargo bench -p bench --bench wal
 fi
 
 if [[ "$serve_smoke" == 1 ]]; then
@@ -60,6 +66,11 @@ fi
 if [[ "$lifecycle_smoke" == 1 ]]; then
   echo "== lifecycle smoke (scoutctl lifecycle + serve --lifecycle) =="
   scripts/lifecycle_smoke.sh
+fi
+
+if [[ "$wal_smoke" == 1 ]]; then
+  echo "== wal smoke (kill -9 + byte-identical crash recovery) =="
+  scripts/wal_smoke.sh
 fi
 
 echo "all checks passed"
