@@ -1,0 +1,356 @@
+//! Fleet routing-plane benchmark, emitted as `BENCH_fleet.json` at the
+//! workspace root.
+//!
+//! For each fleet size (8 / 32 / 128 synthetic teams) this measures:
+//!
+//! * **throughput + latency** of `POST /v1/route` under a concurrent
+//!   client fleet — every request fans the incident out to all N
+//!   registered Scouts across the rendezvous shards;
+//! * **fleet accuracy** against the per-Scout sequential baseline: the
+//!   same incidents dispatched with `shards = 1` (one Scout after
+//!   another) and with the sharded plane, routed through the same
+//!   string-keyed Scout Master. The dispatch outcomes are asserted
+//!   bit-identical, so the sharded accuracy can never trail the
+//!   sequential baseline.
+//!
+//! `BENCH_SMOKE=1` shrinks the world, fleet sizes, and request counts —
+//! used by `scripts/check.sh --bench-smoke` and CI.
+
+use cloudsim::{DependencyGraph, SimDuration, Team};
+use featcache::FeatCache;
+use incident::{Workload, WorkloadConfig};
+use ml::forest::ForestConfig;
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
+use scoutmaster::{FleetAnswer, FleetDecision, FleetMaster};
+use serve::{Client, Engine, FleetConfig, ModelEntry, ModelRegistry, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SHARDS: usize = 8;
+const CONCURRENCY: usize = 4;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn bench_workload(smoke: bool) -> Arc<Workload> {
+    let mut config = WorkloadConfig {
+        seed: 7,
+        ..WorkloadConfig::default()
+    };
+    config.faults.faults_per_day = 2.0;
+    config.faults.horizon = SimDuration::days(if smoke { 20 } else { 40 });
+    Arc::new(Workload::generate(config))
+}
+
+/// One trained model per internal base team, from a single shared
+/// featurization pass (the labels are the only per-team difference).
+fn base_models(world: &Workload) -> Vec<(Team, String)> {
+    let bases: Vec<Team> = cloudsim::TeamRegistry::new().internal_teams().collect();
+    let mon = MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let examples: Vec<Example> = world
+        .incidents
+        .iter()
+        .map(|i| Example::new(i.text(), i.created_at, false))
+        .collect();
+    let owners: Vec<Team> = world.incidents.iter().map(|i| i.owner).collect();
+    let config = ScoutConfig::phynet();
+    let build = ScoutBuildConfig {
+        forest: ForestConfig {
+            n_trees: 8,
+            ..ForestConfig::default()
+        },
+        cluster_train_cap: 10,
+        ..ScoutBuildConfig::default()
+    };
+    let corpus = Scout::prepare(&config, &build, &examples, &mon);
+    bases
+        .into_iter()
+        .map(|base| {
+            let relabeled = corpus.relabeled(|i, _| owners[i] == base);
+            let train = relabeled.trainable_indices();
+            let scout =
+                Scout::train_prepared(config.clone(), build.clone(), &relabeled, &train, &mon);
+            (base, scout.to_text())
+        })
+        .collect()
+}
+
+fn fleet_team_name(bases: &[(Team, String)], i: usize) -> String {
+    cloudsim::synthetic_team_name(bases[i % bases.len()].0, i / bases.len())
+}
+
+fn fleet_entries(bases: &[(Team, String)], n: usize) -> Vec<Arc<ModelEntry>> {
+    (0..n)
+        .map(|i| {
+            Arc::new(ModelEntry {
+                team: fleet_team_name(bases, i),
+                version: i as u64 + 1,
+                source: "bench".into(),
+                scout: Scout::from_text(&bases[i % bases.len()].1).expect("model round-trip"),
+                feat_cache: FeatCache::new(16 * 1024 * 1024),
+            })
+        })
+        .collect()
+}
+
+fn fleet_registry(bases: &[(Team, String)], n: usize) -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::new());
+    for i in 0..n {
+        let scout = Scout::from_text(&bases[i % bases.len()].1).expect("model round-trip");
+        registry
+            .register(&fleet_team_name(bases, i), scout, "bench")
+            .expect("register bench model");
+    }
+    registry
+}
+
+/// Evenly-strided sample of incident route bodies across the workload.
+fn sample_bodies(world: &Workload, count: usize) -> Vec<String> {
+    let total = world.incidents.len();
+    (0..count.min(total))
+        .map(|k| {
+            let incident = &world.incidents[k * total / count.min(total)];
+            obs::json::Obj::new()
+                .str("text", &incident.text())
+                .uint("time_minutes", incident.created_at.0)
+                .finish()
+        })
+        .collect()
+}
+
+struct HttpStats {
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    requests: usize,
+}
+
+fn run_http(
+    bases: &[(Team, String)],
+    world: &Arc<Workload>,
+    n: usize,
+    requests: usize,
+) -> HttpStats {
+    let registry = fleet_registry(bases, n);
+    let engine = Engine::new(registry, Arc::clone(world))
+        .with_master(FleetMaster::with_graph(DependencyGraph::synthetic_fleet(n)))
+        .with_fleet(FleetConfig {
+            shards: SHARDS,
+            suggestions: 5,
+            fail_teams: Vec::new(),
+        });
+    let server = Server::start(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            max_connections: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    let bodies = Arc::new(sample_bodies(world, requests));
+
+    // Warm up the thread pool and connection paths (feature caches stay
+    // per-entry, so the measured pass still pays featurization once per
+    // distinct incident text).
+    let mut warm = Client::connect(&addr).expect("warmup connect");
+    assert!(warm
+        .post_json("/v1/route", &bodies[0])
+        .expect("warmup request")
+        .is_success());
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CONCURRENCY)
+        .map(|w| {
+            let addr = addr.clone();
+            let bodies = Arc::clone(&bodies);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut latencies = Vec::new();
+                for body in bodies.iter().skip(w).step_by(CONCURRENCY) {
+                    let t0 = Instant::now();
+                    let resp = client.post_json("/v1/route", body).expect("route");
+                    assert!(
+                        resp.is_success(),
+                        "status {}: {}",
+                        resp.status,
+                        resp.body_text()
+                    );
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let wall = started.elapsed().as_secs_f64();
+    server.shutdown();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    HttpStats {
+        throughput_rps: latencies.len() as f64 / wall,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        requests: latencies.len(),
+    }
+}
+
+struct AccuracyStats {
+    fleet_accuracy: f64,
+    sequential_accuracy: f64,
+    sample: usize,
+    bit_identical: bool,
+}
+
+fn outcome_key(outcomes: &[serve::TeamOutcome]) -> String {
+    outcomes
+        .iter()
+        .map(|o| match &o.result {
+            Ok(a) => format!("{} {:.17}\n", a.team, a.prediction.confidence),
+            Err(e) => format!("{} ERR {e}\n", o.team),
+        })
+        .collect()
+}
+
+fn decision_hits(
+    master: &FleetMaster,
+    outcomes: &[serve::TeamOutcome],
+    owner: Team,
+    scouted: &[Team],
+) -> bool {
+    let answers: Vec<FleetAnswer> = outcomes
+        .iter()
+        .filter_map(|o| o.result.as_ref().ok())
+        .map(|a| {
+            FleetAnswer::new(
+                a.team.clone(),
+                a.prediction.says_responsible(),
+                a.prediction.confidence,
+            )
+        })
+        .collect();
+    match master.route(&answers) {
+        FleetDecision::SendTo(team) => cloudsim::base_team_name(&team) == owner.name(),
+        FleetDecision::Fallback => !scouted.contains(&owner),
+    }
+}
+
+fn run_accuracy(
+    bases: &[(Team, String)],
+    world: &Arc<Workload>,
+    n: usize,
+    sample: usize,
+) -> AccuracyStats {
+    let entries = fleet_entries(bases, n);
+    let master = FleetMaster::with_graph(DependencyGraph::synthetic_fleet(n));
+    let scouted: Vec<Team> = bases.iter().take(n).map(|(t, _)| *t).collect();
+    let sharded_config = FleetConfig {
+        shards: SHARDS,
+        suggestions: 5,
+        fail_teams: Vec::new(),
+    };
+    let sequential_config = FleetConfig {
+        shards: 1,
+        ..sharded_config.clone()
+    };
+
+    let total = world.incidents.len();
+    let sample = sample.min(total);
+    let mut fleet_hits = 0usize;
+    let mut sequential_hits = 0usize;
+    let mut bit_identical = true;
+    for k in 0..sample {
+        let incident = &world.incidents[k * total / sample];
+        let text = incident.text();
+        let sharded = serve::fleet::dispatch(
+            &entries,
+            world,
+            &text,
+            incident.created_at,
+            None,
+            &sharded_config,
+        );
+        let sequential = serve::fleet::dispatch(
+            &entries,
+            world,
+            &text,
+            incident.created_at,
+            None,
+            &sequential_config,
+        );
+        bit_identical &= outcome_key(&sharded) == outcome_key(&sequential);
+        fleet_hits += decision_hits(&master, &sharded, incident.owner, &scouted) as usize;
+        sequential_hits += decision_hits(&master, &sequential, incident.owner, &scouted) as usize;
+    }
+    AccuracyStats {
+        fleet_accuracy: fleet_hits as f64 / sample as f64,
+        sequential_accuracy: sequential_hits as f64 / sample as f64,
+        sample,
+        bit_identical,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    // (teams, http requests, accuracy sample) per fleet size.
+    let sizes: &[(usize, usize, usize)] = if smoke {
+        &[(8, 12, 12)]
+    } else {
+        &[(8, 64, 32), (32, 32, 32), (128, 16, 24)]
+    };
+
+    let world = bench_workload(smoke);
+    eprintln!(
+        "training {} base models on {} incidents…",
+        cloudsim::TeamRegistry::new().internal_teams().count(),
+        world.incidents.len()
+    );
+    let bases = base_models(&world);
+
+    let mut rows = String::new();
+    for (i, &(n, requests, sample)) in sizes.iter().enumerate() {
+        eprintln!("fleet size {n}: HTTP run ({requests} requests)…");
+        let http = run_http(&bases, &world, n, requests);
+        eprintln!("fleet size {n}: accuracy run ({sample} incidents)…");
+        let acc = run_accuracy(&bases, &world, n, sample);
+        assert!(acc.bit_identical, "sharded dispatch diverged at {n} teams");
+        assert!(
+            acc.fleet_accuracy >= acc.sequential_accuracy,
+            "fleet accuracy fell below the sequential baseline at {n} teams"
+        );
+        println!(
+            "teams {n:>4}   {:>7.2} req/s   p50 {:>8.1} ms   p99 {:>8.1} ms   accuracy {:.3} (sequential {:.3})",
+            http.throughput_rps, http.p50_ms, http.p99_ms, acc.fleet_accuracy, acc.sequential_accuracy
+        );
+        rows.push_str(&format!(
+            "    {{\"teams\": {n}, \"requests\": {}, \"throughput_rps\": {:.2}, \"p50_ms\": {:.1}, \"p99_ms\": {:.1}, \"accuracy_sample\": {}, \"fleet_accuracy\": {:.4}, \"sequential_accuracy\": {:.4}, \"bit_identical\": {}}}{}\n",
+            http.requests,
+            http.throughput_rps,
+            http.p50_ms,
+            http.p99_ms,
+            acc.sample,
+            acc.fleet_accuracy,
+            acc.sequential_accuracy,
+            acc.bit_identical,
+            if i + 1 < sizes.len() { "," } else { "" }
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"shards\": {SHARDS},\n  \"concurrency\": {CONCURRENCY},\n  \"sizes\": [\n{rows}  ]\n}}\n"
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_fleet.json");
+    std::fs::write(&out, json).expect("write BENCH_fleet.json");
+    println!("wrote {}", out.display());
+}

@@ -21,11 +21,13 @@
 //! text and monitoring data, exactly the paper's information boundary.
 
 pub mod clock;
+pub mod depgraph;
 pub mod fault;
 pub mod team;
 pub mod topology;
 
 pub use clock::{SimDuration, SimTime};
+pub use depgraph::{base_team_name, synthetic_team_name, DependencyGraph};
 pub use fault::{Fault, FaultCatalog, FaultKind, FaultScheduleConfig, FaultScope, Severity};
 pub use team::{Team, TeamId, TeamRegistry};
 pub use topology::{Component, ComponentId, ComponentKind, Topology, TopologyConfig};

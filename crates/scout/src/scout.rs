@@ -176,6 +176,23 @@ impl PreparedCorpus {
             .filter(|&i| self.items[i].trainable())
             .collect()
     }
+
+    /// The same featurized corpus with every label rewritten by
+    /// `label(index, example)`.
+    ///
+    /// Featurization is label-independent (labels are only read at
+    /// train time), so one expensive `prepare` pass can be shared across
+    /// many per-team Scouts: relabel the corpus once per team ("is this
+    /// team responsible?") and call [`Scout::train_prepared`] on each.
+    /// This is how the synthetic fleet trains N Scouts in one
+    /// featurization pass.
+    pub fn relabeled(&self, label: impl Fn(usize, &Example) -> bool) -> PreparedCorpus {
+        let mut corpus = self.clone();
+        for (i, item) in corpus.items.iter_mut().enumerate() {
+            item.example.label = label(i, &item.example);
+        }
+        corpus
+    }
 }
 
 /// A trained Scout.

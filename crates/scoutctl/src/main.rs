@@ -89,6 +89,7 @@ fn run(raw: Vec<String>) -> Result<(), ArgError> {
         Some("lifecycle") => lifecycle_cmd(&args),
         Some("serve") => serve_cmd(&args),
         Some("loadgen") => loadgen(&args),
+        Some("fleetgen") => fleetgen(&args),
         Some("probe") => probe(&args),
         Some("flight") => flight_cmd(&args),
         Some("wal") => wal_cmd(&args),
@@ -172,6 +173,9 @@ commands:
                            incident drift, print the promotion/rollback log
   serve                    run the online incident-routing HTTP server
   loadgen                  drive a running server, print throughput and latency
+  fleetgen                 replay the multi-team incident trace through a
+                           running fleet's /v1/route, print throughput and
+                           routing accuracy (CI gate via --min-accuracy)
   probe                    send one request to a running server (CI smoke)
   flight                   fetch a running server's flight-recorder ring (JSONL)
   wal replay               reconstruct serving state from a write-ahead log
@@ -227,6 +231,18 @@ serve options:
   --wal-segment-mb MB      rotate WAL segments at MB megabytes (default 8)
   --wal-snapshot-every N   write a snapshot every N events (default 4096;
                            0 disables snapshots)
+  --fleet-shards N         worker groups for the /v1/route fan-out (default:
+                           SCOUTS_FLEET_SHARDS env, else 4); teams are
+                           rendezvous-hashed so add/remove never reshuffles
+  --fleet-suggestions K    top-k suggestions in /v1/route responses (default 3)
+  --fleet-fail-teams A,B   inject per-team Scout failures (case-insensitive)
+                           to exercise the degrade-gracefully path
+  --synthetic-teams N      instead of one trained Scout, register N synthetic
+                           per-team Scouts (nine trained base models, one
+                           shared featurization pass, replicas beyond nine
+                           reuse their base model) with the matching
+                           dependency graph — the fleet the benches and
+                           smoke tests route against
 
 loadgen options:
   --addr HOST:PORT         server to drive (required)
@@ -235,6 +251,16 @@ loadgen options:
   --endpoint predict|route what to exercise (default predict)
   --team NAME              predict: team to query (default PhyNet)
   --text STRING            incident text to send
+
+fleetgen options:
+  --addr HOST:PORT         fleet server to drive (required)
+  --requests N             incidents to replay (default 200)
+  --concurrency N          concurrent connections (default 4)
+  --seed N, --faults-per-day F
+                           regenerate the server's workload (must match the
+                           serve invocation for ground-truth owners to line up)
+  --min-accuracy F         exit non-zero if routing accuracy drops below F
+  --max-unmapped N         exit non-zero if serve.route.unmapped exceeds N
 
 probe options:
   --addr HOST:PORT         server to probe (required)
@@ -375,6 +401,61 @@ fn train_scout(
         .collect();
     let scout = Scout::train_prepared(config, build, &corpus, &train, &mon);
     (scout, corpus, test, mon)
+}
+
+/// Train and register `n` synthetic per-team Scouts in **one**
+/// featurization pass: featurization is label-independent, so the
+/// prepared corpus is relabeled per base team ("is this team
+/// responsible?") and each base Scout trains from the shared features.
+/// Replicas beyond the nine internal base teams reuse the base team's
+/// trained model (round-tripped through the text format so every
+/// registry entry is independent), named by the same scheme as
+/// [`cloudsim::DependencyGraph::synthetic_fleet`].
+fn register_synthetic_fleet(
+    world: &Workload,
+    config: ScoutConfig,
+    n: usize,
+    registry: &serve::ModelRegistry,
+) -> Result<(), ArgError> {
+    let bases: Vec<Team> = cloudsim::TeamRegistry::new().internal_teams().collect();
+    let mon = MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let examples: Vec<Example> = world
+        .incidents
+        .iter()
+        .map(|i| Example::new(i.text(), i.created_at, false))
+        .collect();
+    let owners: Vec<Team> = world.incidents.iter().map(|i| i.owner).collect();
+    let build = ScoutBuildConfig::default();
+    let feat_cache = featcache::FeatCache::new(64 * 1024 * 1024);
+    eprintln!(
+        "[scoutctl] featurizing {} incidents once for {n} synthetic Scouts…",
+        examples.len()
+    );
+    let corpus = Scout::prepare_cached(&config, &build, &examples, &mon, Some(&feat_cache));
+    let cutoff = SimTime::from_days(180);
+    let active_bases = bases.len().min(n);
+    let mut base_models: Vec<String> = Vec::with_capacity(active_bases);
+    for base in bases.iter().take(active_bases) {
+        let relabeled = corpus.relabeled(|i, _| owners[i] == *base);
+        let train: Vec<usize> = relabeled
+            .trainable_indices()
+            .into_iter()
+            .filter(|&i| relabeled.items[i].example.time < cutoff)
+            .collect();
+        let scout = Scout::train_prepared(config.clone(), build.clone(), &relabeled, &train, &mon);
+        base_models.push(scout.to_text());
+    }
+    for i in 0..n {
+        let base = bases[i % bases.len()];
+        let name = cloudsim::synthetic_team_name(base, i / bases.len());
+        let scout = Scout::from_text(&base_models[i % bases.len()])
+            .map_err(|e| ArgError(format!("synthetic Scout round-trip failed: {e}")))?;
+        registry
+            .register(&name, scout, "synthetic-fleet")
+            .expect("startup registration cannot hit a pin");
+    }
+    eprintln!("[scoutctl] registered {n} synthetic Scouts ({active_bases} trained base model(s))");
+    Ok(())
 }
 
 fn train_eval(args: &Args) -> Result<(), ArgError> {
@@ -791,19 +872,46 @@ fn serve_cmd(args: &Args) -> Result<(), ArgError> {
             }
         }
         None => {
-            let config = load_config(args)?;
-            let team = load_team(args)?;
-            eprintln!("[scoutctl] no --model-dir: training a {team} Scout at startup…");
-            let (scout, _, _, _) = train_scout(&world, config, team);
-            let version = registry
-                .register(team.name(), scout, "trained-at-startup")
-                .expect("startup registration cannot hit a pin");
-            eprintln!("[scoutctl] registered {team} Scout (v{version})");
+            let synthetic = args.get_parsed("synthetic-teams", 0usize)?;
+            if synthetic > 0 {
+                register_synthetic_fleet(&world, load_config(args)?, synthetic, &registry)?;
+                engine = engine.with_master(scoutmaster::FleetMaster::with_graph(
+                    cloudsim::DependencyGraph::synthetic_fleet(synthetic),
+                ));
+            } else {
+                let config = load_config(args)?;
+                let team = load_team(args)?;
+                eprintln!("[scoutctl] no --model-dir: training a {team} Scout at startup…");
+                let (scout, _, _, _) = train_scout(&world, config, team);
+                let version = registry
+                    .register(team.name(), scout, "trained-at-startup")
+                    .expect("startup registration cannot hit a pin");
+                eprintln!("[scoutctl] registered {team} Scout (v{version})");
+            }
         }
     }
     if let Some(dir) = model_dir {
         engine = engine.with_model_dir(dir);
     }
+    // Fleet routing plane: CLI overrides the SCOUTS_FLEET_SHARDS env
+    // default; `--fleet-fail-teams` injects per-team faults for smoke
+    // tests of the degrade-gracefully path.
+    let mut fleet = serve::FleetConfig::default();
+    fleet.shards = args.get_parsed("fleet-shards", fleet.shards)?;
+    fleet.suggestions = args.get_parsed("fleet-suggestions", fleet.suggestions)?;
+    if let Some(list) = args.get("fleet-fail-teams") {
+        fleet.fail_teams = list
+            .split(',')
+            .map(|t| t.trim().to_string())
+            .filter(|t| !t.is_empty())
+            .collect();
+    }
+    eprintln!(
+        "[scoutctl] fleet routing plane: {} shard(s), top-{} suggestions",
+        fleet.effective_shards(),
+        fleet.suggestions
+    );
+    engine = engine.with_fleet(fleet);
     // Keep the handle alive for the server's lifetime: dropping it stops
     // the controller worker.
     let _lifecycle = if args.flag("lifecycle") {
@@ -921,6 +1029,211 @@ fn loadgen(args: &Args) -> Result<(), ArgError> {
         percentile(&latencies, 50.0),
         percentile(&latencies, 99.0),
     );
+    Ok(())
+}
+
+/// `scoutctl fleetgen`: trace-driven multi-team replay against a running
+/// fleet server. Regenerates the same synthetic workload the server
+/// booted with (same `--seed`/`--faults-per-day`), replays a burst of
+/// incidents — each with its ground-truth owning team — through
+/// `POST /v1/route` at the requested concurrency, and reports routing
+/// throughput, latency, fleet-level accuracy, and the top-k suggestion
+/// hit rate. `--min-accuracy` / `--max-unmapped` turn the report into a
+/// CI gate (non-zero exit on violation).
+///
+/// Accuracy is judged at *base-team* granularity (replica Scouts of one
+/// base team share a model, so `PhyNet-3` answering for a PhyNet
+/// incident is correct): an incident whose owner has a registered Scout
+/// counts as a hit when the decision is `send_to` that owner's base;
+/// an incident whose owner has no Scout counts as a hit when the fleet
+/// falls back to legacy routing.
+fn fleetgen(args: &Args) -> Result<(), ArgError> {
+    use serve::Client;
+    use std::collections::BTreeSet;
+
+    let addr = args
+        .get("addr")
+        .ok_or_else(|| ArgError("fleetgen needs --addr HOST:PORT".into()))?
+        .to_string();
+    let requests = args.get_parsed("requests", 200usize)?.max(1);
+    let concurrency = args.get_parsed("concurrency", 4usize)?.max(1);
+    let min_accuracy = args.get_parsed("min-accuracy", 0.0f64)?;
+    let max_unmapped = match args.get("max-unmapped") {
+        None => None,
+        Some(_) => Some(args.get_parsed("max-unmapped", 0u64)?),
+    };
+
+    // Which base teams have a registered Scout? The server knows.
+    let mut client = Client::connect(&addr).map_err(|e| ArgError(e.to_string()))?;
+    let ready = client.get("/readyz").map_err(|e| ArgError(e.to_string()))?;
+    if !ready.is_success() {
+        return Err(ArgError(format!("/readyz answered {}", ready.status)));
+    }
+    let ready_text = ready.body_text();
+    let ready_json = obs::json::Value::parse(&ready_text)
+        .ok_or_else(|| ArgError("/readyz response is not valid JSON".into()))?;
+    let scouted: BTreeSet<String> = ready_json
+        .get("teams")
+        .and_then(obs::json::Value::as_arr)
+        .map(|teams| {
+            teams
+                .iter()
+                .filter_map(obs::json::Value::as_str)
+                .map(|t| cloudsim::base_team_name(t).to_string())
+                .collect()
+        })
+        .unwrap_or_default();
+    if scouted.is_empty() {
+        return Err(ArgError("/readyz lists no registered teams".into()));
+    }
+
+    // The replay burst: an even-stride, chronological sample of the
+    // regenerated trace, each incident carrying its ground-truth owner.
+    let world = load_world(args)?;
+    let total = world.incidents.len();
+    if total == 0 {
+        return Err(ArgError("the workload generated no incidents".into()));
+    }
+    let picks: Vec<usize> = (0..requests).map(|k| k * total / requests).collect();
+
+    struct Shot {
+        latency_ms: f64,
+        hit: bool,
+        topk_hit: bool,
+        fallback: bool,
+    }
+
+    let world = std::sync::Arc::new(world);
+    let scouted = std::sync::Arc::new(scouted);
+    let started = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for worker in 0..concurrency {
+        let slice: Vec<usize> = picks
+            .iter()
+            .copied()
+            .skip(worker)
+            .step_by(concurrency)
+            .collect();
+        let (addr, world, scouted) = (addr.clone(), world.clone(), scouted.clone());
+        handles.push(std::thread::spawn(move || -> Result<Vec<Shot>, String> {
+            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let mut shots = Vec::with_capacity(slice.len());
+            for idx in slice {
+                let incident = &world.incidents[idx];
+                let body = obs::json::Obj::new()
+                    .str("text", &incident.text())
+                    .uint("time_minutes", incident.created_at.0)
+                    .finish();
+                let t = std::time::Instant::now();
+                let resp = client
+                    .post_json("/v1/route", &body)
+                    .map_err(|e| e.to_string())?;
+                let latency_ms = t.elapsed().as_secs_f64() * 1e3;
+                if !resp.is_success() {
+                    return Err(format!(
+                        "server answered {}: {}",
+                        resp.status,
+                        resp.body_text()
+                    ));
+                }
+                let text = resp.body_text();
+                let value = obs::json::Value::parse(&text)
+                    .ok_or_else(|| format!("route response is not valid JSON: {text}"))?;
+                let decision = value
+                    .get("decision")
+                    .and_then(obs::json::Value::as_str)
+                    .ok_or_else(|| format!("route response has no decision: {text}"))?;
+                let owner = incident.owner.name();
+                let owner_scouted = scouted.contains(owner);
+                let fallback = decision == "fallback";
+                let hit = if owner_scouted {
+                    value
+                        .get("team")
+                        .and_then(obs::json::Value::as_str)
+                        .is_some_and(|t| cloudsim::base_team_name(t) == owner)
+                } else {
+                    fallback
+                };
+                let topk_hit = if owner_scouted {
+                    value
+                        .get("suggestions")
+                        .and_then(obs::json::Value::as_arr)
+                        .is_some_and(|s| {
+                            s.iter()
+                                .filter_map(|v| v.get("team").and_then(obs::json::Value::as_str))
+                                .any(|t| cloudsim::base_team_name(t) == owner)
+                        })
+                } else {
+                    fallback
+                };
+                shots.push(Shot {
+                    latency_ms,
+                    hit,
+                    topk_hit,
+                    fallback,
+                });
+            }
+            Ok(shots)
+        }));
+    }
+    let mut shots: Vec<Shot> = Vec::with_capacity(requests);
+    for h in handles {
+        shots.extend(
+            h.join()
+                .map_err(|_| ArgError("worker panicked".into()))?
+                .map_err(ArgError)?,
+        );
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let mut latencies: Vec<f64> = shots.iter().map(|s| s.latency_ms).collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let hits = shots.iter().filter(|s| s.hit).count();
+    let topk_hits = shots.iter().filter(|s| s.topk_hit).count();
+    let fallbacks = shots.iter().filter(|s| s.fallback).count();
+    let accuracy = hits as f64 / shots.len() as f64;
+    println!(
+        "fleetgen: {} incidents over {} connection(s) in {:.2}s: {:.0} req/s; latency p50 {:.2} ms, p99 {:.2} ms",
+        shots.len(),
+        concurrency,
+        wall,
+        shots.len() as f64 / wall,
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 99.0),
+    );
+    println!(
+        "routing accuracy {:.1}% ({hits}/{} correct, {fallbacks} fallback); top-k hit rate {:.1}%",
+        100.0 * accuracy,
+        shots.len(),
+        100.0 * topk_hits as f64 / shots.len() as f64,
+    );
+
+    // The unmapped-drop counter: with the string-keyed master every
+    // registered team is routable, so a fleet built from the dependency
+    // graph should report zero.
+    let metrics = client
+        .get("/metrics.json")
+        .map_err(|e| ArgError(e.to_string()))?;
+    let unmapped = metrics
+        .body_text()
+        .lines()
+        .filter_map(obs::json::Value::parse)
+        .find(|v| v.get("name").and_then(obs::json::Value::as_str) == Some("serve.route.unmapped"))
+        .and_then(|v| v.get("value").and_then(obs::json::Value::as_f64))
+        .unwrap_or(0.0) as u64;
+    println!("unmapped answers: {unmapped}");
+    if let Some(max) = max_unmapped {
+        if unmapped > max {
+            return Err(ArgError(format!(
+                "unmapped answers {unmapped} exceed --max-unmapped {max}"
+            )));
+        }
+    }
+    if accuracy < min_accuracy {
+        return Err(ArgError(format!(
+            "routing accuracy {:.3} below --min-accuracy {min_accuracy}",
+            accuracy
+        )));
+    }
     Ok(())
 }
 

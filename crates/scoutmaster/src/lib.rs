@@ -11,15 +11,21 @@
 //! * [`master`] — the strawman Scout Master of Appendix C: one "yes" →
 //!   send it there; several "yes" → prefer the deeper dependency, then
 //!   confidence; all "no" → fall back to the legacy process.
+//! * [`fleet`] — the same policy over dynamic, string-keyed team fleets
+//!   (a [`cloudsim::DependencyGraph`] instead of the closed enum), plus
+//!   DeepTriage-style top-k suggestions. This is what the serving plane
+//!   routes with.
 //! * [`sim`] — the Appendix D trace-driven simulations: N perfect Scouts
 //!   (Fig. 15) and imperfect Scouts over an (α, β) accuracy/confidence
 //!   sweep (Fig. 16).
 
+pub mod fleet;
 pub mod gain;
 pub mod master;
 pub mod mle;
 pub mod sim;
 
+pub use fleet::{FleetAnswer, FleetDecision, FleetMaster, Suggestion};
 pub use gain::{GainAccountant, GainReport, IncidentOutcome};
 pub use master::{MasterDecision, ScoutAnswer, ScoutMaster};
 pub use mle::{MleMaster, ScoutStats};

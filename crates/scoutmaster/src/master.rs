@@ -49,11 +49,24 @@ impl ScoutMaster {
     }
 
     /// Route one incident given the deployed Scouts' answers.
+    ///
+    /// The decision is a pure function of the answer *set*: permuting
+    /// `answers` never changes it. The total order is:
+    ///
+    /// 1. dependency rule — a yes-team that every other yes-team
+    ///    transitively depends on wins; among several such teams
+    ///    (mutually-dependent cycles), the lexicographically smallest
+    ///    team name wins;
+    /// 2. otherwise highest confidence wins, equal confidences (and
+    ///    NaN, which sorts last) broken by ascending team name.
     pub fn route(&self, answers: &[ScoutAnswer]) -> MasterDecision {
         let mut yes: Vec<&ScoutAnswer> = answers
             .iter()
             .filter(|a| a.responsible && a.confidence >= self.confidence_threshold)
             .collect();
+        // Canonical order up front: every later "first match wins" step
+        // becomes order-independent.
+        yes.sort_by(|a, b| a.team.name().cmp(b.team.name()));
         match yes.len() {
             0 => MasterDecision::Fallback,
             1 => MasterDecision::SendTo(yes[0].team),
@@ -67,11 +80,12 @@ impl ScoutMaster {
                         return MasterDecision::SendTo(a.team);
                     }
                 }
-                // Otherwise: most confident wins.
+                // Otherwise: most confident wins; ties (and NaN) break by
+                // team name thanks to the pre-sort being stable.
                 yes.sort_by(|a, b| {
                     b.confidence
                         .partial_cmp(&a.confidence)
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .unwrap_or_else(|| a.confidence.is_nan().cmp(&b.confidence.is_nan()))
                 });
                 MasterDecision::SendTo(yes[0].team)
             }
@@ -142,5 +156,62 @@ mod tests {
     fn empty_answers_fall_back() {
         let m = ScoutMaster::new();
         assert_eq!(m.route(&[]), MasterDecision::Fallback);
+    }
+
+    #[test]
+    fn equal_confidence_tie_breaks_by_team_name() {
+        // DNS and Firewall are independent and equally confident: the
+        // lexicographically smaller name ("DNS") must win from either
+        // arrival order.
+        let m = ScoutMaster::new();
+        let fwd = m.route(&[ans(Team::Dns, true, 0.9), ans(Team::Firewall, true, 0.9)]);
+        let rev = m.route(&[ans(Team::Firewall, true, 0.9), ans(Team::Dns, true, 0.9)]);
+        assert_eq!(fwd, MasterDecision::SendTo(Team::Dns));
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn route_is_permutation_invariant() {
+        // Exhaustively permute a mixed answer set (dependency pair +
+        // independent team + a no) — every ordering must agree.
+        let m = ScoutMaster::new();
+        let base = [
+            ans(Team::Database, true, 0.9),
+            ans(Team::PhyNet, true, 0.9),
+            ans(Team::Dns, true, 0.9),
+            ans(Team::Storage, false, 0.99),
+        ];
+        let expected = m.route(&base);
+        let mut perm = base;
+        permute(&mut perm, 0, &mut |p| assert_eq!(m.route(p), expected));
+    }
+
+    #[test]
+    fn nan_confidence_never_outranks_a_real_one() {
+        let m = ScoutMaster::new();
+        for answers in [
+            [
+                ans(Team::Dns, true, f64::NAN),
+                ans(Team::Firewall, true, 0.85),
+            ],
+            [
+                ans(Team::Firewall, true, 0.85),
+                ans(Team::Dns, true, f64::NAN),
+            ],
+        ] {
+            assert_eq!(m.route(&answers), MasterDecision::SendTo(Team::Firewall));
+        }
+    }
+
+    fn permute(items: &mut [ScoutAnswer], k: usize, visit: &mut impl FnMut(&[ScoutAnswer])) {
+        if k == items.len() {
+            visit(items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute(items, k + 1, visit);
+            items.swap(k, i);
+        }
     }
 }

@@ -1,0 +1,328 @@
+//! The sharded fleet routing plane behind `POST /v1/route`.
+//!
+//! A routing request fans one incident out to *every* registered Scout.
+//! At paper scale (a handful of teams) a flat loop through the batcher
+//! works; at fleet scale (hundreds of teams) the fan-out itself becomes
+//! the bottleneck and a single slow or broken Scout must not take the
+//! whole decision down. This module is the scalable middle layer:
+//!
+//! * teams are partitioned into `shards` bounded worker groups by
+//!   **rendezvous (highest-random-weight) hashing** — each team's shard
+//!   is a pure function of `(team name, shard count)`, so adding or
+//!   removing a team never reshuffles any other team, and every process
+//!   in a fleet agrees on the assignment with zero coordination;
+//! * shards run in parallel on the workspace [`pool`] (the caller's
+//!   thread participates; nested parallelism degrades to inline
+//!   execution), each under a `fleet.shard` span linked to the request
+//!   trace, with per-shard team counts and latency metrics;
+//! * each Scout runs with the request deadline re-checked at dispatch
+//!   and is individually isolated: a panic or injected fault becomes a
+//!   per-team [`ScoutError`], never a request-wide failure.
+//!
+//! **Determinism:** outcomes are collected per team and sorted by team
+//! name before they leave this module, and each prediction is a pure
+//! function of `(scout, incident)` (the workspace-wide contract), so the
+//! aggregate is byte-identical across shard counts — `shards=1` and
+//! `shards=64` produce the same bytes. The integration proptests pin
+//! this.
+
+use crate::batcher::Answer;
+use crate::registry::ModelEntry;
+use incident::Workload;
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Environment variable consulted for the default shard count.
+pub const SHARDS_ENV: &str = "SCOUTS_FLEET_SHARDS";
+
+/// Default shard count when neither `--fleet-shards` nor
+/// [`SHARDS_ENV`] is set.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Default number of top-k routing suggestions in a `/v1/route`
+/// response.
+pub const DEFAULT_SUGGESTIONS: usize = 3;
+
+/// Fleet routing-plane tunables.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker groups the registered teams are hashed across (`0` is
+    /// treated as `1`).
+    pub shards: usize,
+    /// How many top-k suggestions `/v1/route` returns.
+    pub suggestions: usize,
+    /// Teams whose Scouts fail on purpose (case-insensitive). Fault
+    /// injection for tests and the smoke script — a listed team's
+    /// dispatch returns [`ScoutError::Injected`] instead of running.
+    pub fail_teams: Vec<String>,
+}
+
+impl Default for FleetConfig {
+    /// Shard count from [`SHARDS_ENV`] (else [`DEFAULT_SHARDS`]), three
+    /// suggestions, no injected faults.
+    fn default() -> FleetConfig {
+        let shards = std::env::var(SHARDS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(DEFAULT_SHARDS);
+        FleetConfig {
+            shards,
+            suggestions: DEFAULT_SUGGESTIONS,
+            fail_teams: Vec::new(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The effective shard count (`>= 1`).
+    pub fn effective_shards(&self) -> usize {
+        self.shards.max(1)
+    }
+
+    /// Is `team` marked for injected failure?
+    pub fn fails(&self, team: &str) -> bool {
+        self.fail_teams.iter().any(|t| t.eq_ignore_ascii_case(team))
+    }
+}
+
+/// Why one team's Scout produced no answer. Unlike
+/// [`PredictError`](crate::batcher::PredictError), these are *per-team*
+/// conditions: the routing decision proceeds over the Scouts that did
+/// answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScoutError {
+    /// The request deadline lapsed before this Scout ran.
+    DeadlineExpired,
+    /// The Scout panicked; the panic was contained to its team.
+    Panicked,
+    /// The team is listed in [`FleetConfig::fail_teams`].
+    Injected,
+}
+
+impl std::fmt::Display for ScoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScoutError::DeadlineExpired => write!(f, "deadline expired before the Scout ran"),
+            ScoutError::Panicked => write!(f, "the Scout panicked"),
+            ScoutError::Injected => write!(f, "injected failure (fleet fail_teams)"),
+        }
+    }
+}
+
+/// One team's dispatch outcome.
+#[derive(Debug, Clone)]
+pub struct TeamOutcome {
+    /// Registered team name (registry key).
+    pub team: String,
+    /// The Scout's answer, or why there is none.
+    pub result: Result<Answer, ScoutError>,
+}
+
+/// The shard `team` lives on, out of `shards`, by rendezvous hashing:
+/// the shard whose mixed `(team, shard)` weight is highest wins, ties to
+/// the lower shard index. Pure function of its arguments — stable across
+/// processes, runs, and unrelated team add/remove.
+pub fn shard_of(team: &str, shards: usize) -> usize {
+    let shards = shards.max(1);
+    if shards == 1 {
+        return 0;
+    }
+    let team_hash = fnv1a(team.as_bytes());
+    let mut best = 0usize;
+    let mut best_weight = 0u64;
+    for shard in 0..shards {
+        let weight = splitmix64(team_hash ^ splitmix64(shard as u64 + 1));
+        if shard == 0 || weight > best_weight {
+            best = shard;
+            best_weight = weight;
+        }
+    }
+    best
+}
+
+/// FNV-1a over `bytes` — a stable, dependency-free string hash
+/// (`std`'s `DefaultHasher` is seeded per process; rendezvous weights
+/// must agree across processes).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Fan one incident out to every entry, shard-parallel, and collect the
+/// per-team outcomes **sorted by team name** (the canonical order the
+/// response and the master both consume — this is what makes the bytes
+/// shard-count-independent).
+pub fn dispatch(
+    entries: &[Arc<ModelEntry>],
+    workload: &Workload,
+    text: &str,
+    time: cloudsim::SimTime,
+    deadline: Option<Instant>,
+    config: &FleetConfig,
+) -> Vec<TeamOutcome> {
+    let shards = config.effective_shards();
+    let mut groups: Vec<Vec<&Arc<ModelEntry>>> = vec![Vec::new(); shards];
+    for entry in entries {
+        groups[shard_of(&entry.team, shards)].push(entry);
+    }
+    let groups: Vec<(usize, Vec<&Arc<ModelEntry>>)> = groups
+        .into_iter()
+        .enumerate()
+        .filter(|(_, g)| !g.is_empty())
+        .collect();
+    obs::observe("fleet.dispatch.shards", groups.len() as f64);
+    obs::observe("fleet.dispatch.teams", entries.len() as f64);
+
+    // One monitoring plane for the whole fan-out, exactly like one
+    // batcher batch: it is read-only at predict time and shared by every
+    // shard.
+    let monitoring = MonitoringSystem::new(
+        &workload.topology,
+        &workload.faults,
+        MonitoringConfig::default(),
+    );
+    let ctx = obs::trace::capture();
+
+    let per_shard: Vec<Vec<TeamOutcome>> =
+        pool::Pool::global().parallel_map(&groups, |_, (shard, group)| {
+            let started = Instant::now();
+            let mut span = obs::span!("fleet.shard");
+            // The pool re-enters the caller's trace context, but link the
+            // request explicitly too: shard spans must stay attributable
+            // even when dispatch is driven outside a request (benches).
+            if let Some(ctx) = ctx.filter(|c| c.trace_id != 0) {
+                span.add_link(ctx);
+            }
+            obs::observe("fleet.shard.teams", group.len() as f64);
+            let outcomes: Vec<TeamOutcome> = group
+                .iter()
+                .map(|entry| TeamOutcome {
+                    team: entry.team.clone(),
+                    result: run_scout(entry, &monitoring, text, time, deadline, config),
+                })
+                .collect();
+            obs::observe(
+                &format!("fleet.shard.latency.{shard}"),
+                started.elapsed().as_secs_f64() * 1e3,
+            );
+            outcomes
+        });
+
+    let mut outcomes: Vec<TeamOutcome> = per_shard.into_iter().flatten().collect();
+    outcomes.sort_by(|a, b| a.team.cmp(&b.team));
+    outcomes
+}
+
+/// Run one team's Scout with isolation: deadline re-check, injected
+/// faults, and panic containment.
+fn run_scout(
+    entry: &ModelEntry,
+    monitoring: &MonitoringSystem<'_>,
+    text: &str,
+    time: cloudsim::SimTime,
+    deadline: Option<Instant>,
+    config: &FleetConfig,
+) -> Result<Answer, ScoutError> {
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        obs::counter("fleet.scout.deadline_expired").inc();
+        return Err(ScoutError::DeadlineExpired);
+    }
+    if config.fails(&entry.team) {
+        obs::counter("fleet.scout.injected_failure").inc();
+        return Err(ScoutError::Injected);
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        entry
+            .scout
+            .predict_many_cached(&[(text, time)], monitoring, Some(&entry.feat_cache))
+            .pop()
+            .expect("one input yields one prediction")
+    }));
+    match result {
+        Ok(prediction) => Ok(Answer {
+            team: entry.team.clone(),
+            model_version: entry.version,
+            prediction,
+        }),
+        Err(_) => {
+            obs::counter("fleet.scout.panicked").inc();
+            Err(ScoutError::Panicked)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1, 2, 4, 7, 64] {
+            for team in ["PhyNet", "Storage", "DNS", "PhyNet-13", "x"] {
+                let s = shard_of(team, shards);
+                assert!(s < shards, "{team}@{shards} -> {s}");
+                assert_eq!(s, shard_of(team, shards), "unstable for {team}@{shards}");
+            }
+        }
+        assert_eq!(shard_of("anything", 0), 0);
+        assert_eq!(shard_of("anything", 1), 0);
+    }
+
+    #[test]
+    fn shard_of_spreads_a_fleet() {
+        // 128 synthetic team names over 8 shards: every shard gets work
+        // and no shard hoards the fleet.
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        let graph = cloudsim::DependencyGraph::synthetic_fleet(128);
+        for team in graph.team_names() {
+            counts[shard_of(team, shards)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "empty shard: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c < 128 / 2),
+            "hoarding shard: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn rendezvous_is_monotone_under_shard_growth() {
+        // Growing the shard count only ever moves teams to the *new*
+        // shards — the rendezvous property that keeps warm caches warm.
+        let graph = cloudsim::DependencyGraph::synthetic_fleet(64);
+        for team in graph.team_names() {
+            let before = shard_of(team, 4);
+            let after = shard_of(team, 6);
+            assert!(
+                after == before || after >= 4,
+                "{team}: moved {before} -> {after} among surviving shards"
+            );
+        }
+    }
+
+    #[test]
+    fn config_fail_list_is_case_insensitive() {
+        let config = FleetConfig {
+            shards: 2,
+            suggestions: 3,
+            fail_teams: vec!["phynet".into()],
+        };
+        assert!(config.fails("PhyNet"));
+        assert!(!config.fails("Storage"));
+    }
+}

@@ -15,7 +15,12 @@
 //! * [`admission::Admission`] — a hard cap on outstanding work with
 //!   load-shedding (`503` + `Retry-After`) and per-request deadlines
 //!   (`X-Deadline-Ms` → `504`), because a late routing decision is a
-//!   useless one.
+//!   useless one;
+//! * [`fleet`] — the sharded routing plane behind `POST /v1/route`:
+//!   registered teams are rendezvous-hashed across bounded worker
+//!   groups, each incident fans out shard-parallel with per-team fault
+//!   isolation, and the string-keyed Scout Master aggregates the
+//!   outcomes deterministically (byte-identical across shard counts).
 //!
 //! Everything — including the HTTP/1.1 implementation in [`http`] — is
 //! dependency-free, like the rest of the workspace.
@@ -25,6 +30,7 @@ pub mod batcher;
 pub mod client;
 pub mod durability;
 pub mod feedback;
+pub mod fleet;
 pub mod http;
 pub mod registry;
 pub mod server;
@@ -34,6 +40,7 @@ pub use batcher::{Answer, BatchConfig, Batcher, Job, PredictError};
 pub use client::{Client, ClientError, ClientResponse};
 pub use durability::WalJournal;
 pub use feedback::{FeedbackEvent, FeedbackHook, ResolveError, ServedLog, ServedRecord};
+pub use fleet::{FleetConfig, ScoutError, TeamOutcome};
 pub use http::{HttpError, Request, Response};
 pub use registry::{ModelEntry, ModelRegistry, RegistryChange, RegistryError, RegistryJournal};
 pub use server::{Engine, ServeConfig, Server};

@@ -13,7 +13,7 @@
 //! | `GET /metrics.json` | the obs registry as JSONL |
 //! | `GET /v1/debug/flight` | the flight recorder's ring as JSONL |
 //! | `POST /v1/scouts/<team>/predict` | one Scout's verdict for `{"text", "time_minutes"?}` |
-//! | `POST /v1/route` | Scout-Master decision over every registered Scout |
+//! | `POST /v1/route` | sharded fleet fan-out → Scout-Master decision + top-k suggestions |
 //! | `POST /v1/models/reload` | atomic hot-swap from the model directory |
 //! | `POST /v1/models/rollback` | restore a prior version from the promotion timeline |
 //! | `POST /v1/feedback` | ground-truth resolving team for a served prediction |
@@ -32,14 +32,15 @@ use crate::admission::Admission;
 use crate::batcher::{Answer, BatchConfig, Batcher, Job, PredictError};
 use crate::durability::append_or_count;
 use crate::feedback::{FeedbackEvent, FeedbackHook, ResolveError, ServedLog, DEFAULT_SERVED_CAP};
+use crate::fleet::{self, FleetConfig, ScoutError};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::registry::ModelRegistry;
-use cloudsim::{SimTime, Team};
+use cloudsim::SimTime;
 use incident::Workload;
 use obs::json::{escape_into, Obj, Value};
 use obs::TraceContext;
 use scout::Prediction;
-use scoutmaster::{MasterDecision, ScoutAnswer, ScoutMaster};
+use scoutmaster::{FleetAnswer, FleetDecision, FleetMaster};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -54,8 +55,12 @@ pub struct Engine {
     pub registry: Arc<ModelRegistry>,
     /// The world the Scouts' monitoring plane reads from.
     pub workload: Arc<Workload>,
-    /// The Scout-Master aggregation policy.
-    pub master: ScoutMaster,
+    /// The Scout-Master aggregation policy, string-keyed over the fleet's
+    /// dependency graph.
+    pub master: FleetMaster,
+    /// Fleet routing-plane tunables (shard count, top-k suggestions,
+    /// injected faults).
+    pub fleet: FleetConfig,
     /// Where `POST /v1/models/reload` loads from (`None` → reload is 409).
     pub model_dir: Option<PathBuf>,
     /// Served predictions awaiting ground truth (`POST /v1/feedback`
@@ -76,7 +81,8 @@ impl Engine {
         Engine {
             registry,
             workload,
-            master: ScoutMaster::default(),
+            master: FleetMaster::default(),
+            fleet: FleetConfig::default(),
             model_dir: None,
             served: Arc::new(ServedLog::new(DEFAULT_SERVED_CAP)),
             feedback: None,
@@ -87,6 +93,19 @@ impl Engine {
     /// Set the model directory used by `POST /v1/models/reload`.
     pub fn with_model_dir(mut self, dir: PathBuf) -> Engine {
         self.model_dir = Some(dir);
+        self
+    }
+
+    /// Set the fleet routing-plane configuration.
+    pub fn with_fleet(mut self, fleet: FleetConfig) -> Engine {
+        self.fleet = fleet;
+        self
+    }
+
+    /// Replace the Scout-Master policy (e.g. a custom dependency graph
+    /// for a synthetic fleet).
+    pub fn with_master(mut self, master: FleetMaster) -> Engine {
+        self.master = master;
         self
     }
 
@@ -694,6 +713,16 @@ fn feedback(req: &Request, shared: &Shared) -> Response {
     Response::json(200, response)
 }
 
+/// `POST /v1/route`: fan the incident out to every registered Scout
+/// through the sharded fleet plane, aggregate with the string-keyed
+/// Scout Master, and return the decision plus top-k suggestions.
+///
+/// Per-team failures degrade gracefully: an errored Scout contributes
+/// "no answer" (counted in `serve.route.scout_error` and itemized in the
+/// response's `errors` array); the request itself fails only when
+/// *every* Scout does (`504` if all deadlines lapsed, else `500`).
+/// Answers from teams outside the dependency graph still route — they
+/// are counted in `serve.route.unmapped`, never dropped.
 fn route(req: &Request, shared: &Shared) -> Response {
     let input = match parse_predict_input(req, shared) {
         Ok(i) => i,
@@ -703,8 +732,8 @@ fn route(req: &Request, shared: &Shared) -> Response {
         Ok(d) => d,
         Err(e) => return Response::from_error(&e),
     };
-    let teams = shared.engine.registry.teams();
-    if teams.is_empty() {
+    let entries = shared.engine.registry.snapshot();
+    if entries.is_empty() {
         return Response::from_error(&HttpError::new(503, "no models registered"));
     }
     // One admission slot covers the whole fan-out: a routing request is
@@ -716,48 +745,78 @@ fn route(req: &Request, shared: &Shared) -> Response {
     let Some(_permit) = admitted else {
         return shed_response();
     };
-    let ctx = obs::trace::capture().unwrap_or(TraceContext::NONE);
-    let mut pending = Vec::with_capacity(teams.len());
-    for team in &teams {
-        let (reply_tx, reply_rx) = sync_channel(1);
-        let job = Job {
-            team: team.clone(),
-            text: input.text.clone(),
-            time: input.time,
+    let outcomes = {
+        let _span = obs::span!("fleet.dispatch");
+        fleet::dispatch(
+            &entries,
+            &shared.engine.workload,
+            &input.text,
+            input.time,
             deadline,
-            permit: None,
-            reply: reply_tx,
-            ctx,
-        };
-        if shared.batcher.submit(job).is_err() {
-            return predict_error_response(&PredictError::ShuttingDown);
-        }
-        pending.push(reply_rx);
-    }
-    let mut answers: Vec<Answer> = Vec::with_capacity(pending.len());
-    for rx in pending {
-        match rx.recv() {
-            Ok(Ok(answer)) => answers.push(answer),
-            Ok(Err(e)) => return predict_error_response(&e),
-            Err(_) => {
-                return Response::from_error(&HttpError::new(500, "batcher dropped the request"))
+            &shared.engine.fleet,
+        )
+    };
+    // Outcomes arrive sorted by team name — the canonical order that
+    // keeps the response bytes identical across shard counts.
+    let mut answers: Vec<Answer> = Vec::new();
+    let mut errors: Vec<(String, ScoutError)> = Vec::new();
+    for outcome in outcomes {
+        match outcome.result {
+            Ok(answer) => answers.push(answer),
+            Err(e) => {
+                obs::counter("serve.route.scout_error").inc();
+                errors.push((outcome.team, e));
             }
         }
     }
-    let scout_answers: Vec<ScoutAnswer> = answers
+    if answers.is_empty() {
+        obs::counter("serve.route.all_failed").inc();
+        let status = if errors
+            .iter()
+            .all(|(_, e)| *e == ScoutError::DeadlineExpired)
+        {
+            504
+        } else {
+            500
+        };
+        return Response::from_error(&HttpError::new(
+            status,
+            format!("all {} Scouts failed to answer", errors.len()),
+        ));
+    }
+    let graph = shared.engine.master.graph();
+    let unmapped = answers.iter().filter(|a| !graph.contains(&a.team)).count();
+    if unmapped > 0 {
+        obs::counter("serve.route.unmapped").add(unmapped as u64);
+    }
+    let fleet_answers: Vec<FleetAnswer> = answers
         .iter()
-        .filter_map(|a| {
-            Team::ALL
-                .iter()
-                .find(|t| t.name().eq_ignore_ascii_case(&a.team))
-                .map(|&team| ScoutAnswer {
-                    team,
-                    responsible: a.prediction.says_responsible(),
-                    confidence: a.prediction.confidence,
-                })
+        .map(|a| {
+            FleetAnswer::new(
+                a.team.clone(),
+                a.prediction.says_responsible(),
+                a.prediction.confidence,
+            )
         })
         .collect();
-    let decision = shared.engine.master.route(&scout_answers);
+    let decision = shared.engine.master.route(&fleet_answers);
+    let suggestions = shared
+        .engine
+        .master
+        .suggestions(&fleet_answers, shared.engine.fleet.suggestions);
+    let mut suggestions_json = String::from("[");
+    for (i, s) in suggestions.iter().enumerate() {
+        if i > 0 {
+            suggestions_json.push(',');
+        }
+        suggestions_json.push_str(
+            &Obj::new()
+                .str("team", &s.team)
+                .num("confidence", s.confidence)
+                .finish(),
+        );
+    }
+    suggestions_json.push(']');
     let mut answers_json = String::from("[");
     for (i, a) in answers.iter().enumerate() {
         if i > 0 {
@@ -766,13 +825,36 @@ fn route(req: &Request, shared: &Shared) -> Response {
         answers_json.push_str(&render_answer(a).finish());
     }
     answers_json.push(']');
-    let obj = match decision {
-        MasterDecision::SendTo(team) => Obj::new()
-            .str("decision", "send_to")
-            .str("team", team.name()),
-        MasterDecision::Fallback => Obj::new().str("decision", "fallback"),
+    let mut errors_json = String::from("[");
+    for (i, (team, e)) in errors.iter().enumerate() {
+        if i > 0 {
+            errors_json.push(',');
+        }
+        errors_json.push_str(
+            &Obj::new()
+                .str("team", team)
+                .str("error", &e.to_string())
+                .finish(),
+        );
+    }
+    errors_json.push(']');
+    let obj = match &decision {
+        FleetDecision::SendTo(team) => {
+            obs::counter("fleet.route.send_to").inc();
+            Obj::new().str("decision", "send_to").str("team", team)
+        }
+        FleetDecision::Fallback => {
+            obs::counter("fleet.route.fallback").inc();
+            Obj::new().str("decision", "fallback")
+        }
     };
-    Response::json(200, obj.raw("answers", &answers_json).finish())
+    Response::json(
+        200,
+        obj.raw("suggestions", &suggestions_json)
+            .raw("answers", &answers_json)
+            .raw("errors", &errors_json)
+            .finish(),
+    )
 }
 
 fn reload(shared: &Shared) -> Response {

@@ -1,0 +1,312 @@
+//! Fleet routing-plane tests: graceful degradation under partial Scout
+//! failure, unmapped-team answers participating in the decision, and the
+//! bit-identity of sharded dispatch against the sequential fan-out.
+
+use cloudsim::{SimDuration, Team};
+use featcache::FeatCache;
+use incident::{Workload, WorkloadConfig};
+use ml::forest::ForestConfig;
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use obs::json::Value;
+use proptest::prelude::*;
+use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
+use serve::{Client, Engine, FleetConfig, ModelEntry, ModelRegistry, ServeConfig, Server};
+use std::sync::{Arc, OnceLock};
+
+/// A small world: enough incidents to train on, fast enough for tests.
+fn small_workload() -> Arc<Workload> {
+    static WORLD: OnceLock<Arc<Workload>> = OnceLock::new();
+    WORLD
+        .get_or_init(|| {
+            let mut config = WorkloadConfig {
+                seed: 7,
+                ..WorkloadConfig::default()
+            };
+            config.faults.faults_per_day = 2.0;
+            config.faults.horizon = SimDuration::days(20);
+            Arc::new(Workload::generate(config))
+        })
+        .clone()
+}
+
+/// One PhyNet Scout trained on the small world, cached as model text so
+/// every test can cheaply mint `Scout` instances under any team name.
+fn trained_model_text() -> &'static str {
+    static TEXT: OnceLock<String> = OnceLock::new();
+    TEXT.get_or_init(|| {
+        let world = small_workload();
+        let mon =
+            MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+        let examples: Vec<Example> = world
+            .incidents
+            .iter()
+            .map(|i| Example::new(i.text(), i.created_at, i.owner == Team::PhyNet))
+            .collect();
+        let config = ScoutConfig::phynet();
+        let build = ScoutBuildConfig {
+            forest: ForestConfig {
+                n_trees: 8,
+                ..ForestConfig::default()
+            },
+            cluster_train_cap: 10,
+            ..ScoutBuildConfig::default()
+        };
+        let corpus = Scout::prepare(&config, &build, &examples, &mon);
+        let train = corpus.trainable_indices();
+        let scout = Scout::train_prepared(config, build, &corpus, &train, &mon);
+        scout.to_text()
+    })
+}
+
+fn test_scout() -> Scout {
+    Scout::from_text(trained_model_text()).expect("cached model text round-trips")
+}
+
+/// A server with one test Scout per `teams` entry (registered in order,
+/// so versions line up across servers) and the given fleet config.
+fn start_fleet_server(teams: &[&str], fleet: FleetConfig) -> Server {
+    let registry = Arc::new(ModelRegistry::new());
+    for team in teams {
+        registry
+            .register(team, test_scout(), "test")
+            .expect("register test model");
+    }
+    let engine = Engine::new(registry, small_workload()).with_fleet(fleet);
+    Server::start(engine, "127.0.0.1:0", ServeConfig::default()).expect("bind ephemeral port")
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(&server.addr().to_string()).expect("connect")
+}
+
+const INCIDENT: &str = r#"{"text":"Switch agg-3 in c1.dc1 reporting CRC errors and packet loss"}"#;
+
+fn fleet_config(shards: usize, fail_teams: &[&str]) -> FleetConfig {
+    FleetConfig {
+        shards,
+        suggestions: 3,
+        fail_teams: fail_teams.iter().map(|t| t.to_string()).collect(),
+    }
+}
+
+#[test]
+fn partial_scout_failure_degrades_gracefully() {
+    // One Scout fails (injected); the request must still answer 200 with
+    // the surviving Scouts' answers, the failed team itemized in
+    // `errors`, and a decision over what answered.
+    let server = start_fleet_server(
+        &["PhyNet", "Storage", "Database"],
+        fleet_config(2, &["Storage"]),
+    );
+    let mut client = connect(&server);
+    let resp = client.post_json("/v1/route", INCIDENT).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    let value = Value::parse(&resp.body_text()).expect("JSON body");
+
+    let decision = value.get("decision").and_then(Value::as_str).unwrap();
+    assert!(decision == "send_to" || decision == "fallback");
+
+    let answers = value.get("answers").and_then(Value::as_arr).unwrap();
+    let answered: Vec<&str> = answers
+        .iter()
+        .filter_map(|a| a.get("team").and_then(Value::as_str))
+        .collect();
+    assert_eq!(answered, ["Database", "PhyNet"], "sorted, Storage absent");
+
+    let errors = value.get("errors").and_then(Value::as_arr).unwrap();
+    assert_eq!(errors.len(), 1);
+    assert_eq!(
+        errors[0].get("team").and_then(Value::as_str),
+        Some("Storage")
+    );
+    assert!(errors[0]
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("injected"));
+
+    // Top-k suggestions rank only the teams that answered.
+    let suggestions = value.get("suggestions").and_then(Value::as_arr).unwrap();
+    assert!(!suggestions.is_empty() && suggestions.len() <= 3);
+    for s in suggestions {
+        let team = s.get("team").and_then(Value::as_str).unwrap();
+        assert!(team == "Database" || team == "PhyNet", "{team}");
+        let confidence = s.get("confidence").and_then(Value::as_f64).unwrap();
+        assert!((0.0..=1.0).contains(&confidence));
+    }
+}
+
+#[test]
+fn route_fails_only_when_every_scout_does() {
+    let server = start_fleet_server(
+        &["PhyNet", "Storage"],
+        fleet_config(2, &["PhyNet", "Storage"]),
+    );
+    let mut client = connect(&server);
+    // Every Scout injected to fail: 500, not a partial answer.
+    let resp = client.post_json("/v1/route", INCIDENT).unwrap();
+    assert_eq!(resp.status, 500, "{}", resp.body_text());
+
+    // An already-lapsed deadline fails every Scout with DeadlineExpired:
+    // that is the 504 shape.
+    let resp = client
+        .request(
+            "POST",
+            "/v1/route",
+            &[("X-Deadline-Ms", "0")],
+            INCIDENT.as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 504, "{}", resp.body_text());
+}
+
+#[test]
+fn unmapped_team_answers_reach_the_decision() {
+    // "Atlantis" has no Team::ALL variant and no dependency-graph node.
+    // Its answers must still drive the decision (the silent-drop bug had
+    // the master never seeing them, so /v1/route always fell back).
+    let world = small_workload();
+    let server = start_fleet_server(&["Atlantis"], fleet_config(2, &[]));
+    let mut client = connect(&server);
+
+    let mut confident_yes = None;
+    let mut checked = 0;
+    for incident in &world.incidents {
+        let body = obs::json::Obj::new()
+            .str("text", &incident.text())
+            .uint("time_minutes", incident.created_at.0)
+            .finish();
+        let resp = client
+            .post_json("/v1/scouts/Atlantis/predict", &body)
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+        let value = Value::parse(&resp.body_text()).unwrap();
+        let responsible = value.get("verdict").and_then(Value::as_str) == Some("responsible");
+        let confidence = value.get("confidence").and_then(Value::as_f64).unwrap();
+        checked += 1;
+        if responsible && confidence >= 0.8 {
+            confident_yes = Some(body);
+            break;
+        }
+    }
+    let body = confident_yes
+        .unwrap_or_else(|| panic!("no confident-yes incident among {checked} in the workload"));
+
+    let resp = client.post_json("/v1/route", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    let value = Value::parse(&resp.body_text()).unwrap();
+    assert_eq!(
+        value.get("decision").and_then(Value::as_str),
+        Some("send_to"),
+        "unmapped team's confident yes must win: {}",
+        resp.body_text()
+    );
+    assert_eq!(value.get("team").and_then(Value::as_str), Some("Atlantis"));
+    let answers = value.get("answers").and_then(Value::as_arr).unwrap();
+    assert_eq!(
+        answers[0].get("team").and_then(Value::as_str),
+        Some("Atlantis")
+    );
+}
+
+#[test]
+fn route_bytes_identical_across_shard_counts() {
+    // Same registry contents registered in the same order (so versions
+    // align), different shard counts: /v1/route bodies must match byte
+    // for byte — shard topology is an implementation detail.
+    let teams = ["PhyNet", "Storage", "Database", "Atlantis", "DNS"];
+    let bodies: Vec<String> = [1usize, 2, 7]
+        .iter()
+        .map(|&shards| {
+            let server = start_fleet_server(&teams, fleet_config(shards, &[]));
+            let resp = connect(&server).post_json("/v1/route", INCIDENT).unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.body_text());
+            resp.body_text()
+        })
+        .collect();
+    assert_eq!(bodies[0], bodies[1], "shards=1 vs shards=2");
+    assert_eq!(bodies[0], bodies[2], "shards=1 vs shards=7");
+}
+
+/// Entries for the in-process dispatch tests: one shared trained Scout
+/// under several team names. Reused across proptest cases so the
+/// per-entry feature caches stay warm.
+fn dispatch_entries() -> &'static Vec<Arc<ModelEntry>> {
+    static ENTRIES: OnceLock<Vec<Arc<ModelEntry>>> = OnceLock::new();
+    ENTRIES.get_or_init(|| {
+        ["PhyNet", "Storage", "Database", "Atlantis", "DNS", "SLB"]
+            .iter()
+            .enumerate()
+            .map(|(i, team)| {
+                Arc::new(ModelEntry {
+                    team: team.to_string(),
+                    version: i as u64 + 1,
+                    source: "test".into(),
+                    scout: test_scout(),
+                    feat_cache: FeatCache::new(16 * 1024 * 1024),
+                })
+            })
+            .collect()
+    })
+}
+
+/// A canonical, comparison-friendly rendering of dispatch outcomes.
+fn render_outcomes(outcomes: &[serve::TeamOutcome]) -> String {
+    outcomes
+        .iter()
+        .map(|o| match &o.result {
+            Ok(a) => format!(
+                "{} v{} {:?} {:.17}\n",
+                a.team, a.model_version, a.prediction.verdict, a.prediction.confidence
+            ),
+            Err(e) => format!("{} ERR {e}\n", o.team),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sharded dispatch is bit-identical to the sequential (shards=1)
+    /// fan-out, for any shard count, team subset, and injected-failure
+    /// set.
+    #[test]
+    fn sharded_dispatch_matches_sequential(
+        shards in 2usize..9,
+        mask in 1u32..(1 << 6),
+        fail_mask in 0u32..(1 << 6),
+    ) {
+        let world = small_workload();
+        let all = dispatch_entries();
+        let entries: Vec<Arc<ModelEntry>> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, e)| Arc::clone(e))
+            .collect();
+        let fail_teams: Vec<String> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| fail_mask & (1 << i) != 0)
+            .map(|(_, e)| e.team.clone())
+            .collect();
+        let text = "Switch agg-3 in c1.dc1 reporting CRC errors and packet loss";
+        let time = cloudsim::SimTime::from_days(10);
+
+        let sequential = serve::fleet::dispatch(
+            &entries, &world, text, time, None,
+            &FleetConfig { shards: 1, suggestions: 3, fail_teams: fail_teams.clone() },
+        );
+        let sharded = serve::fleet::dispatch(
+            &entries, &world, text, time, None,
+            &FleetConfig { shards, suggestions: 3, fail_teams },
+        );
+        prop_assert_eq!(render_outcomes(&sequential), render_outcomes(&sharded));
+
+        // Outcomes are sorted by team and cover exactly the entry set.
+        let teams: Vec<&str> = sharded.iter().map(|o| o.team.as_str()).collect();
+        let mut expected: Vec<&str> = entries.iter().map(|e| e.team.as_str()).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(teams, expected);
+    }
+}

@@ -13,6 +13,9 @@
 #                                   # and round-trip /v1/feedback on a live server
 #   scripts/check.sh --wal-smoke    # also kill -9 a WAL-backed server mid-load
 #                                   # and assert byte-identical crash recovery
+#   scripts/check.sh --fleet-smoke  # also boot a 32-team synthetic fleet and
+#                                   # burst /v1/route via fleetgen (accuracy
+#                                   # floor + zero unmapped answers)
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -22,12 +25,14 @@ bench_smoke=0
 serve_smoke=0
 lifecycle_smoke=0
 wal_smoke=0
+fleet_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --serve-smoke) serve_smoke=1 ;;
     --lifecycle-smoke) lifecycle_smoke=1 ;;
     --wal-smoke) wal_smoke=1 ;;
+    --fleet-smoke) fleet_smoke=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -56,6 +61,8 @@ if [[ "$bench_smoke" == 1 ]]; then
   BENCH_SMOKE=1 cargo bench -p bench --bench forest
   echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench wal) =="
   BENCH_SMOKE=1 cargo bench -p bench --bench wal
+  echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench fleet) =="
+  BENCH_SMOKE=1 cargo bench -p bench --bench fleet
 fi
 
 if [[ "$serve_smoke" == 1 ]]; then
@@ -71,6 +78,11 @@ fi
 if [[ "$wal_smoke" == 1 ]]; then
   echo "== wal smoke (kill -9 + byte-identical crash recovery) =="
   scripts/wal_smoke.sh
+fi
+
+if [[ "$fleet_smoke" == 1 ]]; then
+  echo "== fleet smoke (32 synthetic teams, sharded /v1/route burst) =="
+  scripts/fleet_smoke.sh
 fi
 
 echo "all checks passed"
