@@ -1,0 +1,312 @@
+//! Storm-control benchmark, emitted as `BENCH_storm.json` at the
+//! workspace root.
+//!
+//! The scenario is the paper's alert storm: a handful of root incidents
+//! re-fired ~100x with cosmetic variation (case, punctuation, counter
+//! debris) from one noisy source, with ordinary unrelated traffic
+//! interleaved. The same request stream is replayed twice against two
+//! servers that differ only in `--storm-control`:
+//!
+//! * **off** — every firing fans out to every Scout (the baseline);
+//! * **on** — dedup answers repeats from the original's cached decision
+//!   and the token bucket drops the over-rate tail, so only fresh
+//!   content pays a fan-out.
+//!
+//! Three acceptance gates are asserted, not just reported:
+//!
+//! 1. background (non-storm) p99 stays within `SLO_P99_MS` while the
+//!    storm rages with the layer on;
+//! 2. the storm-on run performs **≥ 10x fewer fleet fan-outs** than the
+//!    storm-off baseline (measured by diffing the process-global
+//!    `fleet.dispatch.fanouts` counter around each run);
+//! 3. background responses are **byte-identical** between the two runs —
+//!    storm control must be invisible to non-storm traffic.
+//!
+//! `BENCH_SMOKE=1` shrinks the amplification and request counts — used
+//! by `scripts/check.sh --bench-smoke` and CI. `BENCH_STORM_SLO_MS`
+//! overrides the latency gate for slow machines.
+
+use cloudsim::SimDuration;
+use incident::{Workload, WorkloadConfig};
+use ml::forest::ForestConfig;
+use monitoring::{MonitoringConfig, MonitoringSystem};
+use scout::{Example, Scout, ScoutBuildConfig, ScoutConfig};
+use serve::{Client, Engine, FleetConfig, ModelRegistry, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Instant;
+use storm::StormControl;
+
+const TEAMS: &[&str] = &["PhyNet", "Storage", "Database", "SLB"];
+const DEFAULT_SLO_P99_MS: f64 = 750.0;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn bench_workload() -> Arc<Workload> {
+    let mut config = WorkloadConfig {
+        seed: 7,
+        ..WorkloadConfig::default()
+    };
+    config.faults.faults_per_day = 2.0;
+    config.faults.horizon = SimDuration::days(20);
+    Arc::new(Workload::generate(config))
+}
+
+fn trained_model_text(world: &Workload) -> String {
+    let mon = MonitoringSystem::new(&world.topology, &world.faults, MonitoringConfig::default());
+    let examples: Vec<Example> = world
+        .incidents
+        .iter()
+        .map(|i| Example::new(i.text(), i.created_at, i.phynet_owned()))
+        .collect();
+    let config = ScoutConfig::phynet();
+    let build = ScoutBuildConfig {
+        forest: ForestConfig {
+            n_trees: 8,
+            ..ForestConfig::default()
+        },
+        cluster_train_cap: 10,
+        ..ScoutBuildConfig::default()
+    };
+    let corpus = Scout::prepare(&config, &build, &examples, &mon);
+    let train = corpus.trainable_indices();
+    Scout::train_prepared(config, build, &corpus, &train, &mon).to_text()
+}
+
+/// A cosmetic re-firing of `text`: case flips, punctuation, and digit
+/// debris — exactly the variation the dedup normalizer erases.
+fn perturb(text: &str, k: usize) -> String {
+    match k % 3 {
+        0 => text.to_string(),
+        1 => format!("{} {}", text.to_ascii_uppercase(), 100_000 + k),
+        _ => format!("{}!! retrycount {}", text.to_ascii_lowercase(), 31 * k + 7),
+    }
+}
+
+enum Shot {
+    /// One of `roots` incidents re-fired with cosmetic variation, all
+    /// from the same noisy source.
+    Storm { body: String },
+    /// An unrelated fresh incident from its own source — the traffic
+    /// whose latency and bytes the gates protect.
+    Background { body: String },
+}
+
+/// The replayed request stream: `roots × amplification` storm firings
+/// with `background` fresh incidents interleaved at an even stride.
+fn build_shots(
+    world: &Workload,
+    roots: usize,
+    amplification: usize,
+    background: usize,
+) -> Vec<Shot> {
+    let texts: Vec<String> = world.incidents.iter().map(|i| i.text()).collect();
+    let root_texts = &texts[..roots];
+    let bg_texts = &texts[roots..roots + background];
+
+    let storm_total = roots * amplification;
+    let stride = (storm_total / background.max(1)).max(1);
+    let mut shots = Vec::new();
+    let mut bg_next = 0usize;
+    for k in 0..storm_total {
+        if k % stride == 0 && bg_next < bg_texts.len() {
+            shots.push(Shot::Background {
+                body: obs::json::Obj::new()
+                    .str("text", &bg_texts[bg_next])
+                    .str("source", &format!("background-{bg_next}"))
+                    .uint("severity", 2)
+                    .finish(),
+            });
+            bg_next += 1;
+        }
+        shots.push(Shot::Storm {
+            body: obs::json::Obj::new()
+                .str("text", &perturb(&root_texts[k % roots], k))
+                .str("source", "noisy-monitor")
+                .uint("severity", 2)
+                .finish(),
+        });
+    }
+    shots
+}
+
+fn counter_value(name: &str) -> u64 {
+    obs::global()
+        .metrics
+        .counters()
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| v)
+}
+
+struct RunStats {
+    bg_p50_ms: f64,
+    bg_p99_ms: f64,
+    fanouts: u64,
+    suppressed: usize,
+    throttled: usize,
+    background_bodies: Vec<String>,
+}
+
+fn run(model_text: &str, world: &Arc<Workload>, shots: &[Shot], storm_on: bool) -> RunStats {
+    let registry = Arc::new(ModelRegistry::new());
+    for team in TEAMS {
+        let scout = Scout::from_text(model_text).expect("model round-trip");
+        registry.register(team, scout, "bench").expect("register");
+    }
+    let mut engine =
+        Engine::new(Arc::clone(&registry), Arc::clone(world)).with_fleet(FleetConfig {
+            shards: 2,
+            suggestions: 3,
+            fail_teams: Vec::new(),
+        });
+    if storm_on {
+        engine = engine.with_storm(Arc::new(StormControl::new(storm::StormConfig::default())));
+    }
+    let server =
+        Server::start(engine, "127.0.0.1:0", ServeConfig::default()).expect("bind ephemeral port");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+
+    // Warm up (featurization paths, thread pool) before the counters are
+    // snapshotted — the warmup's fan-out must not pollute the diff.
+    assert!(client
+        .post_json(
+            "/v1/route",
+            &obs::json::Obj::new()
+                .str("text", "warmup incident not part of the stream")
+                .str("source", "warmup")
+                .finish(),
+        )
+        .expect("warmup")
+        .is_success());
+    let fanouts_before = counter_value("fleet.dispatch.fanouts");
+
+    let mut latencies = Vec::new();
+    let mut background_bodies = Vec::new();
+    let mut suppressed = 0usize;
+    let mut throttled = 0usize;
+    for shot in shots {
+        match shot {
+            Shot::Storm { body } => {
+                let resp = client.post_json("/v1/route", body).expect("storm shot");
+                match resp.status {
+                    200 => suppressed += resp.body_text().contains("\"suppressed\":true") as usize,
+                    429 => throttled += 1,
+                    s => panic!("storm shot answered {s}: {}", resp.body_text()),
+                }
+            }
+            Shot::Background { body } => {
+                let t0 = Instant::now();
+                let resp = client
+                    .post_json("/v1/route", body)
+                    .expect("background shot");
+                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(
+                    resp.status,
+                    200,
+                    "background traffic must never degrade: {}",
+                    resp.body_text()
+                );
+                background_bodies.push(resp.body_text());
+            }
+        }
+    }
+    let fanouts = counter_value("fleet.dispatch.fanouts") - fanouts_before;
+    server.shutdown();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    RunStats {
+        bg_p50_ms: percentile(&latencies, 50.0),
+        bg_p99_ms: percentile(&latencies, 99.0),
+        fanouts,
+        suppressed,
+        throttled,
+        background_bodies,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let slo_p99_ms = std::env::var("BENCH_STORM_SLO_MS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_SLO_P99_MS);
+    // (roots, amplification, background) — sized so even the smoke run
+    // can clear the 10x fan-out gate.
+    let (roots, amplification, background) = if smoke { (2, 50, 6) } else { (3, 100, 20) };
+
+    let world = bench_workload();
+    eprintln!(
+        "training the bench model on {} incidents…",
+        world.incidents.len()
+    );
+    let model_text = trained_model_text(&world);
+    let shots = build_shots(&world, roots, amplification, background);
+    let storm_shots = shots
+        .iter()
+        .filter(|s| matches!(s, Shot::Storm { .. }))
+        .count();
+    eprintln!(
+        "replaying {} requests ({storm_shots} storm, {background} background) twice…",
+        shots.len()
+    );
+
+    let off = run(&model_text, &world, &shots, false);
+    let on = run(&model_text, &world, &shots, true);
+
+    // Gate 1: the storm never costs non-storm traffic its latency SLO.
+    assert!(
+        on.bg_p99_ms <= slo_p99_ms,
+        "background p99 {:.1} ms breaches the {slo_p99_ms:.0} ms SLO under storm",
+        on.bg_p99_ms
+    );
+    // Gate 2: ≥ 10x fewer fan-outs than the storm-off baseline.
+    assert!(
+        on.fanouts * 10 <= off.fanouts,
+        "storm control saved too little work: {} fan-outs vs {} baseline",
+        on.fanouts,
+        off.fanouts
+    );
+    // Gate 3: storm control is byte-invisible to non-storm traffic.
+    assert_eq!(
+        on.background_bodies, off.background_bodies,
+        "background responses diverged between storm on and off"
+    );
+    assert!(on.suppressed > 0, "the storm must exercise dedup");
+
+    println!(
+        "storm off: {} fan-outs   background p50 {:>6.1} ms   p99 {:>6.1} ms",
+        off.fanouts, off.bg_p50_ms, off.bg_p99_ms
+    );
+    println!(
+        "storm on : {} fan-outs   background p50 {:>6.1} ms   p99 {:>6.1} ms   ({} deduped, {} throttled, {:.1}x fewer fan-outs)",
+        on.fanouts,
+        on.bg_p50_ms,
+        on.bg_p99_ms,
+        on.suppressed,
+        on.throttled,
+        off.fanouts as f64 / on.fanouts.max(1) as f64
+    );
+
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"roots\": {roots},\n  \"amplification\": {amplification},\n  \"background\": {background},\n  \"slo_p99_ms\": {slo_p99_ms:.1},\n  \"off\": {{\"fanouts\": {}, \"bg_p50_ms\": {:.1}, \"bg_p99_ms\": {:.1}}},\n  \"on\": {{\"fanouts\": {}, \"bg_p50_ms\": {:.1}, \"bg_p99_ms\": {:.1}, \"suppressed\": {}, \"throttled\": {}}},\n  \"fanout_reduction\": {:.2},\n  \"bytes_identical\": true\n}}\n",
+        off.fanouts,
+        off.bg_p50_ms,
+        off.bg_p99_ms,
+        on.fanouts,
+        on.bg_p50_ms,
+        on.bg_p99_ms,
+        on.suppressed,
+        on.throttled,
+        off.fanouts as f64 / on.fanouts.max(1) as f64,
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_storm.json");
+    std::fs::write(&out, json).expect("write BENCH_storm.json");
+    println!("wrote {}", out.display());
+}

@@ -514,6 +514,237 @@ impl<'a> FaultCatalog<'a> {
     }
 }
 
+/// An adversarial alert-storm scenario shape (the workloads behind
+/// `scoutctl stormgen` and the storm-control integration tests). Each
+/// scenario stresses one stage of the serving-side storm layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormScenario {
+    /// One underlying fault refiring as a flood of near-duplicate
+    /// alerts (same template, different timestamps/counters) — the
+    /// dedup stage's target. Fault-level this is a *small* schedule
+    /// packed into a tight window; the 100x amplification happens at
+    /// firing time.
+    DuplicateBurst,
+    /// Correlated gray failure: several low-grade, partial faults
+    /// (packet drops, frame corruption) overlapping in one cluster —
+    /// many *distinct* low-severity incidents at a sustained rate, the
+    /// throttle and coalescing stages' target.
+    GrayFailure,
+    /// A root infrastructure fault cascading through the dependency
+    /// graph: dependent teams' symptoms fire as their own incidents at
+    /// increasing offsets — the multi-team fan-out and circuit-breaker
+    /// stages' target.
+    Cascade,
+    /// A plain schedule over which a monitoring data set is deprecated
+    /// mid-stream; the deprecation itself is a control-plane action the
+    /// traffic driver issues at [`StormScheduleConfig::window`]'s
+    /// midpoint. Scouts must degrade, not error.
+    Deprecation,
+}
+
+impl StormScenario {
+    /// All scenarios, in a stable order.
+    pub const ALL: [StormScenario; 4] = [
+        StormScenario::DuplicateBurst,
+        StormScenario::GrayFailure,
+        StormScenario::Cascade,
+        StormScenario::Deprecation,
+    ];
+
+    /// CLI slug (`scoutctl stormgen --scenario <slug>`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            StormScenario::DuplicateBurst => "duplicate-burst",
+            StormScenario::GrayFailure => "gray-failure",
+            StormScenario::Cascade => "cascade",
+            StormScenario::Deprecation => "deprecation",
+        }
+    }
+
+    /// Parse a CLI slug.
+    pub fn from_slug(s: &str) -> Option<StormScenario> {
+        StormScenario::ALL.iter().copied().find(|v| v.slug() == s)
+    }
+}
+
+/// Knobs for storm-schedule generation.
+#[derive(Debug, Clone, Copy)]
+pub struct StormScheduleConfig {
+    /// Which shape to generate.
+    pub scenario: StormScenario,
+    /// When the storm window opens.
+    pub start: SimTime,
+    /// How long the storm lasts. Every generated fault starts inside
+    /// `[start, start + window)`.
+    pub window: SimDuration,
+    /// Number of *root* faults. Cascades add dependent-team follow-on
+    /// faults beyond this count.
+    pub roots: usize,
+}
+
+impl Default for StormScheduleConfig {
+    fn default() -> Self {
+        StormScheduleConfig {
+            scenario: StormScenario::DuplicateBurst,
+            start: SimTime(200 * 24 * 60),
+            window: SimDuration::hours(2),
+            roots: 3,
+        }
+    }
+}
+
+impl<'a> FaultCatalog<'a> {
+    /// Generate a storm-shaped fault schedule: a dense, correlated
+    /// cluster of root causes inside one short window, per
+    /// [`StormScenario`]. Ids are assigned in start order, like
+    /// [`FaultCatalog::generate`]. `rng_next` follows the same
+    /// closure-RNG convention.
+    pub fn generate_storm(
+        &self,
+        config: &StormScheduleConfig,
+        mut rng_next: impl FnMut() -> f64,
+    ) -> Vec<Fault> {
+        let clusters: Vec<ComponentId> = self
+            .topo
+            .of_kind(ComponentKind::Cluster)
+            .map(|c| c.id)
+            .collect();
+        assert!(
+            !clusters.is_empty(),
+            "topology must contain at least one cluster"
+        );
+        let window_min = config.window.as_minutes().max(1);
+        let start_in_window = |rng_next: &mut dyn FnMut() -> f64| {
+            SimTime(config.start.0 + (rng_next() * window_min as f64) as u64)
+        };
+        let roots = config.roots.max(1);
+        let mut out = Vec::new();
+        match config.scenario {
+            StormScenario::DuplicateBurst => {
+                // Few distinct root causes; the alert flood is firings of
+                // these, not new faults. High severity: a storm that pages.
+                const KINDS: [FaultKind; 3] = [
+                    FaultKind::AggFailure,
+                    FaultKind::PfcStorm,
+                    FaultKind::StorageOutage,
+                ];
+                for i in 0..roots {
+                    let kind = KINDS[i % KINDS.len()];
+                    let cluster =
+                        clusters[(rng_next() * clusters.len() as f64) as usize % clusters.len()];
+                    let start = start_in_window(&mut rng_next);
+                    out.push(Fault {
+                        id: 0,
+                        kind,
+                        owner: kind.owner(),
+                        scope: self.make_scope(kind, cluster, &mut rng_next),
+                        start,
+                        duration: config.window,
+                        severity: Severity::Sev1,
+                        upgrade_related: false,
+                    });
+                }
+            }
+            StormScenario::GrayFailure => {
+                // Everything lands in ONE cluster: partial, low-grade
+                // faults whose symptoms overlap — distinct incidents, all
+                // low severity, arriving in a sustained stream.
+                const KINDS: [FaultKind; 3] = [
+                    FaultKind::SwitchPacketDrops,
+                    FaultKind::LinkCorruption,
+                    FaultKind::SwitchOverheat,
+                ];
+                let cluster =
+                    clusters[(rng_next() * clusters.len() as f64) as usize % clusters.len()];
+                for i in 0..roots.max(4) {
+                    let kind = KINDS[i % KINDS.len()];
+                    let start = start_in_window(&mut rng_next);
+                    out.push(Fault {
+                        id: 0,
+                        kind,
+                        owner: kind.owner(),
+                        scope: self.make_scope(kind, cluster, &mut rng_next),
+                        start,
+                        duration: config.window,
+                        severity: Severity::Sev3,
+                        upgrade_related: false,
+                    });
+                }
+            }
+            StormScenario::Cascade => {
+                // A root infrastructure failure, then dependent-team
+                // symptoms firing as their own faults at growing offsets —
+                // the §3.2 "when PhyNet breaks, everyone pages" pattern.
+                const FOLLOW_ON: [FaultKind; 4] = [
+                    FaultKind::StorageLatency,
+                    FaultKind::DbQueryRegression,
+                    FaultKind::SlbConfigError,
+                    FaultKind::ServerOverload,
+                ];
+                let step = (window_min / (FOLLOW_ON.len() as u64 + 1)).max(1);
+                for _ in 0..roots {
+                    let cluster =
+                        clusters[(rng_next() * clusters.len() as f64) as usize % clusters.len()];
+                    let root_kind = FaultKind::AggFailure;
+                    let root_start = SimTime(config.start.0 + (rng_next() * step as f64) as u64);
+                    out.push(Fault {
+                        id: 0,
+                        kind: root_kind,
+                        owner: root_kind.owner(),
+                        scope: self.make_scope(root_kind, cluster, &mut rng_next),
+                        start: root_start,
+                        duration: config.window,
+                        severity: Severity::Sev1,
+                        upgrade_related: false,
+                    });
+                    for (i, &kind) in FOLLOW_ON.iter().enumerate() {
+                        out.push(Fault {
+                            id: 0,
+                            kind,
+                            owner: kind.owner(),
+                            scope: self.make_scope(kind, cluster, &mut rng_next),
+                            start: root_start + SimDuration::minutes(step * (i as u64 + 1)),
+                            duration: config.window,
+                            severity: Severity::Sev2,
+                            upgrade_related: false,
+                        });
+                    }
+                }
+            }
+            StormScenario::Deprecation => {
+                // An unremarkable mixed schedule; the adversarial part is
+                // the mid-stream data-set deprecation the driver issues.
+                const KINDS: [FaultKind; 4] = [
+                    FaultKind::TorReboot,
+                    FaultKind::StorageLatency,
+                    FaultKind::HostAgentCrash,
+                    FaultKind::DnsMisconfig,
+                ];
+                for i in 0..roots.max(4) {
+                    let kind = KINDS[i % KINDS.len()];
+                    let cluster =
+                        clusters[(rng_next() * clusters.len() as f64) as usize % clusters.len()];
+                    out.push(Fault {
+                        id: 0,
+                        kind,
+                        owner: kind.owner(),
+                        scope: self.make_scope(kind, cluster, &mut rng_next),
+                        start: start_in_window(&mut rng_next),
+                        duration: config.window,
+                        severity: Severity::Sev2,
+                        upgrade_related: false,
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|f| f.start);
+        for (i, f) in out.iter_mut().enumerate() {
+            f.id = i as u32;
+        }
+        out
+    }
+}
+
 fn weighted<T: Copy>(table: &[(T, f64)], r: f64) -> T {
     let total: f64 = table.iter().map(|&(_, w)| w).sum();
     let mut acc = 0.0;
@@ -655,6 +886,61 @@ mod tests {
         assert!(!f.active_at(SimTime(150)));
         assert!(!f.active_at(SimTime(99)));
         assert_eq!(f.window(), (SimTime(100), SimTime(150)));
+    }
+
+    #[test]
+    fn storm_schedules_match_their_scenario_shape() {
+        let topo = Topology::build(TopologyConfig::default());
+        let cat = FaultCatalog::new(&topo);
+        let base = StormScheduleConfig::default();
+
+        for scenario in StormScenario::ALL {
+            let cfg = StormScheduleConfig { scenario, ..base };
+            let faults = cat.generate_storm(&cfg, test_rng(11));
+            assert!(!faults.is_empty(), "{scenario:?} generated nothing");
+            for w in faults.windows(2) {
+                assert!(w[0].start <= w[1].start);
+            }
+            for (i, f) in faults.iter().enumerate() {
+                assert_eq!(f.id, i as u32);
+                assert!(f.start >= cfg.start, "{scenario:?} fault before window");
+            }
+        }
+
+        // Gray failures are one-cluster, all low severity.
+        let gray = cat.generate_storm(
+            &StormScheduleConfig {
+                scenario: StormScenario::GrayFailure,
+                ..base
+            },
+            test_rng(11),
+        );
+        let cluster = gray[0].scope.cluster();
+        for f in &gray {
+            assert_eq!(f.scope.cluster(), cluster, "gray failure spans clusters");
+            assert_eq!(f.severity, Severity::Sev3);
+        }
+
+        // Cascades reach multiple teams beyond the root owner.
+        let cascade = cat.generate_storm(
+            &StormScheduleConfig {
+                scenario: StormScenario::Cascade,
+                roots: 1,
+                ..base
+            },
+            test_rng(11),
+        );
+        let teams: std::collections::BTreeSet<Team> = cascade.iter().map(|f| f.owner).collect();
+        assert!(teams.len() >= 4, "cascade touched only {teams:?}");
+        assert_eq!(cascade[0].owner, Team::PhyNet, "cascade root is PhyNet");
+    }
+
+    #[test]
+    fn storm_scenario_slugs_round_trip() {
+        for scenario in StormScenario::ALL {
+            assert_eq!(StormScenario::from_slug(scenario.slug()), Some(scenario));
+        }
+        assert_eq!(StormScenario::from_slug("nope"), None);
     }
 
     #[test]

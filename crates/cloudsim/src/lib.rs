@@ -28,6 +28,9 @@ pub mod topology;
 
 pub use clock::{SimDuration, SimTime};
 pub use depgraph::{base_team_name, synthetic_team_name, DependencyGraph};
-pub use fault::{Fault, FaultCatalog, FaultKind, FaultScheduleConfig, FaultScope, Severity};
+pub use fault::{
+    Fault, FaultCatalog, FaultKind, FaultScheduleConfig, FaultScope, Severity, StormScenario,
+    StormScheduleConfig,
+};
 pub use team::{Team, TeamId, TeamRegistry};
 pub use topology::{Component, ComponentId, ComponentKind, Topology, TopologyConfig};

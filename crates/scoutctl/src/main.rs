@@ -16,6 +16,7 @@
 //! ```
 
 mod args;
+mod stormtraffic;
 
 use args::{ArgError, Args};
 use cloudsim::{SimTime, Team};
@@ -90,6 +91,7 @@ fn run(raw: Vec<String>) -> Result<(), ArgError> {
         Some("serve") => serve_cmd(&args),
         Some("loadgen") => loadgen(&args),
         Some("fleetgen") => fleetgen(&args),
+        Some("stormgen") => stormgen(&args),
         Some("probe") => probe(&args),
         Some("flight") => flight_cmd(&args),
         Some("wal") => wal_cmd(&args),
@@ -176,6 +178,10 @@ commands:
   fleetgen                 replay the multi-team incident trace through a
                            running fleet's /v1/route, print throughput and
                            routing accuracy (CI gate via --min-accuracy)
+  stormgen                 replay an adversarial alert storm (duplicate
+                           bursts, gray failures, cascades, mid-stream
+                           monitoring deprecation) against /v1/route and
+                           report how the storm-control layer held up
   probe                    send one request to a running server (CI smoke)
   flight                   fetch a running server's flight-recorder ring (JSONL)
   wal replay               reconstruct serving state from a write-ahead log
@@ -243,6 +249,15 @@ serve options:
                            reuse their base model) with the matching
                            dependency graph — the fleet the benches and
                            smoke tests route against
+  --storm-control on|off   alert-storm control in front of /v1/route: dedup,
+                           per-source throttling, Sev3 coalescing, per-team
+                           circuit breakers (default on; byte-invisible to
+                           non-storm traffic — off is the bench baseline)
+  --storm-dedup-window-ms MS, --storm-rate N, --storm-burst N,
+  --storm-batch N, --storm-breaker-threshold N
+                           storm-control tuning (defaults: 60000 ms window,
+                           50 alerts/s + burst 100 per source, batch 16,
+                           breaker trips after 5 consecutive failures)
 
 loadgen options:
   --addr HOST:PORT         server to drive (required)
@@ -251,6 +266,8 @@ loadgen options:
   --endpoint predict|route what to exercise (default predict)
   --team NAME              predict: team to query (default PhyNet)
   --text STRING            incident text to send
+  --retries N              on 429/503, honor Retry-After and retry up to N
+                           times (default 0)
 
 fleetgen options:
   --addr HOST:PORT         fleet server to drive (required)
@@ -261,6 +278,25 @@ fleetgen options:
                            serve invocation for ground-truth owners to line up)
   --min-accuracy F         exit non-zero if routing accuracy drops below F
   --max-unmapped N         exit non-zero if serve.route.unmapped exceeds N
+  --retries N              on 429/503, honor Retry-After and retry up to N
+  --storm SCENARIO         run an adversarial storm preset (same shaping core
+                           as stormgen) concurrently with the measured replay:
+                           duplicate-burst | gray-failure | cascade |
+                           deprecation
+
+stormgen options:
+  --addr HOST:PORT         fleet server to storm (required)
+  --scenario NAME          duplicate-burst (default) | gray-failure |
+                           cascade | deprecation
+  --amplification N        near-duplicate firings per root fault (default 100)
+  --background N           interleaved non-storm control shots (default 40)
+  --sources N              distinct alert sources (default 3)
+  --roots N                root faults in the storm window (default 3)
+  --retries N              on 429/503, honor Retry-After and retry up to N
+  --deprecate-dataset NAME data set to kill mid-storm (default snmp-syslog;
+                           deprecation scenario only)
+  --max-5xx N              exit non-zero if server-error responses exceed N
+                           (default 0 — storms must degrade, never error)
 
 probe options:
   --addr HOST:PORT         server to probe (required)
@@ -912,6 +948,36 @@ fn serve_cmd(args: &Args) -> Result<(), ArgError> {
         fleet.suggestions
     );
     engine = engine.with_fleet(fleet);
+    // Storm control in front of /v1/route: dedup, per-source throttle,
+    // Sev3 coalescing, per-team circuit breakers. On by default (it is
+    // byte-invisible to non-storm traffic); `--storm-control off` is
+    // the baseline the storm bench compares against.
+    match args.get("storm-control").unwrap_or("on") {
+        "off" => eprintln!("[scoutctl] storm control off (baseline mode)"),
+        "on" => {
+            let mut sc = storm::StormConfig::default();
+            sc.dedup.window_ms = args.get_parsed("storm-dedup-window-ms", sc.dedup.window_ms)?;
+            sc.throttle.rate_per_sec = args.get_parsed("storm-rate", sc.throttle.rate_per_sec)?;
+            sc.throttle.burst = args.get_parsed("storm-burst", sc.throttle.burst)?;
+            sc.batch.max_batch = args.get_parsed("storm-batch", sc.batch.max_batch)?;
+            sc.breaker.failure_threshold =
+                args.get_parsed("storm-breaker-threshold", sc.breaker.failure_threshold)?;
+            eprintln!(
+                "[scoutctl] storm control on: dedup window {} ms, {}..{} alerts/s per source, Sev3 batch {}, breaker threshold {}",
+                sc.dedup.window_ms,
+                sc.throttle.rate_per_sec,
+                sc.throttle.burst,
+                sc.batch.max_batch,
+                sc.breaker.failure_threshold
+            );
+            engine = engine.with_storm(std::sync::Arc::new(storm::StormControl::new(sc)));
+        }
+        other => {
+            return Err(ArgError(format!(
+                "--storm-control must be 'on' or 'off', got '{other}'"
+            )))
+        }
+    }
     // Keep the handle alive for the server's lifetime: dropping it stops
     // the controller worker.
     let _lifecycle = if args.flag("lifecycle") {
@@ -976,6 +1042,7 @@ fn loadgen(args: &Args) -> Result<(), ArgError> {
         .to_string();
     let requests = args.get_parsed("requests", 200usize)?.max(1);
     let concurrency = args.get_parsed("concurrency", 4usize)?.max(1);
+    let retries = args.get_parsed("retries", 0u32)?;
     let team = args.get("team").unwrap_or("PhyNet");
     let text = args
         .get("text")
@@ -997,7 +1064,9 @@ fn loadgen(args: &Args) -> Result<(), ArgError> {
             let mut latencies_ms = Vec::with_capacity(n);
             for _ in 0..n {
                 let t = std::time::Instant::now();
-                let resp = client.post_json(&path, &body).map_err(|e| e.to_string())?;
+                let resp = client
+                    .post_json_retry(&path, &body, retries, std::time::Duration::from_secs(2))
+                    .map_err(|e| e.to_string())?;
                 if !resp.is_success() {
                     return Err(format!(
                         "server answered {}: {}",
@@ -1058,9 +1127,26 @@ fn fleetgen(args: &Args) -> Result<(), ArgError> {
     let requests = args.get_parsed("requests", 200usize)?.max(1);
     let concurrency = args.get_parsed("concurrency", 4usize)?.max(1);
     let min_accuracy = args.get_parsed("min-accuracy", 0.0f64)?;
+    let retries = args.get_parsed("retries", 0u32)?;
     let max_unmapped = match args.get("max-unmapped") {
         None => None,
         Some(_) => Some(args.get_parsed("max-unmapped", 0u64)?),
+    };
+    // `--storm SCENARIO`: run an adversarial storm (same traffic-shaping
+    // core as stormgen) concurrently with the measured replay — the
+    // accuracy and latency below are then "under storm" numbers.
+    let storm_preset = match args.get("storm") {
+        None => None,
+        Some(slug) => Some(cloudsim::StormScenario::from_slug(slug).ok_or_else(|| {
+            let valid: Vec<&str> = cloudsim::StormScenario::ALL
+                .iter()
+                .map(|s| s.slug())
+                .collect();
+            ArgError(format!(
+                "unknown --storm '{slug}'; valid: {}",
+                valid.join(", ")
+            ))
+        })?),
     };
 
     // Which base teams have a registered Scout? The server knows.
@@ -1106,6 +1192,50 @@ fn fleetgen(args: &Args) -> Result<(), ArgError> {
     let world = std::sync::Arc::new(world);
     let scouted = std::sync::Arc::new(scouted);
     let started = std::time::Instant::now();
+
+    // The storm pressure thread fires its whole plan alongside the
+    // measured workers; 429/503 are expected under storm and tolerated.
+    let storm_handle = storm_preset.map(|scenario| {
+        use stormtraffic::{build_plan, PlanAction, StormTrafficConfig};
+        let config = StormTrafficConfig {
+            scenario,
+            amplification: args.get_parsed("amplification", 100usize).unwrap_or(100),
+            background: 0,
+            ..StormTrafficConfig::default()
+        };
+        let plan = build_plan(&world, &config);
+        eprintln!(
+            "[scoutctl] storm preset {}: {} concurrent adversarial shots",
+            scenario.slug(),
+            plan.shot_count()
+        );
+        let addr = addr.clone();
+        std::thread::spawn(move || -> Result<(u64, u64), String> {
+            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let (mut suppressed, mut throttled) = (0u64, 0u64);
+            for action in &plan.actions {
+                let PlanAction::Route(shot) = action else {
+                    continue;
+                };
+                let body = obs::json::Obj::new()
+                    .str("text", &shot.text)
+                    .str("source", &shot.source)
+                    .uint("severity", shot.severity as u64)
+                    .uint("time_minutes", shot.time_minutes)
+                    .finish();
+                let resp = client
+                    .post_json("/v1/route", &body)
+                    .map_err(|e| e.to_string())?;
+                match resp.status {
+                    200 if resp.body_text().contains("\"suppressed\":true") => suppressed += 1,
+                    429 => throttled += 1,
+                    _ => {}
+                }
+            }
+            Ok((suppressed, throttled))
+        })
+    });
+
     let mut handles = Vec::new();
     for worker in 0..concurrency {
         let slice: Vec<usize> = picks
@@ -1126,7 +1256,12 @@ fn fleetgen(args: &Args) -> Result<(), ArgError> {
                     .finish();
                 let t = std::time::Instant::now();
                 let resp = client
-                    .post_json("/v1/route", &body)
+                    .post_json_retry(
+                        "/v1/route",
+                        &body,
+                        retries,
+                        std::time::Duration::from_secs(2),
+                    )
                     .map_err(|e| e.to_string())?;
                 let latency_ms = t.elapsed().as_secs_f64() * 1e3;
                 if !resp.is_success() {
@@ -1184,6 +1319,13 @@ fn fleetgen(args: &Args) -> Result<(), ArgError> {
                 .map_err(ArgError)?,
         );
     }
+    if let Some(h) = storm_handle {
+        let (suppressed, throttled) = h
+            .join()
+            .map_err(|_| ArgError("storm thread panicked".into()))?
+            .map_err(ArgError)?;
+        println!("storm pressure: {suppressed} suppressed, {throttled} throttled");
+    }
     let wall = started.elapsed().as_secs_f64();
     let mut latencies: Vec<f64> = shots.iter().map(|s| s.latency_ms).collect();
     latencies.sort_by(|a, b| a.total_cmp(b));
@@ -1232,6 +1374,157 @@ fn fleetgen(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError(format!(
             "routing accuracy {:.3} below --min-accuracy {min_accuracy}",
             accuracy
+        )));
+    }
+    Ok(())
+}
+
+/// `scoutctl stormgen`: replay an adversarial alert-storm plan against a
+/// running fleet server and report how the storm-control layer held up —
+/// suppressed duplicates, throttled sources, coalesced batches, breaker
+/// trips, and the latency of the background (non-storm) control group.
+/// `--max-5xx` (default 0) turns the report into a CI gate: the storm
+/// layer's whole point is that a storm degrades into 2xx/4xx, never 5xx.
+fn stormgen(args: &Args) -> Result<(), ArgError> {
+    use serve::Client;
+    use stormtraffic::{build_plan, PlanAction, ShotKind, StormTrafficConfig};
+
+    let addr = args
+        .get("addr")
+        .ok_or_else(|| ArgError("stormgen needs --addr HOST:PORT".into()))?
+        .to_string();
+    let scenario_slug = args.get("scenario").unwrap_or("duplicate-burst");
+    let scenario = cloudsim::StormScenario::from_slug(scenario_slug).ok_or_else(|| {
+        let valid: Vec<&str> = cloudsim::StormScenario::ALL
+            .iter()
+            .map(|s| s.slug())
+            .collect();
+        ArgError(format!(
+            "unknown --scenario '{scenario_slug}'; valid: {}",
+            valid.join(", ")
+        ))
+    })?;
+    let config = StormTrafficConfig {
+        scenario,
+        amplification: args.get_parsed("amplification", 100usize)?.max(1),
+        background: args.get_parsed("background", 40usize)?,
+        sources: args.get_parsed("sources", 3usize)?.max(1),
+        roots: args.get_parsed("roots", 3usize)?.max(1),
+        seed: args.get_parsed("seed", 42u64)?,
+        deprecate_dataset: args
+            .get("deprecate-dataset")
+            .unwrap_or("snmp-syslog")
+            .to_string(),
+    };
+    let retries = args.get_parsed("retries", 0u32)?;
+    let max_5xx = args.get_parsed("max-5xx", 0u64)?;
+    let world = load_world(args)?;
+    let plan = build_plan(&world, &config);
+    eprintln!(
+        "[scoutctl] storm plan: {} ({} shots, amplification {}x)",
+        scenario.slug(),
+        plan.shot_count(),
+        config.amplification
+    );
+
+    let mut client = Client::connect(&addr).map_err(|e| ArgError(e.to_string()))?;
+    let started = std::time::Instant::now();
+    let (mut ok, mut suppressed, mut throttled, mut shed, mut fivexx) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut background_ms: Vec<f64> = Vec::new();
+    for action in &plan.actions {
+        match action {
+            PlanAction::Deprecate { dataset } => {
+                let body = obs::json::Obj::new().str("dataset", dataset).finish();
+                let resp = client
+                    .post_json("/v1/monitoring/deprecate", &body)
+                    .map_err(|e| ArgError(e.to_string()))?;
+                if !resp.is_success() {
+                    return Err(ArgError(format!(
+                        "deprecate answered {}: {}",
+                        resp.status,
+                        resp.body_text()
+                    )));
+                }
+                eprintln!("[scoutctl] deprecated data set {dataset} mid-storm");
+            }
+            PlanAction::Route(shot) => {
+                let body = obs::json::Obj::new()
+                    .str("text", &shot.text)
+                    .str("source", &shot.source)
+                    .uint("severity", shot.severity as u64)
+                    .uint("time_minutes", shot.time_minutes)
+                    .finish();
+                let t = std::time::Instant::now();
+                let resp = client
+                    .post_json_retry(
+                        "/v1/route",
+                        &body,
+                        retries,
+                        std::time::Duration::from_secs(2),
+                    )
+                    .map_err(|e| ArgError(e.to_string()))?;
+                let latency = t.elapsed().as_secs_f64() * 1e3;
+                match resp.status {
+                    200 => {
+                        ok += 1;
+                        if resp.body_text().contains("\"suppressed\":true") {
+                            suppressed += 1;
+                        }
+                        if shot.kind == ShotKind::Background {
+                            background_ms.push(latency);
+                        }
+                    }
+                    429 => throttled += 1,
+                    503 | 504 => shed += 1,
+                    s if s >= 500 => fivexx += 1,
+                    _ => fivexx += 1,
+                }
+            }
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    background_ms.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "stormgen {}: {} shots in {:.2}s ({:.0} req/s): {ok} ok ({suppressed} suppressed), {throttled} throttled, {shed} shed, {fivexx} 5xx/other",
+        plan.scenario.slug(),
+        plan.shot_count(),
+        wall,
+        plan.shot_count() as f64 / wall,
+    );
+    if !background_ms.is_empty() {
+        println!(
+            "background (non-storm) latency: p50 {:.2} ms, p99 {:.2} ms over {} shots",
+            percentile(&background_ms, 50.0),
+            percentile(&background_ms, 99.0),
+            background_ms.len(),
+        );
+    }
+
+    // The server-side view: what did the storm layer actually do?
+    let metrics = client
+        .get("/metrics.json")
+        .map_err(|e| ArgError(e.to_string()))?;
+    let metric = |name: &str| -> u64 {
+        metrics
+            .body_text()
+            .lines()
+            .filter_map(obs::json::Value::parse)
+            .find(|v| v.get("name").and_then(obs::json::Value::as_str) == Some(name))
+            .and_then(|v| v.get("value").and_then(obs::json::Value::as_f64))
+            .unwrap_or(0.0) as u64
+    };
+    println!(
+        "server storm counters: dedup.suppressed {} throttle.dropped {} batch.coalesced {} breaker.open {} breaker.rejected {}",
+        metric("storm.dedup.suppressed"),
+        metric("storm.throttle.dropped"),
+        metric("storm.batch.coalesced"),
+        metric("storm.breaker.open"),
+        metric("storm.breaker.rejected"),
+    );
+    if fivexx > max_5xx {
+        return Err(ArgError(format!(
+            "{fivexx} server-error responses exceed --max-5xx {max_5xx}: a storm must degrade, not error"
         )));
     }
     Ok(())

@@ -22,7 +22,7 @@ use monitoring::{MonitoringConfig, MonitoringSystem};
 use scout::Prediction;
 use std::collections::BTreeMap;
 use std::sync::mpsc::SyncSender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// One queued predict job.
@@ -118,10 +118,13 @@ pub struct Batcher {
 
 impl Batcher {
     /// Start the worker thread. `workload` supplies the monitoring plane
-    /// Scouts consult at predict time; `registry` supplies the models.
+    /// Scouts consult at predict time; `registry` supplies the models;
+    /// `monitoring` is the live shared config (a data set deprecated
+    /// mid-stream takes effect on the next batch).
     pub fn start(
         registry: Arc<ModelRegistry>,
         workload: Arc<Workload>,
+        monitoring: Arc<RwLock<MonitoringConfig>>,
         config: BatchConfig,
     ) -> Batcher {
         let queue = Arc::new(Queue {
@@ -131,7 +134,7 @@ impl Batcher {
         let worker_queue = Arc::clone(&queue);
         let worker = std::thread::Builder::new()
             .name("serve-batcher".into())
-            .spawn(move || run_worker(worker_queue, registry, workload, config))
+            .spawn(move || run_worker(worker_queue, registry, workload, monitoring, config))
             .expect("spawn batcher thread");
         Batcher {
             queue,
@@ -183,13 +186,14 @@ fn run_worker(
     queue: Arc<Queue>,
     registry: Arc<ModelRegistry>,
     workload: Arc<Workload>,
+    monitoring: Arc<RwLock<MonitoringConfig>>,
     config: BatchConfig,
 ) {
     let batch_size = config.batch_size.max(1);
     loop {
         let batch = collect_batch(&queue, batch_size, config.batch_deadline);
         match batch {
-            Some(jobs) => run_batch(jobs, &registry, &workload),
+            Some(jobs) => run_batch(jobs, &registry, &workload, &monitoring),
             None => {
                 // Shutdown: fail whatever is still queued. The drain span
                 // links every abandoned request so no trace dead-ends
@@ -261,7 +265,12 @@ fn collect_batch(queue: &Queue, batch_size: usize, batch_deadline: Duration) -> 
     Some(batch)
 }
 
-fn run_batch(jobs: Vec<Job>, registry: &ModelRegistry, workload: &Workload) {
+fn run_batch(
+    jobs: Vec<Job>,
+    registry: &ModelRegistry,
+    workload: &Workload,
+    monitoring: &RwLock<MonitoringConfig>,
+) {
     // The batch span is the fan-in point: it runs outside any single
     // request's context but *links* every request it coalesced.
     let mut span = obs::span!("serve.batch");
@@ -303,11 +312,8 @@ fn run_batch(jobs: Vec<Job>, registry: &ModelRegistry, workload: &Workload) {
         groups.entry(job.team.clone()).or_default().push(job);
     }
 
-    let monitoring = MonitoringSystem::new(
-        &workload.topology,
-        &workload.faults,
-        MonitoringConfig::default(),
-    );
+    let mon_config = monitoring.read().unwrap().clone();
+    let monitoring = MonitoringSystem::new(&workload.topology, &workload.faults, mon_config);
 
     for (team, group) in groups {
         let Some(entry) = registry.get(&team) else {

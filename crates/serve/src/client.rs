@@ -94,6 +94,34 @@ impl Client {
         )
     }
 
+    /// `POST path` with a JSON body, retrying up to `retries` times on
+    /// `429`/`503` and honoring the server's `Retry-After` hint (capped
+    /// at `max_wait` per attempt so an aggressive hint can't stall a
+    /// caller). Returns the last response once retries are exhausted —
+    /// callers still see the final 429/503 and its headers.
+    pub fn post_json_retry(
+        &mut self,
+        path: &str,
+        body: &str,
+        retries: u32,
+        max_wait: Duration,
+    ) -> Result<ClientResponse, ClientError> {
+        let mut response = self.post_json(path, body)?;
+        for _ in 0..retries {
+            if response.status != 429 && response.status != 503 {
+                break;
+            }
+            let hint_secs: u64 = response
+                .header("Retry-After")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
+            let wait = Duration::from_secs(hint_secs).min(max_wait);
+            std::thread::sleep(wait);
+            response = self.post_json(path, body)?;
+        }
+        Ok(response)
+    }
+
     /// Send one request and read one response on this connection.
     pub fn request(
         &mut self,

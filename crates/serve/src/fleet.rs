@@ -100,6 +100,9 @@ pub enum ScoutError {
     Panicked,
     /// The team is listed in [`FleetConfig::fail_teams`].
     Injected,
+    /// The team's storm-control circuit breaker is open: the Scout was
+    /// tripped out of the fan-out without running.
+    BreakerOpen,
 }
 
 impl std::fmt::Display for ScoutError {
@@ -108,9 +111,14 @@ impl std::fmt::Display for ScoutError {
             ScoutError::DeadlineExpired => write!(f, "deadline expired before the Scout ran"),
             ScoutError::Panicked => write!(f, "the Scout panicked"),
             ScoutError::Injected => write!(f, "injected failure (fleet fail_teams)"),
+            ScoutError::BreakerOpen => write!(f, "circuit breaker open for this team"),
         }
     }
 }
+
+/// One team's per-input results within a shard, before the outcomes are
+/// regrouped input-major.
+type TeamBatchResults = Vec<(String, Vec<Result<Answer, ScoutError>>)>;
 
 /// One team's dispatch outcome.
 #[derive(Debug, Clone)]
@@ -166,7 +174,8 @@ fn splitmix64(mut x: u64) -> u64 {
 /// Fan one incident out to every entry, shard-parallel, and collect the
 /// per-team outcomes **sorted by team name** (the canonical order the
 /// response and the master both consume — this is what makes the bytes
-/// shard-count-independent).
+/// shard-count-independent). Single-incident wrapper over
+/// [`dispatch_batch`] with the default monitoring plane and no skip set.
 pub fn dispatch(
     entries: &[Arc<ModelEntry>],
     workload: &Workload,
@@ -175,6 +184,47 @@ pub fn dispatch(
     deadline: Option<Instant>,
     config: &FleetConfig,
 ) -> Vec<TeamOutcome> {
+    dispatch_batch(
+        entries,
+        workload,
+        &MonitoringConfig::default(),
+        &[(text, time)],
+        deadline,
+        config,
+        &[],
+    )
+    .pop()
+    .expect("one input yields one outcome set")
+}
+
+/// Fan a *batch* of incidents out to every entry in one pass: one
+/// `MonitoringSystem` build shared by every shard and every incident
+/// (the severity-batching economics — same as one predict micro-batch),
+/// one `predict_many_cached` call per Scout covering the whole batch.
+/// Returns one outcome set per input, each **sorted by team name**.
+///
+/// `mon` is the monitoring plane configuration (the server threads its
+/// live config through here so mid-stream data-set deprecation takes
+/// effect on the very next dispatch). `skip` lists teams tripped out by
+/// an open circuit breaker: they answer [`ScoutError::BreakerOpen`]
+/// without running — no `catch_unwind`, no predict.
+///
+/// **Determinism:** batched predictions are bit-identical to what the
+/// same incidents dispatched one at a time would produce (the
+/// `predict_many` contract from PRs 2/7), so coalescing changes
+/// throughput, never verdicts — the storm integration tests pin this.
+pub fn dispatch_batch(
+    entries: &[Arc<ModelEntry>],
+    workload: &Workload,
+    mon: &MonitoringConfig,
+    inputs: &[(&str, cloudsim::SimTime)],
+    deadline: Option<Instant>,
+    config: &FleetConfig,
+    skip: &[String],
+) -> Vec<Vec<TeamOutcome>> {
+    if inputs.is_empty() {
+        return Vec::new();
+    }
     let shards = config.effective_shards();
     let mut groups: Vec<Vec<&Arc<ModelEntry>>> = vec![Vec::new(); shards];
     for entry in entries {
@@ -185,20 +235,19 @@ pub fn dispatch(
         .enumerate()
         .filter(|(_, g)| !g.is_empty())
         .collect();
+    obs::counter("fleet.dispatch.calls").inc();
+    obs::counter("fleet.dispatch.fanouts").add(inputs.len() as u64);
     obs::observe("fleet.dispatch.shards", groups.len() as f64);
     obs::observe("fleet.dispatch.teams", entries.len() as f64);
+    obs::observe("fleet.dispatch.batch", inputs.len() as f64);
 
     // One monitoring plane for the whole fan-out, exactly like one
     // batcher batch: it is read-only at predict time and shared by every
     // shard.
-    let monitoring = MonitoringSystem::new(
-        &workload.topology,
-        &workload.faults,
-        MonitoringConfig::default(),
-    );
+    let monitoring = MonitoringSystem::new(&workload.topology, &workload.faults, mon.clone());
     let ctx = obs::trace::capture();
 
-    let per_shard: Vec<Vec<TeamOutcome>> =
+    let per_shard: Vec<TeamBatchResults> =
         pool::Pool::global().parallel_map(&groups, |_, (shard, group)| {
             let started = Instant::now();
             let mut span = obs::span!("fleet.shard");
@@ -209,59 +258,89 @@ pub fn dispatch(
                 span.add_link(ctx);
             }
             obs::observe("fleet.shard.teams", group.len() as f64);
-            let outcomes: Vec<TeamOutcome> = group
+            let results: TeamBatchResults = group
                 .iter()
-                .map(|entry| TeamOutcome {
-                    team: entry.team.clone(),
-                    result: run_scout(entry, &monitoring, text, time, deadline, config),
+                .map(|entry| {
+                    (
+                        entry.team.clone(),
+                        run_scout_batch(entry, &monitoring, inputs, deadline, config, skip),
+                    )
                 })
                 .collect();
             obs::observe(
                 &format!("fleet.shard.latency.{shard}"),
                 started.elapsed().as_secs_f64() * 1e3,
             );
-            outcomes
+            results
         });
 
-    let mut outcomes: Vec<TeamOutcome> = per_shard.into_iter().flatten().collect();
-    outcomes.sort_by(|a, b| a.team.cmp(&b.team));
-    outcomes
+    let mut out: Vec<Vec<TeamOutcome>> = inputs
+        .iter()
+        .map(|_| Vec::with_capacity(entries.len()))
+        .collect();
+    for shard_results in per_shard {
+        for (team, results) in shard_results {
+            debug_assert_eq!(results.len(), inputs.len());
+            for (i, result) in results.into_iter().enumerate() {
+                out[i].push(TeamOutcome {
+                    team: team.clone(),
+                    result,
+                });
+            }
+        }
+    }
+    for outcomes in &mut out {
+        outcomes.sort_by(|a, b| a.team.cmp(&b.team));
+    }
+    out
 }
 
-/// Run one team's Scout with isolation: deadline re-check, injected
-/// faults, and panic containment.
-fn run_scout(
+/// Run one team's Scout over the whole input batch with isolation:
+/// breaker skip, deadline re-check, injected faults, and panic
+/// containment. Always returns exactly one result per input.
+fn run_scout_batch(
     entry: &ModelEntry,
     monitoring: &MonitoringSystem<'_>,
-    text: &str,
-    time: cloudsim::SimTime,
+    inputs: &[(&str, cloudsim::SimTime)],
     deadline: Option<Instant>,
     config: &FleetConfig,
-) -> Result<Answer, ScoutError> {
+    skip: &[String],
+) -> Vec<Result<Answer, ScoutError>> {
+    let n = inputs.len();
+    if skip.iter().any(|t| t == &entry.team) {
+        obs::counter("fleet.scout.breaker_open").inc();
+        return vec![Err(ScoutError::BreakerOpen); n];
+    }
     if deadline.is_some_and(|d| Instant::now() >= d) {
         obs::counter("fleet.scout.deadline_expired").inc();
-        return Err(ScoutError::DeadlineExpired);
+        return vec![Err(ScoutError::DeadlineExpired); n];
     }
     if config.fails(&entry.team) {
         obs::counter("fleet.scout.injected_failure").inc();
-        return Err(ScoutError::Injected);
+        return vec![Err(ScoutError::Injected); n];
     }
     let result = catch_unwind(AssertUnwindSafe(|| {
         entry
             .scout
-            .predict_many_cached(&[(text, time)], monitoring, Some(&entry.feat_cache))
-            .pop()
-            .expect("one input yields one prediction")
+            .predict_many_cached(inputs, monitoring, Some(&entry.feat_cache))
     }));
     match result {
-        Ok(prediction) => Ok(Answer {
-            team: entry.team.clone(),
-            model_version: entry.version,
-            prediction,
-        }),
+        Ok(predictions) => {
+            debug_assert_eq!(predictions.len(), n);
+            predictions
+                .into_iter()
+                .map(|prediction| {
+                    Ok(Answer {
+                        team: entry.team.clone(),
+                        model_version: entry.version,
+                        prediction,
+                    })
+                })
+                .collect()
+        }
         Err(_) => {
             obs::counter("fleet.scout.panicked").inc();
-            Err(ScoutError::Panicked)
+            vec![Err(ScoutError::Panicked); n]
         }
     }
 }

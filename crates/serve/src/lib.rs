@@ -34,6 +34,7 @@ pub mod fleet;
 pub mod http;
 pub mod registry;
 pub mod server;
+pub mod stormroute;
 
 pub use admission::{Admission, Permit};
 pub use batcher::{Answer, BatchConfig, Batcher, Job, PredictError};
@@ -44,3 +45,4 @@ pub use fleet::{FleetConfig, ScoutError, TeamOutcome};
 pub use http::{HttpError, Request, Response};
 pub use registry::{ModelEntry, ModelRegistry, RegistryChange, RegistryError, RegistryJournal};
 pub use server::{Engine, ServeConfig, Server};
+pub use stormroute::{RouteBatcher, RouteBatcherContext, RouteJob};

@@ -18,9 +18,11 @@
 //! | `POST /v1/models/rollback` | restore a prior version from the promotion timeline |
 //! | `POST /v1/feedback` | ground-truth resolving team for a served prediction |
 //! | `GET /v1/wal/state` | the WAL's recovered+live projections (409 without `--wal-dir`) |
+//! | `POST /v1/monitoring/deprecate` | disable (or restore) one monitoring data set mid-stream |
 //!
-//! Shedding is `503` + `Retry-After: 1`; a lapsed `X-Deadline-Ms` is
-//! `504`; an unknown team is `404`.
+//! Shedding is `503`, a throttled source is `429` — both carry an
+//! adaptive `Retry-After` derived from queue depth and breaker state; a
+//! lapsed `X-Deadline-Ms` is `504`; an unknown team is `404`.
 //!
 //! Every request runs under a [`obs::TraceContext`]: a client-supplied
 //! `X-Trace-Id` is adopted (and always sampled into the flight
@@ -35,8 +37,10 @@ use crate::feedback::{FeedbackEvent, FeedbackHook, ResolveError, ServedLog, DEFA
 use crate::fleet::{self, FleetConfig, ScoutError};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::registry::ModelRegistry;
+use crate::stormroute::{RouteBatcher, RouteBatcherContext, RouteJob};
 use cloudsim::SimTime;
 use incident::Workload;
+use monitoring::{Dataset, MonitoringConfig};
 use obs::json::{escape_into, Obj, Value};
 use obs::TraceContext;
 use scout::Prediction;
@@ -46,8 +50,9 @@ use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
+use storm::{DedupOutcome, Gate, StormControl};
 
 /// Everything the endpoints need to answer a request.
 pub struct Engine {
@@ -72,6 +77,16 @@ pub struct Engine {
     /// [`Engine::with_wal`]). Every served prediction, accepted
     /// feedback, and registry mutation is appended log-first.
     pub wal: Option<Arc<wal::Wal>>,
+    /// The alert-storm control plane in front of `/v1/route` (attach
+    /// with [`Engine::with_storm`]; `None` = storm control off, every
+    /// firing pays a full fan-out).
+    pub storm: Option<Arc<StormControl>>,
+    /// The live monitoring-plane configuration shared by the predict
+    /// batcher and the fleet dispatcher. `POST /v1/monitoring/deprecate`
+    /// mutates it mid-stream (the paper's §8 robustness experiment); the
+    /// monitoring epoch fingerprint covers the disabled set, so feature
+    /// caches invalidate on their own.
+    pub monitoring: Arc<RwLock<MonitoringConfig>>,
 }
 
 impl Engine {
@@ -87,7 +102,16 @@ impl Engine {
             served: Arc::new(ServedLog::new(DEFAULT_SERVED_CAP)),
             feedback: None,
             wal: None,
+            storm: None,
+            monitoring: Arc::new(RwLock::new(MonitoringConfig::default())),
         }
+    }
+
+    /// Attach the alert-storm control plane (dedup, throttling,
+    /// severity batching, circuit breakers) in front of `/v1/route`.
+    pub fn with_storm(mut self, storm: Arc<StormControl>) -> Engine {
+        self.storm = Some(storm);
+        self
     }
 
     /// Set the model directory used by `POST /v1/models/reload`.
@@ -181,6 +205,9 @@ fn default_slos() -> Vec<obs::SloSpec> {
 struct Shared {
     engine: Engine,
     batcher: Batcher,
+    /// The storm layer's Sev3 route coalescer (present iff storm
+    /// control is attached with a batch-capable policy).
+    route_batcher: Option<RouteBatcher>,
     admission: Admission,
     slo: Arc<obs::SloEngine>,
     stop: AtomicBool,
@@ -211,14 +238,29 @@ impl Server {
         let batcher = Batcher::start(
             Arc::clone(&engine.registry),
             Arc::clone(&engine.workload),
+            Arc::clone(&engine.monitoring),
             BatchConfig {
                 batch_size: config.batch_size,
                 batch_deadline: config.batch_deadline,
             },
         );
+        let route_batcher = engine
+            .storm
+            .as_ref()
+            .filter(|s| s.batch_policy().max_batch > 1)
+            .map(|s| {
+                RouteBatcher::start(RouteBatcherContext {
+                    registry: Arc::clone(&engine.registry),
+                    workload: Arc::clone(&engine.workload),
+                    monitoring: Arc::clone(&engine.monitoring),
+                    fleet: engine.fleet.clone(),
+                    storm: Arc::clone(s),
+                })
+            });
         let shared = Arc::new(Shared {
             engine,
             batcher,
+            route_batcher,
             admission: Admission::new(config.queue_cap),
             slo: Arc::new(obs::SloEngine::new(
                 default_slos(),
@@ -268,6 +310,9 @@ impl Server {
         // rather than after the full batch deadline — and never left
         // unanswered.
         self.shared.batcher.begin_shutdown();
+        if let Some(rb) = &self.shared.route_batcher {
+            rb.begin_shutdown();
+        }
         // Bounded wait for in-flight requests (admission permits are held
         // until the reply is sent) so handler threads deliver their
         // responses before the process can exit under us. Idle keep-alive
@@ -316,7 +361,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             obs::counter("serve.conn.rejected").inc();
             let mut stream = stream;
             let _ = Response::from_error(&HttpError::new(503, "connection limit reached"))
-                .with_header("Retry-After", "1")
+                .with_header("Retry-After", &retry_after_secs(&shared).to_string())
                 .write_to(&mut stream, false);
             continue;
         }
@@ -390,6 +435,7 @@ fn endpoint_label(path: &str) -> &'static str {
         "/v1/models/rollback" => "rollback",
         "/v1/feedback" => "feedback",
         "/v1/wal/state" => "wal",
+        "/v1/monitoring/deprecate" => "deprecate",
         p if p.starts_with("/v1/scouts/") && p.ends_with("/predict") => "predict",
         _ => "other",
     }
@@ -419,6 +465,7 @@ fn dispatch(req: &Request, shared: &Shared) -> Response {
         ("POST", "/v1/models/reload") => reload(shared),
         ("POST", "/v1/models/rollback") => rollback(req, shared),
         ("POST", "/v1/feedback") => feedback(req, shared),
+        ("POST", "/v1/monitoring/deprecate") => deprecate(req, shared),
         ("POST", path) => {
             if let Some(team) = path
                 .strip_prefix("/v1/scouts/")
@@ -478,6 +525,13 @@ fn readyz(shared: &Shared) -> Response {
 struct PredictInput {
     text: String,
     time: SimTime,
+    /// Alert source (`"source"` field) — the storm throttle's bucket
+    /// key. Defaults to [`storm::DEFAULT_SOURCE`].
+    source: String,
+    /// `"severity"` field, 1..=3. Defaults to Sev2 so unannotated
+    /// traffic never queues in the Sev3 coalescer (which is what keeps
+    /// its response bytes identical with storm control on or off).
+    severity: storm::Severity,
 }
 
 fn parse_predict_input(req: &Request, shared: &Shared) -> Result<PredictInput, HttpError> {
@@ -502,7 +556,27 @@ fn parse_predict_input(req: &Request, shared: &Shared) -> Result<PredictInput, H
             SimTime(n as u64)
         }
     };
-    Ok(PredictInput { text, time })
+    let source = match value.get("source") {
+        None => storm::DEFAULT_SOURCE.to_string(),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| HttpError::new(400, "\"source\" must be a string"))?
+            .to_string(),
+    };
+    let severity = match value.get("severity") {
+        None => storm::Severity::Sev2,
+        Some(v) => v
+            .as_f64()
+            .filter(|n| n.fract() == 0.0)
+            .and_then(|n| storm::Severity::from_level(n as u64))
+            .ok_or_else(|| HttpError::new(400, "\"severity\" must be 1, 2, or 3"))?,
+    };
+    Ok(PredictInput {
+        text,
+        time,
+        source,
+        severity,
+    })
 }
 
 /// Per-request deadline from `X-Deadline-Ms`, if present.
@@ -519,9 +593,46 @@ fn request_deadline(req: &Request) -> Result<Option<Instant>, HttpError> {
     }
 }
 
-fn shed_response() -> Response {
+/// Seconds a refused client should wait before retrying, derived from
+/// how loaded the server actually is instead of a hard-coded `1`:
+/// an idle server says "1", a saturated admission queue adds up to 4,
+/// and every open circuit breaker (a sign the fleet itself is sick,
+/// not just busy) adds one more, clamped to `[1, 8]`. Pure function —
+/// unit-tested directly.
+fn adaptive_retry_after(outstanding: usize, cap: usize, breakers_open: usize) -> u64 {
+    let cap = cap.max(1);
+    let queue_factor = (outstanding.min(cap) * 4 / cap) as u64;
+    (1 + queue_factor + breakers_open.min(3) as u64).clamp(1, 8)
+}
+
+/// The current adaptive `Retry-After` value for this server.
+fn retry_after_secs(shared: &Shared) -> u64 {
+    adaptive_retry_after(
+        shared.admission.outstanding(),
+        shared.admission.cap(),
+        shared
+            .engine
+            .storm
+            .as_ref()
+            .map_or(0, |s| s.breakers_open()),
+    )
+}
+
+fn shed_response(shared: &Shared) -> Response {
     Response::from_error(&HttpError::new(503, "server over capacity, request shed"))
-        .with_header("Retry-After", "1")
+        .with_header("Retry-After", &retry_after_secs(shared).to_string())
+}
+
+/// `429` for a source the storm throttle refused. `Retry-After` is the
+/// larger of the bucket's own refill estimate and the adaptive
+/// load-derived value.
+fn throttled_response(retry_ms: u64, shared: &Shared) -> Response {
+    let secs = retry_after_secs(shared).max(retry_ms.div_ceil(1000).max(1));
+    Response::from_error(&HttpError::new(
+        429,
+        "source over rate limit, request throttled",
+    ))
+    .with_header("Retry-After", &secs.to_string())
 }
 
 fn predict_error_response(e: &PredictError) -> Response {
@@ -547,7 +658,7 @@ fn predict(req: &Request, team: &str, shared: &Shared) -> Response {
         shared.admission.try_admit()
     };
     let Some(permit) = admitted else {
-        return shed_response();
+        return shed_response(shared);
     };
     let (reply_tx, reply_rx) = sync_channel(1);
     let job = Job {
@@ -732,6 +843,68 @@ fn route(req: &Request, shared: &Shared) -> Response {
         Ok(d) => d,
         Err(e) => return Response::from_error(&e),
     };
+    let Some(storm) = shared.engine.storm.as_ref() else {
+        return route_fanout(&input, deadline, shared, None);
+    };
+    // The storm front-end, stages in cost order: throttle (no state per
+    // alert), dedup (a table lookup), then — only for survivors — the
+    // fan-out with breaker gating and Sev3 coalescing.
+    let now_ms = storm.now_ms();
+    if let Err(retry_ms) = storm.admit(&input.source, now_ms) {
+        return throttled_response(retry_ms, shared);
+    }
+    let (fp, outcome) = storm.observe(&input.text, &input.source, now_ms);
+    let store_fp = match outcome {
+        DedupOutcome::Duplicate {
+            duplicates,
+            decision: Some(decision),
+        } => {
+            // Answered from the original's cached decision: no
+            // admission slot, no fan-out. The `storm` object is the
+            // only difference from the original's bytes.
+            obs::counter("serve.route.suppressed").inc();
+            return duplicate_response(&decision, duplicates);
+        }
+        // The original is still in flight (no decision cached yet):
+        // route normally, but only the original stores the decision.
+        DedupOutcome::Duplicate { .. } => None,
+        DedupOutcome::Fresh => Some(fp),
+    };
+    let response = route_fanout(&input, deadline, shared, Some(storm));
+    if response.status == 200 {
+        if let Some(fp) = store_fp {
+            storm.store_decision(fp, String::from_utf8_lossy(&response.body).into_owned());
+        }
+    }
+    response
+}
+
+/// A suppressed duplicate's response: the original's cached body with a
+/// `storm` object spliced in, so callers can tell (and count) that this
+/// firing coalesced into an earlier one.
+fn duplicate_response(decision: &str, duplicates: u64) -> Response {
+    let storm_obj = Obj::new()
+        .bool("suppressed", true)
+        .uint("duplicates", duplicates)
+        .finish();
+    let body = match decision.strip_suffix('}') {
+        Some(head) => format!("{head},\"storm\":{storm_obj}}}"),
+        None => decision.to_string(),
+    };
+    Response::json(200, body)
+}
+
+/// The fan-out half of `/v1/route`: admission, dispatch (direct or
+/// through the Sev3 coalescer), breaker bookkeeping, and rendering.
+/// `storm` is `Some` when storm control is attached; non-storm traffic
+/// takes the exact same dispatch path either way, which is what keeps
+/// its response bytes identical with the layer on or off.
+fn route_fanout(
+    input: &PredictInput,
+    deadline: Option<Instant>,
+    shared: &Shared,
+    storm: Option<&Arc<StormControl>>,
+) -> Response {
     let entries = shared.engine.registry.snapshot();
     if entries.is_empty() {
         return Response::from_error(&HttpError::new(503, "no models registered"));
@@ -743,19 +916,83 @@ fn route(req: &Request, shared: &Shared) -> Response {
         shared.admission.try_admit()
     };
     let Some(_permit) = admitted else {
-        return shed_response();
+        return shed_response(shared);
     };
+
+    // Stage 3: a low-severity incident queues into the coalescer and
+    // shares one fan-out with its batch.
+    if let (Some(storm), Some(route_batcher)) = (storm, shared.route_batcher.as_ref()) {
+        if storm.batch_policy().should_batch(input.severity) {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            let job = RouteJob {
+                text: input.text.clone(),
+                time: input.time,
+                deadline,
+                reply: reply_tx,
+                ctx: obs::trace::capture().unwrap_or(TraceContext::NONE),
+            };
+            if route_batcher.submit(job).is_ok() {
+                return match reply_rx.recv() {
+                    Ok(Ok(outcomes)) => decide_and_render(outcomes, shared),
+                    Ok(Err(e)) => predict_error_response(&e),
+                    Err(_) => Response::from_error(&HttpError::new(
+                        500,
+                        "route batcher dropped the request",
+                    )),
+                };
+            }
+            // Batcher shut down: fall through to a direct fan-out.
+        }
+    }
+
+    // Stage 4 gate: sample the breakers once per fan-out; open teams are
+    // skipped inside dispatch (no catch_unwind, no predict).
+    let skip: Vec<String> = storm
+        .map(|s| {
+            let gate_ms = s.now_ms();
+            entries
+                .iter()
+                .filter(|e| s.gate(&e.team, gate_ms) == Gate::Reject)
+                .map(|e| e.team.clone())
+                .collect()
+        })
+        .unwrap_or_default();
+    let mon = shared.engine.monitoring.read().unwrap().clone();
     let outcomes = {
         let _span = obs::span!("fleet.dispatch");
-        fleet::dispatch(
+        fleet::dispatch_batch(
             &entries,
             &shared.engine.workload,
-            &input.text,
-            input.time,
+            &mon,
+            &[(&input.text, input.time)],
             deadline,
             &shared.engine.fleet,
+            &skip,
         )
+        .pop()
+        .expect("one input yields one outcome set")
     };
+    // Report outcomes back to the breakers. Deadline and breaker-skip
+    // results say nothing about the Scout itself, so they don't count.
+    if let Some(storm) = storm {
+        let report_ms = storm.now_ms();
+        for outcome in &outcomes {
+            match &outcome.result {
+                Ok(_) => storm.record_outcome(&outcome.team, true, report_ms),
+                Err(ScoutError::Panicked) | Err(ScoutError::Injected) => {
+                    storm.record_outcome(&outcome.team, false, report_ms)
+                }
+                Err(ScoutError::DeadlineExpired) | Err(ScoutError::BreakerOpen) => {}
+            }
+        }
+    }
+    decide_and_render(outcomes, shared)
+}
+
+/// Split sorted outcomes into answers and errors, run the Scout-Master
+/// decision, and render the `/v1/route` response. Shared by the direct
+/// and the coalesced dispatch paths.
+fn decide_and_render(outcomes: Vec<crate::fleet::TeamOutcome>, shared: &Shared) -> Response {
     // Outcomes arrive sorted by team name — the canonical order that
     // keeps the response bytes identical across shard counts.
     let mut answers: Vec<Answer> = Vec::new();
@@ -853,6 +1090,75 @@ fn route(req: &Request, shared: &Shared) -> Response {
         obj.raw("suggestions", &suggestions_json)
             .raw("answers", &answers_json)
             .raw("errors", &errors_json)
+            .finish(),
+    )
+}
+
+/// `POST /v1/monitoring/deprecate {"dataset", "restore"?}`: disable (or
+/// with `"restore": true` re-enable) one monitoring data set for every
+/// request from this point on. The monitoring epoch fingerprint covers
+/// the disabled list, so feature caches invalidate themselves — Scouts
+/// degrade to the remaining sensors instead of erroring.
+fn deprecate(req: &Request, shared: &Shared) -> Response {
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::from_error(&e),
+    };
+    let Some(obj @ Value::Obj(_)) = Value::parse(body) else {
+        return Response::from_error(&HttpError::new(400, "body must be a JSON object"));
+    };
+    let Some(name) = obj.get("dataset").and_then(|v| v.as_str()) else {
+        return Response::from_error(&HttpError::new(400, "missing string field: dataset"));
+    };
+    let restore = match obj.get("restore") {
+        None => false,
+        Some(Value::Bool(b)) => *b,
+        Some(_) => {
+            return Response::from_error(&HttpError::new(400, "field restore must be a boolean"))
+        }
+    };
+    let Some(dataset) = Dataset::ALL.iter().copied().find(|d| d.name() == name) else {
+        let valid: Vec<&str> = Dataset::ALL.iter().map(|d| d.name()).collect();
+        return Response::from_error(&HttpError::new(
+            400,
+            format!("unknown dataset {name:?}; valid: {}", valid.join(", ")),
+        ));
+    };
+    let disabled: Vec<&'static str> = {
+        let mut mon = shared.engine.monitoring.write().unwrap();
+        if restore {
+            mon.disabled.retain(|d| *d != dataset);
+        } else if !mon.disabled.contains(&dataset) {
+            mon.disabled.push(dataset);
+            mon.disabled.sort();
+        }
+        mon.disabled.iter().map(|d| d.name()).collect()
+    };
+    obs::counter("serve.monitoring.deprecate").inc();
+    obs::flight().alert(
+        "monitoring-deprecate",
+        &format!(
+            "{} {}; disabled now [{}]",
+            if restore { "restored" } else { "deprecated" },
+            name,
+            disabled.join(", ")
+        ),
+    );
+    let mut arr = String::from("[");
+    for (i, d) in disabled.iter().enumerate() {
+        if i > 0 {
+            arr.push(',');
+        }
+        arr.push('"');
+        escape_into(&mut arr, d);
+        arr.push('"');
+    }
+    arr.push(']');
+    Response::json(
+        200,
+        Obj::new()
+            .str("status", "ok")
+            .raw("disabled", &arr)
             .finish(),
     )
 }

@@ -264,7 +264,15 @@ fn over_capacity_requests_are_shed_with_retry_after() {
         .post_json("/v1/scouts/PhyNet/predict", INCIDENT)
         .unwrap();
     assert_eq!(shed.status, 503, "{}", shed.body_text());
-    assert_eq!(shed.header("Retry-After"), Some("1"));
+    // Retry-After adapts to queue depth: with every permit held the
+    // hint must back off beyond the idle-queue baseline of 1s, and stay
+    // within the clamp.
+    let retry: u64 = shed
+        .header("Retry-After")
+        .expect("shed response carries Retry-After")
+        .parse()
+        .expect("Retry-After is integral seconds");
+    assert!((2..=8).contains(&retry), "saturated queue hint: {retry}");
 
     for h in occupiers {
         assert_eq!(h.join().unwrap().status, 200, "occupiers must complete");

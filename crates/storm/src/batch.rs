@@ -1,0 +1,100 @@
+//! Stage 3 policy: which incidents coalesce, and into how much.
+//!
+//! Low-severity incidents are the bulk of a storm and the least urgent
+//! work in it: a Sev3 ticket tolerates a few extra milliseconds of
+//! queueing if that buys the fleet one shared `MonitoringSystem` build
+//! for a whole batch of incidents (the same economics as the predict
+//! micro-batcher). This module is the *policy* half — severity
+//! classification and the coalescing knobs; the queue itself lives in
+//! `serve`, next to the fleet dispatcher it feeds, because a batch is
+//! executed as one multi-incident fan-out.
+
+/// Incident severity as the storm layer sees it. Mirrors cloudsim's
+/// `Severity` (Sev1 page → Sev3 ticket) without depending on it: the
+/// wire format is a plain `"severity": 1..=3` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Page: outage-grade, never queued.
+    Sev1,
+    /// Alert: degraded, never queued.
+    Sev2,
+    /// Ticket: background-grade, eligible for coalescing.
+    Sev3,
+}
+
+impl Severity {
+    /// Parse the wire level (1..=3). Absent/garbage levels are the
+    /// caller's problem; `/v1/route` defaults to Sev2 so unannotated
+    /// traffic never queues.
+    pub fn from_level(level: u64) -> Option<Severity> {
+        match level {
+            1 => Some(Severity::Sev1),
+            2 => Some(Severity::Sev2),
+            3 => Some(Severity::Sev3),
+            _ => None,
+        }
+    }
+
+    /// The wire level.
+    pub fn level(self) -> u64 {
+        match self {
+            Severity::Sev1 => 1,
+            Severity::Sev2 => 2,
+            Severity::Sev3 => 3,
+        }
+    }
+}
+
+/// Coalescing knobs for low-severity routing.
+#[derive(Debug, Clone)]
+pub struct BatchPolicy {
+    /// Maximum incidents per coalesced fan-out.
+    pub max_batch: usize,
+    /// How long an open batch waits for company, in milliseconds.
+    pub max_wait_ms: u64,
+}
+
+impl Default for BatchPolicy {
+    /// Up to 16 Sev3 incidents share a fan-out; none waits more than
+    /// 5 ms — small against the 250 ms latency SLO.
+    fn default() -> BatchPolicy {
+        BatchPolicy {
+            max_batch: 16,
+            max_wait_ms: 5,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Does `severity` queue into a coalesced pass?
+    pub fn should_batch(&self, severity: Severity) -> bool {
+        self.max_batch > 1 && severity == Severity::Sev3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_round_trip() {
+        for level in 1..=3 {
+            assert_eq!(Severity::from_level(level).unwrap().level(), level);
+        }
+        assert_eq!(Severity::from_level(0), None);
+        assert_eq!(Severity::from_level(4), None);
+    }
+
+    #[test]
+    fn only_sev3_batches() {
+        let policy = BatchPolicy::default();
+        assert!(!policy.should_batch(Severity::Sev1));
+        assert!(!policy.should_batch(Severity::Sev2));
+        assert!(policy.should_batch(Severity::Sev3));
+        let off = BatchPolicy {
+            max_batch: 1,
+            ..BatchPolicy::default()
+        };
+        assert!(!off.should_batch(Severity::Sev3));
+    }
+}

@@ -1,0 +1,292 @@
+//! Stage 4: per-downstream-team circuit breakers.
+//!
+//! The fleet fan-out (PR 9) already isolates each team's Scout behind
+//! `catch_unwind` — but isolation is paid per request: a team whose
+//! Scout panics on every incident still costs a panic (and its unwind)
+//! on every single fan-out. A breaker remembers: after
+//! `failure_threshold` *consecutive* failures the team's circuit opens
+//! and the fan-out simply skips it, answering `BreakerOpen` for free.
+//! After `open_ms` of cool-down the circuit goes half-open and admits
+//! `half_open_probes` trial requests: all-success closes the circuit,
+//! any failure re-opens it for another cool-down.
+//!
+//! The state machine is **total**: any interleaving of `gate`/`record`
+//! calls at any timestamps (including reordered ones) transitions to a
+//! defined state — the proptests drive it with arbitrary event
+//! sequences and assert it never panics and never exceeds its bounds.
+//! All transitions are driven by the caller's `now_ms`.
+
+use std::collections::BTreeMap;
+
+/// Breaker tunables, shared by every team.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the circuit.
+    pub failure_threshold: u32,
+    /// Cool-down before an open circuit admits probes, in milliseconds.
+    pub open_ms: u64,
+    /// Successful probes required to close a half-open circuit.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    /// Trip after 5 consecutive failures, cool down 10 s, close after 2
+    /// successful probes.
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_ms: 10_000,
+            half_open_probes: 2,
+        }
+    }
+}
+
+/// Where one team's circuit stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, consecutive failures are counted.
+    Closed,
+    /// Tripped: requests are refused until the cool-down lapses.
+    Open,
+    /// Cooling down: a bounded number of probe requests are admitted.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    /// Closed: consecutive failures so far.
+    failures: u32,
+    /// Open: when the circuit tripped.
+    opened_ms: u64,
+    /// HalfOpen: probes still admitted / successes still required.
+    probes_left: u32,
+    successes: u32,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            state: BreakerState::Closed,
+            failures: 0,
+            opened_ms: 0,
+            probes_left: 0,
+            successes: 0,
+        }
+    }
+}
+
+/// One team's gate decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Run the Scout.
+    Allow,
+    /// Circuit open: skip the Scout, answer `BreakerOpen`.
+    Reject,
+}
+
+/// The per-team breaker table. Teams not yet seen are closed.
+#[derive(Debug)]
+pub struct BreakerSet {
+    config: BreakerConfig,
+    breakers: BTreeMap<String, Breaker>,
+    trips_total: u64,
+    rejects_total: u64,
+}
+
+impl BreakerSet {
+    pub fn new(config: BreakerConfig) -> BreakerSet {
+        BreakerSet {
+            config,
+            breakers: BTreeMap::new(),
+            trips_total: 0,
+            rejects_total: 0,
+        }
+    }
+
+    /// Should `team`'s Scout run at `now_ms`? Drives the open → half-open
+    /// transition and consumes a probe slot when half-open.
+    pub fn gate(&mut self, team: &str, now_ms: u64) -> Gate {
+        let config = self.config.clone();
+        let breaker = self
+            .breakers
+            .entry(team.to_string())
+            .or_insert_with(Breaker::new);
+        match breaker.state {
+            BreakerState::Closed => Gate::Allow,
+            BreakerState::Open => {
+                if now_ms.saturating_sub(breaker.opened_ms) >= config.open_ms {
+                    breaker.state = BreakerState::HalfOpen;
+                    breaker.probes_left = config.half_open_probes.max(1);
+                    breaker.successes = 0;
+                    self.probe(team)
+                } else {
+                    self.rejects_total += 1;
+                    Gate::Reject
+                }
+            }
+            BreakerState::HalfOpen => self.probe(team),
+        }
+    }
+
+    fn probe(&mut self, team: &str) -> Gate {
+        let breaker = self.breakers.get_mut(team).expect("probe on known team");
+        if breaker.probes_left > 0 {
+            breaker.probes_left -= 1;
+            Gate::Allow
+        } else {
+            // Probes outstanding: hold further traffic until they report.
+            self.rejects_total += 1;
+            Gate::Reject
+        }
+    }
+
+    /// Report how `team`'s Scout fared. `trip` callbacks fire exactly
+    /// when a circuit transitions closed/half-open → open.
+    pub fn record(&mut self, team: &str, ok: bool, now_ms: u64) -> Option<BreakerState> {
+        let config = self.config.clone();
+        let breaker = self
+            .breakers
+            .entry(team.to_string())
+            .or_insert_with(Breaker::new);
+        match breaker.state {
+            BreakerState::Closed => {
+                if ok {
+                    breaker.failures = 0;
+                } else {
+                    breaker.failures += 1;
+                    if breaker.failures >= config.failure_threshold.max(1) {
+                        breaker.state = BreakerState::Open;
+                        breaker.opened_ms = now_ms;
+                        breaker.failures = 0;
+                        self.trips_total += 1;
+                        return Some(BreakerState::Open);
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if ok {
+                    breaker.successes += 1;
+                    if breaker.successes >= config.half_open_probes.max(1) {
+                        breaker.state = BreakerState::Closed;
+                        breaker.failures = 0;
+                        return Some(BreakerState::Closed);
+                    }
+                } else {
+                    breaker.state = BreakerState::Open;
+                    breaker.opened_ms = now_ms;
+                    self.trips_total += 1;
+                    return Some(BreakerState::Open);
+                }
+            }
+            // A late report against an open circuit (e.g. a Scout that
+            // finished after the trip) changes nothing.
+            BreakerState::Open => {}
+        }
+        None
+    }
+
+    /// `team`'s current state (teams never seen are closed).
+    pub fn state(&self, team: &str) -> BreakerState {
+        self.breakers
+            .get(team)
+            .map_or(BreakerState::Closed, |b| b.state)
+    }
+
+    /// Teams whose circuit is currently open or half-open, sorted.
+    pub fn tripped_teams(&self) -> Vec<String> {
+        self.breakers
+            .iter()
+            .filter(|(_, b)| b.state != BreakerState::Closed)
+            .map(|(t, _)| t.clone())
+            .collect()
+    }
+
+    /// Circuits currently open or half-open.
+    pub fn open_count(&self) -> usize {
+        self.breakers
+            .values()
+            .filter(|b| b.state != BreakerState::Closed)
+            .count()
+    }
+
+    /// Lifetime closed/half-open → open transitions.
+    pub fn trips_total(&self) -> u64 {
+        self.trips_total
+    }
+
+    /// Lifetime gate rejections.
+    pub fn rejects_total(&self) -> u64 {
+        self.rejects_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(threshold: u32, open_ms: u64, probes: u32) -> BreakerSet {
+        BreakerSet::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_ms,
+            half_open_probes: probes,
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = set(3, 1000, 1);
+        b.record("t", false, 0);
+        b.record("t", true, 1); // success resets the streak
+        b.record("t", false, 2);
+        b.record("t", false, 3);
+        assert_eq!(b.state("t"), BreakerState::Closed);
+        assert_eq!(b.record("t", false, 4), Some(BreakerState::Open));
+        assert_eq!(b.gate("t", 5), Gate::Reject);
+        assert_eq!(b.trips_total(), 1);
+    }
+
+    #[test]
+    fn cooldown_half_open_then_close() {
+        let mut b = set(1, 1000, 2);
+        b.record("t", false, 0);
+        assert_eq!(b.state("t"), BreakerState::Open);
+        assert_eq!(b.gate("t", 500), Gate::Reject);
+        // Cool-down lapsed: two probes admitted, a third held.
+        assert_eq!(b.gate("t", 1000), Gate::Allow);
+        assert_eq!(b.gate("t", 1000), Gate::Allow);
+        assert_eq!(b.gate("t", 1000), Gate::Reject);
+        b.record("t", true, 1001);
+        assert_eq!(b.record("t", true, 1002), Some(BreakerState::Closed));
+        assert_eq!(b.gate("t", 1003), Gate::Allow);
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let mut b = set(1, 1000, 1);
+        b.record("t", false, 0);
+        assert_eq!(b.gate("t", 1000), Gate::Allow);
+        assert_eq!(b.record("t", false, 1001), Some(BreakerState::Open));
+        // The fresh cool-down starts at the re-open instant.
+        assert_eq!(b.gate("t", 1500), Gate::Reject);
+        assert_eq!(b.gate("t", 2001), Gate::Allow);
+        assert_eq!(b.trips_total(), 2);
+    }
+
+    #[test]
+    fn teams_are_independent() {
+        let mut b = set(1, 1000, 1);
+        b.record("sick", false, 0);
+        assert_eq!(b.gate("sick", 1), Gate::Reject);
+        assert_eq!(b.gate("healthy", 1), Gate::Allow);
+        assert_eq!(b.tripped_teams(), vec!["sick".to_string()]);
+    }
+
+    #[test]
+    fn late_report_on_open_circuit_is_inert() {
+        let mut b = set(1, 1000, 1);
+        b.record("t", false, 0);
+        assert_eq!(b.record("t", true, 1), None);
+        assert_eq!(b.state("t"), BreakerState::Open);
+    }
+}

@@ -1,0 +1,101 @@
+//! The storm layer's notion of time: milliseconds since an origin.
+//!
+//! Every stage in this crate is a pure function of its inputs *plus a
+//! `now_ms` argument* — none of them read the wall clock themselves.
+//! [`Clock`] is how the composed [`StormControl`](crate::StormControl)
+//! supplies that argument: production uses [`Clock::wall`] (monotonic
+//! milliseconds since construction), tests use [`Clock::manual`] and
+//! advance time explicitly, which is what makes suppression windows,
+//! bucket refills, and breaker cool-downs reproducible down to the
+//! millisecond.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A millisecond clock: monotonic wall time or a hand-cranked counter.
+#[derive(Clone)]
+pub enum Clock {
+    /// Monotonic milliseconds since the clock was created.
+    Wall { origin: Instant },
+    /// Milliseconds owned by the test: see [`ManualClock`].
+    Manual(ManualClock),
+}
+
+impl Clock {
+    /// A production clock anchored at "now".
+    pub fn wall() -> Clock {
+        Clock::Wall {
+            origin: Instant::now(),
+        }
+    }
+
+    /// A test clock starting at 0 ms, advanced explicitly.
+    pub fn manual() -> (Clock, ManualClock) {
+        let handle = ManualClock(Arc::new(AtomicU64::new(0)));
+        (Clock::Manual(handle.clone()), handle)
+    }
+
+    /// Milliseconds since this clock's origin.
+    pub fn now_ms(&self) -> u64 {
+        match self {
+            Clock::Wall { origin } => origin.elapsed().as_millis() as u64,
+            Clock::Manual(m) => m.0.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl std::fmt::Debug for Clock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Clock::Wall { .. } => write!(f, "Clock::Wall"),
+            Clock::Manual(m) => write!(f, "Clock::Manual({})", m.0.load(Ordering::SeqCst)),
+        }
+    }
+}
+
+/// The advancing end of a manual clock. Cloneable; all clones share the
+/// same counter.
+#[derive(Clone)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    /// Move time forward by `ms`.
+    pub fn advance(&self, ms: u64) {
+        self.0.fetch_add(ms, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute millisecond reading (may go backwards; tests
+    /// that model reordered arrivals use this deliberately).
+    pub fn set(&self, ms: u64) {
+        self.0.store(ms, Ordering::SeqCst);
+    }
+
+    /// The current reading.
+    pub fn now_ms(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_shared_and_explicit() {
+        let (clock, handle) = Clock::manual();
+        assert_eq!(clock.now_ms(), 0);
+        handle.advance(250);
+        assert_eq!(clock.now_ms(), 250);
+        handle.set(10);
+        assert_eq!(clock.now_ms(), 10);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = Clock::wall();
+        let a = clock.now_ms();
+        let b = clock.now_ms();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,225 @@
+//! Stage 1: dedup of repeated firings.
+//!
+//! A bounded, time-windowed table keyed by content fingerprint. The
+//! first firing of an alert is **fresh** — it routes normally, and the
+//! caller stores the rendered decision back into the table. Every
+//! further firing of the same fingerprint inside the window is a
+//! **duplicate**: it is answered from the original's cached decision
+//! (when the original has finished routing) and only bumps a counter,
+//! never touching the fleet. When the window lapses the fingerprint is
+//! fresh again — alerts that genuinely re-fire hours later deserve a
+//! fresh fan-out against fresher models.
+//!
+//! Bounded two ways: entries expire by age (the window), and the table
+//! holds at most `capacity` fingerprints — when full, the entry with
+//! the oldest first-firing evicts first (ties broken by fingerprint, so
+//! eviction is deterministic). Everything is driven by the caller's
+//! `now_ms`; the table never reads a clock.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Dedup-table tunables.
+#[derive(Debug, Clone)]
+pub struct DedupConfig {
+    /// How long a fingerprint suppresses repeats, in milliseconds.
+    pub window_ms: u64,
+    /// Maximum distinct fingerprints tracked at once.
+    pub capacity: usize,
+}
+
+impl Default for DedupConfig {
+    /// A 60-second suppression window over at most 4096 distinct alerts
+    /// — sized for "thousands of near-duplicate firings per minute".
+    fn default() -> DedupConfig {
+        DedupConfig {
+            window_ms: 60_000,
+            capacity: 4096,
+        }
+    }
+}
+
+/// What the table says about one firing.
+#[derive(Debug, Clone)]
+pub enum DedupOutcome {
+    /// First firing in the window: route it, then
+    /// [`store_decision`](DedupTable::store_decision).
+    Fresh,
+    /// A repeat. `duplicates` counts suppressed firings so far (this one
+    /// included); `decision` is the original's cached rendered decision,
+    /// or `None` while the original is still in flight.
+    Duplicate {
+        duplicates: u64,
+        decision: Option<Arc<String>>,
+    },
+}
+
+#[derive(Debug)]
+struct Entry {
+    first_ms: u64,
+    duplicates: u64,
+    decision: Option<Arc<String>>,
+}
+
+/// The bounded, windowed fingerprint table.
+#[derive(Debug)]
+pub struct DedupTable {
+    config: DedupConfig,
+    entries: BTreeMap<u64, Entry>,
+    suppressed_total: u64,
+}
+
+impl DedupTable {
+    pub fn new(config: DedupConfig) -> DedupTable {
+        DedupTable {
+            config,
+            entries: BTreeMap::new(),
+            suppressed_total: 0,
+        }
+    }
+
+    /// Record one firing of `fp` at `now_ms` and classify it.
+    pub fn observe(&mut self, fp: u64, now_ms: u64) -> DedupOutcome {
+        self.sweep(now_ms);
+        match self.entries.get_mut(&fp) {
+            Some(entry) => {
+                entry.duplicates += 1;
+                self.suppressed_total += 1;
+                DedupOutcome::Duplicate {
+                    duplicates: entry.duplicates,
+                    decision: entry.decision.clone(),
+                }
+            }
+            None => {
+                if self.entries.len() >= self.config.capacity.max(1) {
+                    self.evict_oldest();
+                }
+                self.entries.insert(
+                    fp,
+                    Entry {
+                        first_ms: now_ms,
+                        duplicates: 0,
+                        decision: None,
+                    },
+                );
+                DedupOutcome::Fresh
+            }
+        }
+    }
+
+    /// Attach the rendered routing decision to `fp`, so later duplicates
+    /// in the window are answered without a fan-out. A no-op if the
+    /// entry already expired or was evicted.
+    pub fn store_decision(&mut self, fp: u64, decision: String) {
+        if let Some(entry) = self.entries.get_mut(&fp) {
+            entry.decision = Some(Arc::new(decision));
+        }
+    }
+
+    /// Fingerprints currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total firings suppressed over this table's lifetime.
+    pub fn suppressed_total(&self) -> u64 {
+        self.suppressed_total
+    }
+
+    /// Drop entries whose window has lapsed. `now_ms` earlier than an
+    /// entry's `first_ms` (a reordered arrival) keeps the entry — age
+    /// only ever accrues forward.
+    fn sweep(&mut self, now_ms: u64) {
+        let window = self.config.window_ms;
+        self.entries
+            .retain(|_, e| now_ms.saturating_sub(e.first_ms) <= window);
+    }
+
+    fn evict_oldest(&mut self) {
+        // BTreeMap iteration is fingerprint-ordered, so the min_by_key
+        // tie-break is the smallest fingerprint — deterministic.
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(fp, e)| (e.first_ms, **fp))
+            .map(|(fp, _)| *fp);
+        if let Some(fp) = victim {
+            self.entries.remove(&fp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(window_ms: u64, capacity: usize) -> DedupTable {
+        DedupTable::new(DedupConfig {
+            window_ms,
+            capacity,
+        })
+    }
+
+    #[test]
+    fn first_firing_is_fresh_then_duplicates_count_up() {
+        let mut t = table(1000, 16);
+        assert!(matches!(t.observe(7, 0), DedupOutcome::Fresh));
+        t.store_decision(7, "decision-body".into());
+        for i in 1..=5u64 {
+            match t.observe(7, i * 10) {
+                DedupOutcome::Duplicate {
+                    duplicates,
+                    decision,
+                } => {
+                    assert_eq!(duplicates, i);
+                    assert_eq!(
+                        decision.as_deref().map(|s| s.as_str()),
+                        Some("decision-body")
+                    );
+                }
+                other => panic!("expected duplicate, got {other:?}"),
+            }
+        }
+        assert_eq!(t.suppressed_total(), 5);
+    }
+
+    #[test]
+    fn duplicate_before_decision_lands_has_no_body() {
+        let mut t = table(1000, 16);
+        t.observe(7, 0);
+        match t.observe(7, 1) {
+            DedupOutcome::Duplicate { decision, .. } => assert!(decision.is_none()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_lapse_makes_the_alert_fresh_again() {
+        let mut t = table(1000, 16);
+        t.observe(7, 0);
+        assert!(matches!(t.observe(7, 500), DedupOutcome::Duplicate { .. }));
+        assert!(matches!(t.observe(7, 1001), DedupOutcome::Fresh));
+    }
+
+    #[test]
+    fn capacity_evicts_the_oldest_first_firing() {
+        let mut t = table(10_000, 2);
+        t.observe(1, 0);
+        t.observe(2, 10);
+        t.observe(3, 20); // evicts fp=1 (oldest)
+        assert_eq!(t.len(), 2);
+        assert!(matches!(t.observe(1, 30), DedupOutcome::Fresh));
+    }
+
+    #[test]
+    fn reordered_arrival_does_not_expire_entries() {
+        let mut t = table(1000, 16);
+        t.observe(7, 500);
+        // A firing stamped *earlier* than first sight still suppresses.
+        assert!(matches!(t.observe(7, 100), DedupOutcome::Duplicate { .. }));
+    }
+}

@@ -16,6 +16,9 @@
 #   scripts/check.sh --fleet-smoke  # also boot a 32-team synthetic fleet and
 #                                   # burst /v1/route via fleetgen (accuracy
 #                                   # floor + zero unmapped answers)
+#   scripts/check.sh --storm-smoke  # also replay every stormgen adversarial
+#                                   # scenario against a storm-controlled
+#                                   # server (zero 5xx, dedup visibly working)
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -26,6 +29,7 @@ serve_smoke=0
 lifecycle_smoke=0
 wal_smoke=0
 fleet_smoke=0
+storm_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
@@ -33,6 +37,7 @@ for arg in "$@"; do
     --lifecycle-smoke) lifecycle_smoke=1 ;;
     --wal-smoke) wal_smoke=1 ;;
     --fleet-smoke) fleet_smoke=1 ;;
+    --storm-smoke) storm_smoke=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -63,6 +68,8 @@ if [[ "$bench_smoke" == 1 ]]; then
   BENCH_SMOKE=1 cargo bench -p bench --bench wal
   echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench fleet) =="
   BENCH_SMOKE=1 cargo bench -p bench --bench fleet
+  echo "== bench smoke (BENCH_SMOKE=1 cargo bench -p bench --bench storm) =="
+  BENCH_SMOKE=1 cargo bench -p bench --bench storm
 fi
 
 if [[ "$serve_smoke" == 1 ]]; then
@@ -83,6 +90,11 @@ fi
 if [[ "$fleet_smoke" == 1 ]]; then
   echo "== fleet smoke (32 synthetic teams, sharded /v1/route burst) =="
   scripts/fleet_smoke.sh
+fi
+
+if [[ "$storm_smoke" == 1 ]]; then
+  echo "== storm smoke (adversarial stormgen scenarios, zero 5xx) =="
+  scripts/storm_smoke.sh
 fi
 
 echo "all checks passed"
